@@ -1,0 +1,311 @@
+//! Classic CeNN image processing on the DE solver.
+//!
+//! These are the canonical template "genes" of the CeNN literature (the
+//! application domain of the hardware platforms in the paper's Table 3),
+//! expressed as [`cenn_core::CennModel`] programs and executed by the
+//! same fixed-point simulator as the PDE benchmarks. They exercise the
+//! eq. (1) paths the physics benchmarks underuse: the **output template
+//! A** acting on the saturated output `y = f(x)` of eq. (2), and the
+//! **feedforward template B** acting on a static input image.
+//!
+//! Image convention: `+1` = black (feature), `−1` = white (background),
+//! as in the CNN software library tradition.
+
+use cenn_core::{mapping, Boundary, CennModelBuilder, CennSim, Grid, LayerId, ModelError, Stencil};
+
+/// A template-programmed image operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImageOp {
+    /// Binary edge detection: black pixels with at least one white
+    /// 8-neighbour stay black, interiors turn white.
+    EdgeDetect,
+    /// Morphological dilation with the 4-neighbour cross.
+    Dilate,
+    /// Morphological erosion with the 4-neighbour cross.
+    Erode,
+    /// Local majority smoothing (noise removal) through the output
+    /// feedback template.
+    Smooth,
+    /// Hole filling: background floods in from the frame, interiors
+    /// enclosed by black walls stay black.
+    FillHoles,
+}
+
+impl ImageOp {
+    /// All operations, for sweeps and galleries.
+    pub const ALL: [ImageOp; 5] = [
+        ImageOp::EdgeDetect,
+        ImageOp::Dilate,
+        ImageOp::Erode,
+        ImageOp::Smooth,
+        ImageOp::FillHoles,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ImageOp::EdgeDetect => "edge-detect",
+            ImageOp::Dilate => "dilate",
+            ImageOp::Erode => "erode",
+            ImageOp::Smooth => "smooth",
+            ImageOp::FillHoles => "fill-holes",
+        }
+    }
+
+    /// Settling steps that bring each program to its fixed point.
+    pub fn default_steps(self) -> u64 {
+        match self {
+            ImageOp::FillHoles => 400,
+            ImageOp::Smooth => 120,
+            _ => 80,
+        }
+    }
+
+    /// Builds the template program for a `rows × cols` image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from model validation.
+    pub fn program(self, rows: usize, cols: usize) -> Result<(cenn_core::CennModel, LayerId), ModelError> {
+        // All programs run on a single layer with a white (Dirichlet −1)
+        // frame outside the image.
+        let mut b = CennModelBuilder::new(rows, cols);
+        let x = b.dynamic_layer("x", Boundary::Dirichlet(-1.0));
+        match self {
+            ImageOp::EdgeDetect => {
+                // A = centre 1, B = 8-centre minus 8-neighbourhood, z = −1.
+                b.output_template(x, x, mapping::center(1.0).into_template());
+                b.input_template(
+                    x,
+                    x,
+                    Stencil::from_values(&[
+                        -1.0, -1.0, -1.0, -1.0, 8.0, -1.0, -1.0, -1.0, -1.0,
+                    ])
+                    .into_template(),
+                );
+                b.offset(x, -1.0);
+            }
+            ImageOp::Dilate => {
+                // Pure threshold: x* = B·u + 4; any black 4-neighbour wins.
+                let mut s = Stencil::zero(3);
+                for (dr, dc) in [(0, 0), (0, 1), (0, -1), (1, 0), (-1, 0)] {
+                    s.set(dr, dc, 1.0);
+                }
+                b.input_template(x, x, s.into_template());
+                b.offset(x, 4.0);
+            }
+            ImageOp::Erode => {
+                let mut s = Stencil::zero(3);
+                for (dr, dc) in [(0, 0), (0, 1), (0, -1), (1, 0), (-1, 0)] {
+                    s.set(dr, dc, 1.0);
+                }
+                b.input_template(x, x, s.into_template());
+                b.offset(x, -4.0);
+            }
+            ImageOp::Smooth => {
+                // Majority vote through output feedback.
+                b.output_template(
+                    x,
+                    x,
+                    Stencil::from_values(&[0.0, 1.0, 0.0, 1.0, 2.0, 1.0, 0.0, 1.0, 0.0])
+                        .into_template(),
+                );
+            }
+            ImageOp::FillHoles => {
+                // The classic hole-filler: white floods from the frame,
+                // black input pixels are pinned by the B drive.
+                b.output_template(
+                    x,
+                    x,
+                    Stencil::from_values(&[0.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 0.0])
+                        .into_template(),
+                );
+                b.input_template(x, x, mapping::center(4.0).into_template());
+                b.offset(x, -1.0);
+            }
+        }
+        Ok((b.build(0.2)?, x))
+    }
+
+    /// Initial state rule: most programs settle from the input image;
+    /// hole filling starts all-black.
+    fn initial_state(self, image: &Grid<f64>) -> Grid<f64> {
+        match self {
+            ImageOp::FillHoles => Grid::new(image.rows(), image.cols(), 1.0),
+            ImageOp::Dilate | ImageOp::Erode => Grid::new(image.rows(), image.cols(), 0.0),
+            _ => image.clone(),
+        }
+    }
+}
+
+/// Runs an image operation on a `±1` bitmap, returning the settled output
+/// `y = f(x)` (clamped to `[−1, 1]`).
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] from the solver.
+///
+/// # Examples
+///
+/// ```
+/// use cenn_apps::image::{apply, ImageOp};
+/// use cenn_core::Grid;
+///
+/// // A 5x5 black square on white: edges survive, the interior clears.
+/// let img = Grid::from_fn(7, 7, |r, c| {
+///     if (1..6).contains(&r) && (1..6).contains(&c) { 1.0 } else { -1.0 }
+/// });
+/// let out = apply(ImageOp::EdgeDetect, &img).unwrap();
+/// assert!(out.get(3, 3) < 0.0, "interior turned white");
+/// assert!(out.get(1, 3) > 0.0, "edge stayed black");
+/// ```
+pub fn apply(op: ImageOp, image: &Grid<f64>) -> Result<Grid<f64>, ModelError> {
+    let (model, layer) = op.program(image.rows(), image.cols())?;
+    let mut sim = CennSim::new(model)?;
+    sim.set_input_f64(layer, image)?;
+    sim.set_state_f64(layer, &op.initial_state(image))?;
+    sim.run(op.default_steps());
+    Ok(sim.state_f64(layer).map(|v| v.clamp(-1.0, 1.0)))
+}
+
+/// Thresholds a settled output back to a `±1` bitmap.
+pub fn binarize(out: &Grid<f64>) -> Grid<f64> {
+    out.map(|v| if v > 0.0 { 1.0 } else { -1.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a bitmap from ASCII art: '#' is black, anything else white.
+    fn bitmap(art: &[&str]) -> Grid<f64> {
+        Grid::from_fn(art.len(), art[0].len(), |r, c| {
+            if art[r].as_bytes()[c] == b'#' {
+                1.0
+            } else {
+                -1.0
+            }
+        })
+    }
+
+    fn black(g: &Grid<f64>, r: usize, c: usize) -> bool {
+        g.get(r, c) > 0.0
+    }
+
+    #[test]
+    fn edge_detect_keeps_boundary_drops_interior() {
+        let img = bitmap(&[
+            ".......",
+            ".#####.",
+            ".#####.",
+            ".#####.",
+            ".#####.",
+            ".#####.",
+            ".......",
+        ]);
+        let out = apply(ImageOp::EdgeDetect, &img).unwrap();
+        assert!(!black(&out, 3, 3), "interior cleared");
+        for c in 1..6 {
+            assert!(black(&out, 1, c), "top edge kept at col {c}");
+            assert!(black(&out, 5, c), "bottom edge kept at col {c}");
+        }
+        assert!(!black(&out, 0, 0), "background stays white");
+    }
+
+    #[test]
+    fn dilate_grows_a_point_into_a_cross() {
+        let img = bitmap(&[".....", ".....", "..#..", ".....", "....."]);
+        let out = binarize(&apply(ImageOp::Dilate, &img).unwrap());
+        for (r, c) in [(2, 2), (1, 2), (3, 2), (2, 1), (2, 3)] {
+            assert!(black(&out, r, c), "cross at ({r},{c})");
+        }
+        assert!(!black(&out, 1, 1), "diagonals untouched by the 4-cross");
+        assert!(!black(&out, 0, 2));
+    }
+
+    #[test]
+    fn erode_shrinks_a_block() {
+        let img = bitmap(&[".....", ".###.", ".###.", ".###.", "....."]);
+        let out = binarize(&apply(ImageOp::Erode, &img).unwrap());
+        assert!(black(&out, 2, 2), "centre survives");
+        for (r, c) in [(1, 1), (1, 2), (2, 1), (3, 3)] {
+            assert!(!black(&out, r, c), "rim eroded at ({r},{c})");
+        }
+    }
+
+    #[test]
+    fn erode_then_dilate_is_opening() {
+        // A 1-pixel speck disappears under opening; a 3x3 block survives.
+        let img = bitmap(&[
+            "........",
+            ".#......",
+            "....###.",
+            "....###.",
+            "....###.",
+            "........",
+        ]);
+        let opened = binarize(
+            &apply(ImageOp::Dilate, &binarize(&apply(ImageOp::Erode, &img).unwrap())).unwrap(),
+        );
+        assert!(!black(&opened, 1, 1), "speck removed");
+        assert!(black(&opened, 3, 5), "block core kept");
+    }
+
+    #[test]
+    fn smooth_removes_salt_noise() {
+        let img = bitmap(&[
+            "#.......",
+            "........",
+            "...#....",
+            "........",
+            ".......#",
+        ]);
+        let out = binarize(&apply(ImageOp::Smooth, &img).unwrap());
+        assert!(!black(&out, 2, 3), "isolated pixel smoothed away");
+        assert!(!black(&out, 0, 0));
+    }
+
+    #[test]
+    fn fill_holes_closes_a_ring() {
+        let img = bitmap(&[
+            ".......",
+            ".#####.",
+            ".#...#.",
+            ".#...#.",
+            ".#...#.",
+            ".#####.",
+            ".......",
+        ]);
+        let out = binarize(&apply(ImageOp::FillHoles, &img).unwrap());
+        assert!(black(&out, 3, 3), "hole filled");
+        assert!(black(&out, 1, 3), "wall kept");
+        assert!(!black(&out, 0, 0), "outside stays white");
+    }
+
+    #[test]
+    fn fill_holes_leaves_open_shapes_alone() {
+        // A C-shape: the "hole" is connected to the outside, so the
+        // background floods it.
+        let img = bitmap(&[
+            ".......",
+            ".#####.",
+            ".#.....",
+            ".#.....",
+            ".#.....",
+            ".#####.",
+            ".......",
+        ]);
+        let out = binarize(&apply(ImageOp::FillHoles, &img).unwrap());
+        assert!(!black(&out, 3, 3), "open cavity not filled");
+        assert!(black(&out, 1, 2), "strokes kept");
+    }
+
+    #[test]
+    fn all_ops_have_unique_names() {
+        let names: Vec<_> = ImageOp::ALL.iter().map(|o| o.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

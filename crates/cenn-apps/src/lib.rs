@@ -1,0 +1,30 @@
+//! Computing *with* dynamical systems on the CeNN DE solver.
+//!
+//! The paper's introduction motivates the accelerator beyond scientific
+//! simulation: "dynamical system based computing is showing promise in
+//! solving complex problems in computer vision, graph theory,
+//! optimization" (§1), and §2.1 notes that the output template **A** "is
+//! used for applications like image processing or associative memory".
+//! This crate exercises those paths of eq. (1) with classic CeNN
+//! applications, all executed by the same fixed-point solver that runs
+//! the PDE benchmarks:
+//!
+//! * [`image`] — the canonical CeNN image-processing template programs
+//!   (edge detection, dilation, erosion, hole filling, smoothing), using
+//!   the feedforward **B** and output **A** templates with the eq. (2)
+//!   saturation output.
+//! * [`pathplan`] — wave-front path planning on an excitable medium: a
+//!   trigger wave expands from the goal around obstacles; per-cell
+//!   arrival times form a geodesic distance field whose gradient descent
+//!   is the shortest path (the UAV/robot motivation of §1).
+//! * [`oscillators`] — coupled-oscillator computing (§1's Kuramoto-style
+//!   platforms): phase dynamics through algebraic sin/cos layers and
+//!   dynamically-weighted coupling templates, with the synchronization
+//!   order parameter as the computational read-out.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod image;
+pub mod oscillators;
+pub mod pathplan;

@@ -1,0 +1,231 @@
+//! Global-buffer bank traffic under the OS dataflow (Fig. 9–10).
+//!
+//! The global buffer holds 16 state banks and 16 input banks split into a
+//! **primary** group (one bank per sub-block row) and a **support** group
+//! (interleaved, feeding the array edge during shifts). The dataflow modes
+//! decide where each operand comes from:
+//!
+//! * **Mode 0** — whole sub-block read from the primary banks (64 reads);
+//! * **Mode 1/3** — horizontal shift: 56 operands move PE-to-PE
+//!   (`x_H`/`u_H` paths), only the 8 edge operands read the support banks;
+//! * **Mode 2** — row change: backup registers restore the pre-shift data
+//!   (vertical `x_V`/`u_V` moves), 8 new operands read the primary banks.
+//!
+//! Counting these gives the bank-vs-register energy split that justifies
+//! the dataflow ("reduce data delivery energy from banks to local
+//! registers", §5.2) — quantified by [`BankTrafficModel`] and exercised by
+//! the `ablation_dataflow_energy` harness.
+
+use cenn_core::{CennModel, TemplateKind};
+
+use crate::pe::{DataflowMode, PeArrayConfig};
+
+/// Access counts for one full step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BankTraffic {
+    /// Words read from the primary bank group.
+    pub primary_reads: u64,
+    /// Words read from the support (interleaved) bank group.
+    pub support_reads: u64,
+    /// Operand movements between PE registers (shift paths).
+    pub reg_moves: u64,
+    /// Words written back to the banks (one per cell per dynamic layer).
+    pub writebacks: u64,
+}
+
+impl BankTraffic {
+    /// Total bank accesses (reads + writebacks).
+    pub fn bank_accesses(&self) -> u64 {
+        self.primary_reads + self.support_reads + self.writebacks
+    }
+
+    /// Total operand deliveries (bank or register).
+    pub fn total_operands(&self) -> u64 {
+        self.primary_reads + self.support_reads + self.reg_moves
+    }
+
+    /// Fraction of operands served by cheap register moves — the data-reuse
+    /// figure of merit of §5.
+    pub fn reuse_fraction(&self) -> f64 {
+        if self.total_operands() == 0 {
+            0.0
+        } else {
+            self.reg_moves as f64 / self.total_operands() as f64
+        }
+    }
+}
+
+/// Energy constants for the traffic split, in picojoules per word.
+///
+/// Derived from PCACTI-class estimates for 15nm SRAM macros (the paper's
+/// buffer power comes from PCACTI \[39\]): a ~64 kB bank read costs a few
+/// pJ; a register-to-register move across one PE pitch costs ~an order of
+/// magnitude less — the gap the dataflow exploits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BankEnergy {
+    /// Energy per bank read, pJ/word.
+    pub bank_read_pj: f64,
+    /// Energy per bank write, pJ/word.
+    pub bank_write_pj: f64,
+    /// Energy per PE-to-PE register move, pJ/word.
+    pub reg_move_pj: f64,
+}
+
+impl Default for BankEnergy {
+    fn default() -> Self {
+        Self {
+            bank_read_pj: 5.0,
+            bank_write_pj: 6.0,
+            reg_move_pj: 0.4,
+        }
+    }
+}
+
+impl BankEnergy {
+    /// Joules for a traffic account.
+    pub fn energy_j(&self, t: &BankTraffic) -> f64 {
+        ((t.primary_reads + t.support_reads) as f64 * self.bank_read_pj
+            + t.writebacks as f64 * self.bank_write_pj
+            + t.reg_moves as f64 * self.reg_move_pj)
+            * 1e-12
+    }
+}
+
+/// Counts bank/register traffic for a model under a dataflow scheme.
+///
+/// # Examples
+///
+/// ```
+/// use cenn_arch::{BankTrafficModel, PeArrayConfig};
+///
+/// let m = BankTrafficModel::new(PeArrayConfig::default());
+/// let t = m.conv_traffic_os(3);
+/// assert!(t.reuse_fraction() > 0.7); // most operands shift PE-to-PE
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BankTrafficModel {
+    pe: PeArrayConfig,
+}
+
+impl BankTrafficModel {
+    /// Creates a traffic model for the given PE array.
+    pub fn new(pe: PeArrayConfig) -> Self {
+        Self { pe }
+    }
+
+    /// Traffic of one `k×k` convolution pass over one full sub-block under
+    /// the OS dataflow modes.
+    pub fn conv_traffic_os(&self, k: usize) -> BankTraffic {
+        let n_pes = self.pe.n_pes() as u64;
+        let edge = self.pe.rows as u64; // operands entering at the array edge
+        let mut t = BankTraffic::default();
+        for conv_id in 0..k * k {
+            match DataflowMode::for_conv(conv_id, k) {
+                DataflowMode::Mode0 => t.primary_reads += n_pes,
+                DataflowMode::Mode1 | DataflowMode::Mode3 => {
+                    t.support_reads += edge;
+                    t.reg_moves += n_pes - edge;
+                }
+                DataflowMode::Mode2 => {
+                    t.primary_reads += edge;
+                    t.reg_moves += n_pes - edge;
+                }
+            }
+        }
+        t
+    }
+
+    /// Traffic of the same pass with **no local reuse** (every operand
+    /// fetched from a bank every cycle) — the NLR strawman of §5.1.
+    pub fn conv_traffic_nlr(&self, k: usize) -> BankTraffic {
+        BankTraffic {
+            primary_reads: (k * k) as u64 * self.pe.n_pes() as u64,
+            ..BankTraffic::default()
+        }
+    }
+
+    /// Full-step traffic for a model under OS (or NLR when `reuse` is
+    /// false), including write-backs of dynamic layers.
+    pub fn step_traffic(&self, model: &CennModel, reuse: bool) -> BankTraffic {
+        let sub_blocks = self.pe.sub_blocks(model.rows(), model.cols());
+        let mut total = BankTraffic::default();
+        for kind in [TemplateKind::State, TemplateKind::Output, TemplateKind::Input] {
+            for (_, _, t) in model.all_templates(kind) {
+                let conv = if reuse {
+                    self.conv_traffic_os(t.size())
+                } else {
+                    self.conv_traffic_nlr(t.size())
+                };
+                total.primary_reads += conv.primary_reads * sub_blocks;
+                total.support_reads += conv.support_reads * sub_blocks;
+                total.reg_moves += conv.reg_moves * sub_blocks;
+            }
+        }
+        total.writebacks = (model.cells() * model.n_layers()) as u64;
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model8() -> BankTrafficModel {
+        BankTrafficModel::new(PeArrayConfig::default())
+    }
+
+    #[test]
+    fn os_3x3_traffic_matches_mode_schedule() {
+        // k=3: modes [0, 1, 1, 2, 3, 3, 2, 3, 3]
+        // mode0: 64 primary; mode1 x2: 8 support + 56 moves each;
+        // mode2 x2: 8 primary + 56 moves; mode3 x4: 8 support + 56 moves.
+        let t = model8().conv_traffic_os(3);
+        assert_eq!(t.primary_reads, 64 + 2 * 8);
+        assert_eq!(t.support_reads, 6 * 8);
+        assert_eq!(t.reg_moves, 8 * 56);
+        // Every PE gets an operand every cycle.
+        assert_eq!(t.total_operands(), 9 * 64);
+    }
+
+    #[test]
+    fn os_reuse_fraction_is_high() {
+        let t = model8().conv_traffic_os(3);
+        assert!(t.reuse_fraction() > 0.7, "{}", t.reuse_fraction());
+        // Larger kernels reuse even more.
+        let t5 = model8().conv_traffic_os(5);
+        assert!(t5.reuse_fraction() > t.reuse_fraction());
+    }
+
+    #[test]
+    fn nlr_reads_everything_from_banks() {
+        let t = model8().conv_traffic_nlr(3);
+        assert_eq!(t.primary_reads, 9 * 64);
+        assert_eq!(t.reg_moves, 0);
+        assert_eq!(t.reuse_fraction(), 0.0);
+    }
+
+    #[test]
+    fn os_saves_energy_over_nlr() {
+        let e = BankEnergy::default();
+        let os = model8().conv_traffic_os(3);
+        let nlr = model8().conv_traffic_nlr(3);
+        assert!(e.energy_j(&os) < 0.5 * e.energy_j(&nlr),
+            "os {} vs nlr {}", e.energy_j(&os), e.energy_j(&nlr));
+    }
+
+    #[test]
+    fn step_traffic_scales_with_templates_and_cells() {
+        use cenn_equations::{DynamicalSystem, Heat, ReactionDiffusion};
+        let m = model8();
+        let heat = Heat::default().build(64, 64).unwrap().model;
+        let rd = ReactionDiffusion::default().build(64, 64).unwrap().model;
+        let th = m.step_traffic(&heat, true);
+        let tr = m.step_traffic(&rd, true);
+        assert!(tr.total_operands() > 3 * th.total_operands(), "RD has 4 templates");
+        assert_eq!(th.writebacks, 64 * 64);
+        assert_eq!(tr.writebacks, 2 * 64 * 64);
+        // NLR variant always costs more bank energy.
+        let e = BankEnergy::default();
+        assert!(e.energy_j(&m.step_traffic(&rd, false)) > e.energy_j(&tr));
+    }
+}

@@ -1,0 +1,353 @@
+//! The cycle-level timing model of the DE solver.
+//!
+//! Reproduces the paper's simulator structure (§6.3): it "takes parameters
+//! in Fig. 3 with a configuration file (memory type, Size_kernel,
+//! Size_input, N_layer, Template_linear, and WUI)", with the memory
+//! specification, global buffer, template buffer and PE array
+//! parameterized, and the LUT miss rates `mr_L1`/`mr_L2` "extracted from
+//! [functional] simulation and fed to the simulator".
+
+use cenn_core::{CennModel, TemplateKind};
+use cenn_lut::LUT_ENTRY_BYTES;
+
+use crate::energy::EnergyModel;
+use crate::memory::MemorySpec;
+use crate::pe::PeArrayConfig;
+
+/// Per-step timing decomposition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepTiming {
+    /// Base convolution cycles (all sub-blocks × all templates × k²) plus
+    /// offset-application cycles.
+    pub conv_cycles: f64,
+    /// Expected stall cycles from LUT misses during real-time weight
+    /// update (L2-hit penalties + DRAM fetches with channel queueing).
+    pub stall_cycles: f64,
+    /// PE clock in Hz for the configured memory.
+    pub pe_clock_hz: f64,
+    /// Compute-side time (conv + stalls) in seconds.
+    pub compute_s: f64,
+    /// Time to stream states/inputs/templates between DRAM and the global
+    /// buffer in burst mode (overlapped with compute via double buffering).
+    pub prefetch_s: f64,
+    /// DRAM bytes moved per step (prefetch + writeback + LUT bursts).
+    pub dram_bytes: f64,
+}
+
+impl StepTiming {
+    /// Wall-clock per step: compute and prefetch overlap (double-buffered
+    /// bank groups, Fig. 9), so the step takes the slower of the two.
+    pub fn total_s(&self) -> f64 {
+        self.compute_s.max(self.prefetch_s)
+    }
+
+    /// Fraction of the step spent stalled on weight updates.
+    pub fn stall_fraction(&self) -> f64 {
+        if self.conv_cycles + self.stall_cycles == 0.0 {
+            0.0
+        } else {
+            self.stall_cycles / (self.conv_cycles + self.stall_cycles)
+        }
+    }
+}
+
+/// A full run estimate: timing, throughput, power.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunEstimate {
+    timing: StepTiming,
+    ops_per_step: f64,
+    mem: MemorySpec,
+    energy: EnergyModel,
+    reference_clock_hz: f64,
+}
+
+impl RunEstimate {
+    /// Seconds per integration step.
+    pub fn time_per_step_s(&self) -> f64 {
+        self.timing.total_s()
+    }
+
+    /// Seconds for `steps` steps.
+    pub fn total_time_s(&self, steps: u64) -> f64 {
+        self.time_per_step_s() * steps as f64
+    }
+
+    /// The timing decomposition.
+    pub fn timing(&self) -> StepTiming {
+        self.timing
+    }
+
+    /// Achieved throughput in GOPS (MACs count as two ops).
+    pub fn achieved_gops(&self) -> f64 {
+        self.ops_per_step / self.time_per_step_s() / 1e9
+    }
+
+    /// DRAM activity ratio: achieved byte rate over peak (the §6.5
+    /// "application-dependent activity ratio").
+    pub fn dram_activity(&self) -> f64 {
+        (self.timing.dram_bytes / self.time_per_step_s()) / self.mem.peak_bandwidth()
+    }
+
+    /// Total system power in watts: on-chip (frequency-scaled from the
+    /// synthesis reference) + activity-scaled memory.
+    pub fn system_power_w(&self) -> f64 {
+        self.energy
+            .on_chip_power_w_at(self.timing.pe_clock_hz, self.reference_clock_hz)
+            + self
+                .mem
+                .power_at_activity(self.dram_activity().min(1.0))
+    }
+
+    /// Energy per step in joules.
+    pub fn energy_per_step_j(&self) -> f64 {
+        self.system_power_w() * self.time_per_step_s()
+    }
+
+    /// Achieved energy efficiency in GOPS/W (system power).
+    pub fn gops_per_watt(&self) -> f64 {
+        self.achieved_gops() / self.system_power_w()
+    }
+}
+
+/// The cycle-level model: a memory spec plus a PE-array configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleModel {
+    mem: MemorySpec,
+    pe: PeArrayConfig,
+    energy: EnergyModel,
+}
+
+impl CycleModel {
+    /// Creates a model with the default Table 1/2 energy constants.
+    pub fn new(mem: MemorySpec, pe: PeArrayConfig) -> Self {
+        Self {
+            mem,
+            pe,
+            energy: EnergyModel::default(),
+        }
+    }
+
+    /// Replaces the energy constants (ablations).
+    pub fn with_energy(mut self, energy: EnergyModel) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// The memory specification.
+    pub fn memory(&self) -> &MemorySpec {
+        &self.mem
+    }
+
+    /// The PE-array configuration.
+    pub fn pe_config(&self) -> &PeArrayConfig {
+        &self.pe
+    }
+
+    /// Computes per-step timing for a model given measured miss rates
+    /// `(mr_L1, mr_L2)`.
+    pub fn step_timing(&self, model: &CennModel, miss_rates: (f64, f64)) -> StepTiming {
+        let (mr1, mr2) = miss_rates;
+        let pe_clock = self.pe.pe_clock_hz(self.mem.io_clock_hz);
+        let sub_blocks = self.pe.sub_blocks(model.rows(), model.cols()) as f64;
+
+        // --- Convolution cycles -----------------------------------------
+        // Each template contributes k² weight cycles per sub-block (§5.2);
+        // each dynamic offset costs one extra accumulate cycle.
+        let mut conv_per_block = 0.0;
+        let mut wui_elements = 0u64; // weight-update sites encountered per sub-block sweep
+        let mut lut_factors = 0u64; // LUT lookups per update site (product factors)
+        for kind in [TemplateKind::State, TemplateKind::Output, TemplateKind::Input] {
+            for (_, _, t) in model.all_templates(kind) {
+                conv_per_block += self.pe.conv_cycles(t.size()) as f64;
+                wui_elements += t.wui_count() as u64;
+                lut_factors += t.lookups_per_cell() as u64;
+            }
+        }
+        let mut offset_cycles = 0.0;
+        for dest in model.layer_ids() {
+            for w in model.offsets(dest) {
+                offset_cycles += 1.0;
+                if w.needs_update() {
+                    wui_elements += 1;
+                    lut_factors += w.lookup_count() as u64;
+                }
+            }
+        }
+        // Heun runs a predictor and a corrector sweep per step.
+        let passes = model.integrator().passes() as f64;
+        let conv_cycles = sub_blocks * (conv_per_block + offset_cycles) * passes;
+
+        // --- Weight-update stalls ---------------------------------------
+        // At each WUI site every PE probes its own L1 (factors many times).
+        // The array runs in lockstep: an L1 miss anywhere holds the array
+        // for the L2 penalty (§3: "setting PEs in idle mode"); an L2 miss
+        // triggers the coalesced DRAM burst of eq. (12): expected
+        // mr1·mr2 accesses per (site, sub-block). DDR3's two channels
+        // serve 8 L2s each, forming the §6.3 "long request queue"; HMC's
+        // 16 channels give one queue slot per L2.
+        let lookups_per_block = sub_blocks * lut_factors as f64 * passes;
+        let p_any_l1_miss = 1.0 - (1.0 - mr1).powi(self.pe.n_pes() as i32);
+        let l2_stalls = lookups_per_block * p_any_l1_miss * self.pe.l2_hit_penalty as f64;
+
+        let dram_accesses = lookups_per_block * mr1 * mr2; // eq. (12) form
+        let l2_per_channel = (self.pe.n_l2 as f64 / self.mem.channels as f64).max(1.0);
+        let queue_factor = 1.0 + (l2_per_channel - 1.0) * mr1.min(1.0);
+        let burst_bytes = (cenn_lut::DRAM_BURST_POINTS as usize * LUT_ENTRY_BYTES) as f64;
+        let channel_bw = self.mem.sustained_bandwidth() / self.mem.channels as f64;
+        let dram_penalty_s = self.mem.access_latency_ns * 1e-9 + burst_bytes / channel_bw;
+        let dram_penalty_cycles = dram_penalty_s * pe_clock;
+        let dram_stalls = dram_accesses * dram_penalty_cycles * queue_factor;
+
+        let stall_cycles = l2_stalls + dram_stalls;
+        let _ = wui_elements;
+
+        // --- DRAM streaming traffic -------------------------------------
+        // Per step: read all layer states + inputs, write back dynamic
+        // layers (§3 "the result is written back to off-chip memory"),
+        // plus the template words and LUT bursts.
+        let cells = model.cells() as f64;
+        let n_layers = model.n_layers() as f64;
+        let word = 4.0;
+        let state_bytes = cells * n_layers * word; // reads
+        let write_bytes = cells * n_layers * word; // writebacks
+        let input_bytes = cells
+            * model
+                .all_templates(TemplateKind::Input)
+                .map(|_| 1.0)
+                .sum::<f64>()
+            * word;
+        let template_bytes =
+            (model.n_layers() * model.n_layers() * model.kernel_size() * model.kernel_size())
+                as f64
+                * word;
+        let lut_bytes = dram_accesses * burst_bytes;
+        let dram_bytes = state_bytes + write_bytes + input_bytes + template_bytes + lut_bytes;
+
+        let compute_s = (conv_cycles + stall_cycles) / pe_clock;
+        let prefetch_s = self.mem.stream_time(dram_bytes);
+        StepTiming {
+            conv_cycles,
+            stall_cycles,
+            pe_clock_hz: pe_clock,
+            compute_s,
+            prefetch_s,
+            dram_bytes,
+        }
+    }
+
+    /// Full run estimate for a model at the given miss rates.
+    pub fn estimate(&self, model: &CennModel, miss_rates: (f64, f64)) -> RunEstimate {
+        let timing = self.step_timing(model, miss_rates);
+        let ops_per_step = model.cells() as f64
+            * model.macs_per_cell_step() as f64
+            * 2.0
+            * model.integrator().passes() as f64;
+        RunEstimate {
+            timing,
+            ops_per_step,
+            mem: self.mem.clone(),
+            energy: self.energy.clone(),
+            reference_clock_hz: self.pe.reference_clock_hz,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cenn_equations::{DynamicalSystem, Heat, HodgkinHuxley, ReactionDiffusion};
+
+    fn heat_model(side: usize) -> CennModel {
+        Heat::default().build(side, side).unwrap().model
+    }
+
+    #[test]
+    fn linear_model_has_no_stalls() {
+        let m = CycleModel::new(MemorySpec::ddr3(), PeArrayConfig::default());
+        let t = m.step_timing(&heat_model(64), (0.0, 0.0));
+        assert_eq!(t.stall_cycles, 0.0);
+        // 64 sub-blocks x 9 cycles = 576 conv cycles.
+        assert_eq!(t.conv_cycles, 576.0);
+        assert!(t.total_s() > 0.0);
+    }
+
+    #[test]
+    fn heat_prefetch_and_compute_are_comparable() {
+        // A single linear 3x3 template moves about as many bytes as it
+        // computes cycles: the memory-centric design motivation (§4) —
+        // prefetch must overlap compute or it dominates.
+        let m = CycleModel::new(MemorySpec::ddr3(), PeArrayConfig::default());
+        let t = m.step_timing(&heat_model(128), (0.0, 0.0));
+        let ratio = t.prefetch_s / t.compute_s;
+        assert!((0.2..5.0).contains(&ratio), "{t:?}");
+        // On the faster HMC-INT the same workload becomes compute-bound.
+        let h = CycleModel::new(MemorySpec::hmc_int(), PeArrayConfig::default());
+        let t = h.step_timing(&heat_model(128), (0.0, 0.0));
+        assert!(t.compute_s > t.prefetch_s, "{t:?}");
+    }
+
+    #[test]
+    fn stalls_grow_with_miss_rates() {
+        let rd = ReactionDiffusion::default().build(64, 64).unwrap().model;
+        let m = CycleModel::new(MemorySpec::ddr3(), PeArrayConfig::default());
+        let low = m.step_timing(&rd, (0.1, 0.1));
+        let high = m.step_timing(&rd, (0.7, 0.3));
+        assert!(high.stall_cycles > low.stall_cycles);
+        assert!(high.stall_fraction() > low.stall_fraction());
+    }
+
+    #[test]
+    fn hmc_beats_ddr3_on_every_benchmark() {
+        let pe = PeArrayConfig::default();
+        for setup in [
+            Heat::default().build(64, 64).unwrap(),
+            ReactionDiffusion::default().build(64, 64).unwrap(),
+            HodgkinHuxley::default().build(64, 64).unwrap(),
+        ] {
+            let ddr = CycleModel::new(MemorySpec::ddr3(), pe.clone());
+            let hmc = CycleModel::new(MemorySpec::hmc_int(), pe.clone());
+            let ext = CycleModel::new(MemorySpec::hmc_ext(), pe.clone());
+            let mr = (0.3, 0.2);
+            let t_ddr = ddr.step_timing(&setup.model, mr).total_s();
+            let t_hmc = hmc.step_timing(&setup.model, mr).total_s();
+            let t_ext = ext.step_timing(&setup.model, mr).total_s();
+            assert!(t_hmc < t_ddr, "HMC-INT faster");
+            assert!(t_ext <= t_hmc * 1.01, "HMC-EXT at least as fast");
+        }
+    }
+
+    #[test]
+    fn queueing_penalizes_few_channels() {
+        // Same miss rates, but DDR3's 2 channels serve 16 L2s: the queue
+        // factor amplifies DRAM stalls vs HMC's 16 channels.
+        let rd = ReactionDiffusion::default().build(64, 64).unwrap().model;
+        let pe = PeArrayConfig::default();
+        let ddr = CycleModel::new(MemorySpec::ddr3(), pe.clone()).step_timing(&rd, (0.7, 0.3));
+        let hmc = CycleModel::new(MemorySpec::hmc_int(), pe).step_timing(&rd, (0.7, 0.3));
+        // Stall *cycles* (clock-independent) must be strictly worse on DDR3.
+        assert!(ddr.stall_cycles > 2.0 * hmc.stall_cycles,
+            "ddr {} vs hmc {}", ddr.stall_cycles, hmc.stall_cycles);
+    }
+
+    #[test]
+    fn estimate_exposes_power_and_gops() {
+        let m = CycleModel::new(MemorySpec::hmc_int(), PeArrayConfig::default());
+        let est = m.estimate(&heat_model(128), (0.0, 0.0));
+        assert!(est.achieved_gops() > 1.0, "gops {}", est.achieved_gops());
+        assert!(est.system_power_w() > 0.52, "at least on-chip power");
+        assert!(est.system_power_w() < 5.0);
+        assert!(est.dram_activity() <= 1.0);
+        assert!(est.energy_per_step_j() > 0.0);
+        assert!(est.gops_per_watt() > 0.0);
+        assert!((est.total_time_s(10) - 10.0 * est.time_per_step_s()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bigger_grids_take_proportionally_longer() {
+        let m = CycleModel::new(MemorySpec::hmc_int(), PeArrayConfig::default());
+        let t64 = m.step_timing(&heat_model(64), (0.0, 0.0)).total_s();
+        let t128 = m.step_timing(&heat_model(128), (0.0, 0.0)).total_s();
+        let ratio = t128 / t64;
+        assert!((3.0..5.0).contains(&ratio), "4x cells -> ~4x time: {ratio}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Dataflow-scheme analysis for real-time weight update (§5.1).
+//!
+//! The paper compares four convolution dataflows from the CNN-accelerator
+//! literature and shows that **output-stationary** (OS) is the right choice
+//! when templates must be updated in real time: because one weight is
+//! broadcast to all PEs per cycle, a LUT miss costs one coalesced DRAM
+//! access for the whole array rather than one per PE-weight pairing —
+//! eq. (12) vs. eq. (11).
+
+/// The four dataflow families of §5.1 / Fig. 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataflowScheme {
+    /// No local reuse (\[45\] in the paper).
+    NoLocalReuse,
+    /// Weight stationary (\[4\]).
+    WeightStationary,
+    /// Output stationary (\[11, 14, 34\]) — the scheme the DE solver uses.
+    OutputStationary,
+    /// Row stationary (\[6\], Eyeriss).
+    RowStationary,
+}
+
+impl DataflowScheme {
+    /// All four schemes, for sweeps.
+    pub const ALL: [DataflowScheme; 4] = [
+        DataflowScheme::NoLocalReuse,
+        DataflowScheme::WeightStationary,
+        DataflowScheme::OutputStationary,
+        DataflowScheme::RowStationary,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataflowScheme::NoLocalReuse => "NLR",
+            DataflowScheme::WeightStationary => "WS",
+            DataflowScheme::OutputStationary => "OS",
+            DataflowScheme::RowStationary => "RS",
+        }
+    }
+
+    /// Expected DRAM accesses for real-time weight update over a full
+    /// state-map sweep.
+    ///
+    /// For all schemes but OS, "DRAM will be accessed at a clock cycle when
+    /// at least one weight value in the template requires the update and
+    /// on-chip LUT misses" (eq. 11):
+    ///
+    /// ```text
+    /// #DRAM = (mr_L1 · mr_L2) · Size_input · N(U ≠ 0)
+    /// ```
+    ///
+    /// OS dataflow shares each weight across all PEs, dividing the count by
+    /// `#PEs` (eq. 12).
+    pub fn dram_accesses(
+        self,
+        mr_l1: f64,
+        mr_l2: f64,
+        size_input: u64,
+        n_wui_templates: u64,
+        n_pes: u64,
+    ) -> f64 {
+        let base = mr_l1 * mr_l2 * size_input as f64 * n_wui_templates as f64;
+        match self {
+            DataflowScheme::OutputStationary => base / n_pes as f64,
+            _ => base,
+        }
+    }
+}
+
+/// The §5.1 worked example: `(mr_L1·mr_L2) = 0.1`, a 1024×1024 input and
+/// one WUI template gives "100K DRAM accesses" for non-OS schemes and
+/// "1.6K" (#PEs = 64 less) for OS.
+pub fn paper_example() -> (f64, f64) {
+    let non_os = DataflowScheme::RowStationary.dram_accesses(0.5, 0.2, 1024 * 1024, 1, 64);
+    let os = DataflowScheme::OutputStationary.dram_accesses(0.5, 0.2, 1024 * 1024, 1, 64);
+    (non_os, os)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq11_and_eq12_reproduce_the_paper_example() {
+        let (non_os, os) = paper_example();
+        assert!((non_os - 104_857.6).abs() < 1.0, "~100K accesses: {non_os}");
+        assert!((os - 1638.4).abs() < 0.1, "~1.6K accesses: {os}");
+        assert!((non_os / os - 64.0).abs() < 1e-9, "#PEs x fewer");
+    }
+
+    #[test]
+    fn os_is_always_best_for_weight_update() {
+        for scheme in DataflowScheme::ALL {
+            let a = scheme.dram_accesses(0.3, 0.25, 1 << 16, 2, 64);
+            let os = DataflowScheme::OutputStationary.dram_accesses(0.3, 0.25, 1 << 16, 2, 64);
+            assert!(os <= a, "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn zero_miss_rate_means_zero_dram() {
+        for scheme in DataflowScheme::ALL {
+            assert_eq!(scheme.dram_accesses(0.0, 0.5, 4096, 1, 64), 0.0);
+            assert_eq!(scheme.dram_accesses(0.5, 0.0, 4096, 1, 64), 0.0);
+        }
+    }
+
+    #[test]
+    fn accesses_scale_with_wui_count_and_input() {
+        let s = DataflowScheme::OutputStationary;
+        let one = s.dram_accesses(0.5, 0.5, 4096, 1, 64);
+        assert_eq!(s.dram_accesses(0.5, 0.5, 4096, 3, 64), 3.0 * one);
+        assert_eq!(s.dram_accesses(0.5, 0.5, 8192, 1, 64), 2.0 * one);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let names: Vec<_> = DataflowScheme::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["NLR", "WS", "OS", "RS"]);
+    }
+}

@@ -1,0 +1,270 @@
+//! Power/area model seeded with the paper's 15nm synthesis results
+//! (Tables 1–3, §6.5).
+//!
+//! The paper synthesizes the PE array in 15nm FinFET [27] and estimates
+//! buffer power with PCACTI [39]; the resulting per-module constants are
+//! the model here. Memory power is activity-scaled energy-per-bit (§6.5).
+
+use crate::memory::MemorySpec;
+
+/// GPU board power used in the §6.5 comparison ("40~50W"; we take the
+/// midpoint).
+pub const GPU_POWER_W: f64 = 45.0;
+
+/// Per-module power and area constants (Tables 1–2).
+///
+/// # Examples
+///
+/// ```
+/// use cenn_arch::EnergyModel;
+///
+/// let m = EnergyModel::default();
+/// // The paper's Table 2 total: ~523 mW on-chip.
+/// assert!((m.power_breakdown().total_mw - 523.45).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// Template Update Module power per PE, mW.
+    pub tum_mw: f64,
+    /// ALU (two MACs + adder + control) power per PE, mW.
+    pub alu_mw: f64,
+    /// Number of PEs.
+    pub n_pes: usize,
+    /// Per-L1-LUT power, mW.
+    pub l1_mw: f64,
+    /// Total power of all L2 LUTs, mW.
+    pub l2_total_mw: f64,
+    /// Global buffer (data banks + shared template buffer), mW.
+    pub global_buffer_mw: f64,
+    /// TUM area per PE, mm².
+    pub tum_mm2: f64,
+    /// ALU area per PE, mm².
+    pub alu_mm2: f64,
+    /// Total L1 LUT area, mm².
+    pub l1_total_mm2: f64,
+    /// Total L2 LUT area, mm².
+    pub l2_total_mm2: f64,
+    /// Global buffer area, mm².
+    pub global_buffer_mm2: f64,
+}
+
+impl Default for EnergyModel {
+    /// The paper's synthesized 64-PE configuration.
+    fn default() -> Self {
+        Self {
+            tum_mw: 1.20,
+            alu_mw: 1.12,
+            n_pes: 64,
+            l1_mw: 51.20 / 64.0,
+            l2_total_mw: 63.61,
+            global_buffer_mw: 260.16,
+            tum_mm2: 0.00308,
+            alu_mm2: 0.00287,
+            l1_total_mm2: 0.0698,
+            l2_total_mm2: 0.00627,
+            global_buffer_mm2: 0.625,
+        }
+    }
+}
+
+/// On-chip power breakdown (the rows of Tables 1–2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBreakdown {
+    /// One PE (TUM + ALU), mW.
+    pub pe_mw: f64,
+    /// All PEs, mW.
+    pub pes_mw: f64,
+    /// All L1 LUTs, mW.
+    pub l1_mw: f64,
+    /// PE array (PEs + L1 LUTs), mW.
+    pub pe_array_mw: f64,
+    /// All L2 LUTs, mW.
+    pub l2_mw: f64,
+    /// Global buffer, mW.
+    pub global_buffer_mw: f64,
+    /// Total on-chip power, mW.
+    pub total_mw: f64,
+}
+
+impl EnergyModel {
+    /// Computes the Table 1 + Table 2 power rows.
+    pub fn power_breakdown(&self) -> PowerBreakdown {
+        let pe_mw = self.tum_mw + self.alu_mw;
+        let pes_mw = pe_mw * self.n_pes as f64;
+        let l1_mw = self.l1_mw * self.n_pes as f64;
+        let pe_array_mw = pes_mw + l1_mw;
+        let total_mw = pe_array_mw + self.l2_total_mw + self.global_buffer_mw;
+        PowerBreakdown {
+            pe_mw,
+            pes_mw,
+            l1_mw,
+            pe_array_mw,
+            l2_mw: self.l2_total_mw,
+            global_buffer_mw: self.global_buffer_mw,
+            total_mw,
+        }
+    }
+
+    /// Total on-chip power in watts.
+    pub fn on_chip_power_w(&self) -> f64 {
+        self.power_breakdown().total_mw / 1e3
+    }
+
+    /// Total system power: on-chip plus activity-scaled memory (§6.5).
+    pub fn system_power_w(&self, mem: &MemorySpec, dram_activity: f64) -> f64 {
+        self.on_chip_power_w() + mem.power_at_activity(dram_activity)
+    }
+
+    /// On-chip power when the array runs at `clock_hz` instead of the
+    /// synthesized reference: dynamic power scales linearly with frequency
+    /// (the §6.4 "higher power consumption in … the processing array" of
+    /// the over-clocked HMC-EXT configuration).
+    pub fn on_chip_power_w_at(&self, clock_hz: f64, reference_hz: f64) -> f64 {
+        self.on_chip_power_w() * (clock_hz / reference_hz)
+    }
+
+    /// Total die area in mm² (Table 2).
+    pub fn area_mm2(&self) -> f64 {
+        (self.tum_mm2 + self.alu_mm2) * self.n_pes as f64
+            + self.l1_total_mm2
+            + self.l2_total_mm2
+            + self.global_buffer_mm2
+    }
+
+    /// PE-array area (PEs + L1 LUTs) in mm² (Table 2 row 1).
+    pub fn pe_array_area_mm2(&self) -> f64 {
+        (self.tum_mm2 + self.alu_mm2) * self.n_pes as f64 + self.l1_total_mm2
+    }
+
+    /// Energy efficiency in GOPS/W for a given achieved throughput
+    /// (Table 3's "GOPS/W" column uses on-chip power).
+    pub fn gops_per_watt(&self, achieved_gops: f64) -> f64 {
+        achieved_gops / self.on_chip_power_w()
+    }
+}
+
+/// One row of the Table 3 cross-platform comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    /// Chip name.
+    pub name: &'static str,
+    /// Circuit style.
+    pub kind: &'static str,
+    /// Process node.
+    pub technology: &'static str,
+    /// Processing elements.
+    pub n_pes: u32,
+    /// Power in watts.
+    pub power_w: f64,
+    /// Die area in mm² (`None` where the paper reports "-").
+    pub area_mm2: Option<f64>,
+    /// Peak GOPS.
+    pub peak_gops: f64,
+    /// Energy efficiency.
+    pub gops_per_w: f64,
+    /// Supports nonlinear real-time weight update.
+    pub nonlinear_weight_update: bool,
+}
+
+/// The prior CeNN platforms of Table 3 (this work's row is produced by the
+/// harness from the model).
+pub fn prior_platforms() -> Vec<Platform> {
+    vec![
+        Platform {
+            name: "ACE16k",
+            kind: "analog/mixed-signal",
+            technology: "0.35um",
+            n_pes: 16560,
+            power_w: 4.0,
+            area_mm2: Some(92.0),
+            peak_gops: 330.0,
+            gops_per_w: 82.50,
+            nonlinear_weight_update: false,
+        },
+        Platform {
+            name: "Q-Eye",
+            kind: "analog/mixed-signal",
+            technology: "0.18um",
+            n_pes: 25344,
+            power_w: 0.1,
+            area_mm2: Some(25.0),
+            peak_gops: 0.1,
+            gops_per_w: 0.1,
+            nonlinear_weight_update: false,
+        },
+        Platform {
+            name: "GAPU",
+            kind: "FPGA",
+            technology: "0.15um",
+            n_pes: 1024,
+            power_w: 10.0,
+            area_mm2: None,
+            peak_gops: 1.3,
+            gops_per_w: 0.13,
+            nonlinear_weight_update: false,
+        },
+        Platform {
+            name: "VAE",
+            kind: "digital",
+            technology: "0.13um",
+            n_pes: 120,
+            power_w: 0.084,
+            area_mm2: Some(4.5),
+            peak_gops: 22.0,
+            gops_per_w: 261.90,
+            nonlinear_weight_update: false,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows_reproduce() {
+        let m = EnergyModel::default();
+        let p = m.power_breakdown();
+        assert!((p.pe_mw - 2.32).abs() < 1e-9, "PE = TUM + ALU");
+        assert!((p.pes_mw - 148.48).abs() < 1e-9, "64 PEs");
+        assert!((p.l1_mw - 51.20).abs() < 1e-9, "L1 LUTs");
+    }
+
+    #[test]
+    fn table2_totals_reproduce() {
+        let m = EnergyModel::default();
+        let p = m.power_breakdown();
+        assert!((p.pe_array_mw - 199.68).abs() < 1e-2, "PE array row");
+        assert!((p.total_mw - 523.45).abs() < 0.5, "total ~523 mW: {}", p.total_mw);
+        assert!((m.area_mm2() - 1.082).abs() < 0.01, "area ~1.08: {}", m.area_mm2());
+        assert!((m.pe_array_area_mm2() - 0.450).abs() < 0.005);
+    }
+
+    #[test]
+    fn izhikevich_system_power_matches_sec65() {
+        // §6.5: 0.523 W on-chip + ~1.04 W HMC-INT memory = 1.56 W,
+        // 32x less than a 40-50 W GPU.
+        let m = EnergyModel::default();
+        let p = m.system_power_w(&MemorySpec::hmc_int(), 0.22);
+        assert!((p - 1.56).abs() < 0.2, "system power {p} W");
+        let ratio = GPU_POWER_W / p;
+        assert!(ratio > 25.0 && ratio < 40.0, "~32x less than GPU: {ratio}");
+    }
+
+    #[test]
+    fn gops_per_watt_near_paper_figure() {
+        // Table 3: 54 GOPS achieved at 0.523 W -> 103.26 GOPS/W.
+        let m = EnergyModel::default();
+        assert!((m.gops_per_watt(54.0) - 103.26).abs() < 0.5);
+    }
+
+    #[test]
+    fn table3_prior_rows_present() {
+        let rows = prior_platforms();
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| !r.nonlinear_weight_update));
+        let vae = rows.iter().find(|r| r.name == "VAE").unwrap();
+        assert_eq!(vae.n_pes, 120);
+        assert!((vae.gops_per_w - 261.90).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,51 @@
+//! Cycle-level architecture model of the CeNN-based DE solver (§4–§6).
+//!
+//! This crate reproduces the paper's hardware evaluation methodology: a
+//! cycle-level simulator parameterized by memory specification (bandwidth,
+//! channels, bus width, latency), global buffer, shared template buffer and
+//! PE array, consuming the LUT miss rates extracted from functional
+//! simulation (§6.3).
+//!
+//! * [`MemorySpec`] — DDR3 / HMC-EXT / HMC-INT timing+energy parameters
+//!   (burst length 8, `t_CCD` gaps, per-bit energy).
+//! * [`PeArrayConfig`] — the 8×8 PE array, its clock relation to DRAM
+//!   ("PE clock is 1/4 of DRAM clock", §6.3) and the OS dataflow modes of
+//!   Fig. 10.
+//! * [`dataflow`] — the dataflow-scheme analysis of §5.1 (eqs. 11–12):
+//!   DRAM accesses for real-time weight update under NLR/WS/OS/RS reuse.
+//! * [`CycleModel`] — per-step timing: compute cycles, LUT-miss stalls,
+//!   prefetch/writeback traffic with burst efficiency and channel queueing.
+//! * [`EnergyModel`] — the 15nm synthesis constants of Tables 1–2 with
+//!   activity-scaled memory power, producing the Table 2/3 numbers and the
+//!   GPU comparison of §6.5.
+//!
+//! # Example
+//!
+//! ```
+//! use cenn_arch::{CycleModel, MemorySpec, PeArrayConfig};
+//! use cenn_equations::{DynamicalSystem, Heat};
+//!
+//! let setup = Heat::default().build(64, 64).unwrap();
+//! let model = CycleModel::new(MemorySpec::ddr3(), PeArrayConfig::default());
+//! let est = model.estimate(&setup.model, (0.0, 0.0));
+//! assert!(est.time_per_step_s() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod banks;
+mod cycle;
+pub mod dataflow;
+mod energy;
+mod memory;
+mod pe;
+pub mod schedule;
+mod trace;
+
+pub use banks::{BankEnergy, BankTraffic, BankTrafficModel};
+pub use cycle::{CycleModel, RunEstimate, StepTiming};
+pub use energy::{prior_platforms, EnergyModel, Platform, PowerBreakdown, GPU_POWER_W};
+pub use memory::{MemoryKind, MemorySpec};
+pub use pe::{DataflowMode, PeArrayConfig};
+pub use trace::{StepCycles, TraceDrivenSim};

@@ -1,0 +1,188 @@
+//! Off-chip memory specifications: DDR3 and Hybrid Memory Cube.
+
+/// Which memory technology a spec models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryKind {
+    /// Conventional DDR3, two channels (§6.3).
+    Ddr3,
+    /// HMC external interface — 10 GHz SerDes links to a host-side
+    /// accelerator (§6.4).
+    HmcExt,
+    /// HMC internal interface — 2.5 GHz vault-side connection for
+    /// processor-in-memory integration (§6.4).
+    HmcInt,
+}
+
+/// Off-chip memory timing and energy parameters.
+///
+/// # Examples
+///
+/// ```
+/// use cenn_arch::MemorySpec;
+///
+/// let ddr = MemorySpec::ddr3();
+/// assert_eq!(ddr.channels, 2);
+/// assert!(MemorySpec::hmc_int().peak_bandwidth() > ddr.peak_bandwidth());
+/// ```
+///
+/// The cycle simulator parameterizes "memory specification (bandwidth,
+/// # of channels, bus-width, latency)" (§6.3). Prefetch uses burst mode
+/// with burst length 8 and a `t_CCD` gap between bursts, exactly the §6.3
+/// description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemorySpec {
+    /// Display name.
+    pub name: &'static str,
+    /// Technology kind.
+    pub kind: MemoryKind,
+    /// I/O clock in Hz (data rate clock; DDR transfers 2 beats/cycle).
+    pub io_clock_hz: f64,
+    /// Beats transferred per I/O clock (2 for DDR, 1 for SerDes-style).
+    pub beats_per_clock: f64,
+    /// Independent channels (DDR3: 2) or vaults (HMC: 16).
+    pub channels: usize,
+    /// Data bus width per channel, in bits.
+    pub bus_bits: usize,
+    /// Burst length in beats (§6.3: 8).
+    pub burst_length: usize,
+    /// Column-to-column delay between bursts, in I/O cycles.
+    pub t_ccd: usize,
+    /// Random-access latency in nanoseconds (row activate + CAS).
+    pub access_latency_ns: f64,
+    /// DRAM energy per transferred bit, in picojoules (HMC-INT: 3.7 pJ/bit
+    /// per the paper's ref. \[19\]).
+    pub pj_per_bit: f64,
+}
+
+impl MemorySpec {
+    /// DDR3-1600, 2 channels × 64-bit — the §6.3 baseline.
+    pub fn ddr3() -> Self {
+        Self {
+            name: "DDR3",
+            kind: MemoryKind::Ddr3,
+            io_clock_hz: 800e6,
+            beats_per_clock: 2.0,
+            channels: 2,
+            bus_bits: 64,
+            burst_length: 8,
+            t_ccd: 4,
+            access_latency_ns: 50.0,
+            pj_per_bit: 70.0,
+        }
+    }
+
+    /// HMC external interface: 10 GHz I/O, 16 lanes treated as channels
+    /// (§6.4: "the I/O clock frequency of HMC-EXT (10GHz)").
+    pub fn hmc_ext() -> Self {
+        Self {
+            name: "HMC-EXT",
+            kind: MemoryKind::HmcExt,
+            io_clock_hz: 10e9,
+            beats_per_clock: 1.0,
+            channels: 16,
+            bus_bits: 16,
+            burst_length: 8,
+            t_ccd: 2,
+            access_latency_ns: 80.0,
+            pj_per_bit: 10.0,
+        }
+    }
+
+    /// HMC internal (processor-in-memory) interface: 2.5 GHz vault clock,
+    /// 16 vaults (§6.4, §6.5).
+    pub fn hmc_int() -> Self {
+        Self {
+            name: "HMC-INT",
+            kind: MemoryKind::HmcInt,
+            io_clock_hz: 2.5e9,
+            beats_per_clock: 1.0,
+            channels: 16,
+            bus_bits: 32,
+            burst_length: 8,
+            t_ccd: 2,
+            access_latency_ns: 40.0,
+            pj_per_bit: 3.7,
+        }
+    }
+
+    /// Peak bytes/second across all channels.
+    pub fn peak_bandwidth(&self) -> f64 {
+        self.io_clock_hz * self.beats_per_clock * (self.bus_bits as f64 / 8.0)
+            * self.channels as f64
+    }
+
+    /// Sustained fraction of peak under BL8 bursts separated by `t_CCD`
+    /// (§6.3: data pushed for eight consecutive cycles, then the controller
+    /// waits `t_CCD`).
+    pub fn burst_efficiency(&self) -> f64 {
+        self.burst_length as f64 / (self.burst_length + self.t_ccd) as f64
+    }
+
+    /// Sustained bytes/second with burst gaps accounted.
+    pub fn sustained_bandwidth(&self) -> f64 {
+        self.peak_bandwidth() * self.burst_efficiency()
+    }
+
+    /// Seconds to stream `bytes` through the channels in burst mode.
+    pub fn stream_time(&self, bytes: f64) -> f64 {
+        bytes / self.sustained_bandwidth()
+    }
+
+    /// Peak bit rate (for activity-scaled memory power, §6.5).
+    pub fn peak_bit_rate(&self) -> f64 {
+        self.peak_bandwidth() * 8.0
+    }
+
+    /// Memory power in watts at a given DRAM activity ratio (§6.5:
+    /// "energy/bit and application-dependent activity ratio").
+    pub fn power_at_activity(&self, activity: f64) -> f64 {
+        self.peak_bit_rate() * activity * self.pj_per_bit * 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr3_bandwidth_is_25_6_gbs() {
+        let m = MemorySpec::ddr3();
+        // 800 MHz x 2 beats x 8 B x 2 ch = 25.6 GB/s.
+        assert!((m.peak_bandwidth() - 25.6e9).abs() < 1e6);
+        assert!((m.burst_efficiency() - 8.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hmc_int_is_much_faster_than_ddr3() {
+        let ddr = MemorySpec::ddr3();
+        let hmc = MemorySpec::hmc_int();
+        let ext = MemorySpec::hmc_ext();
+        assert!(hmc.peak_bandwidth() > 4.0 * ddr.peak_bandwidth());
+        assert!(ext.peak_bandwidth() > hmc.peak_bandwidth());
+    }
+
+    #[test]
+    fn izhikevich_activity_reproduces_paper_power() {
+        // §6.5: activity 0.22 on HMC-INT (3.7 pJ/bit) -> ~1.04 W.
+        let hmc = MemorySpec::hmc_int();
+        let p = hmc.power_at_activity(0.22);
+        assert!((p - 1.04).abs() < 0.15, "memory power {p} W");
+    }
+
+    #[test]
+    fn stream_time_scales_with_bytes() {
+        let m = MemorySpec::ddr3();
+        let t1 = m.stream_time(1e6);
+        let t2 = m.stream_time(2e6);
+        assert!((t2 - 2.0 * t1).abs() < 1e-15);
+        assert!(t1 > 0.0);
+    }
+
+    #[test]
+    fn sustained_below_peak() {
+        for m in [MemorySpec::ddr3(), MemorySpec::hmc_ext(), MemorySpec::hmc_int()] {
+            assert!(m.sustained_bandwidth() < m.peak_bandwidth());
+            assert!(m.burst_efficiency() > 0.5);
+        }
+    }
+}

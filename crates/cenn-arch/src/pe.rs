@@ -1,0 +1,179 @@
+//! The processing-engine array and its OS dataflow.
+
+/// Dataflow modes of the OS convolution schedule (Fig. 10).
+///
+/// During a `k×k` convolution the PE array executes `k²` weight cycles;
+/// each cycle moves data between banks/PEs differently depending on the
+/// position within the kernel:
+///
+/// * **Mode 0** — first weight: fresh sub-block loaded from the primary
+///   bank group.
+/// * **Mode 1** — remaining weights of the first kernel row: data shifts
+///   left within the PE array (`x_H`/`u_H` paths), right edge fills from
+///   the support banks.
+/// * **Mode 2** — row change: the backup register restores the pre-shift
+///   data and moves it to the upper PE (`x_V`/`u_V` path).
+/// * **Mode 3** — remaining weights of later rows: horizontal shift again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataflowMode {
+    /// `conv_id == 0`.
+    Mode0,
+    /// `0 < conv_id < k`.
+    Mode1,
+    /// `conv_id ≥ k` and `conv_id % k == 0`.
+    Mode2,
+    /// `conv_id ≥ k` and `conv_id % k != 0`.
+    Mode3,
+}
+
+impl DataflowMode {
+    /// Selects the mode for weight index `conv_id` of a `k×k` kernel —
+    /// the §5.2 selection rules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conv_id ≥ k²`.
+    pub fn for_conv(conv_id: usize, k: usize) -> Self {
+        assert!(conv_id < k * k, "conv_id {conv_id} out of k²={}", k * k);
+        if conv_id == 0 {
+            DataflowMode::Mode0
+        } else if conv_id < k {
+            DataflowMode::Mode1
+        } else if conv_id.is_multiple_of(k) {
+            DataflowMode::Mode2
+        } else {
+            DataflowMode::Mode3
+        }
+    }
+
+    /// Whether this mode reads from the data banks (modes 0 and the edge
+    /// fills) or moves data purely within the PE array — used by the
+    /// energy model to split bank vs. register traffic.
+    pub fn touches_banks(self) -> bool {
+        matches!(self, DataflowMode::Mode0 | DataflowMode::Mode2)
+    }
+}
+
+/// PE array geometry and clocking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeArrayConfig {
+    /// PE rows (paper: 8).
+    pub rows: usize,
+    /// PE columns (paper: 8).
+    pub cols: usize,
+    /// The synthesized reference clock (600 MHz in 15nm for the HMC-INT
+    /// configuration, §6.5). Dynamic power scales linearly from here when
+    /// a faster memory drives the array harder (§6.4: HMC-EXT "naturally
+    /// leads to higher power consumption in … the processing array").
+    pub reference_clock_hz: f64,
+    /// Optional hard clock cap; `None` follows the paper, where the PE
+    /// clock tracks the DRAM I/O clock (HMC-EXT drives the array at
+    /// 2.5 GHz).
+    pub clock_cap_hz: Option<f64>,
+    /// L2 LUTs (one per memory channel of the chip; paper: 16).
+    pub n_l2: usize,
+    /// Extra PE-clock cycles for an L1-miss/L2-hit look-up (§6.2: "with
+    /// one extra cycle").
+    pub l2_hit_penalty: u64,
+}
+
+impl Default for PeArrayConfig {
+    fn default() -> Self {
+        Self {
+            rows: 8,
+            cols: 8,
+            reference_clock_hz: 600e6,
+            clock_cap_hz: None,
+            n_l2: 16,
+            l2_hit_penalty: 1,
+        }
+    }
+}
+
+impl PeArrayConfig {
+    /// Total PEs.
+    pub fn n_pes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// The PE clock for a given DRAM I/O clock: "the clock cycle of PE
+    /// array is 1/4 of DRAM (or L2 LUT) clock as four PEs are connected to
+    /// one L2 LUT" (§6.3). With HMC-EXT's 10 GHz I/O this over-drives the
+    /// array (2.5 GHz), which the energy model charges for.
+    pub fn pe_clock_hz(&self, dram_io_clock_hz: f64) -> f64 {
+        let clk = dram_io_clock_hz / 4.0;
+        match self.clock_cap_hz {
+            Some(cap) => clk.min(cap),
+            None => clk,
+        }
+    }
+
+    /// Cycles for one `k×k` convolution pass over one sub-block of one
+    /// template with no weight updates: `k²` (§5.2: "64 convolutions with
+    /// 3×3 template is completed in 9 clock cycles").
+    pub fn conv_cycles(&self, k: usize) -> u64 {
+        (k * k) as u64
+    }
+
+    /// Sub-blocks a `rows × cols` state map divides into (Fig. 9).
+    pub fn sub_blocks(&self, rows: usize, cols: usize) -> u64 {
+        (rows.div_ceil(self.rows) * cols.div_ceil(self.cols)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_selection_matches_fig10() {
+        // k = 3: ids 0..9 -> [0, 1, 1, 2, 3, 3, 2, 3, 3]
+        let modes: Vec<_> = (0..9).map(|i| DataflowMode::for_conv(i, 3)).collect();
+        use DataflowMode::*;
+        assert_eq!(
+            modes,
+            [Mode0, Mode1, Mode1, Mode2, Mode3, Mode3, Mode2, Mode3, Mode3]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn conv_id_bounds_checked() {
+        let _ = DataflowMode::for_conv(9, 3);
+    }
+
+    #[test]
+    fn bank_touching_modes() {
+        assert!(DataflowMode::Mode0.touches_banks());
+        assert!(DataflowMode::Mode2.touches_banks());
+        assert!(!DataflowMode::Mode1.touches_banks());
+        assert!(!DataflowMode::Mode3.touches_banks());
+    }
+
+    #[test]
+    fn pe_clock_follows_dram() {
+        let pe = PeArrayConfig::default();
+        // DDR3 800 MHz -> 200 MHz PE clock.
+        assert_eq!(pe.pe_clock_hz(800e6), 200e6);
+        // HMC-INT 2.5 GHz -> 625 MHz (the ~600 MHz synthesis point, §6.5).
+        assert_eq!(pe.pe_clock_hz(2.5e9), 625e6);
+        // HMC-EXT 10 GHz over-drives the array to 2.5 GHz (§6.4).
+        assert_eq!(pe.pe_clock_hz(10e9), 2.5e9);
+        // An explicit cap clamps.
+        let capped = PeArrayConfig {
+            clock_cap_hz: Some(600e6),
+            ..PeArrayConfig::default()
+        };
+        assert_eq!(capped.pe_clock_hz(10e9), 600e6);
+    }
+
+    #[test]
+    fn geometry_and_subblocks() {
+        let pe = PeArrayConfig::default();
+        assert_eq!(pe.n_pes(), 64);
+        assert_eq!(pe.conv_cycles(3), 9);
+        assert_eq!(pe.sub_blocks(64, 64), 64);
+        assert_eq!(pe.sub_blocks(60, 60), 64, "partial blocks round up");
+        assert_eq!(pe.sub_blocks(8, 8), 1);
+    }
+}

@@ -1,0 +1,204 @@
+//! The template-buffer sequencing FSM (Fig. 7).
+//!
+//! "Each template weight is prefetched from shared template buffer by
+//! having two counters; one for layer indexing and the other for
+//! convolution indexing. ... The finite state machine is used to address
+//! the template weight for each convolution operation." This module makes
+//! that schedule a first-class object: [`WeightSchedule`] enumerates, in
+//! hardware order, every weight-broadcast cycle of one sub-block pass —
+//! which template word is on the bus, which dataflow mode moves the
+//! operands (Fig. 10), and whether the WUI bit will fire the TUM.
+//!
+//! The trace-driven simulator and the energy model both consume this
+//! schedule, so "what the machine does each cycle" is written exactly
+//! once.
+
+use cenn_core::{CennModel, LayerId, TemplateKind, WeightExpr};
+
+use crate::pe::DataflowMode;
+
+/// One weight-broadcast cycle of the schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightCycle {
+    /// Destination layer (output of this convolution pass).
+    pub dest: LayerId,
+    /// Template family being applied.
+    pub kind: TemplateKind,
+    /// Source layer the operands come from.
+    pub src: LayerId,
+    /// Kernel side of the active template.
+    pub k: usize,
+    /// Convolution index within the kernel (`0 .. k²`), the FSM's second
+    /// counter.
+    pub conv_id: usize,
+    /// Dataflow mode selected for this cycle (Fig. 10 rules).
+    pub mode: DataflowMode,
+    /// The weight expression on the bus (`Const` or `Dyn`).
+    pub weight: WeightExpr,
+}
+
+impl WeightCycle {
+    /// `true` if this cycle triggers real-time weight update (the WUI bit
+    /// of the broadcast word).
+    pub fn wui(&self) -> bool {
+        self.weight.needs_update()
+    }
+}
+
+/// One offset-accumulate cycle (applied after the convolutions of a
+/// destination layer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OffsetCycle {
+    /// Destination layer.
+    pub dest: LayerId,
+    /// The offset expression (`z`, possibly dynamic).
+    pub weight: WeightExpr,
+}
+
+/// A full sub-block pass: every weight and offset cycle in issue order.
+///
+/// # Examples
+///
+/// ```
+/// use cenn_arch::schedule::WeightSchedule;
+/// use cenn_equations::{DynamicalSystem, Heat};
+///
+/// let model = Heat::default().build(16, 16).unwrap().model;
+/// let s = WeightSchedule::of(&model);
+/// assert_eq!(s.cycles_per_block(), 9); // one 3x3 template
+/// assert_eq!(s.wui_cycles(), 0);       // heat is fully linear
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WeightSchedule {
+    /// Convolution cycles in issue order.
+    pub weights: Vec<WeightCycle>,
+    /// Offset cycles in issue order.
+    pub offsets: Vec<OffsetCycle>,
+}
+
+impl WeightSchedule {
+    /// Builds the schedule for one sub-block pass of `model`: for each
+    /// destination layer, each template's `k²` weights in row-major
+    /// `conv_id` order (the paper's §5.2 ordering), then the layer's
+    /// offsets.
+    pub fn of(model: &CennModel) -> Self {
+        let mut weights = Vec::new();
+        let mut offsets = Vec::new();
+        for dest in model.layer_ids() {
+            for kind in [TemplateKind::State, TemplateKind::Output, TemplateKind::Input] {
+                for (src, t) in model.templates(kind, dest) {
+                    let k = t.size();
+                    for (conv_id, (_, _, w)) in t.iter().enumerate() {
+                        weights.push(WeightCycle {
+                            dest,
+                            kind,
+                            src,
+                            k,
+                            conv_id,
+                            mode: DataflowMode::for_conv(conv_id, k),
+                            weight: w.clone(),
+                        });
+                    }
+                }
+            }
+            for w in model.offsets(dest) {
+                offsets.push(OffsetCycle {
+                    dest,
+                    weight: w.clone(),
+                });
+            }
+        }
+        Self { weights, offsets }
+    }
+
+    /// Total issue cycles per sub-block (weights + offsets).
+    pub fn cycles_per_block(&self) -> u64 {
+        (self.weights.len() + self.offsets.len()) as u64
+    }
+
+    /// Cycles whose WUI bit is set.
+    pub fn wui_cycles(&self) -> usize {
+        self.weights.iter().filter(|w| w.wui()).count()
+            + self.offsets.iter().filter(|o| o.weight.needs_update()).count()
+    }
+
+    /// LUT look-ups issued per sub-block pass (factors across all dynamic
+    /// cycles).
+    pub fn lookups_per_block(&self) -> usize {
+        self.weights
+            .iter()
+            .map(|w| w.weight.lookup_count())
+            .chain(self.offsets.iter().map(|o| o.weight.lookup_count()))
+            .sum()
+    }
+
+    /// Cycles that read operands from the data banks rather than shifting
+    /// PE-to-PE (modes 0 and 2) — the bank-energy driver of Fig. 9.
+    pub fn bank_touching_cycles(&self) -> usize {
+        self.weights.iter().filter(|w| w.mode.touches_banks()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cenn_equations::{DynamicalSystem, Heat, HodgkinHuxley, ReactionDiffusion};
+
+    #[test]
+    fn heat_schedule_is_one_template_of_nine() {
+        let model = Heat::default().build(16, 16).unwrap().model;
+        let s = WeightSchedule::of(&model);
+        assert_eq!(s.weights.len(), 9);
+        assert_eq!(s.offsets.len(), 0);
+        assert_eq!(s.cycles_per_block(), 9);
+        assert_eq!(s.wui_cycles(), 0);
+        // conv_id runs 0..9 with the Fig. 10 mode pattern.
+        let modes: Vec<_> = s.weights.iter().map(|w| w.mode).collect();
+        use DataflowMode::*;
+        assert_eq!(
+            modes,
+            [Mode0, Mode1, Mode1, Mode2, Mode3, Mode3, Mode2, Mode3, Mode3]
+        );
+    }
+
+    #[test]
+    fn schedule_counts_match_model_aggregates() {
+        for setup in [
+            ReactionDiffusion::default().build(16, 16).unwrap(),
+            HodgkinHuxley::default().build(16, 16).unwrap(),
+        ] {
+            let s = WeightSchedule::of(&setup.model);
+            assert_eq!(s.lookups_per_block(), setup.model.lookups_per_cell_step());
+            assert_eq!(s.wui_cycles() > 0, setup.model.wui_template_count() > 0);
+        }
+    }
+
+    #[test]
+    fn rd_schedule_interleaves_layers_in_order() {
+        let model = ReactionDiffusion::default().build(16, 16).unwrap().model;
+        let s = WeightSchedule::of(&model);
+        // Destinations are non-decreasing: the FSM finishes one output
+        // layer before moving to the next (§3: "After the convolution for
+        // one output layer is done, the computation moves to next layer").
+        let dests: Vec<_> = s.weights.iter().map(|w| w.dest.index()).collect();
+        assert!(dests.windows(2).all(|p| p[0] <= p[1]), "{dests:?}");
+    }
+
+    #[test]
+    fn bank_touching_fraction_matches_mode_schedule() {
+        let model = Heat::default().build(16, 16).unwrap().model;
+        let s = WeightSchedule::of(&model);
+        // k=3: modes 0 and 2 appear 1 + 2 = 3 times out of 9.
+        assert_eq!(s.bank_touching_cycles(), 3);
+    }
+
+    #[test]
+    fn wui_cycles_flag_the_dynamic_entries() {
+        let model = ReactionDiffusion::default().build(16, 16).unwrap().model;
+        let s = WeightSchedule::of(&model);
+        // RD's only dynamic site is the activator's cubic offset.
+        assert_eq!(s.wui_cycles(), 1);
+        assert!(s.offsets.iter().any(|o| o.weight.needs_update()));
+        assert!(s.weights.iter().all(|w| !w.wui()));
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the architecture models: monotonicity and
+//! ordering invariants that must hold over the whole parameter space.
+
+use cenn_arch::{dataflow::DataflowScheme, CycleModel, EnergyModel, MemorySpec, PeArrayConfig};
+use cenn_equations::{DynamicalSystem, ReactionDiffusion};
+use proptest::prelude::*;
+
+fn rd_model(side: usize) -> cenn_core::CennModel {
+    ReactionDiffusion::default().build(side, side).unwrap().model
+}
+
+fn mr() -> impl Strategy<Value = (f64, f64)> {
+    (0.0f64..=1.0, 0.0f64..=1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn step_time_is_monotone_in_miss_rates((a1, a2) in mr(), (b1, b2) in mr()) {
+        let model = rd_model(32);
+        let cm = CycleModel::new(MemorySpec::ddr3(), PeArrayConfig::default());
+        let lo = (a1.min(b1), a2.min(b2));
+        let hi = (a1.max(b1), a2.max(b2));
+        let t_lo = cm.step_timing(&model, lo).total_s();
+        let t_hi = cm.step_timing(&model, hi).total_s();
+        prop_assert!(t_hi >= t_lo - 1e-15, "{t_lo} vs {t_hi}");
+    }
+
+    #[test]
+    fn stall_fraction_is_a_fraction((m1, m2) in mr()) {
+        let model = rd_model(32);
+        let cm = CycleModel::new(MemorySpec::hmc_int(), PeArrayConfig::default());
+        let t = cm.step_timing(&model, (m1, m2));
+        prop_assert!((0.0..=1.0).contains(&t.stall_fraction()));
+        prop_assert!(t.conv_cycles > 0.0);
+        prop_assert!(t.stall_cycles >= 0.0);
+        prop_assert!(t.dram_bytes > 0.0);
+    }
+
+    #[test]
+    fn memory_ordering_is_invariant_over_miss_rates((m1, m2) in mr()) {
+        let model = rd_model(32);
+        let pe = PeArrayConfig::default();
+        let t = |mem: MemorySpec| {
+            CycleModel::new(mem, pe.clone()).step_timing(&model, (m1, m2)).total_s()
+        };
+        let (ddr, int, ext) = (
+            t(MemorySpec::ddr3()),
+            t(MemorySpec::hmc_int()),
+            t(MemorySpec::hmc_ext()),
+        );
+        prop_assert!(int <= ddr, "HMC-INT never slower than DDR3");
+        prop_assert!(ext <= int * 1.0001, "HMC-EXT never slower than HMC-INT");
+    }
+
+    #[test]
+    fn estimate_quantities_are_physical((m1, m2) in mr()) {
+        let model = rd_model(32);
+        let est = CycleModel::new(MemorySpec::hmc_int(), PeArrayConfig::default())
+            .estimate(&model, (m1, m2));
+        prop_assert!(est.time_per_step_s() > 0.0);
+        prop_assert!(est.achieved_gops() > 0.0);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&est.dram_activity().min(1.0)));
+        let on_chip = EnergyModel::default().on_chip_power_w();
+        prop_assert!(est.system_power_w() >= on_chip * 0.99);
+        prop_assert!(est.energy_per_step_j() > 0.0);
+    }
+
+    #[test]
+    fn os_dataflow_never_loses((m1, m2) in mr(), cells in 1u64..1_000_000, wui in 0u64..8) {
+        let os = DataflowScheme::OutputStationary.dram_accesses(m1, m2, cells, wui, 64);
+        for s in [
+            DataflowScheme::NoLocalReuse,
+            DataflowScheme::WeightStationary,
+            DataflowScheme::RowStationary,
+        ] {
+            prop_assert!(os <= s.dram_accesses(m1, m2, cells, wui, 64) + 1e-12);
+        }
+        // And the advantage is exactly #PEs when anything misses at all.
+        let rs = DataflowScheme::RowStationary.dram_accesses(m1, m2, cells, wui, 64);
+        if rs > 0.0 {
+            prop_assert!((rs / os - 64.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bigger_grids_never_run_faster(side_a in 3u32..7, side_b in 3u32..7, (m1, m2) in mr()) {
+        let (small, large) = (1usize << side_a.min(side_b), 1usize << side_a.max(side_b));
+        let cm = CycleModel::new(MemorySpec::ddr3(), PeArrayConfig::default());
+        let t_small = cm.step_timing(&rd_model(small), (m1, m2)).total_s();
+        let t_large = cm.step_timing(&rd_model(large), (m1, m2)).total_s();
+        prop_assert!(t_large >= t_small - 1e-15);
+    }
+
+    #[test]
+    fn burst_efficiency_bounds_bandwidth(ch in 1usize..32, tccd in 0usize..16) {
+        let mem = MemorySpec {
+            channels: ch,
+            t_ccd: tccd,
+            ..MemorySpec::ddr3()
+        };
+        prop_assert!(mem.sustained_bandwidth() <= mem.peak_bandwidth());
+        prop_assert!(mem.sustained_bandwidth() > 0.0);
+        prop_assert!(mem.power_at_activity(0.5) > 0.0);
+        prop_assert!(mem.power_at_activity(0.0) == 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! The Fig. 11 accuracy methodology: fixed-point solver vs. floating-point
+//! reference, with the error split into its fixed-point and LUT parts.
+
+use cenn_core::{FuncEval, Grid};
+use cenn_equations::{FixedRunner, SystemSetup};
+
+use crate::float_sim::{FloatRunner, Precision};
+
+/// Per-observed-layer error statistics of one benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerError {
+    /// Observed layer name.
+    pub layer: &'static str,
+    /// Mean absolute error, CeNN fixed-point (LUT) vs GPU f32 — the
+    /// headline number of Fig. 11.
+    pub total_mean: f64,
+    /// Standard deviation of the absolute error.
+    pub total_std: f64,
+    /// Fixed-point component: |fixed(exact funcs) − f64 reference|.
+    pub fixed_point_mean: f64,
+    /// LUT component: |fixed(LUT) − fixed(exact funcs)|.
+    pub lut_mean: f64,
+}
+
+/// Full comparison result for one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyReport {
+    /// Steps executed.
+    pub steps: u64,
+    /// Per-layer error statistics.
+    pub layers: Vec<LayerError>,
+}
+
+impl AccuracyReport {
+    /// Mean of `total_mean` across observed layers.
+    pub fn mean_abs_error(&self) -> f64 {
+        self.layers.iter().map(|l| l.total_mean).sum::<f64>() / self.layers.len() as f64
+    }
+}
+
+/// Runs the four solvers the §6.1 breakdown needs and reports errors:
+///
+/// 1. `fixed/LUT` — the hardware path (both error sources);
+/// 2. `fixed/exact` — fixed point with exact function evaluation;
+/// 3. `float/f32` — the paper's GPU comparator;
+/// 4. `float/f64` — ground truth.
+///
+/// `|fixed_point_error| = |2 − 4|`, `|LUT_error| = |1 − 2|`, and the
+/// headline Fig. 11 number is `|1 − 3|`.
+///
+/// # Errors
+///
+/// Propagates [`cenn_core::ModelError`] from solver construction.
+pub fn compare(setup: &SystemSetup, steps: u64) -> Result<AccuracyReport, cenn_core::ModelError> {
+    let mut hw = FixedRunner::new(setup.clone())?;
+    let mut fx = FixedRunner::with_eval(setup.clone(), FuncEval::Exact)?;
+    let mut f32r = FloatRunner::new(setup.clone(), Precision::F32)?;
+    let mut f64r = FloatRunner::new(setup.clone(), Precision::F64)?;
+    hw.run(steps);
+    fx.run(steps);
+    f32r.run(steps);
+    f64r.run(steps);
+
+    let layers = setup
+        .observed
+        .iter()
+        .enumerate()
+        .map(|(i, (_, name))| {
+            let hw_s: Grid<f64> = hw.observed_states()[i].1.clone();
+            let fx_s = fx.observed_states()[i].1.clone();
+            let g32 = f32r.observed_states()[i].1.clone();
+            let g64 = f64r.observed_states()[i].1.clone();
+            let (total_mean, total_std) = hw_s.abs_error_stats(&g32);
+            let (fixed_point_mean, _) = fx_s.abs_error_stats(&g64);
+            let (lut_mean, _) = hw_s.abs_error_stats(&fx_s);
+            LayerError {
+                layer: name,
+                total_mean,
+                total_std,
+                fixed_point_mean,
+                lut_mean,
+            }
+        })
+        .collect();
+    Ok(AccuracyReport { steps, layers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cenn_equations::{DynamicalSystem, Fisher, Heat};
+
+    #[test]
+    fn heat_errors_are_pure_fixed_point() {
+        let setup = Heat::default().build(16, 16).unwrap();
+        let r = compare(&setup, 50).unwrap();
+        assert_eq!(r.layers.len(), 1);
+        let l = &r.layers[0];
+        assert_eq!(l.layer, "phi");
+        // Linear system: no LUT error at all.
+        assert_eq!(l.lut_mean, 0.0);
+        // Fixed-point error is tiny but non-zero.
+        assert!(l.fixed_point_mean > 0.0);
+        assert!(l.fixed_point_mean < 1e-3, "{}", l.fixed_point_mean);
+        assert!(l.total_mean < 1e-3);
+        assert!(r.mean_abs_error() < 1e-3);
+    }
+
+    #[test]
+    fn fisher_lut_error_is_negligible_for_quadratic() {
+        // square is degree-2: the degree-3 LUT represents it exactly, so
+        // the LUT error reduces to coefficient quantization (§6.1's
+        // "negligible for low-order polynomial interactions").
+        let setup = Fisher::default().build(8, 16).unwrap();
+        let r = compare(&setup, 80).unwrap();
+        let l = &r.layers[0];
+        assert!(l.lut_mean < 5.0 * l.fixed_point_mean + 1e-4,
+            "lut {} vs fixed {}", l.lut_mean, l.fixed_point_mean);
+    }
+}

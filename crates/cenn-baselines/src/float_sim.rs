@@ -1,0 +1,448 @@
+//! Floating-point evaluation of a CeNN model (the "GPU" reference).
+
+use cenn_core::{
+    Boundary, CennModel, Grid, LayerId, LayerKind, ModelError, TemplateKind, WeightExpr,
+};
+use cenn_equations::SystemSetup;
+
+/// Arithmetic precision of the reference solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// IEEE double — the ground-truth trajectory.
+    #[default]
+    F64,
+    /// IEEE single, with the state rounded to `f32` after every update —
+    /// the paper's "GPU (32bit floating-point)" comparator.
+    F32,
+}
+
+/// One compiled tap: `(kind, src, boundary, dr, dc, weight)`.
+#[derive(Debug, Clone)]
+struct Tap {
+    kind: TemplateKind,
+    src: usize,
+    dr: i32,
+    dc: i32,
+    weight: WeightExpr,
+}
+
+#[derive(Debug, Clone)]
+struct PlanLayer {
+    kind: LayerKind,
+    boundary_of: Vec<Boundary>,
+    taps: Vec<Tap>,
+    offsets: Vec<WeightExpr>,
+}
+
+/// Floating-point simulator over the same model/templates/functions as the
+/// fixed-point [`cenn_core::CennSim`], with **exact** nonlinear function
+/// evaluation (no LUT) — the numerical reference role of the paper's GPU
+/// runs.
+///
+/// Dynamic template weights use the *unquantized* `f64` scale values would
+/// be ideal, but the model stores Q16.16-quantized constants; both solvers
+/// therefore share identical template words, which is exactly the paper's
+/// setting (the GPU solves the same discretized system).
+#[derive(Debug, Clone)]
+pub struct FloatSim {
+    model: CennModel,
+    plan: Vec<PlanLayer>,
+    states: Vec<Grid<f64>>,
+    scratch: Vec<Grid<f64>>,
+    inputs: Vec<Grid<f64>>,
+    precision: Precision,
+    time: f64,
+    steps: u64,
+}
+
+impl FloatSim {
+    /// Creates a floating-point simulator for `model`.
+    pub fn new(model: CennModel, precision: Precision) -> Self {
+        let plan = compile(&model);
+        let blank = Grid::new(model.rows(), model.cols(), 0.0);
+        let n = model.n_layers();
+        Self {
+            plan,
+            states: vec![blank.clone(); n],
+            scratch: vec![blank.clone(); n],
+            inputs: vec![blank; n],
+            precision,
+            time: 0.0,
+            steps: 0,
+            model,
+        }
+    }
+
+    /// The model.
+    pub fn model(&self) -> &CennModel {
+        &self.model
+    }
+
+    /// Simulated time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Steps executed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// A layer's state.
+    pub fn state(&self, layer: LayerId) -> &Grid<f64> {
+        &self.states[layer.index()]
+    }
+
+    /// Mutable access to a layer's state (post-step rules).
+    pub fn state_mut(&mut self, layer: LayerId) -> &mut Grid<f64> {
+        &mut self.states[layer.index()]
+    }
+
+    /// Sets a layer's state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ShapeMismatch`] on shape mismatch.
+    pub fn set_state(&mut self, layer: LayerId, grid: Grid<f64>) -> Result<(), ModelError> {
+        self.check_shape(&grid)?;
+        self.states[layer.index()] = self.quantize(grid);
+        Ok(())
+    }
+
+    /// Sets a layer's external input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ShapeMismatch`] on shape mismatch.
+    pub fn set_input(&mut self, layer: LayerId, grid: Grid<f64>) -> Result<(), ModelError> {
+        self.check_shape(&grid)?;
+        self.inputs[layer.index()] = self.quantize(grid);
+        Ok(())
+    }
+
+    fn check_shape(&self, g: &Grid<f64>) -> Result<(), ModelError> {
+        if g.rows() != self.model.rows() || g.cols() != self.model.cols() {
+            return Err(ModelError::ShapeMismatch {
+                expected: (self.model.rows(), self.model.cols()),
+                got: (g.rows(), g.cols()),
+            });
+        }
+        Ok(())
+    }
+
+    fn quantize(&self, mut g: Grid<f64>) -> Grid<f64> {
+        if self.precision == Precision::F32 {
+            g.map_inplace(|v| v as f32 as f64);
+        }
+        g
+    }
+
+    /// Advances one step (Euler or Heun, matching the model's
+    /// [`cenn_core::Integrator`]).
+    pub fn step(&mut self) {
+        // The step uses the *quantized* dt: the hardware multiplies by the
+        // Q16.16 word, so the discrete map being solved is defined by that
+        // value — the reference must integrate the same map or a
+        // systematic phase error masquerades as arithmetic error.
+        let dt = self.model.dt_fx().to_f64();
+        match self.model.integrator() {
+            cenn_core::Integrator::Euler => {
+                self.algebraic_pass();
+                let k1 = self.dyn_rhs();
+                self.apply_update(&k1, dt, None);
+            }
+            cenn_core::Integrator::Heun => {
+                self.algebraic_pass();
+                let k1 = self.dyn_rhs();
+                let saved = self.states.clone();
+                self.apply_update(&k1, dt, None);
+                self.algebraic_pass();
+                let k2 = self.dyn_rhs();
+                self.states = saved;
+                // x <- x0 + dt/2 (k1 + k2)
+                let half = dt / 2.0;
+                let n = self.plan.len();
+                for i in 0..n {
+                    if self.plan[i].kind != LayerKind::Dynamic {
+                        continue;
+                    }
+                    let (rows, cols) = (self.model.rows(), self.model.cols());
+                    for r in 0..rows {
+                        for c in 0..cols {
+                            let x = self.states[i].get(r, c);
+                            let v = self
+                                .round(x + half * (k1[i].get(r, c) + k2[i].get(r, c)));
+                            self.states[i].set(r, c, v);
+                        }
+                    }
+                }
+            }
+        }
+        self.steps += 1;
+        // Bookkeeping time uses the nominal dt (matches CennSim's clock).
+        self.time += self.model.dt();
+    }
+
+    fn algebraic_pass(&mut self) {
+        let (rows, cols) = (self.model.rows(), self.model.cols());
+        for i in 0..self.plan.len() {
+            if self.plan[i].kind != LayerKind::Algebraic {
+                continue;
+            }
+            for r in 0..rows {
+                for c in 0..cols {
+                    let v = self.round(self.eval_cell(i, r, c, false));
+                    self.scratch[i].set(r, c, v);
+                }
+            }
+            std::mem::swap(&mut self.states[i], &mut self.scratch[i]);
+        }
+    }
+
+    /// Evaluates the RHS of every dynamic layer against current states.
+    fn dyn_rhs(&self) -> Vec<Grid<f64>> {
+        let (rows, cols) = (self.model.rows(), self.model.cols());
+        self.plan
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                if p.kind == LayerKind::Dynamic {
+                    Grid::from_fn(rows, cols, |r, c| self.eval_cell(i, r, c, true))
+                } else {
+                    Grid::new(rows, cols, 0.0)
+                }
+            })
+            .collect()
+    }
+
+    /// Applies `x <- x + dt·k` to dynamic layers.
+    #[allow(clippy::needless_range_loop)] // parallel indexing of plan/states/k
+    fn apply_update(&mut self, k: &[Grid<f64>], dt: f64, only: Option<usize>) {
+        let (rows, cols) = (self.model.rows(), self.model.cols());
+        for i in 0..self.plan.len() {
+            if self.plan[i].kind != LayerKind::Dynamic || only.is_some_and(|o| o != i) {
+                continue;
+            }
+            for r in 0..rows {
+                for c in 0..cols {
+                    let x = self.states[i].get(r, c);
+                    let v = self.round(x + dt * k[i].get(r, c));
+                    self.states[i].set(r, c, v);
+                }
+            }
+        }
+    }
+
+    /// Runs `n` steps.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    #[inline]
+    fn round(&self, v: f64) -> f64 {
+        match self.precision {
+            Precision::F64 => v,
+            Precision::F32 => v as f32 as f64,
+        }
+    }
+
+    fn eval_cell(&self, layer: usize, r: usize, c: usize, leak: bool) -> f64 {
+        let plan = &self.plan[layer];
+        let (rows, cols) = (self.model.rows(), self.model.cols());
+        let mut acc = if leak { -self.states[layer].get(r, c) } else { 0.0 };
+        for tap in &plan.taps {
+            let boundary = plan.boundary_of[tap.src];
+            let operand = match boundary.resolve(rows, cols, r, c, tap.dr, tap.dc) {
+                Some((nr, nc)) => {
+                    let raw = match tap.kind {
+                        TemplateKind::Input => self.inputs[tap.src].get(nr, nc),
+                        _ => self.states[tap.src].get(nr, nc),
+                    };
+                    match tap.kind {
+                        TemplateKind::Output => raw.clamp(-1.0, 1.0),
+                        _ => raw,
+                    }
+                }
+                None => {
+                    let v = boundary.constant();
+                    match tap.kind {
+                        TemplateKind::Output => v.clamp(-1.0, 1.0),
+                        _ => v,
+                    }
+                }
+            };
+            acc += self.eval_weight(&tap.weight, r, c) * operand;
+        }
+        for w in &plan.offsets {
+            acc += self.eval_weight(w, r, c);
+        }
+        self.round(acc)
+    }
+
+    fn eval_weight(&self, w: &WeightExpr, r: usize, c: usize) -> f64 {
+        match w {
+            WeightExpr::Const(v) => v.to_f64(),
+            WeightExpr::Dyn { scale, factors } => {
+                let mut acc = scale.to_f64();
+                for f in factors {
+                    let x = self.states[f.layer.index()].get(r, c);
+                    acc = self.round(acc * self.model.library().get(f.func).value(x));
+                }
+                acc
+            }
+        }
+    }
+}
+
+fn compile(model: &CennModel) -> Vec<PlanLayer> {
+    let boundary_of: Vec<Boundary> = model
+        .layer_ids()
+        .map(|id| model.layer(id).boundary())
+        .collect();
+    model
+        .layer_ids()
+        .map(|dest| {
+            let mut taps = Vec::new();
+            for kind in [TemplateKind::State, TemplateKind::Output, TemplateKind::Input] {
+                for (src, t) in model.templates(kind, dest) {
+                    for (dr, dc, w) in t.iter() {
+                        if !w.is_zero() {
+                            taps.push(Tap {
+                                kind,
+                                src: src.index(),
+                                dr,
+                                dc,
+                                weight: w.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+            PlanLayer {
+                kind: model.layer(dest).kind(),
+                boundary_of: boundary_of.clone(),
+                taps,
+                offsets: model.offsets(dest).cloned().collect(),
+            }
+        })
+        .collect()
+}
+
+/// Drives a [`cenn_equations::SystemSetup`] on the floating-point
+/// simulator, applying initial conditions, inputs, and the post-step rule —
+/// the counterpart of [`cenn_equations::FixedRunner`].
+#[derive(Debug, Clone)]
+pub struct FloatRunner {
+    sim: FloatSim,
+    setup: SystemSetup,
+}
+
+impl FloatRunner {
+    /// Creates a runner at the given precision.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from loading the setup's grids.
+    pub fn new(setup: SystemSetup, precision: Precision) -> Result<Self, ModelError> {
+        let mut sim = FloatSim::new(setup.model.clone(), precision);
+        for (layer, grid) in &setup.initial {
+            sim.set_state(*layer, grid.clone())?;
+        }
+        for (layer, grid) in &setup.inputs {
+            sim.set_input(*layer, grid.clone())?;
+        }
+        Ok(Self { sim, setup })
+    }
+
+    /// The underlying simulator.
+    pub fn sim(&self) -> &FloatSim {
+        &self.sim
+    }
+
+    /// Advances one step (plus post-step rule); returns fired cells.
+    pub fn step(&mut self) -> usize {
+        self.sim.step();
+        match self.setup.post_step {
+            None => 0,
+            Some(rule) => rule.apply_f64(&mut self.sim.states),
+        }
+    }
+
+    /// Runs `n` steps; returns total fired cells.
+    pub fn run(&mut self, n: u64) -> usize {
+        (0..n).map(|_| self.step()).sum()
+    }
+
+    /// Observed layer states with display names.
+    pub fn observed_states(&self) -> Vec<(&'static str, Grid<f64>)> {
+        self.setup
+            .observed
+            .iter()
+            .map(|(id, name)| (*name, self.sim.state(*id).clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cenn_equations::{DynamicalSystem, FixedRunner, Heat, Izhikevich};
+
+    #[test]
+    fn float_heat_matches_fixed_heat_closely() {
+        let setup = Heat::default().build(9, 9).unwrap();
+        let mut float = FloatRunner::new(setup.clone(), Precision::F64).unwrap();
+        let mut fixed = FixedRunner::new(setup).unwrap();
+        float.run(50);
+        fixed.run(50);
+        let a = &float.observed_states()[0].1;
+        let b = &fixed.observed_states()[0].1;
+        let (mean, _) = a.abs_error_stats(b);
+        assert!(mean < 1e-3, "fixed-vs-float heat error {mean}");
+    }
+
+    #[test]
+    fn f32_precision_differs_from_f64() {
+        let setup = Heat::default().build(9, 9).unwrap();
+        let mut a = FloatRunner::new(setup.clone(), Precision::F64).unwrap();
+        let mut b = FloatRunner::new(setup, Precision::F32).unwrap();
+        a.run(200);
+        b.run(200);
+        let (mean, _) = a.observed_states()[0]
+            .1
+            .abs_error_stats(&b.observed_states()[0].1);
+        assert!(mean > 0.0, "f32 rounding must be visible");
+        assert!(mean < 1e-4, "but tiny: {mean}");
+    }
+
+    #[test]
+    fn float_runner_applies_spike_reset() {
+        let setup = Izhikevich::default().build(2, 2).unwrap();
+        let mut runner = FloatRunner::new(setup, Precision::F64).unwrap();
+        let fired = runner.run(1200);
+        assert!(fired > 0, "float izhikevich fired {fired}");
+        for &v in runner.observed_states()[0].1.iter() {
+            assert!(v < 30.0, "reset applied");
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let setup = Heat::default().build(8, 8).unwrap();
+        let mut sim = FloatSim::new(setup.model.clone(), Precision::F64);
+        assert!(sim
+            .set_state(setup.initial[0].0, Grid::new(4, 4, 0.0))
+            .is_err());
+    }
+
+    #[test]
+    fn time_and_steps_advance() {
+        let setup = Heat::default().build(4, 4).unwrap();
+        let mut sim = FloatSim::new(setup.model, Precision::F64);
+        sim.run(10);
+        assert_eq!(sim.steps(), 10);
+        assert!((sim.time() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the baseline models: roofline monotonicity
+//! and reference-solver invariants.
+
+use cenn_baselines::{gtx850_gpu, mobile_cpu, FloatRunner, Precision, StencilWorkload};
+use cenn_equations::{DynamicalSystem, Heat};
+use proptest::prelude::*;
+
+fn arb_workload() -> impl Strategy<Value = StencilWorkload> {
+    (
+        64usize..1_000_000,
+        1.0f64..500.0,
+        0.0f64..50.0,
+        1.0f64..100.0,
+        1.0f64..100.0,
+        1usize..32,
+    )
+        .prop_map(|(cells, flops, evals, bytes, xfer, kernels)| StencilWorkload {
+            cells,
+            flops_per_cell: flops,
+            func_evals_per_cell: evals,
+            bytes_per_cell: bytes,
+            transfer_bytes_per_cell: xfer,
+            kernel_launches: kernels,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn time_is_positive_and_monotone_in_cells(w in arb_workload()) {
+        for dev in [gtx850_gpu(), mobile_cpu()] {
+            let t = dev.time_per_step(&w);
+            prop_assert!(t > 0.0);
+            let bigger = StencilWorkload { cells: w.cells * 2, ..w };
+            prop_assert!(dev.time_per_step(&bigger) >= t);
+        }
+    }
+
+    #[test]
+    fn launch_overhead_is_a_hard_floor(w in arb_workload()) {
+        let gpu = gtx850_gpu();
+        let floor = w.kernel_launches as f64 * gpu.launch_us * 1e-6;
+        prop_assert!(gpu.time_per_step(&w) >= floor);
+    }
+
+    #[test]
+    fn more_transcendentals_never_speed_the_cpu_up(w in arb_workload()) {
+        let cpu = mobile_cpu();
+        let heavier = StencilWorkload {
+            func_evals_per_cell: w.func_evals_per_cell + 5.0,
+            ..w
+        };
+        prop_assert!(cpu.time_per_step(&heavier) >= cpu.time_per_step(&w));
+    }
+
+    #[test]
+    fn energy_equals_time_times_power(w in arb_workload(), steps in 1u64..1000) {
+        for dev in [gtx850_gpu(), mobile_cpu()] {
+            let e = dev.energy(&w, steps);
+            let t = dev.total_time(&w, steps);
+            prop_assert!((e - t * dev.power_w).abs() <= 1e-9 * e.max(1.0));
+        }
+    }
+
+    #[test]
+    fn float_reference_is_deterministic(steps in 1u64..30) {
+        let setup = Heat::default().build(8, 8).unwrap();
+        let run = || {
+            let mut r = FloatRunner::new(setup.clone(), Precision::F32).unwrap();
+            r.run(steps);
+            r.observed_states()[0].1.clone()
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn f32_rounding_error_bounded_by_precision_gap(steps in 1u64..40) {
+        let setup = Heat::default().build(8, 8).unwrap();
+        let mut a = FloatRunner::new(setup.clone(), Precision::F64).unwrap();
+        let mut b = FloatRunner::new(setup, Precision::F32).unwrap();
+        a.run(steps);
+        b.run(steps);
+        let (mean, _) = a.observed_states()[0].1.abs_error_stats(&b.observed_states()[0].1);
+        // f32 has ~1e-7 relative error; a diffusive (contractive) map with
+        // O(10) values cannot amplify it past ~1e-4 in 40 steps.
+        prop_assert!(mean < 1e-4, "f32 drift {mean}");
+    }
+}

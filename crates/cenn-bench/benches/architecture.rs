@@ -1,0 +1,50 @@
+//! Criterion benchmarks for the architecture models themselves: how fast
+//! the cycle estimate, the trace-driven walk, and the bank-traffic model
+//! run (they sit inside design-space-exploration loops, so their own cost
+//! matters).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cenn::arch::{
+    BankTrafficModel, CycleModel, MemorySpec, PeArrayConfig, TraceDrivenSim,
+};
+use cenn::arch::schedule::WeightSchedule;
+use cenn::core::CennSim;
+use cenn::equations::{DynamicalSystem, HodgkinHuxley, ReactionDiffusion};
+
+fn bench_cycle_model(c: &mut Criterion) {
+    let model = ReactionDiffusion::default().build(128, 128).unwrap().model;
+    let cm = CycleModel::new(MemorySpec::hmc_int(), PeArrayConfig::default());
+    c.bench_function("arch/cycle_estimate_rd_128", |b| {
+        b.iter(|| black_box(cm.estimate(&model, (0.3, 0.2))))
+    });
+}
+
+fn bench_trace_sim(c: &mut Criterion) {
+    let setup = HodgkinHuxley::default().build(32, 32).unwrap();
+    let sim = CennSim::new(setup.model.clone()).unwrap();
+    let mut trace = TraceDrivenSim::new(&setup.model, MemorySpec::hmc_int(), PeArrayConfig::default());
+    // Warm the LUT tags once.
+    trace.simulate_step(&setup.model, sim.states());
+    c.bench_function("arch/trace_step_hh_32", |b| {
+        b.iter(|| black_box(trace.simulate_step(&setup.model, sim.states())))
+    });
+}
+
+fn bench_schedule_and_banks(c: &mut Criterion) {
+    let model = HodgkinHuxley::default().build(64, 64).unwrap().model;
+    c.bench_function("arch/weight_schedule_hh", |b| {
+        b.iter(|| black_box(WeightSchedule::of(&model)))
+    });
+    let banks = BankTrafficModel::new(PeArrayConfig::default());
+    c.bench_function("arch/bank_traffic_hh", |b| {
+        b.iter(|| black_box(banks.step_traffic(&model, true)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cycle_model, bench_trace_sim, bench_schedule_and_banks
+}
+criterion_main!(benches);

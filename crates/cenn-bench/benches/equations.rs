@@ -1,0 +1,37 @@
+//! Criterion benchmarks: full functional-simulator step throughput per
+//! benchmark equation (the software cost of one solver time step at
+//! 64x64), plus the floating-point reference for comparison.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cenn::baselines::{FloatRunner, Precision};
+use cenn::equations::{all_benchmarks, FixedRunner};
+
+fn bench_fixed_steps(c: &mut Criterion) {
+    for sys in all_benchmarks() {
+        let setup = sys.build(64, 64).unwrap();
+        let mut runner = FixedRunner::new(setup).unwrap();
+        runner.run(3); // settle caches
+        c.bench_function(&format!("fixed_step/{}", sys.name()), |b| {
+            b.iter(|| black_box(runner.step()))
+        });
+    }
+}
+
+fn bench_float_steps(c: &mut Criterion) {
+    for sys in all_benchmarks() {
+        let setup = sys.build(64, 64).unwrap();
+        let mut runner = FloatRunner::new(setup, Precision::F64).unwrap();
+        runner.run(3);
+        c.bench_function(&format!("float_step/{}", sys.name()), |b| {
+            b.iter(|| black_box(runner.step()))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fixed_steps, bench_float_steps
+}
+criterion_main!(benches);

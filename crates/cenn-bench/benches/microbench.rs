@@ -1,0 +1,71 @@
+//! Criterion microbenchmarks: the primitive operations of the solver
+//! datapath (fixed-point MACs, LUT hierarchy look-ups, TUM evaluation,
+//! bitstream compilation).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cenn::equations::{DynamicalSystem, Heat, ReactionDiffusion};
+use cenn::fx::{MacAcc, Q16_16};
+use cenn::lut::{funcs, FuncLibrary, LutHierarchy, LutSpec, LutEntry, Tum};
+use cenn::program::Program;
+
+fn bench_fixed_point(c: &mut Criterion) {
+    let a = Q16_16::from_f64(1.2345);
+    let b = Q16_16::from_f64(-0.9876);
+    c.bench_function("fx/saturating_mul", |bch| {
+        bch.iter(|| black_box(black_box(a) * black_box(b)))
+    });
+    c.bench_function("fx/mac_3x3_kernel", |bch| {
+        bch.iter(|| {
+            let mut acc = MacAcc::<16>::new();
+            for _ in 0..9 {
+                acc.mac(black_box(a), black_box(b));
+            }
+            black_box(acc.resolve())
+        })
+    });
+}
+
+fn bench_lut(c: &mut Criterion) {
+    let mut lib = FuncLibrary::new();
+    let f = lib.register(funcs::tanh());
+    let mut hier = LutHierarchy::build(&lib, LutSpec::unit_spacing(-16, 16), 4, 32, 64).unwrap();
+    // Warm the hierarchy with a realistic spread of states.
+    for i in 0..64 {
+        hier.lookup(i % 64, f, Q16_16::from_f64((i as f64 - 32.0) * 0.3));
+    }
+    let mut i = 0usize;
+    c.bench_function("lut/hierarchy_lookup", |bch| {
+        bch.iter(|| {
+            i = (i + 1) % 64;
+            let x = Q16_16::from_f64((i as f64 - 32.0) * 0.3);
+            black_box(hier.lookup(i, f, black_box(x)))
+        })
+    });
+
+    let mut tum = Tum::new();
+    let entry = LutEntry::quantize(0.5, 0.7, -0.2, 0.05);
+    c.bench_function("lut/tum_horner_eval", |bch| {
+        bch.iter(|| black_box(tum.eval(black_box(entry), Q16_16::from_f64(2.625), 0)))
+    });
+}
+
+fn bench_program(c: &mut Criterion) {
+    let heat = Heat::default().build(64, 64).unwrap();
+    let rd = ReactionDiffusion::default().build(64, 64).unwrap();
+    c.bench_function("program/compile_heat", |bch| {
+        bch.iter(|| black_box(Program::from_model(&heat.model).unwrap()))
+    });
+    let prog = Program::from_model(&rd.model).unwrap();
+    let bytes = prog.encode();
+    c.bench_function("program/decode_rd", |bch| {
+        bch.iter(|| black_box(Program::decode(&bytes).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fixed_point, bench_lut, bench_program
+}
+criterion_main!(benches);

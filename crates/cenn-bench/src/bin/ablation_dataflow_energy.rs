@@ -1,0 +1,40 @@
+//! Ablation C — data-delivery energy under the OS dataflow vs a
+//! no-local-reuse schedule: the bank-vs-register traffic split of Fig. 9/10
+//! ("to utilize intra-PE data transfer to reduce data delivery energy from
+//! banks to local registers", §5.2).
+
+use cenn::arch::{BankEnergy, BankTrafficModel, PeArrayConfig};
+use cenn::equations::all_benchmarks;
+use cenn_bench::rule;
+
+fn main() {
+    println!("Ablation C — global-buffer traffic: OS dataflow vs no-local-reuse\n");
+    println!(
+        "{:<20} {:>11} {:>11} {:>9} {:>11} {:>11} {:>8}",
+        "benchmark", "OS bank rd", "OS reg mv", "reuse %", "OS nJ/step", "NLR nJ/step", "saving"
+    );
+    rule(88);
+    let model = BankTrafficModel::new(PeArrayConfig::default());
+    let energy = BankEnergy::default();
+    for sys in all_benchmarks() {
+        let setup = sys.build(64, 64).unwrap();
+        let os = model.step_traffic(&setup.model, true);
+        let nlr = model.step_traffic(&setup.model, false);
+        let e_os = energy.energy_j(&os) * 1e9;
+        let e_nlr = energy.energy_j(&nlr) * 1e9;
+        println!(
+            "{:<20} {:>11} {:>11} {:>8.1}% {:>11.1} {:>11.1} {:>7.2}x",
+            sys.name(),
+            os.primary_reads + os.support_reads,
+            os.reg_moves,
+            os.reuse_fraction() * 100.0,
+            e_os,
+            e_nlr,
+            e_nlr / e_os
+        );
+    }
+    rule(88);
+    println!("\nOS serves >3/4 of convolution operands from PE-to-PE register moves");
+    println!("(the x_H/x_V shift paths of Fig. 7), cutting bank energy several-fold —");
+    println!("on top of the #PEs x DRAM saving for weight updates (fig8_dataflow).");
+}

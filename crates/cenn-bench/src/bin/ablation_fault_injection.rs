@@ -1,0 +1,94 @@
+//! Ablation F — soft-error resilience of the LUT path: single-bit faults
+//! injected into off-chip LUT entries, and how far the trajectory drifts.
+//!
+//! The memory-centric design stores its "program" (templates + LUT
+//! images) in DRAM, so retention/transfer bit flips land directly in the
+//! nonlinear weight path. Two properties contain the damage: the
+//! saturating fixed-point datapath (no wrap-around explosions) and the
+//! contractive dynamics of dissipative benchmarks (perturbations decay).
+//! This harness quantifies both on reaction–diffusion.
+
+use cenn::equations::{DynamicalSystem, FixedRunner, ReactionDiffusion, SystemSetup};
+use cenn::lut::{FuncId, SampleIdx};
+use cenn_bench::rule;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn run_with_faults(setup: &SystemSetup, faults: &[(i32, usize, u32)], steps: u64) -> Vec<f64> {
+    let mut runner = FixedRunner::new(setup.clone()).expect("runner");
+    for &(idx, word, bit) in faults {
+        runner_sim_inject(&mut runner, idx, word, bit);
+    }
+    runner.run(steps);
+    runner.observed_states()[0].1.as_slice().to_vec()
+}
+
+fn runner_sim_inject(runner: &mut FixedRunner, idx: i32, word: usize, bit: u32) {
+    // RD registers exactly one function: the activator cube.
+    let sim = runner_sim_mut(runner);
+    sim.inject_lut_fault(FuncId(0), SampleIdx(idx), word, bit);
+}
+
+// FixedRunner exposes the simulator read-only; faults go through a small
+// local shim using the setup to rebuild — simplest is a mutable accessor.
+fn runner_sim_mut(runner: &mut FixedRunner) -> &mut cenn::core::CennSim {
+    runner.sim_mut()
+}
+
+fn main() {
+    println!("Ablation F — single-bit soft errors in the off-chip LUT (RD, 32x32, 200 steps)\n");
+    let setup = ReactionDiffusion::default().build(32, 32).unwrap();
+    let clean = run_with_faults(&setup, &[], 200);
+
+    println!(
+        "{:>8} {:>12} {:>14} {:>14} {:>12}",
+        "faults", "bit range", "mean |err|", "max |err|", "bounded?"
+    );
+    rule(66);
+    let spec_min = -64; // cube LUT covers [-4,4] at 2^-4: indices -64..64
+    let spec_max = 64;
+    for &(n_faults, high_bits) in &[(1usize, false), (4, false), (16, false), (1, true), (4, true), (16, true)] {
+        let mut rng = StdRng::seed_from_u64(7 + n_faults as u64 + high_bits as u64 * 100);
+        let faults: Vec<(i32, usize, u32)> = (0..n_faults)
+            .map(|_| {
+                let idx = rng.gen_range(spec_min..=spec_max);
+                let word = rng.gen_range(0..4);
+                let bit = if high_bits {
+                    rng.gen_range(24..32) // integer-part / sign bits
+                } else {
+                    rng.gen_range(0..16) // fractional bits
+                };
+                (idx, word, bit)
+            })
+            .collect();
+        let faulty = run_with_faults(&setup, &faults, 200);
+        let errs: Vec<f64> = clean
+            .iter()
+            .zip(&faulty)
+            .map(|(a, b)| (a - b).abs())
+            .collect();
+        let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+        let max = errs.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{:>8} {:>12} {:>14.3e} {:>14.3e} {:>12}",
+            n_faults,
+            if high_bits { "high (24-31)" } else { "low (0-15)" },
+            mean,
+            max,
+            if max < 10.0 {
+                "yes"
+            } else if max < 40_000.0 {
+                "saturated"
+            } else {
+                "NO"
+            }
+        );
+    }
+    rule(66);
+    println!("\nreading guide: low-bit faults perturb weights below the quantization");
+    println!("floor and often land in never-visited entries (zero effect). A single");
+    println!("high-bit fault shifts the local trajectory O(1). Many high-bit faults");
+    println!("destroy the program, but the saturating ALU rails states at +/-32768");
+    println!("instead of wrapping to garbage or NaN — a detectable, contained failure,");
+    println!("which is what the fixed-point datapath buys over wrap-around arithmetic.");
+}

@@ -1,0 +1,50 @@
+//! Ablation E — grid-size scaling: where each memory system's step time
+//! goes from launch/queue-bound to streaming-bound, and how the solver's
+//! advantage over the baselines moves with problem size.
+
+use cenn::arch::{CycleModel, MemorySpec, PeArrayConfig};
+use cenn::baselines::{gtx850_gpu, mobile_cpu, StencilWorkload};
+use cenn::equations::{DynamicalSystem, ReactionDiffusion};
+use cenn_bench::{measured_miss_rates, rule};
+
+fn main() {
+    println!("Ablation E — reaction-diffusion step time vs grid size\n");
+    println!(
+        "{:>7} {:>11} {:>11} {:>11} {:>11} {:>11} {:>8} {:>8}",
+        "side", "ddr3 us", "int us", "ext us", "cpu us", "gpu us", "vs cpu", "vs gpu"
+    );
+    rule(86);
+    // Miss rates are state-distribution-driven: measure once on a probe.
+    let probe = ReactionDiffusion::default().build(32, 32).unwrap();
+    let mr = measured_miss_rates(&probe, 5, 15);
+    let pe = PeArrayConfig::default();
+    let ddr = CycleModel::new(MemorySpec::ddr3(), pe.clone());
+    let int = CycleModel::new(MemorySpec::hmc_int(), pe.clone());
+    let ext = CycleModel::new(MemorySpec::hmc_ext(), pe);
+    for exp in 4..=10u32 {
+        let side = 1usize << exp;
+        let setup = ReactionDiffusion::default().build(side, side).unwrap();
+        let w = StencilWorkload::from_model(&setup.model);
+        let t_ddr = ddr.estimate(&setup.model, mr).time_per_step_s();
+        let t_int = int.estimate(&setup.model, mr).time_per_step_s();
+        let t_ext = ext.estimate(&setup.model, mr).time_per_step_s();
+        let t_cpu = mobile_cpu().time_per_step(&w);
+        let t_gpu = gtx850_gpu().time_per_step(&w);
+        println!(
+            "{:>7} {:>11.2} {:>11.2} {:>11.2} {:>11.2} {:>11.2} {:>7.1}x {:>7.1}x",
+            side,
+            t_ddr * 1e6,
+            t_int * 1e6,
+            t_ext * 1e6,
+            t_cpu * 1e6,
+            t_gpu * 1e6,
+            t_cpu / t_ddr,
+            t_gpu / t_ddr
+        );
+    }
+    rule(86);
+    println!("\nreading guide: the solver's edge is largest at small/medium grids");
+    println!("(the GPU's fixed launch+transfer cost dominates there — the paper's");
+    println!("real-time-control regime); at the largest grids everyone becomes");
+    println!("bandwidth-bound and the gap narrows toward the bandwidth ratio.");
+}

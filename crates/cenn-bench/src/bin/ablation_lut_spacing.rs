@@ -1,0 +1,65 @@
+//! Ablation A — LUT sampling pitch: the design knob behind the Fig. 12
+//! discussion. Finer sampling shrinks the Taylor truncation error but
+//! grows the working set (higher miss rates, more DRAM traffic) and the
+//! off-chip table. This quantifies that trade-off on reaction–diffusion.
+
+use cenn::arch::{CycleModel, MemorySpec, PeArrayConfig};
+use cenn::baselines::accuracy::compare;
+use cenn::core::LutConfig;
+use cenn::equations::{DynamicalSystem, FixedRunner, ReactionDiffusion};
+use cenn::lut::LutSpec;
+use cenn_bench::rule;
+
+fn main() {
+    println!("Ablation A — LUT sampling pitch (reaction-diffusion, 32x32)\n");
+    println!(
+        "{:>9} {:>9} {:>11} {:>8} {:>8} {:>12} {:>12}",
+        "spacing", "entries", "LUT error", "mr_L1", "mr_L2", "stall frac", "us/step ddr3"
+    );
+    rule(76);
+
+    for s in 0..=6u32 {
+        let base = ReactionDiffusion::default().build(32, 32).unwrap();
+        // Re-spec the (single) cube LUT at spacing 2^-s.
+        let mut cfg = LutConfig::default();
+        let func = base.model.library().iter().next().map(|(id, _)| id).unwrap();
+        cfg.per_func_specs.push((func, LutSpec::covering(-4.0, 4.0, s)));
+        let mut setup = base.clone();
+        setup.model = base.model.clone_with_lut_config(cfg);
+
+        // Accuracy: LUT part of the error at this pitch.
+        let report = compare(&setup, 100).unwrap();
+        let lut_err = report.layers[0].lut_mean;
+        let entries = setup
+            .model
+            .lut_config()
+            .spec_for(func)
+            .len();
+
+        // Miss rates on the trace.
+        let mut runner = FixedRunner::new(setup.clone()).unwrap();
+        runner.run(5);
+        runner.reset_lut_stats();
+        runner.run(20);
+        let (mr1, mr2) = runner.miss_rates();
+
+        // Timing impact.
+        let est = CycleModel::new(MemorySpec::ddr3(), PeArrayConfig::default())
+            .estimate(&setup.model, (mr1, mr2));
+        println!(
+            "{:>9} {:>9} {:>11.2e} {:>8.3} {:>8.3} {:>11.1}% {:>12.2}",
+            format!("2^-{s}"),
+            entries,
+            lut_err,
+            mr1,
+            mr2,
+            est.timing().stall_fraction() * 100.0,
+            est.time_per_step_s() * 1e6
+        );
+    }
+    rule(76);
+    println!("\ntrade-off: each halving of the pitch cuts the cubic truncation error");
+    println!("~16x (O(delta^4) residual for cube is exactly 0 — here the error is");
+    println!("coefficient quantization) but multiplies the index working set by 2,");
+    println!("driving mr_L1 toward the paper's 0.7 regime and raising stalls.");
+}

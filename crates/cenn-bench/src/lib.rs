@@ -1,0 +1,83 @@
+//! Shared harness utilities for regenerating the paper's tables and
+//! figures.
+//!
+//! One binary per experiment (see DESIGN.md's experiment index):
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `fig8_dataflow` | §5.1 dataflow comparison, eqs. (11)–(12) |
+//! | `fig11_accuracy` | Fig. 11 accuracy table + error breakdown |
+//! | `fig12_missrate` | Fig. 12 miss rate vs LUT capacity |
+//! | `fig13_speedup` | Fig. 13 speedup vs CPU/GPU with DDR3 |
+//! | `fig14_hmc` | Fig. 14 HMC-EXT / HMC-INT speedups |
+//! | `table1_pe_power` | Table 1 PE-array power/area |
+//! | `table2_system_power` | Table 2 system power/area + GPU comparison |
+//! | `table3_comparison` | Table 3 cross-platform comparison |
+
+use cenn::equations::{DynamicalSystem, FixedRunner, SystemSetup};
+
+/// Default grid side for the performance experiments (kept at a size the
+/// functional simulator sweeps quickly; the cycle model scales exactly
+/// with cell count).
+pub const PERF_SIDE: usize = 128;
+
+/// Default grid side for miss-rate probes (state distribution, not grid
+/// size, drives LUT locality).
+pub const PROBE_SIDE: usize = 32;
+
+/// Runs the functional simulator briefly and returns the measured
+/// `(mr_L1, mr_L2)` after a warm-up — the paper's "extracted from
+/// \[functional\] simulation and fed to the simulator" step (§6.3).
+pub fn measured_miss_rates(setup: &SystemSetup, warmup: u64, steps: u64) -> (f64, f64) {
+    let mut runner = FixedRunner::new(setup.clone()).expect("runner");
+    runner.run(warmup);
+    runner.reset_lut_stats();
+    runner.run(steps);
+    runner.miss_rates()
+}
+
+/// Geometric mean (the paper's "on average" for speedups).
+pub fn geomean(values: &[f64]) -> f64 {
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Builds a probe (small) and a perf (large) setup for a benchmark.
+pub fn probe_and_perf(sys: &dyn DynamicalSystem) -> (SystemSetup, SystemSetup) {
+    (
+        sys.build(PROBE_SIDE, PROBE_SIDE).expect("probe build"),
+        sys.build(PERF_SIDE, PERF_SIDE).expect("perf build"),
+    )
+}
+
+/// Prints a horizontal rule sized for the standard table width.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cenn::equations::Fisher;
+
+    #[test]
+    fn geomean_of_constants() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_rate_probe_returns_valid_rates() {
+        let setup = Fisher::default().build(16, 16).unwrap();
+        let (mr1, mr2) = measured_miss_rates(&setup, 2, 5);
+        assert!((0.0..=1.0).contains(&mr1));
+        assert!((0.0..=1.0).contains(&mr2));
+    }
+
+    #[test]
+    fn probe_and_perf_sizes() {
+        let sys = Fisher::default();
+        let (probe, perf) = probe_and_perf(&sys);
+        assert_eq!(probe.model.rows(), PROBE_SIDE);
+        assert_eq!(perf.model.rows(), PERF_SIDE);
+    }
+}

@@ -1,0 +1,414 @@
+//! Argument parsing and command implementations.
+
+use std::fmt::Write as _;
+
+use cenn::arch::{CycleModel, MemorySpec, PeArrayConfig};
+use cenn::core::Integrator;
+use cenn::equations::{
+    all_benchmarks, extended_benchmarks, DynamicalSystem, FixedRunner, SystemSetup,
+};
+use cenn::program::Program;
+use cenn::render;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+cenn — programmable CeNN differential-equation solver
+
+USAGE:
+  cenn list
+      List available benchmark systems.
+  cenn run --system <name> [--grid N] [--steps N] [--memory M]
+           [--integrator euler|heun] [--render] [--pgm FILE] [--report]
+      Run a system on the fixed-point solver simulator.
+  cenn program --system <name> [--grid N] --out FILE
+      Compile a system to its solver bitstream.
+  cenn inspect FILE
+      Decode and summarize a bitstream.
+  cenn help
+      Show this message.
+
+MEMORY: ddr3 (default), hmc-int, hmc-ext";
+
+/// Parse-or-execute error.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// All systems addressable by name.
+fn systems() -> Vec<Box<dyn DynamicalSystem>> {
+    let mut v = all_benchmarks();
+    v.extend(extended_benchmarks());
+    v
+}
+
+fn system_by_name(name: &str) -> Result<Box<dyn DynamicalSystem>, CliError> {
+    systems()
+        .into_iter()
+        .find(|s| s.name() == name)
+        .ok_or_else(|| {
+            err(format!(
+                "unknown system '{name}'; available: {}",
+                systems()
+                    .iter()
+                    .map(|s| s.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })
+}
+
+/// Parsed options for `run` / `program`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOpts {
+    pub system: String,
+    pub grid: usize,
+    pub steps: u64,
+    pub memory: String,
+    pub integrator: Integrator,
+    pub render: bool,
+    pub pgm: Option<String>,
+    pub report: bool,
+    pub out: Option<String>,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        Self {
+            system: String::new(),
+            grid: 64,
+            steps: 0,
+            memory: "ddr3".into(),
+            integrator: Integrator::Euler,
+            render: false,
+            pgm: None,
+            report: false,
+            out: None,
+        }
+    }
+}
+
+/// Parses `--flag value` style options.
+pub fn parse_opts(args: &[String]) -> Result<RunOpts, CliError> {
+    let mut opts = RunOpts::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| err(format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--system" => opts.system = value("--system")?,
+            "--grid" => {
+                opts.grid = value("--grid")?
+                    .parse()
+                    .map_err(|_| err("--grid needs a positive integer"))?
+            }
+            "--steps" => {
+                opts.steps = value("--steps")?
+                    .parse()
+                    .map_err(|_| err("--steps needs a non-negative integer"))?
+            }
+            "--memory" => opts.memory = value("--memory")?,
+            "--integrator" => {
+                opts.integrator = match value("--integrator")?.as_str() {
+                    "euler" => Integrator::Euler,
+                    "heun" => Integrator::Heun,
+                    other => return Err(err(format!("unknown integrator '{other}'"))),
+                }
+            }
+            "--render" => opts.render = true,
+            "--report" => opts.report = true,
+            "--pgm" => opts.pgm = Some(value("--pgm")?),
+            "--out" => opts.out = Some(value("--out")?),
+            other => return Err(err(format!("unknown option '{other}'"))),
+        }
+    }
+    if opts.system.is_empty() {
+        return Err(err("--system is required"));
+    }
+    if opts.grid == 0 {
+        return Err(err("--grid must be positive"));
+    }
+    Ok(opts)
+}
+
+fn memory_by_name(name: &str) -> Result<MemorySpec, CliError> {
+    match name {
+        "ddr3" => Ok(MemorySpec::ddr3()),
+        "hmc-int" => Ok(MemorySpec::hmc_int()),
+        "hmc-ext" => Ok(MemorySpec::hmc_ext()),
+        other => Err(err(format!(
+            "unknown memory '{other}'; use ddr3, hmc-int or hmc-ext"
+        ))),
+    }
+}
+
+fn build_setup(opts: &RunOpts) -> Result<SystemSetup, CliError> {
+    let sys = system_by_name(&opts.system)?;
+    let mut setup = sys
+        .build(opts.grid, opts.grid)
+        .map_err(|e| err(format!("model build failed: {e}")))?;
+    if opts.integrator != Integrator::Euler {
+        setup.model = setup.model.clone_with_integrator(opts.integrator);
+    }
+    Ok(setup)
+}
+
+/// Executes a command line, returning its stdout text.
+pub fn dispatch(args: &[String]) -> Result<String, CliError> {
+    match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(USAGE.to_string()),
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("program") => cmd_program(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some(other) => Err(err(format!("unknown command '{other}'"))),
+    }
+}
+
+fn cmd_list() -> Result<String, CliError> {
+    let mut out = String::from("available systems (paper benchmarks first):\n");
+    for (i, s) in systems().iter().enumerate() {
+        let tag = if i < 6 { "paper" } else { "extended" };
+        writeln!(out, "  {:<20} [{tag}]", s.name()).unwrap();
+    }
+    Ok(out.trim_end().to_string())
+}
+
+fn cmd_run(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_opts(args)?;
+    let sys = system_by_name(&opts.system)?;
+    let steps = if opts.steps == 0 {
+        sys.default_steps()
+    } else {
+        opts.steps
+    };
+    let setup = build_setup(&opts)?;
+    let mut runner =
+        FixedRunner::new(setup.clone()).map_err(|e| err(format!("simulator setup: {e}")))?;
+    let fired = runner.run(steps);
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{}: {}x{} grid, {} layers, {} steps (t = {:.3})",
+        opts.system,
+        opts.grid,
+        opts.grid,
+        setup.model.n_layers(),
+        steps,
+        runner.sim().time()
+    )
+    .unwrap();
+    if setup.post_step.is_some() {
+        writeln!(out, "spikes fired: {fired}").unwrap();
+    }
+    let (mr1, mr2) = runner.miss_rates();
+    writeln!(out, "LUT miss rates: mr_L1 = {mr1:.3}, mr_L2 = {mr2:.3}").unwrap();
+    for (name, grid) in runner.observed_states() {
+        writeln!(
+            out,
+            "layer {name}: range [{:.4}, {:.4}]",
+            grid.iter().cloned().fold(f64::MAX, f64::min),
+            grid.iter().cloned().fold(f64::MIN, f64::max)
+        )
+        .unwrap();
+    }
+    if opts.render {
+        let (name, grid) = &runner.observed_states()[0];
+        writeln!(out, "\nlayer {name}:").unwrap();
+        out.push_str(&render::ascii(grid, 32));
+    }
+    if let Some(path) = &opts.pgm {
+        let (_, grid) = &runner.observed_states()[0];
+        render::write_pgm(grid, path).map_err(|e| err(format!("writing {path}: {e}")))?;
+        writeln!(out, "wrote {path}").unwrap();
+    }
+    if opts.report {
+        let mem = memory_by_name(&opts.memory)?;
+        let est =
+            CycleModel::new(mem, PeArrayConfig::default()).estimate(&setup.model, (mr1, mr2));
+        writeln!(out, "\narchitecture estimate ({}):", opts.memory).unwrap();
+        writeln!(out, "  time/step:    {:.3} us", est.time_per_step_s() * 1e6).unwrap();
+        writeln!(out, "  run time:     {:.3} ms", est.total_time_s(steps) * 1e3).unwrap();
+        writeln!(out, "  throughput:   {:.1} GOPS", est.achieved_gops()).unwrap();
+        writeln!(out, "  system power: {:.2} W", est.system_power_w()).unwrap();
+        writeln!(out, "  efficiency:   {:.1} GOPS/W", est.gops_per_watt()).unwrap();
+    }
+    Ok(out.trim_end().to_string())
+}
+
+fn cmd_program(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_opts(args)?;
+    let path = opts
+        .out
+        .clone()
+        .ok_or_else(|| err("program needs --out FILE"))?;
+    let setup = build_setup(&opts)?;
+    let program =
+        Program::from_model(&setup.model).map_err(|e| err(format!("compile failed: {e}")))?;
+    let bytes = program.encode();
+    std::fs::write(&path, &bytes).map_err(|e| err(format!("writing {path}: {e}")))?;
+    Ok(format!(
+        "compiled {} ({}x{}) -> {path}: {} bytes ({} templates, {} LUT entries)",
+        opts.system,
+        opts.grid,
+        opts.grid,
+        bytes.len(),
+        program.templates.len(),
+        program.luts.iter().map(|l| l.entries.len()).sum::<usize>()
+    ))
+}
+
+fn cmd_inspect(args: &[String]) -> Result<String, CliError> {
+    let path = args.first().ok_or_else(|| err("inspect needs a FILE"))?;
+    let bytes = std::fs::read(path).map_err(|e| err(format!("reading {path}: {e}")))?;
+    let p = Program::decode(&bytes).map_err(|e| err(format!("malformed bitstream: {e}")))?;
+    let mut out = String::new();
+    writeln!(out, "{path}: valid CENN bitstream v{}", cenn::program::BITSTREAM_VERSION).unwrap();
+    writeln!(out, "  grid:        {}x{}", p.rows(), p.cols()).unwrap();
+    writeln!(out, "  layers:      {} (kinds {:?})", p.n_layers, p.layer_kinds).unwrap();
+    writeln!(out, "  kernel:      {}x{}", p.kernel, p.kernel).unwrap();
+    writeln!(
+        out,
+        "  integrator:  {}",
+        if p.integrator == 0 { "euler" } else { "heun" }
+    )
+    .unwrap();
+    writeln!(out, "  templates:   {}", p.templates.len()).unwrap();
+    writeln!(out, "  offsets:     {}", p.offsets.len()).unwrap();
+    writeln!(out, "  dyn sites:   {}", p.dyn_descs.len()).unwrap();
+    writeln!(
+        out,
+        "  LUT images:  {} ({} bytes)",
+        p.luts.len(),
+        p.lut_bytes()
+    )
+    .unwrap();
+    writeln!(out, "  stream size: {} bytes", bytes.len()).unwrap();
+    Ok(out.trim_end().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|p| p.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_empty_show_usage() {
+        assert!(dispatch(&[]).unwrap().contains("USAGE"));
+        assert!(dispatch(&s(&["help"])).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn list_names_all_nine_systems() {
+        let out = dispatch(&s(&["list"])).unwrap();
+        for name in [
+            "heat",
+            "navier-stokes",
+            "fisher",
+            "reaction-diffusion",
+            "hodgkin-huxley",
+            "izhikevich",
+            "wave",
+            "burgers",
+            "gray-scott",
+        ] {
+            assert!(out.contains(name), "{out}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(parse_opts(&s(&["--grid", "64"])).is_err(), "system required");
+        assert!(parse_opts(&s(&["--system", "heat", "--grid", "x"])).is_err());
+        assert!(parse_opts(&s(&["--system", "heat", "--bogus"])).is_err());
+        assert!(parse_opts(&s(&["--system", "heat", "--grid"])).is_err());
+        assert!(parse_opts(&s(&["--system", "heat", "--integrator", "rk9"])).is_err());
+    }
+
+    #[test]
+    fn parse_accepts_full_option_set() {
+        let o = parse_opts(&s(&[
+            "--system", "fisher", "--grid", "32", "--steps", "10", "--memory", "hmc-int",
+            "--integrator", "heun", "--render", "--report",
+        ]))
+        .unwrap();
+        assert_eq!(o.system, "fisher");
+        assert_eq!(o.grid, 32);
+        assert_eq!(o.steps, 10);
+        assert_eq!(o.memory, "hmc-int");
+        assert_eq!(o.integrator, Integrator::Heun);
+        assert!(o.render && o.report);
+    }
+
+    #[test]
+    fn run_heat_produces_a_report() {
+        let out = dispatch(&s(&[
+            "run", "--system", "heat", "--grid", "16", "--steps", "20", "--report",
+        ]))
+        .unwrap();
+        assert!(out.contains("heat: 16x16"));
+        assert!(out.contains("time/step"));
+        assert!(out.contains("GOPS"));
+    }
+
+    #[test]
+    fn run_unknown_system_fails_cleanly() {
+        let e = dispatch(&s(&["run", "--system", "nope"])).unwrap_err();
+        assert!(e.to_string().contains("unknown system"));
+        assert!(e.to_string().contains("heat"), "lists alternatives");
+    }
+
+    #[test]
+    fn program_and_inspect_round_trip() {
+        let dir = std::env::temp_dir().join("cenn_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fisher.cenn");
+        let path_str = path.to_str().unwrap();
+        let out = dispatch(&s(&[
+            "program", "--system", "fisher", "--grid", "32", "--out", path_str,
+        ]))
+        .unwrap();
+        assert!(out.contains("compiled fisher"));
+        let out = dispatch(&s(&["inspect", path_str])).unwrap();
+        assert!(out.contains("valid CENN bitstream"));
+        assert!(out.contains("32x32"));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn inspect_rejects_garbage() {
+        let dir = std::env::temp_dir().join("cenn_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("junk.bin");
+        std::fs::write(&path, b"not a bitstream").unwrap();
+        let e = dispatch(&s(&["inspect", path.to_str().unwrap()])).unwrap_err();
+        assert!(e.to_string().contains("malformed"));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn run_with_heun_works() {
+        let out = dispatch(&s(&[
+            "run", "--system", "wave", "--grid", "16", "--steps", "10", "--integrator", "heun",
+        ]))
+        .unwrap();
+        assert!(out.contains("wave: 16x16"));
+    }
+}

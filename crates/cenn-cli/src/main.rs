@@ -1,0 +1,28 @@
+//! `cenn` — command-line driver for the CeNN DE solver.
+//!
+//! ```text
+//! cenn list
+//! cenn run --system heat --grid 64 --steps 200 --memory hmc-int --render
+//! cenn run --system izhikevich --steps 2000 --report
+//! cenn program --system fisher --grid 64 --out fisher.cenn
+//! cenn inspect fisher.cenn
+//! ```
+
+use std::process::ExitCode;
+
+mod cli;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::dispatch(&args) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `cenn help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Boundary conditions for the cell array edges.
+
+use crate::grid::Grid;
+
+/// How a layer resolves neighbour reads past the grid edge.
+///
+/// The CeNN array is finite; the paper's benchmark PDEs use the standard
+/// choices below. The boundary is part of a layer's specification and thus
+/// part of the solver "program".
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Boundary {
+    /// Zero-flux (Neumann): edge cells see their own value past the edge —
+    /// the usual choice for diffusion problems.
+    #[default]
+    ZeroFlux,
+    /// Periodic (torus) wrap-around — used for pattern-formation domains.
+    Periodic,
+    /// Fixed value (Dirichlet) past every edge.
+    Dirichlet(f64),
+    /// Zero past the edge (Dirichlet with value 0; kept distinct because it
+    /// is the hardware's cheap default).
+    Zero,
+}
+
+impl Boundary {
+    /// Resolves the neighbour coordinate `(row + dr, col + dc)` for a grid
+    /// of the given shape.
+    ///
+    /// Returns `Some((r, c))` if the access lands on a real cell (possibly
+    /// wrapped or clamped), or `None` if the boundary supplies a constant
+    /// instead (`Dirichlet` / `Zero`).
+    #[inline]
+    pub fn resolve(
+        self,
+        rows: usize,
+        cols: usize,
+        row: usize,
+        col: usize,
+        dr: i32,
+        dc: i32,
+    ) -> Option<(usize, usize)> {
+        let r = row as i64 + dr as i64;
+        let c = col as i64 + dc as i64;
+        let inside = r >= 0 && c >= 0 && (r as usize) < rows && (c as usize) < cols;
+        if inside {
+            return Some((r as usize, c as usize));
+        }
+        match self {
+            Boundary::ZeroFlux => {
+                let rc = r.clamp(0, rows as i64 - 1) as usize;
+                let cc = c.clamp(0, cols as i64 - 1) as usize;
+                Some((rc, cc))
+            }
+            Boundary::Periodic => Some((
+                r.rem_euclid(rows as i64) as usize,
+                c.rem_euclid(cols as i64) as usize,
+            )),
+            Boundary::Dirichlet(_) | Boundary::Zero => None,
+        }
+    }
+
+    /// The constant supplied for out-of-grid reads when
+    /// [`resolve`](Self::resolve) returns `None`.
+    #[inline]
+    pub fn constant(self) -> f64 {
+        match self {
+            Boundary::Dirichlet(v) => v,
+            _ => 0.0,
+        }
+    }
+
+    /// Convenience: reads a neighbour from an `f64` grid under this
+    /// boundary.
+    #[inline]
+    pub fn read_f64(self, grid: &Grid<f64>, row: usize, col: usize, dr: i32, dc: i32) -> f64 {
+        match self.resolve(grid.rows(), grid.cols(), row, col, dr, dc) {
+            Some((r, c)) => grid.get(r, c),
+            None => self.constant(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_access_is_identity_for_all_kinds() {
+        for b in [
+            Boundary::ZeroFlux,
+            Boundary::Periodic,
+            Boundary::Dirichlet(2.0),
+            Boundary::Zero,
+        ] {
+            assert_eq!(b.resolve(4, 4, 1, 1, 1, -1), Some((2, 0)));
+        }
+    }
+
+    #[test]
+    fn zero_flux_clamps() {
+        let b = Boundary::ZeroFlux;
+        assert_eq!(b.resolve(4, 4, 0, 0, -1, 0), Some((0, 0)));
+        assert_eq!(b.resolve(4, 4, 3, 3, 1, 1), Some((3, 3)));
+        assert_eq!(b.resolve(4, 4, 0, 2, -1, 1), Some((0, 3)));
+    }
+
+    #[test]
+    fn periodic_wraps_both_directions() {
+        let b = Boundary::Periodic;
+        assert_eq!(b.resolve(4, 4, 0, 0, -1, -1), Some((3, 3)));
+        assert_eq!(b.resolve(4, 4, 3, 3, 1, 1), Some((0, 0)));
+        assert_eq!(b.resolve(4, 4, 0, 0, -5, 0), Some((3, 0)));
+    }
+
+    #[test]
+    fn dirichlet_supplies_constant() {
+        let b = Boundary::Dirichlet(7.5);
+        assert_eq!(b.resolve(4, 4, 0, 0, -1, 0), None);
+        assert_eq!(b.constant(), 7.5);
+        assert_eq!(Boundary::Zero.constant(), 0.0);
+    }
+
+    #[test]
+    fn read_f64_combines_resolution_and_constant() {
+        let g = Grid::from_fn(3, 3, |r, c| (r * 3 + c) as f64);
+        assert_eq!(Boundary::ZeroFlux.read_f64(&g, 0, 0, -1, 0), 0.0);
+        assert_eq!(Boundary::Periodic.read_f64(&g, 0, 0, -1, 0), 6.0);
+        assert_eq!(Boundary::Dirichlet(9.0).read_f64(&g, 0, 0, -1, 0), 9.0);
+        assert_eq!(Boundary::Zero.read_f64(&g, 0, 0, 0, -1), 0.0);
+        assert_eq!(Boundary::Zero.read_f64(&g, 1, 1, 1, 1), 8.0);
+    }
+
+    #[test]
+    fn default_is_zero_flux() {
+        assert_eq!(Boundary::default(), Boundary::ZeroFlux);
+    }
+}

@@ -1,0 +1,105 @@
+//! Model construction errors.
+
+use std::fmt;
+
+/// Maximum number of layers a model may declare.
+///
+/// The bitstream encodes `N_layer` in 3 bits, so "a coupled dynamical
+/// system with up to 8 layers (equivalently, 8 equations) can be solved"
+/// (§3).
+pub const MAX_LAYERS: usize = 8;
+
+/// Error building or configuring a [`crate::CennModel`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The model declares no layers.
+    NoLayers,
+    /// More layers than the 3-bit `N_layer` field can express.
+    TooManyLayers(usize),
+    /// The integration step is non-positive or non-finite.
+    BadTimestep(f64),
+    /// A template or state grid has the wrong shape.
+    ShapeMismatch {
+        /// Expected `(rows, cols)`.
+        expected: (usize, usize),
+        /// Provided `(rows, cols)`.
+        got: (usize, usize),
+    },
+    /// A template references a layer id not defined in this model.
+    UnknownLayer(usize),
+    /// A dynamic weight references a function id not registered in the
+    /// model's library.
+    UnknownFunction(u16),
+    /// LUT table generation failed.
+    Lut(cenn_lut::LutBuildError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoLayers => write!(f, "model has no layers"),
+            Self::TooManyLayers(n) => {
+                write!(f, "model has {n} layers, the bitstream limit is {MAX_LAYERS}")
+            }
+            Self::BadTimestep(dt) => write!(f, "integration step {dt} is not positive and finite"),
+            Self::ShapeMismatch { expected, got } => write!(
+                f,
+                "shape mismatch: expected {}x{}, got {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+            Self::UnknownLayer(i) => write!(f, "template references unknown layer {i}"),
+            Self::UnknownFunction(i) => write!(f, "weight references unknown function {i}"),
+            Self::Lut(e) => write!(f, "LUT generation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Lut(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cenn_lut::LutBuildError> for ModelError {
+    fn from(e: cenn_lut::LutBuildError) -> Self {
+        Self::Lut(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let cases: Vec<(ModelError, &str)> = vec![
+            (ModelError::NoLayers, "no layers"),
+            (ModelError::TooManyLayers(9), "9 layers"),
+            (ModelError::BadTimestep(-1.0), "-1"),
+            (
+                ModelError::ShapeMismatch {
+                    expected: (8, 8),
+                    got: (4, 4),
+                },
+                "8x8",
+            ),
+            (ModelError::UnknownLayer(3), "layer 3"),
+            (ModelError::UnknownFunction(7), "function 7"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+
+    #[test]
+    fn lut_error_wraps_with_source() {
+        use std::error::Error;
+        let inner = cenn_lut::LutSpec::unit_spacing(1, 0).validate().unwrap_err();
+        let e = ModelError::from(inner);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("LUT generation failed"));
+    }
+}

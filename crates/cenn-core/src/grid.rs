@@ -1,0 +1,307 @@
+//! The 2-D cell array.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major 2-D grid of cells — one CeNN layer's state, output or
+/// input map (Fig. 2).
+///
+/// Generic over the cell type: the fixed-point simulator uses
+/// `Grid<Q16_16>`, the floating-point reference uses `Grid<f64>`.
+///
+/// # Examples
+///
+/// ```
+/// use cenn_core::Grid;
+///
+/// let mut g = Grid::new(4, 4, 0.0f64);
+/// g.set(1, 2, 3.5);
+/// assert_eq!(g.get(1, 2), 3.5);
+/// assert_eq!(g[(1, 2)], 3.5);
+/// assert_eq!(g.rows(), 4);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Grid<T> {
+    rows: usize,
+    cols: usize,
+    cells: Vec<T>,
+}
+
+impl<T: Copy> Grid<T> {
+    /// Creates a grid filled with `fill`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize, fill: T) -> Self {
+        assert!(rows > 0 && cols > 0, "grid dimensions must be non-zero");
+        Self {
+            rows,
+            cols,
+            cells: vec![fill; rows * cols],
+        }
+    }
+
+    /// Creates a grid by evaluating `f(row, col)` for every cell.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        assert!(rows > 0 && cols > 0, "grid dimensions must be non-zero");
+        let mut cells = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                cells.push(f(r, c));
+            }
+        }
+        Self { rows, cols, cells }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` only for the degenerate case (cannot be constructed).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Reads the cell at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> T {
+        self.cells[row * self.cols + col]
+    }
+
+    /// Writes the cell at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, v: T) {
+        self.cells[row * self.cols + col] = v;
+    }
+
+    /// Fills every cell with `v`.
+    pub fn fill(&mut self, v: T) {
+        self.cells.iter_mut().for_each(|c| *c = v);
+    }
+
+    /// Iterates over cells in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.cells.iter()
+    }
+
+    /// Iterates over `((row, col), value)` in row-major order.
+    pub fn enumerate(&self) -> impl Iterator<Item = ((usize, usize), T)> + '_ {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| ((i / self.cols, i % self.cols), v))
+    }
+
+    /// Applies `f` to every cell in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(T) -> T) {
+        self.cells.iter_mut().for_each(|c| *c = f(*c));
+    }
+
+    /// Builds a new grid of the same shape by transforming each cell.
+    pub fn map<U: Copy>(&self, mut f: impl FnMut(T) -> U) -> Grid<U> {
+        Grid {
+            rows: self.rows,
+            cols: self.cols,
+            cells: self.cells.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// The flat row-major cell slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.cells
+    }
+
+    /// Mutable flat row-major cell slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.cells
+    }
+
+    /// `true` if both grids have the same shape.
+    pub fn same_shape<U>(&self, other: &Grid<U>) -> bool {
+        self.rows == other.rows && self.cols == other.cols
+    }
+}
+
+impl Grid<f64> {
+    /// Maximum absolute cell value.
+    pub fn max_abs(&self) -> f64 {
+        self.cells.iter().fold(0.0, |m, &v| m.max(v.abs()))
+    }
+
+    /// Mean of all cells.
+    pub fn mean(&self) -> f64 {
+        self.cells.iter().sum::<f64>() / self.cells.len() as f64
+    }
+
+    /// Mean and standard deviation of the **absolute difference** against
+    /// another grid — the error statistic of Fig. 11.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn abs_error_stats(&self, other: &Grid<f64>) -> (f64, f64) {
+        assert!(self.same_shape(other), "shape mismatch in abs_error_stats");
+        let n = self.cells.len() as f64;
+        let diffs: Vec<f64> = self
+            .cells
+            .iter()
+            .zip(other.cells.iter())
+            .map(|(a, b)| (a - b).abs())
+            .collect();
+        let mean = diffs.iter().sum::<f64>() / n;
+        let var = diffs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n;
+        (mean, var.sqrt())
+    }
+}
+
+impl<T: Copy> Index<(usize, usize)> for Grid<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &T {
+        &self.cells[r * self.cols + c]
+    }
+}
+
+impl<T: Copy> IndexMut<(usize, usize)> for Grid<T> {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
+        &mut self.cells[r * self.cols + c]
+    }
+}
+
+impl<T: Copy + fmt::Debug> fmt::Debug for Grid<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Grid<{}x{}> [", self.rows, self.cols)?;
+        let max_rows = 8.min(self.rows);
+        for r in 0..max_rows {
+            write!(f, "  ")?;
+            for c in 0..8.min(self.cols) {
+                write!(f, "{:?} ", self.get(r, c))?;
+            }
+            if self.cols > 8 {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let g = Grid::new(3, 5, 7i32);
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.cols(), 5);
+        assert_eq!(g.len(), 15);
+        assert!(!g.is_empty());
+        assert!(g.iter().all(|&v| v == 7));
+    }
+
+    #[test]
+    fn from_fn_row_major_order() {
+        let g = Grid::from_fn(2, 3, |r, c| r * 10 + c);
+        assert_eq!(g.as_slice(), &[0, 1, 2, 10, 11, 12]);
+        assert_eq!(g.get(1, 2), 12);
+    }
+
+    #[test]
+    fn set_get_and_index() {
+        let mut g = Grid::new(4, 4, 0.0);
+        g.set(2, 3, 1.5);
+        assert_eq!(g.get(2, 3), 1.5);
+        g[(0, 0)] = -2.0;
+        assert_eq!(g[(0, 0)], -2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_get_panics() {
+        let g = Grid::new(2, 2, 0);
+        let _ = g.get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_panics() {
+        let _ = Grid::new(0, 3, 0);
+    }
+
+    #[test]
+    fn enumerate_yields_coordinates() {
+        let g = Grid::from_fn(2, 2, |r, c| (r, c));
+        let all: Vec<_> = g.enumerate().collect();
+        assert_eq!(all[3], ((1, 1), (1, 1)));
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let g = Grid::from_fn(3, 2, |r, c| (r + c) as f64);
+        let doubled = g.map(|v| v * 2.0);
+        assert!(g.same_shape(&doubled));
+        assert_eq!(doubled.get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn map_inplace_and_fill() {
+        let mut g = Grid::new(2, 2, 1);
+        g.map_inplace(|v| v + 1);
+        assert!(g.iter().all(|&v| v == 2));
+        g.fill(9);
+        assert!(g.iter().all(|&v| v == 9));
+    }
+
+    #[test]
+    fn abs_error_stats_mean_and_std() {
+        let a = Grid::from_fn(1, 4, |_, c| c as f64);
+        let b = Grid::new(1, 4, 0.0);
+        let (mean, std) = a.abs_error_stats(&b);
+        assert_eq!(mean, 1.5);
+        assert!((std - 1.118).abs() < 1e-3);
+    }
+
+    #[test]
+    fn max_abs_and_mean() {
+        let g = Grid::from_fn(1, 3, |_, c| [1.0, -4.0, 2.0][c]);
+        assert_eq!(g.max_abs(), 4.0);
+        assert!((g.mean() - (-1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn debug_output_is_nonempty_and_truncated() {
+        let g = Grid::new(20, 20, 1u8);
+        let s = format!("{g:?}");
+        assert!(s.contains("Grid<20x20>"));
+        assert!(s.contains("..."));
+    }
+}

@@ -1,0 +1,103 @@
+//! Layers of the multilayer CeNN.
+
+use crate::boundary::Boundary;
+
+/// Identifier of a layer within a [`crate::CennModel`].
+///
+/// Issued by [`crate::CennModelBuilder`]; each layer realizes one
+/// first-order equation of the coupled system (§2, eq. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LayerId(pub(crate) u8);
+
+impl LayerId {
+    /// The layer's index (its position in the system of equations).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs a layer id from a raw index.
+    ///
+    /// Normally ids come from [`crate::CennModelBuilder`]; this constructor
+    /// exists for drivers that address layers positionally (e.g. applying a
+    /// post-step rule to a known layer layout). Ids referencing layers a
+    /// model does not define are rejected at [`crate::CennModelBuilder::build`]
+    /// time or panic on state access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds 255.
+    pub fn from_index(index: usize) -> Self {
+        LayerId(u8::try_from(index).expect("layer index exceeds u8"))
+    }
+}
+
+/// How a layer's state evolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LayerKind {
+    /// A true CeNN cell layer integrating eq. (1) with forward Euler — one
+    /// first-order ODE per cell.
+    #[default]
+    Dynamic,
+    /// An *algebraic* layer: its state is recomputed each step as the
+    /// direct evaluation of its templates (the fast-dynamics limit of a
+    /// CeNN layer). Used for derived quantities such as the velocity
+    /// components of the Navier–Stokes mapping; see DESIGN.md.
+    Algebraic,
+}
+
+/// Static description of one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerSpec {
+    name: String,
+    kind: LayerKind,
+    boundary: Boundary,
+}
+
+impl LayerSpec {
+    /// Creates a layer spec.
+    pub fn new(name: impl Into<String>, kind: LayerKind, boundary: Boundary) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+            boundary,
+        }
+    }
+
+    /// The layer's human-readable name (e.g. `"u"`, `"v"`, `"omega"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Dynamic (integrated) or algebraic (recomputed).
+    pub fn kind(&self) -> LayerKind {
+        self.kind
+    }
+
+    /// The boundary condition applied to neighbour reads of this layer.
+    pub fn boundary(&self) -> Boundary {
+        self.boundary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_exposes_fields() {
+        let s = LayerSpec::new("u", LayerKind::Dynamic, Boundary::Periodic);
+        assert_eq!(s.name(), "u");
+        assert_eq!(s.kind(), LayerKind::Dynamic);
+        assert_eq!(s.boundary(), Boundary::Periodic);
+    }
+
+    #[test]
+    fn layer_id_index() {
+        assert_eq!(LayerId(3).index(), 3);
+    }
+
+    #[test]
+    fn default_kind_is_dynamic() {
+        assert_eq!(LayerKind::default(), LayerKind::Dynamic);
+    }
+}

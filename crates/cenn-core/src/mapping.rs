@@ -1,0 +1,273 @@
+//! PDE-to-template mapping: finite-difference discretization (§2.1) and
+//! nonlinear Taylor templates (§2.2).
+//!
+//! The mapping procedure of §2 is:
+//!
+//! 1. rewrite the system as coupled **first-order** equations (eq. 4) —
+//!    one CeNN layer per equation;
+//! 2. discretize spatial operators with finite differences (eq. 6),
+//!    producing the *linear* part of the state template Â;
+//! 3. move nonlinear interactions into dynamic template weights / offsets
+//!    backed by LUT-evaluated functions (eq. 10).
+//!
+//! This module provides the standard stencils for step 2 and helpers for
+//! step 3. Grid convention: row index = y, column index = x, both with
+//! spacing `h`.
+
+use crate::template::Stencil;
+
+/// The 5-point Laplacian `κ·Δ` discretized on spacing `h` (eq. 6):
+///
+/// ```text
+///        | 0      κ/h²   0    |
+///  κΔ ≈  | κ/h²  -4κ/h²  κ/h² |
+///        | 0      κ/h²   0    |
+/// ```
+///
+/// Convert with [`Stencil::into_state_template`] to obtain eq. (7)'s Â
+/// (which adds the `+1` centre to cancel the cell leak).
+///
+/// # Panics
+///
+/// Panics if `h` is not positive.
+pub fn laplacian(kappa: f64, h: f64) -> Stencil {
+    assert!(h > 0.0, "grid spacing must be positive");
+    let w = kappa / (h * h);
+    Stencil::from_values(&[0.0, w, 0.0, w, -4.0 * w, w, 0.0, w, 0.0])
+}
+
+/// The 9-point Laplacian, a higher-isotropy alternative used for
+/// pattern-formation benchmarks.
+///
+/// # Panics
+///
+/// Panics if `h` is not positive.
+pub fn laplacian_9pt(kappa: f64, h: f64) -> Stencil {
+    assert!(h > 0.0, "grid spacing must be positive");
+    let w = kappa / (h * h);
+    Stencil::from_values(&[
+        0.25 * w,
+        0.5 * w,
+        0.25 * w,
+        0.5 * w,
+        -3.0 * w,
+        0.5 * w,
+        0.25 * w,
+        0.5 * w,
+        0.25 * w,
+    ])
+}
+
+/// Fourth-order-accurate Laplacian `κ·Δ` on a 5×5 kernel: the 1-D
+/// operator `[−1, 16, −30, 16, −1]/12h²` applied along both axes. Halves
+/// the spatial-truncation error exponent (O(h⁴) vs O(h²)) at the cost of
+/// a 25-cycle convolution pass and radius-2 neighbourhood wiring — the
+/// `Size_kernel` knob of the §3 program header.
+///
+/// # Panics
+///
+/// Panics if `h` is not positive.
+pub fn laplacian_4th_order(kappa: f64, h: f64) -> Stencil {
+    assert!(h > 0.0, "grid spacing must be positive");
+    let w = kappa / (12.0 * h * h);
+    let mut s = Stencil::zero(5);
+    for (off, coef) in [(-2i32, -1.0), (-1, 16.0), (0, -30.0), (1, 16.0), (2, -1.0)] {
+        s.set(0, off, s.get(0, off) + w * coef);
+        s.set(off, 0, s.get(off, 0) + w * coef);
+    }
+    s
+}
+
+/// Central-difference `scale · ∂/∂x` (x = column direction):
+/// `(φ(x+h) − φ(x−h)) · scale / 2h`.
+///
+/// # Panics
+///
+/// Panics if `h` is not positive.
+pub fn grad_x(scale: f64, h: f64) -> Stencil {
+    assert!(h > 0.0, "grid spacing must be positive");
+    let w = scale / (2.0 * h);
+    let mut s = Stencil::zero(3);
+    s.set(0, 1, w);
+    s.set(0, -1, -w);
+    s
+}
+
+/// Central-difference `scale · ∂/∂y` (y = row direction).
+///
+/// # Panics
+///
+/// Panics if `h` is not positive.
+pub fn grad_y(scale: f64, h: f64) -> Stencil {
+    assert!(h > 0.0, "grid spacing must be positive");
+    let w = scale / (2.0 * h);
+    let mut s = Stencil::zero(3);
+    s.set(1, 0, w);
+    s.set(-1, 0, -w);
+    s
+}
+
+/// Upwind/backward difference `scale · ∂/∂x` used for advection-dominated
+/// flows: `(φ(x) − φ(x−h)) · scale / h`.
+///
+/// # Panics
+///
+/// Panics if `h` is not positive.
+pub fn backward_x(scale: f64, h: f64) -> Stencil {
+    assert!(h > 0.0, "grid spacing must be positive");
+    let w = scale / h;
+    let mut s = Stencil::zero(3);
+    s.set(0, 0, w);
+    s.set(0, -1, -w);
+    s
+}
+
+/// A pure centre coupling of strength `w` (e.g. `-γ·v` linear cross-layer
+/// terms in reaction–diffusion systems).
+pub fn center(w: f64) -> Stencil {
+    let mut s = Stencil::zero(3);
+    s.set(0, 0, w);
+    s
+}
+
+/// The Jacobi relaxation stencil for the Poisson equation `Δψ = -ω`:
+/// applied as an *algebraic* layer update
+/// `ψ ← (ψ(N)+ψ(S)+ψ(E)+ψ(W) + h²·ω) / 4`, it performs one Jacobi sweep per
+/// CeNN step. Returns the `ψ`-from-`ψ` stencil; couple `ω` with
+/// [`center`]`(h²/4)`.
+///
+/// # Panics
+///
+/// Panics if `h` is not positive.
+pub fn jacobi_poisson(h: f64) -> Stencil {
+    assert!(h > 0.0, "grid spacing must be positive");
+    let mut s = Stencil::zero(3);
+    for (dr, dc) in [(0, 1), (0, -1), (1, 0), (-1, 0)] {
+        s.set(dr, dc, 0.25);
+    }
+    let _ = h;
+    s
+}
+
+/// The heat-equation state template of eq. (7) in one call:
+/// `laplacian(κ, h).into_state_template()`.
+pub fn heat_template(kappa: f64, h: f64) -> crate::template::Template {
+    laplacian(kappa, h).into_state_template()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::WeightExpr;
+
+    #[test]
+    fn laplacian_matches_eq6() {
+        let s = laplacian(2.0, 1.0);
+        assert_eq!(s.get(0, 0), -8.0);
+        assert_eq!(s.get(0, 1), 2.0);
+        assert_eq!(s.get(1, 0), 2.0);
+        assert_eq!(s.get(1, 1), 0.0);
+        // Sum of weights is zero: diffusion conserves mass.
+        assert_eq!(s.values().iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn laplacian_scales_with_h() {
+        let s = laplacian(1.0, 0.5);
+        assert_eq!(s.get(0, 1), 4.0);
+        assert_eq!(s.get(0, 0), -16.0);
+    }
+
+    #[test]
+    fn heat_template_has_eq7_centre() {
+        let t = heat_template(1.0, 1.0);
+        // centre = -4/h² + 1 per eq. (7)
+        assert_eq!(*t.get(0, 0), WeightExpr::constant(-3.0));
+        assert_eq!(*t.get(0, 1), WeightExpr::constant(1.0));
+    }
+
+    #[test]
+    fn laplacian_4th_order_is_zero_sum_and_consistent() {
+        let s = laplacian_4th_order(1.0, 1.0);
+        assert_eq!(s.size(), 5);
+        assert!(s.values().iter().sum::<f64>().abs() < 1e-12, "zero sum");
+        // Centre combines both axes: 2 * (-30/12).
+        assert!((s.get(0, 0) + 5.0).abs() < 1e-12);
+        assert!((s.get(0, 1) - 16.0 / 12.0).abs() < 1e-12);
+        assert!((s.get(0, 2) + 1.0 / 12.0).abs() < 1e-12);
+        // Apply to a quadratic: Δ(x² + y²) = 4 exactly for any
+        // finite-difference Laplacian that is 2nd-order consistent.
+        let lap = |s: &Stencil, f: &dyn Fn(f64, f64) -> f64| {
+            let mut acc = 0.0;
+            for dr in -2i32..=2 {
+                for dc in -2i32..=2 {
+                    acc += s.get(dr, dc) * f(dr as f64, dc as f64);
+                }
+            }
+            acc
+        };
+        assert!((lap(&s, &|x, y| x * x + y * y) - 4.0).abs() < 1e-12);
+        // 4th-order: x⁴ + y⁴ is differentiated with zero truncation error
+        // at the origin (Δ = 12x² + 12y² = 0 there), unlike the 5-point.
+        assert!(lap(&s, &|x, y| x.powi(4) + y.powi(4)).abs() < 1e-9);
+        let five = laplacian(1.0, 1.0);
+        let lap5 = |f: &dyn Fn(f64, f64) -> f64| {
+            let mut acc = 0.0;
+            for dr in -1i32..=1 {
+                for dc in -1i32..=1 {
+                    acc += five.get(dr, dc) * f(dr as f64, dc as f64);
+                }
+            }
+            acc
+        };
+        assert!(lap5(&|x, y| x.powi(4) + y.powi(4)).abs() > 1.0);
+    }
+
+    #[test]
+    fn laplacian_9pt_is_zero_sum() {
+        let s = laplacian_9pt(3.0, 1.0);
+        assert!(s.values().iter().sum::<f64>().abs() < 1e-12);
+        assert_eq!(s.get(0, 0), -9.0);
+    }
+
+    #[test]
+    fn gradients_are_antisymmetric() {
+        let gx = grad_x(1.0, 1.0);
+        assert_eq!(gx.get(0, 1), 0.5);
+        assert_eq!(gx.get(0, -1), -0.5);
+        assert_eq!(gx.get(1, 0), 0.0);
+        let gy = grad_y(2.0, 0.5);
+        assert_eq!(gy.get(1, 0), 2.0);
+        assert_eq!(gy.get(-1, 0), -2.0);
+    }
+
+    #[test]
+    fn backward_difference_structure() {
+        let s = backward_x(1.0, 1.0);
+        assert_eq!(s.get(0, 0), 1.0);
+        assert_eq!(s.get(0, -1), -1.0);
+        assert_eq!(s.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn center_only_touches_centre() {
+        let s = center(-3.5);
+        assert_eq!(s.get(0, 0), -3.5);
+        assert_eq!(s.values().iter().filter(|v| **v != 0.0).count(), 1);
+    }
+
+    #[test]
+    fn jacobi_poisson_averages_neighbours() {
+        let s = jacobi_poisson(1.0);
+        assert_eq!(s.get(0, 1), 0.25);
+        assert_eq!(s.get(-1, 0), 0.25);
+        assert_eq!(s.get(0, 0), 0.0);
+        assert_eq!(s.values().iter().sum::<f64>(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_spacing_panics() {
+        let _ = laplacian(1.0, 0.0);
+    }
+}

@@ -1,0 +1,870 @@
+//! The functional fixed-point simulator of the CeNN DE solver.
+
+use cenn_lut::{FuncLibrary, LutHierarchy, LutStats};
+use fixedpt::{MacAcc, Q16_16};
+
+use crate::boundary::Boundary;
+use crate::error::ModelError;
+use crate::grid::Grid;
+use crate::layer::{LayerId, LayerKind};
+use crate::model::{CennModel, Integrator, TemplateKind};
+use crate::template::WeightExpr;
+
+/// How dynamic template weights evaluate their nonlinear factors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FuncEval {
+    /// Through the LUT hierarchy and TUM, as the hardware does — incurs
+    /// both fixed-point and LUT approximation error (§6.1).
+    #[default]
+    Lut,
+    /// Exact `f64` evaluation quantized to fixed point — isolates the
+    /// fixed-point error from the LUT error for the §6.1 breakdown.
+    Exact,
+}
+
+/// Snapshot returned by [`CennSim::step`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepReport {
+    /// Simulated time after the step.
+    pub time: f64,
+    /// Steps executed so far.
+    pub steps: u64,
+    /// Cumulative LUT statistics.
+    pub lut: LutStats,
+}
+
+/// One compiled template application: all non-zero entries of a template
+/// from `src` into the destination layer, with the source's boundary.
+#[derive(Debug, Clone)]
+struct CompiledConv {
+    kind: TemplateKind,
+    src: usize,
+    boundary: Boundary,
+    /// `(dr, dc, weight)` for non-zero entries only.
+    taps: Vec<(i32, i32, WeightExpr)>,
+}
+
+/// Per-destination-layer execution plan.
+#[derive(Debug, Clone)]
+struct LayerPlan {
+    kind: LayerKind,
+    convs: Vec<CompiledConv>,
+    offsets: Vec<WeightExpr>,
+}
+
+/// Functional simulator: evolves a [`CennModel`] in 32-bit fixed point with
+/// forward Euler, reproducing the compute semantics of the PE array
+/// (saturating MACs, wide accumulate, LUT-based template update) without
+/// cycle timing. Timing and energy live in `cenn-arch`.
+///
+/// The per-step semantics are:
+///
+/// 1. **algebraic layers** (declaration order) recompute their state as the
+///    direct template evaluation, reading current values — used for
+///    derived quantities such as Navier–Stokes velocities;
+/// 2. **dynamic layers** integrate eq. (1) synchronously (all read old
+///    states): `x ← x + Δt · (−x + ΣÂ·x + ΣA·y + ΣB·u + z)`.
+#[derive(Debug, Clone)]
+pub struct CennSim {
+    model: CennModel,
+    plan: Vec<LayerPlan>,
+    states: Vec<Grid<Q16_16>>,
+    scratch: Vec<Grid<Q16_16>>,
+    aux: Vec<Grid<Q16_16>>,
+    aux2: Vec<Grid<Q16_16>>,
+    inputs: Vec<Grid<Q16_16>>,
+    hierarchy: LutHierarchy,
+    eval: FuncEval,
+    time: f64,
+    steps: u64,
+}
+
+impl CennSim {
+    /// Creates a simulator with hardware-accurate LUT evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Lut`] if an off-chip LUT cannot be generated.
+    pub fn new(model: CennModel) -> Result<Self, ModelError> {
+        Self::with_eval(model, FuncEval::Lut)
+    }
+
+    /// Creates a simulator with the given function evaluation mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Lut`] if an off-chip LUT cannot be generated.
+    pub fn with_eval(model: CennModel, eval: FuncEval) -> Result<Self, ModelError> {
+        let cfg = model.lut_config();
+        let specs: Vec<_> = model
+            .library()
+            .iter()
+            .map(|(id, _)| cfg.spec_for(id))
+            .collect();
+        let hierarchy = LutHierarchy::build_with_specs(
+            model.library(),
+            &specs,
+            cfg.l1_blocks,
+            cfg.l2_capacity,
+            cfg.n_pes(),
+        )?;
+        let plan = compile(&model);
+        let blank = Grid::new(model.rows(), model.cols(), Q16_16::ZERO);
+        let n = model.n_layers();
+        Ok(Self {
+            plan,
+            states: vec![blank.clone(); n],
+            scratch: vec![blank.clone(); n],
+            aux: vec![blank.clone(); n],
+            aux2: vec![blank.clone(); n],
+            inputs: vec![blank; n],
+            hierarchy,
+            eval,
+            time: 0.0,
+            steps: 0,
+            model,
+        })
+    }
+
+    /// The model being simulated.
+    pub fn model(&self) -> &CennModel {
+        &self.model
+    }
+
+    /// Simulated time `t`.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Number of steps executed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The evaluation mode.
+    pub fn eval_mode(&self) -> FuncEval {
+        self.eval
+    }
+
+    /// Current state map of a layer.
+    pub fn state(&self, layer: LayerId) -> &Grid<Q16_16> {
+        &self.states[layer.index()]
+    }
+
+    /// All layer states in declaration order (the snapshot the cycle-level
+    /// trace simulator walks in hardware order).
+    pub fn states(&self) -> &[Grid<Q16_16>] {
+        &self.states
+    }
+
+    /// Current state map converted to `f64` (for error statistics).
+    pub fn state_f64(&self, layer: LayerId) -> Grid<f64> {
+        self.states[layer.index()].map(|v| v.to_f64())
+    }
+
+    /// Overwrites a layer's state map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ShapeMismatch`] if the grid shape differs from
+    /// the model's.
+    pub fn set_state(&mut self, layer: LayerId, grid: Grid<Q16_16>) -> Result<(), ModelError> {
+        self.check_shape(grid.rows(), grid.cols())?;
+        self.states[layer.index()] = grid;
+        Ok(())
+    }
+
+    /// Overwrites a layer's state from an `f64` grid (quantizing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ShapeMismatch`] on shape mismatch.
+    pub fn set_state_f64(&mut self, layer: LayerId, grid: &Grid<f64>) -> Result<(), ModelError> {
+        self.check_shape(grid.rows(), grid.cols())?;
+        self.states[layer.index()] = grid.map(Q16_16::from_f64);
+        Ok(())
+    }
+
+    /// Overwrites a layer's external input map `u`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ShapeMismatch`] on shape mismatch.
+    pub fn set_input(&mut self, layer: LayerId, grid: Grid<Q16_16>) -> Result<(), ModelError> {
+        self.check_shape(grid.rows(), grid.cols())?;
+        self.inputs[layer.index()] = grid;
+        Ok(())
+    }
+
+    /// Overwrites a layer's input from an `f64` grid (quantizing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ShapeMismatch`] on shape mismatch.
+    pub fn set_input_f64(&mut self, layer: LayerId, grid: &Grid<f64>) -> Result<(), ModelError> {
+        self.check_shape(grid.rows(), grid.cols())?;
+        self.inputs[layer.index()] = grid.map(Q16_16::from_f64);
+        Ok(())
+    }
+
+    fn check_shape(&self, rows: usize, cols: usize) -> Result<(), ModelError> {
+        if rows != self.model.rows() || cols != self.model.cols() {
+            return Err(ModelError::ShapeMismatch {
+                expected: (self.model.rows(), self.model.cols()),
+                got: (rows, cols),
+            });
+        }
+        Ok(())
+    }
+
+    /// Cumulative LUT statistics (the trace the cycle model consumes).
+    pub fn lut_stats(&self) -> LutStats {
+        self.hierarchy.stats()
+    }
+
+    /// Measured `(mr_L1, mr_L2)` miss rates.
+    pub fn miss_rates(&self) -> (f64, f64) {
+        self.hierarchy.miss_rates()
+    }
+
+    /// Resets LUT statistics (e.g. after warm-up).
+    pub fn reset_lut_stats(&mut self) {
+        self.hierarchy.reset_stats();
+    }
+
+    /// Injects a soft error into an off-chip LUT entry (the
+    /// fault-resilience study hook; see
+    /// [`cenn_lut::LutHierarchy::inject_fault`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function id, word or bit are out of range.
+    pub fn inject_lut_fault(
+        &mut self,
+        func: cenn_lut::FuncId,
+        idx: cenn_lut::SampleIdx,
+        word: usize,
+        bit: u32,
+    ) {
+        self.hierarchy.inject_fault(func, idx, word, bit);
+    }
+
+    /// Advances one time step (Euler or Heun, per the model's
+    /// [`Integrator`]), returning the post-step report.
+    pub fn step(&mut self) -> StepReport {
+        match self.model.integrator() {
+            Integrator::Euler => self.step_euler(),
+            Integrator::Heun => self.step_heun(),
+        }
+        self.steps += 1;
+        self.time += self.model.dt();
+        StepReport {
+            time: self.time,
+            steps: self.steps,
+            lut: self.hierarchy.stats(),
+        }
+    }
+
+    /// Recomputes algebraic layers in declaration order (reading current
+    /// values, so chains resolve sequentially).
+    fn algebraic_pass(&mut self) {
+        let (rows, cols) = (self.model.rows(), self.model.cols());
+        let (pe_rows, pe_cols) = {
+            let cfg = self.model.lut_config();
+            (cfg.pe_rows, cfg.pe_cols)
+        };
+        let ctx = EvalCtx {
+            lib: self.model.library().clone(),
+            eval: self.eval,
+        };
+        for i in 0..self.plan.len() {
+            if self.plan[i].kind != LayerKind::Algebraic {
+                continue;
+            }
+            for r in 0..rows {
+                for c in 0..cols {
+                    let pe = (r % pe_rows) * pe_cols + (c % pe_cols);
+                    let v = eval_cell(
+                        &self.plan[i],
+                        &self.states,
+                        &self.inputs,
+                        &mut self.hierarchy,
+                        &ctx,
+                        None,
+                        r,
+                        c,
+                        pe,
+                    );
+                    self.scratch[i].set(r, c, v);
+                }
+            }
+            std::mem::swap(&mut self.states[i], &mut self.scratch[i]);
+        }
+    }
+
+    /// Evaluates the dynamic-layer RHS grids into `out`.
+    #[allow(clippy::needless_range_loop)] // parallel indexing of plan/states/out
+    fn dyn_rhs(&mut self, out: &mut [Grid<Q16_16>]) {
+        let (rows, cols) = (self.model.rows(), self.model.cols());
+        let (pe_rows, pe_cols) = {
+            let cfg = self.model.lut_config();
+            (cfg.pe_rows, cfg.pe_cols)
+        };
+        let ctx = EvalCtx {
+            lib: self.model.library().clone(),
+            eval: self.eval,
+        };
+        for i in 0..self.plan.len() {
+            if self.plan[i].kind != LayerKind::Dynamic {
+                continue;
+            }
+            for r in 0..rows {
+                for c in 0..cols {
+                    let pe = (r % pe_rows) * pe_cols + (c % pe_cols);
+                    let rhs = eval_cell(
+                        &self.plan[i],
+                        &self.states,
+                        &self.inputs,
+                        &mut self.hierarchy,
+                        &ctx,
+                        Some(i),
+                        r,
+                        c,
+                        pe,
+                    );
+                    out[i].set(r, c, rhs);
+                }
+            }
+        }
+    }
+
+    /// One forward-Euler step: `x ← x + dt·f(x)` with a single wide-MAC
+    /// rounding (the PE's second MAC, Fig. 7).
+    #[allow(clippy::needless_range_loop)] // parallel indexing of plan/states/k1
+    fn step_euler(&mut self) {
+        self.algebraic_pass();
+        let dt = self.model.dt_fx();
+        let mut k1 = std::mem::take(&mut self.aux);
+        self.dyn_rhs(&mut k1);
+        for i in 0..self.plan.len() {
+            if self.plan[i].kind != LayerKind::Dynamic {
+                continue;
+            }
+            for (x, k) in self.states[i]
+                .as_mut_slice()
+                .iter_mut()
+                .zip(k1[i].as_slice())
+            {
+                let mut acc = MacAcc::<16>::with_init(*x);
+                acc.mac(dt, *k);
+                *x = acc.resolve();
+            }
+        }
+        self.aux = k1;
+    }
+
+    /// One Heun step: predictor `x* = x + dt·f(x)`, corrector
+    /// `x ← x + dt/2·(f(x) + f(x*))`. Two full sweeps — the cycle model
+    /// charges the doubled convolution/LUT traffic via
+    /// [`Integrator::passes`].
+    #[allow(clippy::needless_range_loop)] // parallel indexing of plan/states/k1/k2
+    fn step_heun(&mut self) {
+        self.algebraic_pass();
+        let dt = self.model.dt_fx();
+        let dt_half = Q16_16::from_f64(self.model.dt() / 2.0);
+        let n = self.plan.len();
+
+        let mut k1 = std::mem::take(&mut self.aux);
+        self.dyn_rhs(&mut k1);
+        // Save x and advance to the predictor state.
+        let saved: Vec<Grid<Q16_16>> = self.states.clone();
+        for i in 0..n {
+            if self.plan[i].kind != LayerKind::Dynamic {
+                continue;
+            }
+            for (x, k) in self.states[i]
+                .as_mut_slice()
+                .iter_mut()
+                .zip(k1[i].as_slice())
+            {
+                let mut acc = MacAcc::<16>::with_init(*x);
+                acc.mac(dt, *k);
+                *x = acc.resolve();
+            }
+        }
+        // Corrector sweep on the predictor state (algebraic layers track
+        // the predictor).
+        self.algebraic_pass();
+        let mut k2 = std::mem::take(&mut self.aux2);
+        self.dyn_rhs(&mut k2);
+        for i in 0..n {
+            if self.plan[i].kind != LayerKind::Dynamic {
+                continue;
+            }
+            for (((x, x0), a), b2) in self.states[i]
+                .as_mut_slice()
+                .iter_mut()
+                .zip(saved[i].as_slice())
+                .zip(k1[i].as_slice())
+                .zip(k2[i].as_slice())
+            {
+                let mut acc = MacAcc::<16>::with_init(*x0);
+                acc.mac(dt_half, *a);
+                acc.mac(dt_half, *b2);
+                *x = acc.resolve();
+            }
+        }
+        self.aux = k1;
+        self.aux2 = k2;
+    }
+
+    /// Runs `n` steps.
+    pub fn run(&mut self, n: u64) -> StepReport {
+        let mut report = StepReport {
+            time: self.time,
+            steps: self.steps,
+            lut: self.hierarchy.stats(),
+        };
+        for _ in 0..n {
+            report = self.step();
+        }
+        report
+    }
+}
+
+/// Immutable context for weight evaluation.
+struct EvalCtx {
+    lib: FuncLibrary,
+    eval: FuncEval,
+}
+
+/// Compiles the model's templates into per-layer tap lists with zero
+/// entries stripped.
+fn compile(model: &CennModel) -> Vec<LayerPlan> {
+    model
+        .layer_ids()
+        .map(|dest| {
+            let mut convs = Vec::new();
+            for kind in [TemplateKind::State, TemplateKind::Output, TemplateKind::Input] {
+                for (src, t) in model.templates(kind, dest) {
+                    let taps: Vec<_> = t
+                        .iter()
+                        .filter(|(_, _, w)| !w.is_zero())
+                        .map(|(dr, dc, w)| (dr, dc, w.clone()))
+                        .collect();
+                    if !taps.is_empty() {
+                        convs.push(CompiledConv {
+                            kind,
+                            src: src.index(),
+                            boundary: model.layer(src).boundary(),
+                            taps,
+                        });
+                    }
+                }
+            }
+            LayerPlan {
+                kind: model.layer(dest).kind(),
+                convs,
+                offsets: model.offsets(dest).cloned().collect(),
+            }
+        })
+        .collect()
+}
+
+/// Evaluates one cell's RHS. `leak_layer` is `Some(dest)` for dynamic
+/// layers (adds the `-x` term of eq. 1) and `None` for algebraic layers.
+#[allow(clippy::too_many_arguments)]
+fn eval_cell(
+    plan: &LayerPlan,
+    states: &[Grid<Q16_16>],
+    inputs: &[Grid<Q16_16>],
+    hier: &mut LutHierarchy,
+    ctx: &EvalCtx,
+    leak_layer: Option<usize>,
+    r: usize,
+    c: usize,
+    pe: usize,
+) -> Q16_16 {
+    let mut acc = MacAcc::<16>::new();
+    if let Some(dest) = leak_layer {
+        acc.mac(Q16_16::NEG_ONE, states[dest].get(r, c));
+    }
+    let (rows, cols) = (states[0].rows(), states[0].cols());
+    for conv in &plan.convs {
+        for &(dr, dc, ref w) in &conv.taps {
+            let operand = match conv.boundary.resolve(rows, cols, r, c, dr, dc) {
+                Some((nr, nc)) => {
+                    let raw = match conv.kind {
+                        TemplateKind::Input => inputs[conv.src].get(nr, nc),
+                        _ => states[conv.src].get(nr, nc),
+                    };
+                    match conv.kind {
+                        TemplateKind::Output => raw.cenn_output(),
+                        _ => raw,
+                    }
+                }
+                None => {
+                    let v = Q16_16::from_f64(conv.boundary.constant());
+                    match conv.kind {
+                        TemplateKind::Output => v.cenn_output(),
+                        _ => v,
+                    }
+                }
+            };
+            let weight = eval_weight(w, states, hier, ctx, r, c, pe);
+            acc.mac(weight, operand);
+        }
+    }
+    for w in &plan.offsets {
+        let v = eval_weight(w, states, hier, ctx, r, c, pe);
+        acc.add(v);
+    }
+    acc.resolve()
+}
+
+/// Evaluates a template weight at a cell, walking the LUT hierarchy for
+/// each dynamic factor (or computing exactly in [`FuncEval::Exact`]).
+fn eval_weight(
+    w: &WeightExpr,
+    states: &[Grid<Q16_16>],
+    hier: &mut LutHierarchy,
+    ctx: &EvalCtx,
+    r: usize,
+    c: usize,
+    pe: usize,
+) -> Q16_16 {
+    match w {
+        WeightExpr::Const(v) => *v,
+        WeightExpr::Dyn { scale, factors } => {
+            let mut acc = *scale;
+            for f in factors {
+                let x = states[f.layer.index()].get(r, c);
+                let val = match ctx.eval {
+                    FuncEval::Lut => hier.lookup(pe, f.func, x).0,
+                    FuncEval::Exact => Q16_16::from_f64(ctx.lib.get(f.func).value(x.to_f64())),
+                };
+                acc *= val;
+            }
+            acc
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping;
+    use crate::model::CennModelBuilder;
+    use crate::template::WeightExpr;
+
+    fn heat_sim(rows: usize, cols: usize, kappa: f64, dt: f64) -> (CennSim, LayerId) {
+        let mut b = CennModelBuilder::new(rows, cols);
+        let u = b.dynamic_layer("u", Boundary::ZeroFlux);
+        b.state_template(u, u, mapping::heat_template(kappa, 1.0));
+        let sim = CennSim::new(b.build(dt).unwrap()).unwrap();
+        (sim, u)
+    }
+
+    #[test]
+    fn heat_peak_decays_and_spreads() {
+        let (mut sim, u) = heat_sim(9, 9, 1.0, 0.1);
+        let mut init = Grid::new(9, 9, Q16_16::ZERO);
+        init.set(4, 4, Q16_16::from_f64(8.0));
+        sim.set_state(u, init).unwrap();
+        sim.run(20);
+        let s = sim.state_f64(u);
+        assert!(s.get(4, 4) < 8.0);
+        assert!(s.get(4, 4) > s.get(0, 0), "peak remains the maximum");
+        assert!(s.get(4, 5) > 0.0, "heat reached the neighbours");
+    }
+
+    #[test]
+    fn heat_conserves_mass_under_zero_flux() {
+        let (mut sim, u) = heat_sim(8, 8, 0.5, 0.1);
+        let mut init = Grid::new(8, 8, Q16_16::ZERO);
+        init.set(3, 3, Q16_16::from_f64(4.0));
+        sim.set_state(u, init).unwrap();
+        let total_before: f64 = sim.state_f64(u).as_slice().iter().sum();
+        sim.run(50);
+        let total_after: f64 = sim.state_f64(u).as_slice().iter().sum();
+        assert!(
+            (total_before - total_after).abs() < 0.05,
+            "mass drifted: {total_before} -> {total_after}"
+        );
+    }
+
+    #[test]
+    fn uniform_state_is_heat_fixed_point() {
+        let (mut sim, u) = heat_sim(6, 6, 1.0, 0.05);
+        sim.set_state(u, Grid::new(6, 6, Q16_16::from_f64(2.0)))
+            .unwrap();
+        sim.run(30);
+        let s = sim.state_f64(u);
+        for &v in s.as_slice() {
+            assert!((v - 2.0).abs() < 1e-3, "uniform state drifted to {v}");
+        }
+    }
+
+    #[test]
+    fn logistic_growth_via_dynamic_offset() {
+        // du/dt = u(1-u) = u - u^2 on a single cell:
+        // state template centre 1 (+1 leak cancel -> 2), offset -square(u).
+        let mut b = CennModelBuilder::new(1, 1);
+        let u = b.dynamic_layer("u", Boundary::Zero);
+        let sq = b.register_func(cenn_lut::funcs::square());
+        b.state_template(u, u, mapping::center(1.0).into_state_template());
+        b.offset_expr(
+            u,
+            WeightExpr::product(-1.0, vec![crate::template::Factor { func: sq, layer: u }]),
+        );
+        let model = b.build(0.05).unwrap();
+        for eval in [FuncEval::Exact, FuncEval::Lut] {
+            let mut sim = CennSim::with_eval(model.clone(), eval).unwrap();
+            sim.set_state_f64(u, &Grid::new(1, 1, 0.1)).unwrap();
+            sim.run(400);
+            let v = sim.state_f64(u).get(0, 0);
+            assert!((v - 1.0).abs() < 0.05, "{eval:?}: logistic -> {v}");
+        }
+    }
+
+    #[test]
+    fn algebraic_layer_tracks_source() {
+        // w = 2*u as an algebraic layer.
+        let mut b = CennModelBuilder::new(4, 4);
+        let u = b.dynamic_layer("u", Boundary::Zero);
+        let w = b.algebraic_layer("w", Boundary::Zero);
+        b.state_template(w, u, mapping::center(2.0).into_template());
+        let model = b.build(0.1).unwrap();
+        let mut sim = CennSim::new(model).unwrap();
+        sim.set_state_f64(u, &Grid::new(4, 4, 1.5)).unwrap();
+        sim.step();
+        let wv = sim.state_f64(w);
+        // u has no templates: decays by the leak. w = 2 * u(old) = 3.
+        assert!((wv.get(2, 2) - 3.0).abs() < 1e-3, "w = {}", wv.get(2, 2));
+    }
+
+    #[test]
+    fn leak_only_layer_decays_exponentially() {
+        // No templates at all: dx/dt = -x.
+        let mut b = CennModelBuilder::new(2, 2);
+        let u = b.dynamic_layer("u", Boundary::Zero);
+        let model = b.build(0.1).unwrap();
+        let mut sim = CennSim::new(model).unwrap();
+        sim.set_state_f64(u, &Grid::new(2, 2, 1.0)).unwrap();
+        sim.run(10);
+        let v = sim.state_f64(u).get(0, 0);
+        // (1 - 0.1)^10 = 0.3487
+        assert!((v - 0.9f64.powi(10)).abs() < 1e-3, "decay -> {v}");
+    }
+
+    #[test]
+    fn input_template_feeds_external_map() {
+        // dx/dt = -x + 1*u with u = 3: steady state x = 3.
+        let mut b = CennModelBuilder::new(3, 3);
+        let u = b.dynamic_layer("x", Boundary::Zero);
+        b.input_template(u, u, mapping::center(1.0).into_template());
+        let model = b.build(0.1).unwrap();
+        let mut sim = CennSim::new(model).unwrap();
+        sim.set_input_f64(u, &Grid::new(3, 3, 3.0)).unwrap();
+        sim.run(200);
+        let v = sim.state_f64(u).get(1, 1);
+        assert!((v - 3.0).abs() < 1e-2, "steady state {v}");
+    }
+
+    #[test]
+    fn output_template_clamps_source() {
+        // dx/dt = -x + 1*y(src) with src state 5 -> y = 1, steady x = 1.
+        let mut b = CennModelBuilder::new(2, 2);
+        let x = b.dynamic_layer("x", Boundary::Zero);
+        let s = b.dynamic_layer("s", Boundary::Zero);
+        // Keep s pinned via its own identity template (ds/dt = -s + s = 0).
+        b.state_template(s, s, mapping::center(0.0).into_state_template());
+        b.output_template(x, s, mapping::center(1.0).into_template());
+        let model = b.build(0.1).unwrap();
+        let mut sim = CennSim::new(model).unwrap();
+        sim.set_state_f64(s, &Grid::new(2, 2, 5.0)).unwrap();
+        sim.run(200);
+        let v = sim.state_f64(x).get(0, 0);
+        assert!((v - 1.0).abs() < 1e-2, "clamped steady state {v}");
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let (mut sim, u) = heat_sim(4, 4, 1.0, 0.1);
+        let bad = Grid::new(5, 4, Q16_16::ZERO);
+        assert!(matches!(
+            sim.set_state(u, bad),
+            Err(ModelError::ShapeMismatch { .. })
+        ));
+        let bad = Grid::new(4, 5, 0.0);
+        assert!(sim.set_state_f64(u, &bad).is_err());
+        assert!(sim.set_input_f64(u, &bad).is_err());
+    }
+
+    #[test]
+    fn lut_stats_accumulate_only_with_dynamic_weights() {
+        let (mut sim, u) = heat_sim(4, 4, 1.0, 0.1);
+        sim.set_state_f64(u, &Grid::new(4, 4, 1.0)).unwrap();
+        sim.run(5);
+        assert_eq!(sim.lut_stats().accesses, 0, "linear model never looks up");
+
+        let mut b = CennModelBuilder::new(4, 4);
+        let x = b.dynamic_layer("x", Boundary::Zero);
+        let sq = b.register_func(cenn_lut::funcs::square());
+        b.offset_expr(x, WeightExpr::dynamic(0.01, sq, x));
+        let model = b.build(0.01).unwrap();
+        let mut sim = CennSim::new(model).unwrap();
+        sim.run(3);
+        assert_eq!(
+            sim.lut_stats().accesses,
+            3 * 16,
+            "one lookup per cell per step"
+        );
+        sim.reset_lut_stats();
+        assert_eq!(sim.lut_stats().accesses, 0);
+    }
+
+    #[test]
+    fn exact_and_lut_modes_agree_on_sample_points() {
+        // States held exactly on integer sample points use the stored l(p):
+        // both modes agree to quantization.
+        let mut b = CennModelBuilder::new(2, 2);
+        let x = b.dynamic_layer("x", Boundary::Zero);
+        let sq = b.register_func(cenn_lut::funcs::square());
+        b.offset_expr(x, WeightExpr::dynamic(1.0, sq, x));
+        b.state_template(x, x, mapping::center(0.0).into_state_template());
+        let model = b.build(0.125).unwrap();
+        let mut a = CennSim::with_eval(model.clone(), FuncEval::Lut).unwrap();
+        let mut e = CennSim::with_eval(model, FuncEval::Exact).unwrap();
+        for s in [&mut a, &mut e] {
+            s.set_state_f64(x, &Grid::new(2, 2, 3.0)).unwrap();
+            s.step();
+        }
+        assert_eq!(a.state(x).get(0, 0), e.state(x).get(0, 0));
+    }
+
+    #[test]
+    fn heun_beats_euler_on_the_logistic_equation() {
+        // du/dt = u(1-u) has the closed form
+        // u(t) = 1 / (1 + (1/u0 - 1) e^{-t}).
+        let build = |integrator| {
+            let mut b = CennModelBuilder::new(1, 1);
+            let u = b.dynamic_layer("u", Boundary::Zero);
+            let sq = b.register_func(cenn_lut::funcs::square());
+            b.state_template(u, u, mapping::center(1.0).into_state_template());
+            b.offset_expr(
+                u,
+                WeightExpr::product(-1.0, vec![crate::template::Factor { func: sq, layer: u }]),
+            );
+            b.integrator(integrator);
+            (b.build(0.25).unwrap(), u)
+        };
+        let u0 = 0.125f64;
+        let t_end = 5.0f64;
+        let exact = 1.0 / (1.0 + (1.0 / u0 - 1.0) * (-t_end).exp());
+        let run = |integrator| {
+            let (model, u) = build(integrator);
+            let mut sim = CennSim::with_eval(model, FuncEval::Exact).unwrap();
+            sim.set_state_f64(u, &Grid::new(1, 1, u0)).unwrap();
+            sim.run(20); // t = 5.0
+            sim.state_f64(u).get(0, 0)
+        };
+        let e_euler = (run(crate::Integrator::Euler) - exact).abs();
+        let e_heun = (run(crate::Integrator::Heun) - exact).abs();
+        assert!(
+            e_heun < e_euler / 4.0,
+            "heun {e_heun} should beat euler {e_euler} by the order gap"
+        );
+    }
+
+    #[test]
+    fn heun_doubles_lut_traffic() {
+        let build = |integrator| {
+            let mut b = CennModelBuilder::new(4, 4);
+            let x = b.dynamic_layer("x", Boundary::Zero);
+            let sq = b.register_func(cenn_lut::funcs::square());
+            b.offset_expr(x, WeightExpr::dynamic(0.01, sq, x));
+            b.integrator(integrator);
+            b.build(0.01).unwrap()
+        };
+        let mut euler = CennSim::new(build(crate::Integrator::Euler)).unwrap();
+        let mut heun = CennSim::new(build(crate::Integrator::Heun)).unwrap();
+        euler.run(3);
+        heun.run(3);
+        assert_eq!(heun.lut_stats().accesses, 2 * euler.lut_stats().accesses);
+    }
+
+    #[test]
+    fn lut_fault_injection_perturbs_but_saturates() {
+        // du/dt = u - u^2 with a corrupted square LUT: a high-bit fault in
+        // the visited entry shifts the trajectory; states stay inside the
+        // saturating-format bounds.
+        let build = || {
+            let mut b = CennModelBuilder::new(2, 2);
+            let u = b.dynamic_layer("u", Boundary::Zero);
+            let sq = b.register_func(cenn_lut::funcs::square());
+            b.state_template(u, u, mapping::center(1.0).into_state_template());
+            b.offset_expr(
+                u,
+                WeightExpr::product(-1.0, vec![crate::template::Factor { func: sq, layer: u }]),
+            );
+            (b.build(0.05).unwrap(), u)
+        };
+        let run = |fault: bool| {
+            let (model, u) = build();
+            let mut sim = CennSim::new(model).unwrap();
+            sim.set_state_f64(u, &Grid::new(2, 2, 0.5)).unwrap();
+            if fault {
+                // Corrupt l(p) at p = 0 (the visited entry) in a high bit.
+                sim.inject_lut_fault(cenn_lut::FuncId(0), cenn_lut::SampleIdx(0), 0, 20);
+            }
+            sim.run(100);
+            sim.state_f64(u).get(0, 0)
+        };
+        let clean = run(false);
+        let faulty = run(true);
+        assert!((clean - 1.0).abs() < 0.05, "clean logistic -> {clean}");
+        assert!(faulty != clean, "fault must be visible");
+        assert!(faulty.abs() <= 32768.0, "saturating bound holds: {faulty}");
+    }
+
+    #[test]
+    fn step_report_advances_time() {
+        let (mut sim, _) = heat_sim(2, 2, 1.0, 0.25);
+        let r = sim.run(4);
+        assert_eq!(r.steps, 4);
+        assert!((r.time - 1.0).abs() < 1e-12);
+        assert_eq!(sim.steps(), 4);
+    }
+
+    #[test]
+    fn dirichlet_boundary_pulls_edges() {
+        // Heat with hot Dirichlet walls: interior warms toward the wall value.
+        let mut b = CennModelBuilder::new(5, 5);
+        let u = b.dynamic_layer("u", Boundary::Dirichlet(4.0));
+        b.state_template(u, u, mapping::heat_template(0.5, 1.0));
+        let model = b.build(0.1).unwrap();
+        let mut sim = CennSim::new(model).unwrap();
+        sim.run(300);
+        let s = sim.state_f64(u);
+        assert!(s.get(0, 0) > 3.5, "corner warmed to {}", s.get(0, 0));
+        assert!(s.get(2, 2) > 3.0, "centre warmed to {}", s.get(2, 2));
+    }
+
+    #[test]
+    fn periodic_heat_smooths_stripe() {
+        let mut b = CennModelBuilder::new(4, 8);
+        let u = b.dynamic_layer("u", Boundary::Periodic);
+        b.state_template(u, u, mapping::heat_template(0.5, 1.0));
+        let model = b.build(0.1).unwrap();
+        let mut sim = CennSim::new(model).unwrap();
+        let stripe = Grid::from_fn(4, 8, |_, c| if c == 0 { 8.0 } else { 0.0 });
+        sim.set_state_f64(u, &stripe).unwrap();
+        sim.run(100);
+        let s = sim.state_f64(u);
+        // Periodic smoothing: column 7 (adjacent across the wrap) received
+        // as much heat as column 1.
+        assert!((s.get(2, 7) - s.get(2, 1)).abs() < 1e-3);
+        assert!(s.get(2, 4) > 0.2, "far column heated: {}", s.get(2, 4));
+    }
+}

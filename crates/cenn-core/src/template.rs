@@ -1,0 +1,459 @@
+//! Templates: the programmable local connection weights of the CeNN.
+
+use cenn_lut::FuncId;
+use fixedpt::Q16_16;
+
+use crate::layer::LayerId;
+
+/// One multiplicative factor of a dynamic template weight: a registered
+/// nonlinear function applied to the state of `layer` at the destination
+/// cell's location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Factor {
+    /// The nonlinear function, evaluated through the LUT hierarchy / TUM.
+    pub func: FuncId,
+    /// The layer whose state drives the factor.
+    pub layer: LayerId,
+}
+
+/// A template entry: either a space/time-invariant constant (linear
+/// template, WUI = 0) or a dynamic expression requiring real-time weight
+/// update (nonlinear template, WUI = 1).
+///
+/// The dynamic form generalizes eq. (10)'s `α = c₀+c₁φ+c₂φ²` to a scaled
+/// product of single-variable nonlinear functions of layer states,
+///
+/// ```text
+/// w(cell) = scale · Π_i  f_i( x_{layer_i}(cell) )
+/// ```
+///
+/// which is required by the paper's own benchmarks (Hodgkin–Huxley currents
+/// are products such as `g_Na·m³·h·(V−E_Na)`); see DESIGN.md. Each factor
+/// costs one LUT look-up per cell per step, which the architecture model
+/// charges accordingly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WeightExpr {
+    /// Space/time-invariant weight, programmed once.
+    Const(Q16_16),
+    /// Real-time updated weight (sets the template's WUI bit).
+    Dyn {
+        /// Constant prefactor.
+        scale: Q16_16,
+        /// Nonlinear factors multiplied together (at least one).
+        factors: Vec<Factor>,
+    },
+}
+
+impl WeightExpr {
+    /// A constant weight from an `f64` (quantized to Q16.16, which is how
+    /// template words are programmed into the hardware).
+    pub fn constant(w: f64) -> Self {
+        WeightExpr::Const(Q16_16::from_f64(w))
+    }
+
+    /// A dynamic weight `scale · f(x_layer)`.
+    pub fn dynamic(scale: f64, func: FuncId, layer: LayerId) -> Self {
+        WeightExpr::Dyn {
+            scale: Q16_16::from_f64(scale),
+            factors: vec![Factor { func, layer }],
+        }
+    }
+
+    /// A dynamic weight with an explicit factor product.
+    pub fn product(scale: f64, factors: Vec<Factor>) -> Self {
+        assert!(
+            !factors.is_empty(),
+            "dynamic weight needs at least one factor"
+        );
+        WeightExpr::Dyn {
+            scale: Q16_16::from_f64(scale),
+            factors,
+        }
+    }
+
+    /// `true` if this entry requires real-time weight update (its WUI bit).
+    pub fn needs_update(&self) -> bool {
+        matches!(self, WeightExpr::Dyn { .. })
+    }
+
+    /// Number of LUT look-ups one evaluation costs (0 for constants).
+    pub fn lookup_count(&self) -> usize {
+        match self {
+            WeightExpr::Const(_) => 0,
+            WeightExpr::Dyn { factors, .. } => factors.len(),
+        }
+    }
+
+    /// `true` if the entry is the constant zero (no hardware work at all).
+    pub fn is_zero(&self) -> bool {
+        matches!(self, WeightExpr::Const(w) if w.is_zero())
+    }
+}
+
+/// A square convolution template of side `k` (odd), the "program" of one
+/// layer-pair connection (Â, A or B of eq. 1).
+///
+/// # Examples
+///
+/// ```
+/// use cenn_core::{Template, WeightExpr};
+///
+/// let mut t = Template::zero(3);
+/// t.set(0, 0, WeightExpr::constant(-4.0));
+/// t.set(-1, 0, WeightExpr::constant(1.0));
+/// assert_eq!(t.radius(), 1);
+/// assert!(!t.needs_update());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Template {
+    k: usize,
+    weights: Vec<WeightExpr>,
+}
+
+impl Template {
+    /// Creates an all-zero template of side `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is even or zero.
+    pub fn zero(k: usize) -> Self {
+        assert!(k % 2 == 1, "template side must be odd, got {k}");
+        Self {
+            k,
+            weights: vec![WeightExpr::Const(Q16_16::ZERO); k * k],
+        }
+    }
+
+    /// Builds a template from a row-major list of constant weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `values.len()` is an odd perfect square.
+    pub fn from_constants(values: &[f64]) -> Self {
+        let k = (values.len() as f64).sqrt() as usize;
+        assert!(
+            k * k == values.len() && k % 2 == 1,
+            "need an odd square number of weights, got {}",
+            values.len()
+        );
+        Self {
+            k,
+            weights: values.iter().map(|&v| WeightExpr::constant(v)).collect(),
+        }
+    }
+
+    /// Side length `k`.
+    pub fn size(&self) -> usize {
+        self.k
+    }
+
+    /// Neighbourhood radius `r = (k-1)/2`.
+    pub fn radius(&self) -> i32 {
+        (self.k as i32 - 1) / 2
+    }
+
+    #[inline]
+    fn idx(&self, dr: i32, dc: i32) -> usize {
+        let r = self.radius();
+        debug_assert!(dr.abs() <= r && dc.abs() <= r, "offset out of template");
+        ((dr + r) as usize) * self.k + (dc + r) as usize
+    }
+
+    /// The entry at offset `(dr, dc)` from the centre.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug) if the offset exceeds the radius.
+    pub fn get(&self, dr: i32, dc: i32) -> &WeightExpr {
+        &self.weights[self.idx(dr, dc)]
+    }
+
+    /// Sets the entry at offset `(dr, dc)`.
+    pub fn set(&mut self, dr: i32, dc: i32, w: WeightExpr) {
+        let i = self.idx(dr, dc);
+        self.weights[i] = w;
+    }
+
+    /// Adds a constant to the centre entry (used to cancel the `-x` leak
+    /// term of eq. (1), as in the `+1` of eq. (7)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the centre entry is dynamic.
+    pub fn add_center_constant(&mut self, v: f64) {
+        let i = self.idx(0, 0);
+        match &self.weights[i] {
+            WeightExpr::Const(w) => {
+                self.weights[i] = WeightExpr::Const(*w + Q16_16::from_f64(v));
+            }
+            WeightExpr::Dyn { .. } => panic!("centre entry is dynamic; add the constant as a separate template"),
+        }
+    }
+
+    /// Iterates `(dr, dc, &entry)` over all offsets.
+    pub fn iter(&self) -> impl Iterator<Item = (i32, i32, &WeightExpr)> {
+        let r = self.radius();
+        self.weights.iter().enumerate().map(move |(i, w)| {
+            let dr = (i / self.k) as i32 - r;
+            let dc = (i % self.k) as i32 - r;
+            (dr, dc, w)
+        })
+    }
+
+    /// `true` if any entry needs real-time update (the template's WUI
+    /// indicator of Fig. 3 is non-zero).
+    pub fn needs_update(&self) -> bool {
+        self.weights.iter().any(WeightExpr::needs_update)
+    }
+
+    /// Number of entries with the WUI bit set.
+    pub fn wui_count(&self) -> usize {
+        self.weights.iter().filter(|w| w.needs_update()).count()
+    }
+
+    /// Total LUT look-ups one application of this template costs per cell.
+    pub fn lookups_per_cell(&self) -> usize {
+        self.weights.iter().map(WeightExpr::lookup_count).sum()
+    }
+
+    /// `true` if every entry is the constant zero.
+    pub fn is_zero(&self) -> bool {
+        self.weights.iter().all(WeightExpr::is_zero)
+    }
+}
+
+/// A plain `f64` convolution kernel — the output of finite-difference
+/// discretization (eq. 6) before quantization into a [`Template`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stencil {
+    k: usize,
+    values: Vec<f64>,
+}
+
+impl Stencil {
+    /// Creates a zero stencil of side `k` (odd).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is even.
+    pub fn zero(k: usize) -> Self {
+        assert!(k % 2 == 1, "stencil side must be odd");
+        Self {
+            k,
+            values: vec![0.0; k * k],
+        }
+    }
+
+    /// Builds from a row-major value list (odd square length).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the length is an odd perfect square.
+    pub fn from_values(values: &[f64]) -> Self {
+        let k = (values.len() as f64).sqrt() as usize;
+        assert!(k * k == values.len() && k % 2 == 1);
+        Self {
+            k,
+            values: values.to_vec(),
+        }
+    }
+
+    /// Side length.
+    pub fn size(&self) -> usize {
+        self.k
+    }
+
+    /// Value at offset `(dr, dc)`.
+    pub fn get(&self, dr: i32, dc: i32) -> f64 {
+        let r = (self.k as i32 - 1) / 2;
+        self.values[((dr + r) as usize) * self.k + (dc + r) as usize]
+    }
+
+    /// Sets the value at offset `(dr, dc)`.
+    pub fn set(&mut self, dr: i32, dc: i32, v: f64) {
+        let r = (self.k as i32 - 1) / 2;
+        self.values[((dr + r) as usize) * self.k + (dc + r) as usize] = v;
+    }
+
+    /// Scales all values by `s`, returning the scaled stencil.
+    pub fn scaled(mut self, s: f64) -> Self {
+        self.values.iter_mut().for_each(|v| *v *= s);
+        self
+    }
+
+    /// Adds another stencil element-wise (a consuming builder step, not
+    /// `std::ops::Add`: the operand is borrowed and sizes are validated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes differ.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(mut self, other: &Stencil) -> Self {
+        assert_eq!(self.k, other.k, "stencil size mismatch");
+        self.values
+            .iter_mut()
+            .zip(other.values.iter())
+            .for_each(|(a, b)| *a += b);
+        self
+    }
+
+    /// Quantizes into a feedforward/plain [`Template`] (no leak
+    /// compensation).
+    pub fn into_template(self) -> Template {
+        Template {
+            k: self.k,
+            weights: self
+                .values
+                .iter()
+                .map(|&v| WeightExpr::constant(v))
+                .collect(),
+        }
+    }
+
+    /// Quantizes into a **state** template Â, adding `+1` to the centre to
+    /// cancel the `-x` leak of eq. (1) — exactly the `-4/h² + 1` centre of
+    /// eq. (7) — so the layer integrates `dx/dt = stencil * x`.
+    pub fn into_state_template(mut self) -> Template {
+        let r = (self.k as i32 - 1) / 2;
+        let c = self.get(0, 0);
+        self.set(0, 0, c + 1.0);
+        let _ = r;
+        self.into_template()
+    }
+
+    /// Row-major values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_weight_quantizes() {
+        let w = WeightExpr::constant(0.5);
+        assert!(!w.needs_update());
+        assert_eq!(w.lookup_count(), 0);
+        assert!(WeightExpr::constant(0.0).is_zero());
+        assert!(!w.is_zero());
+    }
+
+    #[test]
+    fn dynamic_weight_flags_update() {
+        let w = WeightExpr::dynamic(2.0, FuncId(0), LayerId(1));
+        assert!(w.needs_update());
+        assert_eq!(w.lookup_count(), 1);
+        let p = WeightExpr::product(
+            1.0,
+            vec![
+                Factor { func: FuncId(0), layer: LayerId(0) },
+                Factor { func: FuncId(1), layer: LayerId(1) },
+            ],
+        );
+        assert_eq!(p.lookup_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one factor")]
+    fn empty_product_panics() {
+        let _ = WeightExpr::product(1.0, vec![]);
+    }
+
+    #[test]
+    fn template_offsets_round_trip() {
+        let mut t = Template::zero(5);
+        assert_eq!(t.radius(), 2);
+        t.set(-2, 2, WeightExpr::constant(1.0));
+        t.set(0, 0, WeightExpr::constant(-1.0));
+        assert_eq!(*t.get(-2, 2), WeightExpr::constant(1.0));
+        assert_eq!(*t.get(0, 0), WeightExpr::constant(-1.0));
+        assert!(t.get(1, 1).is_zero());
+    }
+
+    #[test]
+    fn from_constants_row_major() {
+        let t = Template::from_constants(&[0.0, 1.0, 0.0, 2.0, -4.0, 2.0, 0.0, 1.0, 0.0]);
+        assert_eq!(*t.get(-1, 0), WeightExpr::constant(1.0));
+        assert_eq!(*t.get(0, -1), WeightExpr::constant(2.0));
+        assert_eq!(*t.get(0, 0), WeightExpr::constant(-4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_template_panics() {
+        let _ = Template::zero(4);
+    }
+
+    #[test]
+    fn wui_accounting() {
+        let mut t = Template::zero(3);
+        assert!(!t.needs_update());
+        assert_eq!(t.wui_count(), 0);
+        t.set(0, 0, WeightExpr::dynamic(1.0, FuncId(0), LayerId(0)));
+        t.set(0, 1, WeightExpr::product(
+            1.0,
+            vec![
+                Factor { func: FuncId(0), layer: LayerId(0) },
+                Factor { func: FuncId(1), layer: LayerId(0) },
+            ],
+        ));
+        assert!(t.needs_update());
+        assert_eq!(t.wui_count(), 2);
+        assert_eq!(t.lookups_per_cell(), 3);
+    }
+
+    #[test]
+    fn add_center_constant_merges() {
+        let mut t = Template::from_constants(&[0.0; 9]);
+        t.add_center_constant(1.0);
+        assert_eq!(*t.get(0, 0), WeightExpr::constant(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dynamic")]
+    fn add_center_constant_rejects_dynamic() {
+        let mut t = Template::zero(3);
+        t.set(0, 0, WeightExpr::dynamic(1.0, FuncId(0), LayerId(0)));
+        t.add_center_constant(1.0);
+    }
+
+    #[test]
+    fn stencil_into_state_template_cancels_leak() {
+        let mut s = Stencil::zero(3);
+        s.set(0, 0, -4.0);
+        s.set(0, 1, 1.0);
+        let t = s.into_state_template();
+        // centre becomes -4 + 1 = -3 (the eq. (7) structure)
+        assert_eq!(*t.get(0, 0), WeightExpr::constant(-3.0));
+        assert_eq!(*t.get(0, 1), WeightExpr::constant(1.0));
+    }
+
+    #[test]
+    fn stencil_scaled_and_add() {
+        let a = Stencil::from_values(&[0., 1., 0., 1., -4., 1., 0., 1., 0.]).scaled(2.0);
+        assert_eq!(a.get(0, 0), -8.0);
+        let b = Stencil::zero(3);
+        let c = a.clone().add(&b);
+        assert_eq!(c.values(), a.values());
+    }
+
+    #[test]
+    fn template_iter_covers_all_offsets() {
+        let t = Template::zero(3);
+        let offsets: Vec<_> = t.iter().map(|(dr, dc, _)| (dr, dc)).collect();
+        assert_eq!(offsets.len(), 9);
+        assert!(offsets.contains(&(-1, -1)));
+        assert!(offsets.contains(&(1, 1)));
+        assert!(offsets.contains(&(0, 0)));
+    }
+
+    #[test]
+    fn is_zero_template() {
+        assert!(Template::zero(3).is_zero());
+        let mut t = Template::zero(3);
+        t.set(0, 0, WeightExpr::dynamic(1.0, FuncId(0), LayerId(0)));
+        assert!(!t.is_zero());
+    }
+}

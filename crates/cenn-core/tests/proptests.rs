@@ -1,0 +1,197 @@
+//! Property-based tests for the CeNN model and functional simulator.
+
+use cenn_core::{mapping, Boundary, CennModelBuilder, CennSim, Grid};
+use fixedpt::Q16_16;
+use proptest::prelude::*;
+
+fn small_grid(rows: usize, cols: usize, lo: f64, hi: f64) -> impl Strategy<Value = Grid<f64>> {
+    prop::collection::vec(lo..hi, rows * cols).prop_map(move |v| {
+        Grid::from_fn(rows, cols, |r, c| v[r * cols + c])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn heat_obeys_the_discrete_maximum_principle(init in small_grid(8, 8, -4.0, 4.0)) {
+        // With a stable step (4*kappa*dt/h^2 < 1) the explicit heat update
+        // is a convex combination: values never leave the initial range.
+        let mut b = CennModelBuilder::new(8, 8);
+        let u = b.dynamic_layer("u", Boundary::ZeroFlux);
+        b.state_template(u, u, mapping::heat_template(0.5, 1.0));
+        let mut sim = CennSim::new(b.build(0.2).unwrap()).unwrap();
+        sim.set_state_f64(u, &init).unwrap();
+        let (lo, hi) = init.as_slice().iter().fold((f64::MAX, f64::MIN),
+            |(l, h), &v| (l.min(v), h.max(v)));
+        sim.run(30);
+        for &v in sim.state_f64(u).as_slice() {
+            prop_assert!(v >= lo - 1e-3 && v <= hi + 1e-3, "{v} left [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn heat_conserves_mass_with_zero_flux(init in small_grid(8, 8, -2.0, 2.0)) {
+        let mut b = CennModelBuilder::new(8, 8);
+        let u = b.dynamic_layer("u", Boundary::ZeroFlux);
+        b.state_template(u, u, mapping::heat_template(0.5, 1.0));
+        let mut sim = CennSim::new(b.build(0.2).unwrap()).unwrap();
+        sim.set_state_f64(u, &init).unwrap();
+        let before: f64 = sim.state_f64(u).as_slice().iter().sum();
+        sim.run(25);
+        let after: f64 = sim.state_f64(u).as_slice().iter().sum();
+        prop_assert!((before - after).abs() < 0.05, "{before} -> {after}");
+    }
+
+    #[test]
+    fn periodic_heat_is_translation_equivariant(init in small_grid(8, 8, -2.0, 2.0)) {
+        // Shifting the initial condition on a torus and evolving equals
+        // evolving and then shifting — the CeNN array is space-invariant
+        // for constant templates.
+        let build = || {
+            let mut b = CennModelBuilder::new(8, 8);
+            let u = b.dynamic_layer("u", Boundary::Periodic);
+            b.state_template(u, u, mapping::heat_template(0.25, 1.0));
+            (b.build(0.2).unwrap(), u)
+        };
+        let shifted = Grid::from_fn(8, 8, |r, c| init.get((r + 3) % 8, (c + 5) % 8));
+
+        let (m1, u1) = build();
+        let mut a = CennSim::new(m1).unwrap();
+        a.set_state_f64(u1, &init).unwrap();
+        a.run(10);
+        let evolved = a.state_f64(u1);
+        let evolved_then_shifted = Grid::from_fn(8, 8, |r, c| evolved.get((r + 3) % 8, (c + 5) % 8));
+
+        let (m2, u2) = build();
+        let mut b2 = CennSim::new(m2).unwrap();
+        b2.set_state_f64(u2, &shifted).unwrap();
+        b2.run(10);
+        let shifted_then_evolved = b2.state_f64(u2);
+
+        for r in 0..8 {
+            for c in 0..8 {
+                prop_assert!(
+                    (evolved_then_shifted.get(r, c) - shifted_then_evolved.get(r, c)).abs() < 1e-9,
+                    "equivariance broke at ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic(init in small_grid(6, 6, -2.0, 2.0), steps in 1u64..20) {
+        let build = || {
+            let mut b = CennModelBuilder::new(6, 6);
+            let u = b.dynamic_layer("u", Boundary::Periodic);
+            let sq = b.register_func(cenn_lut::funcs::square());
+            b.state_template(u, u, mapping::heat_template(0.3, 1.0));
+            b.offset_expr(u, cenn_core::WeightExpr::dynamic(-0.1, sq, u));
+            (b.build(0.1).unwrap(), u)
+        };
+        let (m1, u1) = build();
+        let (m2, u2) = build();
+        let mut a = CennSim::new(m1).unwrap();
+        let mut b2 = CennSim::new(m2).unwrap();
+        a.set_state_f64(u1, &init).unwrap();
+        b2.set_state_f64(u2, &init).unwrap();
+        a.run(steps);
+        b2.run(steps);
+        prop_assert_eq!(a.state(u1).as_slice(), b2.state(u2).as_slice());
+        prop_assert_eq!(a.lut_stats(), b2.lut_stats());
+    }
+
+    #[test]
+    fn linear_superposition_holds_for_linear_models(
+        f in small_grid(6, 6, -1.0, 1.0),
+        g in small_grid(6, 6, -1.0, 1.0),
+    ) {
+        // For a purely linear template, evolve(f) + evolve(g) =
+        // evolve(f + g) up to fixed-point rounding accumulation.
+        let build = || {
+            let mut b = CennModelBuilder::new(6, 6);
+            let u = b.dynamic_layer("u", Boundary::Periodic);
+            b.state_template(u, u, mapping::heat_template(0.4, 1.0));
+            (b.build(0.2).unwrap(), u)
+        };
+        let run = |init: &Grid<f64>| {
+            let (m, u) = build();
+            let mut s = CennSim::new(m).unwrap();
+            s.set_state_f64(u, init).unwrap();
+            s.run(10);
+            s.state_f64(u)
+        };
+        let sum_init = Grid::from_fn(6, 6, |r, c| f.get(r, c) + g.get(r, c));
+        let a = run(&f);
+        let b2 = run(&g);
+        let ab = run(&sum_init);
+        for r in 0..6 {
+            for c in 0..6 {
+                let lin = a.get(r, c) + b2.get(r, c);
+                prop_assert!((lin - ab.get(r, c)).abs() < 1e-3,
+                    "superposition at ({r},{c}): {lin} vs {}", ab.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_resolution_is_always_in_bounds(
+        rows in 1usize..16, cols in 1usize..16,
+        r0 in 0usize..16, c0 in 0usize..16,
+        dr in -3i32..=3, dc in -3i32..=3,
+    ) {
+        prop_assume!(r0 < rows && c0 < cols);
+        for b in [Boundary::ZeroFlux, Boundary::Periodic, Boundary::Dirichlet(1.0), Boundary::Zero] {
+            if let Some((r, c)) = b.resolve(rows, cols, r0, c0, dr, dc) {
+                prop_assert!(r < rows && c < cols);
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_round_trip_error_is_bounded(init in small_grid(5, 5, -100.0, 100.0)) {
+        let mut b = CennModelBuilder::new(5, 5);
+        let u = b.dynamic_layer("u", Boundary::Zero);
+        let model = b.build(0.1).unwrap();
+        let mut sim = CennSim::new(model).unwrap();
+        sim.set_state_f64(u, &init).unwrap();
+        let back = sim.state_f64(u);
+        for (a, b2) in init.as_slice().iter().zip(back.as_slice()) {
+            prop_assert!((a - b2).abs() <= 0.5 / 65536.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn stencils_quantize_losslessly_for_dyadic_weights(k in -8i32..8, shift in 0u32..8) {
+        // Weights that are dyadic rationals (the common case: 1/h^2 with
+        // h a power of two) survive template quantization exactly.
+        let w = k as f64 / (1u64 << shift) as f64;
+        let t = mapping::center(w).into_template();
+        match t.get(0, 0) {
+            cenn_core::WeightExpr::Const(q) => prop_assert_eq!(q.to_f64(), w),
+            _ => prop_assert!(false, "constant expected"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn grid_from_fn_and_enumerate_agree(rows in 1usize..12, cols in 1usize..12) {
+        let g = Grid::from_fn(rows, cols, |r, c| (r * 31 + c) as i64);
+        for ((r, c), v) in g.enumerate() {
+            prop_assert_eq!(v, (r * 31 + c) as i64);
+        }
+        prop_assert_eq!(g.len(), rows * cols);
+    }
+
+    #[test]
+    fn grid_q16_map_round_trip(vals in prop::collection::vec(-100.0f64..100.0, 9)) {
+        let g = Grid::from_fn(3, 3, |r, c| vals[r * 3 + c]);
+        let q = g.map(Q16_16::from_f64);
+        let back = q.map(|v| v.to_f64());
+        let (mean, _) = g.abs_error_stats(&back);
+        prop_assert!(mean <= 0.5 / 65536.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Executes a benchmark setup on the fixed-point functional simulator.
+
+use cenn_core::{CennSim, FuncEval, Grid, LayerId, ModelError};
+use cenn_lut::LutStats;
+
+use crate::system::SystemSetup;
+
+/// Drives a [`SystemSetup`] on the hardware-accurate fixed-point simulator,
+/// applying initial conditions, external inputs, and the post-step rule
+/// (spike resets) every step.
+///
+/// # Examples
+///
+/// ```
+/// use cenn_equations::{DynamicalSystem, FixedRunner, Fisher};
+///
+/// let setup = Fisher::default().build(8, 16).unwrap();
+/// let mut runner = FixedRunner::new(setup).unwrap();
+/// runner.run(20);
+/// assert_eq!(runner.steps(), 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FixedRunner {
+    sim: CennSim,
+    setup: SystemSetup,
+}
+
+impl FixedRunner {
+    /// Creates a runner with LUT-based function evaluation (the hardware
+    /// path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from simulator construction or from
+    /// loading initial grids.
+    pub fn new(setup: SystemSetup) -> Result<Self, ModelError> {
+        Self::with_eval(setup, FuncEval::Lut)
+    }
+
+    /// Creates a runner with the chosen evaluation mode ([`FuncEval::Exact`]
+    /// isolates fixed-point error for the §6.1 breakdown).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from simulator construction or from
+    /// loading initial grids.
+    pub fn with_eval(setup: SystemSetup, eval: FuncEval) -> Result<Self, ModelError> {
+        let mut sim = CennSim::with_eval(setup.model.clone(), eval)?;
+        for (layer, grid) in &setup.initial {
+            sim.set_state_f64(*layer, grid)?;
+        }
+        for (layer, grid) in &setup.inputs {
+            sim.set_input_f64(*layer, grid)?;
+        }
+        Ok(Self { sim, setup })
+    }
+
+    /// The underlying simulator.
+    pub fn sim(&self) -> &CennSim {
+        &self.sim
+    }
+
+    /// Mutable access to the underlying simulator (fault injection,
+    /// mid-run state edits).
+    pub fn sim_mut(&mut self) -> &mut CennSim {
+        &mut self.sim
+    }
+
+    /// The setup this runner executes.
+    pub fn setup(&self) -> &SystemSetup {
+        &self.setup
+    }
+
+    /// Steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.sim.steps()
+    }
+
+    /// Advances one step and applies the post-step rule; returns the number
+    /// of cells the rule fired on (spikes), or 0 when there is no rule.
+    pub fn step(&mut self) -> usize {
+        self.sim.step();
+        match self.setup.post_step {
+            None => 0,
+            Some(rule) => {
+                // Apply the reset on the fixed-point states: read, clip,
+                // write back (the hardware comparator does this in place).
+                let n = self.sim.model().n_layers();
+                let mut states: Vec<Grid<f64>> = (0..n)
+                    .map(|i| self.sim.state_f64(LayerId::from_index(i)))
+                    .collect();
+                let fired = rule.apply_f64(&mut states);
+                if fired > 0 {
+                    for (i, g) in states.iter().enumerate() {
+                        self.sim
+                            .set_state_f64(LayerId::from_index(i), g)
+                            .expect("shape preserved");
+                    }
+                }
+                fired
+            }
+        }
+    }
+
+    /// Runs `n` steps; returns total fired cells.
+    pub fn run(&mut self, n: u64) -> usize {
+        (0..n).map(|_| self.step()).sum()
+    }
+
+    /// A layer's state as `f64`.
+    pub fn state_f64(&self, layer: LayerId) -> Grid<f64> {
+        self.sim.state_f64(layer)
+    }
+
+    /// The observed layers' states with their display names (the maps the
+    /// Fig. 11 accuracy study compares).
+    pub fn observed_states(&self) -> Vec<(&'static str, Grid<f64>)> {
+        self.setup
+            .observed
+            .iter()
+            .map(|(id, name)| (*name, self.sim.state_f64(*id)))
+            .collect()
+    }
+
+    /// Cumulative LUT statistics.
+    pub fn lut_stats(&self) -> LutStats {
+        self.sim.lut_stats()
+    }
+
+    /// Measured `(mr_L1, mr_L2)`.
+    pub fn miss_rates(&self) -> (f64, f64) {
+        self.sim.miss_rates()
+    }
+
+    /// Resets LUT statistics (after warm-up).
+    pub fn reset_lut_stats(&mut self) {
+        self.sim.reset_lut_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::DynamicalSystem;
+    use crate::{Heat, Izhikevich};
+
+    #[test]
+    fn runner_loads_initial_conditions() {
+        let setup = Heat::default().build(9, 9).unwrap();
+        let expected_peak = setup.initial[0].1.get(4, 4);
+        let runner = FixedRunner::new(setup).unwrap();
+        let (name, phi) = &runner.observed_states()[0];
+        assert_eq!(*name, "phi");
+        assert!((phi.get(4, 4) - expected_peak).abs() < 1e-4);
+    }
+
+    #[test]
+    fn step_counts_spikes_only_for_hybrid_systems() {
+        let setup = Heat::default().build(8, 8).unwrap();
+        let mut runner = FixedRunner::new(setup).unwrap();
+        assert_eq!(runner.step(), 0, "heat never 'fires'");
+
+        let setup = Izhikevich::default().build(2, 2).unwrap();
+        let mut runner = FixedRunner::new(setup).unwrap();
+        let fired = runner.run(1200);
+        assert!(fired > 0, "izhikevich grid fired {fired} spikes");
+    }
+
+    #[test]
+    fn eval_modes_produce_different_trajectories_for_lut_heavy_systems() {
+        use crate::HodgkinHuxley;
+        let sys = HodgkinHuxley {
+            coupling: 0.0,
+            ..Default::default()
+        };
+        let a = FixedRunner::with_eval(sys.build(1, 1).unwrap(), FuncEval::Lut).unwrap();
+        let b = FixedRunner::with_eval(sys.build(1, 1).unwrap(), FuncEval::Exact).unwrap();
+        let (mut a, mut b) = (a, b);
+        a.run(500);
+        b.run(500);
+        let va = a.observed_states()[0].1.get(0, 0);
+        let vb = b.observed_states()[0].1.get(0, 0);
+        // Exp-based rate LUTs introduce a visible (but bounded) deviation.
+        assert!(va != vb, "LUT error must be visible for HH");
+        assert!((va - vb).abs() < 30.0, "but bounded: {va} vs {vb}");
+    }
+}

@@ -1,0 +1,204 @@
+//! The benchmark-system interface.
+
+use cenn_core::{CennModel, Grid, LayerId, ModelError};
+
+/// A discrete rule applied after every integration step, outside the
+/// template algebra.
+///
+/// The Izhikevich model's spike-and-reset is a *hybrid* discontinuity:
+/// `if v ≥ v_peak { v ← c; u ← u + d }`. In the hardware this is a
+/// comparator + conditional write in the PE (one cycle); in both the
+/// fixed-point and floating-point simulators it is applied identically
+/// between steps, so the accuracy comparison stays apples-to-apples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PostStepRule {
+    /// Izhikevich reset on `(v_layer, u_layer)`.
+    SpikeReset {
+        /// Membrane-potential layer checked against the threshold.
+        v_layer: LayerId,
+        /// Recovery-variable layer incremented on spike.
+        u_layer: LayerId,
+        /// Spike threshold `v_peak` (30 mV in \[18\]).
+        threshold: f64,
+        /// Reset value `c`.
+        reset_v: f64,
+        /// Recovery increment `d`.
+        bump_u: f64,
+    },
+    /// Wraps a phase layer into `[lo, hi)` (modular arithmetic, one
+    /// subtractor in the PE) — keeps oscillator phases inside the sampled
+    /// LUT domain.
+    WrapPhase {
+        /// The phase layer.
+        layer: LayerId,
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (exclusive).
+        hi: f64,
+    },
+}
+
+impl PostStepRule {
+    /// Applies the rule to a set of `f64` state grids, returning the number
+    /// of cells that fired.
+    pub fn apply_f64(&self, states: &mut [Grid<f64>]) -> usize {
+        match *self {
+            PostStepRule::SpikeReset {
+                v_layer,
+                u_layer,
+                threshold,
+                reset_v,
+                bump_u,
+            } => {
+                let mut fired = 0;
+                let (rows, cols) = (states[v_layer.index()].rows(), states[v_layer.index()].cols());
+                for r in 0..rows {
+                    for c in 0..cols {
+                        if states[v_layer.index()].get(r, c) >= threshold {
+                            states[v_layer.index()].set(r, c, reset_v);
+                            let u = states[u_layer.index()].get(r, c);
+                            states[u_layer.index()].set(r, c, u + bump_u);
+                            fired += 1;
+                        }
+                    }
+                }
+                fired
+            }
+            PostStepRule::WrapPhase { layer, lo, hi } => {
+                let span = hi - lo;
+                let mut wrapped = 0;
+                let g = &mut states[layer.index()];
+                let (rows, cols) = (g.rows(), g.cols());
+                for r in 0..rows {
+                    for c in 0..cols {
+                        let v = g.get(r, c);
+                        if !(lo..hi).contains(&v) {
+                            g.set(r, c, v - span * ((v - lo) / span).floor());
+                            wrapped += 1;
+                        }
+                    }
+                }
+                wrapped
+            }
+        }
+    }
+}
+
+/// Everything needed to execute a benchmark: the CeNN program, initial
+/// conditions, external inputs, an optional post-step rule, and which
+/// layers the accuracy study observes.
+#[derive(Debug, Clone)]
+pub struct SystemSetup {
+    /// The validated CeNN program.
+    pub model: CennModel,
+    /// Initial state per layer (layers not listed start at zero).
+    pub initial: Vec<(LayerId, Grid<f64>)>,
+    /// External input maps (the `u` of eq. 1) per layer, if any.
+    pub inputs: Vec<(LayerId, Grid<f64>)>,
+    /// Discrete post-step rule, if the system is hybrid.
+    pub post_step: Option<PostStepRule>,
+    /// Layers whose trajectories are compared against the reference
+    /// (Fig. 11), with display names.
+    pub observed: Vec<(LayerId, &'static str)>,
+}
+
+/// A benchmark dynamical system that can be compiled to a CeNN program.
+pub trait DynamicalSystem {
+    /// Display name (matches the paper's benchmark list).
+    fn name(&self) -> &'static str;
+
+    /// Builds the CeNN program and initial data for a `rows × cols` grid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from model validation (e.g. grids too
+    /// small for the system's stencils make no sense but are not rejected;
+    /// layer-count and timestep violations are).
+    fn build(&self, rows: usize, cols: usize) -> Result<SystemSetup, ModelError>;
+
+    /// Steps the paper-scale experiment runs (used by the benchmark
+    /// harness; accuracy tests may use fewer).
+    fn default_steps(&self) -> u64;
+
+    /// Default grid side for the performance comparison.
+    fn default_side(&self) -> usize {
+        64
+    }
+}
+
+/// All six benchmarks of §6.1 with their default parameters, in the
+/// paper's order.
+pub fn all_benchmarks() -> Vec<Box<dyn DynamicalSystem>> {
+    vec![
+        Box::new(crate::Heat::default()),
+        Box::new(crate::NavierStokes::default()),
+        Box::new(crate::Fisher::default()),
+        Box::new(crate::ReactionDiffusion::default()),
+        Box::new(crate::HodgkinHuxley::default()),
+        Box::new(crate::Izhikevich::default()),
+    ]
+}
+
+/// Additional systems beyond the paper's six: the §2 order-reduction
+/// example (wave equation), self-advection (Burgers), and Gray–Scott
+/// pattern formation — demonstrating that the solver generalizes past the
+/// evaluated set.
+pub fn extended_benchmarks() -> Vec<Box<dyn DynamicalSystem>> {
+    vec![
+        Box::new(crate::Wave::default()),
+        Box::new(crate::Burgers::default()),
+        Box::new(crate::GrayScott::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spike_reset_fires_and_resets() {
+        let rule = PostStepRule::SpikeReset {
+            v_layer: LayerId::from_index(0),
+            u_layer: LayerId::from_index(1),
+            threshold: 30.0,
+            reset_v: -65.0,
+            bump_u: 8.0,
+        };
+        let mut states = vec![Grid::new(2, 2, 0.0), Grid::new(2, 2, 1.0)];
+        states[0].set(0, 1, 35.0);
+        let fired = rule.apply_f64(&mut states);
+        assert_eq!(fired, 1);
+        assert_eq!(states[0].get(0, 1), -65.0);
+        assert_eq!(states[1].get(0, 1), 9.0);
+        // Untouched cells unchanged.
+        assert_eq!(states[0].get(0, 0), 0.0);
+        assert_eq!(states[1].get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn all_benchmarks_has_the_papers_six() {
+        let names: Vec<_> = all_benchmarks().iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "heat",
+                "navier-stokes",
+                "fisher",
+                "reaction-diffusion",
+                "hodgkin-huxley",
+                "izhikevich"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_benchmark_builds_on_a_small_grid() {
+        for b in all_benchmarks() {
+            let setup = b.build(16, 16).unwrap_or_else(|_| panic!("{}", b.name()));
+            assert_eq!(setup.model.rows(), 16, "{}", b.name());
+            assert!(!setup.observed.is_empty(), "{}", b.name());
+            assert!(b.default_steps() > 0);
+            assert!(b.default_side() >= 16);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Registered nonlinear functions and their derivative information.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a function registered in a [`FuncLibrary`].
+///
+/// Program bitstreams and template expressions refer to nonlinear functions
+/// by this id; the off-chip LUT for each id is generated when the solver is
+/// programmed (§3, "Set parameters").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub u16);
+
+type ValueFn = dyn Fn(f64) -> f64 + Send + Sync;
+type DerivFn = dyn Fn(f64) -> [f64; 3] + Send + Sync;
+
+/// A continuous scalar function `l : ℝ → ℝ` with its first three
+/// derivatives, the object sampled into LUT entries (Fig. 5).
+///
+/// Construct with [`NonlinearFn::new`] (analytic derivatives) or
+/// [`NonlinearFn::from_value`] (finite-difference derivatives). The standard
+/// library of functions used by the benchmark equations lives in
+/// [`crate::funcs`].
+#[derive(Clone)]
+pub struct NonlinearFn {
+    name: String,
+    value: Arc<ValueFn>,
+    derivs: Arc<DerivFn>,
+}
+
+impl NonlinearFn {
+    /// Creates a function with analytic derivatives.
+    ///
+    /// `derivs(x)` must return `[l′(x), l″(x), l‴(x)]`.
+    pub fn new(
+        name: impl Into<String>,
+        value: impl Fn(f64) -> f64 + Send + Sync + 'static,
+        derivs: impl Fn(f64) -> [f64; 3] + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            value: Arc::new(value),
+            derivs: Arc::new(derivs),
+        }
+    }
+
+    /// Creates a function whose derivatives are estimated by central finite
+    /// differences with step `h = 1e-4` — adequate because LUT coefficients
+    /// are subsequently quantized to Q16.16 anyway.
+    pub fn from_value(
+        name: impl Into<String>,
+        value: impl Fn(f64) -> f64 + Send + Sync + 'static,
+    ) -> Self {
+        let v = Arc::new(value);
+        let v2 = Arc::clone(&v);
+        Self {
+            name: name.into(),
+            value: v,
+            derivs: Arc::new(move |x| {
+                let h = 1e-4;
+                let f = |t: f64| v2(t);
+                let d1 = (f(x + h) - f(x - h)) / (2.0 * h);
+                let d2 = (f(x + h) - 2.0 * f(x) + f(x - h)) / (h * h);
+                let d3 = (f(x + 2.0 * h) - 2.0 * f(x + h) + 2.0 * f(x - h) - f(x - 2.0 * h))
+                    / (2.0 * h * h * h);
+                [d1, d2, d3]
+            }),
+        }
+    }
+
+    /// The function's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Evaluates `l(x)` in double precision (the "exact" reference).
+    #[inline]
+    pub fn value(&self, x: f64) -> f64 {
+        (self.value)(x)
+    }
+
+    /// Evaluates `[l′(x), l″(x), l‴(x)]`.
+    #[inline]
+    pub fn derivatives(&self, x: f64) -> [f64; 3] {
+        (self.derivs)(x)
+    }
+
+    /// Taylor coefficients `[l(x), l′(x), l″(x)/2, l‴(x)/6]` around `x`.
+    pub fn taylor(&self, x: f64) -> [f64; 4] {
+        let d = self.derivatives(x);
+        [self.value(x), d[0], d[1] / 2.0, d[2] / 6.0]
+    }
+}
+
+impl fmt::Debug for NonlinearFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NonlinearFn")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The set of nonlinear functions a program uses, addressed by [`FuncId`].
+///
+/// # Examples
+///
+/// ```
+/// use cenn_lut::{FuncLibrary, funcs};
+///
+/// let mut lib = FuncLibrary::new();
+/// let id = lib.register(funcs::square());
+/// assert_eq!(lib.get(id).value(3.0), 9.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FuncLibrary {
+    funcs: Vec<NonlinearFn>,
+}
+
+impl FuncLibrary {
+    /// Creates an empty library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a function, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u16::MAX` functions are registered (the bitstream
+    /// encodes ids in 16 bits).
+    pub fn register(&mut self, f: NonlinearFn) -> FuncId {
+        let id = u16::try_from(self.funcs.len()).expect("function library overflow");
+        self.funcs.push(f);
+        FuncId(id)
+    }
+
+    /// Returns the function for an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this library.
+    pub fn get(&self, id: FuncId) -> &NonlinearFn {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// `true` if no functions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// Iterates over `(FuncId, &NonlinearFn)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FuncId, &NonlinearFn)> {
+        self.funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId(i as u16), f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_derivatives_are_used() {
+        let f = NonlinearFn::new("x^2", |x| x * x, |x| [2.0 * x, 2.0, 0.0]);
+        assert_eq!(f.value(4.0), 16.0);
+        assert_eq!(f.derivatives(4.0), [8.0, 2.0, 0.0]);
+        assert_eq!(f.taylor(1.0), [1.0, 2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn finite_difference_derivatives_are_close() {
+        let f = NonlinearFn::from_value("sin", f64::sin);
+        let d = f.derivatives(0.3);
+        assert!((d[0] - 0.3f64.cos()).abs() < 1e-6, "d1 {}", d[0]);
+        assert!((d[1] + 0.3f64.sin()).abs() < 1e-4, "d2 {}", d[1]);
+        assert!((d[2] + 0.3f64.cos()).abs() < 1e-2, "d3 {}", d[2]);
+    }
+
+    #[test]
+    fn library_assigns_sequential_ids() {
+        let mut lib = FuncLibrary::new();
+        assert!(lib.is_empty());
+        let a = lib.register(NonlinearFn::from_value("a", |x| x));
+        let b = lib.register(NonlinearFn::from_value("b", |x| -x));
+        assert_eq!(a, FuncId(0));
+        assert_eq!(b, FuncId(1));
+        assert_eq!(lib.len(), 2);
+        assert_eq!(lib.get(b).value(2.0), -2.0);
+        let names: Vec<_> = lib.iter().map(|(_, f)| f.name().to_string()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn debug_impl_shows_name() {
+        let f = NonlinearFn::from_value("myfn", |x| x);
+        assert!(format!("{f:?}").contains("myfn"));
+    }
+}

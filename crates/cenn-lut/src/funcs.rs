@@ -1,0 +1,192 @@
+//! Library of standard nonlinear functions with analytic derivatives.
+//!
+//! These cover the "scientific functions (exp, sin, cos, tanh, ...)" the
+//! paper calls out in §6.1 as the LUT-error-dominated cases, plus the
+//! polynomial forms used by the benchmark equations. Benchmark systems may
+//! also register bespoke closures via [`crate::NonlinearFn::from_value`].
+
+use crate::NonlinearFn;
+
+/// The identity `l(x) = x` (useful as a product factor).
+pub fn identity() -> NonlinearFn {
+    NonlinearFn::new("identity", |x| x, |_| [1.0, 0.0, 0.0])
+}
+
+/// Affine `l(x) = a·x + b`.
+pub fn affine(a: f64, b: f64) -> NonlinearFn {
+    NonlinearFn::new(format!("affine({a},{b})"), move |x| a * x + b, move |_| {
+        [a, 0.0, 0.0]
+    })
+}
+
+/// `l(x) = x²`.
+pub fn square() -> NonlinearFn {
+    NonlinearFn::new("square", |x| x * x, |x| [2.0 * x, 2.0, 0.0])
+}
+
+/// `l(x) = x³`.
+pub fn cube() -> NonlinearFn {
+    NonlinearFn::new("cube", |x| x * x * x, |x| [3.0 * x * x, 6.0 * x, 6.0])
+}
+
+/// General cubic polynomial `l(x) = k₀ + k₁x + k₂x² + k₃x³`.
+pub fn poly3(k: [f64; 4]) -> NonlinearFn {
+    NonlinearFn::new(
+        format!("poly3({k:?})"),
+        move |x| k[0] + x * (k[1] + x * (k[2] + x * k[3])),
+        move |x| {
+            [
+                k[1] + x * (2.0 * k[2] + x * 3.0 * k[3]),
+                2.0 * k[2] + 6.0 * k[3] * x,
+                6.0 * k[3],
+            ]
+        },
+    )
+}
+
+/// Scaled exponential `l(x) = a·exp(b·x)`, clamped to avoid overflow far
+/// outside the sampled domain.
+pub fn exp_scaled(a: f64, b: f64) -> NonlinearFn {
+    NonlinearFn::new(
+        format!("exp({a},{b})"),
+        move |x| a * (b * x).clamp(-60.0, 60.0).exp(),
+        move |x| {
+            let e = a * (b * x).clamp(-60.0, 60.0).exp();
+            [b * e, b * b * e, b * b * b * e]
+        },
+    )
+}
+
+/// `l(x) = exp(x)` (clamped).
+pub fn exp() -> NonlinearFn {
+    exp_scaled(1.0, 1.0)
+}
+
+/// `l(x) = tanh(x)`.
+pub fn tanh() -> NonlinearFn {
+    NonlinearFn::new("tanh", f64::tanh, |x| {
+        let t = x.tanh();
+        let s = 1.0 - t * t; // sech²
+        [s, -2.0 * t * s, 2.0 * s * (3.0 * t * t - 1.0)]
+    })
+}
+
+/// `l(x) = sin(x)`.
+pub fn sin() -> NonlinearFn {
+    NonlinearFn::new("sin", f64::sin, |x| [x.cos(), -x.sin(), -x.cos()])
+}
+
+/// `l(x) = cos(x)`.
+pub fn cos() -> NonlinearFn {
+    NonlinearFn::new("cos", f64::cos, |x| [-x.sin(), -x.cos(), x.sin()])
+}
+
+/// Logistic sigmoid `l(x) = 1/(1+exp(-k·x))`.
+pub fn sigmoid(k: f64) -> NonlinearFn {
+    NonlinearFn::new(format!("sigmoid({k})"), move |x| sigmoid_val(k, x), move |x| {
+        let s = sigmoid_val(k, x);
+        let d1 = k * s * (1.0 - s);
+        let d2 = k * d1 * (1.0 - 2.0 * s);
+        let d3 = k * (d2 * (1.0 - 2.0 * s) - 2.0 * d1 * d1);
+        [d1, d2, d3]
+    })
+}
+
+fn sigmoid_val(k: f64, x: f64) -> f64 {
+    1.0 / (1.0 + (-k * x).clamp(-60.0, 60.0).exp())
+}
+
+/// Gaussian bump `l(x) = exp(-x²/(2σ²))`.
+pub fn gaussian(sigma: f64) -> NonlinearFn {
+    let s2 = sigma * sigma;
+    NonlinearFn::new(
+        format!("gaussian({sigma})"),
+        move |x| (-x * x / (2.0 * s2)).exp(),
+        move |x| {
+            let g = (-x * x / (2.0 * s2)).exp();
+            let d1 = -x / s2 * g;
+            let d2 = (x * x / s2 - 1.0) / s2 * g;
+            let d3 = x * (3.0 - x * x / s2) / (s2 * s2) * g;
+            [d1, d2, d3]
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Checks a function's analytic first derivative against a central
+    /// finite difference over a range of points.
+    fn check_d1(f: &NonlinearFn, lo: f64, hi: f64, tol: f64) {
+        let h = 1e-6;
+        let mut x = lo;
+        while x <= hi {
+            let num = (f.value(x + h) - f.value(x - h)) / (2.0 * h);
+            let ana = f.derivatives(x)[0];
+            assert!(
+                (num - ana).abs() <= tol * (1.0 + ana.abs()),
+                "{} d1 mismatch at {x}: num={num} ana={ana}",
+                f.name()
+            );
+            x += 0.37;
+        }
+    }
+
+    #[test]
+    fn identity_and_affine() {
+        assert_eq!(identity().value(2.5), 2.5);
+        let f = affine(2.0, -1.0);
+        assert_eq!(f.value(3.0), 5.0);
+        check_d1(&f, -4.0, 4.0, 1e-6);
+    }
+
+    #[test]
+    fn polynomial_family_derivatives() {
+        check_d1(&square(), -5.0, 5.0, 1e-6);
+        check_d1(&cube(), -5.0, 5.0, 1e-5);
+        let p = poly3([1.0, -2.0, 0.5, 0.25]);
+        check_d1(&p, -3.0, 3.0, 1e-5);
+        assert_eq!(p.value(0.0), 1.0);
+        // Second/third derivative exactness for cube.
+        assert_eq!(cube().derivatives(2.0), [12.0, 12.0, 6.0]);
+    }
+
+    #[test]
+    fn transcendental_derivatives() {
+        check_d1(&exp(), -3.0, 3.0, 1e-5);
+        check_d1(&tanh(), -3.0, 3.0, 1e-5);
+        check_d1(&sin(), -3.0, 3.0, 1e-6);
+        check_d1(&cos(), -3.0, 3.0, 1e-6);
+        check_d1(&sigmoid(2.0), -3.0, 3.0, 1e-5);
+        check_d1(&gaussian(1.5), -3.0, 3.0, 1e-5);
+    }
+
+    #[test]
+    fn exp_clamps_extreme_inputs() {
+        let f = exp();
+        assert!(f.value(1000.0).is_finite());
+        assert!(f.value(-1000.0) > 0.0);
+    }
+
+    #[test]
+    fn taylor_coefficients_reconstruct_locally() {
+        // A degree-3 Taylor evaluation around p should track the function
+        // within the unit interval for smooth slowly-varying functions.
+        for f in [tanh(), sin(), sigmoid(1.0), gaussian(2.0)] {
+            let p = 0.0;
+            let t = f.taylor(p);
+            // delta stays within [0, 1): at 1.0 the next sample point is used.
+            for i in 0..10 {
+                let d = i as f64 / 10.0;
+                let approx = t[0] + d * (t[1] + d * (t[2] + d * t[3]));
+                let exact = f.value(p + d);
+                assert!(
+                    (approx - exact).abs() < 0.08,
+                    "{} at delta {d}: {approx} vs {exact}",
+                    f.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,448 @@
+//! The three-level LUT hierarchy: off-chip table, shared L2s, per-PE L1s.
+
+use crate::builder::{LutBuildError, LutSpec};
+use crate::entry::{LutEntry, SampleIdx};
+use crate::func::{FuncId, FuncLibrary};
+use crate::l1::L1Lut;
+use crate::l2::{L2Lut, DRAM_BURST_POINTS};
+use crate::stats::LutStats;
+use crate::tum::Tum;
+use fixedpt::Q16_16;
+
+/// Where a look-up was ultimately satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// Hit in the PE's local L1 LUT (no stall).
+    L1,
+    /// L1 miss, hit in the shared L2 LUT (one extra cycle, §6.2).
+    L2,
+    /// Both on-chip LUTs missed; an 8-point DRAM burst was fetched.
+    Dram,
+}
+
+/// Outcome of one hierarchical look-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// The deepest level that had to be consulted.
+    pub filled_from: Level,
+    /// `true` if the exact `l(p)` was used (state on a sample point).
+    pub exact: bool,
+}
+
+/// The full per-function table resident in main memory (Fig. 5).
+///
+/// Entries are pre-quantized to the fixed-point storage format when the
+/// table is generated from a registered [`crate::NonlinearFn`], exactly as
+/// the off-chip LUT would be written by the host before programming the
+/// solver (§3). Accesses outside the sampled range clamp to the boundary
+/// sample — equations are expected to keep their states inside the
+/// programmed domain, and clamping is what a range-checked hardware indexer
+/// would do.
+#[derive(Debug, Clone)]
+pub struct OffChipLut {
+    spec: LutSpec,
+    entries: Vec<LutEntry>,
+}
+
+impl OffChipLut {
+    /// Samples `func` over `spec`, quantizing values and Taylor
+    /// coefficients to Q16.16.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the spec fails [`LutSpec::validate`].
+    pub fn generate(
+        func: &crate::func::NonlinearFn,
+        spec: LutSpec,
+    ) -> Result<Self, LutBuildError> {
+        spec.validate()?;
+        let entries = (spec.min_idx..=spec.max_idx)
+            .map(|i| {
+                let p = SampleIdx(i).point(spec.log2_inv_spacing);
+                let t = func.taylor(p);
+                // Coefficients are stored against the *scaled* offset so the
+                // TUM can use the raw fractional bits directly: for spacing
+                // 2^-s the polynomial argument is delta in [0, 2^-s).
+                LutEntry::quantize(t[0], t[1], t[2], t[3])
+            })
+            .collect();
+        Ok(Self { spec, entries })
+    }
+
+    /// The sampling specification of this table.
+    pub fn spec(&self) -> LutSpec {
+        self.spec
+    }
+
+    /// Number of entries stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the table holds no entries (never for generated tables).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Size of the table in bytes (entries × 16 B).
+    pub fn size_bytes(&self) -> usize {
+        self.entries.len() * crate::entry::LUT_ENTRY_BYTES
+    }
+
+    /// Reads the entry for a sample index, clamping to the table range.
+    pub fn read(&self, idx: SampleIdx) -> LutEntry {
+        let clamped = idx.0.clamp(self.spec.min_idx, self.spec.max_idx);
+        self.entries[(clamped - self.spec.min_idx) as usize]
+    }
+
+    /// Clamps a sample index into the table's valid range.
+    pub fn clamp_idx(&self, idx: SampleIdx) -> SampleIdx {
+        SampleIdx(idx.0.clamp(self.spec.min_idx, self.spec.max_idx))
+    }
+
+    /// Flips one bit of one stored word — the soft-error injection hook
+    /// for the fault-resilience study (`ablation_fault_injection`).
+    /// `word` selects `{l(p), a1, a2, a3}` (0–3), `bit` the bit position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word > 3` or `bit > 31`.
+    pub fn flip_bit(&mut self, idx: SampleIdx, word: usize, bit: u32) {
+        assert!(word < 4 && bit < 32, "word/bit out of range");
+        let clamped = idx.0.clamp(self.spec.min_idx, self.spec.max_idx);
+        let e = &mut self.entries[(clamped - self.spec.min_idx) as usize];
+        let target = match word {
+            0 => &mut e.l_p,
+            1 => &mut e.a1,
+            2 => &mut e.a2,
+            _ => &mut e.a3,
+        };
+        *target = fixedpt::Q16_16::from_bits(target.to_bits() ^ (1 << bit));
+    }
+}
+
+/// The complete memory hierarchy used for real-time template update:
+/// one off-chip table per registered function, `n_l2` shared L2 LUTs
+/// (one per memory channel in hardware), and one L1 LUT per PE.
+///
+/// PE-to-L2 affinity follows the architecture: PEs are distributed evenly
+/// over the L2s ("four PEs are connected to one L2 LUT", §6.3).
+#[derive(Debug, Clone)]
+pub struct LutHierarchy {
+    tables: Vec<OffChipLut>,
+    l2s: Vec<L2Lut>,
+    l1s: Vec<L1Lut>,
+    tum: Tum,
+    stats: LutStats,
+}
+
+/// PEs served by each L2 LUT (§6.3: "four PEs are connected to one L2
+/// LUT").
+pub const PES_PER_L2: usize = 4;
+
+impl LutHierarchy {
+    /// Builds the hierarchy for every function in `lib`, all sampled over
+    /// the same `spec`, with `l1_blocks` per PE and `l2_capacity` entries
+    /// per L2. One L2 is instantiated per [`PES_PER_L2`] PEs (minimum 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LutBuildError`] from table generation.
+    pub fn build(
+        lib: &FuncLibrary,
+        spec: LutSpec,
+        l1_blocks: usize,
+        l2_capacity: usize,
+        n_pes: usize,
+    ) -> Result<Self, LutBuildError> {
+        let specs = vec![spec; lib.len().max(1)];
+        Self::build_with_specs(lib, &specs, l1_blocks, l2_capacity, n_pes)
+    }
+
+    /// Like [`build`](Self::build) but with a per-function sampling spec
+    /// (functions with different natural domains, e.g. HH gating rates vs.
+    /// membrane currents).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `specs.len() != lib.len()` (reported as an empty
+    /// range) or any table fails to generate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_pes` is zero.
+    pub fn build_with_specs(
+        lib: &FuncLibrary,
+        specs: &[LutSpec],
+        l1_blocks: usize,
+        l2_capacity: usize,
+        n_pes: usize,
+    ) -> Result<Self, LutBuildError> {
+        assert!(n_pes > 0, "hierarchy needs at least one PE");
+        let mut tables = Vec::with_capacity(lib.len());
+        for (i, (_, f)) in lib.iter().enumerate() {
+            let spec = specs.get(i).copied().ok_or(LutBuildError::EmptyRange {
+                min: 0,
+                max: -1,
+            })?;
+            tables.push(OffChipLut::generate(f, spec)?);
+        }
+        let n_l2 = n_pes.div_ceil(PES_PER_L2).max(1);
+        Ok(Self {
+            tables,
+            l2s: (0..n_l2).map(|_| L2Lut::new(l2_capacity)).collect(),
+            l1s: (0..n_pes).map(|_| L1Lut::new(l1_blocks)).collect(),
+            tum: Tum::new(),
+            stats: LutStats::default(),
+        })
+    }
+
+    /// Number of PEs (L1 LUTs).
+    pub fn n_pes(&self) -> usize {
+        self.l1s.len()
+    }
+
+    /// Number of shared L2 LUTs.
+    pub fn n_l2s(&self) -> usize {
+        self.l2s.len()
+    }
+
+    /// The off-chip table for a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is not from the library the hierarchy was built
+    /// with.
+    pub fn table(&self, func: FuncId) -> &OffChipLut {
+        &self.tables[func.0 as usize]
+    }
+
+    /// Fetches the LUT entry for state `x` of `func` on behalf of PE
+    /// `pe`, walking L1 → L2 → DRAM and filling caches on the way back,
+    /// with the 8-point burst installed into L2 on a DRAM fetch (§4.1).
+    pub fn fetch(&mut self, pe: usize, func: FuncId, x: Q16_16) -> (LutEntry, Level) {
+        let table = &self.tables[func.0 as usize];
+        let spacing = table.spec().log2_inv_spacing;
+        let idx = table.clamp_idx(SampleIdx::of(x, spacing));
+        self.stats.accesses += 1;
+
+        if let Some(entry) = self.l1s[pe].lookup(func, idx) {
+            self.stats.l1_hits += 1;
+            return (entry, Level::L1);
+        }
+        let l2_id = pe / PES_PER_L2 % self.l2s.len();
+        if let Some(entry) = self.l2s[l2_id].lookup(func, idx) {
+            self.stats.l2_hits += 1;
+            self.l1s[pe].fill(func, idx, entry);
+            return (entry, Level::L2);
+        }
+        // DRAM burst: fetch the 8-aligned window and install into L2 via
+        // the same hash used for reads.
+        self.stats.dram_fetches += 1;
+        self.stats.dram_points += DRAM_BURST_POINTS as u64;
+        let table = &self.tables[func.0 as usize];
+        let window = L2Lut::burst_window(idx);
+        let mut wanted = table.read(idx);
+        for i in window {
+            let widx = table.clamp_idx(SampleIdx(i));
+            let entry = table.read(widx);
+            self.l2s[l2_id].fill(func, widx, entry);
+            if widx == idx {
+                wanted = entry;
+            }
+        }
+        self.l1s[pe].fill(func, idx, wanted);
+        (wanted, Level::Dram)
+    }
+
+    /// Full look-up: fetches the entry and evaluates it through the TUM,
+    /// returning the approximated `l(x)` and the access outcome.
+    pub fn lookup(&mut self, pe: usize, func: FuncId, x: Q16_16) -> (Q16_16, AccessOutcome) {
+        let spacing = self.tables[func.0 as usize].spec().log2_inv_spacing;
+        let (entry, level) = self.fetch(pe, func, x);
+        let eval = self.tum.eval(entry, x, spacing);
+        if eval.exact {
+            self.stats.exact_hits += 1;
+        }
+        (
+            eval.value,
+            AccessOutcome {
+                filled_from: level,
+                exact: eval.exact,
+            },
+        )
+    }
+
+    /// Aggregate statistics since construction / last reset.
+    pub fn stats(&self) -> LutStats {
+        self.stats
+    }
+
+    /// Measured L1/L2 miss rates `(mr_L1, mr_L2)` — the inputs the paper
+    /// feeds to its cycle-level simulator (§6.3).
+    pub fn miss_rates(&self) -> (f64, f64) {
+        (self.stats.l1_miss_rate(), self.stats.l2_miss_rate())
+    }
+
+    /// Clears statistics (cache contents are kept — used to separate
+    /// warm-up from measurement).
+    pub fn reset_stats(&mut self) {
+        self.stats = LutStats::default();
+        self.l1s.iter_mut().for_each(L1Lut::reset_stats);
+        self.l2s.iter_mut().for_each(L2Lut::reset_stats);
+        self.tum.reset();
+    }
+
+    /// Invalidates all on-chip LUTs (cold restart).
+    pub fn invalidate(&mut self) {
+        self.l1s.iter_mut().for_each(L1Lut::invalidate);
+        self.l2s.iter_mut().for_each(L2Lut::invalidate);
+    }
+
+    /// Injects a soft error into the off-chip table of `func` (see
+    /// [`OffChipLut::flip_bit`]) and invalidates the on-chip LUTs so the
+    /// corrupted word is actually re-fetched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is unknown or `word`/`bit` are out of range.
+    pub fn inject_fault(&mut self, func: FuncId, idx: SampleIdx, word: usize, bit: u32) {
+        self.tables[func.0 as usize].flip_bit(idx, word, bit);
+        self.invalidate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::funcs;
+
+    fn small_hierarchy(l1: usize, l2: usize, pes: usize) -> (LutHierarchy, FuncId) {
+        let mut lib = FuncLibrary::new();
+        let id = lib.register(funcs::square());
+        let h = LutHierarchy::build(&lib, LutSpec::unit_spacing(-16, 16), l1, l2, pes).unwrap();
+        (h, id)
+    }
+
+    #[test]
+    fn off_chip_table_reads_and_clamps() {
+        let t = OffChipLut::generate(&funcs::square(), LutSpec::unit_spacing(-4, 4)).unwrap();
+        assert_eq!(t.len(), 9);
+        assert_eq!(t.size_bytes(), 9 * 16);
+        assert_eq!(t.read(SampleIdx(3)).l_p.to_f64(), 9.0);
+        // Out of range clamps to boundary.
+        assert_eq!(t.read(SampleIdx(100)).l_p.to_f64(), 16.0);
+        assert_eq!(t.read(SampleIdx(-100)).l_p.to_f64(), 16.0);
+    }
+
+    #[test]
+    fn cold_access_walks_to_dram_then_warms() {
+        let (mut h, f) = small_hierarchy(4, 32, 1);
+        let x = Q16_16::from_f64(2.5);
+        let (_, o1) = h.lookup(0, f, x);
+        assert_eq!(o1.filled_from, Level::Dram);
+        let (_, o2) = h.lookup(0, f, x);
+        assert_eq!(o2.filled_from, Level::L1);
+        // A different point in the same burst window hits L2.
+        let (_, o3) = h.lookup(0, f, Q16_16::from_f64(5.5));
+        assert_eq!(o3.filled_from, Level::L2);
+    }
+
+    #[test]
+    fn lookup_value_approximates_function() {
+        let (mut h, f) = small_hierarchy(4, 32, 1);
+        for x in [-3.3f64, -0.7, 0.0, 1.25, 3.9] {
+            let (v, _) = h.lookup(0, f, Q16_16::from_f64(x));
+            assert!((v.to_f64() - x * x).abs() < 1e-3, "x={x}: {}", v.to_f64());
+        }
+    }
+
+    #[test]
+    fn exact_flag_set_on_sample_points() {
+        let (mut h, f) = small_hierarchy(4, 32, 1);
+        let (v, o) = h.lookup(0, f, Q16_16::from_f64(3.0));
+        assert!(o.exact);
+        assert_eq!(v.to_f64(), 9.0);
+        assert_eq!(h.stats().exact_hits, 1);
+    }
+
+    #[test]
+    fn pes_share_l2_but_not_l1() {
+        let (mut h, f) = small_hierarchy(4, 32, 8);
+        assert_eq!(h.n_l2s(), 2);
+        let x = Q16_16::from_f64(1.5);
+        let (_, o) = h.lookup(0, f, x);
+        assert_eq!(o.filled_from, Level::Dram);
+        // PE 1 shares L2 0 with PE 0: L1 miss, L2 hit.
+        let (_, o) = h.lookup(1, f, x);
+        assert_eq!(o.filled_from, Level::L2);
+        // PE 4 is on L2 1: full miss.
+        let (_, o) = h.lookup(4, f, x);
+        assert_eq!(o.filled_from, Level::Dram);
+    }
+
+    #[test]
+    fn stats_and_miss_rates_accumulate() {
+        let (mut h, f) = small_hierarchy(4, 32, 1);
+        for i in 0..10 {
+            h.lookup(0, f, Q16_16::from_f64(i as f64 * 0.5));
+        }
+        let s = h.stats();
+        assert_eq!(s.accesses, 10);
+        assert!(s.l1_hits + s.l2_hits + s.dram_fetches == 10);
+        let (mr1, mr2) = h.miss_rates();
+        assert!((0.0..=1.0).contains(&mr1));
+        assert!((0.0..=1.0).contains(&mr2));
+        h.reset_stats();
+        assert_eq!(h.stats().accesses, 0);
+    }
+
+    #[test]
+    fn thrashing_small_l1_has_high_miss_rate() {
+        // Working set of 8 integer points cycled through a 2-block L1:
+        // every access misses L1 after the first pass.
+        let (mut h, f) = small_hierarchy(2, 32, 1);
+        for round in 0..20 {
+            for i in 0..8 {
+                h.lookup(0, f, Q16_16::from_f64(i as f64 + 0.5));
+            }
+            if round == 0 {
+                h.reset_stats();
+            }
+        }
+        let (mr1, mr2) = h.miss_rates();
+        assert!(mr1 > 0.9, "mr1 = {mr1}");
+        // But the L2 holds the whole working set: near-zero L2 misses.
+        assert!(mr2 < 0.05, "mr2 = {mr2}");
+    }
+
+    #[test]
+    fn invalidate_forces_cold_misses_again() {
+        let (mut h, f) = small_hierarchy(4, 32, 1);
+        let x = Q16_16::from_f64(1.5);
+        h.lookup(0, f, x);
+        h.invalidate();
+        let (_, o) = h.lookup(0, f, x);
+        assert_eq!(o.filled_from, Level::Dram);
+    }
+
+    #[test]
+    fn per_function_specs_are_respected() {
+        let mut lib = FuncLibrary::new();
+        let a = lib.register(funcs::square());
+        let b = lib.register(funcs::exp());
+        let specs = [LutSpec::unit_spacing(-4, 4), LutSpec::unit_spacing(-8, 2)];
+        let h = LutHierarchy::build_with_specs(&lib, &specs, 4, 32, 1).unwrap();
+        assert_eq!(h.table(a).spec().max_idx, 4);
+        assert_eq!(h.table(b).spec().min_idx, -8);
+    }
+
+    #[test]
+    fn build_rejects_mismatched_specs() {
+        let mut lib = FuncLibrary::new();
+        lib.register(funcs::square());
+        lib.register(funcs::exp());
+        let specs = [LutSpec::unit_spacing(-4, 4)];
+        assert!(LutHierarchy::build_with_specs(&lib, &specs, 4, 32, 1).is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! Per-PE L1 look-up table.
+
+use crate::entry::{LutEntry, SampleIdx};
+use crate::func::FuncId;
+
+/// The small fully-associative L1 LUT attached to each PE (§4.1).
+///
+/// "As the number of LUT blocks is small in L1, the index is directly
+/// matched (multi-bit XNOR ... between higher 16 bits of cell state and
+/// index)". Refill uses a cyclic write pointer that "increments by one ...
+/// whenever L1 LUT misses". The default capacity is 4 blocks (§6.2).
+///
+/// A block's tag is the pair `(FuncId, SampleIdx)`: one physical L1 serves
+/// every nonlinear function the program uses, exactly as one physical L1
+/// serves all templates in the hardware.
+///
+/// # Examples
+///
+/// ```
+/// use cenn_lut::{FuncId, L1Lut, LutEntry, SampleIdx};
+///
+/// let mut l1 = L1Lut::new(4);
+/// assert!(l1.lookup(FuncId(0), SampleIdx(3)).is_none()); // cold miss
+/// l1.fill(FuncId(0), SampleIdx(3), LutEntry::default());
+/// assert!(l1.lookup(FuncId(0), SampleIdx(3)).is_some());
+/// assert_eq!(l1.miss_rate(), 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct L1Lut {
+    blocks: Vec<Option<(FuncId, SampleIdx, LutEntry)>>,
+    write_ptr: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl L1Lut {
+    /// Creates an empty L1 with `capacity` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "L1 LUT needs at least one block");
+        Self {
+            blocks: vec![None; capacity],
+            write_ptr: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Looks up `(func, idx)`. Returns the entry on a hit and records the
+    /// outcome in the statistics counters.
+    pub fn lookup(&mut self, func: FuncId, idx: SampleIdx) -> Option<LutEntry> {
+        for block in self.blocks.iter().flatten() {
+            if block.0 == func && block.1 == idx {
+                self.hits += 1;
+                return Some(block.2);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Fills a block through the cyclic write pointer (called on refill from
+    /// L2).
+    pub fn fill(&mut self, func: FuncId, idx: SampleIdx, entry: LutEntry) {
+        self.blocks[self.write_ptr] = Some((func, idx, entry));
+        self.write_ptr = (self.write_ptr + 1) % self.blocks.len();
+    }
+
+    /// `(hits, misses)` since construction or the last [`reset_stats`].
+    ///
+    /// [`reset_stats`]: Self::reset_stats
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Miss rate in `[0, 1]`; zero when no accesses were made.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Clears the counters but keeps cached contents (used between the
+    /// warm-up and measurement phases of Fig. 12).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Invalidates all blocks and resets the write pointer.
+    pub fn invalidate(&mut self) {
+        self.blocks.iter_mut().for_each(|b| *b = None);
+        self.write_ptr = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fixedpt::Q16_16;
+
+    fn entry(v: f64) -> LutEntry {
+        LutEntry {
+            l_p: Q16_16::from_f64(v),
+            ..LutEntry::default()
+        }
+    }
+
+    #[test]
+    fn cold_lookup_misses_then_hits_after_fill() {
+        let mut l1 = L1Lut::new(4);
+        let f = FuncId(0);
+        assert_eq!(l1.lookup(f, SampleIdx(3)), None);
+        l1.fill(f, SampleIdx(3), entry(1.5));
+        assert_eq!(l1.lookup(f, SampleIdx(3)).unwrap().l_p.to_f64(), 1.5);
+        assert_eq!(l1.stats(), (1, 1));
+    }
+
+    #[test]
+    fn distinct_functions_do_not_alias() {
+        let mut l1 = L1Lut::new(4);
+        l1.fill(FuncId(0), SampleIdx(3), entry(1.0));
+        assert_eq!(l1.lookup(FuncId(1), SampleIdx(3)), None);
+        assert!(l1.lookup(FuncId(0), SampleIdx(3)).is_some());
+    }
+
+    #[test]
+    fn cyclic_write_pointer_evicts_oldest() {
+        let mut l1 = L1Lut::new(2);
+        let f = FuncId(0);
+        l1.fill(f, SampleIdx(0), entry(0.0));
+        l1.fill(f, SampleIdx(1), entry(1.0));
+        l1.fill(f, SampleIdx(2), entry(2.0)); // evicts idx 0
+        assert_eq!(l1.lookup(f, SampleIdx(0)), None);
+        assert!(l1.lookup(f, SampleIdx(1)).is_some());
+        assert!(l1.lookup(f, SampleIdx(2)).is_some());
+    }
+
+    #[test]
+    fn miss_rate_tracks_accesses() {
+        let mut l1 = L1Lut::new(4);
+        let f = FuncId(0);
+        l1.fill(f, SampleIdx(7), entry(7.0));
+        for _ in 0..3 {
+            l1.lookup(f, SampleIdx(7));
+        }
+        l1.lookup(f, SampleIdx(9));
+        assert!((l1.miss_rate() - 0.25).abs() < 1e-12);
+        l1.reset_stats();
+        assert_eq!(l1.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn invalidate_clears_contents() {
+        let mut l1 = L1Lut::new(4);
+        let f = FuncId(0);
+        l1.fill(f, SampleIdx(1), entry(1.0));
+        l1.invalidate();
+        assert_eq!(l1.lookup(f, SampleIdx(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_capacity_panics() {
+        let _ = L1Lut::new(0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Shared L2 look-up table (one per memory channel).
+
+use crate::entry::{LutEntry, SampleIdx};
+use crate::func::FuncId;
+
+/// Number of LUT entries fetched from DRAM per L2 miss.
+///
+/// §4.1: "it fetches eight data points whenever L2 LUT misses. For instance,
+/// if data for p = 3.0 was required ... the solver fetches data from p = 0.0
+/// to p = 7.0" — i.e. an 8-aligned burst.
+pub const DRAM_BURST_POINTS: i32 = 8;
+
+/// The direct-mapped L2 LUT shared between PEs on one memory channel (§4.1).
+///
+/// "For L2 LUT, as the size is much larger, direct matching is impossible.
+/// Therefore, a hash function utilizing modulo is being used as search
+/// index. The modulo by power-of-2 is used as the size of L2 LUT is 2^N."
+/// The same hash places refill data, keeping read and write addressing
+/// synchronized.
+#[derive(Debug, Clone)]
+pub struct L2Lut {
+    sets: Vec<Option<(FuncId, SampleIdx, LutEntry)>>,
+    mask: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl L2Lut {
+    /// Creates an empty L2 with `capacity` sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or not a power of two (the modulo hash
+    /// is a hardware mask).
+    pub fn new(capacity: usize) -> Self {
+        assert!(
+            capacity.is_power_of_two(),
+            "L2 LUT capacity must be a power of two, got {capacity}"
+        );
+        Self {
+            sets: vec![None; capacity],
+            mask: capacity - 1,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.sets.len()
+    }
+
+    #[inline]
+    fn set_of(&self, func: FuncId, idx: SampleIdx) -> usize {
+        // Modulo-power-of-2 hash; function id is folded in so that several
+        // programmed functions spread over the sets rather than all
+        // colliding at the same line.
+        ((idx.0 as i64 + (func.0 as i64) * 61) & self.mask as i64) as usize
+    }
+
+    /// Looks up `(func, idx)`, recording hit/miss statistics.
+    pub fn lookup(&mut self, func: FuncId, idx: SampleIdx) -> Option<LutEntry> {
+        let set = self.set_of(func, idx);
+        if let Some((f, i, e)) = self.sets[set] {
+            if f == func && i == idx {
+                self.hits += 1;
+                return Some(e);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Installs one entry via the modulo hash (used for each point of a
+    /// DRAM burst).
+    pub fn fill(&mut self, func: FuncId, idx: SampleIdx, entry: LutEntry) {
+        let set = self.set_of(func, idx);
+        self.sets[set] = Some((func, idx, entry));
+    }
+
+    /// The 8-aligned burst window `[base, base + 8)` that a miss on `idx`
+    /// fetches from DRAM.
+    pub fn burst_window(idx: SampleIdx) -> std::ops::Range<i32> {
+        let base = idx.0.div_euclid(DRAM_BURST_POINTS) * DRAM_BURST_POINTS;
+        base..base + DRAM_BURST_POINTS
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Miss rate in `[0, 1]`; zero when no accesses were made.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Clears the counters but keeps contents.
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Invalidates all sets.
+    pub fn invalidate(&mut self) {
+        self.sets.iter_mut().for_each(|s| *s = None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fixedpt::Q16_16;
+
+    fn entry(v: f64) -> LutEntry {
+        LutEntry {
+            l_p: Q16_16::from_f64(v),
+            ..LutEntry::default()
+        }
+    }
+
+    #[test]
+    fn fill_then_lookup_hits() {
+        let mut l2 = L2Lut::new(32);
+        let f = FuncId(0);
+        assert!(l2.lookup(f, SampleIdx(5)).is_none());
+        l2.fill(f, SampleIdx(5), entry(5.0));
+        assert_eq!(l2.lookup(f, SampleIdx(5)).unwrap().l_p.to_f64(), 5.0);
+        assert_eq!(l2.stats(), (1, 1));
+    }
+
+    #[test]
+    fn modulo_hash_conflicts_evict() {
+        let mut l2 = L2Lut::new(8);
+        let f = FuncId(0);
+        l2.fill(f, SampleIdx(1), entry(1.0));
+        l2.fill(f, SampleIdx(9), entry(9.0)); // 9 & 7 == 1 -> same set
+        assert!(l2.lookup(f, SampleIdx(1)).is_none());
+        assert!(l2.lookup(f, SampleIdx(9)).is_some());
+    }
+
+    #[test]
+    fn negative_indices_hash_into_range() {
+        let mut l2 = L2Lut::new(16);
+        let f = FuncId(0);
+        l2.fill(f, SampleIdx(-3), entry(-3.0));
+        assert!(l2.lookup(f, SampleIdx(-3)).is_some());
+        l2.fill(f, SampleIdx(-19), entry(-19.0));
+        // -19 and -3 differ by 16 -> same set under mod-16.
+        assert!(l2.lookup(f, SampleIdx(-3)).is_none());
+    }
+
+    #[test]
+    fn burst_window_is_eight_aligned() {
+        assert_eq!(L2Lut::burst_window(SampleIdx(3)), 0..8);
+        assert_eq!(L2Lut::burst_window(SampleIdx(8)), 8..16);
+        assert_eq!(L2Lut::burst_window(SampleIdx(-1)), -8..0);
+        assert_eq!(L2Lut::burst_window(SampleIdx(-8)), -8..0);
+    }
+
+    #[test]
+    fn different_functions_spread_over_sets() {
+        let mut l2 = L2Lut::new(32);
+        l2.fill(FuncId(0), SampleIdx(4), entry(1.0));
+        l2.fill(FuncId(1), SampleIdx(4), entry(2.0));
+        // With the fold constant 61 these land in different sets mod 32.
+        assert!(l2.lookup(FuncId(0), SampleIdx(4)).is_some());
+        assert!(l2.lookup(FuncId(1), SampleIdx(4)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_capacity_panics() {
+        let _ = L2Lut::new(12);
+    }
+
+    #[test]
+    fn invalidate_and_reset() {
+        let mut l2 = L2Lut::new(8);
+        let f = FuncId(0);
+        l2.fill(f, SampleIdx(2), entry(2.0));
+        l2.invalidate();
+        assert!(l2.lookup(f, SampleIdx(2)).is_none());
+        l2.reset_stats();
+        assert_eq!(l2.miss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Aggregate LUT access statistics.
+
+/// Counters collected by a [`crate::LutHierarchy`] over a simulation run.
+///
+/// These are the quantities the paper extracts from functional simulation
+/// and feeds into the cycle-level model: `mr_L1`, `mr_L2` (Fig. 12, §6.3)
+/// and the number of DRAM accesses (eqs. 11–12).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LutStats {
+    /// Total look-ups issued by PEs.
+    pub accesses: u64,
+    /// Look-ups satisfied by an L1 LUT.
+    pub l1_hits: u64,
+    /// L1 misses satisfied by the shared L2 LUT.
+    pub l2_hits: u64,
+    /// L1+L2 misses that went to DRAM.
+    pub dram_fetches: u64,
+    /// LUT entries transferred from DRAM (8 per fetch).
+    pub dram_points: u64,
+    /// Look-ups that used the exact `l(p)` (zero fractional part) rather
+    /// than Taylor evaluation.
+    pub exact_hits: u64,
+}
+
+impl LutStats {
+    /// L1 miss rate `mr_L1` in `[0, 1]`; zero when no accesses.
+    pub fn l1_miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            (self.accesses - self.l1_hits) as f64 / self.accesses as f64
+        }
+    }
+
+    /// L2 miss rate `mr_L2` over the accesses that reached L2.
+    pub fn l2_miss_rate(&self) -> f64 {
+        let reached = self.accesses - self.l1_hits;
+        if reached == 0 {
+            0.0
+        } else {
+            self.dram_fetches as f64 / reached as f64
+        }
+    }
+
+    /// Combined miss rate `mr_L1 · mr_L2` — the fraction of look-ups paying
+    /// a DRAM access, the quantity in eqs. (11)–(12).
+    pub fn combined_miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.dram_fetches as f64 / self.accesses as f64
+        }
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &LutStats) {
+        self.accesses += other.accesses;
+        self.l1_hits += other.l1_hits;
+        self.l2_hits += other.l2_hits;
+        self.dram_fetches += other.dram_fetches;
+        self.dram_points += other.dram_points;
+        self.exact_hits += other.exact_hits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_on_empty_stats_are_zero() {
+        let s = LutStats::default();
+        assert_eq!(s.l1_miss_rate(), 0.0);
+        assert_eq!(s.l2_miss_rate(), 0.0);
+        assert_eq!(s.combined_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn rates_compose() {
+        let s = LutStats {
+            accesses: 100,
+            l1_hits: 60,
+            l2_hits: 30,
+            dram_fetches: 10,
+            dram_points: 80,
+            exact_hits: 5,
+        };
+        assert!((s.l1_miss_rate() - 0.4).abs() < 1e-12);
+        assert!((s.l2_miss_rate() - 0.25).abs() < 1e-12);
+        assert!((s.combined_miss_rate() - 0.1).abs() < 1e-12);
+        // mr_l1 * mr_l2 == combined
+        assert!((s.l1_miss_rate() * s.l2_miss_rate() - s.combined_miss_rate()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates_all_fields() {
+        let mut a = LutStats {
+            accesses: 10,
+            l1_hits: 5,
+            l2_hits: 3,
+            dram_fetches: 2,
+            dram_points: 16,
+            exact_hits: 1,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.accesses, 20);
+        assert_eq!(a.l1_hits, 10);
+        assert_eq!(a.l2_hits, 6);
+        assert_eq!(a.dram_fetches, 4);
+        assert_eq!(a.dram_points, 32);
+        assert_eq!(a.exact_hits, 2);
+    }
+}

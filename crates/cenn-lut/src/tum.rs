@@ -1,0 +1,233 @@
+//! The Template Update Module (TUM) datapath.
+
+use crate::entry::{LutEntry, SampleIdx};
+use crate::func::NonlinearFn;
+use fixedpt::Q16_16;
+
+/// Fixed-point evaluation datapath of the Template Update Module attached
+/// to each PE (Fig. 6, Table 1).
+///
+/// Given a fetched [`LutEntry`] and the current cell state, the TUM either
+/// forwards the exact stored `l(p)` (when the state's sub-sample bits are
+/// all zero, §4.1) or evaluates the degree-3 Taylor polynomial in Horner
+/// form with three fixed-point MACs:
+///
+/// ```text
+/// l(x) ≈ l(p) + δ·(a₁ + δ·(a₂ + δ·a₃)),   δ = x − p ∈ [0, spacing)
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tum {
+    macs: u64,
+    exact_uses: u64,
+}
+
+/// Result of one TUM evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TumEval {
+    /// The approximated function value `l(x)`.
+    pub value: Q16_16,
+    /// `true` if the exact stored `l(p)` was used (no Taylor MACs).
+    pub exact: bool,
+}
+
+impl Tum {
+    /// Creates a TUM with cleared op counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Evaluates the entry at state `x` with sample spacing
+    /// `2^-log2_inv_spacing`.
+    pub fn eval(&mut self, entry: LutEntry, x: Q16_16, log2_inv_spacing: u32) -> TumEval {
+        let delta = Self::delta(x, log2_inv_spacing);
+        if delta.is_zero() {
+            self.exact_uses += 1;
+            return TumEval {
+                value: entry.l_p,
+                exact: true,
+            };
+        }
+        // Horner evaluation: 3 MACs, mirroring the TUM ALU.
+        self.macs += 3;
+        let mut acc = entry.a3;
+        acc = acc * delta + entry.a2;
+        acc = acc * delta + entry.a1;
+        let value = acc * delta + entry.l_p;
+        TumEval {
+            value,
+            exact: false,
+        }
+    }
+
+    /// The sub-sample offset `δ = x − p` for the given spacing, extracted
+    /// by masking the low fixed-point bits (a zero-cost hardware operation).
+    #[inline]
+    pub fn delta(x: Q16_16, log2_inv_spacing: u32) -> Q16_16 {
+        let low_bits = Q16_16::FRAC_BITS - log2_inv_spacing;
+        let mask = ((1i64 << low_bits) - 1) as i32;
+        Q16_16::from_bits(x.to_bits() & mask)
+    }
+
+    /// Number of fixed-point MAC operations issued so far.
+    pub fn mac_count(&self) -> u64 {
+        self.macs
+    }
+
+    /// Number of evaluations that used the exact stored value.
+    pub fn exact_count(&self) -> u64 {
+        self.exact_uses
+    }
+
+    /// Resets the op counters.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// The eq. (10) template decomposition `l(φ) ≈ α(φ)·φ + c₃` with
+/// `α = c₀ + c₁φ + c₂φ²`, computed in double precision from the function's
+/// derivatives at sample point `p`.
+///
+/// This is the paper's presentation of the nonlinear template; it is
+/// algebraically equivalent to the offset Taylor form the [`Tum`] evaluates
+/// (see [`crate::LutEntry`] for why the datapath uses the latter). Exposed
+/// for tests, documentation and the `fig8_dataflow` analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlphaC3 {
+    /// `c₀` of eq. (10).
+    pub c0: f64,
+    /// `c₁` of eq. (10).
+    pub c1: f64,
+    /// `c₂` of eq. (10).
+    pub c2: f64,
+    /// `c₃` of eq. (10) (the offset absorbed into `z`).
+    pub c3: f64,
+}
+
+impl AlphaC3 {
+    /// Derives the coefficients for `func` expanded around `p`, following
+    /// eq. (10) with `l⁽ᵏ⁾` interpreted as the k-th Taylor *coefficient*
+    /// (`l⁽ᵏ⁾/k!`), which is the only reading under which eq. (9) is the
+    /// Taylor series of `l`.
+    pub fn around(func: &NonlinearFn, p: f64) -> Self {
+        let t = func.taylor(p); // [l(p), a1, a2, a3]
+        let (l, d1, d2, d3) = (t[0], t[1], t[2], t[3]);
+        Self {
+            c0: d1 - 2.0 * p * d2 + 3.0 * p * p * d3,
+            c1: d2 - 3.0 * p * d3,
+            c2: d3,
+            c3: l - p * d1 + p * p * d2 - p * p * p * d3,
+        }
+    }
+
+    /// Evaluates `α(φ) = c₀ + c₁φ + c₂φ²`.
+    pub fn alpha(&self, phi: f64) -> f64 {
+        self.c0 + phi * (self.c1 + phi * self.c2)
+    }
+
+    /// Evaluates the full approximation `α(φ)·φ + c₃`.
+    pub fn value(&self, phi: f64) -> f64 {
+        self.alpha(phi) * phi + self.c3
+    }
+
+    /// The sample index this expansion belongs to at unit spacing.
+    pub fn sample(p: f64) -> SampleIdx {
+        SampleIdx(p.floor() as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::funcs;
+
+    #[test]
+    fn exact_path_taken_on_sample_points() {
+        let mut tum = Tum::new();
+        let entry = LutEntry::quantize(2.5, 1.0, 0.5, 0.1);
+        let r = tum.eval(entry, Q16_16::from_f64(3.0), 0);
+        assert!(r.exact);
+        assert_eq!(r.value.to_f64(), 2.5);
+        assert_eq!(tum.mac_count(), 0);
+        assert_eq!(tum.exact_count(), 1);
+    }
+
+    #[test]
+    fn taylor_path_uses_three_macs() {
+        let mut tum = Tum::new();
+        let entry = LutEntry::quantize(1.0, 2.0, 0.0, 0.0);
+        // l(x) ~ 1 + 2*(x - 3) at x = 3.5 -> 2.0
+        let r = tum.eval(entry, Q16_16::from_f64(3.5), 0);
+        assert!(!r.exact);
+        assert!((r.value.to_f64() - 2.0).abs() < 1e-4);
+        assert_eq!(tum.mac_count(), 3);
+    }
+
+    #[test]
+    fn delta_handles_negative_states() {
+        // x = -2.25 -> p = -3, delta = 0.75
+        let d = Tum::delta(Q16_16::from_f64(-2.25), 0);
+        assert_eq!(d.to_f64(), 0.75);
+        // With half spacing: p = -2.5, delta = 0.25
+        let d = Tum::delta(Q16_16::from_f64(-2.25), 1);
+        assert_eq!(d.to_f64(), 0.25);
+    }
+
+    #[test]
+    fn tum_matches_reference_within_lut_error() {
+        let f = funcs::tanh();
+        let mut tum = Tum::new();
+        for i in -30..30 {
+            let x = i as f64 * 0.13;
+            let p = x.floor();
+            let t = f.taylor(p);
+            let entry = LutEntry::quantize(t[0], t[1], t[2], t[3]);
+            let got = tum.eval(entry, Q16_16::from_f64(x), 0).value.to_f64();
+            let want = f.value(x);
+            // Worst case for unit spacing is the cubic truncation term near
+            // delta -> 1 (~0.06 for tanh); finer spacing shrinks it as 2^-4s.
+            assert!((got - want).abs() < 0.08, "tanh({x}): {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn alpha_c3_equals_offset_taylor() {
+        // The absorbed-p decomposition must agree with the offset form in
+        // exact arithmetic.
+        let f = funcs::cube();
+        let p = 2.0;
+        let dec = AlphaC3::around(&f, p);
+        for phi in [2.0, 2.25, 2.5, 2.99] {
+            let d = phi - p;
+            let t = f.taylor(p);
+            let offset_form = t[0] + d * (t[1] + d * (t[2] + d * t[3]));
+            assert!(
+                (dec.value(phi) - offset_form).abs() < 1e-9,
+                "phi={phi}: {} vs {offset_form}",
+                dec.value(phi)
+            );
+            // cube is exactly degree 3, so both equal x^3.
+            assert!((dec.value(phi) - phi.powi(3)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn alpha_c3_matches_paper_structure_for_linear() {
+        // For l(x) = a*x + b: c0 = a, c1 = c2 = 0, c3 = b.
+        let f = funcs::affine(3.0, -1.5);
+        let dec = AlphaC3::around(&f, 5.0);
+        assert!((dec.c0 - 3.0).abs() < 1e-9);
+        assert!(dec.c1.abs() < 1e-9);
+        assert!(dec.c2.abs() < 1e-9);
+        assert!((dec.c3 + 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut tum = Tum::new();
+        tum.eval(LutEntry::default(), Q16_16::from_f64(0.5), 0);
+        tum.reset();
+        assert_eq!(tum.mac_count(), 0);
+        assert_eq!(tum.exact_count(), 0);
+    }
+}

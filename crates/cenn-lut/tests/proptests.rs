@@ -1,0 +1,104 @@
+//! Property-based tests for the LUT hierarchy invariants.
+
+use cenn_lut::{funcs, FuncLibrary, Level, LutHierarchy, LutSpec, SampleIdx};
+use fixedpt::Q16_16;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn polynomial_lookups_match_exact_within_quantization(
+        k0 in -4.0f64..4.0,
+        k1 in -2.0f64..2.0,
+        k2 in -1.0f64..1.0,
+        k3 in -0.5f64..0.5,
+        xs in prop::collection::vec(-7.5f64..7.5, 1..30),
+    ) {
+        // Degree-3 polynomials are represented exactly by the degree-3
+        // Taylor entries: the only residual is Q16.16 quantization of the
+        // coefficients and the Horner arithmetic.
+        let mut lib = FuncLibrary::new();
+        let f = lib.register(funcs::poly3([k0, k1, k2, k3]));
+        let mut h = LutHierarchy::build(&lib, LutSpec::unit_spacing(-8, 8), 4, 32, 4).unwrap();
+        for x in xs {
+            let q = Q16_16::from_f64(x);
+            let (got, _) = h.lookup(0, f, q);
+            let exact = k0 + q.to_f64() * (k1 + q.to_f64() * (k2 + q.to_f64() * k3));
+            // Error bound: coefficient quantization (4 coefficients, each
+            // up to half ULP) amplified by |delta| < 1 powers, plus Horner
+            // rounding: comfortably under 1e-3 for these ranges.
+            prop_assert!((got.to_f64() - exact).abs() < 1e-3,
+                "poly({x}) = {} vs {exact}", got.to_f64());
+        }
+    }
+
+    #[test]
+    fn stats_counters_are_consistent(
+        xs in prop::collection::vec(-15.9f64..15.9, 1..100),
+        l1 in 1usize..8,
+        pes in 1usize..8,
+    ) {
+        let mut lib = FuncLibrary::new();
+        let f = lib.register(funcs::tanh());
+        let mut h = LutHierarchy::build(&lib, LutSpec::unit_spacing(-16, 16), l1, 32, pes).unwrap();
+        for (i, x) in xs.iter().enumerate() {
+            h.lookup(i % pes, f, Q16_16::from_f64(*x));
+        }
+        let s = h.stats();
+        prop_assert_eq!(s.accesses as usize, xs.len());
+        prop_assert_eq!(s.l1_hits + s.l2_hits + s.dram_fetches, s.accesses);
+        prop_assert_eq!(s.dram_points, s.dram_fetches * 8);
+        let (mr1, mr2) = h.miss_rates();
+        prop_assert!((0.0..=1.0).contains(&mr1));
+        prop_assert!((0.0..=1.0).contains(&mr2));
+    }
+
+    #[test]
+    fn repeated_lookup_always_hits_l1(x in -15.9f64..15.9) {
+        let mut lib = FuncLibrary::new();
+        let f = lib.register(funcs::sin());
+        let mut h = LutHierarchy::build(&lib, LutSpec::unit_spacing(-16, 16), 4, 32, 1).unwrap();
+        let q = Q16_16::from_f64(x);
+        let (v1, _) = h.lookup(0, f, q);
+        let (v2, o2) = h.lookup(0, f, q);
+        prop_assert_eq!(v1, v2, "lookups are deterministic");
+        prop_assert_eq!(o2.filled_from, Level::L1);
+    }
+
+    #[test]
+    fn lookup_value_independent_of_cache_state(
+        warm in prop::collection::vec(-15.9f64..15.9, 0..50),
+        x in -15.9f64..15.9,
+    ) {
+        // The hierarchy is a cache: contents never change values, only
+        // latency. A cold and a warmed hierarchy agree on every value.
+        let mut lib = FuncLibrary::new();
+        let f = lib.register(funcs::exp());
+        let spec = LutSpec::unit_spacing(-16, 16);
+        let mut cold = LutHierarchy::build(&lib, spec, 4, 32, 1).unwrap();
+        let mut warmed = LutHierarchy::build(&lib, spec, 4, 32, 1).unwrap();
+        for w in warm {
+            warmed.lookup(0, f, Q16_16::from_f64(w));
+        }
+        let q = Q16_16::from_f64(x);
+        prop_assert_eq!(cold.lookup(0, f, q).0, warmed.lookup(0, f, q).0);
+    }
+
+    #[test]
+    fn out_of_range_states_clamp_to_boundary_sample(x in 20.0f64..1000.0) {
+        let mut lib = FuncLibrary::new();
+        let f = lib.register(funcs::tanh());
+        let mut h = LutHierarchy::build(&lib, LutSpec::unit_spacing(-8, 8), 4, 32, 1).unwrap();
+        let (hi, _) = h.lookup(0, f, Q16_16::from_f64(x));
+        // tanh saturates: any clamped out-of-range read lands near 1.
+        prop_assert!((hi.to_f64() - 1.0).abs() < 0.1, "{}", hi.to_f64());
+    }
+
+    #[test]
+    fn sample_idx_shift_matches_division(x in -1000.0f64..1000.0, s in 0u32..8) {
+        let q = Q16_16::from_f64(x);
+        let idx = SampleIdx::of(q, s);
+        let spacing = 1.0 / (1u64 << s) as f64;
+        let expect = (q.to_f64() / spacing).floor() as i32;
+        prop_assert_eq!(idx.0, expect);
+    }
+}

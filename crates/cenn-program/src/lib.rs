@@ -1,0 +1,29 @@
+//! Programming and execution model of the DE solver (§3).
+//!
+//! "A set of templates can be considered as a program for the DE solver to
+//! simulate a specific dynamical system." This crate implements that
+//! program as a concrete binary artifact and the execution session that
+//! ties the functional and cycle-level simulators together:
+//!
+//! * [`Program`] — the §3 bitstream: `Size_input` (encoded as the exponent
+//!   of a power-of-two side), `Size_kernel`, `N_layer`, the linear
+//!   template words, the **WUI** binary indicator matrices, the
+//!   feedforward templates and offsets, the dynamic-weight descriptors,
+//!   and the sampled off-chip LUT images. [`Program::encode`] /
+//!   [`Program::decode`] round-trip the byte stream that would be pushed
+//!   into the hardware.
+//! * [`SolverSession`] — the paper's two-stage methodology in one object:
+//!   functional fixed-point simulation collects the LUT access trace, and
+//!   the measured `mr_L1`/`mr_L2` feed the cycle-level model (§6.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitstream;
+mod session;
+
+pub use bitstream::{
+    DynDescriptor, DynFactor, DynSite, LutImage, OffsetImage, Program, ProgramError,
+    TemplateImage, BITSTREAM_MAGIC, BITSTREAM_VERSION,
+};
+pub use session::{SessionError, SolverSession};

@@ -1,0 +1,198 @@
+//! The execution session: functional simulation feeding the cycle model.
+
+use cenn_arch::{CycleModel, MemorySpec, PeArrayConfig, RunEstimate};
+use cenn_core::{CennModel, CennSim, FuncEval, Grid, LayerId, ModelError};
+use fixedpt::Q16_16;
+
+use crate::bitstream::{Program, ProgramError};
+
+/// A programmed solver: the paper's end-to-end flow in one object.
+///
+/// 1. **Program** — the model is compiled to its bitstream image
+///    ([`Program`]), which is what would be pushed into the chip (§3).
+/// 2. **Execute** — the functional fixed-point simulator evolves the
+///    system while the LUT hierarchy records its access trace.
+/// 3. **Estimate** — the measured `mr_L1`/`mr_L2` feed the cycle-level
+///    model to produce timing/energy (§6.3's methodology).
+///
+/// # Examples
+///
+/// ```
+/// use cenn_program::SolverSession;
+/// use cenn_arch::MemorySpec;
+/// use cenn_equations::{DynamicalSystem, Fisher};
+///
+/// let setup = Fisher::default().build(32, 32).unwrap();
+/// let mut s = SolverSession::new(setup.model.clone(), MemorySpec::hmc_int()).unwrap();
+/// for (layer, grid) in &setup.initial {
+///     s.sim_mut().set_state_f64(*layer, grid).unwrap();
+/// }
+/// s.run(20);
+/// let est = s.estimate();
+/// assert!(est.time_per_step_s() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SolverSession {
+    program: Program,
+    sim: CennSim,
+    cycle: CycleModel,
+}
+
+impl SolverSession {
+    /// Programs a solver for `model` against the given memory system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError::Program`] if the model cannot be compiled to
+    /// a bitstream (e.g. non-power-of-two grid) and [`SessionError::Model`]
+    /// for simulator-construction failures.
+    pub fn new(model: CennModel, mem: MemorySpec) -> Result<Self, SessionError> {
+        let program = Program::from_model(&model)?;
+        let sim = CennSim::with_eval(model, FuncEval::Lut)?;
+        Ok(Self {
+            program,
+            sim,
+            cycle: CycleModel::new(mem, PeArrayConfig::default()),
+        })
+    }
+
+    /// The compiled program image.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The functional simulator (read).
+    pub fn sim(&self) -> &CennSim {
+        &self.sim
+    }
+
+    /// The functional simulator (write: set states/inputs).
+    pub fn sim_mut(&mut self) -> &mut CennSim {
+        &mut self.sim
+    }
+
+    /// The cycle model in use.
+    pub fn cycle_model(&self) -> &CycleModel {
+        &self.cycle
+    }
+
+    /// Swaps the memory system (for the Fig. 13 → Fig. 14 sweep).
+    pub fn set_memory(&mut self, mem: MemorySpec) {
+        self.cycle = CycleModel::new(mem, self.cycle.pe_config().clone());
+    }
+
+    /// Runs `n` functional steps.
+    pub fn run(&mut self, n: u64) {
+        self.sim.run(n);
+    }
+
+    /// A layer's state.
+    pub fn state(&self, layer: LayerId) -> &Grid<Q16_16> {
+        self.sim.state(layer)
+    }
+
+    /// Measured miss rates so far.
+    pub fn miss_rates(&self) -> (f64, f64) {
+        self.sim.miss_rates()
+    }
+
+    /// Produces the cycle-level estimate at the measured miss rates.
+    pub fn estimate(&self) -> RunEstimate {
+        self.cycle.estimate(self.sim.model(), self.sim.miss_rates())
+    }
+
+    /// Produces an estimate at explicitly supplied miss rates (parameter
+    /// sweeps without re-running the functional simulation).
+    pub fn estimate_at(&self, miss_rates: (f64, f64)) -> RunEstimate {
+        self.cycle.estimate(self.sim.model(), miss_rates)
+    }
+}
+
+/// Errors from building a [`SolverSession`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// Program compilation failed.
+    Program(ProgramError),
+    /// Simulator construction failed.
+    Model(ModelError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Program(e) => write!(f, "program compilation failed: {e}"),
+            Self::Model(e) => write!(f, "model setup failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Program(e) => Some(e),
+            Self::Model(e) => Some(e),
+        }
+    }
+}
+
+impl From<ProgramError> for SessionError {
+    fn from(e: ProgramError) -> Self {
+        Self::Program(e)
+    }
+}
+
+impl From<ModelError> for SessionError {
+    fn from(e: ModelError) -> Self {
+        Self::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cenn_equations::{DynamicalSystem, Fisher, Heat};
+
+    #[test]
+    fn session_programs_and_estimates() {
+        let setup = Fisher::default().build(32, 32).unwrap();
+        let mut s = SolverSession::new(setup.model.clone(), MemorySpec::ddr3()).unwrap();
+        for (layer, grid) in &setup.initial {
+            s.sim_mut().set_state_f64(*layer, grid).unwrap();
+        }
+        s.run(10);
+        let (mr1, _) = s.miss_rates();
+        assert!(mr1 > 0.0, "fisher looks up the square LUT");
+        let est = s.estimate();
+        assert!(est.time_per_step_s() > 0.0);
+        assert!(est.timing().stall_cycles > 0.0);
+        assert!(s.program().encoded_len() > 16);
+    }
+
+    #[test]
+    fn memory_swap_speeds_up_the_estimate() {
+        let setup = Fisher::default().build(32, 32).unwrap();
+        let mut s = SolverSession::new(setup.model.clone(), MemorySpec::ddr3()).unwrap();
+        s.run(5);
+        let ddr = s.estimate().time_per_step_s();
+        s.set_memory(MemorySpec::hmc_int());
+        let hmc = s.estimate().time_per_step_s();
+        assert!(hmc < ddr, "hmc {hmc} vs ddr {ddr}");
+    }
+
+    #[test]
+    fn non_power_of_two_grid_fails_cleanly() {
+        let setup = Heat::default().build(48, 48).unwrap();
+        let err = SolverSession::new(setup.model, MemorySpec::ddr3()).unwrap_err();
+        assert!(matches!(err, SessionError::Program(_)));
+        assert!(err.to_string().contains("power of two"));
+    }
+
+    #[test]
+    fn estimate_at_sweeps_without_rerunning() {
+        let setup = Fisher::default().build(32, 32).unwrap();
+        let s = SolverSession::new(setup.model, MemorySpec::ddr3()).unwrap();
+        let low = s.estimate_at((0.1, 0.1)).time_per_step_s();
+        let high = s.estimate_at((0.9, 0.9)).time_per_step_s();
+        assert!(high > low);
+    }
+}

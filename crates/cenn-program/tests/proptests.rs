@@ -1,0 +1,113 @@
+//! Property-based tests for the program bitstream: round-trip fidelity
+//! and decoder robustness against malformed streams.
+
+use cenn_core::{mapping, Boundary, CennModelBuilder, WeightExpr};
+use cenn_program::{Program, ProgramError};
+use proptest::prelude::*;
+
+/// Builds a random-ish but valid model on a power-of-two grid.
+fn arb_model() -> impl Strategy<Value = cenn_core::CennModel> {
+    (
+        2u32..6,                                 // side exponent: 4..32
+        1usize..4,                               // layers
+        prop::collection::vec(-2.0f64..2.0, 9),  // a template
+        -1.0f64..1.0,                            // offset
+        any::<bool>(),                           // add a dynamic site?
+    )
+        .prop_map(|(exp, n_layers, weights, z, dynamic)| {
+            let side = 1usize << exp;
+            let mut b = CennModelBuilder::new(side, side);
+            let ids: Vec<_> = (0..n_layers)
+                .map(|i| b.dynamic_layer(&format!("l{i}"), Boundary::Periodic))
+                .collect();
+            let t = cenn_core::Template::from_constants(&weights);
+            b.state_template(ids[0], ids[n_layers - 1], t);
+            b.offset(ids[0], z);
+            if dynamic {
+                let f = b.register_func(cenn_lut::funcs::square());
+                b.offset_expr(ids[0], WeightExpr::dynamic(0.5, f, ids[0]));
+                let cfg = cenn_core::LutConfig {
+                    default_spec: cenn_lut::LutSpec::unit_spacing(-16, 16),
+                    ..Default::default()
+                };
+                b.lut_config(cfg);
+            }
+            if n_layers > 1 {
+                b.state_template(ids[1], ids[0], mapping::center(0.5).into_template());
+            }
+            b.build(0.125).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn encode_decode_round_trips(model in arb_model()) {
+        let p = Program::from_model(&model).unwrap();
+        let bytes = p.encode();
+        let q = Program::decode(&bytes).unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn encoding_is_deterministic(model in arb_model()) {
+        let a = Program::from_model(&model).unwrap().encode();
+        let b = Program::from_model(&model).unwrap().encode();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn truncated_streams_never_panic(model in arb_model(), cut in 0.0f64..1.0) {
+        let bytes = Program::from_model(&model).unwrap().encode();
+        let n = ((bytes.len() as f64) * cut) as usize;
+        // Must return an error, never panic, for any prefix.
+        if Program::decode(&bytes[..n]).is_ok() {
+            prop_assert_eq!(n, bytes.len());
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic(model in arb_model(), pos in any::<prop::sample::Index>(), bit in 0u8..8) {
+        let mut bytes = Program::from_model(&model).unwrap().encode();
+        let i = pos.index(bytes.len());
+        bytes[i] ^= 1 << bit;
+        // Decoding corrupted streams must be total: Ok or Err, no panic.
+        let _ = Program::decode(&bytes);
+    }
+
+    #[test]
+    fn random_garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Program::decode(&bytes);
+    }
+
+    #[test]
+    fn header_fields_match_model(model in arb_model()) {
+        let p = Program::from_model(&model).unwrap();
+        prop_assert_eq!(p.rows(), model.rows());
+        prop_assert_eq!(p.cols(), model.cols());
+        prop_assert_eq!(p.n_layers as usize, model.n_layers());
+        prop_assert_eq!(p.kernel as usize, model.kernel_size());
+        prop_assert_eq!(p.luts.len(), model.library().len());
+        // WUI site count in the image equals the model's count.
+        let image_wui = p
+            .templates
+            .iter()
+            .map(|t| (0..t.words.len()).filter(|&i| t.wui_bit(i)).count())
+            .sum::<usize>()
+            + p.offsets.iter().filter(|o| o.wui).count();
+        prop_assert_eq!(image_wui, model.wui_template_count());
+    }
+}
+
+#[test]
+fn non_power_of_two_side_is_rejected() {
+    let mut b = CennModelBuilder::new(24, 32);
+    let u = b.dynamic_layer("u", Boundary::Zero);
+    b.state_template(u, u, mapping::center(1.0).into_template());
+    let model = b.build(0.1).unwrap();
+    assert_eq!(
+        Program::from_model(&model).unwrap_err(),
+        ProgramError::NonPowerOfTwoInput(24)
+    );
+}

@@ -1,0 +1,232 @@
+//! Ensemble execution: many solver instances exploring different
+//! conditions in parallel.
+//!
+//! §6.1 motivates fixed-point efficiency with exactly this use case: "it
+//! becomes possible to run massive simulations with different conditions
+//! in parallel by utilizing multiple (energy-efficient) DE solvers in
+//! finding a number of solutions to obtain near-optimal solution for a
+//! complex and large problem." A 1.5 W solver chip invites deploying tens
+//! of them inside one GPU's power budget.
+//!
+//! [`Ensemble`] runs a set of variants through the functional simulator
+//! and prices the fleet with the cycle/energy models: `n` solver chips
+//! execute variants in parallel waves, against a single GPU executing
+//! them sequentially.
+
+use cenn_arch::{CycleModel, MemorySpec, PeArrayConfig, RunEstimate};
+use cenn_baselines::{gtx850_gpu, StencilWorkload};
+use cenn_core::{Grid, ModelError};
+use cenn_equations::{FixedRunner, SystemSetup};
+
+/// One completed ensemble member.
+#[derive(Debug, Clone)]
+pub struct MemberResult {
+    /// The variant's label.
+    pub label: String,
+    /// Total post-step-rule firings (spikes) over the run.
+    pub fired: usize,
+    /// Final observed states `(name, grid)`.
+    pub observed: Vec<(&'static str, Grid<f64>)>,
+    /// Measured LUT miss rates.
+    pub miss_rates: (f64, f64),
+}
+
+/// Fleet-level deployment estimate.
+#[derive(Debug, Clone)]
+pub struct FleetEstimate {
+    /// Solver chips deployed.
+    pub n_solvers: usize,
+    /// Wall-clock seconds for all variants on the fleet (parallel waves).
+    pub fleet_time_s: f64,
+    /// Aggregate fleet power (watts).
+    pub fleet_power_w: f64,
+    /// Fleet energy for the whole sweep (joules).
+    pub fleet_energy_j: f64,
+    /// Wall-clock seconds on one GPU running the variants sequentially.
+    pub gpu_time_s: f64,
+    /// GPU energy for the whole sweep (joules).
+    pub gpu_energy_j: f64,
+}
+
+impl FleetEstimate {
+    /// Fleet speedup over the sequential GPU.
+    pub fn speedup(&self) -> f64 {
+        self.gpu_time_s / self.fleet_time_s
+    }
+
+    /// Fleet energy advantage over the GPU.
+    pub fn energy_advantage(&self) -> f64 {
+        self.gpu_energy_j / self.fleet_energy_j
+    }
+}
+
+/// A labelled collection of system variants run under identical step
+/// counts.
+///
+/// # Examples
+///
+/// ```
+/// use cenn::ensemble::Ensemble;
+/// use cenn::equations::{DynamicalSystem, Izhikevich};
+///
+/// let mut e = Ensemble::new();
+/// for (label, a) in [("RS", 0.02), ("FS", 0.1)] {
+///     let sys = Izhikevich { a, ..Izhikevich::default() };
+///     e.add(label, sys.build(4, 4).unwrap());
+/// }
+/// let results = e.run(400).unwrap();
+/// assert_eq!(results.len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct Ensemble {
+    members: Vec<(String, SystemSetup)>,
+}
+
+impl Ensemble {
+    /// Creates an empty ensemble.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a variant.
+    pub fn add(&mut self, label: impl Into<String>, setup: SystemSetup) -> &mut Self {
+        self.members.push((label.into(), setup));
+        self
+    }
+
+    /// Number of variants.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when no variants were added.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Runs every variant for `steps` on the fixed-point solver simulator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from runner construction.
+    pub fn run(&self, steps: u64) -> Result<Vec<MemberResult>, ModelError> {
+        self.members
+            .iter()
+            .map(|(label, setup)| {
+                let mut runner = FixedRunner::new(setup.clone())?;
+                let fired = runner.run(steps);
+                Ok(MemberResult {
+                    label: label.clone(),
+                    fired,
+                    observed: runner.observed_states(),
+                    miss_rates: runner.miss_rates(),
+                })
+            })
+            .collect()
+    }
+
+    /// Prices the sweep on a fleet of `n_solvers` accelerator chips
+    /// against one GPU, using per-variant measured miss rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_solvers` is zero or the ensemble is empty.
+    pub fn fleet_estimate(
+        &self,
+        results: &[MemberResult],
+        n_solvers: usize,
+        mem: MemorySpec,
+        steps: u64,
+    ) -> FleetEstimate {
+        assert!(n_solvers > 0, "fleet needs at least one solver");
+        assert!(!self.members.is_empty(), "empty ensemble");
+        let cycle = CycleModel::new(mem, PeArrayConfig::default());
+        let gpu = gtx850_gpu();
+        let mut member_times = Vec::new();
+        let mut member_power = Vec::new();
+        let mut gpu_time = 0.0;
+        for ((_, setup), res) in self.members.iter().zip(results) {
+            let est: RunEstimate = cycle.estimate(&setup.model, res.miss_rates);
+            member_times.push(est.total_time_s(steps));
+            member_power.push(est.system_power_w());
+            gpu_time += gpu.total_time(&StencilWorkload::from_model(&setup.model), steps);
+        }
+        // Parallel waves: ceil(M / N) rounds, each bounded by its slowest
+        // member (greedy longest-first packing is near-optimal for equal
+        // grids; members here share a grid so rounds are uniform).
+        let waves = self.members.len().div_ceil(n_solvers);
+        let max_member = member_times.iter().cloned().fold(0.0, f64::max);
+        let fleet_time = waves as f64 * max_member;
+        let avg_power: f64 = member_power.iter().sum::<f64>() / member_power.len() as f64;
+        let fleet_power = avg_power * n_solvers.min(self.members.len()) as f64;
+        let fleet_energy: f64 = member_times
+            .iter()
+            .zip(&member_power)
+            .map(|(t, p)| t * p)
+            .sum();
+        FleetEstimate {
+            n_solvers,
+            fleet_time_s: fleet_time,
+            fleet_power_w: fleet_power,
+            fleet_energy_j: fleet_energy,
+            gpu_time_s: gpu_time,
+            gpu_energy_j: gpu_time * gpu.power_w,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cenn_equations::{DynamicalSystem, Izhikevich};
+
+    fn izh_ensemble() -> Ensemble {
+        let mut e = Ensemble::new();
+        for (label, a, d) in [("RS", 0.02, 8.0), ("FS", 0.1, 2.0)] {
+            let sys = Izhikevich {
+                a,
+                d,
+                ..Izhikevich::default()
+            };
+            e.add(label, sys.build(4, 4).unwrap());
+        }
+        e
+    }
+
+    #[test]
+    fn ensemble_runs_all_members() {
+        let e = izh_ensemble();
+        assert_eq!(e.len(), 2);
+        assert!(!e.is_empty());
+        let results = e.run(800).unwrap();
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(r.fired > 0, "{} fired", r.label);
+            assert!(!r.observed.is_empty());
+        }
+        // Fast-spiking parameters fire more than regular-spiking.
+        assert!(results[1].fired > results[0].fired, "{results:?}");
+    }
+
+    #[test]
+    fn fleet_estimate_scales_with_solver_count() {
+        let e = izh_ensemble();
+        let results = e.run(100).unwrap();
+        let one = e.fleet_estimate(&results, 1, MemorySpec::hmc_int(), 100);
+        let two = e.fleet_estimate(&results, 2, MemorySpec::hmc_int(), 100);
+        assert!(two.fleet_time_s < one.fleet_time_s);
+        assert!(two.fleet_power_w > one.fleet_power_w);
+        // Energy for the same work is solver-count independent.
+        assert!((two.fleet_energy_j - one.fleet_energy_j).abs() < 1e-12);
+        assert!(two.speedup() > one.speedup());
+        assert!(one.energy_advantage() > 10.0, "fleet wins on energy");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one solver")]
+    fn zero_solvers_panics() {
+        let e = izh_ensemble();
+        let results = e.run(10).unwrap();
+        let _ = e.fleet_estimate(&results, 0, MemorySpec::hmc_int(), 10);
+    }
+}

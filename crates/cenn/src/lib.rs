@@ -1,0 +1,81 @@
+//! # cenn — a programmable accelerator for simulating dynamical systems
+//!
+//! A complete software reproduction of *"A Programmable Hardware
+//! Accelerator for Simulating Dynamical Systems"* (ISCA 2017): the
+//! multilayer **Cellular Nonlinear Network** computing model, the
+//! LUT-based real-time template update, the cycle-level architecture and
+//! energy models, the programming bitstream, the six benchmark dynamical
+//! systems, and the floating-point/roofline baselines.
+//!
+//! This facade re-exports the workspace crates under stable module names:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`fx`] | `fixedpt` | Q16.16 fixed-point arithmetic |
+//! | [`core`] | `cenn-core` | CeNN model, templates, functional simulator |
+//! | [`lut`] | `cenn-lut` | L1/L2/DRAM LUT hierarchy + TUM |
+//! | [`arch`] | `cenn-arch` | cycle-level timing, memory and energy models |
+//! | [`program`] | `cenn-program` | bitstream + solver session |
+//! | [`equations`] | `cenn-equations` | the six §6.1 benchmarks |
+//! | [`baselines`] | `cenn-baselines` | float reference + CPU/GPU rooflines |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cenn::equations::{DynamicalSystem, FixedRunner, Heat};
+//!
+//! // Build the heat-equation program on a 32x32 grid and run it on the
+//! // fixed-point solver simulator.
+//! let setup = Heat::default().build(32, 32).unwrap();
+//! let mut runner = FixedRunner::new(setup).unwrap();
+//! runner.run(100);
+//! let (name, phi) = runner.observed_states().remove(0);
+//! assert_eq!(name, "phi");
+//! assert!(phi.max_abs() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ensemble;
+pub mod render;
+
+/// Fixed-point arithmetic (`fixedpt`).
+pub mod fx {
+    pub use fixedpt::*;
+}
+
+/// The CeNN computing model (`cenn-core`).
+pub mod core {
+    pub use cenn_core::*;
+}
+
+/// The LUT hierarchy (`cenn-lut`).
+pub mod lut {
+    pub use cenn_lut::*;
+}
+
+/// The architecture model (`cenn-arch`).
+pub mod arch {
+    pub use cenn_arch::*;
+}
+
+/// Programming and execution (`cenn-program`).
+pub mod program {
+    pub use cenn_program::*;
+}
+
+/// Benchmark dynamical systems (`cenn-equations`).
+pub mod equations {
+    pub use cenn_equations::*;
+}
+
+/// Reference solvers and baseline performance models (`cenn-baselines`).
+pub mod baselines {
+    pub use cenn_baselines::*;
+}
+
+/// Computing-with-dynamical-systems applications (`cenn-apps`).
+pub mod apps {
+    pub use cenn_apps::*;
+}

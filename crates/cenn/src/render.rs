@@ -1,0 +1,108 @@
+//! Grid visualization: ASCII rendering and portable-graymap (PGM) export.
+//!
+//! The examples render state maps in the terminal; for publication-style
+//! figures, [`write_pgm`] dumps any `Grid<f64>` as a binary 8-bit PGM that
+//! every image tool opens.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use cenn_core::Grid;
+
+/// Renders a grid as ASCII art using a density ramp, sampling down to at
+/// most `max_side` characters per side. Values are normalized to the
+/// grid's own `[min, max]`.
+pub fn ascii(grid: &Grid<f64>, max_side: usize) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let (lo, hi) = grid
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+    let span = (hi - lo).max(1e-12);
+    let step_r = grid.rows().div_ceil(max_side).max(1);
+    let step_c = grid.cols().div_ceil(max_side).max(1);
+    let mut out = String::new();
+    for r in (0..grid.rows()).step_by(step_r) {
+        for c in (0..grid.cols()).step_by(step_c) {
+            let t = (grid.get(r, c) - lo) / span;
+            let i = (t * (RAMP.len() - 1) as f64).round() as usize;
+            out.push(RAMP[i.min(RAMP.len() - 1)] as char);
+            out.push(RAMP[i.min(RAMP.len() - 1)] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a grid as a binary 8-bit PGM image, normalized to `[min, max]`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the filesystem.
+pub fn write_pgm(grid: &Grid<f64>, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    write_pgm_to(grid, &mut f)
+}
+
+/// Writes a PGM image to any writer (note that a `&mut W` is itself a
+/// writer, so a mutable reference can be passed here).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_pgm_to<W: Write>(grid: &Grid<f64>, mut w: W) -> io::Result<()> {
+    let (lo, hi) = grid
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+    let span = (hi - lo).max(1e-12);
+    write!(w, "P5\n{} {}\n255\n", grid.cols(), grid.rows())?;
+    let bytes: Vec<u8> = grid
+        .as_slice()
+        .iter()
+        .map(|&v| (((v - lo) / span) * 255.0).round() as u8)
+        .collect();
+    w.write_all(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_grid() -> Grid<f64> {
+        Grid::from_fn(4, 4, |r, c| (r * 4 + c) as f64)
+    }
+
+    #[test]
+    fn ascii_spans_the_ramp() {
+        let s = ascii(&ramp_grid(), 16);
+        assert!(s.contains(' '), "minimum maps to blank");
+        assert!(s.contains('@'), "maximum maps to densest glyph");
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn ascii_downsamples_large_grids() {
+        let g = Grid::new(64, 64, 1.0);
+        let s = ascii(&g, 16);
+        assert!(s.lines().count() <= 16);
+    }
+
+    #[test]
+    fn pgm_header_and_payload() {
+        let mut buf = Vec::new();
+        write_pgm_to(&ramp_grid(), &mut buf).unwrap();
+        assert!(buf.starts_with(b"P5\n4 4\n255\n"));
+        let pixels = &buf[buf.len() - 16..];
+        assert_eq!(pixels[0], 0, "minimum is black");
+        assert_eq!(pixels[15], 255, "maximum is white");
+        // Monotone ramp.
+        assert!(pixels.windows(2).all(|p| p[0] <= p[1]));
+    }
+
+    #[test]
+    fn constant_grid_does_not_divide_by_zero() {
+        let g = Grid::new(2, 2, 3.0);
+        let mut buf = Vec::new();
+        write_pgm_to(&g, &mut buf).unwrap();
+        assert_eq!(buf.len(), "P5\n2 2\n255\n".len() + 4);
+    }
+}

@@ -1,0 +1,72 @@
+//! Parameter-sweep ensemble: Izhikevich neuron classes explored in
+//! parallel on a fleet of DE-solver chips (§6.1: "run massive simulations
+//! with different conditions in parallel by utilizing multiple
+//! (energy-efficient) DE solvers").
+//!
+//! ```sh
+//! cargo run --release --example ensemble_sweep
+//! ```
+
+use cenn::arch::MemorySpec;
+use cenn::ensemble::Ensemble;
+use cenn::equations::{DynamicalSystem, Izhikevich};
+
+fn main() {
+    // Izhikevich's canonical firing classes: (a, b, c, d).
+    let classes = [
+        ("regular spiking (RS)", 0.02, 0.2, -65.0, 8.0),
+        ("intrinsically bursting (IB)", 0.02, 0.2, -55.0, 4.0),
+        ("chattering (CH)", 0.02, 0.2, -50.0, 2.0),
+        ("fast spiking (FS)", 0.10, 0.2, -65.0, 2.0),
+        ("low-threshold spiking (LTS)", 0.02, 0.25, -65.0, 2.0),
+        ("thalamo-cortical (TC)", 0.02, 0.25, -65.0, 0.05),
+    ];
+    let steps = 2400u64; // 600 ms at dt = 0.25
+    let mut ensemble = Ensemble::new();
+    for (label, a, b, c, d) in classes {
+        let sys = Izhikevich {
+            a,
+            b,
+            c,
+            d,
+            i_jitter: 0.5,
+            ..Izhikevich::default()
+        };
+        ensemble.add(label, sys.build(8, 8).expect("builds"));
+    }
+
+    println!("== Izhikevich firing-class sweep on a solver fleet ==");
+    println!("{} variants x 64 neurons x {steps} steps\n", ensemble.len());
+    let results = ensemble.run(steps).expect("runs");
+    println!("{:<30} {:>8} {:>12} {:>8}", "class", "spikes", "rate (Hz)", "mr_L1");
+    for r in &results {
+        let rate = r.fired as f64 / 64.0 / 0.6; // per neuron per second
+        println!(
+            "{:<30} {:>8} {:>12.1} {:>8.3}",
+            r.label, r.fired, rate, r.miss_rates.0
+        );
+    }
+
+    println!("\nfleet economics (HMC-INT solvers vs one 45 W GPU, same sweep):");
+    println!(
+        "{:>9} {:>14} {:>12} {:>12} {:>10} {:>10}",
+        "solvers", "fleet time ms", "power W", "energy J", "speedup", "energy x"
+    );
+    for n in [1usize, 2, 6] {
+        let est = ensemble.fleet_estimate(&results, n, MemorySpec::hmc_int(), steps);
+        println!(
+            "{:>9} {:>14.2} {:>12.2} {:>12.4} {:>9.1}x {:>9.0}x",
+            n,
+            est.fleet_time_s * 1e3,
+            est.fleet_power_w,
+            est.fleet_energy_j,
+            est.speedup(),
+            est.energy_advantage()
+        );
+    }
+    println!("\nsix 1-2 W solver chips sweep the whole class space faster than the");
+    println!("GPU serializes it, inside a fraction of its power budget.");
+    println!("(the huge factors are the tiny-grid regime: a 64-neuron step is pure");
+    println!("kernel-launch overhead on a GPU — exactly the paper's real-time-control");
+    println!("motivation, §1; see fig13_speedup for the 128x128 PDE regime.)");
+}

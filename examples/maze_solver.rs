@@ -1,0 +1,118 @@
+//! Wave-front path planning through a maze — "computing with dynamical
+//! systems" on the DE solver (§1's UAV/robot path-planning motivation).
+//!
+//! An excitable FitzHugh–Nagumo wave launched at the goal floods the free
+//! space; first-arrival times form a geodesic distance field; gradient
+//! descent from the start is the path. All of it runs as CeNN templates
+//! on the fixed-point solver.
+//!
+//! ```sh
+//! cargo run --release --example maze_solver
+//! ```
+
+use cenn::apps::pathplan::{plan, PlanProblem, PlannerConfig};
+use cenn::core::Grid;
+
+const MAZE: [&str; 32] = [
+    "............................................",
+    "............................................",
+    "............................................",
+    "............................................",
+    "............................................",
+    "..........##################################",
+    "..........##################################",
+    "............................................",
+    "............................................",
+    "............................................",
+    "............................................",
+    "............................................",
+    "............................................",
+    "............................................",
+    "............................................",
+    "##################################..........",
+    "##################################..........",
+    "............................................",
+    "............................................",
+    "............................................",
+    "............................................",
+    "............................................",
+    "............................................",
+    "............................................",
+    "............................................",
+    "..........##################################",
+    "..........##################################",
+    "............................................",
+    "............................................",
+    "............................................",
+    "............................................",
+    "............................................",
+];
+
+fn main() {
+    let obstacles = Grid::from_fn(MAZE.len(), MAZE[0].len(), |r, c| {
+        MAZE[r].as_bytes().get(c).copied() == Some(b'#')
+    });
+    let problem = PlanProblem {
+        obstacles,
+        start: (2, 38),
+        goal: (28, 38),
+    };
+    println!("== Excitable-wave maze solving on the CeNN solver ==");
+    println!("goal wave expands from G; S descends the arrival-time field\n");
+
+    let cfg = PlannerConfig {
+        max_steps: 20_000,
+        ..PlannerConfig::default()
+    };
+    match plan(&problem, &cfg).expect("solver runs") {
+        None => println!("no path found (goal unreachable)"),
+        Some(result) => {
+            println!(
+                "wave reached the start after {} solver steps; path of {} cells:\n",
+                result.wave_steps,
+                result.path.len()
+            );
+            // Render maze + path.
+            for (r, row) in MAZE.iter().enumerate() {
+                let mut line = String::new();
+                for (c, ch) in row.bytes().enumerate() {
+                    let cell = (r, c);
+                    let glyph = if cell == problem.start {
+                        'S'
+                    } else if cell == problem.goal {
+                        'G'
+                    } else if result.path.contains(&cell) {
+                        'o'
+                    } else if ch == b'#' {
+                        '#'
+                    } else {
+                        '.'
+                    };
+                    line.push(glyph);
+                }
+                println!("  {line}");
+            }
+            // Arrival-time field (coarse).
+            println!("\narrival-time field (0-9 scaled, '#' wall, ' ' unreached):");
+            let max_t = result
+                .arrival
+                .iter()
+                .filter(|v| v.is_finite())
+                .fold(1.0f64, |m, &v| m.max(v));
+            for r in 0..result.arrival.rows() {
+                let mut line = String::new();
+                for c in 0..result.arrival.cols() {
+                    let t = result.arrival.get(r, c);
+                    line.push(if problem.obstacles.get(r, c) {
+                        '#'
+                    } else if t.is_finite() {
+                        char::from_digit(((t / max_t) * 9.0) as u32, 10).unwrap_or('9')
+                    } else {
+                        ' '
+                    });
+                }
+                println!("  {line}");
+            }
+        }
+    }
+}

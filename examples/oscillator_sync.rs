@@ -1,0 +1,70 @@
+//! Coupled-oscillator synchronization on the CeNN solver — the §1
+//! "computing with coupled oscillators" workload. A Kuramoto lattice with
+//! random phases and heterogeneous natural frequencies locks into a
+//! coherent state; the order parameter `r` is the computational read-out
+//! (associative-memory and optimization schemes threshold on it).
+//!
+//! ```sh
+//! cargo run --release --example oscillator_sync
+//! ```
+
+use cenn::apps::oscillators::{order_parameter, KuramotoLattice};
+use cenn::core::Grid;
+use cenn::equations::FixedRunner;
+
+fn main() {
+    let lattice = KuramotoLattice {
+        coupling: 0.5,
+        freq_spread: 0.08,
+        seed: 3,
+        ..Default::default()
+    };
+    let side = 24;
+    let setup = lattice.build(side, side).expect("model builds");
+    println!("== Kuramoto lattice on the CeNN solver ==");
+    println!(
+        "3 layers (theta dynamic, sin/cos algebraic), {} LUT lookups/cell/step\n",
+        setup.model.lookups_per_cell_step()
+    );
+    let theta = setup.observed[0].0;
+    let mut runner = FixedRunner::new(setup).expect("runner");
+
+    println!("order parameter r(t) and phase field (hue = phase):");
+    for snapshot in 0..5 {
+        if snapshot > 0 {
+            runner.run(150);
+        }
+        let phases = runner.state_f64(theta);
+        let r = order_parameter(&phases);
+        println!(
+            "\nt = {:>5.1}   r = {:.3} {}",
+            runner.sim().time(),
+            r,
+            bar(r)
+        );
+        render_phases(&phases);
+    }
+    println!("\nr -> 1: the lattice phase-locked. Varying K against the frequency");
+    println!("spread sweeps the classic synchronization transition.");
+}
+
+fn bar(r: f64) -> String {
+    let n = (r * 40.0).round() as usize;
+    format!("[{}{}]", "#".repeat(n), ".".repeat(40 - n))
+}
+
+/// Phases rendered as a cyclic glyph ramp.
+fn render_phases(g: &Grid<f64>) {
+    const RAMP: [char; 8] = ['.', ':', '-', '=', '+', '*', '#', '@'];
+    let step = (g.rows() / 24).max(1);
+    for r in (0..g.rows()).step_by(step) {
+        let mut line = String::new();
+        for c in (0..g.cols()).step_by(step) {
+            let t = (g.get(r, c) + std::f64::consts::PI) / (2.0 * std::f64::consts::PI);
+            let i = ((t * RAMP.len() as f64) as usize) % RAMP.len();
+            line.push(RAMP[i]);
+            line.push(' ');
+        }
+        println!("  {line}");
+    }
+}

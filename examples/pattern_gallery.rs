@@ -1,0 +1,41 @@
+//! Gallery of the extended benchmark systems: Gray–Scott spot growth,
+//! Burgers shock fronts, and the wave equation's expanding ring — all on
+//! the fixed-point CeNN solver, rendered as ASCII and exported as PGM
+//! images into `target/gallery/`.
+//!
+//! ```sh
+//! cargo run --release --example pattern_gallery
+//! ```
+
+use cenn::equations::{extended_benchmarks, FixedRunner};
+use cenn::render;
+
+fn main() {
+    let out_dir = std::path::Path::new("target/gallery");
+    std::fs::create_dir_all(out_dir).expect("create gallery dir");
+
+    println!("== Extended-system gallery (wave / burgers / gray-scott) ==\n");
+    for sys in extended_benchmarks() {
+        let side = if sys.name() == "gray-scott" { 64 } else { 48 };
+        let steps = match sys.name() {
+            "gray-scott" => 2500,
+            "burgers" => 120,
+            _ => 80,
+        };
+        let setup = sys.build(side, side).expect("builds");
+        println!(
+            "{}: {} layers, {} WUI sites, {} lookups/cell/step — {steps} steps",
+            sys.name(),
+            setup.model.n_layers(),
+            setup.model.wui_template_count(),
+            setup.model.lookups_per_cell_step()
+        );
+        let mut runner = FixedRunner::new(setup).expect("runner");
+        runner.run(steps);
+        let (name, grid) = runner.observed_states().remove(0);
+        println!("{}", render::ascii(&grid, 28));
+        let path = out_dir.join(format!("{}_{}.pgm", sys.name(), name));
+        render::write_pgm(&grid, &path).expect("write pgm");
+        println!("  -> wrote {}\n", path.display());
+    }
+}

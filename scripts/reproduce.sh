@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerates every table, figure, ablation and example of the
+# reproduction, teeing each into results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+BINS=(fig8_dataflow fig11_accuracy fig12_missrate fig13_speedup fig14_hmc \
+      table1_pe_power table2_system_power table3_comparison \
+      validate_cycle_model ablation_lut_spacing ablation_pe_array \
+      ablation_dataflow_energy ablation_integrator ablation_grid_scaling \
+      ablation_fault_injection)
+for b in "${BINS[@]}"; do
+  echo "== $b =="
+  cargo run --release -q -p cenn-bench --bin "$b" | tee "results/$b.txt"
+done
+EXAMPLES=(quickstart turing_patterns spiking_cortex taylor_green \
+          pattern_gallery ensemble_sweep image_pipeline maze_solver \
+          oscillator_sync)
+for e in "${EXAMPLES[@]}"; do
+  echo "== example $e =="
+  cargo run --release -q -p cenn --example "$e" | tee "results/example_$e.txt"
+done
+echo "all outputs in results/"

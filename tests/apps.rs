@@ -1,0 +1,115 @@
+//! Application-level integration: the "computing with dynamical systems"
+//! workloads driven through the facade crate.
+
+use cenn::apps::image::{apply, binarize, ImageOp};
+use cenn::apps::oscillators::{order_parameter, synchronization_curve, KuramotoLattice};
+use cenn::apps::pathplan::{plan, PlanProblem, PlannerConfig};
+use cenn::core::Grid;
+use cenn::ensemble::Ensemble;
+use cenn::equations::{DynamicalSystem, Izhikevich};
+use cenn::render;
+
+#[test]
+fn image_pipeline_composes_through_the_facade() {
+    // dilate(erode(x)) == opening: a lone pixel dies, a block survives.
+    let img = Grid::from_fn(8, 8, |r, c| {
+        let block = (3..6).contains(&r) && (3..6).contains(&c);
+        if block || (r, c) == (1, 1) {
+            1.0
+        } else {
+            -1.0
+        }
+    });
+    let opened = binarize(
+        &apply(ImageOp::Dilate, &binarize(&apply(ImageOp::Erode, &img).unwrap())).unwrap(),
+    );
+    assert!(opened.get(1, 1) < 0.0, "speck removed");
+    assert!(opened.get(4, 4) > 0.0, "block kept");
+}
+
+#[test]
+fn planner_and_renderer_work_together() {
+    let problem = PlanProblem {
+        obstacles: Grid::new(16, 16, false),
+        start: (14, 14),
+        goal: (1, 1),
+    };
+    let result = plan(&problem, &PlannerConfig::default())
+        .unwrap()
+        .expect("open field is solvable");
+    // The arrival field renders without panicking and spans the ramp.
+    let finite = result.arrival.map(|t| if t.is_finite() { t } else { 0.0 });
+    let art = render::ascii(&finite, 16);
+    assert!(art.lines().count() <= 16);
+    assert!(result.path.len() >= 13, "at least the Chebyshev distance");
+}
+
+#[test]
+fn kuramoto_transition_depends_on_coupling() {
+    // The synchronization transition: strong coupling locks, zero
+    // coupling does not — the computational contrast oscillator schemes
+    // threshold on.
+    let strong = KuramotoLattice {
+        coupling: 0.6,
+        freq_spread: 0.05,
+        ..Default::default()
+    };
+    let none = KuramotoLattice {
+        coupling: 0.0,
+        freq_spread: 0.05,
+        ..Default::default()
+    };
+    let r_strong = *synchronization_curve(&strong, 10, 400, 400)
+        .unwrap()
+        .last()
+        .unwrap();
+    let r_none = *synchronization_curve(&none, 10, 400, 400)
+        .unwrap()
+        .last()
+        .unwrap();
+    assert!(
+        r_strong > r_none + 0.3,
+        "transition visible: {r_strong} vs {r_none}"
+    );
+}
+
+#[test]
+fn ensemble_distinguishes_firing_classes() {
+    let mut e = Ensemble::new();
+    for (label, a, d) in [("RS", 0.02, 8.0), ("CH", 0.02, 2.0)] {
+        let sys = Izhikevich {
+            a,
+            d,
+            c: if label == "CH" { -50.0 } else { -65.0 },
+            ..Izhikevich::default()
+        };
+        e.add(label, sys.build(4, 4).unwrap());
+    }
+    let results = e.run(1200).unwrap();
+    // Chattering neurons fire far more than regular-spiking ones.
+    assert!(
+        results[1].fired > 2 * results[0].fired,
+        "CH {} vs RS {}",
+        results[1].fired,
+        results[0].fired
+    );
+    let fleet = e.fleet_estimate(&results, 2, cenn::arch::MemorySpec::hmc_int(), 1200);
+    assert!(fleet.speedup() > 1.0);
+    assert!(fleet.energy_advantage() > 1.0);
+}
+
+#[test]
+fn pgm_export_round_trips_header() {
+    let g = Grid::from_fn(6, 9, |r, c| (r * 9 + c) as f64);
+    let mut buf = Vec::new();
+    render::write_pgm_to(&g, &mut buf).unwrap();
+    assert!(buf.starts_with(b"P5\n9 6\n255\n"));
+    assert_eq!(buf.len(), b"P5\n9 6\n255\n".len() + 54);
+}
+
+#[test]
+fn order_parameter_is_rotation_invariant() {
+    let a = Grid::from_fn(4, 4, |r, c| (r * 4 + c) as f64 * 0.1);
+    let b = a.map(|t| t + 1.234);
+    assert!((order_parameter(&a) - order_parameter(&b)).abs() < 1e-12);
+}

@@ -1,0 +1,144 @@
+//! Architecture-level integration tests: miss-rate extraction feeding the
+//! cycle model, memory-system comparisons, and the paper's headline
+//! performance/energy shapes.
+
+use cenn::arch::{dataflow::DataflowScheme, CycleModel, EnergyModel, MemorySpec, PeArrayConfig};
+use cenn::baselines::{gtx850_gpu, mobile_cpu, StencilWorkload};
+use cenn::equations::{all_benchmarks, DynamicalSystem, FixedRunner, ReactionDiffusion};
+
+/// Measures miss rates by actually running the functional simulator (the
+/// paper's "extracted from Matlab simulation" step).
+fn measured_miss_rates(setup: &cenn::equations::SystemSetup, steps: u64) -> (f64, f64) {
+    let mut runner = FixedRunner::new(setup.clone()).unwrap();
+    runner.run(steps.min(5)); // warm-up
+    runner.reset_lut_stats();
+    runner.run(steps);
+    runner.miss_rates()
+}
+
+#[test]
+fn solver_beats_gpu_and_cpu_on_average_with_ddr3() {
+    // The Fig. 13 shape: geometric-mean speedup over CPU larger than over
+    // GPU, both > 1 with DDR3, on the default perf grid.
+    let side = 128;
+    let mut sp_cpu = Vec::new();
+    let mut sp_gpu = Vec::new();
+    for sys in all_benchmarks() {
+        let setup = sys.build(side, side).unwrap();
+        // Small-grid measured rates transfer: state distributions, not grid
+        // size, drive LUT locality.
+        let probe = sys.build(32, 32).unwrap();
+        let mr = measured_miss_rates(&probe, 10);
+        let est = CycleModel::new(MemorySpec::ddr3(), PeArrayConfig::default())
+            .estimate(&setup.model, mr);
+        let w = StencilWorkload::from_model(&setup.model);
+        sp_cpu.push(mobile_cpu().time_per_step(&w) / est.time_per_step_s());
+        sp_gpu.push(gtx850_gpu().time_per_step(&w) / est.time_per_step_s());
+    }
+    let geo = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
+    let (g_cpu, g_gpu) = (geo(&sp_cpu), geo(&sp_gpu));
+    assert!(g_cpu > 1.0, "CeNN faster than CPU on average: {g_cpu:.2}x");
+    assert!(g_gpu > 1.0, "CeNN faster than GPU on average: {g_gpu:.2}x");
+    assert!(
+        g_cpu > g_gpu,
+        "CPU speedup ({g_cpu:.2}x) exceeds GPU speedup ({g_gpu:.2}x), as in Fig. 13"
+    );
+}
+
+#[test]
+fn hmc_ordering_matches_fig14() {
+    // Fig. 14: HMC-EXT > HMC-INT > DDR3 in performance.
+    let setup = ReactionDiffusion::default().build(128, 128).unwrap();
+    let probe = ReactionDiffusion::default().build(32, 32).unwrap();
+    let mr = measured_miss_rates(&probe, 10);
+    let pe = PeArrayConfig::default();
+    let t = |mem: MemorySpec| {
+        CycleModel::new(mem, pe.clone())
+            .estimate(&setup.model, mr)
+            .time_per_step_s()
+    };
+    let (ddr, ext, int) = (t(MemorySpec::ddr3()), t(MemorySpec::hmc_ext()), t(MemorySpec::hmc_int()));
+    assert!(int < ddr && ext < int, "ddr {ddr} > int {int} > ext {ext}");
+    // And the paper's magnitude band: INT gives several-fold over DDR3.
+    assert!(ddr / int > 2.0, "HMC-INT at least 2x over DDR3: {}", ddr / int);
+}
+
+#[test]
+fn os_dataflow_wins_the_dram_access_comparison() {
+    // §5.1 conclusion across a sweep of realistic miss rates.
+    for &(mr1, mr2) in &[(0.7, 0.3), (0.4, 0.2), (0.15, 0.1)] {
+        let os = DataflowScheme::OutputStationary.dram_accesses(mr1, mr2, 1 << 14, 2, 64);
+        for s in [
+            DataflowScheme::NoLocalReuse,
+            DataflowScheme::WeightStationary,
+            DataflowScheme::RowStationary,
+        ] {
+            assert!(os < s.dram_accesses(mr1, mr2, 1 << 14, 2, 64));
+        }
+    }
+}
+
+#[test]
+fn energy_efficiency_is_orders_of_magnitude_over_gpu() {
+    // §6.5 / §8: "energy efficiency improves by three to four orders of
+    // magnitude" against the GPU for equal work.
+    let setup = ReactionDiffusion::default().build(128, 128).unwrap();
+    let probe = ReactionDiffusion::default().build(32, 32).unwrap();
+    let mr = measured_miss_rates(&probe, 10);
+    let est = CycleModel::new(MemorySpec::hmc_int(), PeArrayConfig::default())
+        .estimate(&setup.model, mr);
+    let w = StencilWorkload::from_model(&setup.model);
+    let gpu = gtx850_gpu();
+    let gpu_energy = gpu.time_per_step(&w) * gpu.power_w;
+    let ratio = gpu_energy / est.energy_per_step_j();
+    assert!(
+        ratio > 100.0,
+        "energy advantage at least two orders of magnitude: {ratio:.0}x"
+    );
+}
+
+#[test]
+fn miss_rates_fall_with_larger_l1() {
+    // The Fig. 12 trend measured on the real access trace.
+    let mut rates = Vec::new();
+    for l1 in [2usize, 4, 8, 16] {
+        let mut setup = ReactionDiffusion::default().build(32, 32).unwrap();
+        let mut cfg = setup.model.lut_config().clone();
+        cfg.l1_blocks = l1;
+        // Rebuild the model with the new LUT config via the builder is not
+        // needed: LutConfig is read at sim construction. Mutate in place.
+        setup.model = rebuild_with_cfg(&setup.model, cfg);
+        let mut runner = FixedRunner::new(setup).unwrap();
+        runner.run(5);
+        runner.reset_lut_stats();
+        runner.run(15);
+        rates.push(runner.miss_rates().0);
+    }
+    for pair in rates.windows(2) {
+        assert!(
+            pair[1] <= pair[0] + 1e-9,
+            "mr_L1 non-increasing in capacity: {rates:?}"
+        );
+    }
+    assert!(rates[0] > rates[3], "capacity matters: {rates:?}");
+}
+
+/// Clones a model with a different LUT config (test helper — models are
+/// immutable once built, like a burned program image).
+fn rebuild_with_cfg(
+    model: &cenn::core::CennModel,
+    cfg: cenn::core::LutConfig,
+) -> cenn::core::CennModel {
+    // The equations crate builds models through its own builders; for this
+    // sweep we only need the LUT sizing, which CennSim reads from the
+    // model's config. Rebuild via the public clone-and-patch helper.
+    model.clone_with_lut_config(cfg)
+}
+
+#[test]
+fn table2_power_budget_holds() {
+    let m = EnergyModel::default();
+    let p = m.power_breakdown();
+    assert!(p.total_mw < 600.0, "on-chip budget ~523 mW: {}", p.total_mw);
+    assert!(m.area_mm2() < 1.2, "die ~1.08 mm2");
+}
