@@ -66,7 +66,11 @@ impl ImageOp {
     /// # Errors
     ///
     /// Propagates [`ModelError`] from model validation.
-    pub fn program(self, rows: usize, cols: usize) -> Result<(cenn_core::CennModel, LayerId), ModelError> {
+    pub fn program(
+        self,
+        rows: usize,
+        cols: usize,
+    ) -> Result<(cenn_core::CennModel, LayerId), ModelError> {
         // All programs run on a single layer with a white (Dirichlet −1)
         // frame outside the image.
         let mut b = CennModelBuilder::new(rows, cols);
@@ -78,10 +82,8 @@ impl ImageOp {
                 b.input_template(
                     x,
                     x,
-                    Stencil::from_values(&[
-                        -1.0, -1.0, -1.0, -1.0, 8.0, -1.0, -1.0, -1.0, -1.0,
-                    ])
-                    .into_template(),
+                    Stencil::from_values(&[-1.0, -1.0, -1.0, -1.0, 8.0, -1.0, -1.0, -1.0, -1.0])
+                        .into_template(),
                 );
                 b.offset(x, -1.0);
             }
@@ -195,13 +197,7 @@ mod tests {
     #[test]
     fn edge_detect_keeps_boundary_drops_interior() {
         let img = bitmap(&[
-            ".......",
-            ".#####.",
-            ".#####.",
-            ".#####.",
-            ".#####.",
-            ".#####.",
-            ".......",
+            ".......", ".#####.", ".#####.", ".#####.", ".#####.", ".#####.", ".......",
         ]);
         let out = apply(ImageOp::EdgeDetect, &img).unwrap();
         assert!(!black(&out, 3, 3), "interior cleared");
@@ -237,15 +233,14 @@ mod tests {
     fn erode_then_dilate_is_opening() {
         // A 1-pixel speck disappears under opening; a 3x3 block survives.
         let img = bitmap(&[
-            "........",
-            ".#......",
-            "....###.",
-            "....###.",
-            "....###.",
-            "........",
+            "........", ".#......", "....###.", "....###.", "....###.", "........",
         ]);
         let opened = binarize(
-            &apply(ImageOp::Dilate, &binarize(&apply(ImageOp::Erode, &img).unwrap())).unwrap(),
+            &apply(
+                ImageOp::Dilate,
+                &binarize(&apply(ImageOp::Erode, &img).unwrap()),
+            )
+            .unwrap(),
         );
         assert!(!black(&opened, 1, 1), "speck removed");
         assert!(black(&opened, 3, 5), "block core kept");
@@ -253,13 +248,7 @@ mod tests {
 
     #[test]
     fn smooth_removes_salt_noise() {
-        let img = bitmap(&[
-            "#.......",
-            "........",
-            "...#....",
-            "........",
-            ".......#",
-        ]);
+        let img = bitmap(&["#.......", "........", "...#....", "........", ".......#"]);
         let out = binarize(&apply(ImageOp::Smooth, &img).unwrap());
         assert!(!black(&out, 2, 3), "isolated pixel smoothed away");
         assert!(!black(&out, 0, 0));
@@ -268,13 +257,7 @@ mod tests {
     #[test]
     fn fill_holes_closes_a_ring() {
         let img = bitmap(&[
-            ".......",
-            ".#####.",
-            ".#...#.",
-            ".#...#.",
-            ".#...#.",
-            ".#####.",
-            ".......",
+            ".......", ".#####.", ".#...#.", ".#...#.", ".#...#.", ".#####.", ".......",
         ]);
         let out = binarize(&apply(ImageOp::FillHoles, &img).unwrap());
         assert!(black(&out, 3, 3), "hole filled");
@@ -287,13 +270,7 @@ mod tests {
         // A C-shape: the "hole" is connected to the outside, so the
         // background floods it.
         let img = bitmap(&[
-            ".......",
-            ".#####.",
-            ".#.....",
-            ".#.....",
-            ".#.....",
-            ".#####.",
-            ".......",
+            ".......", ".#####.", ".#.....", ".#.....", ".#.....", ".#####.", ".......",
         ]);
         let out = binarize(&apply(ImageOp::FillHoles, &img).unwrap());
         assert!(!black(&out, 3, 3), "open cavity not filled");

@@ -21,7 +21,9 @@
 //! ([`cenn_equations::PostStepRule::WrapPhase`]), keeping states inside
 //! the sampled LUT domain.
 
-use cenn_core::{mapping, Boundary, CennModelBuilder, Factor, Grid, ModelError, Template, WeightExpr};
+use cenn_core::{
+    mapping, Boundary, CennModelBuilder, Factor, Grid, ModelError, Template, WeightExpr,
+};
 use cenn_equations::{FixedRunner, PostStepRule, SystemSetup};
 use cenn_lut::funcs;
 use rand::rngs::StdRng;
@@ -68,8 +70,26 @@ impl KuramotoLattice {
 
         // Algebraic trig layers: s = sin(theta), c = cos(theta) as pure
         // dynamic offsets (no convolution terms).
-        b.offset_expr(s, WeightExpr::product(1.0, vec![Factor { func: f_sin, layer: theta }]));
-        b.offset_expr(c, WeightExpr::product(1.0, vec![Factor { func: f_cos, layer: theta }]));
+        b.offset_expr(
+            s,
+            WeightExpr::product(
+                1.0,
+                vec![Factor {
+                    func: f_sin,
+                    layer: theta,
+                }],
+            ),
+        );
+        b.offset_expr(
+            c,
+            WeightExpr::product(
+                1.0,
+                vec![Factor {
+                    func: f_cos,
+                    layer: theta,
+                }],
+            ),
+        );
 
         // theta: leak cancel; natural frequency enters via the input map.
         b.state_template(theta, theta, mapping::center(0.0).into_state_template());
@@ -81,12 +101,24 @@ impl KuramotoLattice {
             ts.set(
                 dr,
                 dc,
-                WeightExpr::product(self.coupling, vec![Factor { func: f_cos, layer: theta }]),
+                WeightExpr::product(
+                    self.coupling,
+                    vec![Factor {
+                        func: f_cos,
+                        layer: theta,
+                    }],
+                ),
             );
             tc.set(
                 dr,
                 dc,
-                WeightExpr::product(-self.coupling, vec![Factor { func: f_sin, layer: theta }]),
+                WeightExpr::product(
+                    -self.coupling,
+                    vec![Factor {
+                        func: f_sin,
+                        layer: theta,
+                    }],
+                ),
             );
         }
         b.state_template(theta, s, ts);
@@ -193,8 +225,10 @@ mod tests {
         assert!(first < 0.45, "random start incoherent: r0 = {first}");
         assert!(last > 0.9, "strong coupling synchronizes: r = {last}");
         // Order parameter rises (weakly) monotonically at the sampled scale.
-        assert!(curve.windows(2).filter(|w| w[1] + 0.05 < w[0]).count() <= 1,
-            "no sustained desynchronization: {curve:?}");
+        assert!(
+            curve.windows(2).filter(|w| w[1] + 0.05 < w[0]).count() <= 1,
+            "no sustained desynchronization: {curve:?}"
+        );
     }
 
     #[test]
@@ -205,7 +239,10 @@ mod tests {
             ..Default::default()
         };
         let curve = synchronization_curve(&lattice, 12, 400, 400).unwrap();
-        assert!(curve.last().unwrap() < &0.45, "no coupling, no sync: {curve:?}");
+        assert!(
+            curve.last().unwrap() < &0.45,
+            "no coupling, no sync: {curve:?}"
+        );
     }
 
     #[test]

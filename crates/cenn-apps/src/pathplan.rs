@@ -139,7 +139,11 @@ fn compute_arrival(
     let obstacles = problem.obstacles.clone();
     setup.inputs = vec![(
         u_layer,
-        Grid::from_fn(rows, cols, |r, c| if obstacles.get(r, c) { drive } else { 0.0 }),
+        Grid::from_fn(
+            rows,
+            cols,
+            |r, c| if obstacles.get(r, c) { drive } else { 0.0 },
+        ),
     )];
     // Wire the input template the benchmark doesn't use: the current
     // enters through B (centre 1).
@@ -160,13 +164,20 @@ fn compute_arrival(
             u,
             cenn_core::WeightExpr::product(
                 -1.0 / 3.0,
-                vec![cenn_core::Factor { func: cube, layer: u }],
+                vec![cenn_core::Factor {
+                    func: cube,
+                    layer: u,
+                }],
             ),
         );
         let mut sv = cenn_core::mapping::laplacian(sys.dv, sys.h);
         sv.set(0, 0, sv.get(0, 0) - sys.epsilon * sys.gamma);
         b.state_template(v, v, sv.into_state_template());
-        b.state_template(v, u, cenn_core::mapping::center(sys.epsilon).into_template());
+        b.state_template(
+            v,
+            u,
+            cenn_core::mapping::center(sys.epsilon).into_template(),
+        );
         b.offset(v, sys.epsilon * sys.beta);
         b.input_template(u, u, cenn_core::mapping::center(1.0).into_template());
         let mut lut = cenn_core::LutConfig::default();
@@ -212,8 +223,16 @@ fn descend(problem: &PlanProblem, arrival: &Grid<f64>) -> Option<Vec<(usize, usi
     while here != problem.goal {
         let mut best: Option<(usize, usize)> = None;
         let mut best_key = (arrival.get(here.0, here.1), cheb(here));
-        for (dr, dc) in [(0i64, 1i64), (0, -1), (1, 0), (-1, 0), (1, 1), (1, -1), (-1, 1), (-1, -1)]
-        {
+        for (dr, dc) in [
+            (0i64, 1i64),
+            (0, -1),
+            (1, 0),
+            (-1, 0),
+            (1, 1),
+            (1, -1),
+            (-1, 1),
+            (-1, -1),
+        ] {
             let (nr, nc) = (here.0 as i64 + dr, here.1 as i64 + dc);
             if nr < 0 || nc < 0 || nr as usize >= rows || nc as usize >= cols {
                 continue;
@@ -327,7 +346,10 @@ mod tests {
         );
         // No path cell on an obstacle.
         for &(r, c) in &result.path {
-            assert!(!problem.obstacles.get(r, c), "path through wall at ({r},{c})");
+            assert!(
+                !problem.obstacles.get(r, c),
+                "path through wall at ({r},{c})"
+            );
         }
     }
 

@@ -149,7 +149,11 @@ impl BankTrafficModel {
     pub fn step_traffic(&self, model: &CennModel, reuse: bool) -> BankTraffic {
         let sub_blocks = self.pe.sub_blocks(model.rows(), model.cols());
         let mut total = BankTraffic::default();
-        for kind in [TemplateKind::State, TemplateKind::Output, TemplateKind::Input] {
+        for kind in [
+            TemplateKind::State,
+            TemplateKind::Output,
+            TemplateKind::Input,
+        ] {
             for (_, _, t) in model.all_templates(kind) {
                 let conv = if reuse {
                     self.conv_traffic_os(t.size())
@@ -209,8 +213,12 @@ mod tests {
         let e = BankEnergy::default();
         let os = model8().conv_traffic_os(3);
         let nlr = model8().conv_traffic_nlr(3);
-        assert!(e.energy_j(&os) < 0.5 * e.energy_j(&nlr),
-            "os {} vs nlr {}", e.energy_j(&os), e.energy_j(&nlr));
+        assert!(
+            e.energy_j(&os) < 0.5 * e.energy_j(&nlr),
+            "os {} vs nlr {}",
+            e.energy_j(&os),
+            e.energy_j(&nlr)
+        );
     }
 
     #[test]
@@ -221,7 +229,10 @@ mod tests {
         let rd = ReactionDiffusion::default().build(64, 64).unwrap().model;
         let th = m.step_traffic(&heat, true);
         let tr = m.step_traffic(&rd, true);
-        assert!(tr.total_operands() > 3 * th.total_operands(), "RD has 4 templates");
+        assert!(
+            tr.total_operands() > 3 * th.total_operands(),
+            "RD has 4 templates"
+        );
         assert_eq!(th.writebacks, 64 * 64);
         assert_eq!(tr.writebacks, 2 * 64 * 64);
         // NLR variant always costs more bank energy.

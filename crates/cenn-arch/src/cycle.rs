@@ -93,9 +93,7 @@ impl RunEstimate {
     pub fn system_power_w(&self) -> f64 {
         self.energy
             .on_chip_power_w_at(self.timing.pe_clock_hz, self.reference_clock_hz)
-            + self
-                .mem
-                .power_at_activity(self.dram_activity().min(1.0))
+            + self.mem.power_at_activity(self.dram_activity().min(1.0))
     }
 
     /// Energy per step in joules.
@@ -156,7 +154,11 @@ impl CycleModel {
         let mut conv_per_block = 0.0;
         let mut wui_elements = 0u64; // weight-update sites encountered per sub-block sweep
         let mut lut_factors = 0u64; // LUT lookups per update site (product factors)
-        for kind in [TemplateKind::State, TemplateKind::Output, TemplateKind::Input] {
+        for kind in [
+            TemplateKind::State,
+            TemplateKind::Output,
+            TemplateKind::Input,
+        ] {
             for (_, _, t) in model.all_templates(kind) {
                 conv_per_block += self.pe.conv_cycles(t.size()) as f64;
                 wui_elements += t.wui_count() as u64;
@@ -325,8 +327,12 @@ mod tests {
         let ddr = CycleModel::new(MemorySpec::ddr3(), pe.clone()).step_timing(&rd, (0.7, 0.3));
         let hmc = CycleModel::new(MemorySpec::hmc_int(), pe).step_timing(&rd, (0.7, 0.3));
         // Stall *cycles* (clock-independent) must be strictly worse on DDR3.
-        assert!(ddr.stall_cycles > 2.0 * hmc.stall_cycles,
-            "ddr {} vs hmc {}", ddr.stall_cycles, hmc.stall_cycles);
+        assert!(
+            ddr.stall_cycles > 2.0 * hmc.stall_cycles,
+            "ddr {} vs hmc {}",
+            ddr.stall_cycles,
+            hmc.stall_cycles
+        );
     }
 
     #[test]

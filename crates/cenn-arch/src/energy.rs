@@ -235,8 +235,16 @@ mod tests {
         let m = EnergyModel::default();
         let p = m.power_breakdown();
         assert!((p.pe_array_mw - 199.68).abs() < 1e-2, "PE array row");
-        assert!((p.total_mw - 523.45).abs() < 0.5, "total ~523 mW: {}", p.total_mw);
-        assert!((m.area_mm2() - 1.082).abs() < 0.01, "area ~1.08: {}", m.area_mm2());
+        assert!(
+            (p.total_mw - 523.45).abs() < 0.5,
+            "total ~523 mW: {}",
+            p.total_mw
+        );
+        assert!(
+            (m.area_mm2() - 1.082).abs() < 0.01,
+            "area ~1.08: {}",
+            m.area_mm2()
+        );
         assert!((m.pe_array_area_mm2() - 0.450).abs() < 0.005);
     }
 

@@ -107,7 +107,9 @@ impl MemorySpec {
 
     /// Peak bytes/second across all channels.
     pub fn peak_bandwidth(&self) -> f64 {
-        self.io_clock_hz * self.beats_per_clock * (self.bus_bits as f64 / 8.0)
+        self.io_clock_hz
+            * self.beats_per_clock
+            * (self.bus_bits as f64 / 8.0)
             * self.channels as f64
     }
 
@@ -180,7 +182,11 @@ mod tests {
 
     #[test]
     fn sustained_below_peak() {
-        for m in [MemorySpec::ddr3(), MemorySpec::hmc_ext(), MemorySpec::hmc_int()] {
+        for m in [
+            MemorySpec::ddr3(),
+            MemorySpec::hmc_ext(),
+            MemorySpec::hmc_int(),
+        ] {
             assert!(m.sustained_bandwidth() < m.peak_bandwidth());
             assert!(m.burst_efficiency() > 0.5);
         }

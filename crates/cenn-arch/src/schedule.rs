@@ -85,7 +85,11 @@ impl WeightSchedule {
         let mut weights = Vec::new();
         let mut offsets = Vec::new();
         for dest in model.layer_ids() {
-            for kind in [TemplateKind::State, TemplateKind::Output, TemplateKind::Input] {
+            for kind in [
+                TemplateKind::State,
+                TemplateKind::Output,
+                TemplateKind::Input,
+            ] {
                 for (src, t) in model.templates(kind, dest) {
                     let k = t.size();
                     for (conv_id, (_, _, w)) in t.iter().enumerate() {
@@ -119,7 +123,11 @@ impl WeightSchedule {
     /// Cycles whose WUI bit is set.
     pub fn wui_cycles(&self) -> usize {
         self.weights.iter().filter(|w| w.wui()).count()
-            + self.offsets.iter().filter(|o| o.weight.needs_update()).count()
+            + self
+                .offsets
+                .iter()
+                .filter(|o| o.weight.needs_update())
+                .count()
     }
 
     /// LUT look-ups issued per sub-block pass (factors across all dynamic
@@ -135,7 +143,10 @@ impl WeightSchedule {
     /// Cycles that read operands from the data banks rather than shifting
     /// PE-to-PE (modes 0 and 2) — the bank-energy driver of Fig. 9.
     pub fn bank_touching_cycles(&self) -> usize {
-        self.weights.iter().filter(|w| w.mode.touches_banks()).count()
+        self.weights
+            .iter()
+            .filter(|w| w.mode.touches_banks())
+            .count()
     }
 }
 

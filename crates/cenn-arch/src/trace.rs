@@ -136,14 +136,26 @@ impl TraceDrivenSim {
                         acc.conv_cycles += 1;
                         self.now += 1;
                         self.weight_update(
-                            model, states, &cycle.weight, sbr, sbc, dram_penalty, &mut acc,
+                            model,
+                            states,
+                            &cycle.weight,
+                            sbr,
+                            sbc,
+                            dram_penalty,
+                            &mut acc,
                         );
                     }
                     for cycle in &schedule.offsets {
                         acc.conv_cycles += 1;
                         self.now += 1;
                         self.weight_update(
-                            model, states, &cycle.weight, sbr, sbc, dram_penalty, &mut acc,
+                            model,
+                            states,
+                            &cycle.weight,
+                            sbr,
+                            sbc,
+                            dram_penalty,
+                            &mut acc,
                         );
                     }
                 }
@@ -245,8 +257,8 @@ impl TraceDrivenSim {
     /// bank groups, Fig. 9).
     pub fn step_seconds(&self, model: &CennModel, cycles: &StepCycles) -> f64 {
         let compute = cycles.total_cycles() as f64 / self.pe_clock_hz();
-        let stream_bytes = (model.cells() * model.n_layers() * 2 * 4) as f64
-            + cycles.lut_bytes as f64;
+        let stream_bytes =
+            (model.cells() * model.n_layers() * 2 * 4) as f64 + cycles.lut_bytes as f64;
         compute.max(self.mem.stream_time(stream_bytes))
     }
 }
@@ -286,7 +298,10 @@ mod tests {
         // After evolving the state, some traffic returns.
         runner.run(40);
         let evolved = t.simulate_step(&setup.model, runner.sim().states());
-        assert!(evolved.l1_probes == cold.l1_probes, "probe count is schedule-determined");
+        assert!(
+            evolved.l1_probes == cold.l1_probes,
+            "probe count is schedule-determined"
+        );
     }
 
     #[test]
@@ -298,7 +313,11 @@ mod tests {
         let pe = PeArrayConfig::default();
         let mut times_trace = Vec::new();
         let mut times_analytic = Vec::new();
-        for mem in [MemorySpec::ddr3(), MemorySpec::hmc_int(), MemorySpec::hmc_ext()] {
+        for mem in [
+            MemorySpec::ddr3(),
+            MemorySpec::hmc_int(),
+            MemorySpec::hmc_ext(),
+        ] {
             let mut t = TraceDrivenSim::new(&setup.model, mem.clone(), pe.clone());
             // Warm one step, measure the second.
             t.simulate_step(&setup.model, runner.sim().states());
@@ -311,13 +330,20 @@ mod tests {
             );
         }
         // Both models: DDR3 slowest, HMC-EXT fastest.
-        assert!(times_trace[0] > times_trace[1] && times_trace[1] > times_trace[2],
-            "trace ordering {times_trace:?}");
-        assert!(times_analytic[0] > times_analytic[1],
-            "analytic ordering {times_analytic:?}");
+        assert!(
+            times_trace[0] > times_trace[1] && times_trace[1] > times_trace[2],
+            "trace ordering {times_trace:?}"
+        );
+        assert!(
+            times_analytic[0] > times_analytic[1],
+            "analytic ordering {times_analytic:?}"
+        );
         // And they agree within a small factor on DDR3.
         let ratio = times_trace[0] / times_analytic[0];
-        assert!((0.2..5.0).contains(&ratio), "trace {times_trace:?} vs analytic {times_analytic:?}");
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "trace {times_trace:?} vs analytic {times_analytic:?}"
+        );
     }
 
     #[test]
@@ -336,7 +362,10 @@ mod tests {
         let c1 = one.simulate_step(&setup.model, runner.sim().states());
         let c2 = two.simulate_step(&setup.model, runner.sim().states());
         assert_eq!(c1.dram_fetches, c2.dram_fetches, "same demand");
-        assert!(c1.stall_cycles >= c2.stall_cycles, "queueing hurts: {c1:?} vs {c2:?}");
+        assert!(
+            c1.stall_cycles >= c2.stall_cycles,
+            "queueing hurts: {c1:?} vs {c2:?}"
+        );
     }
 
     #[test]

@@ -6,7 +6,10 @@ use cenn_equations::{DynamicalSystem, ReactionDiffusion};
 use proptest::prelude::*;
 
 fn rd_model(side: usize) -> cenn_core::CennModel {
-    ReactionDiffusion::default().build(side, side).unwrap().model
+    ReactionDiffusion::default()
+        .build(side, side)
+        .unwrap()
+        .model
 }
 
 fn mr() -> impl Strategy<Value = (f64, f64)> {

@@ -114,7 +114,11 @@ mod tests {
         let setup = Fisher::default().build(8, 16).unwrap();
         let r = compare(&setup, 80).unwrap();
         let l = &r.layers[0];
-        assert!(l.lut_mean < 5.0 * l.fixed_point_mean + 1e-4,
-            "lut {} vs fixed {}", l.lut_mean, l.fixed_point_mean);
+        assert!(
+            l.lut_mean < 5.0 * l.fixed_point_mean + 1e-4,
+            "lut {} vs fixed {}",
+            l.lut_mean,
+            l.fixed_point_mean
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! Floating-point evaluation of a CeNN model (the "GPU" reference).
 
 use cenn_core::{
-    Boundary, CennModel, Grid, LayerId, LayerKind, ModelError, TemplateKind, WeightExpr,
+    Boundary, CennModel, ExecEngine, Grid, LayerId, LayerKind, ModelError, TemplateKind, WeightExpr,
 };
 use cenn_equations::SystemSetup;
 
@@ -49,8 +49,10 @@ pub struct FloatSim {
     plan: Vec<PlanLayer>,
     states: Vec<Grid<f64>>,
     scratch: Vec<Grid<f64>>,
+    saved: Vec<Grid<f64>>,
     inputs: Vec<Grid<f64>>,
     precision: Precision,
+    engine: ExecEngine,
     time: f64,
     steps: u64,
 }
@@ -65,12 +67,26 @@ impl FloatSim {
             plan,
             states: vec![blank.clone(); n],
             scratch: vec![blank.clone(); n],
+            saved: vec![blank.clone(); n],
             inputs: vec![blank; n],
             precision,
+            engine: ExecEngine::serial(),
             time: 0.0,
             steps: 0,
             model,
         }
+    }
+
+    /// Sets the worker-thread count for the evaluation sweeps. Cell
+    /// evaluation is a pure function of the previous state, so every row is
+    /// independent and the result is bit-identical for any thread count.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.engine = ExecEngine::new(threads);
+    }
+
+    /// Worker threads used by the evaluation sweeps.
+    pub fn threads(&self) -> usize {
+        self.engine.threads()
     }
 
     /// The model.
@@ -154,11 +170,13 @@ impl FloatSim {
             cenn_core::Integrator::Heun => {
                 self.algebraic_pass();
                 let k1 = self.dyn_rhs();
-                let saved = self.states.clone();
+                for (s, x) in self.saved.iter_mut().zip(&self.states) {
+                    s.copy_from(x);
+                }
                 self.apply_update(&k1, dt, None);
                 self.algebraic_pass();
                 let k2 = self.dyn_rhs();
-                self.states = saved;
+                std::mem::swap(&mut self.states, &mut self.saved);
                 // x <- x0 + dt/2 (k1 + k2)
                 let half = dt / 2.0;
                 let n = self.plan.len();
@@ -170,8 +188,7 @@ impl FloatSim {
                     for r in 0..rows {
                         for c in 0..cols {
                             let x = self.states[i].get(r, c);
-                            let v = self
-                                .round(x + half * (k1[i].get(r, c) + k2[i].get(r, c)));
+                            let v = self.round(x + half * (k1[i].get(r, c) + k2[i].get(r, c)));
                             self.states[i].set(r, c, v);
                         }
                     }
@@ -184,33 +201,45 @@ impl FloatSim {
     }
 
     fn algebraic_pass(&mut self) {
-        let (rows, cols) = (self.model.rows(), self.model.cols());
-        for i in 0..self.plan.len() {
+        let cols = self.model.cols();
+        // Layers sweep one at a time (declaration-order chains); within a
+        // layer the rows are fanned out as bands. Each row's value depends
+        // only on the pre-pass states, so the result is position-determined
+        // and bit-identical for any worker count.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for (i, out) in scratch.iter_mut().enumerate() {
             if self.plan[i].kind != LayerKind::Algebraic {
                 continue;
             }
-            for r in 0..rows {
-                for c in 0..cols {
-                    let v = self.round(self.eval_cell(i, r, c, false));
-                    self.scratch[i].set(r, c, v);
+            let mut bands: Vec<&mut [f64]> = out.as_mut_slice().chunks_mut(cols).collect();
+            self.engine.for_each_mut(&mut bands, |r, row| {
+                for (c, slot) in row.iter_mut().enumerate() {
+                    *slot = self.round(self.eval_cell(i, r, c, false));
                 }
-            }
-            std::mem::swap(&mut self.states[i], &mut self.scratch[i]);
+            });
+            std::mem::swap(&mut self.states[i], out);
         }
+        self.scratch = scratch;
     }
 
-    /// Evaluates the RHS of every dynamic layer against current states.
+    /// Evaluates the RHS of every dynamic layer against current states,
+    /// fanning the rows of each layer out over the engine's workers.
     fn dyn_rhs(&self) -> Vec<Grid<f64>> {
         let (rows, cols) = (self.model.rows(), self.model.cols());
         self.plan
             .iter()
             .enumerate()
             .map(|(i, p)| {
+                let mut g = Grid::new(rows, cols, 0.0);
                 if p.kind == LayerKind::Dynamic {
-                    Grid::from_fn(rows, cols, |r, c| self.eval_cell(i, r, c, true))
-                } else {
-                    Grid::new(rows, cols, 0.0)
+                    let mut bands: Vec<&mut [f64]> = g.as_mut_slice().chunks_mut(cols).collect();
+                    self.engine.for_each_mut(&mut bands, |r, row| {
+                        for (c, slot) in row.iter_mut().enumerate() {
+                            *slot = self.eval_cell(i, r, c, true);
+                        }
+                    });
                 }
+                g
             })
             .collect()
     }
@@ -251,7 +280,11 @@ impl FloatSim {
     fn eval_cell(&self, layer: usize, r: usize, c: usize, leak: bool) -> f64 {
         let plan = &self.plan[layer];
         let (rows, cols) = (self.model.rows(), self.model.cols());
-        let mut acc = if leak { -self.states[layer].get(r, c) } else { 0.0 };
+        let mut acc = if leak {
+            -self.states[layer].get(r, c)
+        } else {
+            0.0
+        };
         for tap in &plan.taps {
             let boundary = plan.boundary_of[tap.src];
             let operand = match boundary.resolve(rows, cols, r, c, tap.dr, tap.dc) {
@@ -305,7 +338,11 @@ fn compile(model: &CennModel) -> Vec<PlanLayer> {
         .layer_ids()
         .map(|dest| {
             let mut taps = Vec::new();
-            for kind in [TemplateKind::State, TemplateKind::Output, TemplateKind::Input] {
+            for kind in [
+                TemplateKind::State,
+                TemplateKind::Output,
+                TemplateKind::Input,
+            ] {
                 for (src, t) in model.templates(kind, dest) {
                     for (dr, dc, w) in t.iter() {
                         if !w.is_zero() {
@@ -359,6 +396,11 @@ impl FloatRunner {
     /// The underlying simulator.
     pub fn sim(&self) -> &FloatSim {
         &self.sim
+    }
+
+    /// Sets the worker-thread count for the evaluation sweeps.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.sim.set_threads(threads);
     }
 
     /// Advances one step (plus post-step rule); returns fired cells.
@@ -425,6 +467,30 @@ mod tests {
         assert!(fired > 0, "float izhikevich fired {fired}");
         for &v in runner.observed_states()[0].1.iter() {
             assert!(v < 30.0, "reset applied");
+        }
+    }
+
+    #[test]
+    fn threaded_float_sweeps_bit_identical_to_serial() {
+        // Izhikevich exercises Heun + post-step rule; Heat exercises Euler.
+        for setup in [
+            Izhikevich::default().build(6, 5).unwrap(),
+            Heat::default().build(7, 9).unwrap(),
+        ] {
+            let mut serial = FloatRunner::new(setup.clone(), Precision::F64).unwrap();
+            serial.run(60);
+            for threads in [2, 4, 8] {
+                let mut par = FloatRunner::new(setup.clone(), Precision::F64).unwrap();
+                par.set_threads(threads);
+                par.run(60);
+                for (i, s) in serial.sim().states.iter().enumerate() {
+                    assert_eq!(
+                        s.as_slice(),
+                        par.sim().states[i].as_slice(),
+                        "threads={threads} layer={i}"
+                    );
+                }
+            }
         }
     }
 

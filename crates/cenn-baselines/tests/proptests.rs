@@ -14,14 +14,16 @@ fn arb_workload() -> impl Strategy<Value = StencilWorkload> {
         1.0f64..100.0,
         1usize..32,
     )
-        .prop_map(|(cells, flops, evals, bytes, xfer, kernels)| StencilWorkload {
-            cells,
-            flops_per_cell: flops,
-            func_evals_per_cell: evals,
-            bytes_per_cell: bytes,
-            transfer_bytes_per_cell: xfer,
-            kernel_launches: kernels,
-        })
+        .prop_map(
+            |(cells, flops, evals, bytes, xfer, kernels)| StencilWorkload {
+                cells,
+                flops_per_cell: flops,
+                func_evals_per_cell: evals,
+                bytes_per_cell: bytes,
+                transfer_bytes_per_cell: xfer,
+                kernel_launches: kernels,
+            },
+        )
 }
 
 proptest! {

@@ -5,10 +5,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-use cenn::arch::{
-    BankTrafficModel, CycleModel, MemorySpec, PeArrayConfig, TraceDrivenSim,
-};
 use cenn::arch::schedule::WeightSchedule;
+use cenn::arch::{BankTrafficModel, CycleModel, MemorySpec, PeArrayConfig, TraceDrivenSim};
 use cenn::core::CennSim;
 use cenn::equations::{DynamicalSystem, HodgkinHuxley, ReactionDiffusion};
 
@@ -23,7 +21,11 @@ fn bench_cycle_model(c: &mut Criterion) {
 fn bench_trace_sim(c: &mut Criterion) {
     let setup = HodgkinHuxley::default().build(32, 32).unwrap();
     let sim = CennSim::new(setup.model.clone()).unwrap();
-    let mut trace = TraceDrivenSim::new(&setup.model, MemorySpec::hmc_int(), PeArrayConfig::default());
+    let mut trace = TraceDrivenSim::new(
+        &setup.model,
+        MemorySpec::hmc_int(),
+        PeArrayConfig::default(),
+    );
     // Warm the LUT tags once.
     trace.simulate_step(&setup.model, sim.states());
     c.bench_function("arch/trace_step_hh_32", |b| {

@@ -6,7 +6,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use cenn::equations::{DynamicalSystem, Heat, ReactionDiffusion};
 use cenn::fx::{MacAcc, Q16_16};
-use cenn::lut::{funcs, FuncLibrary, LutHierarchy, LutSpec, LutEntry, Tum};
+use cenn::lut::{funcs, FuncLibrary, LutEntry, LutHierarchy, LutSpec, Tum};
 use cenn::program::Program;
 
 fn bench_fixed_point(c: &mut Criterion) {

@@ -1,0 +1,44 @@
+//! Criterion benchmarks: serial vs tile-sharded threaded step throughput
+//! of the fixed-point simulator on a 256x256 reaction-diffusion grid —
+//! the scaling evidence for the execution engine (results stay
+//! bit-identical at every worker count; only wall-clock changes).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cenn::baselines::{FloatRunner, Precision};
+use cenn::equations::{DynamicalSystem, FixedRunner, ReactionDiffusion};
+
+const GRID: usize = 256;
+
+fn bench_fixed_threads(c: &mut Criterion) {
+    for threads in [1usize, 2, 4, 8] {
+        let setup = ReactionDiffusion::default().build(GRID, GRID).unwrap();
+        let mut runner = FixedRunner::new(setup).unwrap();
+        runner.set_threads(threads);
+        runner.run(2); // settle caches
+        c.bench_function(
+            &format!("parallel_fixed_step/rd_{GRID}x{GRID}/t{threads}"),
+            |b| b.iter(|| black_box(runner.step())),
+        );
+    }
+}
+
+fn bench_float_threads(c: &mut Criterion) {
+    for threads in [1usize, 4] {
+        let setup = ReactionDiffusion::default().build(GRID, GRID).unwrap();
+        let mut runner = FloatRunner::new(setup, Precision::F64).unwrap();
+        runner.set_threads(threads);
+        runner.run(2);
+        c.bench_function(
+            &format!("parallel_float_step/rd_{GRID}x{GRID}/t{threads}"),
+            |b| b.iter(|| black_box(runner.step())),
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fixed_threads, bench_float_threads
+}
+criterion_main!(benches);

@@ -47,7 +47,14 @@ fn main() {
     rule(66);
     let spec_min = -64; // cube LUT covers [-4,4] at 2^-4: indices -64..64
     let spec_max = 64;
-    for &(n_faults, high_bits) in &[(1usize, false), (4, false), (16, false), (1, true), (4, true), (16, true)] {
+    for &(n_faults, high_bits) in &[
+        (1usize, false),
+        (4, false),
+        (16, false),
+        (1, true),
+        (4, true),
+        (16, true),
+    ] {
         let mut rng = StdRng::seed_from_u64(7 + n_faults as u64 + high_bits as u64 * 100);
         let faults: Vec<(i32, usize, u32)> = (0..n_faults)
             .map(|_| {
@@ -72,7 +79,11 @@ fn main() {
         println!(
             "{:>8} {:>12} {:>14.3e} {:>14.3e} {:>12}",
             n_faults,
-            if high_bits { "high (24-31)" } else { "low (0-15)" },
+            if high_bits {
+                "high (24-31)"
+            } else {
+                "low (0-15)"
+            },
             mean,
             max,
             if max < 10.0 {

@@ -19,10 +19,25 @@ fn main() {
 
     // Three diffusion-dominated benchmarks where truncation error is
     // measurable within a short horizon.
-    run_case(&Heat { dt: 0.2, ..Heat::default() }, 50);
-    run_case(&Fisher { dt: 0.2, ..Fisher::default() }, 50);
     run_case(
-        &ReactionDiffusion { dt: 0.2, ..ReactionDiffusion::default() },
+        &Heat {
+            dt: 0.2,
+            ..Heat::default()
+        },
+        50,
+    );
+    run_case(
+        &Fisher {
+            dt: 0.2,
+            ..Fisher::default()
+        },
+        50,
+    );
+    run_case(
+        &ReactionDiffusion {
+            dt: 0.2,
+            ..ReactionDiffusion::default()
+        },
         50,
     );
     rule(78);
@@ -68,8 +83,16 @@ fn run_case(sys: &dyn DynamicalSystem, steps: u64) {
             label,
             err,
             us,
-            if *label == "heun" { format!("{reduction:.1}x") } else { String::new() },
-            if *label == "heun" { format!("{cost:.2}x") } else { String::new() },
+            if *label == "heun" {
+                format!("{reduction:.1}x")
+            } else {
+                String::new()
+            },
+            if *label == "heun" {
+                format!("{cost:.2}x")
+            } else {
+                String::new()
+            },
         );
     }
 }

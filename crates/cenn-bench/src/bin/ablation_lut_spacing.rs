@@ -22,19 +22,22 @@ fn main() {
         let base = ReactionDiffusion::default().build(32, 32).unwrap();
         // Re-spec the (single) cube LUT at spacing 2^-s.
         let mut cfg = LutConfig::default();
-        let func = base.model.library().iter().next().map(|(id, _)| id).unwrap();
-        cfg.per_func_specs.push((func, LutSpec::covering(-4.0, 4.0, s)));
+        let func = base
+            .model
+            .library()
+            .iter()
+            .next()
+            .map(|(id, _)| id)
+            .unwrap();
+        cfg.per_func_specs
+            .push((func, LutSpec::covering(-4.0, 4.0, s)));
         let mut setup = base.clone();
         setup.model = base.model.clone_with_lut_config(cfg);
 
         // Accuracy: LUT part of the error at this pitch.
         let report = compare(&setup, 100).unwrap();
         let lut_err = report.layers[0].lut_mean;
-        let entries = setup
-            .model
-            .lut_config()
-            .spec_for(func)
-            .len();
+        let entries = setup.model.lut_config().spec_for(func).len();
 
         // Miss rates on the trace.
         let mut runner = FixedRunner::new(setup.clone()).unwrap();

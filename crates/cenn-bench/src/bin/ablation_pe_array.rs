@@ -20,7 +20,10 @@ fn main() {
         ),
     ] {
         let mr = measured_miss_rates(&probe, 5, 10);
-        println!("benchmark: {name} (mr_L1 = {:.3}, mr_L2 = {:.3})", mr.0, mr.1);
+        println!(
+            "benchmark: {name} (mr_L1 = {:.3}, mr_L2 = {:.3})",
+            mr.0, mr.1
+        );
         println!(
             "{:>8} {:>12} {:>12} {:>12} {:>12}",
             "PEs", "conv cyc", "stall cyc", "us/step", "speedup"

@@ -37,7 +37,9 @@ fn main() {
     ];
 
     for (sys, side, steps) in runs {
-        let setup = sys.build(side, side).unwrap_or_else(|_| panic!("{}", sys.name()));
+        let setup = sys
+            .build(side, side)
+            .unwrap_or_else(|_| panic!("{}", sys.name()));
         let report = compare(&setup, steps).unwrap_or_else(|_| panic!("{}", sys.name()));
         for l in &report.layers {
             println!(

@@ -32,7 +32,9 @@ fn main() {
         &ReactionDiffusion::default() as &dyn DynamicalSystem,
         &NavierStokes::default(),
     ] {
-        let setup = sys.build(32, 32).unwrap_or_else(|_| panic!("{}", sys.name()));
+        let setup = sys
+            .build(32, 32)
+            .unwrap_or_else(|_| panic!("{}", sys.name()));
         println!("benchmark: {}", sys.name());
         println!(
             "{:>10} {:>10} {:>10} {:>10} {:>12}",

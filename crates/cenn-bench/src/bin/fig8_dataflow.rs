@@ -21,7 +21,13 @@ fn main() {
         "mr1*mr2", "NLR", "WS", "RS", "OS"
     );
     rule(64);
-    for &(mr1, mr2) in &[(0.7, 0.5), (0.5, 0.3), (0.3, 0.2), (0.15, 0.1), (0.05, 0.05)] {
+    for &(mr1, mr2) in &[
+        (0.7, 0.5),
+        (0.5, 0.3),
+        (0.3, 0.2),
+        (0.15, 0.1),
+        (0.05, 0.05),
+    ] {
         let acc = |s: DataflowScheme| s.dram_accesses(mr1, mr2, 256 * 256, 2, 64);
         println!(
             "{:>12.3} {:>12.0} {:>12.0} {:>12.0} {:>12.0}",

@@ -8,7 +8,10 @@ fn main() {
     let m = EnergyModel::default();
     let p = m.power_breakdown();
     println!("Table 1 — PE array power/area (64 (PE, L1 LUT) pairs, 15nm)\n");
-    println!("{:<18} {:>12} {:>12}", "module", "power (mW)", "area (mm^2)");
+    println!(
+        "{:<18} {:>12} {:>12}",
+        "module", "power (mW)", "area (mm^2)"
+    );
     rule(44);
     println!("{:<18} {:>12.2} {:>12.5}", "PE / TUM", m.tum_mw, m.tum_mm2);
     println!("{:<18} {:>12.2} {:>12.5}", "PE / ALU", m.alu_mw, m.alu_mm2);
@@ -24,7 +27,10 @@ fn main() {
         p.pes_mw,
         (m.tum_mm2 + m.alu_mm2) * 64.0
     );
-    println!("{:<18} {:>12.2} {:>12.4}", "L1 LUTs", p.l1_mw, m.l1_total_mm2);
+    println!(
+        "{:<18} {:>12.2} {:>12.4}",
+        "L1 LUTs", p.l1_mw, m.l1_total_mm2
+    );
     rule(44);
     println!("paper values: TUM 1.20 / ALU 1.12 / PE 2.32 / PEs 148.48 / L1 51.20 mW");
     println!("              TUM 0.00308 / ALU 0.00287 / PE 0.00594 / PEs 0.380 / L1 0.0698 mm^2");

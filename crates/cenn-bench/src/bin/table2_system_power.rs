@@ -9,7 +9,10 @@ fn main() {
     let m = EnergyModel::default();
     let p = m.power_breakdown();
     println!("Table 2 — overall on-chip power/area\n");
-    println!("{:<16} {:>12} {:>12}", "system", "power (mW)", "area (mm^2)");
+    println!(
+        "{:<16} {:>12} {:>12}",
+        "system", "power (mW)", "area (mm^2)"
+    );
     rule(42);
     println!(
         "{:<16} {:>12.2} {:>12.3}",
@@ -17,12 +20,20 @@ fn main() {
         p.pe_array_mw,
         m.pe_array_area_mm2()
     );
-    println!("{:<16} {:>12.2} {:>12.5}", "L2 LUT", p.l2_mw, m.l2_total_mm2);
+    println!(
+        "{:<16} {:>12.2} {:>12.5}",
+        "L2 LUT", p.l2_mw, m.l2_total_mm2
+    );
     println!(
         "{:<16} {:>12.2} {:>12.3}",
         "Global buffer", p.global_buffer_mw, m.global_buffer_mm2
     );
-    println!("{:<16} {:>12.2} {:>12.3}", "Total", p.total_mw, m.area_mm2());
+    println!(
+        "{:<16} {:>12.2} {:>12.3}",
+        "Total",
+        p.total_mw,
+        m.area_mm2()
+    );
     rule(42);
     println!("paper: 199.68 / 63.61 / 260.16 / 523.45 mW; 0.450 / 0.00627 / 0.625 / 1.082 mm^2");
 
@@ -31,8 +42,8 @@ fn main() {
     let setup = Izhikevich::default().build(128, 128).unwrap();
     let probe = Izhikevich::default().build(32, 32).unwrap();
     let mr = measured_miss_rates(&probe, 5, 20);
-    let est = CycleModel::new(MemorySpec::hmc_int(), PeArrayConfig::default())
-        .estimate(&setup.model, mr);
+    let est =
+        CycleModel::new(MemorySpec::hmc_int(), PeArrayConfig::default()).estimate(&setup.model, mr);
     let activity = est.dram_activity().min(1.0);
     let mem_power = MemorySpec::hmc_int().power_at_activity(activity);
     println!("  measured DRAM activity ratio: {activity:.2}  (paper: 0.22)");

@@ -10,7 +10,15 @@ fn main() {
     println!("Table 3 — CeNN hardware platforms\n");
     println!(
         "{:<10} {:<22} {:<8} {:>7} {:>9} {:>9} {:>10} {:>8} {:>10}",
-        "platform", "type", "tech", "#PEs", "power W", "area mm2", "peak GOPS", "GOPS/W", "nonlinear"
+        "platform",
+        "type",
+        "tech",
+        "#PEs",
+        "power W",
+        "area mm2",
+        "peak GOPS",
+        "GOPS/W",
+        "nonlinear"
     );
     rule(102);
     for p in prior_platforms() {
@@ -24,7 +32,11 @@ fn main() {
             p.area_mm2.map_or("-".to_string(), |a| format!("{a:.1}")),
             p.peak_gops,
             p.gops_per_w,
-            if p.nonlinear_weight_update { "yes" } else { "no" }
+            if p.nonlinear_weight_update {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
 
@@ -34,8 +46,8 @@ fn main() {
     let setup = ReactionDiffusion::default().build(128, 128).unwrap();
     let probe = ReactionDiffusion::default().build(32, 32).unwrap();
     let mr = measured_miss_rates(&probe, 5, 20);
-    let est = CycleModel::new(MemorySpec::hmc_int(), PeArrayConfig::default())
-        .estimate(&setup.model, mr);
+    let est =
+        CycleModel::new(MemorySpec::hmc_int(), PeArrayConfig::default()).estimate(&setup.model, mr);
     let gops = est.achieved_gops();
     println!(
         "{:<10} {:<22} {:<8} {:>7} {:>9.3} {:>9.1} {:>10.1} {:>8.2} {:>10}",

@@ -18,8 +18,11 @@ USAGE:
   cenn list
       List available benchmark systems.
   cenn run --system <name> [--grid N] [--steps N] [--memory M]
-           [--integrator euler|heun] [--render] [--pgm FILE] [--report]
-      Run a system on the fixed-point solver simulator.
+           [--integrator euler|heun] [--threads N] [--render] [--pgm FILE]
+           [--report]
+      Run a system on the fixed-point solver simulator. --threads N sweeps
+      the grid on N worker threads (bit-identical to serial; defaults to
+      the CENN_THREADS environment variable, else 1).
   cenn program --system <name> [--grid N] --out FILE
       Compile a system to its solver bitstream.
   cenn inspect FILE
@@ -76,6 +79,7 @@ pub struct RunOpts {
     pub steps: u64,
     pub memory: String,
     pub integrator: Integrator,
+    pub threads: Option<usize>,
     pub render: bool,
     pub pgm: Option<String>,
     pub report: bool,
@@ -90,6 +94,7 @@ impl Default for RunOpts {
             steps: 0,
             memory: "ddr3".into(),
             integrator: Integrator::Euler,
+            threads: None,
             render: false,
             pgm: None,
             report: false,
@@ -128,6 +133,13 @@ pub fn parse_opts(args: &[String]) -> Result<RunOpts, CliError> {
                     other => return Err(err(format!("unknown integrator '{other}'"))),
                 }
             }
+            "--threads" => {
+                opts.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|_| err("--threads needs a positive integer"))?,
+                )
+            }
             "--render" => opts.render = true,
             "--report" => opts.report = true,
             "--pgm" => opts.pgm = Some(value("--pgm")?),
@@ -141,7 +153,22 @@ pub fn parse_opts(args: &[String]) -> Result<RunOpts, CliError> {
     if opts.grid == 0 {
         return Err(err("--grid must be positive"));
     }
+    if opts.threads == Some(0) {
+        return Err(err("--threads must be positive"));
+    }
     Ok(opts)
+}
+
+/// Effective worker count: `--threads`, else `CENN_THREADS`, else serial.
+fn resolve_threads(opts: &RunOpts) -> usize {
+    opts.threads
+        .or_else(|| {
+            std::env::var("CENN_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(1)
+        .max(1)
 }
 
 fn memory_by_name(name: &str) -> Result<MemorySpec, CliError> {
@@ -198,6 +225,8 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
     let setup = build_setup(&opts)?;
     let mut runner =
         FixedRunner::new(setup.clone()).map_err(|e| err(format!("simulator setup: {e}")))?;
+    let threads = resolve_threads(&opts);
+    runner.set_threads(threads);
     let fired = runner.run(steps);
 
     let mut out = String::new();
@@ -212,6 +241,9 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
         runner.sim().time()
     )
     .unwrap();
+    if threads > 1 {
+        writeln!(out, "worker threads: {threads}").unwrap();
+    }
     if setup.post_step.is_some() {
         writeln!(out, "spikes fired: {fired}").unwrap();
     }
@@ -238,11 +270,15 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
     }
     if opts.report {
         let mem = memory_by_name(&opts.memory)?;
-        let est =
-            CycleModel::new(mem, PeArrayConfig::default()).estimate(&setup.model, (mr1, mr2));
+        let est = CycleModel::new(mem, PeArrayConfig::default()).estimate(&setup.model, (mr1, mr2));
         writeln!(out, "\narchitecture estimate ({}):", opts.memory).unwrap();
         writeln!(out, "  time/step:    {:.3} us", est.time_per_step_s() * 1e6).unwrap();
-        writeln!(out, "  run time:     {:.3} ms", est.total_time_s(steps) * 1e3).unwrap();
+        writeln!(
+            out,
+            "  run time:     {:.3} ms",
+            est.total_time_s(steps) * 1e3
+        )
+        .unwrap();
         writeln!(out, "  throughput:   {:.1} GOPS", est.achieved_gops()).unwrap();
         writeln!(out, "  system power: {:.2} W", est.system_power_w()).unwrap();
         writeln!(out, "  efficiency:   {:.1} GOPS/W", est.gops_per_watt()).unwrap();
@@ -277,9 +313,19 @@ fn cmd_inspect(args: &[String]) -> Result<String, CliError> {
     let bytes = std::fs::read(path).map_err(|e| err(format!("reading {path}: {e}")))?;
     let p = Program::decode(&bytes).map_err(|e| err(format!("malformed bitstream: {e}")))?;
     let mut out = String::new();
-    writeln!(out, "{path}: valid CENN bitstream v{}", cenn::program::BITSTREAM_VERSION).unwrap();
+    writeln!(
+        out,
+        "{path}: valid CENN bitstream v{}",
+        cenn::program::BITSTREAM_VERSION
+    )
+    .unwrap();
     writeln!(out, "  grid:        {}x{}", p.rows(), p.cols()).unwrap();
-    writeln!(out, "  layers:      {} (kinds {:?})", p.n_layers, p.layer_kinds).unwrap();
+    writeln!(
+        out,
+        "  layers:      {} (kinds {:?})",
+        p.n_layers, p.layer_kinds
+    )
+    .unwrap();
     writeln!(out, "  kernel:      {}x{}", p.kernel, p.kernel).unwrap();
     writeln!(
         out,
@@ -335,7 +381,10 @@ mod tests {
 
     #[test]
     fn parse_rejects_bad_input() {
-        assert!(parse_opts(&s(&["--grid", "64"])).is_err(), "system required");
+        assert!(
+            parse_opts(&s(&["--grid", "64"])).is_err(),
+            "system required"
+        );
         assert!(parse_opts(&s(&["--system", "heat", "--grid", "x"])).is_err());
         assert!(parse_opts(&s(&["--system", "heat", "--bogus"])).is_err());
         assert!(parse_opts(&s(&["--system", "heat", "--grid"])).is_err());
@@ -345,8 +394,18 @@ mod tests {
     #[test]
     fn parse_accepts_full_option_set() {
         let o = parse_opts(&s(&[
-            "--system", "fisher", "--grid", "32", "--steps", "10", "--memory", "hmc-int",
-            "--integrator", "heun", "--render", "--report",
+            "--system",
+            "fisher",
+            "--grid",
+            "32",
+            "--steps",
+            "10",
+            "--memory",
+            "hmc-int",
+            "--integrator",
+            "heun",
+            "--render",
+            "--report",
         ]))
         .unwrap();
         assert_eq!(o.system, "fisher");
@@ -355,6 +414,35 @@ mod tests {
         assert_eq!(o.memory, "hmc-int");
         assert_eq!(o.integrator, Integrator::Heun);
         assert!(o.render && o.report);
+    }
+
+    #[test]
+    fn parse_threads_flag() {
+        let o = parse_opts(&s(&["--system", "heat", "--threads", "4"])).unwrap();
+        assert_eq!(o.threads, Some(4));
+        assert!(parse_opts(&s(&["--system", "heat", "--threads", "0"])).is_err());
+        assert!(parse_opts(&s(&["--system", "heat", "--threads", "x"])).is_err());
+        // Unset: defers to CENN_THREADS / serial.
+        let o = parse_opts(&s(&["--system", "heat"])).unwrap();
+        assert_eq!(o.threads, None);
+    }
+
+    #[test]
+    fn threaded_run_matches_serial_output() {
+        let base = s(&["run", "--system", "fisher", "--grid", "16", "--steps", "15"]);
+        let serial = dispatch(&base).unwrap();
+        let mut threaded = base.clone();
+        threaded.extend(s(&["--threads", "4"]));
+        let par = dispatch(&threaded).unwrap();
+        assert!(par.contains("worker threads: 4"));
+        // Identical trajectories -> identical ranges and miss rates.
+        let strip = |t: &str| {
+            t.lines()
+                .filter(|l| !l.starts_with("worker threads"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&serial), strip(&par));
     }
 
     #[test]
@@ -406,7 +494,15 @@ mod tests {
     #[test]
     fn run_with_heun_works() {
         let out = dispatch(&s(&[
-            "run", "--system", "wave", "--grid", "16", "--steps", "10", "--integrator", "heun",
+            "run",
+            "--system",
+            "wave",
+            "--grid",
+            "16",
+            "--steps",
+            "10",
+            "--integrator",
+            "heun",
         ]))
         .unwrap();
         assert!(out.contains("wave: 16x16"));

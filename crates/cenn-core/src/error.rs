@@ -39,7 +39,10 @@ impl fmt::Display for ModelError {
         match self {
             Self::NoLayers => write!(f, "model has no layers"),
             Self::TooManyLayers(n) => {
-                write!(f, "model has {n} layers, the bitstream limit is {MAX_LAYERS}")
+                write!(
+                    f,
+                    "model has {n} layers, the bitstream limit is {MAX_LAYERS}"
+                )
             }
             Self::BadTimestep(dt) => write!(f, "integration step {dt} is not positive and finite"),
             Self::ShapeMismatch { expected, got } => write!(
@@ -97,7 +100,9 @@ mod tests {
     #[test]
     fn lut_error_wraps_with_source() {
         use std::error::Error;
-        let inner = cenn_lut::LutSpec::unit_spacing(1, 0).validate().unwrap_err();
+        let inner = cenn_lut::LutSpec::unit_spacing(1, 0)
+            .validate()
+            .unwrap_err();
         let e = ModelError::from(inner);
         assert!(e.source().is_some());
         assert!(e.to_string().contains("LUT generation failed"));

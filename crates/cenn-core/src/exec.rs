@@ -1,0 +1,351 @@
+//! The plan-driven, tile-sharded execution engine.
+//!
+//! The functional simulator sweeps every cell of every layer once (or
+//! twice, for Heun) per time step. This module supplies the machinery that
+//! lets those sweeps run on worker threads **without changing a single
+//! bit** of the serial results:
+//!
+//! * [`TilePlan`] decomposes the grid into per-shard tiles: each cell is
+//!   assigned to the LUT shard (L2 group, [`cenn_lut::PES_PER_L2`]
+//!   consecutive PEs) that its PE belongs to, preserving row-major order
+//!   within the tile. A shard's cache state is touched only by its own
+//!   PEs, so tiles are the natural unit of parallelism.
+//! * [`ExecEngine`] fans work items out over scoped worker threads
+//!   (`std::thread::scope`; no dependencies, no unsafe). With one thread
+//!   it degenerates to a plain loop.
+//! * [`StepStats`] records what one step cost: per-sweep wall-clock nanos,
+//!   per-shard LUT traffic deltas, and cell throughput.
+//!
+//! Determinism contract (also see `DESIGN.md`): LUT cache state never
+//! changes a looked-up *value* — every level stores exact off-chip entries,
+//! so the hit level affects only latency counters. Fixed-point cell values
+//! are therefore bit-identical under any sweep order. Statistics are
+//! per-shard state, and a tile visits its shard's cells in the same
+//! row-major order the serial sweep would, so per-PE and per-shard counters
+//! are bit-identical too; aggregate stats are order-independent `u64` sums.
+
+use cenn_lut::{LutStats, PES_PER_L2};
+
+/// One shard's slice of the grid: the cells (row-major) whose PEs map into
+/// this shard.
+#[derive(Debug, Clone)]
+pub struct Tile {
+    shard: usize,
+    pe_base: usize,
+    cells: Vec<(u32, u32)>,
+}
+
+impl Tile {
+    /// The shard (L2 group) this tile's cells belong to.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Global id of the first PE of the owning shard.
+    pub fn pe_base(&self) -> usize {
+        self.pe_base
+    }
+
+    /// The tile's `(row, col)` cells, in row-major sweep order.
+    pub fn cells(&self) -> &[(u32, u32)] {
+        &self.cells
+    }
+
+    /// Number of cells in the tile.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` if no cell maps to this shard (possible when the grid is
+    /// smaller than the PE array).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// The static decomposition of a grid over LUT shards for a given PE
+/// geometry. Built once per simulator; every sweep walks the same tiles.
+#[derive(Debug, Clone)]
+pub struct TilePlan {
+    rows: usize,
+    cols: usize,
+    pe_rows: usize,
+    pe_cols: usize,
+    tiles: Vec<Tile>,
+}
+
+impl TilePlan {
+    /// Decomposes a `rows × cols` grid mapped onto a `pe_rows × pe_cols`
+    /// PE array (cells map to PEs as `(r mod pe_rows, c mod pe_cols)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(rows: usize, cols: usize, pe_rows: usize, pe_cols: usize) -> Self {
+        assert!(
+            rows > 0 && cols > 0 && pe_rows > 0 && pe_cols > 0,
+            "tile plan dimensions must be non-zero"
+        );
+        let n_pes = pe_rows * pe_cols;
+        let n_shards = n_pes.div_ceil(PES_PER_L2);
+        let mut tiles: Vec<Tile> = (0..n_shards)
+            .map(|s| Tile {
+                shard: s,
+                pe_base: s * PES_PER_L2,
+                cells: Vec::new(),
+            })
+            .collect();
+        for r in 0..rows {
+            for c in 0..cols {
+                let pe = (r % pe_rows) * pe_cols + (c % pe_cols);
+                tiles[pe / PES_PER_L2].cells.push((r as u32, c as u32));
+            }
+        }
+        Self {
+            rows,
+            cols,
+            pe_rows,
+            pe_cols,
+            tiles,
+        }
+    }
+
+    /// The per-shard tiles, indexed by shard id.
+    pub fn tiles(&self) -> &[Tile] {
+        &self.tiles
+    }
+
+    /// Grid shape this plan decomposes.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// PE array shape the decomposition is based on.
+    pub fn pe_shape(&self) -> (usize, usize) {
+        (self.pe_rows, self.pe_cols)
+    }
+
+    /// Total cells across all tiles (equals `rows · cols`).
+    pub fn n_cells(&self) -> usize {
+        self.tiles.iter().map(Tile::len).sum()
+    }
+
+    /// The PE a cell maps to — the same formula every sweep uses.
+    #[inline]
+    pub fn pe_of(&self, r: usize, c: usize) -> usize {
+        (r % self.pe_rows) * self.pe_cols + (c % self.pe_cols)
+    }
+}
+
+/// Sweeps work items across a fixed number of worker threads.
+///
+/// The engine is a *policy* object: it owns no threads (workers are scoped
+/// per call) and no state beyond the thread count, so it is trivially
+/// cloneable and cheap to embed in every simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecEngine {
+    threads: usize,
+}
+
+impl Default for ExecEngine {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+impl ExecEngine {
+    /// A single-threaded engine (plain loops, no spawning).
+    pub fn serial() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// An engine with `threads` workers; zero is clamped to one.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// `true` if sweeps run inline on the calling thread.
+    pub fn is_serial(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// Applies `f` to every item, partitioning the slice over the workers.
+    /// `f` receives the item's index in `items` and a mutable reference to
+    /// it. With one worker (or one item) this is a plain indexed loop on
+    /// the calling thread.
+    ///
+    /// Work is split into contiguous chunks, one per worker — for tile
+    /// sweeps the items are already per-shard units of comparable size, so
+    /// static partitioning keeps the schedule deterministic without a work
+    /// queue.
+    pub fn for_each_mut<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            for (i, item) in items.iter_mut().enumerate() {
+                f(i, item);
+            }
+            return;
+        }
+        let chunk = items.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (w, part) in items.chunks_mut(chunk).enumerate() {
+                let f = &f;
+                scope.spawn(move || {
+                    for (j, item) in part.iter_mut().enumerate() {
+                        f(w * chunk + j, item);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Maps every item to a new value in parallel, preserving order.
+    pub fn map<I, O, F>(&self, items: &[I], f: F) -> Vec<O>
+    where
+        I: Sync,
+        O: Send,
+        F: Fn(usize, &I) -> O + Sync,
+    {
+        let mut out: Vec<Option<O>> = (0..items.len()).map(|_| None).collect();
+        self.for_each_mut(&mut out, |i, slot| *slot = Some(f(i, &items[i])));
+        out.into_iter()
+            .map(|v| v.expect("map slot filled"))
+            .collect()
+    }
+}
+
+/// Observability record for one executed time step.
+#[derive(Debug, Clone, Default)]
+pub struct StepStats {
+    /// Worker threads the engine was configured with.
+    pub threads: usize,
+    /// `(label, nanos)` for each sweep in execution order. Algebraic
+    /// layers sweep one at a time (they form declaration-order chains) and
+    /// are labelled `algebraic:<layer>`; dynamic layers sweep fused per
+    /// shard as `dynamic`, and state updates as `update`.
+    pub sweeps: Vec<(String, u64)>,
+    /// Wall-clock nanos for the whole step.
+    pub total_nanos: u64,
+    /// Cell evaluations performed (cells × layer sweeps).
+    pub cells: u64,
+    /// Per-shard LUT traffic generated by this step (index = shard id).
+    pub shard_lut: Vec<LutStats>,
+}
+
+impl StepStats {
+    /// Cell-evaluation throughput of the step; zero when nothing ran.
+    pub fn cells_per_sec(&self) -> f64 {
+        if self.total_nanos == 0 {
+            0.0
+        } else {
+            self.cells as f64 / (self.total_nanos as f64 / 1e9)
+        }
+    }
+
+    /// Aggregate LUT traffic of the step (sum over shards).
+    pub fn lut_total(&self) -> LutStats {
+        let mut total = LutStats::default();
+        for s in &self.shard_lut {
+            total.merge(s);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_plan_covers_every_cell_exactly_once() {
+        let plan = TilePlan::new(13, 7, 8, 8);
+        assert_eq!(plan.n_cells(), 13 * 7);
+        let mut seen = vec![0u32; 13 * 7];
+        for tile in plan.tiles() {
+            for &(r, c) in tile.cells() {
+                seen[r as usize * 7 + c as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn tile_cells_are_row_major_and_shard_consistent() {
+        let plan = TilePlan::new(16, 16, 4, 4);
+        for tile in plan.tiles() {
+            let mut prev = None;
+            for &(r, c) in tile.cells() {
+                let pe = plan.pe_of(r as usize, c as usize);
+                assert_eq!(pe / PES_PER_L2, tile.shard());
+                let key = (r, c);
+                if let Some(p) = prev {
+                    assert!(key > p, "cells must stay row-major within a tile");
+                }
+                prev = Some(key);
+            }
+        }
+    }
+
+    #[test]
+    fn small_grid_leaves_unused_shards_empty() {
+        // 2x2 grid on an 8x8 PE array: only PEs 0,1,8,9 are used.
+        let plan = TilePlan::new(2, 2, 8, 8);
+        let used: Vec<usize> = plan
+            .tiles()
+            .iter()
+            .filter(|t| !t.is_empty())
+            .map(Tile::shard)
+            .collect();
+        assert_eq!(used, vec![0, 2]);
+        assert_eq!(plan.n_cells(), 4);
+    }
+
+    #[test]
+    fn engine_for_each_runs_all_items_any_thread_count() {
+        for threads in [1, 2, 3, 8, 64] {
+            let engine = ExecEngine::new(threads);
+            let mut items = vec![0u64; 10];
+            engine.for_each_mut(&mut items, |i, v| *v = i as u64 + 1);
+            let want: Vec<u64> = (1..=10).collect();
+            assert_eq!(items, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn engine_map_preserves_order() {
+        let engine = ExecEngine::new(4);
+        let out = engine.map(&[10, 20, 30, 40, 50], |i, v| v + i);
+        assert_eq!(out, vec![10, 21, 32, 43, 54]);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_serial() {
+        let engine = ExecEngine::new(0);
+        assert!(engine.is_serial());
+        assert_eq!(engine.threads(), 1);
+    }
+
+    #[test]
+    fn step_stats_throughput() {
+        let stats = StepStats {
+            threads: 2,
+            sweeps: vec![("dynamic".into(), 500_000_000)],
+            total_nanos: 1_000_000_000,
+            cells: 3_000_000,
+            shard_lut: Vec::new(),
+        };
+        assert!((stats.cells_per_sec() - 3e6).abs() < 1e-6);
+        assert_eq!(StepStats::default().cells_per_sec(), 0.0);
+    }
+}

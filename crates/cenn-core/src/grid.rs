@@ -144,6 +144,17 @@ impl<T: Copy> Grid<T> {
     pub fn same_shape<U>(&self, other: &Grid<U>) -> bool {
         self.rows == other.rows && self.cols == other.cols
     }
+
+    /// Copies every cell from `other` without reallocating — the
+    /// hot-loop alternative to `clone()` for persistent scratch grids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn copy_from(&mut self, other: &Grid<T>) {
+        assert!(self.same_shape(other), "shape mismatch in copy_from");
+        self.cells.copy_from_slice(&other.cells);
+    }
 }
 
 impl Grid<f64> {

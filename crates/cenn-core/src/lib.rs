@@ -48,6 +48,7 @@
 
 mod boundary;
 mod error;
+pub mod exec;
 mod grid;
 mod layer;
 pub mod mapping;
@@ -57,6 +58,7 @@ mod template;
 
 pub use boundary::Boundary;
 pub use error::ModelError;
+pub use exec::{ExecEngine, StepStats, Tile, TilePlan};
 pub use grid::Grid;
 pub use layer::{LayerId, LayerKind, LayerSpec};
 pub use model::{CennModel, CennModelBuilder, Integrator, LutConfig, TemplateKind};

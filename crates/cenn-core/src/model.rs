@@ -257,7 +257,11 @@ impl CennModel {
             .chain(&self.input_templates)
             .filter(|(_, _, t)| t.needs_update())
             .count();
-        let z = self.offsets.iter().filter(|(_, w)| w.needs_update()).count();
+        let z = self
+            .offsets
+            .iter()
+            .filter(|(_, w)| w.needs_update())
+            .count();
         t + z
     }
 
@@ -283,11 +287,7 @@ impl CennModel {
             .iter()
             .chain(&self.output_templates)
             .chain(&self.input_templates)
-            .map(|(_, _, t)| {
-                t.iter()
-                    .filter(|(_, _, w)| !w.is_zero())
-                    .count()
-            })
+            .map(|(_, _, t)| t.iter().filter(|(_, _, w)| !w.is_zero()).count())
             .sum();
         conv + 3 * self.lookups_per_cell_step() + 2 * self.n_layers()
     }
@@ -542,7 +542,13 @@ mod tests {
         t.set(
             0,
             0,
-            WeightExpr::product(1.0, vec![Factor { func: f, layer: LayerId(3) }]),
+            WeightExpr::product(
+                1.0,
+                vec![Factor {
+                    func: f,
+                    layer: LayerId(3),
+                }],
+            ),
         );
         b.state_template(u, u, t);
         assert_eq!(b.build(0.1).unwrap_err(), ModelError::UnknownLayer(3));

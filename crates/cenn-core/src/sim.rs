@@ -1,10 +1,13 @@
 //! The functional fixed-point simulator of the CeNN DE solver.
 
-use cenn_lut::{FuncLibrary, LutHierarchy, LutStats};
+use std::time::Instant;
+
+use cenn_lut::{FuncId, FuncLibrary, LutHierarchy, LutShard, LutStats, OffChipLut};
 use fixedpt::{MacAcc, Q16_16};
 
 use crate::boundary::Boundary;
 use crate::error::ModelError;
+use crate::exec::{ExecEngine, StepStats, Tile, TilePlan};
 use crate::grid::Grid;
 use crate::layer::{LayerId, LayerKind};
 use crate::model::{CennModel, Integrator, TemplateKind};
@@ -64,6 +67,15 @@ struct LayerPlan {
 ///    derived quantities such as Navier–Stokes velocities;
 /// 2. **dynamic layers** integrate eq. (1) synchronously (all read old
 ///    states): `x ← x + Δt · (−x + ΣÂ·x + ΣA·y + ΣB·u + z)`.
+///
+/// Sweeps are plan-driven and tile-sharded: a [`TilePlan`] assigns each
+/// cell to the LUT shard its PE belongs to, and the [`ExecEngine`] fans
+/// the shards out over worker threads (see [`set_threads`]). Results —
+/// states *and* per-PE LUT statistics — are bit-identical to the serial
+/// sweep for any thread count (the determinism contract in
+/// [`crate::exec`]).
+///
+/// [`set_threads`]: Self::set_threads
 #[derive(Debug, Clone)]
 pub struct CennSim {
     model: CennModel,
@@ -72,8 +84,14 @@ pub struct CennSim {
     scratch: Vec<Grid<Q16_16>>,
     aux: Vec<Grid<Q16_16>>,
     aux2: Vec<Grid<Q16_16>>,
+    /// Persistent pre-step snapshot used by Heun's corrector (reused
+    /// across steps instead of cloning the state vector every step).
+    saved: Vec<Grid<Q16_16>>,
     inputs: Vec<Grid<Q16_16>>,
     hierarchy: LutHierarchy,
+    engine: ExecEngine,
+    tiles: TilePlan,
+    last_step: StepStats,
     eval: FuncEval,
     time: f64,
     steps: u64,
@@ -109,6 +127,7 @@ impl CennSim {
             cfg.n_pes(),
         )?;
         let plan = compile(&model);
+        let tiles = TilePlan::new(model.rows(), model.cols(), cfg.pe_rows, cfg.pe_cols);
         let blank = Grid::new(model.rows(), model.cols(), Q16_16::ZERO);
         let n = model.n_layers();
         Ok(Self {
@@ -117,13 +136,60 @@ impl CennSim {
             scratch: vec![blank.clone(); n],
             aux: vec![blank.clone(); n],
             aux2: vec![blank.clone(); n],
+            saved: vec![blank.clone(); n],
             inputs: vec![blank; n],
             hierarchy,
+            engine: ExecEngine::serial(),
+            tiles,
+            last_step: StepStats::default(),
             eval,
             time: 0.0,
             steps: 0,
             model,
         })
+    }
+
+    /// Sets the worker-thread count for all subsequent sweeps (zero is
+    /// clamped to one). Thread count never changes results: states and
+    /// per-PE LUT statistics are bit-identical for any value.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.engine = ExecEngine::new(threads);
+    }
+
+    /// Worker threads currently configured.
+    pub fn threads(&self) -> usize {
+        self.engine.threads()
+    }
+
+    /// Replaces the execution engine.
+    pub fn set_engine(&mut self, engine: ExecEngine) {
+        self.engine = engine;
+    }
+
+    /// The execution engine driving the sweeps.
+    pub fn engine(&self) -> &ExecEngine {
+        &self.engine
+    }
+
+    /// The tile decomposition the sweeps run over.
+    pub fn tile_plan(&self) -> &TilePlan {
+        &self.tiles
+    }
+
+    /// Timing and LUT-traffic observability for the most recent
+    /// [`step`](Self::step); default-empty before the first step.
+    pub fn step_stats(&self) -> &StepStats {
+        &self.last_step
+    }
+
+    /// `(hits, misses)` of one PE's private L1 LUT (per-PE accounting
+    /// survives the threaded sweep bit-identically).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is out of range for the PE array.
+    pub fn pe_lut_stats(&self, pe: usize) -> (u64, u64) {
+        self.hierarchy.pe_stats(pe)
     }
 
     /// The model being simulated.
@@ -250,14 +316,35 @@ impl CennSim {
     }
 
     /// Advances one time step (Euler or Heun, per the model's
-    /// [`Integrator`]), returning the post-step report.
+    /// [`Integrator`]), returning the post-step report. Per-sweep timing
+    /// and LUT-traffic deltas land in [`step_stats`](Self::step_stats).
     pub fn step(&mut self) -> StepReport {
+        let start = Instant::now();
+        let before: Vec<LutStats> = self
+            .hierarchy
+            .shards()
+            .iter()
+            .map(LutShard::stats)
+            .collect();
+        let mut stats = StepStats {
+            threads: self.engine.threads(),
+            ..StepStats::default()
+        };
         match self.model.integrator() {
-            Integrator::Euler => self.step_euler(),
-            Integrator::Heun => self.step_heun(),
+            Integrator::Euler => self.step_euler(&mut stats),
+            Integrator::Heun => self.step_heun(&mut stats),
         }
         self.steps += 1;
         self.time += self.model.dt();
+        stats.total_nanos = start.elapsed().as_nanos() as u64;
+        stats.shard_lut = self
+            .hierarchy
+            .shards()
+            .iter()
+            .zip(&before)
+            .map(|(s, b)| s.stats().since(b))
+            .collect();
+        self.last_step = stats;
         StepReport {
             time: self.time,
             steps: self.steps,
@@ -266,86 +353,111 @@ impl CennSim {
     }
 
     /// Recomputes algebraic layers in declaration order (reading current
-    /// values, so chains resolve sequentially).
-    fn algebraic_pass(&mut self) {
-        let (rows, cols) = (self.model.rows(), self.model.cols());
-        let (pe_rows, pe_cols) = {
-            let cfg = self.model.lut_config();
-            (cfg.pe_rows, cfg.pe_cols)
-        };
+    /// values, so chains resolve sequentially). Each layer is one
+    /// barriered tile sweep: within a layer, shards run concurrently;
+    /// between layers, the swap is a synchronization point so later layers
+    /// read earlier layers' fresh values, exactly as the serial loop did.
+    fn algebraic_pass(&mut self, stats: &mut StepStats) {
         let ctx = EvalCtx {
-            lib: self.model.library().clone(),
+            lib: self.model.library(),
             eval: self.eval,
         };
+        let n_cells = self.tiles.n_cells() as u64;
         for i in 0..self.plan.len() {
             if self.plan[i].kind != LayerKind::Algebraic {
                 continue;
             }
-            for r in 0..rows {
-                for c in 0..cols {
-                    let pe = (r % pe_rows) * pe_cols + (c % pe_cols);
-                    let v = eval_cell(
-                        &self.plan[i],
-                        &self.states,
-                        &self.inputs,
-                        &mut self.hierarchy,
-                        &ctx,
-                        None,
-                        r,
-                        c,
-                        pe,
-                    );
-                    self.scratch[i].set(r, c, v);
+            let sweep_start = Instant::now();
+            {
+                let (tables, shards) = self.hierarchy.split();
+                let tile_plan = &self.tiles;
+                let plan = &self.plan[i];
+                let states = &self.states;
+                let inputs = &self.inputs;
+                let mut work = make_work(shards, tile_plan.tiles(), 1);
+                self.engine.for_each_mut(&mut work, |_, item| {
+                    let (shard, tile, buf) = item;
+                    let mut lut = ShardAccess { tables, shard };
+                    for (slot, &(r, c)) in buf.iter_mut().zip(tile.cells()) {
+                        let (r, c) = (r as usize, c as usize);
+                        let pe = tile_plan.pe_of(r, c);
+                        *slot = eval_cell(plan, states, inputs, &mut lut, &ctx, None, r, c, pe);
+                    }
+                });
+                let scratch = &mut self.scratch[i];
+                for (_, tile, buf) in &work {
+                    for (&(r, c), &v) in tile.cells().iter().zip(buf.iter()) {
+                        scratch.set(r as usize, c as usize, v);
+                    }
                 }
             }
             std::mem::swap(&mut self.states[i], &mut self.scratch[i]);
+            stats.cells += n_cells;
+            stats.sweeps.push((
+                format!("algebraic:{i}"),
+                sweep_start.elapsed().as_nanos() as u64,
+            ));
         }
     }
 
-    /// Evaluates the dynamic-layer RHS grids into `out`.
-    #[allow(clippy::needless_range_loop)] // parallel indexing of plan/states/out
-    fn dyn_rhs(&mut self, out: &mut [Grid<Q16_16>]) {
-        let (rows, cols) = (self.model.rows(), self.model.cols());
-        let (pe_rows, pe_cols) = {
-            let cfg = self.model.lut_config();
-            (cfg.pe_rows, cfg.pe_cols)
-        };
+    /// Evaluates the dynamic-layer RHS grids into `out` — one fused tile
+    /// sweep: each shard walks all dynamic layers in declaration order
+    /// over its own cells (the same per-shard access sequence as the
+    /// serial sweep), so shards need no barrier between layers.
+    fn dyn_rhs(&mut self, out: &mut [Grid<Q16_16>], stats: &mut StepStats) {
+        let dyn_layers: Vec<usize> = (0..self.plan.len())
+            .filter(|&i| self.plan[i].kind == LayerKind::Dynamic)
+            .collect();
+        if dyn_layers.is_empty() {
+            return;
+        }
+        let sweep_start = Instant::now();
         let ctx = EvalCtx {
-            lib: self.model.library().clone(),
+            lib: self.model.library(),
             eval: self.eval,
         };
-        for i in 0..self.plan.len() {
-            if self.plan[i].kind != LayerKind::Dynamic {
-                continue;
+        let (tables, shards) = self.hierarchy.split();
+        let tile_plan = &self.tiles;
+        let plan = &self.plan;
+        let states = &self.states;
+        let inputs = &self.inputs;
+        let layers = &dyn_layers;
+        let mut work = make_work(shards, tile_plan.tiles(), layers.len());
+        self.engine.for_each_mut(&mut work, |_, item| {
+            let (shard, tile, buf) = item;
+            let mut lut = ShardAccess { tables, shard };
+            for (li, &i) in layers.iter().enumerate() {
+                let seg = &mut buf[li * tile.len()..(li + 1) * tile.len()];
+                for (slot, &(r, c)) in seg.iter_mut().zip(tile.cells()) {
+                    let (r, c) = (r as usize, c as usize);
+                    let pe = tile_plan.pe_of(r, c);
+                    *slot = eval_cell(&plan[i], states, inputs, &mut lut, &ctx, Some(i), r, c, pe);
+                }
             }
-            for r in 0..rows {
-                for c in 0..cols {
-                    let pe = (r % pe_rows) * pe_cols + (c % pe_cols);
-                    let rhs = eval_cell(
-                        &self.plan[i],
-                        &self.states,
-                        &self.inputs,
-                        &mut self.hierarchy,
-                        &ctx,
-                        Some(i),
-                        r,
-                        c,
-                        pe,
-                    );
-                    out[i].set(r, c, rhs);
+        });
+        for (_, tile, buf) in &work {
+            for (li, &i) in dyn_layers.iter().enumerate() {
+                let seg = &buf[li * tile.len()..(li + 1) * tile.len()];
+                for (&(r, c), &v) in tile.cells().iter().zip(seg.iter()) {
+                    out[i].set(r as usize, c as usize, v);
                 }
             }
         }
+        stats.cells += (dyn_layers.len() * self.tiles.n_cells()) as u64;
+        stats
+            .sweeps
+            .push(("dynamic".into(), sweep_start.elapsed().as_nanos() as u64));
     }
 
     /// One forward-Euler step: `x ← x + dt·f(x)` with a single wide-MAC
     /// rounding (the PE's second MAC, Fig. 7).
     #[allow(clippy::needless_range_loop)] // parallel indexing of plan/states/k1
-    fn step_euler(&mut self) {
-        self.algebraic_pass();
+    fn step_euler(&mut self, stats: &mut StepStats) {
+        self.algebraic_pass(stats);
         let dt = self.model.dt_fx();
         let mut k1 = std::mem::take(&mut self.aux);
-        self.dyn_rhs(&mut k1);
+        self.dyn_rhs(&mut k1, stats);
+        let update_start = Instant::now();
         for i in 0..self.plan.len() {
             if self.plan[i].kind != LayerKind::Dynamic {
                 continue;
@@ -360,6 +472,9 @@ impl CennSim {
                 *x = acc.resolve();
             }
         }
+        stats
+            .sweeps
+            .push(("update".into(), update_start.elapsed().as_nanos() as u64));
         self.aux = k1;
     }
 
@@ -368,16 +483,20 @@ impl CennSim {
     /// charges the doubled convolution/LUT traffic via
     /// [`Integrator::passes`].
     #[allow(clippy::needless_range_loop)] // parallel indexing of plan/states/k1/k2
-    fn step_heun(&mut self) {
-        self.algebraic_pass();
+    fn step_heun(&mut self, stats: &mut StepStats) {
+        self.algebraic_pass(stats);
         let dt = self.model.dt_fx();
         let dt_half = Q16_16::from_f64(self.model.dt() / 2.0);
         let n = self.plan.len();
 
         let mut k1 = std::mem::take(&mut self.aux);
-        self.dyn_rhs(&mut k1);
-        // Save x and advance to the predictor state.
-        let saved: Vec<Grid<Q16_16>> = self.states.clone();
+        self.dyn_rhs(&mut k1, stats);
+        // Save x into the persistent snapshot (no per-step allocation) and
+        // advance to the predictor state.
+        let update_start = Instant::now();
+        for i in 0..n {
+            self.saved[i].copy_from(&self.states[i]);
+        }
         for i in 0..n {
             if self.plan[i].kind != LayerKind::Dynamic {
                 continue;
@@ -392,11 +511,15 @@ impl CennSim {
                 *x = acc.resolve();
             }
         }
+        stats
+            .sweeps
+            .push(("update".into(), update_start.elapsed().as_nanos() as u64));
         // Corrector sweep on the predictor state (algebraic layers track
         // the predictor).
-        self.algebraic_pass();
+        self.algebraic_pass(stats);
         let mut k2 = std::mem::take(&mut self.aux2);
-        self.dyn_rhs(&mut k2);
+        self.dyn_rhs(&mut k2, stats);
+        let update_start = Instant::now();
         for i in 0..n {
             if self.plan[i].kind != LayerKind::Dynamic {
                 continue;
@@ -404,7 +527,7 @@ impl CennSim {
             for (((x, x0), a), b2) in self.states[i]
                 .as_mut_slice()
                 .iter_mut()
-                .zip(saved[i].as_slice())
+                .zip(self.saved[i].as_slice())
                 .zip(k1[i].as_slice())
                 .zip(k2[i].as_slice())
             {
@@ -414,6 +537,9 @@ impl CennSim {
                 *x = acc.resolve();
             }
         }
+        stats
+            .sweeps
+            .push(("update".into(), update_start.elapsed().as_nanos() as u64));
         self.aux = k1;
         self.aux2 = k2;
     }
@@ -432,10 +558,39 @@ impl CennSim {
     }
 }
 
-/// Immutable context for weight evaluation.
-struct EvalCtx {
-    lib: FuncLibrary,
+/// Immutable context for weight evaluation (borrows the model's function
+/// library — hot sweeps never clone it).
+struct EvalCtx<'a> {
+    lib: &'a FuncLibrary,
     eval: FuncEval,
+}
+
+/// The LUT access a sweep worker needs: one mutable shard plus the shared
+/// read-only off-chip tables.
+struct ShardAccess<'a> {
+    tables: &'a [OffChipLut],
+    shard: &'a mut LutShard,
+}
+
+impl ShardAccess<'_> {
+    #[inline]
+    fn lookup_value(&mut self, pe: usize, func: FuncId, x: Q16_16) -> Q16_16 {
+        self.shard.lookup(self.tables, pe, func, x).0
+    }
+}
+
+/// Pairs each shard with its tile and a zeroed output buffer holding
+/// `segments` per-cell value segments (one per swept layer).
+fn make_work<'a>(
+    shards: &'a mut [LutShard],
+    tiles: &'a [Tile],
+    segments: usize,
+) -> Vec<(&'a mut LutShard, &'a Tile, Vec<Q16_16>)> {
+    shards
+        .iter_mut()
+        .zip(tiles.iter())
+        .map(|(s, t)| (s, t, vec![Q16_16::ZERO; t.len() * segments]))
+        .collect()
 }
 
 /// Compiles the model's templates into per-layer tap lists with zero
@@ -445,7 +600,11 @@ fn compile(model: &CennModel) -> Vec<LayerPlan> {
         .layer_ids()
         .map(|dest| {
             let mut convs = Vec::new();
-            for kind in [TemplateKind::State, TemplateKind::Output, TemplateKind::Input] {
+            for kind in [
+                TemplateKind::State,
+                TemplateKind::Output,
+                TemplateKind::Input,
+            ] {
                 for (src, t) in model.templates(kind, dest) {
                     let taps: Vec<_> = t
                         .iter()
@@ -478,8 +637,8 @@ fn eval_cell(
     plan: &LayerPlan,
     states: &[Grid<Q16_16>],
     inputs: &[Grid<Q16_16>],
-    hier: &mut LutHierarchy,
-    ctx: &EvalCtx,
+    lut: &mut ShardAccess<'_>,
+    ctx: &EvalCtx<'_>,
     leak_layer: Option<usize>,
     r: usize,
     c: usize,
@@ -511,24 +670,24 @@ fn eval_cell(
                     }
                 }
             };
-            let weight = eval_weight(w, states, hier, ctx, r, c, pe);
+            let weight = eval_weight(w, states, lut, ctx, r, c, pe);
             acc.mac(weight, operand);
         }
     }
     for w in &plan.offsets {
-        let v = eval_weight(w, states, hier, ctx, r, c, pe);
+        let v = eval_weight(w, states, lut, ctx, r, c, pe);
         acc.add(v);
     }
     acc.resolve()
 }
 
-/// Evaluates a template weight at a cell, walking the LUT hierarchy for
+/// Evaluates a template weight at a cell, walking the PE's LUT shard for
 /// each dynamic factor (or computing exactly in [`FuncEval::Exact`]).
 fn eval_weight(
     w: &WeightExpr,
     states: &[Grid<Q16_16>],
-    hier: &mut LutHierarchy,
-    ctx: &EvalCtx,
+    lut: &mut ShardAccess<'_>,
+    ctx: &EvalCtx<'_>,
     r: usize,
     c: usize,
     pe: usize,
@@ -540,7 +699,7 @@ fn eval_weight(
             for f in factors {
                 let x = states[f.layer.index()].get(r, c);
                 let val = match ctx.eval {
-                    FuncEval::Lut => hier.lookup(pe, f.func, x).0,
+                    FuncEval::Lut => lut.lookup_value(pe, f.func, x),
                     FuncEval::Exact => Q16_16::from_f64(ctx.lib.get(f.func).value(x.to_f64())),
                 };
                 acc *= val;
@@ -826,6 +985,75 @@ mod tests {
         assert!((clean - 1.0).abs() < 0.05, "clean logistic -> {clean}");
         assert!(faulty != clean, "fault must be visible");
         assert!(faulty.abs() <= 32768.0, "saturating bound holds: {faulty}");
+    }
+
+    #[test]
+    fn threaded_sweep_is_bit_identical_to_serial() {
+        // A nonlinear model exercising the LUT path on a grid larger than
+        // the PE array, stepped serially and with several thread counts:
+        // states, aggregate stats and per-PE L1 counters must all match.
+        let build = || {
+            let mut b = CennModelBuilder::new(12, 10);
+            let u = b.dynamic_layer("u", Boundary::ZeroFlux);
+            let w = b.algebraic_layer("w", Boundary::Zero);
+            let sq = b.register_func(cenn_lut::funcs::square());
+            b.state_template(u, u, mapping::heat_template(0.4, 1.0));
+            b.offset_expr(
+                u,
+                WeightExpr::product(-0.1, vec![crate::template::Factor { func: sq, layer: u }]),
+            );
+            b.state_template(w, u, mapping::center(2.0).into_template());
+            b.integrator(crate::Integrator::Heun);
+            (b.build(0.02).unwrap(), u)
+        };
+        let init = Grid::from_fn(12, 10, |r, c| 0.05 * (r as f64 - 5.0) + 0.03 * c as f64);
+        let run = |threads: usize| {
+            let (model, u) = build();
+            let mut sim = CennSim::new(model).unwrap();
+            sim.set_threads(threads);
+            sim.set_state_f64(u, &init).unwrap();
+            sim.run(25);
+            sim
+        };
+        let serial = run(1);
+        for threads in [2, 4, 8] {
+            let threaded = run(threads);
+            for (a, b) in serial.states().iter().zip(threaded.states()) {
+                assert_eq!(
+                    a.as_slice(),
+                    b.as_slice(),
+                    "states diverged at {threads} threads"
+                );
+            }
+            assert_eq!(serial.lut_stats(), threaded.lut_stats());
+            let n_pes = serial.model().lut_config().n_pes();
+            for pe in 0..n_pes {
+                assert_eq!(
+                    serial.pe_lut_stats(pe),
+                    threaded.pe_lut_stats(pe),
+                    "per-PE stats diverged for PE {pe} at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn step_stats_record_sweeps_and_traffic() {
+        let mut b = CennModelBuilder::new(6, 6);
+        let x = b.dynamic_layer("x", Boundary::Zero);
+        let sq = b.register_func(cenn_lut::funcs::square());
+        b.offset_expr(x, WeightExpr::dynamic(0.01, sq, x));
+        let mut sim = CennSim::new(b.build(0.01).unwrap()).unwrap();
+        assert_eq!(sim.step_stats().cells, 0, "no step ran yet");
+        sim.step();
+        let stats = sim.step_stats();
+        assert_eq!(stats.threads, 1);
+        assert_eq!(stats.cells, 36, "one dynamic sweep over 6x6");
+        assert!(stats.sweeps.iter().any(|(l, _)| l == "dynamic"));
+        assert!(stats.sweeps.iter().any(|(l, _)| l == "update"));
+        assert_eq!(stats.lut_total().accesses, 36);
+        assert!(stats.cells_per_sec() > 0.0);
+        assert_eq!(stats.shard_lut.len(), sim.tile_plan().tiles().len());
     }
 
     #[test]

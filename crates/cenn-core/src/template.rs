@@ -186,7 +186,9 @@ impl Template {
             WeightExpr::Const(w) => {
                 self.weights[i] = WeightExpr::Const(*w + Q16_16::from_f64(v));
             }
-            WeightExpr::Dyn { .. } => panic!("centre entry is dynamic; add the constant as a separate template"),
+            WeightExpr::Dyn { .. } => {
+                panic!("centre entry is dynamic; add the constant as a separate template")
+            }
         }
     }
 
@@ -348,8 +350,14 @@ mod tests {
         let p = WeightExpr::product(
             1.0,
             vec![
-                Factor { func: FuncId(0), layer: LayerId(0) },
-                Factor { func: FuncId(1), layer: LayerId(1) },
+                Factor {
+                    func: FuncId(0),
+                    layer: LayerId(0),
+                },
+                Factor {
+                    func: FuncId(1),
+                    layer: LayerId(1),
+                },
             ],
         );
         assert_eq!(p.lookup_count(), 2);
@@ -392,13 +400,23 @@ mod tests {
         assert!(!t.needs_update());
         assert_eq!(t.wui_count(), 0);
         t.set(0, 0, WeightExpr::dynamic(1.0, FuncId(0), LayerId(0)));
-        t.set(0, 1, WeightExpr::product(
-            1.0,
-            vec![
-                Factor { func: FuncId(0), layer: LayerId(0) },
-                Factor { func: FuncId(1), layer: LayerId(0) },
-            ],
-        ));
+        t.set(
+            0,
+            1,
+            WeightExpr::product(
+                1.0,
+                vec![
+                    Factor {
+                        func: FuncId(0),
+                        layer: LayerId(0),
+                    },
+                    Factor {
+                        func: FuncId(1),
+                        layer: LayerId(0),
+                    },
+                ],
+            ),
+        );
         assert!(t.needs_update());
         assert_eq!(t.wui_count(), 2);
         assert_eq!(t.lookups_per_cell(), 3);

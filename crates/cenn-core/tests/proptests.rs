@@ -1,13 +1,12 @@
 //! Property-based tests for the CeNN model and functional simulator.
 
-use cenn_core::{mapping, Boundary, CennModelBuilder, CennSim, Grid};
+use cenn_core::{mapping, Boundary, CennModelBuilder, CennSim, Grid, TilePlan};
 use fixedpt::Q16_16;
 use proptest::prelude::*;
 
 fn small_grid(rows: usize, cols: usize, lo: f64, hi: f64) -> impl Strategy<Value = Grid<f64>> {
-    prop::collection::vec(lo..hi, rows * cols).prop_map(move |v| {
-        Grid::from_fn(rows, cols, |r, c| v[r * cols + c])
-    })
+    prop::collection::vec(lo..hi, rows * cols)
+        .prop_map(move |v| Grid::from_fn(rows, cols, |r, c| v[r * cols + c]))
 }
 
 proptest! {
@@ -99,6 +98,55 @@ proptest! {
         b2.run(steps);
         prop_assert_eq!(a.state(u1).as_slice(), b2.state(u2).as_slice());
         prop_assert_eq!(a.lut_stats(), b2.lut_stats());
+    }
+
+    #[test]
+    fn tile_plan_covers_every_cell_exactly_once(
+        rows in 1usize..40, cols in 1usize..40,
+        pe_rows in 1usize..12, pe_cols in 1usize..12,
+    ) {
+        // The tile decomposition is a partition: every cell lands in
+        // exactly one tile, and always in the tile of its own PE's shard.
+        let plan = TilePlan::new(rows, cols, pe_rows, pe_cols);
+        let mut seen = vec![0u32; rows * cols];
+        for tile in plan.tiles() {
+            for &(r, c) in tile.cells() {
+                let pe = plan.pe_of(r as usize, c as usize);
+                prop_assert_eq!(pe / cenn_lut::PES_PER_L2, tile.shard());
+                seen[r as usize * cols + c as usize] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&n| n == 1), "partition broken");
+        prop_assert_eq!(plan.n_cells(), rows * cols);
+    }
+
+    #[test]
+    fn threaded_simulation_matches_serial(
+        init in small_grid(6, 6, -2.0, 2.0),
+        threads in 2usize..6,
+        steps in 1u64..10,
+    ) {
+        // The determinism contract: any worker count yields bit-identical
+        // states AND LUT statistics, even with dynamic (LUT-driven) weights.
+        let build = || {
+            let mut b = CennModelBuilder::new(6, 6);
+            let u = b.dynamic_layer("u", Boundary::Periodic);
+            let sq = b.register_func(cenn_lut::funcs::square());
+            b.state_template(u, u, mapping::heat_template(0.3, 1.0));
+            b.offset_expr(u, cenn_core::WeightExpr::dynamic(-0.1, sq, u));
+            (b.build(0.1).unwrap(), u)
+        };
+        let (m1, u1) = build();
+        let (m2, u2) = build();
+        let mut serial = CennSim::new(m1).unwrap();
+        let mut par = CennSim::new(m2).unwrap();
+        par.set_threads(threads);
+        serial.set_state_f64(u1, &init).unwrap();
+        par.set_state_f64(u2, &init).unwrap();
+        serial.run(steps);
+        par.run(steps);
+        prop_assert_eq!(serial.state(u1).as_slice(), par.state(u2).as_slice());
+        prop_assert_eq!(serial.lut_stats(), par.lut_stats());
     }
 
     #[test]

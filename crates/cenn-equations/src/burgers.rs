@@ -9,7 +9,9 @@
 //! is the destination layer itself — the simplest space/time-variant
 //! template beyond the Taylor-α form, and a classic CeNN PDE demo (\[37\]).
 
-use cenn_core::{mapping, Boundary, CennModelBuilder, Factor, Grid, ModelError, Template, WeightExpr};
+use cenn_core::{
+    mapping, Boundary, CennModelBuilder, Factor, Grid, ModelError, Template, WeightExpr,
+};
 use cenn_lut::funcs;
 
 use crate::system::{DynamicalSystem, SystemSetup};
@@ -48,7 +50,11 @@ impl DynamicalSystem for Burgers {
         let u = b.dynamic_layer("u", Boundary::Periodic);
         let ident = b.register_func(funcs::identity());
 
-        b.state_template(u, u, mapping::laplacian(self.nu, self.h).into_state_template());
+        b.state_template(
+            u,
+            u,
+            mapping::laplacian(self.nu, self.h).into_state_template(),
+        );
         // −u·(∂u/∂x + ∂u/∂y): central-difference taps weighted by ∓u/2h.
         let g = 1.0 / (2.0 * self.h);
         let mut adv = Template::zero(3);
@@ -56,7 +62,13 @@ impl DynamicalSystem for Burgers {
             adv.set(
                 dr,
                 dc,
-                WeightExpr::product(sign * g, vec![Factor { func: ident, layer: u }]),
+                WeightExpr::product(
+                    sign * g,
+                    vec![Factor {
+                        func: ident,
+                        layer: u,
+                    }],
+                ),
             );
         }
         b.state_template(u, u, adv);

@@ -71,6 +71,12 @@ impl FixedRunner {
         &self.setup
     }
 
+    /// Sets the worker-thread count of the simulator's tile sweeps.
+    /// Results are bit-identical for any count.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.sim.set_threads(threads);
+    }
+
     /// Steps executed so far.
     pub fn steps(&self) -> u64 {
         self.sim.steps()

@@ -69,7 +69,10 @@ impl DynamicalSystem for GrayScott {
             WeightExpr::product(
                 scale,
                 vec![
-                    Factor { func: ident, layer: u },
+                    Factor {
+                        func: ident,
+                        layer: u,
+                    },
                     Factor { func: sq, layer: v },
                 ],
             )
@@ -153,8 +156,7 @@ mod tests {
         let active = v.iter().filter(|&&x| x > 0.1).count();
         assert!(active > 8 * 8, "v spread to {active} cells");
         let mean = v.mean();
-        let var: f64 =
-            v.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / v.len() as f64;
+        let var: f64 = v.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / v.len() as f64;
         assert!(var > 1e-3, "spatial structure, var = {var}");
     }
 

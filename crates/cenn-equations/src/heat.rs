@@ -40,7 +40,11 @@ impl DynamicalSystem for Heat {
     fn build(&self, rows: usize, cols: usize) -> Result<SystemSetup, ModelError> {
         let mut b = CennModelBuilder::new(rows, cols);
         let phi = b.dynamic_layer("phi", Boundary::ZeroFlux);
-        b.state_template(phi, phi, mapping::laplacian(self.kappa, self.h).into_state_template());
+        b.state_template(
+            phi,
+            phi,
+            mapping::laplacian(self.kappa, self.h).into_state_template(),
+        );
         let model = b.build(self.dt)?;
 
         let (cr, cc) = (rows as f64 / 2.0, cols as f64 / 2.0);

@@ -1,6 +1,8 @@
 //! Hodgkin–Huxley membrane dynamics — the paper's exp/LUT-heavy benchmark.
 
-use cenn_core::{mapping, Boundary, CennModelBuilder, Factor, Grid, ModelError, Template, WeightExpr};
+use cenn_core::{
+    mapping, Boundary, CennModelBuilder, Factor, Grid, ModelError, Template, WeightExpr,
+};
 use cenn_lut::{funcs, LutSpec, NonlinearFn};
 
 use crate::system::{DynamicalSystem, SystemSetup};
@@ -126,13 +128,29 @@ impl HodgkinHuxley {
         // +α(V) as a dynamic offset.
         b.offset_expr(
             gate,
-            WeightExpr::product(1.0, vec![Factor { func: f_alpha, layer: v }]),
+            WeightExpr::product(
+                1.0,
+                vec![Factor {
+                    func: f_alpha,
+                    layer: v,
+                }],
+            ),
         );
         // −(α+β)(V)·x as a dynamic centre weight, plus the +1 leak cancel
         // as a separate constant template (entries of different templates
         // between the same layer pair sum).
         let mut t = Template::zero(3);
-        t.set(0, 0, WeightExpr::product(-1.0, vec![Factor { func: f_sum, layer: v }]));
+        t.set(
+            0,
+            0,
+            WeightExpr::product(
+                -1.0,
+                vec![Factor {
+                    func: f_sum,
+                    layer: v,
+                }],
+            ),
+        );
         b.state_template(gate, gate, t);
         b.state_template(gate, gate, mapping::center(1.0).into_template());
         (f_alpha, f_sum)
@@ -210,9 +228,18 @@ impl DynamicalSystem for HodgkinHuxley {
             WeightExpr::product(
                 -self.g_na / self.c_m,
                 vec![
-                    Factor { func: cube_m, layer: m },
-                    Factor { func: id_h, layer: h },
-                    Factor { func: shift_na, layer: v },
+                    Factor {
+                        func: cube_m,
+                        layer: m,
+                    },
+                    Factor {
+                        func: id_h,
+                        layer: h,
+                    },
+                    Factor {
+                        func: shift_na,
+                        layer: v,
+                    },
                 ],
             ),
         );
@@ -221,9 +248,18 @@ impl DynamicalSystem for HodgkinHuxley {
             WeightExpr::product(
                 -self.g_k / self.c_m,
                 vec![
-                    Factor { func: sq_n, layer: n },
-                    Factor { func: sq_n, layer: n },
-                    Factor { func: shift_k, layer: v },
+                    Factor {
+                        func: sq_n,
+                        layer: n,
+                    },
+                    Factor {
+                        func: sq_n,
+                        layer: n,
+                    },
+                    Factor {
+                        func: shift_k,
+                        layer: v,
+                    },
                 ],
             ),
         );
@@ -286,8 +322,8 @@ fn fd3(f: impl Fn(f64) -> f64, x: f64) -> [f64; 3] {
     let h = 1e-3;
     let d1 = (f(x + h) - f(x - h)) / (2.0 * h);
     let d2 = (f(x + h) - 2.0 * f(x) + f(x - h)) / (h * h);
-    let d3 = (f(x + 2.0 * h) - 2.0 * f(x + h) + 2.0 * f(x - h) - f(x - 2.0 * h))
-        / (2.0 * h * h * h);
+    let d3 =
+        (f(x + 2.0 * h) - 2.0 * f(x + h) + 2.0 * f(x - h) - f(x - 2.0 * h)) / (2.0 * h * h * h);
     [d1, d2, d3]
 }
 
@@ -313,7 +349,10 @@ mod tests {
     fn steady_state_gates_are_probabilities() {
         for v in [-90.0, -65.0, -40.0, 0.0, 40.0] {
             for (a, bta) in [
-                (rates::alpha_n as fn(f64) -> f64, rates::beta_n as fn(f64) -> f64),
+                (
+                    rates::alpha_n as fn(f64) -> f64,
+                    rates::beta_n as fn(f64) -> f64,
+                ),
                 (rates::alpha_m, rates::beta_m),
                 (rates::alpha_h, rates::beta_h),
             ] {

@@ -1,7 +1,9 @@
 //! 2-D incompressible Navier–Stokes in vorticity–streamfunction form —
 //! the paper's "single PDE with nonlinear template" benchmark.
 
-use cenn_core::{mapping, Boundary, CennModelBuilder, Factor, Grid, ModelError, Template, WeightExpr};
+use cenn_core::{
+    mapping, Boundary, CennModelBuilder, Factor, Grid, ModelError, Template, WeightExpr,
+};
 use cenn_lut::funcs;
 
 use crate::system::{DynamicalSystem, SystemSetup};
@@ -89,15 +91,59 @@ impl DynamicalSystem for NavierStokes {
         b.state_template(vvel, psi, mapping::grad_x(-1.0, self.h).into_template());
 
         // omega: viscous diffusion...
-        b.state_template(omega, omega, mapping::laplacian(self.nu, self.h).into_state_template());
+        b.state_template(
+            omega,
+            omega,
+            mapping::laplacian(self.nu, self.h).into_state_template(),
+        );
         // ...plus advection with velocity-driven dynamic weights:
         // −u·∂ω/∂x  →  taps (0, ±1) with weight ∓u/(2h).
         let mut adv = Template::zero(3);
         let g = 1.0 / (2.0 * self.h);
-        adv.set(0, 1, WeightExpr::product(-g, vec![Factor { func: ident, layer: uvel }]));
-        adv.set(0, -1, WeightExpr::product(g, vec![Factor { func: ident, layer: uvel }]));
-        adv.set(1, 0, WeightExpr::product(-g, vec![Factor { func: ident, layer: vvel }]));
-        adv.set(-1, 0, WeightExpr::product(g, vec![Factor { func: ident, layer: vvel }]));
+        adv.set(
+            0,
+            1,
+            WeightExpr::product(
+                -g,
+                vec![Factor {
+                    func: ident,
+                    layer: uvel,
+                }],
+            ),
+        );
+        adv.set(
+            0,
+            -1,
+            WeightExpr::product(
+                g,
+                vec![Factor {
+                    func: ident,
+                    layer: uvel,
+                }],
+            ),
+        );
+        adv.set(
+            1,
+            0,
+            WeightExpr::product(
+                -g,
+                vec![Factor {
+                    func: ident,
+                    layer: vvel,
+                }],
+            ),
+        );
+        adv.set(
+            -1,
+            0,
+            WeightExpr::product(
+                g,
+                vec![Factor {
+                    func: ident,
+                    layer: vvel,
+                }],
+            ),
+        );
         b.state_template(omega, omega, adv);
 
         // Velocities are O(u_max) < 1, far below unit spacing: sample the

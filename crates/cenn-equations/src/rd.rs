@@ -82,7 +82,13 @@ impl DynamicalSystem for ReactionDiffusion {
         // Taylor form is exact up to quantization).
         b.offset_expr(
             u,
-            WeightExpr::product(-1.0 / 3.0, vec![Factor { func: cube, layer: u }]),
+            WeightExpr::product(
+                -1.0 / 3.0,
+                vec![Factor {
+                    func: cube,
+                    layer: u,
+                }],
+            ),
         );
         b.offset(u, self.drive);
 

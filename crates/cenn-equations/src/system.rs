@@ -51,7 +51,10 @@ impl PostStepRule {
                 bump_u,
             } => {
                 let mut fired = 0;
-                let (rows, cols) = (states[v_layer.index()].rows(), states[v_layer.index()].cols());
+                let (rows, cols) = (
+                    states[v_layer.index()].rows(),
+                    states[v_layer.index()].cols(),
+                );
                 for r in 0..rows {
                     for c in 0..cols {
                         if states[v_layer.index()].get(r, c) >= threshold {

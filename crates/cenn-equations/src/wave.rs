@@ -139,7 +139,11 @@ mod tests {
         runner.run(60);
         let w = runner.observed_states()[0].1.clone();
         // Centre rebounds (goes negative) while the ring reaches outward.
-        assert!(w.get(16, 16) < w0_center, "centre dropped: {}", w.get(16, 16));
+        assert!(
+            w.get(16, 16) < w0_center,
+            "centre dropped: {}",
+            w.get(16, 16)
+        );
         let ring_max = (8..15)
             .map(|d| w.get(16, 16 + d).abs())
             .fold(0.0f64, f64::max);
@@ -154,6 +158,10 @@ mod tests {
         runner.run(2000);
         let w = runner.observed_states()[0].1.clone();
         assert!(w.max_abs() < 1.5 * init_max, "bounded: {}", w.max_abs());
-        assert!(w.max_abs() < init_max * 0.8, "damped by t=500: {}", w.max_abs());
+        assert!(
+            w.max_abs() < init_max * 0.8,
+            "damped by t=500: {}",
+            w.max_abs()
+        );
     }
 }

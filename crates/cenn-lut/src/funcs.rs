@@ -14,9 +14,11 @@ pub fn identity() -> NonlinearFn {
 
 /// Affine `l(x) = a·x + b`.
 pub fn affine(a: f64, b: f64) -> NonlinearFn {
-    NonlinearFn::new(format!("affine({a},{b})"), move |x| a * x + b, move |_| {
-        [a, 0.0, 0.0]
-    })
+    NonlinearFn::new(
+        format!("affine({a},{b})"),
+        move |x| a * x + b,
+        move |_| [a, 0.0, 0.0],
+    )
 }
 
 /// `l(x) = x²`.
@@ -83,13 +85,17 @@ pub fn cos() -> NonlinearFn {
 
 /// Logistic sigmoid `l(x) = 1/(1+exp(-k·x))`.
 pub fn sigmoid(k: f64) -> NonlinearFn {
-    NonlinearFn::new(format!("sigmoid({k})"), move |x| sigmoid_val(k, x), move |x| {
-        let s = sigmoid_val(k, x);
-        let d1 = k * s * (1.0 - s);
-        let d2 = k * d1 * (1.0 - 2.0 * s);
-        let d3 = k * (d2 * (1.0 - 2.0 * s) - 2.0 * d1 * d1);
-        [d1, d2, d3]
-    })
+    NonlinearFn::new(
+        format!("sigmoid({k})"),
+        move |x| sigmoid_val(k, x),
+        move |x| {
+            let s = sigmoid_val(k, x);
+            let d1 = k * s * (1.0 - s);
+            let d2 = k * d1 * (1.0 - 2.0 * s);
+            let d3 = k * (d2 * (1.0 - 2.0 * s) - 2.0 * d1 * d1);
+            [d1, d2, d3]
+        },
+    )
 }
 
 fn sigmoid_val(k: f64, x: f64) -> f64 {

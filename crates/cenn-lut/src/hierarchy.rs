@@ -3,10 +3,8 @@
 use crate::builder::{LutBuildError, LutSpec};
 use crate::entry::{LutEntry, SampleIdx};
 use crate::func::{FuncId, FuncLibrary};
-use crate::l1::L1Lut;
-use crate::l2::{L2Lut, DRAM_BURST_POINTS};
+use crate::shard::LutShard;
 use crate::stats::LutStats;
-use crate::tum::Tum;
 use fixedpt::Q16_16;
 
 /// Where a look-up was ultimately satisfied.
@@ -51,10 +49,7 @@ impl OffChipLut {
     /// # Errors
     ///
     /// Returns an error if the spec fails [`LutSpec::validate`].
-    pub fn generate(
-        func: &crate::func::NonlinearFn,
-        spec: LutSpec,
-    ) -> Result<Self, LutBuildError> {
+    pub fn generate(func: &crate::func::NonlinearFn, spec: LutSpec) -> Result<Self, LutBuildError> {
         spec.validate()?;
         let entries = (spec.min_idx..=spec.max_idx)
             .map(|i| {
@@ -122,18 +117,20 @@ impl OffChipLut {
 }
 
 /// The complete memory hierarchy used for real-time template update:
-/// one off-chip table per registered function, `n_l2` shared L2 LUTs
-/// (one per memory channel in hardware), and one L1 LUT per PE.
+/// one off-chip table per registered function, plus one [`LutShard`] per
+/// L2 group — the shared L2 LUT (one per memory channel in hardware)
+/// together with the L1 LUTs of the PEs attached to it.
 ///
 /// PE-to-L2 affinity follows the architecture: PEs are distributed evenly
-/// over the L2s ("four PEs are connected to one L2 LUT", §6.3).
+/// over the L2s ("four PEs are connected to one L2 LUT", §6.3). Because a
+/// PE's entire mutable cache state lives inside its shard, the shards can
+/// be [`split`](Self::split) off and swept concurrently by the threaded
+/// execution engine while the off-chip tables are shared read-only.
 #[derive(Debug, Clone)]
 pub struct LutHierarchy {
     tables: Vec<OffChipLut>,
-    l2s: Vec<L2Lut>,
-    l1s: Vec<L1Lut>,
-    tum: Tum,
-    stats: LutStats,
+    shards: Vec<LutShard>,
+    n_pes: usize,
 }
 
 /// PEs served by each L2 LUT (§6.3: "four PEs are connected to one L2
@@ -181,30 +178,57 @@ impl LutHierarchy {
         assert!(n_pes > 0, "hierarchy needs at least one PE");
         let mut tables = Vec::with_capacity(lib.len());
         for (i, (_, f)) in lib.iter().enumerate() {
-            let spec = specs.get(i).copied().ok_or(LutBuildError::EmptyRange {
-                min: 0,
-                max: -1,
-            })?;
+            let spec = specs
+                .get(i)
+                .copied()
+                .ok_or(LutBuildError::EmptyRange { min: 0, max: -1 })?;
             tables.push(OffChipLut::generate(f, spec)?);
         }
-        let n_l2 = n_pes.div_ceil(PES_PER_L2).max(1);
+        let n_shards = n_pes.div_ceil(PES_PER_L2).max(1);
+        let shards = (0..n_shards)
+            .map(|s| {
+                let pe_base = s * PES_PER_L2;
+                let width = PES_PER_L2.min(n_pes - pe_base);
+                LutShard::new(pe_base, width, l1_blocks, l2_capacity)
+            })
+            .collect();
         Ok(Self {
             tables,
-            l2s: (0..n_l2).map(|_| L2Lut::new(l2_capacity)).collect(),
-            l1s: (0..n_pes).map(|_| L1Lut::new(l1_blocks)).collect(),
-            tum: Tum::new(),
-            stats: LutStats::default(),
+            shards,
+            n_pes,
         })
     }
 
     /// Number of PEs (L1 LUTs).
     pub fn n_pes(&self) -> usize {
-        self.l1s.len()
+        self.n_pes
     }
 
-    /// Number of shared L2 LUTs.
+    /// Number of shared L2 LUTs (equivalently, shards).
     pub fn n_l2s(&self) -> usize {
-        self.l2s.len()
+        self.shards.len()
+    }
+
+    /// Number of independently-sweepable shards (one per L2 group).
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index that owns global PE `pe`.
+    pub fn shard_of(pe: usize) -> usize {
+        pe / PES_PER_L2
+    }
+
+    /// Borrows the read-only off-chip tables alongside the mutable shards,
+    /// letting worker threads drive disjoint shards concurrently via
+    /// [`LutShard::lookup`] while sharing the tables.
+    pub fn split(&mut self) -> (&[OffChipLut], &mut [LutShard]) {
+        (&self.tables, &mut self.shards)
+    }
+
+    /// The shards themselves (read-only view, e.g. for per-shard stats).
+    pub fn shards(&self) -> &[LutShard] {
+        &self.shards
     }
 
     /// The off-chip table for a function.
@@ -221,82 +245,54 @@ impl LutHierarchy {
     /// `pe`, walking L1 → L2 → DRAM and filling caches on the way back,
     /// with the 8-point burst installed into L2 on a DRAM fetch (§4.1).
     pub fn fetch(&mut self, pe: usize, func: FuncId, x: Q16_16) -> (LutEntry, Level) {
-        let table = &self.tables[func.0 as usize];
-        let spacing = table.spec().log2_inv_spacing;
-        let idx = table.clamp_idx(SampleIdx::of(x, spacing));
-        self.stats.accesses += 1;
-
-        if let Some(entry) = self.l1s[pe].lookup(func, idx) {
-            self.stats.l1_hits += 1;
-            return (entry, Level::L1);
-        }
-        let l2_id = pe / PES_PER_L2 % self.l2s.len();
-        if let Some(entry) = self.l2s[l2_id].lookup(func, idx) {
-            self.stats.l2_hits += 1;
-            self.l1s[pe].fill(func, idx, entry);
-            return (entry, Level::L2);
-        }
-        // DRAM burst: fetch the 8-aligned window and install into L2 via
-        // the same hash used for reads.
-        self.stats.dram_fetches += 1;
-        self.stats.dram_points += DRAM_BURST_POINTS as u64;
-        let table = &self.tables[func.0 as usize];
-        let window = L2Lut::burst_window(idx);
-        let mut wanted = table.read(idx);
-        for i in window {
-            let widx = table.clamp_idx(SampleIdx(i));
-            let entry = table.read(widx);
-            self.l2s[l2_id].fill(func, widx, entry);
-            if widx == idx {
-                wanted = entry;
-            }
-        }
-        self.l1s[pe].fill(func, idx, wanted);
-        (wanted, Level::Dram)
+        let shard = Self::shard_of(pe) % self.shards.len();
+        self.shards[shard].fetch(&self.tables, pe, func, x)
     }
 
     /// Full look-up: fetches the entry and evaluates it through the TUM,
     /// returning the approximated `l(x)` and the access outcome.
     pub fn lookup(&mut self, pe: usize, func: FuncId, x: Q16_16) -> (Q16_16, AccessOutcome) {
-        let spacing = self.tables[func.0 as usize].spec().log2_inv_spacing;
-        let (entry, level) = self.fetch(pe, func, x);
-        let eval = self.tum.eval(entry, x, spacing);
-        if eval.exact {
-            self.stats.exact_hits += 1;
-        }
-        (
-            eval.value,
-            AccessOutcome {
-                filled_from: level,
-                exact: eval.exact,
-            },
-        )
+        let shard = Self::shard_of(pe) % self.shards.len();
+        self.shards[shard].lookup(&self.tables, pe, func, x)
     }
 
-    /// Aggregate statistics since construction / last reset.
+    /// Aggregate statistics since construction / last reset — the
+    /// order-independent sum of every shard's counters.
     pub fn stats(&self) -> LutStats {
-        self.stats
+        let mut total = LutStats::default();
+        for shard in &self.shards {
+            total.merge(&shard.stats());
+        }
+        total
+    }
+
+    /// `(hits, misses)` of one PE's private L1 LUT — the per-PE accounting
+    /// the determinism tests compare between serial and threaded sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe >= n_pes`.
+    pub fn pe_stats(&self, pe: usize) -> (u64, u64) {
+        assert!(pe < self.n_pes, "PE {pe} out of range");
+        self.shards[Self::shard_of(pe)].pe_stats(pe)
     }
 
     /// Measured L1/L2 miss rates `(mr_L1, mr_L2)` — the inputs the paper
     /// feeds to its cycle-level simulator (§6.3).
     pub fn miss_rates(&self) -> (f64, f64) {
-        (self.stats.l1_miss_rate(), self.stats.l2_miss_rate())
+        let s = self.stats();
+        (s.l1_miss_rate(), s.l2_miss_rate())
     }
 
     /// Clears statistics (cache contents are kept — used to separate
     /// warm-up from measurement).
     pub fn reset_stats(&mut self) {
-        self.stats = LutStats::default();
-        self.l1s.iter_mut().for_each(L1Lut::reset_stats);
-        self.l2s.iter_mut().for_each(L2Lut::reset_stats);
-        self.tum.reset();
+        self.shards.iter_mut().for_each(LutShard::reset_stats);
     }
 
     /// Invalidates all on-chip LUTs (cold restart).
     pub fn invalidate(&mut self) {
-        self.l1s.iter_mut().for_each(L1Lut::invalidate);
-        self.l2s.iter_mut().for_each(L2Lut::invalidate);
+        self.shards.iter_mut().for_each(LutShard::invalidate);
     }
 
     /// Injects a soft error into the off-chip table of `func` (see

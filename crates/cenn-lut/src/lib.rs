@@ -44,6 +44,7 @@ pub mod funcs;
 mod hierarchy;
 mod l1;
 mod l2;
+mod shard;
 mod stats;
 mod tum;
 
@@ -53,5 +54,6 @@ pub use func::{FuncId, FuncLibrary, NonlinearFn};
 pub use hierarchy::{AccessOutcome, Level, LutHierarchy, OffChipLut, PES_PER_L2};
 pub use l1::L1Lut;
 pub use l2::{L2Lut, DRAM_BURST_POINTS};
+pub use shard::LutShard;
 pub use stats::LutStats;
 pub use tum::{AlphaC3, Tum, TumEval};

@@ -1,0 +1,261 @@
+//! One independently-owned slice of the LUT hierarchy: an L2 LUT plus the
+//! L1 LUTs of the PEs attached to it.
+
+use crate::entry::SampleIdx;
+use crate::func::FuncId;
+use crate::hierarchy::{AccessOutcome, Level, OffChipLut};
+use crate::l1::L1Lut;
+use crate::l2::{L2Lut, DRAM_BURST_POINTS};
+use crate::stats::LutStats;
+use crate::tum::Tum;
+use crate::LutEntry;
+use fixedpt::Q16_16;
+
+/// The mutable cache state owned by one L2 group: the shared L2 LUT, the
+/// L1 LUTs of the (up to [`crate::PES_PER_L2`]) PEs it serves, a TUM op
+/// counter, and the access statistics those PEs generate.
+///
+/// A shard is the unit of parallelism for the threaded sweep: PEs never
+/// touch cache state outside their own L2 group (§6.3 wires exactly four
+/// PEs to one L2 LUT), so disjoint shards can be swept by different worker
+/// threads with no shared mutable state. The off-chip tables are read-only
+/// and passed in by reference on every access.
+///
+/// Determinism contract: cache contents never change a looked-up *value*
+/// (every level stores exact off-chip entries, so hit level only affects
+/// latency and counters), and a shard's counters depend only on the order
+/// of that shard's own accesses. A sweep that visits each shard's cells in
+/// row-major order therefore reproduces the serial sweep's per-shard
+/// statistics bit for bit, regardless of how shards interleave globally.
+#[derive(Debug, Clone)]
+pub struct LutShard {
+    pe_base: usize,
+    l1s: Vec<L1Lut>,
+    l2: L2Lut,
+    tum: Tum,
+    stats: LutStats,
+}
+
+impl LutShard {
+    /// Creates the shard serving PEs `pe_base .. pe_base + n_pes`, each
+    /// with an `l1_blocks`-block L1, sharing one `l2_capacity`-entry L2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_pes` is zero (a shard with no PEs can never be
+    /// addressed) or the L1/L2 capacities are invalid.
+    pub fn new(pe_base: usize, n_pes: usize, l1_blocks: usize, l2_capacity: usize) -> Self {
+        assert!(n_pes > 0, "shard needs at least one PE");
+        Self {
+            pe_base,
+            l1s: (0..n_pes).map(|_| L1Lut::new(l1_blocks)).collect(),
+            l2: L2Lut::new(l2_capacity),
+            tum: Tum::new(),
+            stats: LutStats::default(),
+        }
+    }
+
+    /// Global id of the first PE this shard serves.
+    pub fn pe_base(&self) -> usize {
+        self.pe_base
+    }
+
+    /// Number of PEs (L1 LUTs) in this shard.
+    pub fn n_pes(&self) -> usize {
+        self.l1s.len()
+    }
+
+    /// `true` if global PE `pe` is served by this shard.
+    pub fn owns_pe(&self, pe: usize) -> bool {
+        (self.pe_base..self.pe_base + self.l1s.len()).contains(&pe)
+    }
+
+    #[inline]
+    fn local_pe(&self, pe: usize) -> usize {
+        debug_assert!(self.owns_pe(pe), "PE {pe} not owned by this shard");
+        pe - self.pe_base
+    }
+
+    /// Fetches the LUT entry for state `x` of `func` on behalf of global
+    /// PE `pe`, walking L1 → L2 → DRAM and filling caches on the way back,
+    /// with the 8-point burst installed into L2 on a DRAM fetch (§4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is not owned by this shard or `func` is not in
+    /// `tables`.
+    pub fn fetch(
+        &mut self,
+        tables: &[OffChipLut],
+        pe: usize,
+        func: FuncId,
+        x: Q16_16,
+    ) -> (LutEntry, Level) {
+        let local = self.local_pe(pe);
+        let table = &tables[func.0 as usize];
+        let spacing = table.spec().log2_inv_spacing;
+        let idx = table.clamp_idx(SampleIdx::of(x, spacing));
+        self.stats.accesses += 1;
+
+        if let Some(entry) = self.l1s[local].lookup(func, idx) {
+            self.stats.l1_hits += 1;
+            return (entry, Level::L1);
+        }
+        if let Some(entry) = self.l2.lookup(func, idx) {
+            self.stats.l2_hits += 1;
+            self.l1s[local].fill(func, idx, entry);
+            return (entry, Level::L2);
+        }
+        // DRAM burst: fetch the 8-aligned window and install into L2 via
+        // the same hash used for reads.
+        self.stats.dram_fetches += 1;
+        self.stats.dram_points += DRAM_BURST_POINTS as u64;
+        let window = L2Lut::burst_window(idx);
+        let mut wanted = table.read(idx);
+        for i in window {
+            let widx = table.clamp_idx(SampleIdx(i));
+            let entry = table.read(widx);
+            self.l2.fill(func, widx, entry);
+            if widx == idx {
+                wanted = entry;
+            }
+        }
+        self.l1s[local].fill(func, idx, wanted);
+        (wanted, Level::Dram)
+    }
+
+    /// Full look-up: fetches the entry and evaluates it through the TUM,
+    /// returning the approximated `l(x)` and the access outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is not owned by this shard or `func` is not in
+    /// `tables`.
+    pub fn lookup(
+        &mut self,
+        tables: &[OffChipLut],
+        pe: usize,
+        func: FuncId,
+        x: Q16_16,
+    ) -> (Q16_16, AccessOutcome) {
+        let spacing = tables[func.0 as usize].spec().log2_inv_spacing;
+        let (entry, level) = self.fetch(tables, pe, func, x);
+        let eval = self.tum.eval(entry, x, spacing);
+        if eval.exact {
+            self.stats.exact_hits += 1;
+        }
+        (
+            eval.value,
+            AccessOutcome {
+                filled_from: level,
+                exact: eval.exact,
+            },
+        )
+    }
+
+    /// Statistics accumulated by this shard's PEs.
+    pub fn stats(&self) -> LutStats {
+        self.stats
+    }
+
+    /// `(hits, misses)` of one PE's L1 LUT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is not owned by this shard.
+    pub fn pe_stats(&self, pe: usize) -> (u64, u64) {
+        assert!(self.owns_pe(pe), "PE {pe} not owned by this shard");
+        self.l1s[pe - self.pe_base].stats()
+    }
+
+    /// `(hits, misses)` of the shared L2 LUT.
+    pub fn l2_stats(&self) -> (u64, u64) {
+        self.l2.stats()
+    }
+
+    /// Fixed-point MAC operations issued by this shard's TUM.
+    pub fn mac_count(&self) -> u64 {
+        self.tum.mac_count()
+    }
+
+    /// Clears counters; cache contents are kept.
+    pub fn reset_stats(&mut self) {
+        self.stats = LutStats::default();
+        self.l1s.iter_mut().for_each(L1Lut::reset_stats);
+        self.l2.reset_stats();
+        self.tum.reset();
+    }
+
+    /// Invalidates the shard's L1s and L2 (cold restart).
+    pub fn invalidate(&mut self) {
+        self.l1s.iter_mut().for_each(L1Lut::invalidate);
+        self.l2.invalidate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LutSpec;
+    use crate::func::FuncLibrary;
+    use crate::funcs;
+
+    fn tables() -> (Vec<OffChipLut>, FuncId) {
+        let mut lib = FuncLibrary::new();
+        let id = lib.register(funcs::square());
+        let spec = LutSpec::unit_spacing(-16, 16);
+        let tables = lib
+            .iter()
+            .map(|(_, f)| OffChipLut::generate(f, spec).unwrap())
+            .collect();
+        (tables, id)
+    }
+
+    #[test]
+    fn shard_walks_hierarchy_like_the_full_one() {
+        let (tables, f) = tables();
+        let mut shard = LutShard::new(4, 4, 4, 32);
+        let x = Q16_16::from_f64(2.5);
+        let (_, o) = shard.lookup(&tables, 5, f, x);
+        assert_eq!(o.filled_from, Level::Dram);
+        let (_, o) = shard.lookup(&tables, 5, f, x);
+        assert_eq!(o.filled_from, Level::L1);
+        // A sibling PE shares the L2 but not the L1.
+        let (_, o) = shard.lookup(&tables, 6, f, x);
+        assert_eq!(o.filled_from, Level::L2);
+        assert_eq!(shard.stats().accesses, 3);
+        assert_eq!(shard.pe_stats(5), (1, 1));
+        assert_eq!(shard.pe_stats(6), (0, 1));
+    }
+
+    #[test]
+    fn owns_pe_respects_base_and_width() {
+        let shard = LutShard::new(8, 3, 4, 32);
+        assert!(!shard.owns_pe(7));
+        assert!(shard.owns_pe(8));
+        assert!(shard.owns_pe(10));
+        assert!(!shard.owns_pe(11));
+    }
+
+    #[test]
+    #[should_panic(expected = "not owned by this shard")]
+    fn foreign_pe_stats_panic() {
+        LutShard::new(0, 4, 4, 32).pe_stats(4);
+    }
+
+    #[test]
+    fn reset_and_invalidate_are_scoped_to_the_shard() {
+        let (tables, f) = tables();
+        let mut shard = LutShard::new(0, 2, 4, 32);
+        shard.lookup(&tables, 0, f, Q16_16::from_f64(1.5));
+        shard.reset_stats();
+        assert_eq!(shard.stats(), LutStats::default());
+        // Contents survived the stats reset...
+        let (_, o) = shard.lookup(&tables, 0, f, Q16_16::from_f64(1.5));
+        assert_eq!(o.filled_from, Level::L1);
+        // ...but not invalidation.
+        shard.invalidate();
+        let (_, o) = shard.lookup(&tables, 0, f, Q16_16::from_f64(1.5));
+        assert_eq!(o.filled_from, Level::Dram);
+    }
+}

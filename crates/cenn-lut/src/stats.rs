@@ -52,6 +52,20 @@ impl LutStats {
         }
     }
 
+    /// Counter-wise difference `self − earlier` — the per-step delta the
+    /// execution engine reports in its step statistics. Saturates at zero
+    /// so a reset between snapshots yields zeros rather than wrapping.
+    pub fn since(&self, earlier: &LutStats) -> LutStats {
+        LutStats {
+            accesses: self.accesses.saturating_sub(earlier.accesses),
+            l1_hits: self.l1_hits.saturating_sub(earlier.l1_hits),
+            l2_hits: self.l2_hits.saturating_sub(earlier.l2_hits),
+            dram_fetches: self.dram_fetches.saturating_sub(earlier.dram_fetches),
+            dram_points: self.dram_points.saturating_sub(earlier.dram_points),
+            exact_hits: self.exact_hits.saturating_sub(earlier.exact_hits),
+        }
+    }
+
     /// Merges another stats block into this one.
     pub fn merge(&mut self, other: &LutStats) {
         self.accesses += other.accesses;

@@ -3,8 +3,8 @@
 use std::fmt;
 
 use cenn_core::{Boundary, CennModel, Integrator, LayerKind, TemplateKind, WeightExpr};
-use fixedpt::Q16_16;
 use cenn_lut::{LutSpec, OffChipLut, SampleIdx};
+use fixedpt::Q16_16;
 
 /// Magic bytes opening every program stream.
 pub const BITSTREAM_MAGIC: [u8; 4] = *b"CENN";
@@ -208,7 +208,11 @@ impl Program {
 
         let mut templates = Vec::new();
         let mut dyn_descs = Vec::new();
-        for kind in [TemplateKind::State, TemplateKind::Output, TemplateKind::Input] {
+        for kind in [
+            TemplateKind::State,
+            TemplateKind::Output,
+            TemplateKind::Input,
+        ] {
             for (dest, src, t) in model.all_templates(kind) {
                 let k = t.size();
                 let mut words = Vec::with_capacity(k * k);
@@ -374,7 +378,10 @@ impl Program {
         w.extend_from_slice(&(self.dyn_descs.len() as u16).to_le_bytes());
         for d in &self.dyn_descs {
             match d.site {
-                DynSite::TemplateEntry { template_index, pos } => {
+                DynSite::TemplateEntry {
+                    template_index,
+                    pos,
+                } => {
                     w.push(0);
                     w.extend_from_slice(&template_index.to_le_bytes());
                     w.extend_from_slice(&pos.to_le_bytes());
@@ -636,8 +643,7 @@ impl<'a> Reader<'a> {
 mod tests {
     use super::*;
     use cenn_equations::{
-        DynamicalSystem, Fisher, Heat, HodgkinHuxley, Izhikevich, NavierStokes,
-        ReactionDiffusion,
+        DynamicalSystem, Fisher, Heat, HodgkinHuxley, Izhikevich, NavierStokes, ReactionDiffusion,
     };
 
     #[test]
@@ -725,7 +731,10 @@ mod tests {
 
     #[test]
     fn decode_rejects_garbage() {
-        assert_eq!(Program::decode(b"JUNK").unwrap_err(), ProgramError::BadMagic);
+        assert_eq!(
+            Program::decode(b"JUNK").unwrap_err(),
+            ProgramError::BadMagic
+        );
         assert_eq!(Program::decode(b"CE").unwrap_err(), ProgramError::Truncated);
         let setup = Heat::default().build(64, 64).unwrap();
         let mut bytes = Program::from_model(&setup.model).unwrap().encode();

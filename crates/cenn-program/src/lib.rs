@@ -23,7 +23,7 @@ mod bitstream;
 mod session;
 
 pub use bitstream::{
-    DynDescriptor, DynFactor, DynSite, LutImage, OffsetImage, Program, ProgramError,
-    TemplateImage, BITSTREAM_MAGIC, BITSTREAM_VERSION,
+    DynDescriptor, DynFactor, DynSite, LutImage, OffsetImage, Program, ProgramError, TemplateImage,
+    BITSTREAM_MAGIC, BITSTREAM_VERSION,
 };
 pub use session::{SessionError, SolverSession};

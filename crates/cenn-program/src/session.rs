@@ -81,6 +81,18 @@ impl SolverSession {
         self.cycle = CycleModel::new(mem, self.cycle.pe_config().clone());
     }
 
+    /// Sets the worker-thread count of the functional simulator's tile
+    /// sweeps. Results (states and LUT statistics) are bit-identical for
+    /// any count — see the determinism contract in `DESIGN.md`.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.sim.set_threads(threads);
+    }
+
+    /// Worker threads of the functional simulator.
+    pub fn threads(&self) -> usize {
+        self.sim.threads()
+    }
+
     /// Runs `n` functional steps.
     pub fn run(&mut self, n: u64) {
         self.sim.run(n);
@@ -166,6 +178,28 @@ mod tests {
         assert!(est.time_per_step_s() > 0.0);
         assert!(est.timing().stall_cycles > 0.0);
         assert!(s.program().encoded_len() > 16);
+    }
+
+    #[test]
+    fn threaded_session_matches_serial_states_and_rates() {
+        let setup = Fisher::default().build(32, 32).unwrap();
+        let mut serial = SolverSession::new(setup.model.clone(), MemorySpec::ddr3()).unwrap();
+        let mut par = SolverSession::new(setup.model.clone(), MemorySpec::ddr3()).unwrap();
+        par.set_threads(4);
+        assert_eq!(par.threads(), 4);
+        for (layer, grid) in &setup.initial {
+            serial.sim_mut().set_state_f64(*layer, grid).unwrap();
+            par.sim_mut().set_state_f64(*layer, grid).unwrap();
+        }
+        serial.run(10);
+        par.run(10);
+        for (layer, _) in &setup.initial {
+            assert_eq!(
+                serial.state(*layer).as_slice(),
+                par.state(*layer).as_slice()
+            );
+        }
+        assert_eq!(serial.miss_rates(), par.miss_rates());
     }
 
     #[test]

@@ -8,11 +8,11 @@ use proptest::prelude::*;
 /// Builds a random-ish but valid model on a power-of-two grid.
 fn arb_model() -> impl Strategy<Value = cenn_core::CennModel> {
     (
-        2u32..6,                                 // side exponent: 4..32
-        1usize..4,                               // layers
-        prop::collection::vec(-2.0f64..2.0, 9),  // a template
-        -1.0f64..1.0,                            // offset
-        any::<bool>(),                           // add a dynamic site?
+        2u32..6,                                // side exponent: 4..32
+        1usize..4,                              // layers
+        prop::collection::vec(-2.0f64..2.0, 9), // a template
+        -1.0f64..1.0,                           // offset
+        any::<bool>(),                          // add a dynamic site?
     )
         .prop_map(|(exp, n_layers, weights, z, dynamic)| {
             let side = 1usize << exp;

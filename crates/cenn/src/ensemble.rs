@@ -15,7 +15,7 @@
 
 use cenn_arch::{CycleModel, MemorySpec, PeArrayConfig, RunEstimate};
 use cenn_baselines::{gtx850_gpu, StencilWorkload};
-use cenn_core::{Grid, ModelError};
+use cenn_core::{ExecEngine, Grid, ModelError};
 use cenn_equations::{FixedRunner, SystemSetup};
 
 /// One completed ensemble member.
@@ -80,6 +80,7 @@ impl FleetEstimate {
 #[derive(Debug, Default)]
 pub struct Ensemble {
     members: Vec<(String, SystemSetup)>,
+    engine: ExecEngine,
 }
 
 impl Ensemble {
@@ -92,6 +93,19 @@ impl Ensemble {
     pub fn add(&mut self, label: impl Into<String>, setup: SystemSetup) -> &mut Self {
         self.members.push((label.into(), setup));
         self
+    }
+
+    /// Sets how many members execute concurrently during [`Ensemble::run`].
+    /// Members are fully independent simulations, so results (order
+    /// included) are identical for any thread count.
+    pub fn set_threads(&mut self, threads: usize) -> &mut Self {
+        self.engine = ExecEngine::new(threads);
+        self
+    }
+
+    /// Worker threads used for member execution.
+    pub fn threads(&self) -> usize {
+        self.engine.threads()
     }
 
     /// Number of variants.
@@ -110,9 +124,8 @@ impl Ensemble {
     ///
     /// Propagates [`ModelError`] from runner construction.
     pub fn run(&self, steps: u64) -> Result<Vec<MemberResult>, ModelError> {
-        self.members
-            .iter()
-            .map(|(label, setup)| {
+        self.engine
+            .map(&self.members, |_, (label, setup)| {
                 let mut runner = FixedRunner::new(setup.clone())?;
                 let fired = runner.run(steps);
                 Ok(MemberResult {
@@ -122,6 +135,7 @@ impl Ensemble {
                     miss_rates: runner.miss_rates(),
                 })
             })
+            .into_iter()
             .collect()
     }
 
@@ -220,6 +234,27 @@ mod tests {
         assert!((two.fleet_energy_j - one.fleet_energy_j).abs() < 1e-12);
         assert!(two.speedup() > one.speedup());
         assert!(one.energy_advantage() > 10.0, "fleet wins on energy");
+    }
+
+    #[test]
+    fn concurrent_members_match_serial_bit_for_bit() {
+        let mut e = izh_ensemble();
+        let serial = e.run(400).unwrap();
+        for threads in [2, 4] {
+            e.set_threads(threads);
+            assert_eq!(e.threads(), threads);
+            let par = e.run(400).unwrap();
+            assert_eq!(par.len(), serial.len());
+            for (s, p) in serial.iter().zip(&par) {
+                assert_eq!(s.label, p.label);
+                assert_eq!(s.fired, p.fired);
+                assert_eq!(s.miss_rates, p.miss_rates);
+                for ((sn, sg), (pn, pg)) in s.observed.iter().zip(&p.observed) {
+                    assert_eq!(sn, pn);
+                    assert_eq!(sg.as_slice(), pg.as_slice());
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment resolves crates offline, so the workspace vendors
+//! the subset of criterion's API its benches use: [`Criterion`] with
+//! [`Criterion::sample_size`] and [`Criterion::bench_function`], the
+//! [`Bencher::iter`] timing loop, [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is a deliberately simple median-of-samples wall-clock
+//! timer: each sample runs a batch of iterations sized so a batch takes
+//! roughly a millisecond, and the reported figure is the median per-call
+//! time. There is no warm-up analysis, outlier classification, or HTML
+//! report — output is one line per benchmark on stdout, which is all the
+//! workspace's bench comparisons need.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timing samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        match b.report() {
+            Some(per_iter) => println!("bench: {name:<48} {}", format_duration(per_iter)),
+            None => println!("bench: {name:<48} (no measurement)"),
+        }
+        self
+    }
+}
+
+/// Per-benchmark timing harness handed to the closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Size a batch so one sample spans ~1 ms, bounding timer noise
+        // without letting fast routines run forever.
+        let probe = Instant::now();
+        black_box(routine());
+        let once = probe.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch);
+        }
+    }
+
+    fn report(&self) -> Option<Duration> {
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        sorted.get(sorted.len() / 2).copied()
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:>10.3} s/iter", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:>10.3} ms/iter", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:>10.3} us/iter", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos:>10} ns/iter")
+    }
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, fns..)` or
+/// the `config = ..; targets = ..` long form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        c.bench_function("sum_small", |b| {
+            b.iter(|| (0..64u64).map(black_box).sum::<u64>())
+        });
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(5);
+        targets = tiny_bench
+    }
+
+    #[test]
+    fn group_runs_and_reports() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 4,
+        };
+        b.iter(|| black_box(3u64) * 7);
+        assert_eq!(b.samples.len(), 4);
+        assert!(b.report().is_some());
+    }
+}

@@ -113,7 +113,10 @@ mod tests {
         let narrow: Q16_16 = (0..10_000).map(|_| tiny * half).sum();
         assert_eq!(narrow, Q16_16::ZERO);
         let wide = acc.resolve().to_f64();
-        assert!((wide - 10_000.0 * 0.4 / 65536.0).abs() < 1e-4, "wide={wide}");
+        assert!(
+            (wide - 10_000.0 * 0.4 / 65536.0).abs() < 1e-4,
+            "wide={wide}"
+        );
     }
 
     #[test]

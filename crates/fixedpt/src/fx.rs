@@ -595,7 +595,10 @@ mod tests {
     fn cenn_output_clamps_to_unit_interval() {
         assert_eq!(Q::from_f64(2.0).cenn_output().to_f64(), 1.0);
         assert_eq!(Q::from_f64(-2.0).cenn_output().to_f64(), -1.0);
-        assert_eq!(Q::from_f64(0.3).cenn_output().to_f64(), Q::from_f64(0.3).to_f64());
+        assert_eq!(
+            Q::from_f64(0.3).cenn_output().to_f64(),
+            Q::from_f64(0.3).to_f64()
+        );
     }
 
     #[test]

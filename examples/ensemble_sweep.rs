@@ -38,7 +38,10 @@ fn main() {
     println!("== Izhikevich firing-class sweep on a solver fleet ==");
     println!("{} variants x 64 neurons x {steps} steps\n", ensemble.len());
     let results = ensemble.run(steps).expect("runs");
-    println!("{:<30} {:>8} {:>12} {:>8}", "class", "spikes", "rate (Hz)", "mr_L1");
+    println!(
+        "{:<30} {:>8} {:>12} {:>8}",
+        "class", "spikes", "rate (Hz)", "mr_L1"
+    );
     for r in &results {
         let rate = r.fired as f64 / 64.0 / 0.6; // per neuron per second
         println!(

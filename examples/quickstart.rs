@@ -33,8 +33,7 @@ fn main() {
     );
 
     // 2. Program a solver session (bitstream + functional sim + cycle model).
-    let mut session =
-        SolverSession::new(setup.model.clone(), MemorySpec::ddr3()).expect("session");
+    let mut session = SolverSession::new(setup.model.clone(), MemorySpec::ddr3()).expect("session");
     println!(
         "program bitstream: {} bytes ({} templates, {} LUT bytes)",
         session.program().encoded_len(),
@@ -54,12 +53,19 @@ fn main() {
     render(&session.sim().state_f64(phi));
 
     // 4. Architecture estimates across memory systems.
-    println!("\nper-step estimates (measured miss rates {:?}):", session.miss_rates());
+    println!(
+        "\nper-step estimates (measured miss rates {:?}):",
+        session.miss_rates()
+    );
     println!(
         "{:<10} {:>12} {:>12} {:>10} {:>10}",
         "memory", "time/step", "GOPS", "power W", "GOPS/W"
     );
-    for mem in [MemorySpec::ddr3(), MemorySpec::hmc_ext(), MemorySpec::hmc_int()] {
+    for mem in [
+        MemorySpec::ddr3(),
+        MemorySpec::hmc_ext(),
+        MemorySpec::hmc_int(),
+    ] {
         let name = mem.name;
         session.set_memory(mem);
         let est = session.estimate();

@@ -63,12 +63,14 @@ fn main() {
         println!("  n{n:02} {line}");
     }
 
-    println!("\ntotal spikes over {:.0} ms:", BINS as f64 * STEPS_PER_BIN as f64 * 0.25);
+    println!(
+        "\ntotal spikes over {:.0} ms:",
+        BINS as f64 * STEPS_PER_BIN as f64 * 0.25
+    );
     println!("  fixed-point CeNN solver: {fixed_spikes}");
     println!("  f32 reference:           {float_spikes}");
-    let diff = (fixed_spikes as f64 - float_spikes as f64).abs()
-        / float_spikes.max(1) as f64
-        * 100.0;
+    let diff =
+        (fixed_spikes as f64 - float_spikes as f64).abs() / float_spikes.max(1) as f64 * 100.0;
     println!("  spike-count deviation:   {diff:.1}% (paper: 'spikes were well-matched')");
 }
 

@@ -21,7 +21,9 @@ fn main() {
     println!("== Taylor-Green vortex on the CeNN solver ==");
     println!(
         "4 layers: omega (dynamic) + psi/u/v (algebraic); {} dynamic advection taps",
-        setup.model.all_templates(cenn::core::TemplateKind::State)
+        setup
+            .model
+            .all_templates(cenn::core::TemplateKind::State)
             .map(|(_, _, t)| t.wui_count())
             .sum::<usize>()
     );
@@ -31,7 +33,10 @@ fn main() {
     println!("\ninitial vorticity (|omega| max = {w0:.4}):");
     render_signed(&runner.observed_states()[0].1);
 
-    println!("\n{:<8} {:>12} {:>12} {:>8}", "steps", "|omega| sim", "analytic", "err %");
+    println!(
+        "\n{:<8} {:>12} {:>12} {:>8}",
+        "steps", "|omega| sim", "analytic", "err %"
+    );
     for checkpoint in 1..=5 {
         runner.run(60);
         let sim_amp = runner.observed_states()[0].1.max_abs();
@@ -54,8 +59,7 @@ fn main() {
     println!("\nmeasured LUT miss rates: mr_L1 = {mr1:.3}, mr_L2 = {mr2:.3}");
     for mem in [MemorySpec::ddr3(), MemorySpec::hmc_int()] {
         let name = mem.name;
-        let est = CycleModel::new(mem, PeArrayConfig::default())
-            .estimate(&setup.model, (mr1, mr2));
+        let est = CycleModel::new(mem, PeArrayConfig::default()).estimate(&setup.model, (mr1, mr2));
         println!(
             "  {:<8} {:>9.2} us/step, stall fraction {:.1}%",
             name,

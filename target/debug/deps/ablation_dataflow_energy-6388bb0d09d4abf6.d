@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_dataflow_energy-6388bb0d09d4abf6.d: crates/cenn-bench/src/bin/ablation_dataflow_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_dataflow_energy-6388bb0d09d4abf6.rmeta: crates/cenn-bench/src/bin/ablation_dataflow_energy.rs Cargo.toml
+
+crates/cenn-bench/src/bin/ablation_dataflow_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dataflow_energy-b3941c25b30abceb.d: crates/cenn-bench/src/bin/ablation_dataflow_energy.rs
+
+/root/repo/target/debug/deps/ablation_dataflow_energy-b3941c25b30abceb: crates/cenn-bench/src/bin/ablation_dataflow_energy.rs
+
+crates/cenn-bench/src/bin/ablation_dataflow_energy.rs:

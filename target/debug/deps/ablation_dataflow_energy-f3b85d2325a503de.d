@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_dataflow_energy-f3b85d2325a503de.d: crates/cenn-bench/src/bin/ablation_dataflow_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_dataflow_energy-f3b85d2325a503de.rmeta: crates/cenn-bench/src/bin/ablation_dataflow_energy.rs Cargo.toml
+
+crates/cenn-bench/src/bin/ablation_dataflow_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

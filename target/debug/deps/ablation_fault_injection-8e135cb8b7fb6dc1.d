@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_fault_injection-8e135cb8b7fb6dc1.d: crates/cenn-bench/src/bin/ablation_fault_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_fault_injection-8e135cb8b7fb6dc1.rmeta: crates/cenn-bench/src/bin/ablation_fault_injection.rs Cargo.toml
+
+crates/cenn-bench/src/bin/ablation_fault_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_fault_injection-8fe7b6efb782d136.d: crates/cenn-bench/src/bin/ablation_fault_injection.rs
+
+/root/repo/target/debug/deps/ablation_fault_injection-8fe7b6efb782d136: crates/cenn-bench/src/bin/ablation_fault_injection.rs
+
+crates/cenn-bench/src/bin/ablation_fault_injection.rs:

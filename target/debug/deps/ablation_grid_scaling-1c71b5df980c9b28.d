@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_grid_scaling-1c71b5df980c9b28.d: crates/cenn-bench/src/bin/ablation_grid_scaling.rs
+
+/root/repo/target/debug/deps/ablation_grid_scaling-1c71b5df980c9b28: crates/cenn-bench/src/bin/ablation_grid_scaling.rs
+
+crates/cenn-bench/src/bin/ablation_grid_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_grid_scaling-758a7f74b39eb71c.d: crates/cenn-bench/src/bin/ablation_grid_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_grid_scaling-758a7f74b39eb71c.rmeta: crates/cenn-bench/src/bin/ablation_grid_scaling.rs Cargo.toml
+
+crates/cenn-bench/src/bin/ablation_grid_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

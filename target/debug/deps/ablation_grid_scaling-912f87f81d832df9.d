@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_grid_scaling-912f87f81d832df9.d: crates/cenn-bench/src/bin/ablation_grid_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_grid_scaling-912f87f81d832df9.rmeta: crates/cenn-bench/src/bin/ablation_grid_scaling.rs Cargo.toml
+
+crates/cenn-bench/src/bin/ablation_grid_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_integrator-21ae69d248d28798.d: crates/cenn-bench/src/bin/ablation_integrator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_integrator-21ae69d248d28798.rmeta: crates/cenn-bench/src/bin/ablation_integrator.rs Cargo.toml
+
+crates/cenn-bench/src/bin/ablation_integrator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_integrator-27391171b6a05ea3.d: crates/cenn-bench/src/bin/ablation_integrator.rs
+
+/root/repo/target/debug/deps/ablation_integrator-27391171b6a05ea3: crates/cenn-bench/src/bin/ablation_integrator.rs
+
+crates/cenn-bench/src/bin/ablation_integrator.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_lut_spacing-2ffb7e00557e4964.d: crates/cenn-bench/src/bin/ablation_lut_spacing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_lut_spacing-2ffb7e00557e4964.rmeta: crates/cenn-bench/src/bin/ablation_lut_spacing.rs Cargo.toml
+
+crates/cenn-bench/src/bin/ablation_lut_spacing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_lut_spacing-5b8c478f712f241b.d: crates/cenn-bench/src/bin/ablation_lut_spacing.rs
+
+/root/repo/target/debug/deps/ablation_lut_spacing-5b8c478f712f241b: crates/cenn-bench/src/bin/ablation_lut_spacing.rs
+
+crates/cenn-bench/src/bin/ablation_lut_spacing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_pe_array-96cf02241a27b430.d: crates/cenn-bench/src/bin/ablation_pe_array.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_pe_array-96cf02241a27b430.rmeta: crates/cenn-bench/src/bin/ablation_pe_array.rs Cargo.toml
+
+crates/cenn-bench/src/bin/ablation_pe_array.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_pe_array-9dab4d420bab1ccf.d: crates/cenn-bench/src/bin/ablation_pe_array.rs
+
+/root/repo/target/debug/deps/ablation_pe_array-9dab4d420bab1ccf: crates/cenn-bench/src/bin/ablation_pe_array.rs
+
+crates/cenn-bench/src/bin/ablation_pe_array.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accuracy-22aff3d33dfc837d.d: crates/cenn/../../tests/accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccuracy-22aff3d33dfc837d.rmeta: crates/cenn/../../tests/accuracy.rs Cargo.toml
+
+crates/cenn/../../tests/accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

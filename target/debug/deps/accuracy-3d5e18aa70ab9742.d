@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accuracy-3d5e18aa70ab9742.d: crates/cenn/../../tests/accuracy.rs
+
+/root/repo/target/debug/deps/accuracy-3d5e18aa70ab9742: crates/cenn/../../tests/accuracy.rs
+
+crates/cenn/../../tests/accuracy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/apps-9418febbfd323ba4.d: crates/cenn/../../tests/apps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapps-9418febbfd323ba4.rmeta: crates/cenn/../../tests/apps.rs Cargo.toml
+
+crates/cenn/../../tests/apps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

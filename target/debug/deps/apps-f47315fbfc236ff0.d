@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/apps-f47315fbfc236ff0.d: crates/cenn/../../tests/apps.rs
+
+/root/repo/target/debug/deps/apps-f47315fbfc236ff0: crates/cenn/../../tests/apps.rs
+
+crates/cenn/../../tests/apps.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/architecture-12ffa4f7f9b1b50b.d: crates/cenn-bench/benches/architecture.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarchitecture-12ffa4f7f9b1b50b.rmeta: crates/cenn-bench/benches/architecture.rs Cargo.toml
+
+crates/cenn-bench/benches/architecture.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

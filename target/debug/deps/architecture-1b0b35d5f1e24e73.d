@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/architecture-1b0b35d5f1e24e73.d: crates/cenn/../../tests/architecture.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarchitecture-1b0b35d5f1e24e73.rmeta: crates/cenn/../../tests/architecture.rs Cargo.toml
+
+crates/cenn/../../tests/architecture.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

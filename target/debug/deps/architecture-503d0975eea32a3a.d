@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/architecture-503d0975eea32a3a.d: crates/cenn/../../tests/architecture.rs
+
+/root/repo/target/debug/deps/architecture-503d0975eea32a3a: crates/cenn/../../tests/architecture.rs
+
+crates/cenn/../../tests/architecture.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/cenn-54cfa717c39947da.d: crates/cenn-cli/src/main.rs crates/cenn-cli/src/cli.rs
+
+/root/repo/target/debug/deps/cenn-54cfa717c39947da: crates/cenn-cli/src/main.rs crates/cenn-cli/src/cli.rs
+
+crates/cenn-cli/src/main.rs:
+crates/cenn-cli/src/cli.rs:

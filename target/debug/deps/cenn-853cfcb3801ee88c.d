@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cenn-853cfcb3801ee88c.d: crates/cenn/src/lib.rs crates/cenn/src/ensemble.rs crates/cenn/src/render.rs
+
+/root/repo/target/debug/deps/libcenn-853cfcb3801ee88c.rlib: crates/cenn/src/lib.rs crates/cenn/src/ensemble.rs crates/cenn/src/render.rs
+
+/root/repo/target/debug/deps/libcenn-853cfcb3801ee88c.rmeta: crates/cenn/src/lib.rs crates/cenn/src/ensemble.rs crates/cenn/src/render.rs
+
+crates/cenn/src/lib.rs:
+crates/cenn/src/ensemble.rs:
+crates/cenn/src/render.rs:

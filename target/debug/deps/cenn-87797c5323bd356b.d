@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cenn-87797c5323bd356b.d: crates/cenn-cli/src/main.rs crates/cenn-cli/src/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcenn-87797c5323bd356b.rmeta: crates/cenn-cli/src/main.rs crates/cenn-cli/src/cli.rs Cargo.toml
+
+crates/cenn-cli/src/main.rs:
+crates/cenn-cli/src/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cenn-c6363eb9b156bc64.d: crates/cenn/src/lib.rs crates/cenn/src/ensemble.rs crates/cenn/src/render.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcenn-c6363eb9b156bc64.rmeta: crates/cenn/src/lib.rs crates/cenn/src/ensemble.rs crates/cenn/src/render.rs Cargo.toml
+
+crates/cenn/src/lib.rs:
+crates/cenn/src/ensemble.rs:
+crates/cenn/src/render.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cenn-d1a761bd4a98f6e6.d: crates/cenn/src/lib.rs crates/cenn/src/ensemble.rs crates/cenn/src/render.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcenn-d1a761bd4a98f6e6.rmeta: crates/cenn/src/lib.rs crates/cenn/src/ensemble.rs crates/cenn/src/render.rs Cargo.toml
+
+crates/cenn/src/lib.rs:
+crates/cenn/src/ensemble.rs:
+crates/cenn/src/render.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

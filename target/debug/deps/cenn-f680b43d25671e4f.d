@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cenn-f680b43d25671e4f.d: crates/cenn/src/lib.rs crates/cenn/src/ensemble.rs crates/cenn/src/render.rs
+
+/root/repo/target/debug/deps/cenn-f680b43d25671e4f: crates/cenn/src/lib.rs crates/cenn/src/ensemble.rs crates/cenn/src/render.rs
+
+crates/cenn/src/lib.rs:
+crates/cenn/src/ensemble.rs:
+crates/cenn/src/render.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cenn_apps-3cdc66a72d5a0729.d: crates/cenn-apps/src/lib.rs crates/cenn-apps/src/image.rs crates/cenn-apps/src/oscillators.rs crates/cenn-apps/src/pathplan.rs
+
+/root/repo/target/debug/deps/cenn_apps-3cdc66a72d5a0729: crates/cenn-apps/src/lib.rs crates/cenn-apps/src/image.rs crates/cenn-apps/src/oscillators.rs crates/cenn-apps/src/pathplan.rs
+
+crates/cenn-apps/src/lib.rs:
+crates/cenn-apps/src/image.rs:
+crates/cenn-apps/src/oscillators.rs:
+crates/cenn-apps/src/pathplan.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cenn_apps-55efd217c5df669d.d: crates/cenn-apps/src/lib.rs crates/cenn-apps/src/image.rs crates/cenn-apps/src/oscillators.rs crates/cenn-apps/src/pathplan.rs
+
+/root/repo/target/debug/deps/libcenn_apps-55efd217c5df669d.rlib: crates/cenn-apps/src/lib.rs crates/cenn-apps/src/image.rs crates/cenn-apps/src/oscillators.rs crates/cenn-apps/src/pathplan.rs
+
+/root/repo/target/debug/deps/libcenn_apps-55efd217c5df669d.rmeta: crates/cenn-apps/src/lib.rs crates/cenn-apps/src/image.rs crates/cenn-apps/src/oscillators.rs crates/cenn-apps/src/pathplan.rs
+
+crates/cenn-apps/src/lib.rs:
+crates/cenn-apps/src/image.rs:
+crates/cenn-apps/src/oscillators.rs:
+crates/cenn-apps/src/pathplan.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cenn_apps-ad322729d7bb626d.d: crates/cenn-apps/src/lib.rs crates/cenn-apps/src/image.rs crates/cenn-apps/src/oscillators.rs crates/cenn-apps/src/pathplan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcenn_apps-ad322729d7bb626d.rmeta: crates/cenn-apps/src/lib.rs crates/cenn-apps/src/image.rs crates/cenn-apps/src/oscillators.rs crates/cenn-apps/src/pathplan.rs Cargo.toml
+
+crates/cenn-apps/src/lib.rs:
+crates/cenn-apps/src/image.rs:
+crates/cenn-apps/src/oscillators.rs:
+crates/cenn-apps/src/pathplan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cenn_arch-4cb40b7aa31b4a6f.d: crates/cenn-arch/src/lib.rs crates/cenn-arch/src/banks.rs crates/cenn-arch/src/cycle.rs crates/cenn-arch/src/dataflow.rs crates/cenn-arch/src/energy.rs crates/cenn-arch/src/memory.rs crates/cenn-arch/src/pe.rs crates/cenn-arch/src/schedule.rs crates/cenn-arch/src/trace.rs
+
+/root/repo/target/debug/deps/libcenn_arch-4cb40b7aa31b4a6f.rlib: crates/cenn-arch/src/lib.rs crates/cenn-arch/src/banks.rs crates/cenn-arch/src/cycle.rs crates/cenn-arch/src/dataflow.rs crates/cenn-arch/src/energy.rs crates/cenn-arch/src/memory.rs crates/cenn-arch/src/pe.rs crates/cenn-arch/src/schedule.rs crates/cenn-arch/src/trace.rs
+
+/root/repo/target/debug/deps/libcenn_arch-4cb40b7aa31b4a6f.rmeta: crates/cenn-arch/src/lib.rs crates/cenn-arch/src/banks.rs crates/cenn-arch/src/cycle.rs crates/cenn-arch/src/dataflow.rs crates/cenn-arch/src/energy.rs crates/cenn-arch/src/memory.rs crates/cenn-arch/src/pe.rs crates/cenn-arch/src/schedule.rs crates/cenn-arch/src/trace.rs
+
+crates/cenn-arch/src/lib.rs:
+crates/cenn-arch/src/banks.rs:
+crates/cenn-arch/src/cycle.rs:
+crates/cenn-arch/src/dataflow.rs:
+crates/cenn-arch/src/energy.rs:
+crates/cenn-arch/src/memory.rs:
+crates/cenn-arch/src/pe.rs:
+crates/cenn-arch/src/schedule.rs:
+crates/cenn-arch/src/trace.rs:

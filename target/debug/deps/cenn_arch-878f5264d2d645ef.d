@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/cenn_arch-878f5264d2d645ef.d: crates/cenn-arch/src/lib.rs crates/cenn-arch/src/banks.rs crates/cenn-arch/src/cycle.rs crates/cenn-arch/src/dataflow.rs crates/cenn-arch/src/energy.rs crates/cenn-arch/src/memory.rs crates/cenn-arch/src/pe.rs crates/cenn-arch/src/schedule.rs crates/cenn-arch/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcenn_arch-878f5264d2d645ef.rmeta: crates/cenn-arch/src/lib.rs crates/cenn-arch/src/banks.rs crates/cenn-arch/src/cycle.rs crates/cenn-arch/src/dataflow.rs crates/cenn-arch/src/energy.rs crates/cenn-arch/src/memory.rs crates/cenn-arch/src/pe.rs crates/cenn-arch/src/schedule.rs crates/cenn-arch/src/trace.rs Cargo.toml
+
+crates/cenn-arch/src/lib.rs:
+crates/cenn-arch/src/banks.rs:
+crates/cenn-arch/src/cycle.rs:
+crates/cenn-arch/src/dataflow.rs:
+crates/cenn-arch/src/energy.rs:
+crates/cenn-arch/src/memory.rs:
+crates/cenn-arch/src/pe.rs:
+crates/cenn-arch/src/schedule.rs:
+crates/cenn-arch/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/cenn_arch-c3162b934d2a2d50.d: crates/cenn-arch/src/lib.rs crates/cenn-arch/src/banks.rs crates/cenn-arch/src/cycle.rs crates/cenn-arch/src/dataflow.rs crates/cenn-arch/src/energy.rs crates/cenn-arch/src/memory.rs crates/cenn-arch/src/pe.rs crates/cenn-arch/src/schedule.rs crates/cenn-arch/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcenn_arch-c3162b934d2a2d50.rmeta: crates/cenn-arch/src/lib.rs crates/cenn-arch/src/banks.rs crates/cenn-arch/src/cycle.rs crates/cenn-arch/src/dataflow.rs crates/cenn-arch/src/energy.rs crates/cenn-arch/src/memory.rs crates/cenn-arch/src/pe.rs crates/cenn-arch/src/schedule.rs crates/cenn-arch/src/trace.rs Cargo.toml
+
+crates/cenn-arch/src/lib.rs:
+crates/cenn-arch/src/banks.rs:
+crates/cenn-arch/src/cycle.rs:
+crates/cenn-arch/src/dataflow.rs:
+crates/cenn-arch/src/energy.rs:
+crates/cenn-arch/src/memory.rs:
+crates/cenn-arch/src/pe.rs:
+crates/cenn-arch/src/schedule.rs:
+crates/cenn-arch/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

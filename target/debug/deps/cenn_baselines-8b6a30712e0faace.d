@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cenn_baselines-8b6a30712e0faace.d: crates/cenn-baselines/src/lib.rs crates/cenn-baselines/src/accuracy.rs crates/cenn-baselines/src/float_sim.rs crates/cenn-baselines/src/perf_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcenn_baselines-8b6a30712e0faace.rmeta: crates/cenn-baselines/src/lib.rs crates/cenn-baselines/src/accuracy.rs crates/cenn-baselines/src/float_sim.rs crates/cenn-baselines/src/perf_model.rs Cargo.toml
+
+crates/cenn-baselines/src/lib.rs:
+crates/cenn-baselines/src/accuracy.rs:
+crates/cenn-baselines/src/float_sim.rs:
+crates/cenn-baselines/src/perf_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

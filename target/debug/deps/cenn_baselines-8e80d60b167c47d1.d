@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cenn_baselines-8e80d60b167c47d1.d: crates/cenn-baselines/src/lib.rs crates/cenn-baselines/src/accuracy.rs crates/cenn-baselines/src/float_sim.rs crates/cenn-baselines/src/perf_model.rs
+
+/root/repo/target/debug/deps/cenn_baselines-8e80d60b167c47d1: crates/cenn-baselines/src/lib.rs crates/cenn-baselines/src/accuracy.rs crates/cenn-baselines/src/float_sim.rs crates/cenn-baselines/src/perf_model.rs
+
+crates/cenn-baselines/src/lib.rs:
+crates/cenn-baselines/src/accuracy.rs:
+crates/cenn-baselines/src/float_sim.rs:
+crates/cenn-baselines/src/perf_model.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cenn_baselines-be0b796054c6ff65.d: crates/cenn-baselines/src/lib.rs crates/cenn-baselines/src/accuracy.rs crates/cenn-baselines/src/float_sim.rs crates/cenn-baselines/src/perf_model.rs
+
+/root/repo/target/debug/deps/libcenn_baselines-be0b796054c6ff65.rlib: crates/cenn-baselines/src/lib.rs crates/cenn-baselines/src/accuracy.rs crates/cenn-baselines/src/float_sim.rs crates/cenn-baselines/src/perf_model.rs
+
+/root/repo/target/debug/deps/libcenn_baselines-be0b796054c6ff65.rmeta: crates/cenn-baselines/src/lib.rs crates/cenn-baselines/src/accuracy.rs crates/cenn-baselines/src/float_sim.rs crates/cenn-baselines/src/perf_model.rs
+
+crates/cenn-baselines/src/lib.rs:
+crates/cenn-baselines/src/accuracy.rs:
+crates/cenn-baselines/src/float_sim.rs:
+crates/cenn-baselines/src/perf_model.rs:

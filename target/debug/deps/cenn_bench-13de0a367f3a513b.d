@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cenn_bench-13de0a367f3a513b.d: crates/cenn-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcenn_bench-13de0a367f3a513b.rlib: crates/cenn-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcenn_bench-13de0a367f3a513b.rmeta: crates/cenn-bench/src/lib.rs
+
+crates/cenn-bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cenn_bench-79224fbaa9346eb8.d: crates/cenn-bench/src/lib.rs
+
+/root/repo/target/debug/deps/cenn_bench-79224fbaa9346eb8: crates/cenn-bench/src/lib.rs
+
+crates/cenn-bench/src/lib.rs:

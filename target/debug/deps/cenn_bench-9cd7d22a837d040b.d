@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cenn_bench-9cd7d22a837d040b.d: crates/cenn-bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcenn_bench-9cd7d22a837d040b.rmeta: crates/cenn-bench/src/lib.rs Cargo.toml
+
+crates/cenn-bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

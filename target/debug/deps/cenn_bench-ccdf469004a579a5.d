@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cenn_bench-ccdf469004a579a5.d: crates/cenn-bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcenn_bench-ccdf469004a579a5.rmeta: crates/cenn-bench/src/lib.rs Cargo.toml
+
+crates/cenn-bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/cenn_core-ae286d953b12a3e2.d: crates/cenn-core/src/lib.rs crates/cenn-core/src/boundary.rs crates/cenn-core/src/error.rs crates/cenn-core/src/exec.rs crates/cenn-core/src/grid.rs crates/cenn-core/src/layer.rs crates/cenn-core/src/mapping.rs crates/cenn-core/src/model.rs crates/cenn-core/src/sim.rs crates/cenn-core/src/template.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcenn_core-ae286d953b12a3e2.rmeta: crates/cenn-core/src/lib.rs crates/cenn-core/src/boundary.rs crates/cenn-core/src/error.rs crates/cenn-core/src/exec.rs crates/cenn-core/src/grid.rs crates/cenn-core/src/layer.rs crates/cenn-core/src/mapping.rs crates/cenn-core/src/model.rs crates/cenn-core/src/sim.rs crates/cenn-core/src/template.rs Cargo.toml
+
+crates/cenn-core/src/lib.rs:
+crates/cenn-core/src/boundary.rs:
+crates/cenn-core/src/error.rs:
+crates/cenn-core/src/exec.rs:
+crates/cenn-core/src/grid.rs:
+crates/cenn-core/src/layer.rs:
+crates/cenn-core/src/mapping.rs:
+crates/cenn-core/src/model.rs:
+crates/cenn-core/src/sim.rs:
+crates/cenn-core/src/template.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

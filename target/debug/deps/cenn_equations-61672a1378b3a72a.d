@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/cenn_equations-61672a1378b3a72a.d: crates/cenn-equations/src/lib.rs crates/cenn-equations/src/burgers.rs crates/cenn-equations/src/driver.rs crates/cenn-equations/src/fisher.rs crates/cenn-equations/src/gray_scott.rs crates/cenn-equations/src/heat.rs crates/cenn-equations/src/hodgkin_huxley.rs crates/cenn-equations/src/izhikevich.rs crates/cenn-equations/src/navier_stokes.rs crates/cenn-equations/src/rd.rs crates/cenn-equations/src/system.rs crates/cenn-equations/src/wave.rs
+
+/root/repo/target/debug/deps/libcenn_equations-61672a1378b3a72a.rlib: crates/cenn-equations/src/lib.rs crates/cenn-equations/src/burgers.rs crates/cenn-equations/src/driver.rs crates/cenn-equations/src/fisher.rs crates/cenn-equations/src/gray_scott.rs crates/cenn-equations/src/heat.rs crates/cenn-equations/src/hodgkin_huxley.rs crates/cenn-equations/src/izhikevich.rs crates/cenn-equations/src/navier_stokes.rs crates/cenn-equations/src/rd.rs crates/cenn-equations/src/system.rs crates/cenn-equations/src/wave.rs
+
+/root/repo/target/debug/deps/libcenn_equations-61672a1378b3a72a.rmeta: crates/cenn-equations/src/lib.rs crates/cenn-equations/src/burgers.rs crates/cenn-equations/src/driver.rs crates/cenn-equations/src/fisher.rs crates/cenn-equations/src/gray_scott.rs crates/cenn-equations/src/heat.rs crates/cenn-equations/src/hodgkin_huxley.rs crates/cenn-equations/src/izhikevich.rs crates/cenn-equations/src/navier_stokes.rs crates/cenn-equations/src/rd.rs crates/cenn-equations/src/system.rs crates/cenn-equations/src/wave.rs
+
+crates/cenn-equations/src/lib.rs:
+crates/cenn-equations/src/burgers.rs:
+crates/cenn-equations/src/driver.rs:
+crates/cenn-equations/src/fisher.rs:
+crates/cenn-equations/src/gray_scott.rs:
+crates/cenn-equations/src/heat.rs:
+crates/cenn-equations/src/hodgkin_huxley.rs:
+crates/cenn-equations/src/izhikevich.rs:
+crates/cenn-equations/src/navier_stokes.rs:
+crates/cenn-equations/src/rd.rs:
+crates/cenn-equations/src/system.rs:
+crates/cenn-equations/src/wave.rs:

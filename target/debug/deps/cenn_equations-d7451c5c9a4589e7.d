@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/cenn_equations-d7451c5c9a4589e7.d: crates/cenn-equations/src/lib.rs crates/cenn-equations/src/burgers.rs crates/cenn-equations/src/driver.rs crates/cenn-equations/src/fisher.rs crates/cenn-equations/src/gray_scott.rs crates/cenn-equations/src/heat.rs crates/cenn-equations/src/hodgkin_huxley.rs crates/cenn-equations/src/izhikevich.rs crates/cenn-equations/src/navier_stokes.rs crates/cenn-equations/src/rd.rs crates/cenn-equations/src/system.rs crates/cenn-equations/src/wave.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcenn_equations-d7451c5c9a4589e7.rmeta: crates/cenn-equations/src/lib.rs crates/cenn-equations/src/burgers.rs crates/cenn-equations/src/driver.rs crates/cenn-equations/src/fisher.rs crates/cenn-equations/src/gray_scott.rs crates/cenn-equations/src/heat.rs crates/cenn-equations/src/hodgkin_huxley.rs crates/cenn-equations/src/izhikevich.rs crates/cenn-equations/src/navier_stokes.rs crates/cenn-equations/src/rd.rs crates/cenn-equations/src/system.rs crates/cenn-equations/src/wave.rs Cargo.toml
+
+crates/cenn-equations/src/lib.rs:
+crates/cenn-equations/src/burgers.rs:
+crates/cenn-equations/src/driver.rs:
+crates/cenn-equations/src/fisher.rs:
+crates/cenn-equations/src/gray_scott.rs:
+crates/cenn-equations/src/heat.rs:
+crates/cenn-equations/src/hodgkin_huxley.rs:
+crates/cenn-equations/src/izhikevich.rs:
+crates/cenn-equations/src/navier_stokes.rs:
+crates/cenn-equations/src/rd.rs:
+crates/cenn-equations/src/system.rs:
+crates/cenn-equations/src/wave.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

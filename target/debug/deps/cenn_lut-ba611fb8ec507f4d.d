@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/cenn_lut-ba611fb8ec507f4d.d: crates/cenn-lut/src/lib.rs crates/cenn-lut/src/builder.rs crates/cenn-lut/src/entry.rs crates/cenn-lut/src/func.rs crates/cenn-lut/src/funcs.rs crates/cenn-lut/src/hierarchy.rs crates/cenn-lut/src/l1.rs crates/cenn-lut/src/l2.rs crates/cenn-lut/src/shard.rs crates/cenn-lut/src/stats.rs crates/cenn-lut/src/tum.rs
+
+/root/repo/target/debug/deps/libcenn_lut-ba611fb8ec507f4d.rlib: crates/cenn-lut/src/lib.rs crates/cenn-lut/src/builder.rs crates/cenn-lut/src/entry.rs crates/cenn-lut/src/func.rs crates/cenn-lut/src/funcs.rs crates/cenn-lut/src/hierarchy.rs crates/cenn-lut/src/l1.rs crates/cenn-lut/src/l2.rs crates/cenn-lut/src/shard.rs crates/cenn-lut/src/stats.rs crates/cenn-lut/src/tum.rs
+
+/root/repo/target/debug/deps/libcenn_lut-ba611fb8ec507f4d.rmeta: crates/cenn-lut/src/lib.rs crates/cenn-lut/src/builder.rs crates/cenn-lut/src/entry.rs crates/cenn-lut/src/func.rs crates/cenn-lut/src/funcs.rs crates/cenn-lut/src/hierarchy.rs crates/cenn-lut/src/l1.rs crates/cenn-lut/src/l2.rs crates/cenn-lut/src/shard.rs crates/cenn-lut/src/stats.rs crates/cenn-lut/src/tum.rs
+
+crates/cenn-lut/src/lib.rs:
+crates/cenn-lut/src/builder.rs:
+crates/cenn-lut/src/entry.rs:
+crates/cenn-lut/src/func.rs:
+crates/cenn-lut/src/funcs.rs:
+crates/cenn-lut/src/hierarchy.rs:
+crates/cenn-lut/src/l1.rs:
+crates/cenn-lut/src/l2.rs:
+crates/cenn-lut/src/shard.rs:
+crates/cenn-lut/src/stats.rs:
+crates/cenn-lut/src/tum.rs:

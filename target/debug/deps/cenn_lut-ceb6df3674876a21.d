@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/cenn_lut-ceb6df3674876a21.d: crates/cenn-lut/src/lib.rs crates/cenn-lut/src/builder.rs crates/cenn-lut/src/entry.rs crates/cenn-lut/src/func.rs crates/cenn-lut/src/funcs.rs crates/cenn-lut/src/hierarchy.rs crates/cenn-lut/src/l1.rs crates/cenn-lut/src/l2.rs crates/cenn-lut/src/shard.rs crates/cenn-lut/src/stats.rs crates/cenn-lut/src/tum.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcenn_lut-ceb6df3674876a21.rmeta: crates/cenn-lut/src/lib.rs crates/cenn-lut/src/builder.rs crates/cenn-lut/src/entry.rs crates/cenn-lut/src/func.rs crates/cenn-lut/src/funcs.rs crates/cenn-lut/src/hierarchy.rs crates/cenn-lut/src/l1.rs crates/cenn-lut/src/l2.rs crates/cenn-lut/src/shard.rs crates/cenn-lut/src/stats.rs crates/cenn-lut/src/tum.rs Cargo.toml
+
+crates/cenn-lut/src/lib.rs:
+crates/cenn-lut/src/builder.rs:
+crates/cenn-lut/src/entry.rs:
+crates/cenn-lut/src/func.rs:
+crates/cenn-lut/src/funcs.rs:
+crates/cenn-lut/src/hierarchy.rs:
+crates/cenn-lut/src/l1.rs:
+crates/cenn-lut/src/l2.rs:
+crates/cenn-lut/src/shard.rs:
+crates/cenn-lut/src/stats.rs:
+crates/cenn-lut/src/tum.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cenn_program-3a70b92dc1ea1c55.d: crates/cenn-program/src/lib.rs crates/cenn-program/src/bitstream.rs crates/cenn-program/src/session.rs
+
+/root/repo/target/debug/deps/libcenn_program-3a70b92dc1ea1c55.rlib: crates/cenn-program/src/lib.rs crates/cenn-program/src/bitstream.rs crates/cenn-program/src/session.rs
+
+/root/repo/target/debug/deps/libcenn_program-3a70b92dc1ea1c55.rmeta: crates/cenn-program/src/lib.rs crates/cenn-program/src/bitstream.rs crates/cenn-program/src/session.rs
+
+crates/cenn-program/src/lib.rs:
+crates/cenn-program/src/bitstream.rs:
+crates/cenn-program/src/session.rs:

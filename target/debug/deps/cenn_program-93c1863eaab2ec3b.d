@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cenn_program-93c1863eaab2ec3b.d: crates/cenn-program/src/lib.rs crates/cenn-program/src/bitstream.rs crates/cenn-program/src/session.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcenn_program-93c1863eaab2ec3b.rmeta: crates/cenn-program/src/lib.rs crates/cenn-program/src/bitstream.rs crates/cenn-program/src/session.rs Cargo.toml
+
+crates/cenn-program/src/lib.rs:
+crates/cenn-program/src/bitstream.rs:
+crates/cenn-program/src/session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

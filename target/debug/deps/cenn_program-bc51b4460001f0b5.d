@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cenn_program-bc51b4460001f0b5.d: crates/cenn-program/src/lib.rs crates/cenn-program/src/bitstream.rs crates/cenn-program/src/session.rs
+
+/root/repo/target/debug/deps/cenn_program-bc51b4460001f0b5: crates/cenn-program/src/lib.rs crates/cenn-program/src/bitstream.rs crates/cenn-program/src/session.rs
+
+crates/cenn-program/src/lib.rs:
+crates/cenn-program/src/bitstream.rs:
+crates/cenn-program/src/session.rs:

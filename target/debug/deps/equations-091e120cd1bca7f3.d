@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equations-091e120cd1bca7f3.d: crates/cenn-bench/benches/equations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequations-091e120cd1bca7f3.rmeta: crates/cenn-bench/benches/equations.rs Cargo.toml
+
+crates/cenn-bench/benches/equations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

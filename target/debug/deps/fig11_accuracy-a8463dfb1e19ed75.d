@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_accuracy-a8463dfb1e19ed75.d: crates/cenn-bench/src/bin/fig11_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_accuracy-a8463dfb1e19ed75.rmeta: crates/cenn-bench/src/bin/fig11_accuracy.rs Cargo.toml
+
+crates/cenn-bench/src/bin/fig11_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_accuracy-bb32e9abab095187.d: crates/cenn-bench/src/bin/fig11_accuracy.rs
+
+/root/repo/target/debug/deps/fig11_accuracy-bb32e9abab095187: crates/cenn-bench/src/bin/fig11_accuracy.rs
+
+crates/cenn-bench/src/bin/fig11_accuracy.rs:

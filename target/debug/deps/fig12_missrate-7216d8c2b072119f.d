@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_missrate-7216d8c2b072119f.d: crates/cenn-bench/src/bin/fig12_missrate.rs
+
+/root/repo/target/debug/deps/fig12_missrate-7216d8c2b072119f: crates/cenn-bench/src/bin/fig12_missrate.rs
+
+crates/cenn-bench/src/bin/fig12_missrate.rs:

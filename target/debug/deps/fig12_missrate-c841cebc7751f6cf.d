@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_missrate-c841cebc7751f6cf.d: crates/cenn-bench/src/bin/fig12_missrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_missrate-c841cebc7751f6cf.rmeta: crates/cenn-bench/src/bin/fig12_missrate.rs Cargo.toml
+
+crates/cenn-bench/src/bin/fig12_missrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_speedup-2888526eaca13e1d.d: crates/cenn-bench/src/bin/fig13_speedup.rs
+
+/root/repo/target/debug/deps/fig13_speedup-2888526eaca13e1d: crates/cenn-bench/src/bin/fig13_speedup.rs
+
+crates/cenn-bench/src/bin/fig13_speedup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_speedup-6622f29595f106e6.d: crates/cenn-bench/src/bin/fig13_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_speedup-6622f29595f106e6.rmeta: crates/cenn-bench/src/bin/fig13_speedup.rs Cargo.toml
+
+crates/cenn-bench/src/bin/fig13_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_hmc-68ad3ec335261bf9.d: crates/cenn-bench/src/bin/fig14_hmc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_hmc-68ad3ec335261bf9.rmeta: crates/cenn-bench/src/bin/fig14_hmc.rs Cargo.toml
+
+crates/cenn-bench/src/bin/fig14_hmc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_hmc-d8e4b568241733f9.d: crates/cenn-bench/src/bin/fig14_hmc.rs
+
+/root/repo/target/debug/deps/fig14_hmc-d8e4b568241733f9: crates/cenn-bench/src/bin/fig14_hmc.rs
+
+crates/cenn-bench/src/bin/fig14_hmc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_dataflow-18b4452daedc848c.d: crates/cenn-bench/src/bin/fig8_dataflow.rs
+
+/root/repo/target/debug/deps/fig8_dataflow-18b4452daedc848c: crates/cenn-bench/src/bin/fig8_dataflow.rs
+
+crates/cenn-bench/src/bin/fig8_dataflow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_dataflow-b09f6c917ef33a0c.d: crates/cenn-bench/src/bin/fig8_dataflow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_dataflow-b09f6c917ef33a0c.rmeta: crates/cenn-bench/src/bin/fig8_dataflow.rs Cargo.toml
+
+crates/cenn-bench/src/bin/fig8_dataflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_dataflow-cf130d9f2af1b53b.d: crates/cenn-bench/src/bin/fig8_dataflow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_dataflow-cf130d9f2af1b53b.rmeta: crates/cenn-bench/src/bin/fig8_dataflow.rs Cargo.toml
+
+crates/cenn-bench/src/bin/fig8_dataflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fixedpt-0da00054636be3da.d: crates/fixedpt/src/lib.rs crates/fixedpt/src/acc.rs crates/fixedpt/src/fx.rs
+
+/root/repo/target/debug/deps/libfixedpt-0da00054636be3da.rlib: crates/fixedpt/src/lib.rs crates/fixedpt/src/acc.rs crates/fixedpt/src/fx.rs
+
+/root/repo/target/debug/deps/libfixedpt-0da00054636be3da.rmeta: crates/fixedpt/src/lib.rs crates/fixedpt/src/acc.rs crates/fixedpt/src/fx.rs
+
+crates/fixedpt/src/lib.rs:
+crates/fixedpt/src/acc.rs:
+crates/fixedpt/src/fx.rs:

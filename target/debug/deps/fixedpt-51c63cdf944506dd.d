@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fixedpt-51c63cdf944506dd.d: crates/fixedpt/src/lib.rs crates/fixedpt/src/acc.rs crates/fixedpt/src/fx.rs
+
+/root/repo/target/debug/deps/fixedpt-51c63cdf944506dd: crates/fixedpt/src/lib.rs crates/fixedpt/src/acc.rs crates/fixedpt/src/fx.rs
+
+crates/fixedpt/src/lib.rs:
+crates/fixedpt/src/acc.rs:
+crates/fixedpt/src/fx.rs:

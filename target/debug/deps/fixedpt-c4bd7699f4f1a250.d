@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fixedpt-c4bd7699f4f1a250.d: crates/fixedpt/src/lib.rs crates/fixedpt/src/acc.rs crates/fixedpt/src/fx.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfixedpt-c4bd7699f4f1a250.rmeta: crates/fixedpt/src/lib.rs crates/fixedpt/src/acc.rs crates/fixedpt/src/fx.rs Cargo.toml
+
+crates/fixedpt/src/lib.rs:
+crates/fixedpt/src/acc.rs:
+crates/fixedpt/src/fx.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

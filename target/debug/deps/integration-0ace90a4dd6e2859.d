@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-0ace90a4dd6e2859.d: crates/cenn/../../tests/integration.rs
+
+/root/repo/target/debug/deps/integration-0ace90a4dd6e2859: crates/cenn/../../tests/integration.rs
+
+crates/cenn/../../tests/integration.rs:

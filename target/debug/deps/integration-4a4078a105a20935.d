@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration-4a4078a105a20935.d: crates/cenn/../../tests/integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration-4a4078a105a20935.rmeta: crates/cenn/../../tests/integration.rs Cargo.toml
+
+crates/cenn/../../tests/integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

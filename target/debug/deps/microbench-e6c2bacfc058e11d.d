@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/microbench-e6c2bacfc058e11d.d: crates/cenn-bench/benches/microbench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicrobench-e6c2bacfc058e11d.rmeta: crates/cenn-bench/benches/microbench.rs Cargo.toml
+
+crates/cenn-bench/benches/microbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

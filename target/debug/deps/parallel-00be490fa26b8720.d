@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel-00be490fa26b8720.d: crates/cenn/../../tests/parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel-00be490fa26b8720.rmeta: crates/cenn/../../tests/parallel.rs Cargo.toml
+
+crates/cenn/../../tests/parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

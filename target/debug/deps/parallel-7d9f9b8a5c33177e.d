@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel-7d9f9b8a5c33177e.d: crates/cenn/../../tests/parallel.rs
+
+/root/repo/target/debug/deps/parallel-7d9f9b8a5c33177e: crates/cenn/../../tests/parallel.rs
+
+crates/cenn/../../tests/parallel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel-9341857677ded3a6.d: crates/cenn-bench/benches/parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel-9341857677ded3a6.rmeta: crates/cenn-bench/benches/parallel.rs Cargo.toml
+
+crates/cenn-bench/benches/parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

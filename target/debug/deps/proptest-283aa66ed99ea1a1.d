@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-283aa66ed99ea1a1.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-283aa66ed99ea1a1.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-283aa66ed99ea1a1.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

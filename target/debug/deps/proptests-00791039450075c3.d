@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-00791039450075c3.d: crates/cenn-arch/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-00791039450075c3.rmeta: crates/cenn-arch/tests/proptests.rs Cargo.toml
+
+crates/cenn-arch/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-3469adb5a9bd4fee.d: crates/cenn-arch/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-3469adb5a9bd4fee: crates/cenn-arch/tests/proptests.rs
+
+crates/cenn-arch/tests/proptests.rs:

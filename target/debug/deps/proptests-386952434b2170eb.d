@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-386952434b2170eb.d: crates/cenn-equations/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-386952434b2170eb.rmeta: crates/cenn-equations/tests/proptests.rs Cargo.toml
+
+crates/cenn-equations/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-4f13299c73e474f6.d: crates/cenn-equations/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-4f13299c73e474f6: crates/cenn-equations/tests/proptests.rs
+
+crates/cenn-equations/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-52d73a056bc5aeea.d: crates/cenn-program/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-52d73a056bc5aeea.rmeta: crates/cenn-program/tests/proptests.rs Cargo.toml
+
+crates/cenn-program/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-54419d6a124fab9a.d: crates/cenn-core/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-54419d6a124fab9a.rmeta: crates/cenn-core/tests/proptests.rs Cargo.toml
+
+crates/cenn-core/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

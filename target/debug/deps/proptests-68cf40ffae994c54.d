@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-68cf40ffae994c54.d: crates/cenn-baselines/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-68cf40ffae994c54: crates/cenn-baselines/tests/proptests.rs
+
+crates/cenn-baselines/tests/proptests.rs:

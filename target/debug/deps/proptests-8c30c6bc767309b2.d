@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-8c30c6bc767309b2.d: crates/cenn-program/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-8c30c6bc767309b2: crates/cenn-program/tests/proptests.rs
+
+crates/cenn-program/tests/proptests.rs:

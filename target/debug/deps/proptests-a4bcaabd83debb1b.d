@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-a4bcaabd83debb1b.d: crates/cenn-baselines/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-a4bcaabd83debb1b.rmeta: crates/cenn-baselines/tests/proptests.rs Cargo.toml
+
+crates/cenn-baselines/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a90a9d47846e85cf.d: crates/cenn-core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a90a9d47846e85cf: crates/cenn-core/tests/proptests.rs
+
+crates/cenn-core/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-bc3ac3bc7f5812ad.d: crates/fixedpt/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-bc3ac3bc7f5812ad.rmeta: crates/fixedpt/tests/proptests.rs Cargo.toml
+
+crates/fixedpt/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

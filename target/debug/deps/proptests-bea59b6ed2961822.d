@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-bea59b6ed2961822.d: crates/fixedpt/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-bea59b6ed2961822: crates/fixedpt/tests/proptests.rs
+
+crates/fixedpt/tests/proptests.rs:

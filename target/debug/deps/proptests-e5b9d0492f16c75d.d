@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e5b9d0492f16c75d.d: crates/cenn-lut/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e5b9d0492f16c75d: crates/cenn-lut/tests/proptests.rs
+
+crates/cenn-lut/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-f33c478f190d1b77.d: crates/cenn-lut/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-f33c478f190d1b77.rmeta: crates/cenn-lut/tests/proptests.rs Cargo.toml
+
+crates/cenn-lut/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

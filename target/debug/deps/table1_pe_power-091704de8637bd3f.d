@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_pe_power-091704de8637bd3f.d: crates/cenn-bench/src/bin/table1_pe_power.rs
+
+/root/repo/target/debug/deps/table1_pe_power-091704de8637bd3f: crates/cenn-bench/src/bin/table1_pe_power.rs
+
+crates/cenn-bench/src/bin/table1_pe_power.rs:

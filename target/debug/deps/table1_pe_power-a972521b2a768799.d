@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_pe_power-a972521b2a768799.d: crates/cenn-bench/src/bin/table1_pe_power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_pe_power-a972521b2a768799.rmeta: crates/cenn-bench/src/bin/table1_pe_power.rs Cargo.toml
+
+crates/cenn-bench/src/bin/table1_pe_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

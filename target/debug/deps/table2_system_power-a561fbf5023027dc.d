@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_system_power-a561fbf5023027dc.d: crates/cenn-bench/src/bin/table2_system_power.rs
+
+/root/repo/target/debug/deps/table2_system_power-a561fbf5023027dc: crates/cenn-bench/src/bin/table2_system_power.rs
+
+crates/cenn-bench/src/bin/table2_system_power.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_system_power-f56fb8f3c5d31b9e.d: crates/cenn-bench/src/bin/table2_system_power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_system_power-f56fb8f3c5d31b9e.rmeta: crates/cenn-bench/src/bin/table2_system_power.rs Cargo.toml
+
+crates/cenn-bench/src/bin/table2_system_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

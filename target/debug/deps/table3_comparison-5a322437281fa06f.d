@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_comparison-5a322437281fa06f.d: crates/cenn-bench/src/bin/table3_comparison.rs
+
+/root/repo/target/debug/deps/table3_comparison-5a322437281fa06f: crates/cenn-bench/src/bin/table3_comparison.rs
+
+crates/cenn-bench/src/bin/table3_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_comparison-adbbb0113530dab5.d: crates/cenn-bench/src/bin/table3_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_comparison-adbbb0113530dab5.rmeta: crates/cenn-bench/src/bin/table3_comparison.rs Cargo.toml
+
+crates/cenn-bench/src/bin/table3_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/validate_cycle_model-3de6a20e687eec61.d: crates/cenn-bench/src/bin/validate_cycle_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalidate_cycle_model-3de6a20e687eec61.rmeta: crates/cenn-bench/src/bin/validate_cycle_model.rs Cargo.toml
+
+crates/cenn-bench/src/bin/validate_cycle_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

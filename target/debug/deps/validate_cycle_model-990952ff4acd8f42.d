@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/validate_cycle_model-990952ff4acd8f42.d: crates/cenn-bench/src/bin/validate_cycle_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalidate_cycle_model-990952ff4acd8f42.rmeta: crates/cenn-bench/src/bin/validate_cycle_model.rs Cargo.toml
+
+crates/cenn-bench/src/bin/validate_cycle_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

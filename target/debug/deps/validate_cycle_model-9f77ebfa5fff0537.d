@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validate_cycle_model-9f77ebfa5fff0537.d: crates/cenn-bench/src/bin/validate_cycle_model.rs
+
+/root/repo/target/debug/deps/validate_cycle_model-9f77ebfa5fff0537: crates/cenn-bench/src/bin/validate_cycle_model.rs
+
+crates/cenn-bench/src/bin/validate_cycle_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ensemble_sweep-d2cc5c13a36cf023.d: crates/cenn/../../examples/ensemble_sweep.rs
+
+/root/repo/target/debug/examples/ensemble_sweep-d2cc5c13a36cf023: crates/cenn/../../examples/ensemble_sweep.rs
+
+crates/cenn/../../examples/ensemble_sweep.rs:

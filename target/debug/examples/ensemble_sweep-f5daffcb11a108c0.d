@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ensemble_sweep-f5daffcb11a108c0.d: crates/cenn/../../examples/ensemble_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libensemble_sweep-f5daffcb11a108c0.rmeta: crates/cenn/../../examples/ensemble_sweep.rs Cargo.toml
+
+crates/cenn/../../examples/ensemble_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/image_pipeline-5c5e3cf113836f5a.d: crates/cenn/../../examples/image_pipeline.rs
+
+/root/repo/target/debug/examples/image_pipeline-5c5e3cf113836f5a: crates/cenn/../../examples/image_pipeline.rs
+
+crates/cenn/../../examples/image_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/image_pipeline-9eb8a235c08efc79.d: crates/cenn/../../examples/image_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libimage_pipeline-9eb8a235c08efc79.rmeta: crates/cenn/../../examples/image_pipeline.rs Cargo.toml
+
+crates/cenn/../../examples/image_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

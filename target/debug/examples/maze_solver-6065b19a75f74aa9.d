@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/maze_solver-6065b19a75f74aa9.d: crates/cenn/../../examples/maze_solver.rs
+
+/root/repo/target/debug/examples/maze_solver-6065b19a75f74aa9: crates/cenn/../../examples/maze_solver.rs
+
+crates/cenn/../../examples/maze_solver.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/maze_solver-b1d0b94dfa3c8948.d: crates/cenn/../../examples/maze_solver.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmaze_solver-b1d0b94dfa3c8948.rmeta: crates/cenn/../../examples/maze_solver.rs Cargo.toml
+
+crates/cenn/../../examples/maze_solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

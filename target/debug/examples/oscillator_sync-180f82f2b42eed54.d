@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/oscillator_sync-180f82f2b42eed54.d: crates/cenn/../../examples/oscillator_sync.rs
+
+/root/repo/target/debug/examples/oscillator_sync-180f82f2b42eed54: crates/cenn/../../examples/oscillator_sync.rs
+
+crates/cenn/../../examples/oscillator_sync.rs:

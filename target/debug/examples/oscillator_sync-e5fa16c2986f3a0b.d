@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/oscillator_sync-e5fa16c2986f3a0b.d: crates/cenn/../../examples/oscillator_sync.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboscillator_sync-e5fa16c2986f3a0b.rmeta: crates/cenn/../../examples/oscillator_sync.rs Cargo.toml
+
+crates/cenn/../../examples/oscillator_sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

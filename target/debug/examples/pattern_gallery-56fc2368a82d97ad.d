@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pattern_gallery-56fc2368a82d97ad.d: crates/cenn/../../examples/pattern_gallery.rs
+
+/root/repo/target/debug/examples/pattern_gallery-56fc2368a82d97ad: crates/cenn/../../examples/pattern_gallery.rs
+
+crates/cenn/../../examples/pattern_gallery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pattern_gallery-e47375220a59068a.d: crates/cenn/../../examples/pattern_gallery.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpattern_gallery-e47375220a59068a.rmeta: crates/cenn/../../examples/pattern_gallery.rs Cargo.toml
+
+crates/cenn/../../examples/pattern_gallery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

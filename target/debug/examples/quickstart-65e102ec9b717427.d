@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-65e102ec9b717427.d: crates/cenn/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-65e102ec9b717427: crates/cenn/../../examples/quickstart.rs
+
+crates/cenn/../../examples/quickstart.rs:

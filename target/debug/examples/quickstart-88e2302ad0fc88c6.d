@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-88e2302ad0fc88c6.d: crates/cenn/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-88e2302ad0fc88c6.rmeta: crates/cenn/../../examples/quickstart.rs Cargo.toml
+
+crates/cenn/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/spiking_cortex-bd9c63c7cd6cc684.d: crates/cenn/../../examples/spiking_cortex.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspiking_cortex-bd9c63c7cd6cc684.rmeta: crates/cenn/../../examples/spiking_cortex.rs Cargo.toml
+
+crates/cenn/../../examples/spiking_cortex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spiking_cortex-fc945a27a6d73221.d: crates/cenn/../../examples/spiking_cortex.rs
+
+/root/repo/target/debug/examples/spiking_cortex-fc945a27a6d73221: crates/cenn/../../examples/spiking_cortex.rs
+
+crates/cenn/../../examples/spiking_cortex.rs:

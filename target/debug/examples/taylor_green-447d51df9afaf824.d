@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/taylor_green-447d51df9afaf824.d: crates/cenn/../../examples/taylor_green.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtaylor_green-447d51df9afaf824.rmeta: crates/cenn/../../examples/taylor_green.rs Cargo.toml
+
+crates/cenn/../../examples/taylor_green.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

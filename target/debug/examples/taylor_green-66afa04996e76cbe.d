@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/taylor_green-66afa04996e76cbe.d: crates/cenn/../../examples/taylor_green.rs
+
+/root/repo/target/debug/examples/taylor_green-66afa04996e76cbe: crates/cenn/../../examples/taylor_green.rs
+
+crates/cenn/../../examples/taylor_green.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/turing_patterns-09857aa1ba2ed08a.d: crates/cenn/../../examples/turing_patterns.rs
+
+/root/repo/target/debug/examples/turing_patterns-09857aa1ba2ed08a: crates/cenn/../../examples/turing_patterns.rs
+
+crates/cenn/../../examples/turing_patterns.rs:

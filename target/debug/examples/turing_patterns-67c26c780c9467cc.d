@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/turing_patterns-67c26c780c9467cc.d: crates/cenn/../../examples/turing_patterns.rs Cargo.toml
+
+/root/repo/target/debug/examples/libturing_patterns-67c26c780c9467cc.rmeta: crates/cenn/../../examples/turing_patterns.rs Cargo.toml
+
+crates/cenn/../../examples/turing_patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

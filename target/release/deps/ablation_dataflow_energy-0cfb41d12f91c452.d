@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_dataflow_energy-0cfb41d12f91c452.d: crates/cenn-bench/src/bin/ablation_dataflow_energy.rs
+
+/root/repo/target/release/deps/ablation_dataflow_energy-0cfb41d12f91c452: crates/cenn-bench/src/bin/ablation_dataflow_energy.rs
+
+crates/cenn-bench/src/bin/ablation_dataflow_energy.rs:

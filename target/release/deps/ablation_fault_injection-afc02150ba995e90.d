@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_fault_injection-afc02150ba995e90.d: crates/cenn-bench/src/bin/ablation_fault_injection.rs
+
+/root/repo/target/release/deps/ablation_fault_injection-afc02150ba995e90: crates/cenn-bench/src/bin/ablation_fault_injection.rs
+
+crates/cenn-bench/src/bin/ablation_fault_injection.rs:

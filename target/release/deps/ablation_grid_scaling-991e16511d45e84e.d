@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_grid_scaling-991e16511d45e84e.d: crates/cenn-bench/src/bin/ablation_grid_scaling.rs
+
+/root/repo/target/release/deps/ablation_grid_scaling-991e16511d45e84e: crates/cenn-bench/src/bin/ablation_grid_scaling.rs
+
+crates/cenn-bench/src/bin/ablation_grid_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_integrator-3f8982db1f6e50b7.d: crates/cenn-bench/src/bin/ablation_integrator.rs
+
+/root/repo/target/release/deps/ablation_integrator-3f8982db1f6e50b7: crates/cenn-bench/src/bin/ablation_integrator.rs
+
+crates/cenn-bench/src/bin/ablation_integrator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_lut_spacing-054bf9fbbfc5f100.d: crates/cenn-bench/src/bin/ablation_lut_spacing.rs
+
+/root/repo/target/release/deps/ablation_lut_spacing-054bf9fbbfc5f100: crates/cenn-bench/src/bin/ablation_lut_spacing.rs
+
+crates/cenn-bench/src/bin/ablation_lut_spacing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_pe_array-b081da7a69fe7012.d: crates/cenn-bench/src/bin/ablation_pe_array.rs
+
+/root/repo/target/release/deps/ablation_pe_array-b081da7a69fe7012: crates/cenn-bench/src/bin/ablation_pe_array.rs
+
+crates/cenn-bench/src/bin/ablation_pe_array.rs:

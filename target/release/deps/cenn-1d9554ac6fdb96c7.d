@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cenn-1d9554ac6fdb96c7.d: crates/cenn/src/lib.rs crates/cenn/src/ensemble.rs crates/cenn/src/render.rs
+
+/root/repo/target/release/deps/libcenn-1d9554ac6fdb96c7.rlib: crates/cenn/src/lib.rs crates/cenn/src/ensemble.rs crates/cenn/src/render.rs
+
+/root/repo/target/release/deps/libcenn-1d9554ac6fdb96c7.rmeta: crates/cenn/src/lib.rs crates/cenn/src/ensemble.rs crates/cenn/src/render.rs
+
+crates/cenn/src/lib.rs:
+crates/cenn/src/ensemble.rs:
+crates/cenn/src/render.rs:

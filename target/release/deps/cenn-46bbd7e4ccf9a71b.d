@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/cenn-46bbd7e4ccf9a71b.d: crates/cenn-cli/src/main.rs crates/cenn-cli/src/cli.rs
+
+/root/repo/target/release/deps/cenn-46bbd7e4ccf9a71b: crates/cenn-cli/src/main.rs crates/cenn-cli/src/cli.rs
+
+crates/cenn-cli/src/main.rs:
+crates/cenn-cli/src/cli.rs:

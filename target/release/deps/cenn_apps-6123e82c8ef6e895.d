@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cenn_apps-6123e82c8ef6e895.d: crates/cenn-apps/src/lib.rs crates/cenn-apps/src/image.rs crates/cenn-apps/src/oscillators.rs crates/cenn-apps/src/pathplan.rs
+
+/root/repo/target/release/deps/libcenn_apps-6123e82c8ef6e895.rlib: crates/cenn-apps/src/lib.rs crates/cenn-apps/src/image.rs crates/cenn-apps/src/oscillators.rs crates/cenn-apps/src/pathplan.rs
+
+/root/repo/target/release/deps/libcenn_apps-6123e82c8ef6e895.rmeta: crates/cenn-apps/src/lib.rs crates/cenn-apps/src/image.rs crates/cenn-apps/src/oscillators.rs crates/cenn-apps/src/pathplan.rs
+
+crates/cenn-apps/src/lib.rs:
+crates/cenn-apps/src/image.rs:
+crates/cenn-apps/src/oscillators.rs:
+crates/cenn-apps/src/pathplan.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cenn_baselines-d35de35df8ca2e82.d: crates/cenn-baselines/src/lib.rs crates/cenn-baselines/src/accuracy.rs crates/cenn-baselines/src/float_sim.rs crates/cenn-baselines/src/perf_model.rs
+
+/root/repo/target/release/deps/libcenn_baselines-d35de35df8ca2e82.rlib: crates/cenn-baselines/src/lib.rs crates/cenn-baselines/src/accuracy.rs crates/cenn-baselines/src/float_sim.rs crates/cenn-baselines/src/perf_model.rs
+
+/root/repo/target/release/deps/libcenn_baselines-d35de35df8ca2e82.rmeta: crates/cenn-baselines/src/lib.rs crates/cenn-baselines/src/accuracy.rs crates/cenn-baselines/src/float_sim.rs crates/cenn-baselines/src/perf_model.rs
+
+crates/cenn-baselines/src/lib.rs:
+crates/cenn-baselines/src/accuracy.rs:
+crates/cenn-baselines/src/float_sim.rs:
+crates/cenn-baselines/src/perf_model.rs:

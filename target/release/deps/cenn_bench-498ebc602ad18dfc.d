@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cenn_bench-498ebc602ad18dfc.d: crates/cenn-bench/src/lib.rs
+
+/root/repo/target/release/deps/libcenn_bench-498ebc602ad18dfc.rlib: crates/cenn-bench/src/lib.rs
+
+/root/repo/target/release/deps/libcenn_bench-498ebc602ad18dfc.rmeta: crates/cenn-bench/src/lib.rs
+
+crates/cenn-bench/src/lib.rs:

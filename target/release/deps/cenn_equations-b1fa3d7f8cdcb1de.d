@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/cenn_equations-b1fa3d7f8cdcb1de.d: crates/cenn-equations/src/lib.rs crates/cenn-equations/src/burgers.rs crates/cenn-equations/src/driver.rs crates/cenn-equations/src/fisher.rs crates/cenn-equations/src/gray_scott.rs crates/cenn-equations/src/heat.rs crates/cenn-equations/src/hodgkin_huxley.rs crates/cenn-equations/src/izhikevich.rs crates/cenn-equations/src/navier_stokes.rs crates/cenn-equations/src/rd.rs crates/cenn-equations/src/system.rs crates/cenn-equations/src/wave.rs
+
+/root/repo/target/release/deps/libcenn_equations-b1fa3d7f8cdcb1de.rlib: crates/cenn-equations/src/lib.rs crates/cenn-equations/src/burgers.rs crates/cenn-equations/src/driver.rs crates/cenn-equations/src/fisher.rs crates/cenn-equations/src/gray_scott.rs crates/cenn-equations/src/heat.rs crates/cenn-equations/src/hodgkin_huxley.rs crates/cenn-equations/src/izhikevich.rs crates/cenn-equations/src/navier_stokes.rs crates/cenn-equations/src/rd.rs crates/cenn-equations/src/system.rs crates/cenn-equations/src/wave.rs
+
+/root/repo/target/release/deps/libcenn_equations-b1fa3d7f8cdcb1de.rmeta: crates/cenn-equations/src/lib.rs crates/cenn-equations/src/burgers.rs crates/cenn-equations/src/driver.rs crates/cenn-equations/src/fisher.rs crates/cenn-equations/src/gray_scott.rs crates/cenn-equations/src/heat.rs crates/cenn-equations/src/hodgkin_huxley.rs crates/cenn-equations/src/izhikevich.rs crates/cenn-equations/src/navier_stokes.rs crates/cenn-equations/src/rd.rs crates/cenn-equations/src/system.rs crates/cenn-equations/src/wave.rs
+
+crates/cenn-equations/src/lib.rs:
+crates/cenn-equations/src/burgers.rs:
+crates/cenn-equations/src/driver.rs:
+crates/cenn-equations/src/fisher.rs:
+crates/cenn-equations/src/gray_scott.rs:
+crates/cenn-equations/src/heat.rs:
+crates/cenn-equations/src/hodgkin_huxley.rs:
+crates/cenn-equations/src/izhikevich.rs:
+crates/cenn-equations/src/navier_stokes.rs:
+crates/cenn-equations/src/rd.rs:
+crates/cenn-equations/src/system.rs:
+crates/cenn-equations/src/wave.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cenn_program-f59c4493a55b748c.d: crates/cenn-program/src/lib.rs crates/cenn-program/src/bitstream.rs crates/cenn-program/src/session.rs
+
+/root/repo/target/release/deps/libcenn_program-f59c4493a55b748c.rlib: crates/cenn-program/src/lib.rs crates/cenn-program/src/bitstream.rs crates/cenn-program/src/session.rs
+
+/root/repo/target/release/deps/libcenn_program-f59c4493a55b748c.rmeta: crates/cenn-program/src/lib.rs crates/cenn-program/src/bitstream.rs crates/cenn-program/src/session.rs
+
+crates/cenn-program/src/lib.rs:
+crates/cenn-program/src/bitstream.rs:
+crates/cenn-program/src/session.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_accuracy-84e8a96599392250.d: crates/cenn-bench/src/bin/fig11_accuracy.rs
+
+/root/repo/target/release/deps/fig11_accuracy-84e8a96599392250: crates/cenn-bench/src/bin/fig11_accuracy.rs
+
+crates/cenn-bench/src/bin/fig11_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_missrate-22c4a445666863cf.d: crates/cenn-bench/src/bin/fig12_missrate.rs
+
+/root/repo/target/release/deps/fig12_missrate-22c4a445666863cf: crates/cenn-bench/src/bin/fig12_missrate.rs
+
+crates/cenn-bench/src/bin/fig12_missrate.rs:

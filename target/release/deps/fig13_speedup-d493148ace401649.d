@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_speedup-d493148ace401649.d: crates/cenn-bench/src/bin/fig13_speedup.rs
+
+/root/repo/target/release/deps/fig13_speedup-d493148ace401649: crates/cenn-bench/src/bin/fig13_speedup.rs
+
+crates/cenn-bench/src/bin/fig13_speedup.rs:

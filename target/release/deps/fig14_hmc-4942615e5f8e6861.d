@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_hmc-4942615e5f8e6861.d: crates/cenn-bench/src/bin/fig14_hmc.rs
+
+/root/repo/target/release/deps/fig14_hmc-4942615e5f8e6861: crates/cenn-bench/src/bin/fig14_hmc.rs
+
+crates/cenn-bench/src/bin/fig14_hmc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_dataflow-f1b3dee6dc4e42b0.d: crates/cenn-bench/src/bin/fig8_dataflow.rs
+
+/root/repo/target/release/deps/fig8_dataflow-f1b3dee6dc4e42b0: crates/cenn-bench/src/bin/fig8_dataflow.rs
+
+crates/cenn-bench/src/bin/fig8_dataflow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fixedpt-9df17ebb7306f27e.d: crates/fixedpt/src/lib.rs crates/fixedpt/src/acc.rs crates/fixedpt/src/fx.rs
+
+/root/repo/target/release/deps/libfixedpt-9df17ebb7306f27e.rlib: crates/fixedpt/src/lib.rs crates/fixedpt/src/acc.rs crates/fixedpt/src/fx.rs
+
+/root/repo/target/release/deps/libfixedpt-9df17ebb7306f27e.rmeta: crates/fixedpt/src/lib.rs crates/fixedpt/src/acc.rs crates/fixedpt/src/fx.rs
+
+crates/fixedpt/src/lib.rs:
+crates/fixedpt/src/acc.rs:
+crates/fixedpt/src/fx.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel-0694b7a98ccdd81e.d: crates/cenn-bench/benches/parallel.rs
+
+/root/repo/target/release/deps/parallel-0694b7a98ccdd81e: crates/cenn-bench/benches/parallel.rs
+
+crates/cenn-bench/benches/parallel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_pe_power-cf7b4f1e037ce6ea.d: crates/cenn-bench/src/bin/table1_pe_power.rs
+
+/root/repo/target/release/deps/table1_pe_power-cf7b4f1e037ce6ea: crates/cenn-bench/src/bin/table1_pe_power.rs
+
+crates/cenn-bench/src/bin/table1_pe_power.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_system_power-1a8fc809d6e615e0.d: crates/cenn-bench/src/bin/table2_system_power.rs
+
+/root/repo/target/release/deps/table2_system_power-1a8fc809d6e615e0: crates/cenn-bench/src/bin/table2_system_power.rs
+
+crates/cenn-bench/src/bin/table2_system_power.rs:

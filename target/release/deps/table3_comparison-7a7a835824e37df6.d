@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_comparison-7a7a835824e37df6.d: crates/cenn-bench/src/bin/table3_comparison.rs
+
+/root/repo/target/release/deps/table3_comparison-7a7a835824e37df6: crates/cenn-bench/src/bin/table3_comparison.rs
+
+crates/cenn-bench/src/bin/table3_comparison.rs:

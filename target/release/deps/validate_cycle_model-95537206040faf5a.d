@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/validate_cycle_model-95537206040faf5a.d: crates/cenn-bench/src/bin/validate_cycle_model.rs
+
+/root/repo/target/release/deps/validate_cycle_model-95537206040faf5a: crates/cenn-bench/src/bin/validate_cycle_model.rs
+
+crates/cenn-bench/src/bin/validate_cycle_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ensemble_sweep-07822c51b7f01390.d: crates/cenn/../../examples/ensemble_sweep.rs
+
+/root/repo/target/release/examples/ensemble_sweep-07822c51b7f01390: crates/cenn/../../examples/ensemble_sweep.rs
+
+crates/cenn/../../examples/ensemble_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-a5befb6fb5c41680.d: crates/cenn/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-a5befb6fb5c41680: crates/cenn/../../examples/quickstart.rs
+
+crates/cenn/../../examples/quickstart.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libfixedpt.rlib: /root/repo/crates/fixedpt/src/acc.rs /root/repo/crates/fixedpt/src/fx.rs /root/repo/crates/fixedpt/src/lib.rs

@@ -114,5 +114,9 @@ fn error_breakdown_ordering_matches_sec61() {
     );
     // Both error components are present and bounded for HH.
     assert!(hh_v.lut_mean > 0.0 && hh_v.fixed_point_mean > 0.0);
-    assert!(hh_v.total_mean < 1.0, "HH total error {} mV", hh_v.total_mean);
+    assert!(
+        hh_v.total_mean < 1.0,
+        "HH total error {} mV",
+        hh_v.total_mean
+    );
 }

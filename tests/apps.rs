@@ -21,7 +21,11 @@ fn image_pipeline_composes_through_the_facade() {
         }
     });
     let opened = binarize(
-        &apply(ImageOp::Dilate, &binarize(&apply(ImageOp::Erode, &img).unwrap())).unwrap(),
+        &apply(
+            ImageOp::Dilate,
+            &binarize(&apply(ImageOp::Erode, &img).unwrap()),
+        )
+        .unwrap(),
     );
     assert!(opened.get(1, 1) < 0.0, "speck removed");
     assert!(opened.get(4, 4) > 0.0, "block kept");

@@ -57,10 +57,18 @@ fn hmc_ordering_matches_fig14() {
             .estimate(&setup.model, mr)
             .time_per_step_s()
     };
-    let (ddr, ext, int) = (t(MemorySpec::ddr3()), t(MemorySpec::hmc_ext()), t(MemorySpec::hmc_int()));
+    let (ddr, ext, int) = (
+        t(MemorySpec::ddr3()),
+        t(MemorySpec::hmc_ext()),
+        t(MemorySpec::hmc_int()),
+    );
     assert!(int < ddr && ext < int, "ddr {ddr} > int {int} > ext {ext}");
     // And the paper's magnitude band: INT gives several-fold over DDR3.
-    assert!(ddr / int > 2.0, "HMC-INT at least 2x over DDR3: {}", ddr / int);
+    assert!(
+        ddr / int > 2.0,
+        "HMC-INT at least 2x over DDR3: {}",
+        ddr / int
+    );
 }
 
 #[test]
@@ -85,8 +93,8 @@ fn energy_efficiency_is_orders_of_magnitude_over_gpu() {
     let setup = ReactionDiffusion::default().build(128, 128).unwrap();
     let probe = ReactionDiffusion::default().build(32, 32).unwrap();
     let mr = measured_miss_rates(&probe, 10);
-    let est = CycleModel::new(MemorySpec::hmc_int(), PeArrayConfig::default())
-        .estimate(&setup.model, mr);
+    let est =
+        CycleModel::new(MemorySpec::hmc_int(), PeArrayConfig::default()).estimate(&setup.model, mr);
     let w = StencilWorkload::from_model(&setup.model);
     let gpu = gtx850_gpu();
     let gpu_energy = gpu.time_per_step(&w) * gpu.power_w;

@@ -9,9 +9,11 @@ use cenn::program::{Program, SolverSession};
 #[test]
 fn every_benchmark_runs_end_to_end_on_ddr3() {
     for sys in all_benchmarks() {
-        let setup = sys.build(32, 32).unwrap_or_else(|_| panic!("{}", sys.name()));
-        let mut session =
-            SolverSession::new(setup.model.clone(), MemorySpec::ddr3()).unwrap_or_else(|_| panic!("{}", sys.name()));
+        let setup = sys
+            .build(32, 32)
+            .unwrap_or_else(|_| panic!("{}", sys.name()));
+        let mut session = SolverSession::new(setup.model.clone(), MemorySpec::ddr3())
+            .unwrap_or_else(|_| panic!("{}", sys.name()));
         for (layer, grid) in &setup.initial {
             session.sim_mut().set_state_f64(*layer, grid).unwrap();
         }
@@ -113,7 +115,11 @@ fn five_by_five_kernels_flow_through_the_whole_stack() {
     use cenn::core::{mapping, Boundary, CennModelBuilder, CennSim, Grid};
     let mut b = CennModelBuilder::new(32, 32);
     let u = b.dynamic_layer("u", Boundary::ZeroFlux);
-    b.state_template(u, u, mapping::laplacian_4th_order(0.5, 1.0).into_state_template());
+    b.state_template(
+        u,
+        u,
+        mapping::laplacian_4th_order(0.5, 1.0).into_state_template(),
+    );
     let model = b.build(0.1).unwrap();
     assert_eq!(model.kernel_size(), 5);
 
@@ -125,7 +131,10 @@ fn five_by_five_kernels_flow_through_the_whole_stack() {
     sim.set_state_f64(u, &blob).unwrap();
     sim.run(50);
     let s = sim.state_f64(u);
-    assert!(s.get(16, 16) < 8.0 && s.get(16, 16) > 0.5, "diffused sanely");
+    assert!(
+        s.get(16, 16) < 8.0 && s.get(16, 16) > 0.5,
+        "diffused sanely"
+    );
     let total: f64 = s.as_slice().iter().sum();
     let before: f64 = blob.as_slice().iter().sum();
     assert!((total - before).abs() / before < 0.01, "mass conserved");

@@ -1,0 +1,103 @@
+//! Golden determinism tests for the tile-sharded execution engine.
+//!
+//! The contract (DESIGN.md): running the functional simulator on any
+//! number of worker threads yields **bit-identical** fixed-point states
+//! and LUT statistics to the serial sweep. These tests pin that contract
+//! on two real benchmark systems — reaction–diffusion (algebraic +
+//! dynamic layers, heavy LUT traffic) and Hodgkin–Huxley (four coupled
+//! layers, dynamic template weights).
+
+use cenn::equations::{
+    DynamicalSystem, FixedRunner, HodgkinHuxley, ReactionDiffusion, SystemSetup,
+};
+
+fn assert_bit_identical(setup: SystemSetup, steps: u64) {
+    let n_layers = setup.model.n_layers();
+    let mut serial = FixedRunner::new(setup.clone()).unwrap();
+    let serial_fired = serial.run(steps);
+    for threads in [2usize, 4, 8] {
+        let mut par = FixedRunner::new(setup.clone()).unwrap();
+        par.set_threads(threads);
+        let par_fired = par.run(steps);
+        assert_eq!(serial_fired, par_fired, "threads={threads}");
+        for i in 0..setup.model.n_layers() {
+            let layer = cenn::core::LayerId::from_index(i);
+            assert_eq!(
+                serial.sim().state(layer).as_slice(),
+                par.sim().state(layer).as_slice(),
+                "threads={threads} layer={i}/{n_layers}"
+            );
+        }
+        assert_eq!(
+            serial.lut_stats(),
+            par.lut_stats(),
+            "LUT statistics must match bit-for-bit at threads={threads}"
+        );
+        // Per-PE accounting survives sharding too.
+        let n_pes = {
+            let (pr, pc) = serial.sim().tile_plan().pe_shape();
+            pr * pc
+        };
+        for pe in 0..n_pes {
+            assert_eq!(
+                serial.sim().pe_lut_stats(pe),
+                par.sim().pe_lut_stats(pe),
+                "threads={threads} pe={pe}"
+            );
+        }
+    }
+}
+
+#[test]
+fn reaction_diffusion_threaded_is_bit_identical_to_serial() {
+    let setup = ReactionDiffusion::default().build(24, 24).unwrap();
+    assert_bit_identical(setup, 30);
+}
+
+#[test]
+fn hodgkin_huxley_threaded_is_bit_identical_to_serial() {
+    let setup = HodgkinHuxley::default().build(12, 12).unwrap();
+    assert_bit_identical(setup, 40);
+}
+
+#[test]
+fn all_six_benchmark_systems_threaded_bit_identical() {
+    for sys in cenn::equations::all_benchmarks() {
+        let setup = sys.build(16, 16).unwrap();
+        let mut serial = FixedRunner::new(setup.clone()).unwrap();
+        let serial_fired = serial.run(12);
+        for threads in [2usize, 4, 8] {
+            let mut par = FixedRunner::new(setup.clone()).unwrap();
+            par.set_threads(threads);
+            assert_eq!(serial_fired, par.run(12), "{} threads={threads}", sys.name());
+            for i in 0..setup.model.n_layers() {
+                let layer = cenn::core::LayerId::from_index(i);
+                assert_eq!(
+                    serial.sim().state(layer).as_slice(),
+                    par.sim().state(layer).as_slice(),
+                    "{} threads={threads} layer={i}",
+                    sys.name()
+                );
+            }
+            assert_eq!(serial.lut_stats(), par.lut_stats(), "{}", sys.name());
+        }
+    }
+}
+
+#[test]
+fn step_stats_expose_threaded_sweeps() {
+    let setup = ReactionDiffusion::default().build(16, 16).unwrap();
+    let mut runner = FixedRunner::new(setup).unwrap();
+    runner.set_threads(4);
+    runner.run(3);
+    let stats = runner.sim().step_stats();
+    assert_eq!(stats.threads, 4);
+    assert!(stats.cells > 0);
+    assert!(stats.sweeps.iter().any(|(label, _)| label == "dynamic"));
+    assert!(stats.sweeps.iter().any(|(label, _)| label == "update"));
+    assert!(stats.cells_per_sec() > 0.0);
+    assert_eq!(
+        stats.lut_total().accesses,
+        stats.shard_lut.iter().map(|s| s.accesses).sum::<u64>()
+    );
+}
