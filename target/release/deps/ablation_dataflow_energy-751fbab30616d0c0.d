@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_dataflow_energy-751fbab30616d0c0.d: crates/cenn-bench/src/bin/ablation_dataflow_energy.rs
+
+/root/repo/target/release/deps/ablation_dataflow_energy-751fbab30616d0c0: crates/cenn-bench/src/bin/ablation_dataflow_energy.rs
+
+crates/cenn-bench/src/bin/ablation_dataflow_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_fault_injection-335bbb1880815b33.d: crates/cenn-bench/src/bin/ablation_fault_injection.rs
+
+/root/repo/target/release/deps/ablation_fault_injection-335bbb1880815b33: crates/cenn-bench/src/bin/ablation_fault_injection.rs
+
+crates/cenn-bench/src/bin/ablation_fault_injection.rs:

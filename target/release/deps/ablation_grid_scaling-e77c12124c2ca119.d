@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_grid_scaling-e77c12124c2ca119.d: crates/cenn-bench/src/bin/ablation_grid_scaling.rs
+
+/root/repo/target/release/deps/ablation_grid_scaling-e77c12124c2ca119: crates/cenn-bench/src/bin/ablation_grid_scaling.rs
+
+crates/cenn-bench/src/bin/ablation_grid_scaling.rs:

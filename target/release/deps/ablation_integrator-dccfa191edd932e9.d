@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_integrator-dccfa191edd932e9.d: crates/cenn-bench/src/bin/ablation_integrator.rs
+
+/root/repo/target/release/deps/ablation_integrator-dccfa191edd932e9: crates/cenn-bench/src/bin/ablation_integrator.rs
+
+crates/cenn-bench/src/bin/ablation_integrator.rs:

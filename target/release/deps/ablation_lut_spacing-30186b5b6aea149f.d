@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_lut_spacing-30186b5b6aea149f.d: crates/cenn-bench/src/bin/ablation_lut_spacing.rs
+
+/root/repo/target/release/deps/ablation_lut_spacing-30186b5b6aea149f: crates/cenn-bench/src/bin/ablation_lut_spacing.rs
+
+crates/cenn-bench/src/bin/ablation_lut_spacing.rs:

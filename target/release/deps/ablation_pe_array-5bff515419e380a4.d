@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_pe_array-5bff515419e380a4.d: crates/cenn-bench/src/bin/ablation_pe_array.rs
+
+/root/repo/target/release/deps/ablation_pe_array-5bff515419e380a4: crates/cenn-bench/src/bin/ablation_pe_array.rs
+
+crates/cenn-bench/src/bin/ablation_pe_array.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/accuracy-ddc456837574b34f.d: crates/cenn/../../tests/accuracy.rs
+
+/root/repo/target/release/deps/accuracy-ddc456837574b34f: crates/cenn/../../tests/accuracy.rs
+
+crates/cenn/../../tests/accuracy.rs:

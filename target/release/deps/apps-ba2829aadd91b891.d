@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/apps-ba2829aadd91b891.d: crates/cenn/../../tests/apps.rs
+
+/root/repo/target/release/deps/apps-ba2829aadd91b891: crates/cenn/../../tests/apps.rs
+
+crates/cenn/../../tests/apps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/architecture-ee135662b4c2aae4.d: crates/cenn/../../tests/architecture.rs
+
+/root/repo/target/release/deps/architecture-ee135662b4c2aae4: crates/cenn/../../tests/architecture.rs
+
+crates/cenn/../../tests/architecture.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cenn-2964df556cceb0fa.d: crates/cenn/src/lib.rs crates/cenn/src/ensemble.rs crates/cenn/src/render.rs
+
+/root/repo/target/release/deps/cenn-2964df556cceb0fa: crates/cenn/src/lib.rs crates/cenn/src/ensemble.rs crates/cenn/src/render.rs
+
+crates/cenn/src/lib.rs:
+crates/cenn/src/ensemble.rs:
+crates/cenn/src/render.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/cenn-9d0605f69babb31a.d: crates/cenn-cli/src/main.rs crates/cenn-cli/src/cli.rs
+
+/root/repo/target/release/deps/cenn-9d0605f69babb31a: crates/cenn-cli/src/main.rs crates/cenn-cli/src/cli.rs
+
+crates/cenn-cli/src/main.rs:
+crates/cenn-cli/src/cli.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/cenn_apps-6e5d20137d024753.d: crates/cenn-apps/src/lib.rs crates/cenn-apps/src/image.rs crates/cenn-apps/src/oscillators.rs crates/cenn-apps/src/pathplan.rs
+
+/root/repo/target/release/deps/cenn_apps-6e5d20137d024753: crates/cenn-apps/src/lib.rs crates/cenn-apps/src/image.rs crates/cenn-apps/src/oscillators.rs crates/cenn-apps/src/pathplan.rs
+
+crates/cenn-apps/src/lib.rs:
+crates/cenn-apps/src/image.rs:
+crates/cenn-apps/src/oscillators.rs:
+crates/cenn-apps/src/pathplan.rs:

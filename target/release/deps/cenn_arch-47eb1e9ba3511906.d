@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cenn_arch-47eb1e9ba3511906.d: crates/cenn-arch/src/lib.rs crates/cenn-arch/src/banks.rs crates/cenn-arch/src/cycle.rs crates/cenn-arch/src/dataflow.rs crates/cenn-arch/src/energy.rs crates/cenn-arch/src/memory.rs crates/cenn-arch/src/pe.rs crates/cenn-arch/src/schedule.rs crates/cenn-arch/src/trace.rs
+
+/root/repo/target/release/deps/cenn_arch-47eb1e9ba3511906: crates/cenn-arch/src/lib.rs crates/cenn-arch/src/banks.rs crates/cenn-arch/src/cycle.rs crates/cenn-arch/src/dataflow.rs crates/cenn-arch/src/energy.rs crates/cenn-arch/src/memory.rs crates/cenn-arch/src/pe.rs crates/cenn-arch/src/schedule.rs crates/cenn-arch/src/trace.rs
+
+crates/cenn-arch/src/lib.rs:
+crates/cenn-arch/src/banks.rs:
+crates/cenn-arch/src/cycle.rs:
+crates/cenn-arch/src/dataflow.rs:
+crates/cenn-arch/src/energy.rs:
+crates/cenn-arch/src/memory.rs:
+crates/cenn-arch/src/pe.rs:
+crates/cenn-arch/src/schedule.rs:
+crates/cenn-arch/src/trace.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/cenn_baselines-5c813a0803abfe1a.d: crates/cenn-baselines/src/lib.rs crates/cenn-baselines/src/accuracy.rs crates/cenn-baselines/src/float_sim.rs crates/cenn-baselines/src/perf_model.rs
+
+/root/repo/target/release/deps/cenn_baselines-5c813a0803abfe1a: crates/cenn-baselines/src/lib.rs crates/cenn-baselines/src/accuracy.rs crates/cenn-baselines/src/float_sim.rs crates/cenn-baselines/src/perf_model.rs
+
+crates/cenn-baselines/src/lib.rs:
+crates/cenn-baselines/src/accuracy.rs:
+crates/cenn-baselines/src/float_sim.rs:
+crates/cenn-baselines/src/perf_model.rs:

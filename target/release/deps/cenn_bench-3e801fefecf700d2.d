@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cenn_bench-3e801fefecf700d2.d: crates/cenn-bench/src/lib.rs
+
+/root/repo/target/release/deps/cenn_bench-3e801fefecf700d2: crates/cenn-bench/src/lib.rs
+
+crates/cenn-bench/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cenn_core-c31b38d8f579f213.d: crates/cenn-core/src/lib.rs crates/cenn-core/src/boundary.rs crates/cenn-core/src/error.rs crates/cenn-core/src/exec.rs crates/cenn-core/src/grid.rs crates/cenn-core/src/layer.rs crates/cenn-core/src/mapping.rs crates/cenn-core/src/model.rs crates/cenn-core/src/sim.rs crates/cenn-core/src/template.rs
+
+/root/repo/target/release/deps/cenn_core-c31b38d8f579f213: crates/cenn-core/src/lib.rs crates/cenn-core/src/boundary.rs crates/cenn-core/src/error.rs crates/cenn-core/src/exec.rs crates/cenn-core/src/grid.rs crates/cenn-core/src/layer.rs crates/cenn-core/src/mapping.rs crates/cenn-core/src/model.rs crates/cenn-core/src/sim.rs crates/cenn-core/src/template.rs
+
+crates/cenn-core/src/lib.rs:
+crates/cenn-core/src/boundary.rs:
+crates/cenn-core/src/error.rs:
+crates/cenn-core/src/exec.rs:
+crates/cenn-core/src/grid.rs:
+crates/cenn-core/src/layer.rs:
+crates/cenn-core/src/mapping.rs:
+crates/cenn-core/src/model.rs:
+crates/cenn-core/src/sim.rs:
+crates/cenn-core/src/template.rs:

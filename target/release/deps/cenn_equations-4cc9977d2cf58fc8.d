@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/cenn_equations-4cc9977d2cf58fc8.d: crates/cenn-equations/src/lib.rs crates/cenn-equations/src/burgers.rs crates/cenn-equations/src/driver.rs crates/cenn-equations/src/fisher.rs crates/cenn-equations/src/gray_scott.rs crates/cenn-equations/src/heat.rs crates/cenn-equations/src/hodgkin_huxley.rs crates/cenn-equations/src/izhikevich.rs crates/cenn-equations/src/navier_stokes.rs crates/cenn-equations/src/rd.rs crates/cenn-equations/src/system.rs crates/cenn-equations/src/wave.rs
+
+/root/repo/target/release/deps/cenn_equations-4cc9977d2cf58fc8: crates/cenn-equations/src/lib.rs crates/cenn-equations/src/burgers.rs crates/cenn-equations/src/driver.rs crates/cenn-equations/src/fisher.rs crates/cenn-equations/src/gray_scott.rs crates/cenn-equations/src/heat.rs crates/cenn-equations/src/hodgkin_huxley.rs crates/cenn-equations/src/izhikevich.rs crates/cenn-equations/src/navier_stokes.rs crates/cenn-equations/src/rd.rs crates/cenn-equations/src/system.rs crates/cenn-equations/src/wave.rs
+
+crates/cenn-equations/src/lib.rs:
+crates/cenn-equations/src/burgers.rs:
+crates/cenn-equations/src/driver.rs:
+crates/cenn-equations/src/fisher.rs:
+crates/cenn-equations/src/gray_scott.rs:
+crates/cenn-equations/src/heat.rs:
+crates/cenn-equations/src/hodgkin_huxley.rs:
+crates/cenn-equations/src/izhikevich.rs:
+crates/cenn-equations/src/navier_stokes.rs:
+crates/cenn-equations/src/rd.rs:
+crates/cenn-equations/src/system.rs:
+crates/cenn-equations/src/wave.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/cenn_lut-de0b119d04aa8a81.d: crates/cenn-lut/src/lib.rs crates/cenn-lut/src/builder.rs crates/cenn-lut/src/entry.rs crates/cenn-lut/src/func.rs crates/cenn-lut/src/funcs.rs crates/cenn-lut/src/hierarchy.rs crates/cenn-lut/src/l1.rs crates/cenn-lut/src/l2.rs crates/cenn-lut/src/shard.rs crates/cenn-lut/src/stats.rs crates/cenn-lut/src/tum.rs
+
+/root/repo/target/release/deps/cenn_lut-de0b119d04aa8a81: crates/cenn-lut/src/lib.rs crates/cenn-lut/src/builder.rs crates/cenn-lut/src/entry.rs crates/cenn-lut/src/func.rs crates/cenn-lut/src/funcs.rs crates/cenn-lut/src/hierarchy.rs crates/cenn-lut/src/l1.rs crates/cenn-lut/src/l2.rs crates/cenn-lut/src/shard.rs crates/cenn-lut/src/stats.rs crates/cenn-lut/src/tum.rs
+
+crates/cenn-lut/src/lib.rs:
+crates/cenn-lut/src/builder.rs:
+crates/cenn-lut/src/entry.rs:
+crates/cenn-lut/src/func.rs:
+crates/cenn-lut/src/funcs.rs:
+crates/cenn-lut/src/hierarchy.rs:
+crates/cenn-lut/src/l1.rs:
+crates/cenn-lut/src/l2.rs:
+crates/cenn-lut/src/shard.rs:
+crates/cenn-lut/src/stats.rs:
+crates/cenn-lut/src/tum.rs:

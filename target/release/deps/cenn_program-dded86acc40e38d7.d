@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cenn_program-dded86acc40e38d7.d: crates/cenn-program/src/lib.rs crates/cenn-program/src/bitstream.rs crates/cenn-program/src/session.rs
+
+/root/repo/target/release/deps/cenn_program-dded86acc40e38d7: crates/cenn-program/src/lib.rs crates/cenn-program/src/bitstream.rs crates/cenn-program/src/session.rs
+
+crates/cenn-program/src/lib.rs:
+crates/cenn-program/src/bitstream.rs:
+crates/cenn-program/src/session.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-d3b13295294c9705.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-d3b13295294c9705: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_accuracy-4e7c14fbd8e31309.d: crates/cenn-bench/src/bin/fig11_accuracy.rs
+
+/root/repo/target/release/deps/fig11_accuracy-4e7c14fbd8e31309: crates/cenn-bench/src/bin/fig11_accuracy.rs
+
+crates/cenn-bench/src/bin/fig11_accuracy.rs:

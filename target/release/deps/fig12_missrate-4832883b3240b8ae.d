@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_missrate-4832883b3240b8ae.d: crates/cenn-bench/src/bin/fig12_missrate.rs
+
+/root/repo/target/release/deps/fig12_missrate-4832883b3240b8ae: crates/cenn-bench/src/bin/fig12_missrate.rs
+
+crates/cenn-bench/src/bin/fig12_missrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_speedup-9106bafc070cc056.d: crates/cenn-bench/src/bin/fig13_speedup.rs
+
+/root/repo/target/release/deps/fig13_speedup-9106bafc070cc056: crates/cenn-bench/src/bin/fig13_speedup.rs
+
+crates/cenn-bench/src/bin/fig13_speedup.rs:

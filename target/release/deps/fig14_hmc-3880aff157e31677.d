@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_hmc-3880aff157e31677.d: crates/cenn-bench/src/bin/fig14_hmc.rs
+
+/root/repo/target/release/deps/fig14_hmc-3880aff157e31677: crates/cenn-bench/src/bin/fig14_hmc.rs
+
+crates/cenn-bench/src/bin/fig14_hmc.rs:

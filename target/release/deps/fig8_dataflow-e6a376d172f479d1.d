@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_dataflow-e6a376d172f479d1.d: crates/cenn-bench/src/bin/fig8_dataflow.rs
+
+/root/repo/target/release/deps/fig8_dataflow-e6a376d172f479d1: crates/cenn-bench/src/bin/fig8_dataflow.rs
+
+crates/cenn-bench/src/bin/fig8_dataflow.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fixedpt-db4b46be749063f0.d: crates/fixedpt/src/lib.rs crates/fixedpt/src/acc.rs crates/fixedpt/src/fx.rs
+
+/root/repo/target/release/deps/fixedpt-db4b46be749063f0: crates/fixedpt/src/lib.rs crates/fixedpt/src/acc.rs crates/fixedpt/src/fx.rs
+
+crates/fixedpt/src/lib.rs:
+crates/fixedpt/src/acc.rs:
+crates/fixedpt/src/fx.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration-c09ba725c80b316c.d: crates/cenn/../../tests/integration.rs
+
+/root/repo/target/release/deps/integration-c09ba725c80b316c: crates/cenn/../../tests/integration.rs
+
+crates/cenn/../../tests/integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel-c40b05b088c11f29.d: crates/cenn/../../tests/parallel.rs
+
+/root/repo/target/release/deps/parallel-c40b05b088c11f29: crates/cenn/../../tests/parallel.rs
+
+crates/cenn/../../tests/parallel.rs:

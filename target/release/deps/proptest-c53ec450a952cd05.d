@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-c53ec450a952cd05.d: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-c53ec450a952cd05: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-310616a477e6d282.d: crates/cenn-arch/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-310616a477e6d282: crates/cenn-arch/tests/proptests.rs
+
+crates/cenn-arch/tests/proptests.rs:

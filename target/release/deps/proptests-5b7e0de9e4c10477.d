@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-5b7e0de9e4c10477.d: crates/cenn-equations/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-5b7e0de9e4c10477: crates/cenn-equations/tests/proptests.rs
+
+crates/cenn-equations/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-6a9fac0ae4b34234.d: crates/cenn-lut/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-6a9fac0ae4b34234: crates/cenn-lut/tests/proptests.rs
+
+crates/cenn-lut/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-856ded851e8fdff9.d: crates/cenn-core/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-856ded851e8fdff9: crates/cenn-core/tests/proptests.rs
+
+crates/cenn-core/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-879f265338a2b0c8.d: crates/cenn-program/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-879f265338a2b0c8: crates/cenn-program/tests/proptests.rs
+
+crates/cenn-program/tests/proptests.rs:

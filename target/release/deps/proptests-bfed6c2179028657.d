@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-bfed6c2179028657.d: crates/fixedpt/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-bfed6c2179028657: crates/fixedpt/tests/proptests.rs
+
+crates/fixedpt/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-cbe81a07f7169d3f.d: crates/cenn-baselines/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-cbe81a07f7169d3f: crates/cenn-baselines/tests/proptests.rs
+
+crates/cenn-baselines/tests/proptests.rs:

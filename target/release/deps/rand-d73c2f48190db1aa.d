@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-d73c2f48190db1aa.d: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-d73c2f48190db1aa: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_pe_power-253da4bf5d2d1cf2.d: crates/cenn-bench/src/bin/table1_pe_power.rs
+
+/root/repo/target/release/deps/table1_pe_power-253da4bf5d2d1cf2: crates/cenn-bench/src/bin/table1_pe_power.rs
+
+crates/cenn-bench/src/bin/table1_pe_power.rs:

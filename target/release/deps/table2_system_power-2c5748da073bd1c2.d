@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_system_power-2c5748da073bd1c2.d: crates/cenn-bench/src/bin/table2_system_power.rs
+
+/root/repo/target/release/deps/table2_system_power-2c5748da073bd1c2: crates/cenn-bench/src/bin/table2_system_power.rs
+
+crates/cenn-bench/src/bin/table2_system_power.rs:

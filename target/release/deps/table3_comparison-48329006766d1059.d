@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_comparison-48329006766d1059.d: crates/cenn-bench/src/bin/table3_comparison.rs
+
+/root/repo/target/release/deps/table3_comparison-48329006766d1059: crates/cenn-bench/src/bin/table3_comparison.rs
+
+crates/cenn-bench/src/bin/table3_comparison.rs:

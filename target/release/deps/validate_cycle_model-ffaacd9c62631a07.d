@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/validate_cycle_model-ffaacd9c62631a07.d: crates/cenn-bench/src/bin/validate_cycle_model.rs
+
+/root/repo/target/release/deps/validate_cycle_model-ffaacd9c62631a07: crates/cenn-bench/src/bin/validate_cycle_model.rs
+
+crates/cenn-bench/src/bin/validate_cycle_model.rs:

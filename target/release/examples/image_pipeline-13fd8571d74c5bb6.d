@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/image_pipeline-13fd8571d74c5bb6.d: crates/cenn/../../examples/image_pipeline.rs
+
+/root/repo/target/release/examples/image_pipeline-13fd8571d74c5bb6: crates/cenn/../../examples/image_pipeline.rs
+
+crates/cenn/../../examples/image_pipeline.rs:

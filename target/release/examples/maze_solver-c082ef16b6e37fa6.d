@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/maze_solver-c082ef16b6e37fa6.d: crates/cenn/../../examples/maze_solver.rs
+
+/root/repo/target/release/examples/maze_solver-c082ef16b6e37fa6: crates/cenn/../../examples/maze_solver.rs
+
+crates/cenn/../../examples/maze_solver.rs:

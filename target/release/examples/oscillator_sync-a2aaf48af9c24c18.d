@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/oscillator_sync-a2aaf48af9c24c18.d: crates/cenn/../../examples/oscillator_sync.rs
+
+/root/repo/target/release/examples/oscillator_sync-a2aaf48af9c24c18: crates/cenn/../../examples/oscillator_sync.rs
+
+crates/cenn/../../examples/oscillator_sync.rs:

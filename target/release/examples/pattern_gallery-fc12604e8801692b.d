@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/pattern_gallery-fc12604e8801692b.d: crates/cenn/../../examples/pattern_gallery.rs
+
+/root/repo/target/release/examples/pattern_gallery-fc12604e8801692b: crates/cenn/../../examples/pattern_gallery.rs
+
+crates/cenn/../../examples/pattern_gallery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/spiking_cortex-7ab83fe99213f1fd.d: crates/cenn/../../examples/spiking_cortex.rs
+
+/root/repo/target/release/examples/spiking_cortex-7ab83fe99213f1fd: crates/cenn/../../examples/spiking_cortex.rs
+
+crates/cenn/../../examples/spiking_cortex.rs:

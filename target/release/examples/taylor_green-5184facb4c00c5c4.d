@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/taylor_green-5184facb4c00c5c4.d: crates/cenn/../../examples/taylor_green.rs
+
+/root/repo/target/release/examples/taylor_green-5184facb4c00c5c4: crates/cenn/../../examples/taylor_green.rs
+
+crates/cenn/../../examples/taylor_green.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/turing_patterns-931aefb4cd38cb46.d: crates/cenn/../../examples/turing_patterns.rs
+
+/root/repo/target/release/examples/turing_patterns-931aefb4cd38cb46: crates/cenn/../../examples/turing_patterns.rs
+
+crates/cenn/../../examples/turing_patterns.rs:
