@@ -10,6 +10,7 @@
 use cenn_core::{CennModel, TemplateKind};
 use cenn_lut::LUT_ENTRY_BYTES;
 
+use crate::banks::BankTraffic;
 use crate::energy::EnergyModel;
 use crate::memory::MemorySpec;
 use crate::pe::PeArrayConfig;
@@ -104,6 +105,29 @@ impl RunEstimate {
     /// Achieved energy efficiency in GOPS/W (system power).
     pub fn gops_per_watt(&self) -> f64 {
         self.achieved_gops() / self.system_power_w()
+    }
+
+    /// Converts the estimate into the shared observability event payload.
+    /// `banks` carries the global-buffer traffic split when the caller has
+    /// run the [`crate::BankTrafficModel`]; `None` leaves those columns
+    /// zero.
+    pub fn to_mem_traffic(
+        &self,
+        label: impl Into<String>,
+        banks: Option<BankTraffic>,
+    ) -> cenn_obs::MemTraffic {
+        let b = banks.unwrap_or_default();
+        cenn_obs::MemTraffic {
+            label: label.into(),
+            conv_cycles: self.timing.conv_cycles,
+            stall_cycles: self.timing.stall_cycles,
+            dram_bytes: self.timing.dram_bytes,
+            primary_reads: b.primary_reads,
+            support_reads: b.support_reads,
+            reg_moves: b.reg_moves,
+            writebacks: b.writebacks,
+            energy_j: self.energy_per_step_j(),
+        }
     }
 }
 

@@ -1,9 +1,12 @@
 //! Floating-point evaluation of a CeNN model (the "GPU" reference).
 
+use std::time::Instant;
+
 use cenn_core::{
     Boundary, CennModel, ExecEngine, Grid, LayerId, LayerKind, ModelError, TemplateKind, WeightExpr,
 };
 use cenn_equations::SystemSetup;
+use cenn_obs::{Event, LutLevel, LutLevelMetrics, RecorderHandle, RunSummary, StepMetrics};
 
 /// Arithmetic precision of the reference solver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -55,6 +58,13 @@ pub struct FloatSim {
     engine: ExecEngine,
     time: f64,
     steps: u64,
+    /// Optional metric sink emitting the same event schema as the
+    /// fixed-point simulator (LUT counters are all zero — this path has no
+    /// LUT hierarchy).
+    recorder: Option<RecorderHandle>,
+    run_cells: u64,
+    run_nanos: u64,
+    last_residual: f64,
 }
 
 impl FloatSim {
@@ -73,8 +83,63 @@ impl FloatSim {
             engine: ExecEngine::serial(),
             time: 0.0,
             steps: 0,
+            recorder: None,
+            run_cells: 0,
+            run_nanos: 0,
+            last_residual: 0.0,
             model,
         }
+    }
+
+    /// Attaches a metric recorder: every step emits one
+    /// [`cenn_obs::StepMetrics`] event in the shared schema (zero LUT
+    /// counters). A disabled recorder costs one branch per step.
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = Some(recorder);
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&RecorderHandle> {
+        self.recorder.as_ref()
+    }
+
+    fn recording(&self) -> bool {
+        self.recorder.as_ref().is_some_and(RecorderHandle::enabled)
+    }
+
+    /// All-zero per-level LUT rows: the reference solver evaluates
+    /// functions exactly, so the hierarchy columns stay empty but the
+    /// schema shape matches the fixed-point emitter.
+    fn zero_lut() -> Vec<LutLevelMetrics> {
+        [LutLevel::L1, LutLevel::L2, LutLevel::Dram]
+            .into_iter()
+            .map(|level| LutLevelMetrics {
+                level,
+                ..LutLevelMetrics::default()
+            })
+            .collect()
+    }
+
+    /// Emits the end-of-run [`cenn_obs::RunSummary`] event (no-op without
+    /// an enabled recorder).
+    pub fn record_summary(&self) {
+        let Some(rec) = &self.recorder else { return };
+        if !rec.enabled() {
+            return;
+        }
+        rec.record(&Event::RunSummary(RunSummary {
+            steps: self.steps,
+            time: self.time,
+            threads: self.engine.threads() as u64,
+            cells: self.run_cells,
+            total_nanos: self.run_nanos,
+            accesses: 0,
+            mr_l1: 0.0,
+            mr_l2: 0.0,
+            mr_combined: 0.0,
+            residual: self.last_residual,
+            lut: Self::zero_lut(),
+        }));
     }
 
     /// Sets the worker-thread count for the evaluation sweeps. Cell
@@ -161,11 +226,14 @@ impl FloatSim {
         // value — the reference must integrate the same map or a
         // systematic phase error masquerades as arithmetic error.
         let dt = self.model.dt_fx().to_f64();
+        let track = self.recording();
+        let start = track.then(Instant::now);
+        let mut residual = 0.0f64;
         match self.model.integrator() {
             cenn_core::Integrator::Euler => {
                 self.algebraic_pass();
                 let k1 = self.dyn_rhs();
-                self.apply_update(&k1, dt, None);
+                self.apply_update(&k1, dt, None, track.then_some(&mut residual));
             }
             cenn_core::Integrator::Heun => {
                 self.algebraic_pass();
@@ -173,7 +241,7 @@ impl FloatSim {
                 for (s, x) in self.saved.iter_mut().zip(&self.states) {
                     s.copy_from(x);
                 }
-                self.apply_update(&k1, dt, None);
+                self.apply_update(&k1, dt, None, None);
                 self.algebraic_pass();
                 let k2 = self.dyn_rhs();
                 std::mem::swap(&mut self.states, &mut self.saved);
@@ -189,6 +257,11 @@ impl FloatSim {
                         for c in 0..cols {
                             let x = self.states[i].get(r, c);
                             let v = self.round(x + half * (k1[i].get(r, c) + k2[i].get(r, c)));
+                            if track {
+                                // `x` is still the pre-step value here, so
+                                // this is the exactly-applied |Δx|.
+                                residual = residual.max((v - x).abs());
+                            }
                             self.states[i].set(r, c, v);
                         }
                     }
@@ -198,6 +271,28 @@ impl FloatSim {
         self.steps += 1;
         // Bookkeeping time uses the nominal dt (matches CennSim's clock).
         self.time += self.model.dt();
+        if track {
+            self.last_residual = residual;
+            let nanos = start.map_or(0, |s| s.elapsed().as_nanos() as u64);
+            let cells = self.plan.len() as u64
+                * u64::from(self.model.integrator().passes())
+                * (self.model.rows() * self.model.cols()) as u64;
+            self.run_cells += cells;
+            self.run_nanos += nanos;
+            if let Some(rec) = &self.recorder {
+                rec.record(&Event::Step(StepMetrics {
+                    step: self.steps,
+                    time: self.time,
+                    threads: self.engine.threads() as u64,
+                    cells,
+                    total_nanos: nanos,
+                    residual,
+                    sweeps: Vec::new(),
+                    lut: Self::zero_lut(),
+                    shards: Vec::new(),
+                }));
+            }
+        }
     }
 
     fn algebraic_pass(&mut self) {
@@ -244,9 +339,16 @@ impl FloatSim {
             .collect()
     }
 
-    /// Applies `x <- x + dt·k` to dynamic layers.
+    /// Applies `x <- x + dt·k` to dynamic layers. When `residual` is
+    /// supplied it accumulates the max-norm of the applied change.
     #[allow(clippy::needless_range_loop)] // parallel indexing of plan/states/k
-    fn apply_update(&mut self, k: &[Grid<f64>], dt: f64, only: Option<usize>) {
+    fn apply_update(
+        &mut self,
+        k: &[Grid<f64>],
+        dt: f64,
+        only: Option<usize>,
+        mut residual: Option<&mut f64>,
+    ) {
         let (rows, cols) = (self.model.rows(), self.model.cols());
         for i in 0..self.plan.len() {
             if self.plan[i].kind != LayerKind::Dynamic || only.is_some_and(|o| o != i) {
@@ -256,6 +358,9 @@ impl FloatSim {
                 for c in 0..cols {
                     let x = self.states[i].get(r, c);
                     let v = self.round(x + dt * k[i].get(r, c));
+                    if let Some(res) = residual.as_deref_mut() {
+                        *res = res.max((v - x).abs());
+                    }
                     self.states[i].set(r, c, v);
                 }
             }
@@ -403,6 +508,17 @@ impl FloatRunner {
         self.sim.set_threads(threads);
     }
 
+    /// Attaches a metric recorder to the underlying simulator.
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.sim.set_recorder(recorder);
+    }
+
+    /// Emits the end-of-run [`cenn_obs::RunSummary`] event (no-op without
+    /// an enabled recorder).
+    pub fn record_summary(&self) {
+        self.sim.record_summary();
+    }
+
     /// Advances one step (plus post-step rule); returns fired cells.
     pub fn step(&mut self) -> usize {
         self.sim.step();
@@ -491,6 +607,30 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn float_recorder_emits_shared_schema_with_zero_lut() {
+        let setup = Heat::default().build(8, 8).unwrap();
+        let mut runner = FloatRunner::new(setup, Precision::F64).unwrap();
+        let (handle, reader) = cenn_obs::RecorderHandle::in_memory(true);
+        runner.set_recorder(handle);
+        runner.run(4);
+        runner.record_summary();
+        let rec = reader.lock().unwrap();
+        assert_eq!(rec.events().len(), 5, "4 steps + summary");
+        let cenn_obs::Event::Step(s) = &rec.events()[0] else {
+            panic!("first event must be a step")
+        };
+        assert_eq!(s.step, 1);
+        assert!(s.residual > 0.0, "heat diffuses on step 1");
+        assert!(s.lut.iter().all(|l| l.hits == 0 && l.misses == 0));
+        let summary = rec.summary().unwrap();
+        assert_eq!(summary.steps, 4);
+        assert_eq!(summary.accesses, 0);
+        for line in rec.to_jsonl().lines() {
+            cenn_obs::validate_jsonl_line(line).unwrap();
         }
     }
 

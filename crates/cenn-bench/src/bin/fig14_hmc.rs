@@ -5,7 +5,8 @@
 use cenn::arch::{CycleModel, MemorySpec, PeArrayConfig};
 use cenn::baselines::{gtx850_gpu, StencilWorkload};
 use cenn::equations::all_benchmarks;
-use cenn_bench::{geomean, measured_miss_rates, probe_and_perf, rule, PERF_SIDE};
+use cenn::obs::{Event, RecorderHandle};
+use cenn_bench::{geomean, probe_and_perf, recorded_summary, rule, PERF_SIDE};
 
 fn main() {
     println!(
@@ -23,14 +24,30 @@ fn main() {
     let int = CycleModel::new(MemorySpec::hmc_int(), pe.clone());
     let ext = CycleModel::new(MemorySpec::hmc_ext(), pe);
     let gpu = gtx850_gpu();
+    // Each cycle-model estimate is also captured as a mem_traffic event —
+    // the same stream `--metrics-out` serializes.
+    let (handle, reader) = RecorderHandle::in_memory(false);
     let mut sp_int = Vec::new();
     let mut sp_ext = Vec::new();
     for sys in all_benchmarks() {
         let (probe, perf) = probe_and_perf(sys.as_ref());
-        let mr = measured_miss_rates(&probe, 5, 15);
-        let t_ddr = ddr.estimate(&perf.model, mr).time_per_step_s();
-        let t_int = int.estimate(&perf.model, mr).time_per_step_s();
-        let t_ext = ext.estimate(&perf.model, mr).time_per_step_s();
+        // Miss rates come back through the recorded run_summary event.
+        let summary = recorded_summary(&probe, 5, 15);
+        let mr = (summary.mr_l1, summary.mr_l2);
+        let est_ddr = ddr.estimate(&perf.model, mr);
+        let est_int = int.estimate(&perf.model, mr);
+        let est_ext = ext.estimate(&perf.model, mr);
+        for (spec, est) in [
+            ("ddr3", &est_ddr),
+            ("hmc-int", &est_int),
+            ("hmc-ext", &est_ext),
+        ] {
+            let label = format!("{}/{}", sys.name(), spec);
+            handle.record(&Event::MemTraffic(est.to_mem_traffic(label, None)));
+        }
+        let t_ddr = est_ddr.time_per_step_s();
+        let t_int = est_int.time_per_step_s();
+        let t_ext = est_ext.time_per_step_s();
         let t_gpu = gpu.time_per_step(&StencilWorkload::from_model(&perf.model));
         sp_int.push(t_gpu / t_int);
         sp_ext.push(t_gpu / t_ext);
@@ -55,6 +72,18 @@ fn main() {
         "",
         geomean(&sp_ext)
     );
+    let rec = reader.lock().expect("recorder lock");
+    println!(
+        "\nenergy per step off the recorded mem_traffic stream ({} events):",
+        rec.events().len()
+    );
+    for ev in rec.events() {
+        if let Event::MemTraffic(m) = ev {
+            if m.label.ends_with("/hmc-ext") {
+                println!("  {:<28} {:>8.3} mJ", m.label, m.energy_j * 1e3);
+            }
+        }
+    }
     println!("\nshape checks: EXT > INT > DDR3 (more channels kill the L2-miss");
     println!("request queue of §6.3; the 10 GHz I/O clock over-drives the array).");
 }

@@ -1,19 +1,79 @@
 //! Fig. 8 / §5.1 — dataflow-scheme comparison for convolution with
 //! real-time weight update: DRAM accesses under NLR / WS / OS / RS reuse
 //! (eqs. 11–12), including the paper's 100K-vs-1.6K worked example.
+//!
+//! The sweep is recorded as `mem_traffic` events through `cenn-obs` and
+//! the printed table is reconstructed from the captured stream, so the
+//! figure consumes exactly what an external tool would read off JSONL.
 
 use cenn::arch::dataflow::{paper_example, DataflowScheme};
+use cenn::obs::{Event, MemTraffic, RecorderHandle};
 use cenn_bench::rule;
+
+/// Q16.16 state word moved per DRAM access.
+const WORD_BYTES: f64 = 4.0;
+
+const SCHEMES: [(DataflowScheme, &str); 4] = [
+    (DataflowScheme::NoLocalReuse, "NLR"),
+    (DataflowScheme::WeightStationary, "WS"),
+    (DataflowScheme::RowStationary, "RS"),
+    (DataflowScheme::OutputStationary, "OS"),
+];
+
+fn traffic_event(label: String, accesses: f64) -> Event {
+    Event::MemTraffic(MemTraffic {
+        label,
+        dram_bytes: accesses * WORD_BYTES,
+        ..MemTraffic::default()
+    })
+}
 
 fn main() {
     println!("Fig. 8 / eqs. (11)-(12) — DRAM accesses for real-time weight update\n");
 
+    // Record every point of the comparison, then print from the stream.
+    let (handle, reader) = RecorderHandle::in_memory(false);
+
     // The paper's worked example: (mr_L1 * mr_L2) = 0.1, 1024x1024 input,
     // one WUI template, 64 PEs.
     let (non_os, os) = paper_example();
+    handle.record(&traffic_event("example/non-os".into(), non_os));
+    handle.record(&traffic_event("example/os".into(), os));
+
+    let mr_points = [
+        (0.7, 0.5),
+        (0.5, 0.3),
+        (0.3, 0.2),
+        (0.15, 0.1),
+        (0.05, 0.05),
+    ];
+    for &(mr1, mr2) in &mr_points {
+        for (scheme, name) in SCHEMES {
+            let accesses = scheme.dram_accesses(mr1, mr2, 256 * 256, 2, 64);
+            handle.record(&traffic_event(format!("{name}@{:.3}", mr1 * mr2), accesses));
+        }
+    }
+
+    let rec = reader.lock().expect("recorder lock");
+    let accesses_for = |label: &str| -> f64 {
+        rec.events()
+            .iter()
+            .find_map(|ev| match ev {
+                Event::MemTraffic(m) if m.label == label => Some(m.dram_bytes / WORD_BYTES),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("no mem_traffic event labelled {label}"))
+    };
+
     println!("worked example (mr1*mr2 = 0.1, 1024^2 input, 1 WUI template):");
-    println!("  non-OS schemes: {non_os:>10.0} accesses  (paper: ~100K)");
-    println!("  OS dataflow:    {os:>10.0} accesses  (paper: ~1.6K, #PEs x less)\n");
+    println!(
+        "  non-OS schemes: {:>10.0} accesses  (paper: ~100K)",
+        accesses_for("example/non-os")
+    );
+    println!(
+        "  OS dataflow:    {:>10.0} accesses  (paper: ~1.6K, #PEs x less)\n",
+        accesses_for("example/os")
+    );
 
     println!("sweep over miss-rate products (64 PEs, 256x256 input, 2 WUI templates):");
     println!(
@@ -21,24 +81,22 @@ fn main() {
         "mr1*mr2", "NLR", "WS", "RS", "OS"
     );
     rule(64);
-    for &(mr1, mr2) in &[
-        (0.7, 0.5),
-        (0.5, 0.3),
-        (0.3, 0.2),
-        (0.15, 0.1),
-        (0.05, 0.05),
-    ] {
-        let acc = |s: DataflowScheme| s.dram_accesses(mr1, mr2, 256 * 256, 2, 64);
+    for &(mr1, mr2) in &mr_points {
+        let product = mr1 * mr2;
         println!(
-            "{:>12.3} {:>12.0} {:>12.0} {:>12.0} {:>12.0}",
-            mr1 * mr2,
-            acc(DataflowScheme::NoLocalReuse),
-            acc(DataflowScheme::WeightStationary),
-            acc(DataflowScheme::RowStationary),
-            acc(DataflowScheme::OutputStationary),
+            "{product:>12.3} {:>12.0} {:>12.0} {:>12.0} {:>12.0}",
+            accesses_for(&format!("NLR@{product:.3}")),
+            accesses_for(&format!("WS@{product:.3}")),
+            accesses_for(&format!("RS@{product:.3}")),
+            accesses_for(&format!("OS@{product:.3}")),
         );
     }
     rule(64);
+    println!(
+        "\n({} mem_traffic events captured; same stream a `--metrics-out` JSONL",
+        rec.events().len()
+    );
+    println!("sink would carry, at {WORD_BYTES:.0} bytes per Q16.16 access.)");
     println!("\nconclusion (§5.1): OS dataflow shares each weight across all PEs, so");
     println!("weight-update DRAM traffic divides by #PEs — 'as CeNN state evolves");
     println!("over time, the advantage of utilizing OS dataflow piles up.'");

@@ -19,10 +19,14 @@ USAGE:
       List available benchmark systems.
   cenn run --system <name> [--grid N] [--steps N] [--memory M]
            [--integrator euler|heun] [--threads N] [--render] [--pgm FILE]
-           [--report]
+           [--report] [--metrics-out FILE] [--metrics-format jsonl|csv]
+           [--metrics-canonical]
       Run a system on the fixed-point solver simulator. --threads N sweeps
       the grid on N worker threads (bit-identical to serial; defaults to
-      the CENN_THREADS environment variable, else 1).
+      the CENN_THREADS environment variable, else 1). --metrics-out streams
+      per-step metrics and a run summary to FILE (jsonl by default);
+      --metrics-canonical zeroes wall-clock fields so the stream is
+      byte-for-byte reproducible.
   cenn program --system <name> [--grid N] --out FILE
       Compile a system to its solver bitstream.
   cenn inspect FILE
@@ -84,6 +88,9 @@ pub struct RunOpts {
     pub pgm: Option<String>,
     pub report: bool,
     pub out: Option<String>,
+    pub metrics_out: Option<String>,
+    pub metrics_format: String,
+    pub metrics_canonical: bool,
 }
 
 impl Default for RunOpts {
@@ -99,6 +106,9 @@ impl Default for RunOpts {
             pgm: None,
             report: false,
             out: None,
+            metrics_out: None,
+            metrics_format: "jsonl".into(),
+            metrics_canonical: false,
         }
     }
 }
@@ -144,11 +154,20 @@ pub fn parse_opts(args: &[String]) -> Result<RunOpts, CliError> {
             "--report" => opts.report = true,
             "--pgm" => opts.pgm = Some(value("--pgm")?),
             "--out" => opts.out = Some(value("--out")?),
+            "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
+            "--metrics-format" => opts.metrics_format = value("--metrics-format")?,
+            "--metrics-canonical" => opts.metrics_canonical = true,
             other => return Err(err(format!("unknown option '{other}'"))),
         }
     }
     if opts.system.is_empty() {
         return Err(err("--system is required"));
+    }
+    if !matches!(opts.metrics_format.as_str(), "jsonl" | "csv") {
+        return Err(err(format!(
+            "unknown metrics format '{}'; use jsonl or csv",
+            opts.metrics_format
+        )));
     }
     if opts.grid == 0 {
         return Err(err("--grid must be positive"));
@@ -227,7 +246,30 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
         FixedRunner::new(setup.clone()).map_err(|e| err(format!("simulator setup: {e}")))?;
     let threads = resolve_threads(&opts);
     runner.set_threads(threads);
+    let metrics = match &opts.metrics_out {
+        None => None,
+        Some(path) => {
+            let handle = match opts.metrics_format.as_str() {
+                "csv" => cenn::obs::RecorderHandle::new(
+                    cenn::obs::CsvSink::create(path, opts.metrics_canonical)
+                        .map_err(|e| err(format!("creating {path}: {e}")))?,
+                ),
+                _ => cenn::obs::RecorderHandle::new(
+                    cenn::obs::JsonlSink::create(path, opts.metrics_canonical)
+                        .map_err(|e| err(format!("creating {path}: {e}")))?,
+                ),
+            };
+            runner.set_recorder(handle.clone());
+            Some((handle, path.clone()))
+        }
+    };
     let fired = runner.run(steps);
+    if let Some((handle, path)) = &metrics {
+        runner.record_summary();
+        handle
+            .flush()
+            .map_err(|e| err(format!("writing {path}: {e}")))?;
+    }
 
     let mut out = String::new();
     writeln!(
@@ -267,6 +309,15 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
         let (_, grid) = &runner.observed_states()[0];
         render::write_pgm(grid, path).map_err(|e| err(format!("writing {path}: {e}")))?;
         writeln!(out, "wrote {path}").unwrap();
+    }
+    if let Some((_, path)) = &metrics {
+        writeln!(
+            out,
+            "metrics: wrote {} events to {path} ({})",
+            steps + 1,
+            opts.metrics_format
+        )
+        .unwrap();
     }
     if opts.report {
         let mem = memory_by_name(&opts.memory)?;
@@ -443,6 +494,92 @@ mod tests {
                 .join("\n")
         };
         assert_eq!(strip(&serial), strip(&par));
+    }
+
+    #[test]
+    fn parse_metrics_flags() {
+        let o = parse_opts(&s(&[
+            "--system",
+            "heat",
+            "--metrics-out",
+            "m.jsonl",
+            "--metrics-format",
+            "csv",
+            "--metrics-canonical",
+        ]))
+        .unwrap();
+        assert_eq!(o.metrics_out.as_deref(), Some("m.jsonl"));
+        assert_eq!(o.metrics_format, "csv");
+        assert!(o.metrics_canonical);
+        assert!(
+            parse_opts(&s(&["--system", "heat", "--metrics-format", "xml"])).is_err(),
+            "unknown format rejected"
+        );
+    }
+
+    #[test]
+    fn metrics_out_streams_schema_valid_reproducible_jsonl() {
+        let dir = std::env::temp_dir().join("cenn_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run = |name: &str, threads: &str| {
+            let path = dir.join(name);
+            let path_str = path.to_str().unwrap().to_string();
+            let out = dispatch(&s(&[
+                "run",
+                "--system",
+                "fisher",
+                "--grid",
+                "16",
+                "--steps",
+                "6",
+                "--threads",
+                threads,
+                "--metrics-out",
+                &path_str,
+                "--metrics-canonical",
+            ]))
+            .unwrap();
+            assert!(out.contains("metrics: wrote 7 events"), "{out}");
+            let text = std::fs::read_to_string(&path).unwrap();
+            std::fs::remove_file(&path).unwrap();
+            text
+        };
+        let serial = run("m1.jsonl", "1");
+        assert_eq!(serial.lines().count(), 7, "6 steps + summary");
+        for line in serial.lines() {
+            cenn::obs::validate_jsonl_line(line).unwrap();
+        }
+        assert!(serial.lines().last().unwrap().contains("\"run_summary\""));
+        // Canonical stream is byte-for-byte identical across thread counts.
+        let par = run("m4.jsonl", "4");
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn metrics_csv_has_header_and_rows() {
+        let dir = std::env::temp_dir().join("cenn_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.csv");
+        let path_str = path.to_str().unwrap().to_string();
+        dispatch(&s(&[
+            "run",
+            "--system",
+            "heat",
+            "--grid",
+            "16",
+            "--steps",
+            "3",
+            "--metrics-out",
+            &path_str,
+            "--metrics-format",
+            "csv",
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], cenn::obs::CSV_HEADER);
+        assert_eq!(lines.len(), 1 + 3 + 1, "header + 3 steps + summary");
     }
 
     #[test]

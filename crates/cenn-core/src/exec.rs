@@ -241,6 +241,10 @@ pub struct StepStats {
     pub cells: u64,
     /// Per-shard LUT traffic generated by this step (index = shard id).
     pub shard_lut: Vec<LutStats>,
+    /// Max-norm of the state change the step applied (`max |Δx|` over
+    /// dynamic layers), exact in fixed point — zero when no recorder is
+    /// attached (the scan is skipped entirely).
+    pub residual: f64,
 }
 
 impl StepStats {
@@ -260,6 +264,30 @@ impl StepStats {
             total.merge(s);
         }
         total
+    }
+
+    /// Converts the step record into the shared observability event
+    /// payload. `step` and `time` come from the simulator clock (the
+    /// stats block itself is clock-agnostic).
+    pub fn to_metrics(&self, step: u64, time: f64) -> cenn_obs::StepMetrics {
+        cenn_obs::StepMetrics {
+            step,
+            time,
+            threads: self.threads as u64,
+            cells: self.cells,
+            total_nanos: self.total_nanos,
+            residual: self.residual,
+            sweeps: self
+                .sweeps
+                .iter()
+                .map(|(label, nanos)| cenn_obs::SweepTiming {
+                    label: label.clone(),
+                    nanos: *nanos,
+                })
+                .collect(),
+            lut: self.lut_total().level_metrics(),
+            shards: self.shard_lut.iter().map(|s| s.accesses).collect(),
+        }
     }
 }
 
@@ -344,6 +372,7 @@ mod tests {
             total_nanos: 1_000_000_000,
             cells: 3_000_000,
             shard_lut: Vec::new(),
+            residual: 0.0,
         };
         assert!((stats.cells_per_sec() - 3e6).abs() < 1e-6);
         assert_eq!(StepStats::default().cells_per_sec(), 0.0);

@@ -3,6 +3,7 @@
 use std::time::Instant;
 
 use cenn_lut::{FuncId, FuncLibrary, LutHierarchy, LutShard, LutStats, OffChipLut};
+use cenn_obs::{Event, RecorderHandle, RunSummary};
 use fixedpt::{MacAcc, Q16_16};
 
 use crate::boundary::Boundary;
@@ -95,6 +96,13 @@ pub struct CennSim {
     eval: FuncEval,
     time: f64,
     steps: u64,
+    /// Optional metric sink; `None` (the default) keeps every step on the
+    /// uninstrumented path. See [`set_recorder`](Self::set_recorder).
+    recorder: Option<RecorderHandle>,
+    /// Cumulative cell evaluations across the run (for the summary event).
+    run_cells: u64,
+    /// Cumulative wall-clock nanos across steps (for the summary event).
+    run_nanos: u64,
 }
 
 impl CennSim {
@@ -145,6 +153,9 @@ impl CennSim {
             eval,
             time: 0.0,
             steps: 0,
+            recorder: None,
+            run_cells: 0,
+            run_nanos: 0,
             model,
         })
     }
@@ -180,6 +191,57 @@ impl CennSim {
     /// [`step`](Self::step); default-empty before the first step.
     pub fn step_stats(&self) -> &StepStats {
         &self.last_step
+    }
+
+    /// Attaches a metric recorder: every subsequent [`step`](Self::step)
+    /// emits one [`cenn_obs::StepMetrics`] event, and
+    /// [`record_summary`](Self::record_summary) emits the end-of-run
+    /// aggregate. A disabled recorder (e.g. [`cenn_obs::NullRecorder`])
+    /// costs one branch per step — no events are built and the residual
+    /// scan is skipped, so the hot path is unchanged.
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Detaches the recorder (subsequent steps emit nothing).
+    pub fn clear_recorder(&mut self) {
+        self.recorder = None;
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&RecorderHandle> {
+        self.recorder.as_ref()
+    }
+
+    /// `true` if an enabled recorder wants per-step events (gates the
+    /// residual scan and event construction).
+    fn recording(&self) -> bool {
+        self.recorder.as_ref().is_some_and(RecorderHandle::enabled)
+    }
+
+    /// Emits the end-of-run [`cenn_obs::RunSummary`] event: totals plus
+    /// the measured miss rates the paper's cycle model consumes. No-op
+    /// without an enabled recorder.
+    pub fn record_summary(&self) {
+        let Some(rec) = &self.recorder else { return };
+        if !rec.enabled() {
+            return;
+        }
+        let lut = self.lut_stats();
+        let (mr_l1, mr_l2) = self.miss_rates();
+        rec.record(&Event::RunSummary(RunSummary {
+            steps: self.steps,
+            time: self.time,
+            threads: self.engine.threads() as u64,
+            cells: self.run_cells,
+            total_nanos: self.run_nanos,
+            accesses: lut.accesses,
+            mr_l1,
+            mr_l2,
+            mr_combined: lut.combined_miss_rate(),
+            residual: self.last_step.residual,
+            lut: lut.level_metrics(),
+        }));
     }
 
     /// `(hits, misses)` of one PE's private L1 LUT (per-PE accounting
@@ -344,12 +406,41 @@ impl CennSim {
             .zip(&before)
             .map(|(s, b)| s.stats().since(b))
             .collect();
+        self.run_cells += stats.cells;
+        self.run_nanos += stats.total_nanos;
         self.last_step = stats;
+        if self.recording() {
+            if let Some(rec) = &self.recorder {
+                rec.record(&Event::Step(
+                    self.last_step.to_metrics(self.steps, self.time),
+                ));
+            }
+        }
         StepReport {
             time: self.time,
             steps: self.steps,
             lut: self.hierarchy.stats(),
         }
+    }
+
+    /// Max-norm of `states − saved` over dynamic layers — the residual of
+    /// the step just applied. Exact: computed on the raw fixed-point bits.
+    fn max_state_delta(&self) -> f64 {
+        let mut max_raw: i64 = 0;
+        for i in 0..self.plan.len() {
+            if self.plan[i].kind != LayerKind::Dynamic {
+                continue;
+            }
+            for (a, b) in self.states[i]
+                .as_slice()
+                .iter()
+                .zip(self.saved[i].as_slice())
+            {
+                let d = (i64::from(a.to_bits()) - i64::from(b.to_bits())).abs();
+                max_raw = max_raw.max(d);
+            }
+        }
+        max_raw as f64 / f64::from(1u32 << 16)
     }
 
     /// Recomputes algebraic layers in declaration order (reading current
@@ -454,6 +545,7 @@ impl CennSim {
     #[allow(clippy::needless_range_loop)] // parallel indexing of plan/states/k1
     fn step_euler(&mut self, stats: &mut StepStats) {
         self.algebraic_pass(stats);
+        let track = self.recording();
         let dt = self.model.dt_fx();
         let mut k1 = std::mem::take(&mut self.aux);
         self.dyn_rhs(&mut k1, stats);
@@ -461,6 +553,11 @@ impl CennSim {
         for i in 0..self.plan.len() {
             if self.plan[i].kind != LayerKind::Dynamic {
                 continue;
+            }
+            if track {
+                // The Heun snapshot grids are idle under Euler; reuse them
+                // so the residual is the exactly-applied |Δx|.
+                self.saved[i].copy_from(&self.states[i]);
             }
             for (x, k) in self.states[i]
                 .as_mut_slice()
@@ -475,6 +572,9 @@ impl CennSim {
         stats
             .sweeps
             .push(("update".into(), update_start.elapsed().as_nanos() as u64));
+        if track {
+            stats.residual = self.max_state_delta();
+        }
         self.aux = k1;
     }
 
@@ -540,6 +640,11 @@ impl CennSim {
         stats
             .sweeps
             .push(("update".into(), update_start.elapsed().as_nanos() as u64));
+        if self.recording() {
+            // `saved` still holds the pre-step states, so this is the
+            // exactly-applied per-step |Δx|.
+            stats.residual = self.max_state_delta();
+        }
         self.aux = k1;
         self.aux2 = k2;
     }
@@ -1054,6 +1159,61 @@ mod tests {
         assert_eq!(stats.lut_total().accesses, 36);
         assert!(stats.cells_per_sec() > 0.0);
         assert_eq!(stats.shard_lut.len(), sim.tile_plan().tiles().len());
+    }
+
+    #[test]
+    fn recorder_receives_steps_and_summary() {
+        let mut b = CennModelBuilder::new(6, 6);
+        let x = b.dynamic_layer("x", Boundary::Zero);
+        let sq = b.register_func(cenn_lut::funcs::square());
+        b.offset_expr(x, WeightExpr::dynamic(0.01, sq, x));
+        let mut sim = CennSim::new(b.build(0.01).unwrap()).unwrap();
+        sim.set_state_f64(x, &Grid::new(6, 6, 0.5)).unwrap();
+        let (handle, reader) = cenn_obs::RecorderHandle::in_memory(true);
+        sim.set_recorder(handle);
+        sim.run(3);
+        sim.record_summary();
+        let rec = reader.lock().unwrap();
+        assert_eq!(rec.events().len(), 4, "3 steps + 1 summary");
+        let Event::Step(s) = &rec.events()[0] else {
+            panic!("first event must be a step")
+        };
+        assert_eq!(s.step, 1);
+        assert_eq!(s.cells, 36);
+        assert_eq!(s.total_nanos, 0, "canonical recorder zeroes wall clock");
+        assert!(s.residual > 0.0, "offset drives the state, residual > 0");
+        assert_eq!(s.lut[0].hits + s.lut[0].misses, 36);
+        assert_eq!(s.shards.iter().sum::<u64>(), 36);
+        let summary = rec.summary().expect("summary recorded");
+        assert_eq!(summary.steps, 3);
+        assert_eq!(summary.cells, 3 * 36);
+        assert_eq!(summary.accesses, 3 * 36);
+        assert_eq!(summary.residual, sim.step_stats().residual);
+    }
+
+    #[test]
+    fn null_recorder_leaves_residual_unscanned() {
+        let (mut sim, u) = heat_sim(4, 4, 1.0, 0.1);
+        sim.set_state_f64(u, &Grid::new(4, 4, 1.0)).unwrap();
+        sim.set_recorder(cenn_obs::RecorderHandle::new(cenn_obs::NullRecorder));
+        sim.step();
+        assert_eq!(sim.step_stats().residual, 0.0, "scan skipped when disabled");
+        sim.clear_recorder();
+        assert!(sim.recorder().is_none());
+    }
+
+    #[test]
+    fn recorded_residual_matches_state_change() {
+        // Leak-only decay from 1.0: after one Euler step with dt = 0.25,
+        // x = 0.75 exactly, so the residual is exactly 0.25.
+        let mut b = CennModelBuilder::new(2, 2);
+        let u = b.dynamic_layer("u", Boundary::Zero);
+        let mut sim = CennSim::new(b.build(0.25).unwrap()).unwrap();
+        sim.set_state_f64(u, &Grid::new(2, 2, 1.0)).unwrap();
+        let (handle, _reader) = cenn_obs::RecorderHandle::in_memory(false);
+        sim.set_recorder(handle);
+        sim.step();
+        assert!((sim.step_stats().residual - 0.25).abs() < 1e-9);
     }
 
     #[test]

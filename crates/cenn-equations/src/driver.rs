@@ -142,6 +142,23 @@ impl FixedRunner {
     pub fn reset_lut_stats(&mut self) {
         self.sim.reset_lut_stats();
     }
+
+    /// Attaches a metric recorder to the underlying simulator: every step
+    /// emits a [`cenn_obs::StepMetrics`] event through it.
+    pub fn set_recorder(&mut self, recorder: cenn_obs::RecorderHandle) {
+        self.sim.set_recorder(recorder);
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&cenn_obs::RecorderHandle> {
+        self.sim.recorder()
+    }
+
+    /// Emits the end-of-run [`cenn_obs::RunSummary`] event (no-op without
+    /// an enabled recorder).
+    pub fn record_summary(&self) {
+        self.sim.record_summary();
+    }
 }
 
 #[cfg(test)]

@@ -66,6 +66,37 @@ impl LutStats {
         }
     }
 
+    /// The per-hierarchy-level observability view of these counters
+    /// (L1, L2, DRAM — in that order), in the shared `cenn-obs` schema.
+    ///
+    /// Inserts are derived exactly from the refill path: every L1 miss
+    /// installs one entry into the L1 (from L2 or DRAM), every DRAM fetch
+    /// installs a full burst of [`crate::l2::DRAM_BURST_POINTS`] points
+    /// into the L2, and the DRAM row reports the points it streamed out.
+    pub fn level_metrics(&self) -> Vec<cenn_obs::LutLevelMetrics> {
+        use cenn_obs::{LutLevel, LutLevelMetrics};
+        vec![
+            LutLevelMetrics {
+                level: LutLevel::L1,
+                hits: self.l1_hits,
+                misses: self.accesses - self.l1_hits,
+                inserts: self.l2_hits + self.dram_fetches,
+            },
+            LutLevelMetrics {
+                level: LutLevel::L2,
+                hits: self.l2_hits,
+                misses: self.dram_fetches,
+                inserts: self.dram_fetches * crate::l2::DRAM_BURST_POINTS as u64,
+            },
+            LutLevelMetrics {
+                level: LutLevel::Dram,
+                hits: self.dram_fetches,
+                misses: 0,
+                inserts: self.dram_points,
+            },
+        ]
+    }
+
     /// Merges another stats block into this one.
     pub fn merge(&mut self, other: &LutStats) {
         self.accesses += other.accesses;
@@ -104,6 +135,29 @@ mod tests {
         assert!((s.combined_miss_rate() - 0.1).abs() < 1e-12);
         // mr_l1 * mr_l2 == combined
         assert!((s.l1_miss_rate() * s.l2_miss_rate() - s.combined_miss_rate()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn level_metrics_derive_from_counters() {
+        let s = LutStats {
+            accesses: 100,
+            l1_hits: 60,
+            l2_hits: 30,
+            dram_fetches: 10,
+            dram_points: 80,
+            exact_hits: 5,
+        };
+        let m = s.level_metrics();
+        assert_eq!(m.len(), 3);
+        // L1: every miss goes down a level; every miss installs one entry.
+        assert_eq!((m[0].hits, m[0].misses, m[0].inserts), (60, 40, 40));
+        // L2: misses are DRAM fetches; each fetch bursts 8 points in.
+        assert_eq!((m[1].hits, m[1].misses, m[1].inserts), (30, 10, 80));
+        // DRAM never misses; inserts report streamed points.
+        assert_eq!((m[2].hits, m[2].misses, m[2].inserts), (10, 0, 80));
+        // Conservation: hits + misses at each level equals traffic into it.
+        assert_eq!(m[0].hits + m[0].misses, s.accesses);
+        assert_eq!(m[1].hits + m[1].misses, s.accesses - s.l1_hits);
     }
 
     #[test]

@@ -1,0 +1,535 @@
+//! The typed, versioned metric-event schema.
+//!
+//! Every event serializes to one JSONL object with a **fixed key order**
+//! and an explicit `"schema"` version. The key sets below are frozen per
+//! schema version: adding, removing, or renaming a field requires bumping
+//! [`SCHEMA_VERSION`] (the golden schema test enforces this).
+
+use crate::json::{self, JsonValue};
+
+/// Version stamped into every serialized event. Bump when any event's
+/// field set changes; [`known_keys`] must keep describing the current
+/// version exactly.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Wall-clock nanos of one named sweep inside a step (e.g. `dynamic`,
+/// `update`, `algebraic:0`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SweepTiming {
+    /// Sweep label, stable across runs.
+    pub label: String,
+    /// Wall-clock nanoseconds (zeroed by [`Event::canonical`]).
+    pub nanos: u64,
+}
+
+/// Which LUT hierarchy level a metrics row describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LutLevel {
+    /// Per-PE private L1 LUTs.
+    #[default]
+    L1,
+    /// Shared per-group L2 LUTs.
+    L2,
+    /// Off-chip DRAM tables.
+    Dram,
+}
+
+impl LutLevel {
+    /// Stable serialized name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::L1 => "l1",
+            Self::L2 => "l2",
+            Self::Dram => "dram",
+        }
+    }
+}
+
+/// Hit/miss/insert accounting for one LUT hierarchy level.
+///
+/// *Hits* are look-ups satisfied at the level, *misses* are look-ups that
+/// had to go deeper, *inserts* are entries written into the level on the
+/// refill path (for DRAM, the burst points streamed out). All three are
+/// exact counters — deterministic for any thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LutLevelMetrics {
+    /// The hierarchy level.
+    pub level: LutLevel,
+    /// Look-ups satisfied at this level.
+    pub hits: u64,
+    /// Look-ups that missed and went deeper.
+    pub misses: u64,
+    /// Entries installed into this level on refill.
+    pub inserts: u64,
+}
+
+/// Per-step metrics emitted by the functional simulators.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StepMetrics {
+    /// Step index after execution (first step is 1).
+    pub step: u64,
+    /// Simulated time after the step.
+    pub time: f64,
+    /// Worker threads the sweep ran on.
+    pub threads: u64,
+    /// Cell evaluations performed (cells × layer sweeps).
+    pub cells: u64,
+    /// Wall-clock nanos for the whole step (zeroed by
+    /// [`Event::canonical`]).
+    pub total_nanos: u64,
+    /// Max-norm of the state change the step applied (`max |Δx|` over
+    /// dynamic layers) — an exact fixed-point-derived quantity.
+    pub residual: f64,
+    /// Per-sweep wall-clock breakdown, in execution order.
+    pub sweeps: Vec<SweepTiming>,
+    /// Per-hierarchy-level LUT traffic of this step (L1, L2, DRAM).
+    pub lut: Vec<LutLevelMetrics>,
+    /// Per-shard LUT accesses issued this step (index = shard id).
+    pub shards: Vec<u64>,
+}
+
+/// Memory-system / architecture counters for one estimated step: DRAM
+/// traffic, cycle split, bank traffic under the OS dataflow, and energy.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MemTraffic {
+    /// What this row describes (memory name, dataflow scheme, …).
+    pub label: String,
+    /// Base convolution cycles per step.
+    pub conv_cycles: f64,
+    /// Expected LUT-miss stall cycles per step.
+    pub stall_cycles: f64,
+    /// DRAM bytes moved per step (prefetch + writeback + LUT bursts).
+    pub dram_bytes: f64,
+    /// Global-buffer primary-bank reads per step.
+    pub primary_reads: u64,
+    /// Global-buffer support-bank reads per step.
+    pub support_reads: u64,
+    /// PE-to-PE register moves per step (the reuse the dataflow buys).
+    pub reg_moves: u64,
+    /// Bank writebacks per step.
+    pub writebacks: u64,
+    /// Energy per step in joules.
+    pub energy_j: f64,
+}
+
+/// End-of-run aggregate: totals plus the derived miss rates the paper
+/// feeds into its cycle model.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunSummary {
+    /// Steps executed.
+    pub steps: u64,
+    /// Simulated end time.
+    pub time: f64,
+    /// Worker threads configured at the end of the run.
+    pub threads: u64,
+    /// Total cell evaluations across the run.
+    pub cells: u64,
+    /// Total wall-clock nanos across steps (zeroed by
+    /// [`Event::canonical`]).
+    pub total_nanos: u64,
+    /// Total LUT look-ups issued.
+    pub accesses: u64,
+    /// Measured `mr_L1` (Fig. 12).
+    pub mr_l1: f64,
+    /// Measured `mr_L2` (Fig. 12).
+    pub mr_l2: f64,
+    /// Combined miss rate `mr_L1 · mr_L2` (eqs. 11–12).
+    pub mr_combined: f64,
+    /// Residual of the final step.
+    pub residual: f64,
+    /// Cumulative per-hierarchy-level LUT accounting (L1, L2, DRAM).
+    pub lut: Vec<LutLevelMetrics>,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Per-step functional-simulator metrics.
+    Step(StepMetrics),
+    /// Architecture / memory-system counters.
+    MemTraffic(MemTraffic),
+    /// End-of-run aggregate.
+    RunSummary(RunSummary),
+}
+
+impl Event {
+    /// The stable `"event"` discriminator this event serializes under.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Step(_) => "step",
+            Self::MemTraffic(_) => "mem_traffic",
+            Self::RunSummary(_) => "run_summary",
+        }
+    }
+
+    /// A copy with every environment-dependent field zeroed: wall-clock
+    /// nanos and the configured thread count. Canonical events are
+    /// byte-for-byte reproducible across runs, machines, and thread
+    /// counts; golden fixtures and the determinism tests compare
+    /// canonical streams.
+    pub fn canonical(&self) -> Event {
+        match self {
+            Self::Step(s) => {
+                let mut s = s.clone();
+                s.total_nanos = 0;
+                s.threads = 0;
+                for sweep in &mut s.sweeps {
+                    sweep.nanos = 0;
+                }
+                Self::Step(s)
+            }
+            Self::MemTraffic(m) => Self::MemTraffic(m.clone()),
+            Self::RunSummary(r) => {
+                let mut r = r.clone();
+                r.total_nanos = 0;
+                r.threads = 0;
+                Self::RunSummary(r)
+            }
+        }
+    }
+
+    /// Serializes the event to its single-line JSON form (no trailing
+    /// newline), with the fixed schema-versioned key order.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(192);
+        out.push('{');
+        json::field_str(&mut out, "event", self.name());
+        json::field_u64(&mut out, "schema", SCHEMA_VERSION as u64);
+        match self {
+            Self::Step(s) => {
+                json::field_u64(&mut out, "step", s.step);
+                json::field_f64(&mut out, "time", s.time);
+                json::field_u64(&mut out, "threads", s.threads);
+                json::field_u64(&mut out, "cells", s.cells);
+                json::field_u64(&mut out, "total_nanos", s.total_nanos);
+                json::field_f64(&mut out, "residual", s.residual);
+                json::field_raw(&mut out, "sweeps", &sweeps_json(&s.sweeps));
+                json::field_raw(&mut out, "lut", &lut_json(&s.lut));
+                json::field_raw(&mut out, "shards", &shards_json(&s.shards));
+            }
+            Self::MemTraffic(m) => {
+                json::field_str(&mut out, "label", &m.label);
+                json::field_f64(&mut out, "conv_cycles", m.conv_cycles);
+                json::field_f64(&mut out, "stall_cycles", m.stall_cycles);
+                json::field_f64(&mut out, "dram_bytes", m.dram_bytes);
+                json::field_u64(&mut out, "primary_reads", m.primary_reads);
+                json::field_u64(&mut out, "support_reads", m.support_reads);
+                json::field_u64(&mut out, "reg_moves", m.reg_moves);
+                json::field_u64(&mut out, "writebacks", m.writebacks);
+                json::field_f64(&mut out, "energy_j", m.energy_j);
+            }
+            Self::RunSummary(r) => {
+                json::field_u64(&mut out, "steps", r.steps);
+                json::field_f64(&mut out, "time", r.time);
+                json::field_u64(&mut out, "threads", r.threads);
+                json::field_u64(&mut out, "cells", r.cells);
+                json::field_u64(&mut out, "total_nanos", r.total_nanos);
+                json::field_u64(&mut out, "accesses", r.accesses);
+                json::field_f64(&mut out, "mr_l1", r.mr_l1);
+                json::field_f64(&mut out, "mr_l2", r.mr_l2);
+                json::field_f64(&mut out, "mr_combined", r.mr_combined);
+                json::field_f64(&mut out, "residual", r.residual);
+                json::field_raw(&mut out, "lut", &lut_json(&r.lut));
+            }
+        }
+        // Strip the trailing comma every field helper appends.
+        out.pop();
+        out.push('}');
+        out
+    }
+}
+
+fn sweeps_json(sweeps: &[SweepTiming]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in sweeps.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        json::field_str(&mut out, "label", &s.label);
+        json::field_u64(&mut out, "nanos", s.nanos);
+        out.pop();
+        out.push('}');
+    }
+    out.push(']');
+    out
+}
+
+fn lut_json(levels: &[LutLevelMetrics]) -> String {
+    let mut out = String::from("[");
+    for (i, l) in levels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        json::field_str(&mut out, "level", l.level.as_str());
+        json::field_u64(&mut out, "hits", l.hits);
+        json::field_u64(&mut out, "misses", l.misses);
+        json::field_u64(&mut out, "inserts", l.inserts);
+        out.pop();
+        out.push('}');
+    }
+    out.push(']');
+    out
+}
+
+fn shards_json(shards: &[u64]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in shards.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&s.to_string());
+    }
+    out.push(']');
+    out
+}
+
+/// The exact top-level key sequence each event type serializes under the
+/// current [`SCHEMA_VERSION`]. Returns `None` for unknown event names.
+pub fn known_keys(event: &str) -> Option<&'static [&'static str]> {
+    match event {
+        "step" => Some(&[
+            "event",
+            "schema",
+            "step",
+            "time",
+            "threads",
+            "cells",
+            "total_nanos",
+            "residual",
+            "sweeps",
+            "lut",
+            "shards",
+        ]),
+        "mem_traffic" => Some(&[
+            "event",
+            "schema",
+            "label",
+            "conv_cycles",
+            "stall_cycles",
+            "dram_bytes",
+            "primary_reads",
+            "support_reads",
+            "reg_moves",
+            "writebacks",
+            "energy_j",
+        ]),
+        "run_summary" => Some(&[
+            "event",
+            "schema",
+            "steps",
+            "time",
+            "threads",
+            "cells",
+            "total_nanos",
+            "accesses",
+            "mr_l1",
+            "mr_l2",
+            "mr_combined",
+            "residual",
+            "lut",
+        ]),
+        _ => None,
+    }
+}
+
+/// Why a serialized event failed schema validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemaError {
+    /// The line is not a well-formed JSON object.
+    Malformed(String),
+    /// The `"event"` discriminator is missing or not a known name.
+    UnknownEvent(String),
+    /// The `"schema"` version does not match [`SCHEMA_VERSION`].
+    VersionMismatch {
+        /// Version found in the line.
+        found: u64,
+    },
+    /// The key sequence deviates from the frozen schema (an added,
+    /// dropped, renamed, or reordered field).
+    KeyMismatch {
+        /// Event the line claims to be.
+        event: String,
+        /// Keys actually present, in order.
+        found: Vec<String>,
+        /// Keys the schema requires, in order.
+        expected: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Malformed(m) => write!(f, "malformed JSONL event: {m}"),
+            Self::UnknownEvent(e) => write!(f, "unknown event type '{e}'"),
+            Self::VersionMismatch { found } => write!(
+                f,
+                "schema version {found} does not match current {SCHEMA_VERSION}"
+            ),
+            Self::KeyMismatch {
+                event,
+                found,
+                expected,
+            } => write!(
+                f,
+                "event '{event}' key set deviates from schema v{SCHEMA_VERSION}: \
+                 found [{}], expected [{}] — bump SCHEMA_VERSION to change the schema",
+                found.join(", "),
+                expected.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// Validates one serialized JSONL event against the frozen schema: the
+/// line must parse, carry the current [`SCHEMA_VERSION`], name a known
+/// event, and present **exactly** the frozen key sequence — unknown,
+/// renamed, missing, or reordered fields are all rejected.
+///
+/// # Errors
+///
+/// Returns the specific [`SchemaError`] describing the deviation.
+pub fn validate_jsonl_line(line: &str) -> Result<(), SchemaError> {
+    let value = json::parse(line).map_err(SchemaError::Malformed)?;
+    let obj = match &value {
+        JsonValue::Object(fields) => fields,
+        _ => return Err(SchemaError::Malformed("top level is not an object".into())),
+    };
+    let get = |key: &str| obj.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    let event = match get("event") {
+        Some(JsonValue::String(s)) => s.clone(),
+        _ => return Err(SchemaError::UnknownEvent("<missing>".into())),
+    };
+    let expected = known_keys(&event).ok_or_else(|| SchemaError::UnknownEvent(event.clone()))?;
+    match get("schema") {
+        Some(JsonValue::Number(n)) if *n == SCHEMA_VERSION as f64 => {}
+        Some(JsonValue::Number(n)) => {
+            return Err(SchemaError::VersionMismatch { found: *n as u64 })
+        }
+        _ => return Err(SchemaError::VersionMismatch { found: 0 }),
+    }
+    let found: Vec<String> = obj.iter().map(|(k, _)| k.clone()).collect();
+    if found != expected {
+        return Err(SchemaError::KeyMismatch {
+            event,
+            found,
+            expected: expected.iter().map(|s| s.to_string()).collect(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_step() -> Event {
+        Event::Step(StepMetrics {
+            step: 3,
+            time: 0.3,
+            threads: 2,
+            cells: 64,
+            total_nanos: 12345,
+            residual: 0.5,
+            sweeps: vec![SweepTiming {
+                label: "dynamic".into(),
+                nanos: 999,
+            }],
+            lut: vec![LutLevelMetrics {
+                level: LutLevel::L1,
+                hits: 10,
+                misses: 2,
+                inserts: 2,
+            }],
+            shards: vec![12, 0],
+        })
+    }
+
+    #[test]
+    fn every_event_round_trips_validation() {
+        let events = [
+            sample_step(),
+            Event::MemTraffic(MemTraffic {
+                label: "ddr3".into(),
+                conv_cycles: 100.0,
+                stall_cycles: 5.5,
+                dram_bytes: 4096.0,
+                primary_reads: 7,
+                support_reads: 3,
+                reg_moves: 56,
+                writebacks: 64,
+                energy_j: 1e-6,
+            }),
+            Event::RunSummary(RunSummary::default()),
+        ];
+        for ev in &events {
+            let line = ev.to_jsonl();
+            validate_jsonl_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+    }
+
+    #[test]
+    fn canonical_zeroes_only_environment_fields() {
+        let ev = sample_step().canonical();
+        let Event::Step(s) = &ev else { unreachable!() };
+        assert_eq!(s.total_nanos, 0);
+        assert_eq!(s.sweeps[0].nanos, 0);
+        assert_eq!(s.threads, 0, "thread count is an environment detail");
+        assert_eq!(s.cells, 64, "counters untouched");
+        assert_eq!(s.residual, 0.5, "residual is deterministic, kept");
+    }
+
+    #[test]
+    fn unknown_field_is_rejected() {
+        let line = sample_step().to_jsonl();
+        let hacked = line.replacen("\"step\":3", "\"step\":3,\"bogus\":1", 1);
+        assert!(matches!(
+            validate_jsonl_line(&hacked),
+            Err(SchemaError::KeyMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn renamed_field_is_rejected() {
+        let line = sample_step().to_jsonl();
+        let hacked = line.replacen("\"cells\"", "\"cellz\"", 1);
+        assert!(matches!(
+            validate_jsonl_line(&hacked),
+            Err(SchemaError::KeyMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn version_bump_is_required() {
+        let line = sample_step().to_jsonl();
+        let hacked = line.replacen("\"schema\":1", "\"schema\":2", 1);
+        assert!(matches!(
+            validate_jsonl_line(&hacked),
+            Err(SchemaError::VersionMismatch { found: 2 })
+        ));
+    }
+
+    #[test]
+    fn unknown_event_name_is_rejected() {
+        let line = "{\"event\":\"nope\",\"schema\":1}";
+        assert!(matches!(
+            validate_jsonl_line(line),
+            Err(SchemaError::UnknownEvent(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_is_malformed() {
+        assert!(matches!(
+            validate_jsonl_line("not json"),
+            Err(SchemaError::Malformed(_))
+        ));
+        assert!(matches!(
+            validate_jsonl_line("[1,2]"),
+            Err(SchemaError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,346 @@
+//! Streaming sinks: JSONL and CSV.
+
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use crate::recorder::Recorder;
+use crate::schema::{Event, LutLevelMetrics, SCHEMA_VERSION};
+
+/// Streams one JSON object per event, newline-delimited.
+///
+/// In canonical mode (see [`Event::canonical`]) wall-clock fields are
+/// zeroed before writing, making the emitted file byte-for-byte
+/// reproducible — the mode the CI golden fixture uses.
+pub struct JsonlSink<W: Write + Send> {
+    out: W,
+    canonical: bool,
+    error: Option<std::io::Error>,
+}
+
+impl JsonlSink<BufWriter<std::fs::File>> {
+    /// Creates (truncating) a JSONL file sink at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create(path: impl AsRef<Path>, canonical: bool) -> std::io::Result<Self> {
+        Ok(Self::new(
+            BufWriter::new(std::fs::File::create(path)?),
+            canonical,
+        ))
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer. `canonical` zeroes wall-clock fields on write.
+    pub fn new(out: W, canonical: bool) -> Self {
+        Self {
+            out,
+            canonical,
+            error: None,
+        }
+    }
+
+    /// The first I/O error hit while recording, if any (record calls
+    /// cannot return errors through the trait; they are surfaced here and
+    /// by [`Recorder::flush`]).
+    pub fn take_error(&mut self) -> Option<std::io::Error> {
+        self.error.take()
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write + Send> Recorder for JsonlSink<W> {
+    fn record(&mut self, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = if self.canonical {
+            event.canonical().to_jsonl()
+        } else {
+            event.to_jsonl()
+        };
+        if let Err(e) = writeln!(self.out, "{line}") {
+            self.error = Some(e);
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()
+    }
+}
+
+/// The fixed CSV header [`CsvSink`] writes: a flat union of the event
+/// fields, with LUT levels flattened into per-level hit/miss columns.
+/// Fields an event type does not carry are left empty.
+pub const CSV_HEADER: &str = "event,schema,step,time,label,threads,cells,total_nanos,residual,\
+l1_hits,l1_misses,l2_hits,l2_misses,dram_fetches,dram_points,\
+conv_cycles,stall_cycles,dram_bytes,primary_reads,support_reads,reg_moves,writebacks,energy_j,\
+steps,accesses,mr_l1,mr_l2,mr_combined";
+
+/// Streams one CSV row per event under the flat [`CSV_HEADER`] (written
+/// on the first record). Same canonical-mode semantics as [`JsonlSink`].
+pub struct CsvSink<W: Write + Send> {
+    out: W,
+    canonical: bool,
+    wrote_header: bool,
+    error: Option<std::io::Error>,
+}
+
+impl CsvSink<BufWriter<std::fs::File>> {
+    /// Creates (truncating) a CSV file sink at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create(path: impl AsRef<Path>, canonical: bool) -> std::io::Result<Self> {
+        Ok(Self::new(
+            BufWriter::new(std::fs::File::create(path)?),
+            canonical,
+        ))
+    }
+}
+
+impl<W: Write + Send> CsvSink<W> {
+    /// Wraps a writer. `canonical` zeroes wall-clock fields on write.
+    pub fn new(out: W, canonical: bool) -> Self {
+        Self {
+            out,
+            canonical,
+            wrote_header: false,
+            error: None,
+        }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+
+    fn row(event: &Event) -> String {
+        // Build the row against the header by name so columns can never
+        // drift out of alignment with CSV_HEADER.
+        let header: Vec<&str> = CSV_HEADER.split(',').collect();
+        let mut cols = vec![String::new(); header.len()];
+        let mut set = |name: &str, value: String| {
+            let i = header
+                .iter()
+                .position(|h| *h == name)
+                .unwrap_or_else(|| panic!("column {name} not in CSV_HEADER"));
+            cols[i] = value;
+        };
+        // Numbers use the same deterministic formatting as the JSON
+        // writer; absent fields stay empty.
+        let f = |v: f64| {
+            if v.is_finite() {
+                v.to_string()
+            } else {
+                "0".into()
+            }
+        };
+        set("event", event.name().into());
+        set("schema", SCHEMA_VERSION.to_string());
+        let set_lut = |levels: &[LutLevelMetrics], set: &mut dyn FnMut(&str, String)| {
+            for l in levels {
+                match l.level {
+                    crate::schema::LutLevel::L1 => {
+                        set("l1_hits", l.hits.to_string());
+                        set("l1_misses", l.misses.to_string());
+                    }
+                    crate::schema::LutLevel::L2 => {
+                        set("l2_hits", l.hits.to_string());
+                        set("l2_misses", l.misses.to_string());
+                    }
+                    crate::schema::LutLevel::Dram => {
+                        set("dram_fetches", l.hits.to_string());
+                        set("dram_points", l.inserts.to_string());
+                    }
+                }
+            }
+        };
+        match event {
+            Event::Step(s) => {
+                set("step", s.step.to_string());
+                set("time", f(s.time));
+                set("threads", s.threads.to_string());
+                set("cells", s.cells.to_string());
+                set("total_nanos", s.total_nanos.to_string());
+                set("residual", f(s.residual));
+                set_lut(&s.lut, &mut set);
+            }
+            Event::MemTraffic(m) => {
+                set("label", escape_csv(&m.label));
+                set("conv_cycles", f(m.conv_cycles));
+                set("stall_cycles", f(m.stall_cycles));
+                set("dram_bytes", f(m.dram_bytes));
+                set("primary_reads", m.primary_reads.to_string());
+                set("support_reads", m.support_reads.to_string());
+                set("reg_moves", m.reg_moves.to_string());
+                set("writebacks", m.writebacks.to_string());
+                set("energy_j", f(m.energy_j));
+            }
+            Event::RunSummary(r) => {
+                set("steps", r.steps.to_string());
+                set("time", f(r.time));
+                set("threads", r.threads.to_string());
+                set("cells", r.cells.to_string());
+                set("total_nanos", r.total_nanos.to_string());
+                set("residual", f(r.residual));
+                set("accesses", r.accesses.to_string());
+                set("mr_l1", f(r.mr_l1));
+                set("mr_l2", f(r.mr_l2));
+                set("mr_combined", f(r.mr_combined));
+                set_lut(&r.lut, &mut set);
+            }
+        }
+        cols.join(",")
+    }
+}
+
+fn escape_csv(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+impl<W: Write + Send> Recorder for CsvSink<W> {
+    fn record(&mut self, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        if !self.wrote_header {
+            if let Err(e) = writeln!(self.out, "{CSV_HEADER}") {
+                self.error = Some(e);
+                return;
+            }
+            self.wrote_header = true;
+        }
+        let ev = if self.canonical {
+            event.canonical()
+        } else {
+            event.clone()
+        };
+        if let Err(e) = writeln!(self.out, "{}", Self::row(&ev)) {
+            self.error = Some(e);
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{LutLevel, RunSummary, StepMetrics, SweepTiming};
+    use crate::validate_jsonl_line;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::Step(StepMetrics {
+                step: 1,
+                time: 0.1,
+                threads: 1,
+                cells: 16,
+                total_nanos: 555,
+                residual: 0.25,
+                sweeps: vec![SweepTiming {
+                    label: "dynamic".into(),
+                    nanos: 500,
+                }],
+                lut: vec![
+                    LutLevelMetrics {
+                        level: LutLevel::L1,
+                        hits: 3,
+                        misses: 1,
+                        inserts: 1,
+                    },
+                    LutLevelMetrics {
+                        level: LutLevel::L2,
+                        hits: 1,
+                        misses: 0,
+                        inserts: 0,
+                    },
+                    LutLevelMetrics {
+                        level: LutLevel::Dram,
+                        hits: 0,
+                        misses: 0,
+                        inserts: 0,
+                    },
+                ],
+                shards: vec![4],
+            }),
+            Event::RunSummary(RunSummary {
+                steps: 1,
+                accesses: 4,
+                ..RunSummary::default()
+            }),
+        ]
+    }
+
+    #[test]
+    fn jsonl_sink_streams_valid_lines() {
+        let mut sink = JsonlSink::new(Vec::new(), false);
+        for e in sample_events() {
+            sink.record(&e);
+        }
+        sink.flush().unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            validate_jsonl_line(line).unwrap();
+        }
+        assert!(text.contains("\"total_nanos\":555"));
+    }
+
+    #[test]
+    fn canonical_jsonl_zeroes_wall_clock() {
+        let mut sink = JsonlSink::new(Vec::new(), true);
+        for e in sample_events() {
+            sink.record(&e);
+        }
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(text.contains("\"total_nanos\":0"));
+        assert!(text.contains("\"nanos\":0"));
+        assert!(!text.contains("555"));
+    }
+
+    #[test]
+    fn csv_sink_writes_header_and_aligned_rows() {
+        let mut sink = CsvSink::new(Vec::new(), true);
+        for e in sample_events() {
+            sink.record(&e);
+        }
+        sink.record(&Event::MemTraffic(crate::MemTraffic {
+            label: "ddr3, fast".into(),
+            dram_bytes: 128.0,
+            ..crate::MemTraffic::default()
+        }));
+        sink.flush().unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let cols = CSV_HEADER.split(',').count();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], CSV_HEADER);
+        assert_eq!(lines.len(), 4);
+        assert!(lines[3].contains("\"ddr3, fast\""), "{}", lines[3]);
+        // Quoted comma must not change the column count.
+        for line in &lines[1..] {
+            let effective = line.replace("\"ddr3, fast\"", "x");
+            assert_eq!(effective.split(',').count(), cols, "row misaligned: {line}");
+        }
+    }
+}

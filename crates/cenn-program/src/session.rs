@@ -1,7 +1,8 @@
 //! The execution session: functional simulation feeding the cycle model.
 
-use cenn_arch::{CycleModel, MemorySpec, PeArrayConfig, RunEstimate};
+use cenn_arch::{BankTrafficModel, CycleModel, MemorySpec, PeArrayConfig, RunEstimate};
 use cenn_core::{CennModel, CennSim, FuncEval, Grid, LayerId, ModelError};
+use cenn_obs::{Event, RecorderHandle};
 use fixedpt::Q16_16;
 
 use crate::bitstream::{Program, ProgramError};
@@ -118,6 +119,49 @@ impl SolverSession {
     pub fn estimate_at(&self, miss_rates: (f64, f64)) -> RunEstimate {
         self.cycle.estimate(self.sim.model(), miss_rates)
     }
+
+    /// Attaches a metric recorder (builder form): every step emits a
+    /// [`cenn_obs::StepMetrics`] event through it. See
+    /// [`CennSim::set_recorder`].
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.sim.set_recorder(recorder);
+        self
+    }
+
+    /// Attaches a metric recorder in place.
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.sim.set_recorder(recorder);
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&RecorderHandle> {
+        self.sim.recorder()
+    }
+
+    /// Emits the end-of-run [`cenn_obs::RunSummary`] event (no-op without
+    /// an enabled recorder).
+    pub fn record_summary(&self) {
+        self.sim.record_summary();
+    }
+
+    /// Emits one [`cenn_obs::MemTraffic`] event for the cycle-level
+    /// estimate at the measured miss rates, including the global-buffer
+    /// bank-traffic split under the OS dataflow. `label` names the row
+    /// (conventionally the memory system). No-op without an enabled
+    /// recorder.
+    pub fn record_estimate(&self, label: &str) {
+        let Some(rec) = self.sim.recorder() else {
+            return;
+        };
+        if !rec.enabled() {
+            return;
+        }
+        let est = self.estimate();
+        let banks = BankTrafficModel::new(self.cycle.pe_config().clone())
+            .step_traffic(self.sim.model(), true);
+        rec.record(&Event::MemTraffic(est.to_mem_traffic(label, Some(banks))));
+    }
 }
 
 /// Errors from building a [`SolverSession`].
@@ -200,6 +244,46 @@ mod tests {
             );
         }
         assert_eq!(serial.miss_rates(), par.miss_rates());
+    }
+
+    #[test]
+    fn session_recorder_captures_run_and_estimate() {
+        let setup = Fisher::default().build(32, 32).unwrap();
+        let (handle, reader) = cenn_obs::RecorderHandle::in_memory(true);
+        let mut s = SolverSession::new(setup.model.clone(), MemorySpec::ddr3())
+            .unwrap()
+            .with_recorder(handle);
+        for (layer, grid) in &setup.initial {
+            s.sim_mut().set_state_f64(*layer, grid).unwrap();
+        }
+        s.run(5);
+        s.record_summary();
+        s.record_estimate("ddr3");
+        let rec = reader.lock().unwrap();
+        assert_eq!(rec.events().len(), 7, "5 steps + summary + estimate");
+        let summary = rec.summary().expect("summary present");
+        assert_eq!(summary.steps, 5);
+        let (mr1, mr2) = s.miss_rates();
+        assert_eq!(summary.mr_l1, mr1, "summary reproduces measured rates");
+        assert_eq!(summary.mr_l2, mr2);
+        let mem = rec
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                cenn_obs::Event::MemTraffic(m) => Some(m),
+                _ => None,
+            })
+            .expect("estimate event present");
+        assert_eq!(mem.label, "ddr3");
+        let est = s.estimate();
+        assert_eq!(mem.conv_cycles, est.timing().conv_cycles);
+        assert_eq!(mem.stall_cycles, est.timing().stall_cycles);
+        assert_eq!(mem.energy_j, est.energy_per_step_j());
+        assert!(mem.primary_reads > 0, "bank split populated");
+        // Every event round-trips the frozen schema.
+        for line in rec.to_jsonl().lines() {
+            cenn_obs::validate_jsonl_line(line).unwrap();
+        }
     }
 
     #[test]

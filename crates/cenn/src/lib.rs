@@ -12,6 +12,7 @@
 //! | Module | Crate | Contents |
 //! |---|---|---|
 //! | [`fx`] | `fixedpt` | Q16.16 fixed-point arithmetic |
+//! | [`obs`] | `cenn-obs` | metric recorders, event schema, JSONL/CSV sinks |
 //! | [`core`] | `cenn-core` | CeNN model, templates, functional simulator |
 //! | [`lut`] | `cenn-lut` | L1/L2/DRAM LUT hierarchy + TUM |
 //! | [`arch`] | `cenn-arch` | cycle-level timing, memory and energy models |
@@ -43,6 +44,12 @@ pub mod render;
 /// Fixed-point arithmetic (`fixedpt`).
 pub mod fx {
     pub use fixedpt::*;
+}
+
+/// Observability: recorders, the event schema, streaming sinks
+/// (`cenn-obs`).
+pub mod obs {
+    pub use cenn_obs::*;
 }
 
 /// The CeNN computing model (`cenn-core`).

@@ -4,13 +4,35 @@
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Pass `--metrics-out PATH` to stream per-step metrics and the run
+//! summary as JSONL (add `--metrics-canonical` for the byte-reproducible
+//! form that CI diffs against `tests/fixtures/quickstart_metrics.jsonl`):
+//!
+//! ```sh
+//! cargo run --release --example quickstart -- \
+//!     --metrics-out quickstart.jsonl --metrics-canonical
+//! ```
 
 use cenn::arch::MemorySpec;
 use cenn::core::Grid;
 use cenn::equations::{DynamicalSystem, Heat};
+use cenn::obs::{JsonlSink, RecorderHandle};
 use cenn::program::SolverSession;
 
 fn main() {
+    let mut metrics_out: Option<String> = None;
+    let mut canonical = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--metrics-out" => {
+                metrics_out = Some(args.next().expect("--metrics-out needs a path"));
+            }
+            "--metrics-canonical" => canonical = true,
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
     // 1. Describe the dynamical system and compile it to a CeNN program.
     //    The heat equation needs a single layer with the linear Laplacian
     //    template of eq. (7) — no real-time weight update at all.
@@ -43,6 +65,12 @@ fn main() {
     for (layer, grid) in &setup.initial {
         session.sim_mut().set_state_f64(*layer, grid).unwrap();
     }
+    let metrics = metrics_out.map(|path| {
+        let sink = JsonlSink::create(&path, canonical).expect("create metrics file");
+        let handle = RecorderHandle::new(sink);
+        session.set_recorder(handle.clone());
+        (handle, path)
+    });
 
     // 3. Run and visualize.
     let phi = setup.initial[0].0;
@@ -68,6 +96,7 @@ fn main() {
     ] {
         let name = mem.name;
         session.set_memory(mem);
+        session.record_estimate(&format!("heat/{name}"));
         let est = session.estimate();
         println!(
             "{:<10} {:>10.2}us {:>12.1} {:>10.2} {:>10.1}",
@@ -77,6 +106,12 @@ fn main() {
             est.system_power_w(),
             est.gops_per_watt()
         );
+    }
+
+    if let Some((handle, path)) = &metrics {
+        session.record_summary();
+        handle.flush().expect("flush metrics file");
+        println!("\nmetrics: wrote JSONL trace to {path}");
     }
 }
 

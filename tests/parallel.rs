@@ -10,6 +10,8 @@
 use cenn::equations::{
     DynamicalSystem, FixedRunner, HodgkinHuxley, ReactionDiffusion, SystemSetup,
 };
+use cenn::obs::RecorderHandle;
+use proptest::prelude::*;
 
 fn assert_bit_identical(setup: SystemSetup, steps: u64) {
     let n_layers = setup.model.n_layers();
@@ -69,7 +71,12 @@ fn all_six_benchmark_systems_threaded_bit_identical() {
         for threads in [2usize, 4, 8] {
             let mut par = FixedRunner::new(setup.clone()).unwrap();
             par.set_threads(threads);
-            assert_eq!(serial_fired, par.run(12), "{} threads={threads}", sys.name());
+            assert_eq!(
+                serial_fired,
+                par.run(12),
+                "{} threads={threads}",
+                sys.name()
+            );
             for i in 0..setup.model.n_layers() {
                 let layer = cenn::core::LayerId::from_index(i);
                 assert_eq!(
@@ -81,6 +88,41 @@ fn all_six_benchmark_systems_threaded_bit_identical() {
             }
             assert_eq!(serial.lut_stats(), par.lut_stats(), "{}", sys.name());
         }
+    }
+}
+
+/// Runs `setup` on `threads` workers with a canonical in-memory recorder
+/// attached and returns the serialized event stream (steps + summary).
+fn recorded_stream(setup: &SystemSetup, threads: usize, steps: u64) -> Vec<String> {
+    let mut runner = FixedRunner::new(setup.clone()).unwrap();
+    runner.set_threads(threads);
+    let (handle, reader) = RecorderHandle::in_memory(true);
+    runner.set_recorder(handle);
+    runner.run(steps);
+    runner.record_summary();
+    let rec = reader.lock().unwrap();
+    rec.events().iter().map(|e| e.to_jsonl()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The observability stream inherits the engine's determinism
+    /// contract: canonical metrics (counters, residuals, shard splits)
+    /// are byte-identical between the serial sweep and any thread count,
+    /// for any seed and run length.
+    #[test]
+    fn recorded_metrics_bit_identical_across_threads(
+        seed in 0u64..1000,
+        steps in 3u64..10,
+        threads in 2usize..8,
+    ) {
+        let sys = ReactionDiffusion { seed, ..ReactionDiffusion::default() };
+        let setup = sys.build(16, 16).unwrap();
+        let serial = recorded_stream(&setup, 1, steps);
+        let par = recorded_stream(&setup, threads, steps);
+        prop_assert_eq!(serial.len() as u64, steps + 1, "steps + run_summary");
+        prop_assert_eq!(serial, par);
     }
 }
 
