@@ -7,46 +7,37 @@
 //! saturating fixed-point datapath (no wrap-around explosions) and the
 //! contractive dynamics of dissipative benchmarks (perturbations decay).
 //! This harness quantifies both on reaction–diffusion.
+//!
+//! Faults come from [`FaultPlan::seeded_lut_burst`] and run under an
+//! observe-only [`Guard`] — injected on schedule, never scrubbed or
+//! rolled back, so the numbers measure raw fault impact.
 
 use cenn::equations::{DynamicalSystem, FixedRunner, ReactionDiffusion, SystemSetup};
-use cenn::lut::{FuncId, SampleIdx};
+use cenn::guard::{FaultPlan, Guard, GuardConfig};
 use cenn_bench::rule;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-fn run_with_faults(setup: &SystemSetup, faults: &[(i32, usize, u32)], steps: u64) -> Vec<f64> {
+fn run_with_plan(setup: &SystemSetup, plan: FaultPlan, steps: u64) -> Vec<f64> {
     let mut runner = FixedRunner::new(setup.clone()).expect("runner");
-    for &(idx, word, bit) in faults {
-        runner_sim_inject(&mut runner, idx, word, bit);
-    }
-    runner.run(steps);
+    let mut guard = Guard::new(GuardConfig::observe_only()).with_plan(plan);
+    runner
+        .run_guarded(&mut guard, steps)
+        .expect("observe-only guard never intervenes");
     runner.observed_states()[0].1.as_slice().to_vec()
-}
-
-fn runner_sim_inject(runner: &mut FixedRunner, idx: i32, word: usize, bit: u32) {
-    // RD registers exactly one function: the activator cube.
-    let sim = runner_sim_mut(runner);
-    sim.inject_lut_fault(FuncId(0), SampleIdx(idx), word, bit);
-}
-
-// FixedRunner exposes the simulator read-only; faults go through a small
-// local shim using the setup to rebuild — simplest is a mutable accessor.
-fn runner_sim_mut(runner: &mut FixedRunner) -> &mut cenn::core::CennSim {
-    runner.sim_mut()
 }
 
 fn main() {
     println!("Ablation F — single-bit soft errors in the off-chip LUT (RD, 32x32, 200 steps)\n");
     let setup = ReactionDiffusion::default().build(32, 32).unwrap();
-    let clean = run_with_faults(&setup, &[], 200);
+    let clean = run_with_plan(&setup, FaultPlan::new(), 200);
 
     println!(
         "{:>8} {:>12} {:>14} {:>14} {:>12}",
         "faults", "bit range", "mean |err|", "max |err|", "bounded?"
     );
     rule(66);
-    let spec_min = -64; // cube LUT covers [-4,4] at 2^-4: indices -64..64
-    let spec_max = 64;
+    // RD registers exactly one function: the activator cube, whose LUT
+    // covers [-4,4] at 2^-4 spacing — indices -64..64.
+    let (spec_min, spec_max) = (-64, 64);
     for &(n_faults, high_bits) in &[
         (1usize, false),
         (4, false),
@@ -55,20 +46,15 @@ fn main() {
         (4, true),
         (16, true),
     ] {
-        let mut rng = StdRng::seed_from_u64(7 + n_faults as u64 + high_bits as u64 * 100);
-        let faults: Vec<(i32, usize, u32)> = (0..n_faults)
-            .map(|_| {
-                let idx = rng.gen_range(spec_min..=spec_max);
-                let word = rng.gen_range(0..4);
-                let bit = if high_bits {
-                    rng.gen_range(24..32) // integer-part / sign bits
-                } else {
-                    rng.gen_range(0..16) // fractional bits
-                };
-                (idx, word, bit)
-            })
-            .collect();
-        let faulty = run_with_faults(&setup, &faults, 200);
+        let plan = FaultPlan::seeded_lut_burst(
+            7 + n_faults as u64 + high_bits as u64 * 100,
+            n_faults,
+            0,
+            0,
+            spec_min..=spec_max,
+            high_bits,
+        );
+        let faulty = run_with_plan(&setup, plan, 200);
         let errs: Vec<f64> = clean
             .iter()
             .zip(&faulty)

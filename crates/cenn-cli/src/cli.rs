@@ -20,13 +20,21 @@ USAGE:
   cenn run --system <name> [--grid N] [--steps N] [--memory M]
            [--integrator euler|heun] [--threads N] [--render] [--pgm FILE]
            [--report] [--metrics-out FILE] [--metrics-format jsonl|csv]
-           [--metrics-canonical]
+           [--metrics-canonical] [--guard] [--checkpoint-every N]
+           [--fault-plan SPEC] [--on-divergence abort|rollback|bypass-lut]
       Run a system on the fixed-point solver simulator. --threads N sweeps
       the grid on N worker threads (bit-identical to serial; defaults to
       the CENN_THREADS environment variable, else 1). --metrics-out streams
       per-step metrics and a run summary to FILE (jsonl by default);
       --metrics-canonical zeroes wall-clock fields so the stream is
       byte-for-byte reproducible.
+      --guard runs under the fault-tolerant runtime: LUT integrity scrubs
+      plus a bit-exact checkpoint every --checkpoint-every steps (default
+      16), health watchdogs, and --on-divergence recovery (default
+      rollback). --fault-plan injects deterministic faults, e.g.
+      'lut@10:func=0,idx=8,word=0,bit=20;state@5:layer=0,r=1,c=2,bit=30'
+      (kinds: lut, state, template); it implies --guard. Guard activity is
+      emitted as 'guard' events in the metrics stream.
   cenn program --system <name> [--grid N] --out FILE
       Compile a system to its solver bitstream.
   cenn inspect FILE
@@ -91,6 +99,10 @@ pub struct RunOpts {
     pub metrics_out: Option<String>,
     pub metrics_format: String,
     pub metrics_canonical: bool,
+    pub guard: bool,
+    pub checkpoint_every: Option<u64>,
+    pub fault_plan: Option<String>,
+    pub on_divergence: cenn::guard::RecoveryPolicy,
 }
 
 impl Default for RunOpts {
@@ -109,6 +121,10 @@ impl Default for RunOpts {
             metrics_out: None,
             metrics_format: "jsonl".into(),
             metrics_canonical: false,
+            guard: false,
+            checkpoint_every: None,
+            fault_plan: None,
+            on_divergence: cenn::guard::RecoveryPolicy::Rollback,
         }
     }
 }
@@ -157,6 +173,26 @@ pub fn parse_opts(args: &[String]) -> Result<RunOpts, CliError> {
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
             "--metrics-format" => opts.metrics_format = value("--metrics-format")?,
             "--metrics-canonical" => opts.metrics_canonical = true,
+            "--guard" => opts.guard = true,
+            "--checkpoint-every" => {
+                opts.guard = true;
+                opts.checkpoint_every = Some(
+                    value("--checkpoint-every")?
+                        .parse()
+                        .ok()
+                        .filter(|n| *n > 0)
+                        .ok_or_else(|| err("--checkpoint-every needs a positive integer"))?,
+                )
+            }
+            "--fault-plan" => {
+                opts.guard = true;
+                opts.fault_plan = Some(value("--fault-plan")?)
+            }
+            "--on-divergence" => {
+                opts.guard = true;
+                opts.on_divergence = cenn::guard::RecoveryPolicy::parse(&value("--on-divergence")?)
+                    .map_err(|e| err(format!("--on-divergence: {e}")))?
+            }
             other => return Err(err(format!("unknown option '{other}'"))),
         }
     }
@@ -263,7 +299,30 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
             Some((handle, path.clone()))
         }
     };
-    let fired = runner.run(steps);
+    let (fired, guard_report) = if opts.guard {
+        let mut cfg = cenn::guard::GuardConfig {
+            on_divergence: opts.on_divergence,
+            ..cenn::guard::GuardConfig::default()
+        };
+        if let Some(every) = opts.checkpoint_every {
+            cfg.checkpoint_every = Some(every);
+        }
+        let mut guard = cenn::guard::Guard::new(cfg);
+        if let Some(spec) = &opts.fault_plan {
+            let plan = cenn::guard::FaultPlan::parse(spec)
+                .map_err(|e| err(format!("--fault-plan: {e}")))?;
+            guard = guard.with_plan(plan);
+        }
+        if let Some((handle, _)) = &metrics {
+            guard = guard.with_recorder(handle.clone());
+        }
+        let report = runner
+            .run_guarded(&mut guard, steps)
+            .map_err(|e| err(format!("guarded run: {e}")))?;
+        (None, Some(report))
+    } else {
+        (Some(runner.run(steps)), None)
+    };
     if let Some((handle, path)) = &metrics {
         runner.record_summary();
         handle
@@ -286,8 +345,22 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
     if threads > 1 {
         writeln!(out, "worker threads: {threads}").unwrap();
     }
-    if setup.post_step.is_some() {
-        writeln!(out, "spikes fired: {fired}").unwrap();
+    if let Some(fired) = fired {
+        if setup.post_step.is_some() {
+            writeln!(out, "spikes fired: {fired}").unwrap();
+        }
+    }
+    if let Some(report) = &guard_report {
+        writeln!(
+            out,
+            "guard: policy {}, {} checkpoints, {} faults injected, {} LUT entries repaired, {} rollbacks",
+            opts.on_divergence,
+            report.checkpoints,
+            report.faults_injected,
+            report.scrub_repairs,
+            report.rollbacks
+        )
+        .unwrap();
     }
     let (mr1, mr2) = runner.miss_rates();
     writeln!(out, "LUT miss rates: mr_L1 = {mr1:.3}, mr_L2 = {mr2:.3}").unwrap();
@@ -311,10 +384,15 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
         writeln!(out, "wrote {path}").unwrap();
     }
     if let Some((_, path)) = &metrics {
+        // Every executed step (including replays) emits one metrics event,
+        // plus the run summary and any guard events.
+        let events = match &guard_report {
+            None => steps + 1,
+            Some(r) => r.steps_executed + 1 + r.guard_events,
+        };
         writeln!(
             out,
-            "metrics: wrote {} events to {path} ({})",
-            steps + 1,
+            "metrics: wrote {events} events to {path} ({})",
             opts.metrics_format
         )
         .unwrap();
@@ -580,6 +658,81 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines[0], cenn::obs::CSV_HEADER);
         assert_eq!(lines.len(), 1 + 3 + 1, "header + 3 steps + summary");
+    }
+
+    #[test]
+    fn parse_guard_flags() {
+        let o = parse_opts(&s(&["--system", "heat", "--guard"])).unwrap();
+        assert!(o.guard);
+        assert_eq!(o.on_divergence, cenn::guard::RecoveryPolicy::Rollback);
+        // Any guard-family flag implies --guard.
+        let o = parse_opts(&s(&[
+            "--system",
+            "heat",
+            "--fault-plan",
+            "lut@4:func=0,idx=0,word=0,bit=20",
+            "--checkpoint-every",
+            "8",
+            "--on-divergence",
+            "bypass-lut",
+        ]))
+        .unwrap();
+        assert!(o.guard);
+        assert_eq!(o.checkpoint_every, Some(8));
+        assert_eq!(o.on_divergence, cenn::guard::RecoveryPolicy::BypassLut);
+        assert!(parse_opts(&s(&["--system", "heat", "--checkpoint-every", "0"])).is_err());
+        assert!(parse_opts(&s(&["--system", "heat", "--on-divergence", "panic"])).is_err());
+    }
+
+    #[test]
+    fn guarded_run_repairs_injected_fault_and_reports() {
+        let dir = std::env::temp_dir().join("cenn_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("guard.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+        let out = dispatch(&s(&[
+            "run",
+            "--system",
+            "fisher",
+            "--grid",
+            "16",
+            "--steps",
+            "24",
+            "--guard",
+            "--checkpoint-every",
+            "8",
+            "--fault-plan",
+            "lut@10:func=0,idx=8,word=0,bit=20",
+            "--on-divergence",
+            "rollback",
+            "--metrics-out",
+            &path_str,
+            "--metrics-canonical",
+        ]))
+        .unwrap();
+        assert!(out.contains("guard: policy rollback"), "{out}");
+        assert!(out.contains("1 faults injected"), "{out}");
+        assert!(out.contains("1 LUT entries repaired"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        for line in text.lines() {
+            cenn::obs::validate_jsonl_line(line).unwrap();
+        }
+        assert!(text.contains("\"kind\":\"scrub_repair\""), "{text}");
+        assert!(text.contains("\"kind\":\"fault_injected\""), "{text}");
+        assert!(text.contains("\"kind\":\"checkpoint\""), "{text}");
+        // The unfaulted guarded run ends at the same observed ranges.
+        let clean = dispatch(&s(&[
+            "run", "--system", "fisher", "--grid", "16", "--steps", "24",
+        ]))
+        .unwrap();
+        let range = |t: &str| {
+            t.lines()
+                .find(|l| l.starts_with("layer "))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(range(&out), range(&clean));
     }
 
     #[test]

@@ -32,6 +32,85 @@ pub enum ModelError {
     UnknownFunction(u16),
     /// LUT table generation failed.
     Lut(cenn_lut::LutBuildError),
+    /// A fault-injection request named an invalid target.
+    Fault(FaultError),
+}
+
+/// An invalid fault-injection target (LUT entry, state cell, or template
+/// word) — the typed replacement for the old panicking injection hooks,
+/// reachable from user input via `--fault-plan`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultError {
+    /// The LUT hierarchy rejected the target.
+    Lut(cenn_lut::LutFaultError),
+    /// The layer index names no layer in the model.
+    Layer(usize),
+    /// The cell coordinates fall outside the grid.
+    Cell {
+        /// Grid rows.
+        rows: usize,
+        /// Grid cols.
+        cols: usize,
+        /// Requested row.
+        r: usize,
+        /// Requested col.
+        c: usize,
+    },
+    /// The template-word index exceeds the layer's word count.
+    Tap {
+        /// Layer the injection targeted.
+        layer: usize,
+        /// Template words the layer has.
+        n_taps: usize,
+        /// Requested word.
+        tap: usize,
+    },
+    /// The bit position exceeds the 32-bit word width.
+    Bit(u32),
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Lut(e) => write!(f, "{e}"),
+            Self::Layer(i) => write!(f, "fault targets unknown layer {i}"),
+            Self::Cell { rows, cols, r, c } => {
+                write!(f, "fault cell ({r},{c}) outside {rows}x{cols} grid")
+            }
+            Self::Tap { layer, n_taps, tap } => write!(
+                f,
+                "fault template word {tap} out of range (layer {layer} has {n_taps})"
+            ),
+            Self::Bit(b) => write!(f, "fault bit {b} out of range (0-31)"),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Lut(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cenn_lut::LutFaultError> for FaultError {
+    fn from(e: cenn_lut::LutFaultError) -> Self {
+        Self::Lut(e)
+    }
+}
+
+impl From<FaultError> for ModelError {
+    fn from(e: FaultError) -> Self {
+        Self::Fault(e)
+    }
+}
+
+impl From<cenn_lut::LutFaultError> for ModelError {
+    fn from(e: cenn_lut::LutFaultError) -> Self {
+        Self::Fault(FaultError::Lut(e))
+    }
 }
 
 impl fmt::Display for ModelError {
@@ -53,6 +132,7 @@ impl fmt::Display for ModelError {
             Self::UnknownLayer(i) => write!(f, "template references unknown layer {i}"),
             Self::UnknownFunction(i) => write!(f, "weight references unknown function {i}"),
             Self::Lut(e) => write!(f, "LUT generation failed: {e}"),
+            Self::Fault(e) => write!(f, "fault injection rejected: {e}"),
         }
     }
 }
@@ -61,6 +141,7 @@ impl std::error::Error for ModelError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Lut(e) => Some(e),
+            Self::Fault(e) => Some(e),
             _ => None,
         }
     }

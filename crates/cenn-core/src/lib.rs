@@ -57,10 +57,10 @@ mod sim;
 mod template;
 
 pub use boundary::Boundary;
-pub use error::ModelError;
+pub use error::{FaultError, ModelError};
 pub use exec::{ExecEngine, StepStats, Tile, TilePlan};
 pub use grid::Grid;
 pub use layer::{LayerId, LayerKind, LayerSpec};
 pub use model::{CennModel, CennModelBuilder, Integrator, LutConfig, TemplateKind};
-pub use sim::{CennSim, FuncEval, StepReport};
+pub use sim::{CennSim, FuncEval, SimSnapshot, StepReport};
 pub use template::{Factor, Stencil, Template, WeightExpr};

@@ -7,7 +7,7 @@ use cenn_obs::{Event, RecorderHandle, RunSummary};
 use fixedpt::{MacAcc, Q16_16};
 
 use crate::boundary::Boundary;
-use crate::error::ModelError;
+use crate::error::{FaultError, ModelError};
 use crate::exec::{ExecEngine, StepStats, Tile, TilePlan};
 use crate::grid::Grid;
 use crate::layer::{LayerId, LayerKind};
@@ -24,6 +24,27 @@ pub enum FuncEval {
     /// Exact `f64` evaluation quantized to fixed point — isolates the
     /// fixed-point error from the LUT error for the §6.1 breakdown.
     Exact,
+}
+
+/// A bit-exact snapshot of the simulator's restorable state: the raw
+/// Q16.16 bits of every layer grid plus the step/time counters. Produced
+/// by [`CennSim::snapshot`] and applied by [`CennSim::restore`].
+///
+/// Cache contents and LUT statistics are deliberately *not* captured:
+/// the PR 1 determinism contract guarantees cache state never changes a
+/// looked-up value, so replay from a snapshot reproduces the state
+/// trajectory bit-identically regardless of what the caches held —
+/// only hit/miss accounting can differ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSnapshot {
+    /// Steps executed when the snapshot was taken.
+    pub steps: u64,
+    /// Simulated time when the snapshot was taken.
+    pub time: f64,
+    /// Cumulative cell evaluations when the snapshot was taken.
+    pub run_cells: u64,
+    /// Raw Q16.16 bits of each layer's state grid, declaration order.
+    pub states: Vec<Vec<i32>>,
 }
 
 /// Snapshot returned by [`CennSim::step`].
@@ -94,6 +115,10 @@ pub struct CennSim {
     tiles: TilePlan,
     last_step: StepStats,
     eval: FuncEval,
+    /// Compute the per-step residual even without an enabled recorder
+    /// (the guard's divergence/stall watchdogs read it from
+    /// [`step_stats`](Self::step_stats)).
+    track_residual: bool,
     time: f64,
     steps: u64,
     /// Optional metric sink; `None` (the default) keeps every step on the
@@ -151,6 +176,7 @@ impl CennSim {
             tiles,
             last_step: StepStats::default(),
             eval,
+            track_residual: false,
             time: 0.0,
             steps: 0,
             recorder: None,
@@ -274,6 +300,20 @@ impl CennSim {
         self.eval
     }
 
+    /// Switches the evaluation mode for subsequent steps — the guard's
+    /// `bypass-lut` recovery degrades a sim with a persistently corrupt
+    /// table to exact evaluation instead of aborting.
+    pub fn set_eval(&mut self, eval: FuncEval) {
+        self.eval = eval;
+    }
+
+    /// Forces the per-step residual scan on even without an enabled
+    /// recorder, so watchdogs can read [`step_stats`](Self::step_stats)
+    /// on otherwise-uninstrumented runs.
+    pub fn set_residual_tracking(&mut self, on: bool) {
+        self.track_residual = on;
+    }
+
     /// Current state map of a layer.
     pub fn state(&self, layer: LayerId) -> &Grid<Q16_16> {
         &self.states[layer.index()]
@@ -361,20 +401,156 @@ impl CennSim {
     }
 
     /// Injects a soft error into an off-chip LUT entry (the
-    /// fault-resilience study hook; see
-    /// [`cenn_lut::LutHierarchy::inject_fault`]).
+    /// fault-resilience hook; see
+    /// [`cenn_lut::LutHierarchy::inject_fault`]). The entry's stored
+    /// checksum is left stale, so [`scrub_luts`](Self::scrub_luts) will
+    /// detect and repair the flip.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the function id, word or bit are out of range.
+    /// Returns [`ModelError::Fault`] if the function id, word or bit are
+    /// out of range.
     pub fn inject_lut_fault(
         &mut self,
         func: cenn_lut::FuncId,
         idx: cenn_lut::SampleIdx,
         word: usize,
         bit: u32,
-    ) {
-        self.hierarchy.inject_fault(func, idx, word, bit);
+    ) -> Result<(), ModelError> {
+        self.hierarchy
+            .inject_fault(func, idx, word, bit)
+            .map_err(ModelError::from)
+    }
+
+    /// Flips one bit of a state word — a datapath/SRAM upset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Fault`] if the layer, cell or bit are out of
+    /// range.
+    pub fn inject_state_fault(
+        &mut self,
+        layer: usize,
+        r: usize,
+        c: usize,
+        bit: u32,
+    ) -> Result<(), ModelError> {
+        if layer >= self.states.len() {
+            return Err(FaultError::Layer(layer).into());
+        }
+        let (rows, cols) = (self.model.rows(), self.model.cols());
+        if r >= rows || c >= cols {
+            return Err(FaultError::Cell { rows, cols, r, c }.into());
+        }
+        if bit >= 32 {
+            return Err(FaultError::Bit(bit).into());
+        }
+        let v = self.states[layer].get(r, c);
+        self.states[layer].set(r, c, Q16_16::from_bits(v.to_bits() ^ (1 << bit)));
+        Ok(())
+    }
+
+    /// Flips one bit of a compiled template word — a retention upset in
+    /// the off-chip program image. Words are addressed flat per layer:
+    /// the non-zero taps of each compiled template in order, then the
+    /// offset terms; `Const` words flip their value,
+    /// `Dyn` words flip their scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Fault`] if the layer, word index or bit are
+    /// out of range.
+    pub fn inject_template_fault(
+        &mut self,
+        layer: usize,
+        tap: usize,
+        bit: u32,
+    ) -> Result<(), ModelError> {
+        if layer >= self.plan.len() {
+            return Err(FaultError::Layer(layer).into());
+        }
+        if bit >= 32 {
+            return Err(FaultError::Bit(bit).into());
+        }
+        let n_taps = self.template_fault_sites(layer);
+        if tap >= n_taps {
+            return Err(FaultError::Tap { layer, n_taps, tap }.into());
+        }
+        let plan = &mut self.plan[layer];
+        let word = plan
+            .convs
+            .iter_mut()
+            .flat_map(|conv| conv.taps.iter_mut().map(|(_, _, w)| w))
+            .chain(plan.offsets.iter_mut())
+            .nth(tap)
+            .expect("tap index validated against template_fault_sites");
+        let flip = |v: &mut Q16_16| *v = Q16_16::from_bits(v.to_bits() ^ (1 << bit));
+        match word {
+            WeightExpr::Const(v) => flip(v),
+            WeightExpr::Dyn { scale, .. } => flip(scale),
+        }
+        Ok(())
+    }
+
+    /// Number of flat template-word fault sites a layer exposes (see
+    /// [`inject_template_fault`](Self::inject_template_fault)); zero for
+    /// an out-of-range layer.
+    pub fn template_fault_sites(&self, layer: usize) -> usize {
+        self.plan
+            .get(layer)
+            .map(|p| p.convs.iter().map(|c| c.taps.len()).sum::<usize>() + p.offsets.len())
+            .unwrap_or(0)
+    }
+
+    /// Verifies every off-chip LUT entry against its stored checksum and
+    /// regenerates corrupt entries through the compute-unit path,
+    /// invalidating on-chip caches if anything was repaired (see
+    /// [`cenn_lut::LutHierarchy::scrub`]).
+    pub fn scrub_luts(&mut self) -> cenn_lut::ScrubReport {
+        self.hierarchy.scrub(self.model.library())
+    }
+
+    /// Takes a bit-exact snapshot of the restorable state (grids + step
+    /// and time counters). See [`SimSnapshot`] for what is excluded.
+    pub fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot {
+            steps: self.steps,
+            time: self.time,
+            run_cells: self.run_cells,
+            states: self
+                .states
+                .iter()
+                .map(|g| g.as_slice().iter().map(|v| v.to_bits()).collect())
+                .collect(),
+        }
+    }
+
+    /// Restores a snapshot taken from a sim of the same model shape:
+    /// state grids, step counter, simulated time and the cumulative cell
+    /// counter roll back; LUT caches, statistics, and wall-clock
+    /// accounting are left as-is (replayed work is real work).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ShapeMismatch`] if the snapshot's layer
+    /// count or grid sizes do not match this model.
+    pub fn restore(&mut self, snap: &SimSnapshot) -> Result<(), ModelError> {
+        let cells = self.model.rows() * self.model.cols();
+        if snap.states.len() != self.states.len() || snap.states.iter().any(|s| s.len() != cells) {
+            return Err(ModelError::ShapeMismatch {
+                expected: (self.states.len(), cells),
+                got: (snap.states.len(), snap.states.first().map_or(0, Vec::len)),
+            });
+        }
+        for (grid, bits) in self.states.iter_mut().zip(&snap.states) {
+            for (slot, &b) in grid.as_mut_slice().iter_mut().zip(bits) {
+                *slot = Q16_16::from_bits(b);
+            }
+        }
+        self.steps = snap.steps;
+        self.time = snap.time;
+        self.run_cells = snap.run_cells;
+        Ok(())
     }
 
     /// Advances one time step (Euler or Heun, per the model's
@@ -545,7 +721,7 @@ impl CennSim {
     #[allow(clippy::needless_range_loop)] // parallel indexing of plan/states/k1
     fn step_euler(&mut self, stats: &mut StepStats) {
         self.algebraic_pass(stats);
-        let track = self.recording();
+        let track = self.recording() || self.track_residual;
         let dt = self.model.dt_fx();
         let mut k1 = std::mem::take(&mut self.aux);
         self.dyn_rhs(&mut k1, stats);
@@ -640,7 +816,7 @@ impl CennSim {
         stats
             .sweeps
             .push(("update".into(), update_start.elapsed().as_nanos() as u64));
-        if self.recording() {
+        if self.recording() || self.track_residual {
             // `saved` still holds the pre-step states, so this is the
             // exactly-applied per-step |Δx|.
             stats.residual = self.max_state_delta();
@@ -1080,7 +1256,8 @@ mod tests {
             sim.set_state_f64(u, &Grid::new(2, 2, 0.5)).unwrap();
             if fault {
                 // Corrupt l(p) at p = 0 (the visited entry) in a high bit.
-                sim.inject_lut_fault(cenn_lut::FuncId(0), cenn_lut::SampleIdx(0), 0, 20);
+                sim.inject_lut_fault(cenn_lut::FuncId(0), cenn_lut::SampleIdx(0), 0, 20)
+                    .unwrap();
             }
             sim.run(100);
             sim.state_f64(u).get(0, 0)
@@ -1090,6 +1267,106 @@ mod tests {
         assert!((clean - 1.0).abs() < 0.05, "clean logistic -> {clean}");
         assert!(faulty != clean, "fault must be visible");
         assert!(faulty.abs() <= 32768.0, "saturating bound holds: {faulty}");
+    }
+
+    fn logistic_sim() -> (CennSim, LayerId) {
+        let mut b = CennModelBuilder::new(4, 4);
+        let u = b.dynamic_layer("u", Boundary::Zero);
+        let sq = b.register_func(cenn_lut::funcs::square());
+        b.state_template(u, u, mapping::center(1.0).into_state_template());
+        b.offset_expr(
+            u,
+            WeightExpr::product(-1.0, vec![crate::template::Factor { func: sq, layer: u }]),
+        );
+        let mut sim = CennSim::new(b.build(0.05).unwrap()).unwrap();
+        sim.set_state_f64(u, &Grid::from_fn(4, 4, |r, c| 0.1 + 0.02 * (r + c) as f64))
+            .unwrap();
+        (sim, u)
+    }
+
+    #[test]
+    fn snapshot_restore_replays_bit_identically() {
+        let (mut sim, _) = logistic_sim();
+        sim.run(10);
+        let snap = sim.snapshot();
+        sim.run(15);
+        let final_states: Vec<Vec<i32>> = sim
+            .states()
+            .iter()
+            .map(|g| g.as_slice().iter().map(|v| v.to_bits()).collect())
+            .collect();
+        sim.restore(&snap).unwrap();
+        assert_eq!(sim.steps(), 10);
+        sim.run(15);
+        assert_eq!(sim.steps(), 25);
+        let replayed: Vec<Vec<i32>> = sim
+            .states()
+            .iter()
+            .map(|g| g.as_slice().iter().map(|v| v.to_bits()).collect())
+            .collect();
+        assert_eq!(replayed, final_states, "replay diverged from original run");
+    }
+
+    #[test]
+    fn restore_rejects_foreign_snapshot() {
+        let (mut sim, _) = logistic_sim();
+        let mut snap = sim.snapshot();
+        snap.states[0].pop();
+        assert!(matches!(
+            sim.restore(&snap),
+            Err(ModelError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn scrub_detects_and_repairs_injected_lut_fault() {
+        let (mut sim, _) = logistic_sim();
+        assert_eq!(sim.scrub_luts().repaired, 0, "clean table scrubs clean");
+        sim.inject_lut_fault(cenn_lut::FuncId(0), cenn_lut::SampleIdx(0), 1, 12)
+            .unwrap();
+        let r = sim.scrub_luts();
+        assert_eq!(r.repaired, 1);
+        assert_eq!(sim.scrub_luts().repaired, 0);
+    }
+
+    #[test]
+    fn fault_surfaces_reject_bad_targets() {
+        let (mut sim, _) = logistic_sim();
+        assert!(sim
+            .inject_lut_fault(cenn_lut::FuncId(7), cenn_lut::SampleIdx(0), 0, 0)
+            .is_err());
+        assert!(sim.inject_state_fault(9, 0, 0, 0).is_err());
+        assert!(sim.inject_state_fault(0, 9, 0, 0).is_err());
+        assert!(sim.inject_state_fault(0, 0, 0, 40).is_err());
+        assert!(sim.inject_template_fault(9, 0, 0).is_err());
+        let sites = sim.template_fault_sites(0);
+        assert_eq!(sites, 2, "one state tap + one offset word");
+        assert!(sim.inject_template_fault(0, sites, 0).is_err());
+    }
+
+    #[test]
+    fn state_and_template_faults_perturb_the_trajectory() {
+        let run = |mutate: &dyn Fn(&mut CennSim)| {
+            let (mut sim, u) = logistic_sim();
+            mutate(&mut sim);
+            sim.run(30);
+            sim.state_f64(u).get(1, 1)
+        };
+        let clean = run(&|_| {});
+        let state_hit = run(&|s| s.inject_state_fault(0, 1, 1, 18).unwrap());
+        let tmpl_hit = run(&|s| s.inject_template_fault(0, 0, 17).unwrap());
+        assert_ne!(clean, state_hit, "state fault must be visible");
+        assert_ne!(clean, tmpl_hit, "template fault must be visible");
+    }
+
+    #[test]
+    fn residual_tracking_works_without_recorder() {
+        let (mut sim, _) = logistic_sim();
+        sim.step();
+        assert_eq!(sim.step_stats().residual, 0.0, "untracked by default");
+        sim.set_residual_tracking(true);
+        sim.step();
+        assert!(sim.step_stats().residual > 0.0, "tracked on demand");
     }
 
     #[test]

@@ -113,6 +113,37 @@ impl FixedRunner {
         (0..n).map(|_| self.step()).sum()
     }
 
+    /// Runs `n` steps under a [`cenn_guard::Guard`]: the guard scrubs and
+    /// checkpoints on its cadence, injects any scheduled faults, and
+    /// recovers per its policy, while the setup's post-step rule (spike
+    /// resets) is applied after every step exactly as [`step`](Self::step)
+    /// does.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`cenn_guard::GuardError`] when the guard aborts or
+    /// cannot recover.
+    pub fn run_guarded(
+        &mut self,
+        guard: &mut cenn_guard::Guard,
+        n: u64,
+    ) -> Result<cenn_guard::GuardReport, cenn_guard::GuardError> {
+        let Self { sim, setup } = self;
+        guard.run_with(sim, n, |sim| {
+            let Some(rule) = setup.post_step else { return };
+            let n_layers = sim.model().n_layers();
+            let mut states: Vec<Grid<f64>> = (0..n_layers)
+                .map(|i| sim.state_f64(LayerId::from_index(i)))
+                .collect();
+            if rule.apply_f64(&mut states) > 0 {
+                for (i, g) in states.iter().enumerate() {
+                    sim.set_state_f64(LayerId::from_index(i), g)
+                        .expect("shape preserved");
+                }
+            }
+        })
+    }
+
     /// A layer's state as `f64`.
     pub fn state_f64(&self, layer: LayerId) -> Grid<f64> {
         self.sim.state_f64(layer)

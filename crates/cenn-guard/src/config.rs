@@ -1,0 +1,148 @@
+//! Guard configuration: invariant bounds and the recovery policy.
+
+use std::fmt;
+
+/// What the guard does when an invariant trips or a scrub finds
+/// corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Stop the run with a [`crate::GuardError::Aborted`] error.
+    Abort,
+    /// Scrub the LUTs, restore the most recent clean checkpoint, and
+    /// replay. Because repaired tables are bit-identical to the originals
+    /// and cache state never changes a looked-up value, the replayed
+    /// trajectory is bit-identical to an unfaulted run.
+    #[default]
+    Rollback,
+    /// Switch the simulator to exact (`f64`-computed, quantized) function
+    /// evaluation, taking the LUT path out of the loop entirely. Degrades
+    /// accuracy semantics, never aborts.
+    BypassLut,
+}
+
+impl RecoveryPolicy {
+    /// Parses the CLI spelling (`abort`, `rollback`, `bypass-lut`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "abort" => Ok(Self::Abort),
+            "rollback" => Ok(Self::Rollback),
+            "bypass-lut" => Ok(Self::BypassLut),
+            other => Err(format!(
+                "unknown recovery policy '{other}' (expected abort, rollback, or bypass-lut)"
+            )),
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Abort => "abort",
+            Self::Rollback => "rollback",
+            Self::BypassLut => "bypass-lut",
+        }
+    }
+}
+
+impl fmt::Display for RecoveryPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Bounds and knobs for the guarded run loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardConfig {
+    /// Scrub the LUTs and snapshot the sim every this many steps (the
+    /// checkpoint cadence). `None` checkpoints once at the start of the
+    /// guarded run only — faults are then caught solely by the health
+    /// watchdogs.
+    pub checkpoint_every: Option<u64>,
+    /// In-memory checkpoints retained (older ones are dropped).
+    pub checkpoint_capacity: usize,
+    /// Residual bound: a per-step `max |Δx|` above this (or non-finite)
+    /// trips the divergence watchdog. The Q16.16 format rails at ±32768,
+    /// so the default 16384 fires well before saturation masks the blowup.
+    pub max_residual: f64,
+    /// Saturation bound: if more than this fraction of state words sit on
+    /// the Q16.16 rails after a step, the datapath is clipping and the
+    /// watchdog trips.
+    pub max_saturation: f64,
+    /// Stall watchdog: this many consecutive steps with exactly zero
+    /// residual trips (the dynamics froze). `None` disables.
+    pub stall_steps: Option<u64>,
+    /// What to do when a watchdog trips or a scrub repairs corruption.
+    pub on_divergence: RecoveryPolicy,
+    /// Rollbacks allowed before the guard gives up with
+    /// [`crate::GuardError::RollbackLimit`]. Deterministic replay means a
+    /// recurring issue re-trips identically, so a small budget suffices.
+    pub max_rollbacks: u64,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        Self {
+            checkpoint_every: Some(16),
+            checkpoint_capacity: 4,
+            max_residual: 16384.0,
+            max_saturation: 0.5,
+            stall_steps: None,
+            on_divergence: RecoveryPolicy::Rollback,
+            max_rollbacks: 8,
+        }
+    }
+}
+
+impl GuardConfig {
+    /// A configuration that never checkpoints, scrubs, or intervenes —
+    /// the fault plan still fires on schedule. Used by resilience studies
+    /// that want to *observe* fault impact rather than recover from it.
+    pub fn observe_only() -> Self {
+        Self {
+            checkpoint_every: None,
+            checkpoint_capacity: 0,
+            max_residual: f64::INFINITY,
+            max_saturation: 1.0,
+            stall_steps: None,
+            on_divergence: RecoveryPolicy::Abort,
+            max_rollbacks: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_parses_cli_spellings() {
+        assert_eq!(RecoveryPolicy::parse("abort"), Ok(RecoveryPolicy::Abort));
+        assert_eq!(
+            RecoveryPolicy::parse("rollback"),
+            Ok(RecoveryPolicy::Rollback)
+        );
+        assert_eq!(
+            RecoveryPolicy::parse("bypass-lut"),
+            Ok(RecoveryPolicy::BypassLut)
+        );
+        assert!(RecoveryPolicy::parse("retry").is_err());
+        for p in [
+            RecoveryPolicy::Abort,
+            RecoveryPolicy::Rollback,
+            RecoveryPolicy::BypassLut,
+        ] {
+            assert_eq!(RecoveryPolicy::parse(p.as_str()), Ok(p));
+        }
+    }
+
+    #[test]
+    fn observe_only_disables_every_intervention() {
+        let cfg = GuardConfig::observe_only();
+        assert_eq!(cfg.checkpoint_every, None);
+        assert_eq!(cfg.max_residual, f64::INFINITY);
+        assert_eq!(cfg.stall_steps, None);
+    }
+}

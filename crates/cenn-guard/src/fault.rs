@@ -1,0 +1,368 @@
+//! The deterministic, seeded fault-injection engine.
+//!
+//! A [`FaultPlan`] is an explicit schedule of single-bit upsets — into
+//! off-chip LUT entries, state words, or template words — applied by the
+//! guard loop right before the step they are due at. Plans are plain
+//! data: buildable programmatically, parseable from the CLI `--fault-plan`
+//! spec, or generated from a seed for randomized resilience studies.
+//! Every fault fires exactly once (the plan keeps a cursor), so a
+//! rollback-and-replay does not re-inject it — which is what lets a
+//! repaired run converge to the unfaulted trajectory.
+
+use std::fmt;
+use std::ops::RangeInclusive;
+
+use cenn_core::{CennSim, ModelError};
+use cenn_lut::{FuncId, SampleIdx};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Where a scheduled bit flip lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// One bit of one stored word of an off-chip LUT entry.
+    Lut {
+        /// Registered function id.
+        func: u16,
+        /// Sample index within the table (clamped to its range).
+        idx: i32,
+        /// Word selector: `{l(p), a1, a2, a3}` as 0–3.
+        word: usize,
+        /// Bit position, 0–31.
+        bit: u32,
+    },
+    /// One bit of a state word (a datapath/SRAM upset).
+    State {
+        /// Layer index in declaration order.
+        layer: usize,
+        /// Cell row.
+        r: usize,
+        /// Cell column.
+        c: usize,
+        /// Bit position, 0–31.
+        bit: u32,
+    },
+    /// One bit of a compiled template word (a program-image upset); see
+    /// [`CennSim::inject_template_fault`] for the flat word addressing.
+    Template {
+        /// Layer index in declaration order.
+        layer: usize,
+        /// Flat template-word index.
+        tap: usize,
+        /// Bit position, 0–31.
+        bit: u32,
+    },
+}
+
+impl FaultTarget {
+    /// Applies the flip to the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError::Fault`] for invalid targets.
+    pub fn apply(&self, sim: &mut CennSim) -> Result<(), ModelError> {
+        match *self {
+            Self::Lut {
+                func,
+                idx,
+                word,
+                bit,
+            } => sim.inject_lut_fault(FuncId(func), SampleIdx(idx), word, bit),
+            Self::State { layer, r, c, bit } => sim.inject_state_fault(layer, r, c, bit),
+            Self::Template { layer, tap, bit } => sim.inject_template_fault(layer, tap, bit),
+        }
+    }
+
+    /// The stable spec spelling (`lut:func=0,idx=8,word=0,bit=20`, without
+    /// the `@step` scheduling part) — used in guard-event details.
+    pub fn describe(&self) -> String {
+        match *self {
+            Self::Lut {
+                func,
+                idx,
+                word,
+                bit,
+            } => format!("lut:func={func},idx={idx},word={word},bit={bit}"),
+            Self::State { layer, r, c, bit } => {
+                format!("state:layer={layer},r={r},c={c},bit={bit}")
+            }
+            Self::Template { layer, tap, bit } => {
+                format!("template:layer={layer},tap={tap},bit={bit}")
+            }
+        }
+    }
+}
+
+/// One fault at its scheduled step (applied before the step executes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledFault {
+    /// Step count at which the fault fires (0 = before the first step).
+    pub step: u64,
+    /// The bit flip to apply.
+    pub target: FaultTarget,
+}
+
+/// A malformed `--fault-plan` spec entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanParseError {
+    /// The entry that failed.
+    pub entry: String,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault-plan entry '{}': {}", self.entry, self.reason)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+/// A deterministic schedule of bit flips, sorted by step, consumed once.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<ScheduledFault>,
+    cursor: usize,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules one fault; keeps the plan sorted by step (stable for
+    /// equal steps, so insertion order breaks ties deterministically).
+    pub fn push(&mut self, step: u64, target: FaultTarget) -> &mut Self {
+        assert_eq!(self.cursor, 0, "plan already partially consumed");
+        let at = self.faults.partition_point(|f| f.step <= step);
+        self.faults.insert(at, ScheduledFault { step, target });
+        self
+    }
+
+    /// Total faults scheduled.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// `true` if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Faults not yet fired.
+    pub fn remaining(&self) -> usize {
+        self.faults.len() - self.cursor
+    }
+
+    /// The scheduled faults in firing order.
+    pub fn faults(&self) -> &[ScheduledFault] {
+        &self.faults
+    }
+
+    /// Takes every fault due at or before `step` that has not fired yet.
+    /// Each fault fires exactly once across the plan's lifetime — replay
+    /// after a rollback sees an empty schedule.
+    pub fn take_due(&mut self, step: u64) -> Vec<ScheduledFault> {
+        let start = self.cursor;
+        while self.cursor < self.faults.len() && self.faults[self.cursor].step <= step {
+            self.cursor += 1;
+        }
+        self.faults[start..self.cursor].to_vec()
+    }
+
+    /// Parses the CLI spec: `;`-separated entries of the form
+    /// `kind@step:key=value,...` —
+    ///
+    /// * `lut@10:func=0,idx=8,word=0,bit=20`
+    /// * `state@5:layer=0,r=1,c=2,bit=30`
+    /// * `template@0:layer=0,tap=1,bit=12`
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlanParseError`] naming the offending entry.
+    pub fn parse(spec: &str) -> Result<Self, PlanParseError> {
+        fn err(entry: &str, reason: String) -> PlanParseError {
+            PlanParseError {
+                entry: entry.to_string(),
+                reason,
+            }
+        }
+        fn field(entry: &str, fields: &str, key: &str) -> Result<i64, PlanParseError> {
+            let value = fields
+                .split(',')
+                .filter_map(|kv| kv.split_once('='))
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| err(entry, format!("missing field '{key}'")))?;
+            value
+                .parse()
+                .map_err(|_| err(entry, format!("field '{key}' is not a number")))
+        }
+        let mut plan = Self::new();
+        for entry in spec.split(';').filter(|e| !e.trim().is_empty()) {
+            let entry = entry.trim();
+            let (head, fields) = entry
+                .split_once(':')
+                .ok_or_else(|| err(entry, "missing ':' between schedule and fields".into()))?;
+            let (kind, step) = head
+                .split_once('@')
+                .ok_or_else(|| err(entry, "missing '@step' in schedule".into()))?;
+            let step: u64 = step
+                .parse()
+                .map_err(|_| err(entry, "step is not a number".into()))?;
+            let target = match kind {
+                "lut" => FaultTarget::Lut {
+                    func: field(entry, fields, "func")? as u16,
+                    idx: field(entry, fields, "idx")? as i32,
+                    word: field(entry, fields, "word")? as usize,
+                    bit: field(entry, fields, "bit")? as u32,
+                },
+                "state" => FaultTarget::State {
+                    layer: field(entry, fields, "layer")? as usize,
+                    r: field(entry, fields, "r")? as usize,
+                    c: field(entry, fields, "c")? as usize,
+                    bit: field(entry, fields, "bit")? as u32,
+                },
+                "template" => FaultTarget::Template {
+                    layer: field(entry, fields, "layer")? as usize,
+                    tap: field(entry, fields, "tap")? as usize,
+                    bit: field(entry, fields, "bit")? as u32,
+                },
+                other => {
+                    return Err(err(
+                        entry,
+                        format!("unknown fault kind '{other}' (expected lut, state, or template)"),
+                    ))
+                }
+            };
+            plan.push(step, target);
+        }
+        Ok(plan)
+    }
+
+    /// Generates `n` random single-bit LUT faults against `func`, all
+    /// scheduled at `step`, with sample indices drawn from `idx_range` and
+    /// bits from the high (24–31, sign/integer) or low (0–15, fractional)
+    /// band. The draw sequence is a pure function of `seed` — per fault:
+    /// index, then word (0–3), then bit.
+    pub fn seeded_lut_burst(
+        seed: u64,
+        n: usize,
+        func: u16,
+        step: u64,
+        idx_range: RangeInclusive<i32>,
+        high_bits: bool,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = Self::new();
+        for _ in 0..n {
+            let idx = rng.gen_range(idx_range.clone());
+            let word = rng.gen_range(0..4);
+            let bit = if high_bits {
+                rng.gen_range(24..32)
+            } else {
+                rng.gen_range(0..16)
+            };
+            plan.push(
+                step,
+                FaultTarget::Lut {
+                    func,
+                    idx,
+                    word,
+                    bit,
+                },
+            );
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_all_kinds() {
+        let plan = FaultPlan::parse(
+            "lut@10:func=0,idx=-8,word=0,bit=20; state@5:layer=0,r=1,c=2,bit=30;\
+             template@0:layer=1,tap=3,bit=12",
+        )
+        .unwrap();
+        assert_eq!(plan.len(), 3);
+        // Sorted by step.
+        assert_eq!(plan.faults()[0].step, 0);
+        assert_eq!(plan.faults()[1].step, 5);
+        assert_eq!(plan.faults()[2].step, 10);
+        assert_eq!(
+            plan.faults()[2].target,
+            FaultTarget::Lut {
+                func: 0,
+                idx: -8,
+                word: 0,
+                bit: 20
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_entries() {
+        for bad in [
+            "lut:func=0,idx=0,word=0,bit=0",   // no @step
+            "lut@x:func=0,idx=0,word=0,bit=0", // bad step
+            "lut@1",                           // no fields
+            "lut@1:func=0,word=0,bit=0",       // missing idx
+            "warp@1:x=1",                      // unknown kind
+            "state@1:layer=0,r=1,c=2",         // missing bit
+            "template@1:layer=a,tap=0,bit=0",  // non-numeric
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn empty_spec_is_empty_plan() {
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse(" ; ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn take_due_consumes_each_fault_once() {
+        let mut plan = FaultPlan::parse(
+            "lut@2:func=0,idx=0,word=0,bit=1; lut@2:func=0,idx=1,word=0,bit=1;\
+             lut@7:func=0,idx=2,word=0,bit=1",
+        )
+        .unwrap();
+        assert!(plan.take_due(1).is_empty());
+        assert_eq!(plan.take_due(2).len(), 2);
+        assert!(plan.take_due(2).is_empty(), "already consumed");
+        // A rollback past the step does not re-arm.
+        assert_eq!(plan.take_due(100).len(), 1);
+        assert_eq!(plan.remaining(), 0);
+    }
+
+    #[test]
+    fn seeded_burst_is_reproducible_and_in_band() {
+        let a = FaultPlan::seeded_lut_burst(11, 16, 0, 3, -64..=64, true);
+        let b = FaultPlan::seeded_lut_burst(11, 16, 0, 3, -64..=64, true);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        for f in a.faults() {
+            assert_eq!(f.step, 3);
+            let FaultTarget::Lut { idx, word, bit, .. } = f.target else {
+                panic!("lut burst emits lut faults")
+            };
+            assert!((-64..=64).contains(&idx));
+            assert!(word < 4);
+            assert!((24..32).contains(&bit));
+        }
+        let low = FaultPlan::seeded_lut_burst(11, 4, 0, 0, -64..=64, false);
+        for f in low.faults() {
+            let FaultTarget::Lut { bit, .. } = f.target else {
+                unreachable!()
+            };
+            assert!(bit < 16);
+        }
+    }
+}

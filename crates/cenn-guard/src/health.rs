@@ -1,0 +1,153 @@
+//! Per-step invariant checks: residual finiteness, divergence bound,
+//! datapath saturation, and the stall watchdog.
+
+use std::fmt;
+
+use cenn_core::CennSim;
+use fixedpt::Q16_16;
+
+use crate::config::GuardConfig;
+
+/// An invariant violation detected after a step. Every variant carries
+/// only deterministic, bit-exact-derived quantities, so detection is
+/// identical for any thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HealthIssue {
+    /// The per-step residual is NaN or infinite.
+    NonFiniteResidual,
+    /// The residual exceeded [`GuardConfig::max_residual`].
+    Divergence {
+        /// The residual that tripped.
+        residual: f64,
+        /// The configured bound.
+        bound: f64,
+    },
+    /// More than [`GuardConfig::max_saturation`] of state words sit on
+    /// the Q16.16 rails.
+    Saturation {
+        /// Fraction of saturated state words.
+        fraction: f64,
+        /// The configured bound.
+        bound: f64,
+    },
+    /// [`GuardConfig::stall_steps`] consecutive steps with zero residual.
+    Stall {
+        /// Consecutive zero-residual steps observed.
+        steps: u64,
+    },
+}
+
+impl HealthIssue {
+    /// The stable guard-event kind this issue emits under.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::NonFiniteResidual => "nonfinite",
+            Self::Divergence { .. } => "divergence",
+            Self::Saturation { .. } => "saturation",
+            Self::Stall { .. } => "stall",
+        }
+    }
+
+    /// The measured quantity that tripped (residual, fraction, or steps).
+    pub fn value(&self) -> f64 {
+        match self {
+            Self::NonFiniteResidual => f64::NAN,
+            Self::Divergence { residual, .. } => *residual,
+            Self::Saturation { fraction, .. } => *fraction,
+            Self::Stall { steps } => *steps as f64,
+        }
+    }
+}
+
+impl fmt::Display for HealthIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonFiniteResidual => write!(f, "residual is not finite"),
+            Self::Divergence { residual, bound } => {
+                write!(f, "residual {residual} exceeds bound {bound}")
+            }
+            Self::Saturation { fraction, bound } => {
+                write!(f, "saturated fraction {fraction} exceeds bound {bound}")
+            }
+            Self::Stall { steps } => write!(f, "zero residual for {steps} consecutive steps"),
+        }
+    }
+}
+
+/// Stateful per-step invariant checker. One monitor guards one sim; the
+/// only mutable state is the stall counter, which [`reset`](Self::reset)
+/// clears on rollback.
+#[derive(Debug, Clone, Default)]
+pub struct HealthMonitor {
+    zero_residual_streak: u64,
+}
+
+impl HealthMonitor {
+    /// A fresh monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears watchdog state (called after a rollback so replayed steps
+    /// are judged fresh).
+    pub fn reset(&mut self) {
+        self.zero_residual_streak = 0;
+    }
+
+    /// Checks the invariants against the step just executed. Returns the
+    /// first violated invariant, most severe first: non-finite residual,
+    /// divergence, saturation, stall.
+    pub fn check(&mut self, sim: &CennSim, cfg: &GuardConfig) -> Option<HealthIssue> {
+        let residual = sim.step_stats().residual;
+        if !residual.is_finite() {
+            return Some(HealthIssue::NonFiniteResidual);
+        }
+        if residual > cfg.max_residual {
+            return Some(HealthIssue::Divergence {
+                residual,
+                bound: cfg.max_residual,
+            });
+        }
+        let fraction = saturation_fraction(sim);
+        if fraction > cfg.max_saturation {
+            return Some(HealthIssue::Saturation {
+                fraction,
+                bound: cfg.max_saturation,
+            });
+        }
+        if let Some(limit) = cfg.stall_steps {
+            if residual == 0.0 {
+                self.zero_residual_streak += 1;
+                if self.zero_residual_streak >= limit {
+                    return Some(HealthIssue::Stall {
+                        steps: self.zero_residual_streak,
+                    });
+                }
+            } else {
+                self.zero_residual_streak = 0;
+            }
+        }
+        None
+    }
+}
+
+/// Fraction of state words sitting exactly on the Q16.16 saturation
+/// rails (`i32::MAX` / `i32::MIN` raw bits) — the signature of a clipped
+/// datapath.
+pub fn saturation_fraction(sim: &CennSim) -> f64 {
+    let mut saturated = 0u64;
+    let mut total = 0u64;
+    for grid in sim.states() {
+        for v in grid.as_slice() {
+            total += 1;
+            if *v == Q16_16::MAX || *v == Q16_16::MIN {
+                saturated += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        saturated as f64 / total as f64
+    }
+}

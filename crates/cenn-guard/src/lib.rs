@@ -1,0 +1,38 @@
+//! cenn-guard: a fault-tolerant runtime wrapped around the CeNN solver.
+//!
+//! The accelerator modeled by this workspace keeps its nonlinearity
+//! tables and cell state in on-chip SRAM — exactly the structures soft
+//! errors hit. This crate adds the runtime the paper's deployment story
+//! implies but does not spell out:
+//!
+//! - [`HealthMonitor`] — per-step invariant checks (residual finiteness
+//!   and bound, Q16.16 saturation fraction, stall watchdog),
+//! - [`Checkpoint`] / [`CheckpointStore`] — bit-exact snapshots with an
+//!   in-memory rollback ring and a stable binary file format,
+//! - LUT integrity scrubbing (see [`cenn_lut::OffChipLut::scrub`]) —
+//!   per-entry checksums turn a corrupt table into one extra regeneration,
+//! - [`FaultPlan`] — a deterministic, seeded fault-injection engine
+//!   (LUT words, state words, template words at scheduled steps),
+//! - [`Guard`] — the run loop tying these together under a
+//!   [`RecoveryPolicy`].
+//!
+//! Everything the guard does is deterministic: detection reads only
+//! bit-exact quantities, repairs regenerate entries through the original
+//! build path, and rollback replays under the engine's determinism
+//! contract — so a recovered run finishes bit-identical to an unfaulted
+//! one, at any thread count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod config;
+pub mod fault;
+pub mod guard;
+pub mod health;
+
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointStore};
+pub use config::{GuardConfig, RecoveryPolicy};
+pub use fault::{FaultPlan, FaultTarget, PlanParseError, ScheduledFault};
+pub use guard::{Guard, GuardError, GuardReport};
+pub use health::{saturation_fraction, HealthIssue, HealthMonitor};

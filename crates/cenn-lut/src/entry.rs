@@ -75,6 +75,21 @@ impl LutEntry {
             a3: Q16_16::from_f64(a3),
         }
     }
+
+    /// Integrity checksum over the four stored words.
+    ///
+    /// Each word is rotated into a distinct bit phase before XOR-folding,
+    /// so flipping any single bit of any word flips exactly one bit of the
+    /// checksum: **every single-bit upset is detected**, which is the
+    /// coverage the scrub pass relies on (multi-bit upsets in the same
+    /// entry can cancel only if they land on the same rotated bit lane).
+    pub fn checksum(&self) -> u32 {
+        let w = |v: Q16_16| v.to_bits() as u32;
+        w(self.l_p)
+            ^ w(self.a1).rotate_left(8)
+            ^ w(self.a2).rotate_left(16)
+            ^ w(self.a3).rotate_left(24)
+    }
 }
 
 #[cfg(test)]
@@ -115,5 +130,24 @@ mod tests {
     #[test]
     fn entry_is_four_words() {
         assert_eq!(LUT_ENTRY_BYTES, 4 * std::mem::size_of::<Q16_16>());
+    }
+
+    #[test]
+    fn checksum_detects_every_single_bit_flip_exhaustively() {
+        let base = LutEntry::quantize(1.5, -0.75, 0.125, 0.001);
+        let sum = base.checksum();
+        for word in 0..4 {
+            for bit in 0..32u32 {
+                let mut e = base;
+                let target = match word {
+                    0 => &mut e.l_p,
+                    1 => &mut e.a1,
+                    2 => &mut e.a2,
+                    _ => &mut e.a3,
+                };
+                *target = Q16_16::from_bits(target.to_bits() ^ (1 << bit));
+                assert_ne!(e.checksum(), sum, "word {word} bit {bit} undetected");
+            }
+        }
     }
 }

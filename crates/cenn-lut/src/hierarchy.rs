@@ -1,11 +1,53 @@
 //! The three-level LUT hierarchy: off-chip table, shared L2s, per-PE L1s.
 
+use std::fmt;
+
 use crate::builder::{LutBuildError, LutSpec};
 use crate::entry::{LutEntry, SampleIdx};
-use crate::func::{FuncId, FuncLibrary};
+use crate::func::{FuncId, FuncLibrary, NonlinearFn};
 use crate::shard::LutShard;
 use crate::stats::LutStats;
 use fixedpt::Q16_16;
+
+/// An invalid soft-error injection target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LutFaultError {
+    /// `word` does not select one of `{l(p), a1, a2, a3}` (0–3).
+    Word(usize),
+    /// `bit` exceeds the 32-bit word width.
+    Bit(u32),
+    /// The function id names no table in this hierarchy.
+    Function(u16),
+}
+
+impl fmt::Display for LutFaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Word(w) => write!(f, "LUT fault word {w} out of range (0-3)"),
+            Self::Bit(b) => write!(f, "LUT fault bit {b} out of range (0-31)"),
+            Self::Function(id) => write!(f, "LUT fault targets unknown function {id}"),
+        }
+    }
+}
+
+impl std::error::Error for LutFaultError {}
+
+/// Outcome of one integrity scrub pass over off-chip tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScrubReport {
+    /// Entries whose checksum was verified.
+    pub scanned: u64,
+    /// Entries that failed verification and were regenerated.
+    pub repaired: u64,
+}
+
+impl ScrubReport {
+    /// Accumulates another report (e.g. per-table into per-hierarchy).
+    pub fn merge(&mut self, other: &ScrubReport) {
+        self.scanned += other.scanned;
+        self.repaired += other.repaired;
+    }
+}
 
 /// Where a look-up was ultimately satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -40,6 +82,11 @@ pub struct AccessOutcome {
 pub struct OffChipLut {
     spec: LutSpec,
     entries: Vec<LutEntry>,
+    /// Per-entry integrity checksums ([`LutEntry::checksum`]), written when
+    /// the table is generated and *not* touched by fault injection — they
+    /// model a host-computed integrity sidecar that a retention upset in
+    /// the data words cannot keep consistent.
+    sums: Vec<u32>,
 }
 
 impl OffChipLut {
@@ -49,9 +96,9 @@ impl OffChipLut {
     /// # Errors
     ///
     /// Returns an error if the spec fails [`LutSpec::validate`].
-    pub fn generate(func: &crate::func::NonlinearFn, spec: LutSpec) -> Result<Self, LutBuildError> {
+    pub fn generate(func: &NonlinearFn, spec: LutSpec) -> Result<Self, LutBuildError> {
         spec.validate()?;
-        let entries = (spec.min_idx..=spec.max_idx)
+        let entries: Vec<LutEntry> = (spec.min_idx..=spec.max_idx)
             .map(|i| {
                 let p = SampleIdx(i).point(spec.log2_inv_spacing);
                 let t = func.taylor(p);
@@ -61,7 +108,12 @@ impl OffChipLut {
                 LutEntry::quantize(t[0], t[1], t[2], t[3])
             })
             .collect();
-        Ok(Self { spec, entries })
+        let sums = entries.iter().map(LutEntry::checksum).collect();
+        Ok(Self {
+            spec,
+            entries,
+            sums,
+        })
     }
 
     /// The sampling specification of this table.
@@ -96,14 +148,22 @@ impl OffChipLut {
     }
 
     /// Flips one bit of one stored word — the soft-error injection hook
-    /// for the fault-resilience study (`ablation_fault_injection`).
-    /// `word` selects `{l(p), a1, a2, a3}` (0–3), `bit` the bit position.
+    /// for the fault-resilience study. `word` selects `{l(p), a1, a2, a3}`
+    /// (0–3), `bit` the bit position. The stored checksum is deliberately
+    /// *not* updated: a real retention upset corrupts the data word, not
+    /// the integrity sidecar, which is what lets [`scrub`](Self::scrub)
+    /// detect it.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `word > 3` or `bit > 31`.
-    pub fn flip_bit(&mut self, idx: SampleIdx, word: usize, bit: u32) {
-        assert!(word < 4 && bit < 32, "word/bit out of range");
+    /// Returns [`LutFaultError`] if `word > 3` or `bit > 31`.
+    pub fn flip_bit(&mut self, idx: SampleIdx, word: usize, bit: u32) -> Result<(), LutFaultError> {
+        if word >= 4 {
+            return Err(LutFaultError::Word(word));
+        }
+        if bit >= 32 {
+            return Err(LutFaultError::Bit(bit));
+        }
         let clamped = idx.0.clamp(self.spec.min_idx, self.spec.max_idx);
         let e = &mut self.entries[(clamped - self.spec.min_idx) as usize];
         let target = match word {
@@ -112,7 +172,51 @@ impl OffChipLut {
             2 => &mut e.a2,
             _ => &mut e.a3,
         };
-        *target = fixedpt::Q16_16::from_bits(target.to_bits() ^ (1 << bit));
+        *target = Q16_16::from_bits(target.to_bits() ^ (1 << bit));
+        Ok(())
+    }
+
+    /// `true` if the entry at `idx` (clamped) still matches its stored
+    /// checksum.
+    pub fn verify(&self, idx: SampleIdx) -> bool {
+        let clamped = idx.0.clamp(self.spec.min_idx, self.spec.max_idx);
+        let i = (clamped - self.spec.min_idx) as usize;
+        self.entries[i].checksum() == self.sums[i]
+    }
+
+    /// Number of entries whose stored words no longer match their checksum
+    /// (read-only integrity census, no repair).
+    pub fn corrupt_entries(&self) -> usize {
+        self.entries
+            .iter()
+            .zip(&self.sums)
+            .filter(|(e, &s)| e.checksum() != s)
+            .count()
+    }
+
+    /// Verifies every entry against its checksum and regenerates the ones
+    /// that fail through the same compute-unit path used at build time
+    /// (`func.taylor` at the entry's sample point, quantized to Q16.16) —
+    /// the paper's LUT-miss regeneration mechanism repurposed as a repair:
+    /// a corrupt table degrades to "one extra regeneration", not a wrong
+    /// trajectory. Repaired entries are bit-identical to the originals, so
+    /// a scrubbed table is indistinguishable from a freshly generated one.
+    pub fn scrub(&mut self, func: &NonlinearFn) -> ScrubReport {
+        let mut report = ScrubReport {
+            scanned: self.entries.len() as u64,
+            repaired: 0,
+        };
+        for (i, (e, sum)) in self.entries.iter_mut().zip(&mut self.sums).enumerate() {
+            if e.checksum() == *sum {
+                continue;
+            }
+            let p = SampleIdx(self.spec.min_idx + i as i32).point(self.spec.log2_inv_spacing);
+            let t = func.taylor(p);
+            *e = LutEntry::quantize(t[0], t[1], t[2], t[3]);
+            *sum = e.checksum();
+            report.repaired += 1;
+        }
+        report
     }
 }
 
@@ -299,12 +403,45 @@ impl LutHierarchy {
     /// [`OffChipLut::flip_bit`]) and invalidates the on-chip LUTs so the
     /// corrupted word is actually re-fetched.
     ///
+    /// # Errors
+    ///
+    /// Returns [`LutFaultError`] if `func` is unknown or `word`/`bit` are
+    /// out of range.
+    pub fn inject_fault(
+        &mut self,
+        func: FuncId,
+        idx: SampleIdx,
+        word: usize,
+        bit: u32,
+    ) -> Result<(), LutFaultError> {
+        let table = self
+            .tables
+            .get_mut(func.0 as usize)
+            .ok_or(LutFaultError::Function(func.0))?;
+        table.flip_bit(idx, word, bit)?;
+        self.invalidate();
+        Ok(())
+    }
+
+    /// Scrubs every off-chip table against the library it was built from,
+    /// repairing corrupt entries via the compute-unit path (see
+    /// [`OffChipLut::scrub`]). If anything was repaired the on-chip LUTs
+    /// are invalidated so no stale corrupted copy survives in L1/L2.
+    ///
     /// # Panics
     ///
-    /// Panics if `func` is unknown or `word`/`bit` are out of range.
-    pub fn inject_fault(&mut self, func: FuncId, idx: SampleIdx, word: usize, bit: u32) {
-        self.tables[func.0 as usize].flip_bit(idx, word, bit);
-        self.invalidate();
+    /// Panics if `lib` has fewer functions than the hierarchy has tables
+    /// (i.e. it is not the library the hierarchy was built with).
+    pub fn scrub(&mut self, lib: &FuncLibrary) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        for (i, table) in self.tables.iter_mut().enumerate() {
+            let func = lib.get(FuncId(i as u16));
+            report.merge(&table.scrub(func));
+        }
+        if report.repaired > 0 {
+            self.invalidate();
+        }
+        report
     }
 }
 
@@ -431,6 +568,69 @@ mod tests {
         let h = LutHierarchy::build_with_specs(&lib, &specs, 4, 32, 1).unwrap();
         assert_eq!(h.table(a).spec().max_idx, 4);
         assert_eq!(h.table(b).spec().min_idx, -8);
+    }
+
+    #[test]
+    fn flip_bit_corrupts_and_scrub_repairs_bit_exactly() {
+        let func = funcs::square();
+        let mut t = OffChipLut::generate(&func, LutSpec::unit_spacing(-4, 4)).unwrap();
+        let clean = t.clone();
+        assert_eq!(t.corrupt_entries(), 0);
+        t.flip_bit(SampleIdx(2), 1, 17).unwrap();
+        t.flip_bit(SampleIdx(-3), 0, 5).unwrap();
+        assert_eq!(t.corrupt_entries(), 2);
+        assert!(!t.verify(SampleIdx(2)));
+        assert!(t.verify(SampleIdx(0)));
+        let r = t.scrub(&func);
+        assert_eq!(
+            r,
+            ScrubReport {
+                scanned: 9,
+                repaired: 2,
+            }
+        );
+        assert_eq!(t.corrupt_entries(), 0);
+        for i in -4..=4 {
+            assert_eq!(t.read(SampleIdx(i)), clean.read(SampleIdx(i)), "idx {i}");
+        }
+    }
+
+    #[test]
+    fn flip_bit_rejects_bad_targets() {
+        let mut t = OffChipLut::generate(&funcs::square(), LutSpec::unit_spacing(-4, 4)).unwrap();
+        assert_eq!(t.flip_bit(SampleIdx(0), 4, 0), Err(LutFaultError::Word(4)));
+        assert_eq!(t.flip_bit(SampleIdx(0), 0, 32), Err(LutFaultError::Bit(32)));
+    }
+
+    #[test]
+    fn hierarchy_scrub_repairs_and_invalidates_caches() {
+        let (mut h, f) = small_hierarchy(4, 32, 1);
+        let x = Q16_16::from_f64(2.5);
+        let (clean_v, _) = h.lookup(0, f, x);
+        h.inject_fault(f, SampleIdx(2), 0, 20).unwrap();
+        let lib = {
+            let mut lib = FuncLibrary::new();
+            lib.register(funcs::square());
+            lib
+        };
+        let r = h.scrub(&lib);
+        assert_eq!(r.repaired, 1);
+        // Repaired table + invalidated caches: the value is clean again,
+        // re-fetched from DRAM.
+        let (v, o) = h.lookup(0, f, x);
+        assert_eq!(v, clean_v);
+        assert_eq!(o.filled_from, Level::Dram);
+        // A second scrub finds nothing.
+        assert_eq!(h.scrub(&lib).repaired, 0);
+    }
+
+    #[test]
+    fn hierarchy_inject_fault_rejects_unknown_function() {
+        let (mut h, _) = small_hierarchy(4, 32, 1);
+        assert_eq!(
+            h.inject_fault(FuncId(9), SampleIdx(0), 0, 0),
+            Err(LutFaultError::Function(9))
+        );
     }
 
     #[test]

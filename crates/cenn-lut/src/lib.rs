@@ -51,7 +51,9 @@ mod tum;
 pub use builder::{LutBuildError, LutSpec};
 pub use entry::{LutEntry, SampleIdx, LUT_ENTRY_BYTES};
 pub use func::{FuncId, FuncLibrary, NonlinearFn};
-pub use hierarchy::{AccessOutcome, Level, LutHierarchy, OffChipLut, PES_PER_L2};
+pub use hierarchy::{
+    AccessOutcome, Level, LutFaultError, LutHierarchy, OffChipLut, ScrubReport, PES_PER_L2,
+};
 pub use l1::L1Lut;
 pub use l2::{L2Lut, DRAM_BURST_POINTS};
 pub use shard::LutShard;

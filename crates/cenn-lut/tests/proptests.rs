@@ -1,6 +1,6 @@
 //! Property-based tests for the LUT hierarchy invariants.
 
-use cenn_lut::{funcs, FuncLibrary, Level, LutHierarchy, LutSpec, SampleIdx};
+use cenn_lut::{funcs, FuncLibrary, Level, LutEntry, LutHierarchy, LutSpec, SampleIdx};
 use fixedpt::Q16_16;
 use proptest::prelude::*;
 
@@ -91,6 +91,50 @@ proptest! {
         let (hi, _) = h.lookup(0, f, Q16_16::from_f64(x));
         // tanh saturates: any clamped out-of-range read lands near 1.
         prop_assert!((hi.to_f64() - 1.0).abs() < 0.1, "{}", hi.to_f64());
+    }
+
+    #[test]
+    fn checksum_detects_every_single_bit_flip(
+        l_p in -30000.0f64..30000.0,
+        a1 in -30000.0f64..30000.0,
+        a2 in -30000.0f64..30000.0,
+        a3 in -30000.0f64..30000.0,
+        word in 0usize..4,
+        bit in 0u32..32,
+    ) {
+        // Any single-bit upset in any of the four stored words must change
+        // the checksum — the detection guarantee the guard's scrub pass
+        // rests on.
+        let base = LutEntry::quantize(l_p, a1, a2, a3);
+        let mut hit = base;
+        let target = match word {
+            0 => &mut hit.l_p,
+            1 => &mut hit.a1,
+            2 => &mut hit.a2,
+            _ => &mut hit.a3,
+        };
+        *target = fixedpt::Q16_16::from_bits(target.to_bits() ^ (1 << bit));
+        prop_assert_ne!(hit.checksum(), base.checksum());
+    }
+
+    #[test]
+    fn scrub_restores_corrupted_table_bit_exactly(
+        idx in -8i32..=8,
+        word in 0usize..4,
+        bit in 0u32..32,
+    ) {
+        let func = funcs::tanh();
+        let spec = LutSpec::unit_spacing(-8, 8);
+        let mut table = cenn_lut::OffChipLut::generate(&func, spec).unwrap();
+        let clean = table.clone();
+        table.flip_bit(SampleIdx(idx), word, bit).unwrap();
+        prop_assert_eq!(table.corrupt_entries(), 1);
+        let report = table.scrub(&func);
+        prop_assert_eq!(report.repaired, 1);
+        prop_assert_eq!(table.corrupt_entries(), 0);
+        for i in -8..=8 {
+            prop_assert_eq!(table.read(SampleIdx(i)), clean.read(SampleIdx(i)));
+        }
     }
 
     #[test]

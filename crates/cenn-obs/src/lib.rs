@@ -45,7 +45,7 @@ mod sink;
 pub use json::{parse_object_keys, JsonValue};
 pub use recorder::{InMemoryRecorder, NullRecorder, Recorder, RecorderHandle};
 pub use schema::{
-    known_keys, validate_jsonl_line, Event, LutLevel, LutLevelMetrics, MemTraffic, RunSummary,
-    SchemaError, StepMetrics, SweepTiming, SCHEMA_VERSION,
+    known_keys, validate_jsonl_line, Event, GuardEvent, LutLevel, LutLevelMetrics, MemTraffic,
+    RunSummary, SchemaError, StepMetrics, SweepTiming, SCHEMA_VERSION,
 };
 pub use sink::{CsvSink, JsonlSink, CSV_HEADER};

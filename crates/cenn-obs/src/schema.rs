@@ -141,6 +141,29 @@ pub struct RunSummary {
     pub lut: Vec<LutLevelMetrics>,
 }
 
+/// One fault-tolerance action taken by the guard runtime (`cenn-guard`):
+/// a detection, a scrub repair, a checkpoint, a rollback, ….
+///
+/// Guard events carry no wall-clock or thread fields, so they are
+/// canonical as-is — the stream-identity test compares them byte-for-byte
+/// between `threads=1` and `threads=N`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GuardEvent {
+    /// Step index the action happened at (steps executed so far).
+    pub step: u64,
+    /// Stable action discriminator (`"fault_injected"`, `"scrub_repair"`,
+    /// `"checkpoint"`, `"rollback"`, `"divergence"`, …).
+    pub kind: String,
+    /// Human-readable detail (target coordinates, bound that tripped, …).
+    pub detail: String,
+    /// Action-specific count (entries repaired, faults applied,
+    /// checkpoint step rolled back to, …).
+    pub count: u64,
+    /// Action-specific measurement (the residual or saturation fraction
+    /// that tripped a bound; 0 when not applicable).
+    pub value: f64,
+}
+
 /// One recorded event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
@@ -150,6 +173,8 @@ pub enum Event {
     MemTraffic(MemTraffic),
     /// End-of-run aggregate.
     RunSummary(RunSummary),
+    /// Fault-tolerance runtime action.
+    Guard(GuardEvent),
 }
 
 impl Event {
@@ -159,6 +184,7 @@ impl Event {
             Self::Step(_) => "step",
             Self::MemTraffic(_) => "mem_traffic",
             Self::RunSummary(_) => "run_summary",
+            Self::Guard(_) => "guard",
         }
     }
 
@@ -185,6 +211,7 @@ impl Event {
                 r.threads = 0;
                 Self::RunSummary(r)
             }
+            Self::Guard(g) => Self::Guard(g.clone()),
         }
     }
 
@@ -230,6 +257,13 @@ impl Event {
                 json::field_f64(&mut out, "mr_combined", r.mr_combined);
                 json::field_f64(&mut out, "residual", r.residual);
                 json::field_raw(&mut out, "lut", &lut_json(&r.lut));
+            }
+            Self::Guard(g) => {
+                json::field_u64(&mut out, "step", g.step);
+                json::field_str(&mut out, "kind", &g.kind);
+                json::field_str(&mut out, "detail", &g.detail);
+                json::field_u64(&mut out, "count", g.count);
+                json::field_f64(&mut out, "value", g.value);
             }
         }
         // Strip the trailing comma every field helper appends.
@@ -329,6 +363,9 @@ pub fn known_keys(event: &str) -> Option<&'static [&'static str]> {
             "mr_combined",
             "residual",
             "lut",
+        ]),
+        "guard" => Some(&[
+            "event", "schema", "step", "kind", "detail", "count", "value",
         ]),
         _ => None,
     }
@@ -464,6 +501,13 @@ mod tests {
                 energy_j: 1e-6,
             }),
             Event::RunSummary(RunSummary::default()),
+            Event::Guard(GuardEvent {
+                step: 40,
+                kind: "scrub_repair".into(),
+                detail: "func=0".into(),
+                count: 1,
+                value: 0.0,
+            }),
         ];
         for ev in &events {
             let line = ev.to_jsonl();
@@ -480,6 +524,19 @@ mod tests {
         assert_eq!(s.threads, 0, "thread count is an environment detail");
         assert_eq!(s.cells, 64, "counters untouched");
         assert_eq!(s.residual, 0.5, "residual is deterministic, kept");
+    }
+
+    #[test]
+    fn guard_events_are_already_canonical() {
+        let ev = Event::Guard(GuardEvent {
+            step: 7,
+            kind: "rollback".into(),
+            detail: "to step 5".into(),
+            count: 5,
+            value: 1.25,
+        });
+        assert_eq!(ev.canonical(), ev, "no environment fields to zero");
+        assert_eq!(ev.canonical().to_jsonl(), ev.to_jsonl());
     }
 
     #[test]

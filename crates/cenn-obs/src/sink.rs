@@ -83,7 +83,7 @@ impl<W: Write + Send> Recorder for JsonlSink<W> {
 pub const CSV_HEADER: &str = "event,schema,step,time,label,threads,cells,total_nanos,residual,\
 l1_hits,l1_misses,l2_hits,l2_misses,dram_fetches,dram_points,\
 conv_cycles,stall_cycles,dram_bytes,primary_reads,support_reads,reg_moves,writebacks,energy_j,\
-steps,accesses,mr_l1,mr_l2,mr_combined";
+steps,accesses,mr_l1,mr_l2,mr_combined,kind,detail,count,value";
 
 /// Streams one CSV row per event under the flat [`CSV_HEADER`] (written
 /// on the first record). Same canonical-mode semantics as [`JsonlSink`].
@@ -198,6 +198,13 @@ impl<W: Write + Send> CsvSink<W> {
                 set("mr_l2", f(r.mr_l2));
                 set("mr_combined", f(r.mr_combined));
                 set_lut(&r.lut, &mut set);
+            }
+            Event::Guard(g) => {
+                set("step", g.step.to_string());
+                set("kind", escape_csv(&g.kind));
+                set("detail", escape_csv(&g.detail));
+                set("count", g.count.to_string());
+                set("value", f(g.value));
             }
         }
         cols.join(",")

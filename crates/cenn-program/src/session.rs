@@ -99,6 +99,24 @@ impl SolverSession {
         self.sim.run(n);
     }
 
+    /// Runs `n` functional steps under a [`cenn_guard::Guard`]: the guard
+    /// scrubs LUTs and checkpoints on its cadence, injects any scheduled
+    /// faults, and recovers per its policy. Cycle-level estimation is
+    /// unaffected — it reads the measured miss rates, which include any
+    /// replayed traffic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`cenn_guard::GuardError`] when the guard aborts or
+    /// cannot recover.
+    pub fn run_guarded(
+        &mut self,
+        guard: &mut cenn_guard::Guard,
+        n: u64,
+    ) -> Result<cenn_guard::GuardReport, cenn_guard::GuardError> {
+        guard.run_with(&mut self.sim, n, |_| {})
+    }
+
     /// A layer's state.
     pub fn state(&self, layer: LayerId) -> &Grid<Q16_16> {
         self.sim.state(layer)

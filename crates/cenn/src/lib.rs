@@ -15,6 +15,7 @@
 //! | [`obs`] | `cenn-obs` | metric recorders, event schema, JSONL/CSV sinks |
 //! | [`core`] | `cenn-core` | CeNN model, templates, functional simulator |
 //! | [`lut`] | `cenn-lut` | L1/L2/DRAM LUT hierarchy + TUM |
+//! | [`guard`] | `cenn-guard` | health monitoring, checkpoint/rollback, fault injection |
 //! | [`arch`] | `cenn-arch` | cycle-level timing, memory and energy models |
 //! | [`program`] | `cenn-program` | bitstream + solver session |
 //! | [`equations`] | `cenn-equations` | the six §6.1 benchmarks |
@@ -60,6 +61,12 @@ pub mod core {
 /// The LUT hierarchy (`cenn-lut`).
 pub mod lut {
     pub use cenn_lut::*;
+}
+
+/// The fault-tolerant runtime: health monitoring, checkpoint/rollback,
+/// LUT scrubbing, deterministic fault injection (`cenn-guard`).
+pub mod guard {
+    pub use cenn_guard::*;
 }
 
 /// The architecture model (`cenn-arch`).
