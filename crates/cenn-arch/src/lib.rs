@@ -41,7 +41,7 @@ mod energy;
 mod memory;
 mod pe;
 pub mod schedule;
-mod trace;
+pub mod trace;
 
 pub use banks::{BankEnergy, BankTraffic, BankTrafficModel};
 pub use cycle::{CycleModel, RunEstimate, StepTiming};

@@ -6,7 +6,9 @@ use cenn_core::{
     Boundary, CennModel, ExecEngine, Grid, LayerId, LayerKind, ModelError, TemplateKind, WeightExpr,
 };
 use cenn_equations::SystemSetup;
-use cenn_obs::{Event, LutLevel, LutLevelMetrics, RecorderHandle, RunSummary, StepMetrics};
+use cenn_obs::{
+    Event, LutLevel, LutLevelMetrics, Phase, RecorderHandle, RunSummary, StepMetrics, TraceHandle,
+};
 
 /// Arithmetic precision of the reference solver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -62,9 +64,29 @@ pub struct FloatSim {
     /// fixed-point simulator (LUT counters are all zero — this path has no
     /// LUT hierarchy).
     recorder: Option<RecorderHandle>,
+    /// Optional span tracer using the same phase taxonomy as the
+    /// fixed-point simulator (`template_apply` for RHS sweeps,
+    /// `integrate` for update passes; no `lut_lookup` — this path
+    /// evaluates functions exactly).
+    tracer: Option<TraceHandle>,
     run_cells: u64,
     run_nanos: u64,
     last_residual: f64,
+}
+
+/// Runs `f` inside a span of `phase` on track 0 when a tracer is
+/// attached; calls it directly otherwise.
+fn traced<T>(tracer: &Option<TraceHandle>, phase: Phase, f: impl FnOnce() -> T) -> T {
+    match tracer {
+        Some(tr) => {
+            let t0 = Instant::now();
+            let start = t0.saturating_duration_since(tr.epoch()).as_nanos() as u64;
+            let v = f();
+            tr.record(phase, 0, start, t0.elapsed().as_nanos() as u64);
+            v
+        }
+        None => f(),
+    }
 }
 
 impl FloatSim {
@@ -84,6 +106,7 @@ impl FloatSim {
             time: 0.0,
             steps: 0,
             recorder: None,
+            tracer: None,
             run_cells: 0,
             run_nanos: 0,
             last_residual: 0.0,
@@ -105,6 +128,24 @@ impl FloatSim {
 
     fn recording(&self) -> bool {
         self.recorder.as_ref().is_some_and(RecorderHandle::enabled)
+    }
+
+    /// Attaches a span tracer: each step records one `template_apply`
+    /// span per RHS evaluation and one `integrate` span per update pass
+    /// (Euler 1+1, Heun 2+2), all on track 0 — counts are therefore
+    /// thread-count independent.
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Detaches the tracer.
+    pub fn clear_tracer(&mut self) {
+        self.tracer = None;
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&TraceHandle> {
+        self.tracer.as_ref()
     }
 
     /// All-zero per-level LUT rows: the reference solver evaluates
@@ -140,6 +181,15 @@ impl FloatSim {
             residual: self.last_residual,
             lut: Self::zero_lut(),
         }));
+    }
+
+    /// Emits one `span_summary` event per active phase through the
+    /// attached recorder. No-op unless both a tracer and an enabled
+    /// recorder are attached.
+    pub fn record_span_summaries(&self) {
+        if let (Some(tracer), Some(rec)) = (&self.tracer, &self.recorder) {
+            tracer.record_summaries(rec);
+        }
     }
 
     /// Sets the worker-thread count for the evaluation sweeps. Cell
@@ -229,43 +279,56 @@ impl FloatSim {
         let track = self.recording();
         let start = track.then(Instant::now);
         let mut residual = 0.0f64;
+        let tracer = self.tracer.clone();
         match self.model.integrator() {
             cenn_core::Integrator::Euler => {
-                self.algebraic_pass();
-                let k1 = self.dyn_rhs();
-                self.apply_update(&k1, dt, None, track.then_some(&mut residual));
+                let k1 = traced(&tracer, Phase::TemplateApply, || {
+                    self.algebraic_pass();
+                    self.dyn_rhs()
+                });
+                traced(&tracer, Phase::Integrate, || {
+                    self.apply_update(&k1, dt, None, track.then_some(&mut residual));
+                });
             }
             cenn_core::Integrator::Heun => {
-                self.algebraic_pass();
-                let k1 = self.dyn_rhs();
-                for (s, x) in self.saved.iter_mut().zip(&self.states) {
-                    s.copy_from(x);
-                }
-                self.apply_update(&k1, dt, None, None);
-                self.algebraic_pass();
-                let k2 = self.dyn_rhs();
-                std::mem::swap(&mut self.states, &mut self.saved);
-                // x <- x0 + dt/2 (k1 + k2)
-                let half = dt / 2.0;
-                let n = self.plan.len();
-                for i in 0..n {
-                    if self.plan[i].kind != LayerKind::Dynamic {
-                        continue;
+                let k1 = traced(&tracer, Phase::TemplateApply, || {
+                    self.algebraic_pass();
+                    self.dyn_rhs()
+                });
+                traced(&tracer, Phase::Integrate, || {
+                    for (s, x) in self.saved.iter_mut().zip(&self.states) {
+                        s.copy_from(x);
                     }
-                    let (rows, cols) = (self.model.rows(), self.model.cols());
-                    for r in 0..rows {
-                        for c in 0..cols {
-                            let x = self.states[i].get(r, c);
-                            let v = self.round(x + half * (k1[i].get(r, c) + k2[i].get(r, c)));
-                            if track {
-                                // `x` is still the pre-step value here, so
-                                // this is the exactly-applied |Δx|.
-                                residual = residual.max((v - x).abs());
+                    self.apply_update(&k1, dt, None, None);
+                });
+                let k2 = traced(&tracer, Phase::TemplateApply, || {
+                    self.algebraic_pass();
+                    self.dyn_rhs()
+                });
+                traced(&tracer, Phase::Integrate, || {
+                    std::mem::swap(&mut self.states, &mut self.saved);
+                    // x <- x0 + dt/2 (k1 + k2)
+                    let half = dt / 2.0;
+                    let n = self.plan.len();
+                    for i in 0..n {
+                        if self.plan[i].kind != LayerKind::Dynamic {
+                            continue;
+                        }
+                        let (rows, cols) = (self.model.rows(), self.model.cols());
+                        for r in 0..rows {
+                            for c in 0..cols {
+                                let x = self.states[i].get(r, c);
+                                let v = self.round(x + half * (k1[i].get(r, c) + k2[i].get(r, c)));
+                                if track {
+                                    // `x` is still the pre-step value here,
+                                    // so this is the exactly-applied |Δx|.
+                                    residual = residual.max((v - x).abs());
+                                }
+                                self.states[i].set(r, c, v);
                             }
-                            self.states[i].set(r, c, v);
                         }
                     }
-                }
+                });
             }
         }
         self.steps += 1;
@@ -513,6 +576,17 @@ impl FloatRunner {
         self.sim.set_recorder(recorder);
     }
 
+    /// Attaches a span tracer to the underlying simulator.
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.sim.set_tracer(tracer);
+    }
+
+    /// Emits one `span_summary` event per active phase (no-op without
+    /// both a tracer and an enabled recorder).
+    pub fn record_span_summaries(&self) {
+        self.sim.record_span_summaries();
+    }
+
     /// Emits the end-of-run [`cenn_obs::RunSummary`] event (no-op without
     /// an enabled recorder).
     pub fn record_summary(&self) {
@@ -629,6 +703,44 @@ mod tests {
         let summary = rec.summary().unwrap();
         assert_eq!(summary.steps, 4);
         assert_eq!(summary.accesses, 0);
+        for line in rec.to_jsonl().lines() {
+            cenn_obs::validate_jsonl_line(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn float_tracer_uses_shared_phase_taxonomy() {
+        // Euler: 1 template_apply + 1 integrate per step.
+        let heat = Heat::default().build(6, 6).unwrap();
+        let mut runner = FloatRunner::new(heat, Precision::F64).unwrap();
+        let tracer = TraceHandle::histograms_only();
+        runner.set_tracer(tracer.clone());
+        runner.run(5);
+        assert_eq!(tracer.with(|c| c.phase_count(Phase::TemplateApply)), 5);
+        assert_eq!(tracer.with(|c| c.phase_count(Phase::Integrate)), 5);
+        assert_eq!(tracer.with(|c| c.phase_count(Phase::LutLookup)), 0);
+        assert!(runner.sim().tracer().is_some());
+
+        let izh = Izhikevich::default().build(2, 2).unwrap();
+        let mut runner = FloatRunner::new(izh, Precision::F64).unwrap();
+        let tracer = TraceHandle::histograms_only();
+        runner.set_tracer(tracer.clone());
+        let per_pass = u64::from(runner.sim().model().integrator().passes());
+        runner.run(3);
+        assert_eq!(
+            tracer.with(|c| c.phase_count(Phase::TemplateApply)),
+            3 * per_pass
+        );
+        assert_eq!(
+            tracer.with(|c| c.phase_count(Phase::Integrate)),
+            3 * per_pass
+        );
+        // Summaries flow to a shared recorder as span_summary events.
+        let (handle, reader) = cenn_obs::RecorderHandle::in_memory(true);
+        runner.set_recorder(handle);
+        runner.record_span_summaries();
+        let rec = reader.lock().unwrap();
+        assert_eq!(rec.events().len(), 2, "two active phases");
         for line in rec.to_jsonl().lines() {
             cenn_obs::validate_jsonl_line(line).unwrap();
         }

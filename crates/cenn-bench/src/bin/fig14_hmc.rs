@@ -6,9 +6,10 @@ use cenn::arch::{CycleModel, MemorySpec, PeArrayConfig};
 use cenn::baselines::{gtx850_gpu, StencilWorkload};
 use cenn::equations::all_benchmarks;
 use cenn::obs::{Event, RecorderHandle};
-use cenn_bench::{geomean, probe_and_perf, recorded_summary, rule, PERF_SIDE};
+use cenn_bench::{geomean, probe_and_perf, recorded_summary_obs, rule, BenchObs, PERF_SIDE};
 
 fn main() {
+    let obs = BenchObs::from_cli();
     println!(
         "Fig. 14 — speedup over GPU with high-bandwidth memory, {s}x{s} grids\n",
         s = PERF_SIDE
@@ -32,7 +33,8 @@ fn main() {
     for sys in all_benchmarks() {
         let (probe, perf) = probe_and_perf(sys.as_ref());
         // Miss rates come back through the recorded run_summary event.
-        let summary = recorded_summary(&probe, 5, 15);
+        let summary = recorded_summary_obs(&probe, 5, 15, obs.tracer());
+        obs.record(&Event::RunSummary(summary.clone()));
         let mr = (summary.mr_l1, summary.mr_l2);
         let est_ddr = ddr.estimate(&perf.model, mr);
         let est_int = int.estimate(&perf.model, mr);
@@ -43,7 +45,9 @@ fn main() {
             ("hmc-ext", &est_ext),
         ] {
             let label = format!("{}/{}", sys.name(), spec);
-            handle.record(&Event::MemTraffic(est.to_mem_traffic(label, None)));
+            let ev = Event::MemTraffic(est.to_mem_traffic(label, None));
+            obs.record(&ev);
+            handle.record(&ev);
         }
         let t_ddr = est_ddr.time_per_step_s();
         let t_int = est_int.time_per_step_s();
@@ -86,4 +90,6 @@ fn main() {
     }
     println!("\nshape checks: EXT > INT > DDR3 (more channels kill the L2-miss");
     println!("request queue of §6.3; the 10 GHz I/O clock over-drives the array).");
+    drop(rec);
+    obs.finish().expect("write observability artifacts");
 }

@@ -8,7 +8,7 @@
 
 use cenn::arch::dataflow::{paper_example, DataflowScheme};
 use cenn::obs::{Event, MemTraffic, RecorderHandle};
-use cenn_bench::rule;
+use cenn_bench::{rule, BenchObs};
 
 /// Q16.16 state word moved per DRAM access.
 const WORD_BYTES: f64 = 4.0;
@@ -29,6 +29,9 @@ fn traffic_event(label: String, accesses: f64) -> Event {
 }
 
 fn main() {
+    // Analytic figure — no solver runs, so `--trace-out` yields a valid
+    // but empty Chrome trace; `--metrics-out` carries the full stream.
+    let obs = BenchObs::from_cli();
     println!("Fig. 8 / eqs. (11)-(12) — DRAM accesses for real-time weight update\n");
 
     // Record every point of the comparison, then print from the stream.
@@ -100,4 +103,9 @@ fn main() {
     println!("\nconclusion (§5.1): OS dataflow shares each weight across all PEs, so");
     println!("weight-update DRAM traffic divides by #PEs — 'as CeNN state evolves");
     println!("over time, the advantage of utilizing OS dataflow piles up.'");
+    for ev in rec.events() {
+        obs.record(ev);
+    }
+    drop(rec);
+    obs.finish().expect("write observability artifacts");
 }

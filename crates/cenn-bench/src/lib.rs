@@ -15,6 +15,8 @@
 //! | `table3_comparison` | Table 3 cross-platform comparison |
 
 use cenn::equations::{DynamicalSystem, FixedRunner, SystemSetup};
+use cenn::obs::{Event, InMemoryRecorder, RecorderHandle, TraceHandle};
+use std::sync::{Arc, Mutex};
 
 /// Default grid side for the performance experiments (kept at a size the
 /// functional simulator sweeps quickly; the cycle model scales exactly
@@ -41,7 +43,22 @@ pub fn measured_miss_rates(setup: &SystemSetup, warmup: u64, steps: u64) -> (f64
 /// solver's `run_summary` event and the harness reads the rates back out
 /// of it. Guaranteed (and tested) to match the direct counters exactly.
 pub fn recorded_summary(setup: &SystemSetup, warmup: u64, steps: u64) -> cenn::obs::RunSummary {
+    recorded_summary_obs(setup, warmup, steps, None)
+}
+
+/// [`recorded_summary`] with an optional span tracer attached to the
+/// solver for the measured steps, so figure binaries invoked with
+/// `--trace-out` capture real sweep/LUT spans alongside their tables.
+pub fn recorded_summary_obs(
+    setup: &SystemSetup,
+    warmup: u64,
+    steps: u64,
+    tracer: Option<TraceHandle>,
+) -> cenn::obs::RunSummary {
     let mut runner = FixedRunner::new(setup.clone()).expect("runner");
+    if let Some(tr) = tracer {
+        runner.set_tracer(tr);
+    }
     runner.run(warmup);
     runner.reset_lut_stats();
     let (handle, reader) = cenn::obs::RecorderHandle::in_memory(true);
@@ -50,6 +67,102 @@ pub fn recorded_summary(setup: &SystemSetup, warmup: u64, steps: u64) -> cenn::o
     runner.record_summary();
     let rec = reader.lock().expect("recorder lock");
     rec.summary().expect("run_summary event").clone()
+}
+
+/// Observability plumbing shared by the figure binaries: parses the
+/// `--metrics-out FILE` / `--trace-out FILE` flags (the same names the
+/// `cenn run` CLI uses), exposes an optional [`TraceHandle`] and event
+/// recorder while the experiment runs, and writes the JSONL metrics
+/// stream plus a Chrome trace-event file when the binary finishes.
+pub struct BenchObs {
+    metrics_out: Option<std::path::PathBuf>,
+    trace_out: Option<std::path::PathBuf>,
+    tracer: Option<TraceHandle>,
+    reader: Option<Arc<Mutex<InMemoryRecorder>>>,
+    handle: Option<RecorderHandle>,
+}
+
+impl BenchObs {
+    /// Parses the binary's command line. Unknown flags abort with a usage
+    /// message so a typo never silently drops an artifact.
+    pub fn from_cli() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(obs) => obs,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("usage: <figure-binary> [--metrics-out FILE] [--trace-out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Flag parsing behind [`BenchObs::from_cli`], split out for tests.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut metrics_out = None;
+        let mut trace_out = None;
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let slot = match arg.as_str() {
+                "--metrics-out" => &mut metrics_out,
+                "--trace-out" => &mut trace_out,
+                other => return Err(format!("unknown argument `{other}`")),
+            };
+            let value = it.next().ok_or_else(|| format!("{arg} needs a FILE"))?;
+            *slot = Some(std::path::PathBuf::from(value));
+        }
+        let tracer = trace_out.as_ref().map(|_| TraceHandle::full());
+        let (handle, reader) = match metrics_out {
+            Some(_) => {
+                let (h, r) = RecorderHandle::in_memory(false);
+                (Some(h), Some(r))
+            }
+            None => (None, None),
+        };
+        Ok(Self {
+            metrics_out,
+            trace_out,
+            tracer,
+            reader,
+            handle,
+        })
+    }
+
+    /// Span tracer to attach to solver runs; `Some` iff `--trace-out`.
+    pub fn tracer(&self) -> Option<TraceHandle> {
+        self.tracer.clone()
+    }
+
+    /// Records an event into the metrics stream (no-op without
+    /// `--metrics-out`).
+    pub fn record(&self, event: &Event) {
+        if let Some(handle) = &self.handle {
+            handle.record(event);
+        }
+    }
+
+    /// Writes the requested artifacts and prints where they went. Call
+    /// once at the end of `main`.
+    pub fn finish(self) -> std::io::Result<()> {
+        if let (Some(tracer), Some(handle)) = (&self.tracer, &self.handle) {
+            // Fold the aggregated per-phase histograms into the JSONL
+            // stream as span_summary events before serializing.
+            tracer.record_summaries(handle);
+        }
+        if let (Some(path), Some(reader)) = (&self.metrics_out, &self.reader) {
+            let rec = reader.lock().expect("recorder lock");
+            std::fs::write(path, rec.to_jsonl())?;
+            eprintln!(
+                "wrote {} metrics events to {}",
+                rec.events().len(),
+                path.display()
+            );
+        }
+        if let (Some(path), Some(tracer)) = (&self.trace_out, &self.tracer) {
+            tracer.write_chrome_trace(path)?;
+            eprintln!("wrote Chrome trace to {}", path.display());
+        }
+        Ok(())
+    }
 }
 
 /// `(mr_L1, mr_L2, mr_L1*mr_L2)` read back from the recorded
@@ -107,6 +220,40 @@ mod tests {
         let s = recorded_summary(&setup, 2, 5);
         assert_eq!(s.steps, 7, "warmup + measured steps");
         assert!(s.accesses > 0);
+    }
+
+    #[test]
+    fn bench_obs_rejects_unknown_flags() {
+        assert!(BenchObs::parse(["--bogus".to_string()]).is_err());
+        assert!(BenchObs::parse(["--metrics-out".to_string()]).is_err());
+    }
+
+    #[test]
+    fn bench_obs_writes_metrics_and_chrome_trace() {
+        let dir = std::env::temp_dir().join("cenn_bench_obs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("m.jsonl");
+        let trace = dir.join("t.json");
+        let obs = BenchObs::parse([
+            "--metrics-out".to_string(),
+            metrics.display().to_string(),
+            "--trace-out".to_string(),
+            trace.display().to_string(),
+        ])
+        .unwrap();
+        let setup = Fisher::default().build(12, 12).unwrap();
+        let summary = recorded_summary_obs(&setup, 1, 3, obs.tracer());
+        obs.record(&Event::RunSummary(summary));
+        obs.finish().unwrap();
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        assert!(text.contains("run_summary"), "summary event in stream");
+        assert!(text.contains("span_summary"), "tracer folded into stream");
+        for line in text.lines() {
+            cenn::obs::validate_jsonl_line(line).expect("valid JSONL event");
+        }
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        assert!(trace_text.contains("traceEvents"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -35,6 +35,21 @@ USAGE:
       'lut@10:func=0,idx=8,word=0,bit=20;state@5:layer=0,r=1,c=2,bit=30'
       (kinds: lut, state, template); it implies --guard. Guard activity is
       emitted as 'guard' events in the metrics stream.
+      --trace-out FILE writes a Chrome trace-event JSON of the run's
+      phase spans (open in chrome://tracing or https://ui.perfetto.dev).
+  cenn profile <system> [--grid N] [--steps N] [--threads N]
+               [--format table|json] [--canonical] [--trace-out FILE]
+      Run a system under the span tracer and print a phase-attribution
+      breakdown (lut_lookup, template_apply, integrate, halo_sync, ...)
+      with per-phase latency quantiles. --canonical zeroes wall-clock
+      fields so the output is byte-identical for any thread count.
+  cenn bench [--quick] [--repeat N] [--threads N] [--dir DIR] [--out FILE]
+             [--compare] [--baseline FILE] [--threshold PCT]
+      Run the fixed benchmark suite (fisher, gray-scott, heat at two grid
+      sizes; --quick shrinks it to 16x16) and write per-phase median
+      times to the next BENCH_<n>.json in DIR. --compare diffs against
+      the previous BENCH file (or --baseline FILE) and exits non-zero on
+      any phase slower than --threshold percent (default 25).
   cenn program --system <name> [--grid N] --out FILE
       Compile a system to its solver bitstream.
   cenn inspect FILE
@@ -99,6 +114,7 @@ pub struct RunOpts {
     pub metrics_out: Option<String>,
     pub metrics_format: String,
     pub metrics_canonical: bool,
+    pub trace_out: Option<String>,
     pub guard: bool,
     pub checkpoint_every: Option<u64>,
     pub fault_plan: Option<String>,
@@ -121,6 +137,7 @@ impl Default for RunOpts {
             metrics_out: None,
             metrics_format: "jsonl".into(),
             metrics_canonical: false,
+            trace_out: None,
             guard: false,
             checkpoint_every: None,
             fault_plan: None,
@@ -173,6 +190,7 @@ pub fn parse_opts(args: &[String]) -> Result<RunOpts, CliError> {
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
             "--metrics-format" => opts.metrics_format = value("--metrics-format")?,
             "--metrics-canonical" => opts.metrics_canonical = true,
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
             "--guard" => opts.guard = true,
             "--checkpoint-every" => {
                 opts.guard = true;
@@ -237,6 +255,20 @@ fn memory_by_name(name: &str) -> Result<MemorySpec, CliError> {
     }
 }
 
+/// A system's default step count (for `profile`/`bench` when `--steps`
+/// is absent).
+pub fn system_default_steps(name: &str) -> Result<u64, CliError> {
+    Ok(system_by_name(name)?.default_steps())
+}
+
+/// Builds a square-grid setup by system name (the `profile`/`bench`
+/// entry point — no integrator or memory overrides).
+pub fn build_profile_setup(name: &str, grid: usize) -> Result<SystemSetup, CliError> {
+    system_by_name(name)?
+        .build(grid, grid)
+        .map_err(|e| err(format!("model build failed: {e}")))
+}
+
 fn build_setup(opts: &RunOpts) -> Result<SystemSetup, CliError> {
     let sys = system_by_name(&opts.system)?;
     let mut setup = sys
@@ -254,6 +286,8 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         None | Some("help") | Some("--help") | Some("-h") => Ok(USAGE.to_string()),
         Some("list") => cmd_list(),
         Some("run") => cmd_run(&args[1..]),
+        Some("profile") => crate::profile::cmd_profile(&args[1..]),
+        Some("bench") => crate::bench::cmd_bench(&args[1..]),
         Some("program") => cmd_program(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some(other) => Err(err(format!("unknown command '{other}'"))),
@@ -299,6 +333,11 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
             Some((handle, path.clone()))
         }
     };
+    let tracer = opts.trace_out.as_ref().map(|_| {
+        let tracer = cenn::obs::TraceHandle::full();
+        runner.set_tracer(tracer.clone());
+        tracer
+    });
     let (fired, guard_report) = if opts.guard {
         let mut cfg = cenn::guard::GuardConfig {
             on_divergence: opts.on_divergence,
@@ -316,6 +355,9 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
         if let Some((handle, _)) = &metrics {
             guard = guard.with_recorder(handle.clone());
         }
+        if let Some(tracer) = &tracer {
+            guard = guard.with_tracer(tracer.clone());
+        }
         let report = runner
             .run_guarded(&mut guard, steps)
             .map_err(|e| err(format!("guarded run: {e}")))?;
@@ -325,8 +367,14 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
     };
     if let Some((handle, path)) = &metrics {
         runner.record_summary();
+        runner.record_span_summaries();
         handle
             .flush()
+            .map_err(|e| err(format!("writing {path}: {e}")))?;
+    }
+    if let (Some(tracer), Some(path)) = (&tracer, &opts.trace_out) {
+        tracer
+            .write_chrome_trace(path)
             .map_err(|e| err(format!("writing {path}: {e}")))?;
     }
 
@@ -385,11 +433,14 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
     }
     if let Some((_, path)) = &metrics {
         // Every executed step (including replays) emits one metrics event,
-        // plus the run summary and any guard events.
-        let events = match &guard_report {
-            None => steps + 1,
-            Some(r) => r.steps_executed + 1 + r.guard_events,
-        };
+        // plus the run summary, any guard events, and one span summary
+        // per traced phase.
+        let span_events = tracer.as_ref().map_or(0, |t| t.summaries().len() as u64);
+        let events = span_events
+            + match &guard_report {
+                None => steps + 1,
+                Some(r) => r.steps_executed + 1 + r.guard_events,
+            };
         writeln!(
             out,
             "metrics: wrote {events} events to {path} ({})",
@@ -658,6 +709,45 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines[0], cenn::obs::CSV_HEADER);
         assert_eq!(lines.len(), 1 + 3 + 1, "header + 3 steps + summary");
+    }
+
+    #[test]
+    fn run_trace_out_writes_chrome_trace_and_span_summaries() {
+        let dir = std::env::temp_dir().join("cenn_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("run_trace.json");
+        let metrics = dir.join("run_trace_metrics.jsonl");
+        let out = dispatch(&s(&[
+            "run",
+            "--system",
+            "fisher",
+            "--grid",
+            "16",
+            "--steps",
+            "6",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        let metrics_text = std::fs::read_to_string(&metrics).unwrap();
+        std::fs::remove_file(&trace).unwrap();
+        std::fs::remove_file(&metrics).unwrap();
+        let doc = cenn::obs::parse_json(&trace_text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(!events.is_empty(), "trace must contain spans");
+        assert!(
+            metrics_text.contains("\"event\":\"span_summary\""),
+            "span summaries interleave with metrics"
+        );
+        for line in metrics_text.lines() {
+            cenn::obs::validate_jsonl_line(line).unwrap();
+        }
+        // The reported event count includes the span summaries.
+        let n = metrics_text.lines().count();
+        assert!(out.contains(&format!("wrote {n} events")), "{out}");
     }
 
     #[test]

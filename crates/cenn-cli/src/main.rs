@@ -10,7 +10,9 @@
 
 use std::process::ExitCode;
 
+mod bench;
 mod cli;
+mod profile;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -1,0 +1,365 @@
+//! `cenn profile` — run a system under the span tracer and print a
+//! phase-attribution breakdown.
+
+use std::fmt::Write as _;
+
+use cenn::equations::FixedRunner;
+use cenn::obs::trace::{Phase, TraceHandle};
+use cenn::obs::SpanSummary;
+
+use crate::cli::{build_profile_setup, system_default_steps, CliError};
+
+/// Parsed options for `profile`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileOpts {
+    pub system: String,
+    pub grid: usize,
+    pub steps: u64,
+    pub threads: usize,
+    pub format: String,
+    pub canonical: bool,
+    pub trace_out: Option<String>,
+}
+
+impl Default for ProfileOpts {
+    fn default() -> Self {
+        Self {
+            system: String::new(),
+            grid: 32,
+            steps: 0,
+            threads: 1,
+            format: "table".into(),
+            canonical: false,
+            trace_out: None,
+        }
+    }
+}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parses `profile` arguments: `<system>` positionally or via `--system`,
+/// plus `--grid`, `--steps`, `--threads`, `--format table|json`,
+/// `--canonical`, `--trace-out FILE`.
+pub fn parse_profile_opts(args: &[String]) -> Result<ProfileOpts, CliError> {
+    let mut opts = ProfileOpts::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| err(format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--system" => opts.system = value("--system")?,
+            "--grid" => {
+                opts.grid = value("--grid")?
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| err("--grid needs a positive integer"))?
+            }
+            "--steps" => {
+                opts.steps = value("--steps")?
+                    .parse()
+                    .map_err(|_| err("--steps needs a non-negative integer"))?
+            }
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| err("--threads needs a positive integer"))?
+            }
+            "--format" => opts.format = value("--format")?,
+            "--canonical" => opts.canonical = true,
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            other if !other.starts_with('-') && opts.system.is_empty() => {
+                opts.system = other.to_string()
+            }
+            other => return Err(err(format!("unknown option '{other}'"))),
+        }
+    }
+    if opts.system.is_empty() {
+        return Err(err(
+            "profile needs a system name (e.g. `cenn profile fisher`)",
+        ));
+    }
+    if !matches!(opts.format.as_str(), "table" | "json") {
+        return Err(err(format!(
+            "unknown format '{}'; use table or json",
+            opts.format
+        )));
+    }
+    Ok(opts)
+}
+
+/// Runs a profile and renders it. With `--canonical`, every wall-clock
+/// field is zeroed so the output (notably the exact per-phase span
+/// counts) is byte-identical for any `--threads` value.
+pub fn cmd_profile(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_profile_opts(args)?;
+    let steps = if opts.steps == 0 {
+        system_default_steps(&opts.system)?
+    } else {
+        opts.steps
+    };
+    let setup = build_profile_setup(&opts.system, opts.grid)?;
+    let mut runner = FixedRunner::new(setup).map_err(|e| err(format!("simulator setup: {e}")))?;
+    runner.set_threads(opts.threads);
+    // Spans are only retained when they will be exported; histograms are
+    // enough for the attribution table.
+    let tracer = if opts.trace_out.is_some() {
+        TraceHandle::full()
+    } else {
+        TraceHandle::histograms_only()
+    };
+    runner.set_tracer(tracer.clone());
+    runner.run(steps);
+    let wall = runner.sim().run_nanos();
+    let summaries = tracer.summaries();
+    if let Some(path) = &opts.trace_out {
+        tracer
+            .write_chrome_trace(path)
+            .map_err(|e| err(format!("writing {path}: {e}")))?;
+    }
+    let mut out = match opts.format.as_str() {
+        "json" => render_json(&opts, steps, wall, &summaries),
+        _ => render_table(&opts, steps, wall, &summaries),
+    };
+    if let Some(path) = &opts.trace_out {
+        if opts.format != "json" {
+            out.push_str(&format!(
+                "\nwrote Chrome trace to {path} (load in chrome://tracing or Perfetto)"
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn render_json(opts: &ProfileOpts, steps: u64, wall: u64, summaries: &[SpanSummary]) -> String {
+    let zero = |v: u64| if opts.canonical { 0 } else { v };
+    let mut out = String::from("{");
+    out.push_str(&format!("\"system\":\"{}\",", opts.system));
+    out.push_str(&format!("\"grid\":{},", opts.grid));
+    out.push_str(&format!("\"steps\":{steps},"));
+    out.push_str(&format!("\"threads\":{},", opts.threads));
+    out.push_str(&format!("\"canonical\":{},", opts.canonical));
+    out.push_str(&format!("\"wall_nanos\":{},", zero(wall)));
+    out.push_str("\"phases\":[");
+    for (i, s) in summaries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"phase\":\"{}\",\"count\":{},\"total_nanos\":{},\"p50_nanos\":{},\
+             \"p90_nanos\":{},\"p99_nanos\":{},\"max_nanos\":{}}}",
+            s.phase,
+            s.count,
+            zero(s.total_nanos),
+            zero(s.p50_nanos),
+            zero(s.p90_nanos),
+            zero(s.p99_nanos),
+            zero(s.max_nanos),
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn render_table(opts: &ProfileOpts, steps: u64, wall: u64, summaries: &[SpanSummary]) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "profile: {} {}x{}, {} steps, {} thread{}",
+        opts.system,
+        opts.grid,
+        opts.grid,
+        steps,
+        opts.threads,
+        if opts.threads == 1 { "" } else { "s" }
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<16}{:>8}{:>12}{:>10}{:>10}{:>10}{:>10}{:>8}",
+        "phase", "count", "total", "p50", "p90", "p99", "max", "share"
+    )
+    .unwrap();
+    let attributed: u64 = summaries.iter().map(|s| s.total_nanos).sum();
+    for s in summaries {
+        let share = if attributed == 0 {
+            0.0
+        } else {
+            100.0 * s.total_nanos as f64 / attributed as f64
+        };
+        writeln!(
+            out,
+            "{:<16}{:>8}{:>12}{:>10}{:>10}{:>10}{:>10}{:>7.1}%",
+            s.phase,
+            s.count,
+            fmt_nanos(s.total_nanos),
+            fmt_nanos(s.p50_nanos),
+            fmt_nanos(s.p90_nanos),
+            fmt_nanos(s.p99_nanos),
+            fmt_nanos(s.max_nanos),
+            share,
+        )
+        .unwrap();
+    }
+    if wall > 0 && opts.threads == 1 {
+        // Phase spans on >1 thread accumulate CPU time across workers, so
+        // coverage of wall time is only meaningful serially.
+        writeln!(
+            out,
+            "measured wall: {}, attributed to phases: {:.1}%",
+            fmt_nanos(wall),
+            100.0 * attributed as f64 / wall as f64
+        )
+        .unwrap();
+    }
+    // A disabled phase taxonomy entry would silently vanish from the
+    // table; list unseen phases so the reader knows they were measured
+    // as zero, not skipped.
+    let unseen: Vec<&str> = Phase::ALL
+        .iter()
+        .filter(|p| summaries.iter().all(|s| s.phase != p.as_str()))
+        .map(|p| p.as_str())
+        .collect();
+    if !unseen.is_empty() {
+        writeln!(out, "phases with no spans: {}", unseen.join(", ")).unwrap();
+    }
+    out.trim_end().to_string()
+}
+
+/// `1234` → `"1.23us"` — compact duration for the table.
+fn fmt_nanos(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.2}s", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.2}ms", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.2}us", n as f64 / 1e3)
+    } else {
+        format!("{n}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|p| p.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_positional_system_and_flags() {
+        let o = parse_profile_opts(&s(&[
+            "fisher",
+            "--grid",
+            "16",
+            "--steps",
+            "5",
+            "--threads",
+            "2",
+            "--format",
+            "json",
+            "--canonical",
+        ]))
+        .unwrap();
+        assert_eq!(o.system, "fisher");
+        assert_eq!(o.grid, 16);
+        assert_eq!(o.steps, 5);
+        assert_eq!(o.threads, 2);
+        assert_eq!(o.format, "json");
+        assert!(o.canonical);
+        assert!(
+            parse_profile_opts(&s(&["--grid", "16"])).is_err(),
+            "system required"
+        );
+        assert!(parse_profile_opts(&s(&["fisher", "--format", "xml"])).is_err());
+        assert!(parse_profile_opts(&s(&["fisher", "extra"])).is_err());
+    }
+
+    #[test]
+    fn profile_json_phase_totals_cover_measured_wall() {
+        // Acceptance gate: serial phase totals must sum to within 5% of
+        // the measured sweep wall time.
+        let out = cmd_profile(&s(&[
+            "fisher", "--grid", "32", "--steps", "20", "--format", "json",
+        ]))
+        .unwrap();
+        let doc = cenn::obs::parse_json(&out).unwrap();
+        let wall = doc.get("wall_nanos").unwrap().as_f64().unwrap();
+        let phases = doc.get("phases").unwrap().as_array().unwrap();
+        assert!(!phases.is_empty());
+        let attributed: f64 = phases
+            .iter()
+            .map(|p| p.get("total_nanos").unwrap().as_f64().unwrap())
+            .sum();
+        assert!(wall > 0.0);
+        let coverage = attributed / wall;
+        assert!(
+            (0.95..=1.0).contains(&coverage),
+            "phase totals cover {:.1}% of wall time",
+            coverage * 100.0
+        );
+    }
+
+    #[test]
+    fn canonical_profile_is_byte_identical_across_threads() {
+        let run = |threads: &str| {
+            cmd_profile(&s(&[
+                "gray-scott",
+                "--grid",
+                "16",
+                "--steps",
+                "8",
+                "--threads",
+                threads,
+                "--format",
+                "json",
+                "--canonical",
+            ]))
+            .unwrap()
+            .replace(&format!("\"threads\":{threads},"), "\"threads\":N,")
+        };
+        let serial = run("1");
+        assert_eq!(
+            serial,
+            run("4"),
+            "canonical output must not depend on threads"
+        );
+        assert!(serial.contains("\"wall_nanos\":0"));
+        assert!(serial.contains("\"phase\":\"template_apply\""));
+    }
+
+    #[test]
+    fn profile_table_lists_phases_and_writes_trace() {
+        let dir = std::env::temp_dir().join("cenn_profile_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let out = cmd_profile(&s(&[
+            "heat",
+            "--grid",
+            "16",
+            "--steps",
+            "5",
+            "--trace-out",
+            &path_str,
+        ]))
+        .unwrap();
+        assert!(out.contains("template_apply"), "{out}");
+        assert!(out.contains("lut_lookup"), "{out}");
+        assert!(out.contains("share"), "{out}");
+        assert!(out.contains("wrote Chrome trace"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        let doc = cenn::obs::parse_json(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(!events.is_empty());
+    }
+}

@@ -3,7 +3,7 @@
 use std::time::Instant;
 
 use cenn_lut::{FuncId, FuncLibrary, LutHierarchy, LutShard, LutStats, OffChipLut};
-use cenn_obs::{Event, RecorderHandle, RunSummary};
+use cenn_obs::{Event, Phase, RecorderHandle, RunSummary, Span, SpanRing, TraceHandle};
 use fixedpt::{MacAcc, Q16_16};
 
 use crate::boundary::Boundary;
@@ -124,6 +124,9 @@ pub struct CennSim {
     /// Optional metric sink; `None` (the default) keeps every step on the
     /// uninstrumented path. See [`set_recorder`](Self::set_recorder).
     recorder: Option<RecorderHandle>,
+    /// Optional span tracer; `None` (the default) keeps the span path to
+    /// a single branch per sweep. See [`set_tracer`](Self::set_tracer).
+    tracer: Option<TraceHandle>,
     /// Cumulative cell evaluations across the run (for the summary event).
     run_cells: u64,
     /// Cumulative wall-clock nanos across steps (for the summary event).
@@ -180,6 +183,7 @@ impl CennSim {
             time: 0.0,
             steps: 0,
             recorder: None,
+            tracer: None,
             run_cells: 0,
             run_nanos: 0,
             model,
@@ -245,6 +249,36 @@ impl CennSim {
         self.recorder.as_ref().is_some_and(RecorderHandle::enabled)
     }
 
+    /// Attaches a span tracer: every subsequent sweep attributes its
+    /// wall-clock time to the [`Phase`] taxonomy (`lut_lookup`,
+    /// `template_apply`, `integrate`, `halo_sync`) via per-shard span
+    /// rings drained into the shared collector after each barrier. Span
+    /// *counts* are per shard per sweep, so they are identical for any
+    /// worker-thread count; without a tracer the span path costs one
+    /// branch per sweep and performs no allocations.
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Detaches the tracer (subsequent sweeps emit no spans).
+    pub fn clear_tracer(&mut self) {
+        self.tracer = None;
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&TraceHandle> {
+        self.tracer.as_ref()
+    }
+
+    /// Emits one `span_summary` event per active phase through the
+    /// attached recorder. No-op unless both a tracer and an enabled
+    /// recorder are attached.
+    pub fn record_span_summaries(&self) {
+        if let (Some(tracer), Some(rec)) = (&self.tracer, &self.recorder) {
+            tracer.record_summaries(rec);
+        }
+    }
+
     /// Emits the end-of-run [`cenn_obs::RunSummary`] event: totals plus
     /// the measured miss rates the paper's cycle model consumes. No-op
     /// without an enabled recorder.
@@ -293,6 +327,13 @@ impl CennSim {
     /// Number of steps executed.
     pub fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// Cumulative wall-clock nanoseconds spent inside [`step`](Self::step)
+    /// across the run — the denominator for phase-attribution shares in
+    /// profiling output.
+    pub fn run_nanos(&self) -> u64 {
+        self.run_nanos
     }
 
     /// The evaluation mode.
@@ -630,6 +671,7 @@ impl CennSim {
             eval: self.eval,
         };
         let n_cells = self.tiles.n_cells() as u64;
+        let epoch = self.tracer.as_ref().map(TraceHandle::epoch);
         for i in 0..self.plan.len() {
             if self.plan[i].kind != LayerKind::Algebraic {
                 continue;
@@ -641,20 +683,34 @@ impl CennSim {
                 let plan = &self.plan[i];
                 let states = &self.states;
                 let inputs = &self.inputs;
-                let mut work = make_work(shards, tile_plan.tiles(), 1);
+                let mut work = make_work(shards, tile_plan.tiles(), 1, epoch.is_some());
                 self.engine.for_each_mut(&mut work, |_, item| {
-                    let (shard, tile, buf) = item;
-                    let mut lut = ShardAccess { tables, shard };
+                    let (shard, tile, buf, ring) = item;
+                    let t0 = ring.is_enabled().then(Instant::now);
+                    let mut lut = ShardAccess {
+                        tables,
+                        shard,
+                        timed: t0.is_some(),
+                        lut_nanos: 0,
+                    };
                     for (slot, &(r, c)) in buf.iter_mut().zip(tile.cells()) {
                         let (r, c) = (r as usize, c as usize);
                         let pe = tile_plan.pe_of(r, c);
                         *slot = eval_cell(plan, states, inputs, &mut lut, &ctx, None, r, c, pe);
                     }
+                    push_sweep_spans(ring, tile, t0, epoch, lut.lut_nanos);
                 });
                 let scratch = &mut self.scratch[i];
-                for (_, tile, buf) in &work {
+                for (_, tile, buf, ring) in &mut work {
+                    let t0 = ring.is_enabled().then(Instant::now);
                     for (&(r, c), &v) in tile.cells().iter().zip(buf.iter()) {
                         scratch.set(r as usize, c as usize, v);
+                    }
+                    push_halo_span(ring, tile, t0, epoch);
+                }
+                if let Some(tr) = &self.tracer {
+                    for (_, _, _, ring) in &mut work {
+                        tr.sink_ring(ring);
                     }
                 }
             }
@@ -679,6 +735,7 @@ impl CennSim {
             return;
         }
         let sweep_start = Instant::now();
+        let epoch = self.tracer.as_ref().map(TraceHandle::epoch);
         let ctx = EvalCtx {
             lib: self.model.library(),
             eval: self.eval,
@@ -689,10 +746,16 @@ impl CennSim {
         let states = &self.states;
         let inputs = &self.inputs;
         let layers = &dyn_layers;
-        let mut work = make_work(shards, tile_plan.tiles(), layers.len());
+        let mut work = make_work(shards, tile_plan.tiles(), layers.len(), epoch.is_some());
         self.engine.for_each_mut(&mut work, |_, item| {
-            let (shard, tile, buf) = item;
-            let mut lut = ShardAccess { tables, shard };
+            let (shard, tile, buf, ring) = item;
+            let t0 = ring.is_enabled().then(Instant::now);
+            let mut lut = ShardAccess {
+                tables,
+                shard,
+                timed: t0.is_some(),
+                lut_nanos: 0,
+            };
             for (li, &i) in layers.iter().enumerate() {
                 let seg = &mut buf[li * tile.len()..(li + 1) * tile.len()];
                 for (slot, &(r, c)) in seg.iter_mut().zip(tile.cells()) {
@@ -701,13 +764,25 @@ impl CennSim {
                     *slot = eval_cell(&plan[i], states, inputs, &mut lut, &ctx, Some(i), r, c, pe);
                 }
             }
+            #[cfg(feature = "slow-template-apply")]
+            if std::env::var_os("CENN_SLOW_TEMPLATE_APPLY").is_some() {
+                std::thread::sleep(std::time::Duration::from_micros(500));
+            }
+            push_sweep_spans(ring, tile, t0, epoch, lut.lut_nanos);
         });
-        for (_, tile, buf) in &work {
+        for (_, tile, buf, ring) in &mut work {
+            let t0 = ring.is_enabled().then(Instant::now);
             for (li, &i) in dyn_layers.iter().enumerate() {
                 let seg = &buf[li * tile.len()..(li + 1) * tile.len()];
                 for (&(r, c), &v) in tile.cells().iter().zip(seg.iter()) {
                     out[i].set(r as usize, c as usize, v);
                 }
+            }
+            push_halo_span(ring, tile, t0, epoch);
+        }
+        if let Some(tr) = &self.tracer {
+            for (_, _, _, ring) in &mut work {
+                tr.sink_ring(ring);
             }
         }
         stats.cells += (dyn_layers.len() * self.tiles.n_cells()) as u64;
@@ -745,9 +820,7 @@ impl CennSim {
                 *x = acc.resolve();
             }
         }
-        stats
-            .sweeps
-            .push(("update".into(), update_start.elapsed().as_nanos() as u64));
+        self.finish_update(update_start, stats);
         if track {
             stats.residual = self.max_state_delta();
         }
@@ -787,9 +860,7 @@ impl CennSim {
                 *x = acc.resolve();
             }
         }
-        stats
-            .sweeps
-            .push(("update".into(), update_start.elapsed().as_nanos() as u64));
+        self.finish_update(update_start, stats);
         // Corrector sweep on the predictor state (algebraic layers track
         // the predictor).
         self.algebraic_pass(stats);
@@ -813,9 +884,7 @@ impl CennSim {
                 *x = acc.resolve();
             }
         }
-        stats
-            .sweeps
-            .push(("update".into(), update_start.elapsed().as_nanos() as u64));
+        self.finish_update(update_start, stats);
         if self.recording() || self.track_residual {
             // `saved` still holds the pre-step states, so this is the
             // exactly-applied per-step |Δx|.
@@ -823,6 +892,21 @@ impl CennSim {
         }
         self.aux = k1;
         self.aux2 = k2;
+    }
+
+    /// Closes out an integrator update pass: pushes the `update` sweep
+    /// timing and, when tracing, one `integrate` span on track 0 (the
+    /// update loop runs on the driving thread over the whole grid, so a
+    /// single span per pass keeps counts thread-count independent).
+    fn finish_update(&mut self, update_start: Instant, stats: &mut StepStats) {
+        let nanos = update_start.elapsed().as_nanos() as u64;
+        if let Some(tr) = &self.tracer {
+            let start = update_start
+                .saturating_duration_since(tr.epoch())
+                .as_nanos() as u64;
+            tr.record(Phase::Integrate, 0, start, nanos);
+        }
+        stats.sweeps.push(("update".into(), nanos));
     }
 
     /// Runs `n` steps.
@@ -847,30 +931,105 @@ struct EvalCtx<'a> {
 }
 
 /// The LUT access a sweep worker needs: one mutable shard plus the shared
-/// read-only off-chip tables.
+/// read-only off-chip tables. When `timed`, each lookup accumulates its
+/// wall-clock cost into `lut_nanos` so the sweep can split its total into
+/// `lut_lookup` vs `template_apply` spans.
 struct ShardAccess<'a> {
     tables: &'a [OffChipLut],
     shard: &'a mut LutShard,
+    timed: bool,
+    lut_nanos: u64,
 }
 
 impl ShardAccess<'_> {
     #[inline]
     fn lookup_value(&mut self, pe: usize, func: FuncId, x: Q16_16) -> Q16_16 {
-        self.shard.lookup(self.tables, pe, func, x).0
+        if self.timed {
+            let t0 = Instant::now();
+            let v = self.shard.lookup(self.tables, pe, func, x).0;
+            self.lut_nanos += t0.elapsed().as_nanos() as u64;
+            v
+        } else {
+            self.shard.lookup(self.tables, pe, func, x).0
+        }
     }
 }
 
-/// Pairs each shard with its tile and a zeroed output buffer holding
-/// `segments` per-cell value segments (one per swept layer).
+/// One sweep's work item: a shard, its tile, a zeroed output buffer
+/// holding `segments` per-cell value segments (one per swept layer), and
+/// a span ring (disabled — zero-capacity, no allocation — unless the sim
+/// has a tracer attached).
+type WorkItem<'a> = (&'a mut LutShard, &'a Tile, Vec<Q16_16>, SpanRing);
+
+/// Spans a shard can emit per sweep: lut_lookup + template_apply from the
+/// worker, halo_sync from the scatter loop.
+const SPANS_PER_SWEEP: usize = 4;
+
+/// Splits a finished shard sweep into its two phases: `lut_lookup` gets
+/// the nanoseconds accumulated around LUT hits, `template_apply` the
+/// remainder of the sweep. No-op when the ring is disabled (`t0` None).
+#[inline]
+fn push_sweep_spans(
+    ring: &mut SpanRing,
+    tile: &Tile,
+    t0: Option<Instant>,
+    epoch: Option<Instant>,
+    lut_nanos: u64,
+) {
+    let (Some(t0), Some(epoch)) = (t0, epoch) else {
+        return;
+    };
+    let total = t0.elapsed().as_nanos() as u64;
+    let start = t0.saturating_duration_since(epoch).as_nanos() as u64;
+    let track = tile.shard() as u32;
+    let lutn = lut_nanos.min(total);
+    ring.push(Span {
+        phase: Phase::LutLookup,
+        track,
+        start_nanos: start,
+        dur_nanos: lutn,
+    });
+    ring.push(Span {
+        phase: Phase::TemplateApply,
+        track,
+        start_nanos: start,
+        dur_nanos: total - lutn,
+    });
+}
+
+/// Records the scatter of one shard's tile buffer back into the global
+/// grid as a `halo_sync` span. No-op when the ring is disabled.
+#[inline]
+fn push_halo_span(ring: &mut SpanRing, tile: &Tile, t0: Option<Instant>, epoch: Option<Instant>) {
+    let (Some(t0), Some(epoch)) = (t0, epoch) else {
+        return;
+    };
+    ring.push(Span {
+        phase: Phase::HaloSync,
+        track: tile.shard() as u32,
+        start_nanos: t0.saturating_duration_since(epoch).as_nanos() as u64,
+        dur_nanos: t0.elapsed().as_nanos() as u64,
+    });
+}
+
+/// Pairs each shard with its tile, output buffer, and span ring.
 fn make_work<'a>(
     shards: &'a mut [LutShard],
     tiles: &'a [Tile],
     segments: usize,
-) -> Vec<(&'a mut LutShard, &'a Tile, Vec<Q16_16>)> {
+    trace: bool,
+) -> Vec<WorkItem<'a>> {
     shards
         .iter_mut()
         .zip(tiles.iter())
-        .map(|(s, t)| (s, t, vec![Q16_16::ZERO; t.len() * segments]))
+        .map(|(s, t)| {
+            let ring = if trace {
+                SpanRing::new(SPANS_PER_SWEEP)
+            } else {
+                SpanRing::disabled()
+            };
+            (s, t, vec![Q16_16::ZERO; t.len() * segments], ring)
+        })
         .collect()
 }
 
@@ -1466,6 +1625,81 @@ mod tests {
         assert_eq!(summary.cells, 3 * 36);
         assert_eq!(summary.accesses, 3 * 36);
         assert_eq!(summary.residual, sim.step_stats().residual);
+    }
+
+    #[test]
+    fn tracer_span_counts_are_thread_count_independent() {
+        // Spans are recorded per shard per sweep, so the per-phase counts
+        // (the canonical fields of `span_summary`) must not depend on the
+        // worker-thread count — only durations may differ.
+        let counts = |threads: usize| {
+            let (mut sim, u) = heat_sim(12, 10, 1.0, 0.1);
+            sim.set_threads(threads);
+            sim.set_state_f64(u, &Grid::from_fn(12, 10, |r, c| (r + c) as f64 * 0.01))
+                .unwrap();
+            let tracer = TraceHandle::histograms_only();
+            sim.set_tracer(tracer.clone());
+            sim.run(5);
+            assert!(sim.tracer().is_some());
+            Phase::ALL.map(|p| tracer.with(|c| c.phase_count(p)))
+        };
+        let serial = counts(1);
+        let n_shards = {
+            let (sim, _) = heat_sim(12, 10, 1.0, 0.1);
+            sim.tile_plan().tiles().len() as u64
+        };
+        // Euler heat model: per step one dynamic sweep (2 spans/shard) +
+        // one scatter (1 span/shard) + one update pass (1 span).
+        assert_eq!(serial[Phase::LutLookup.index()], 5 * n_shards);
+        assert_eq!(serial[Phase::TemplateApply.index()], 5 * n_shards);
+        assert_eq!(serial[Phase::HaloSync.index()], 5 * n_shards);
+        assert_eq!(serial[Phase::Integrate.index()], 5);
+        assert_eq!(serial[Phase::Scrub.index()], 0);
+        assert_eq!(serial[Phase::Checkpoint.index()], 0);
+        for threads in [2, 4] {
+            assert_eq!(serial, counts(threads), "counts drifted at {threads}");
+        }
+    }
+
+    #[test]
+    fn tracer_attributes_phase_time_and_detaches() {
+        let (mut sim, u) = heat_sim(8, 8, 1.0, 0.1);
+        sim.set_state_f64(u, &Grid::new(8, 8, 1.0)).unwrap();
+        let tracer = TraceHandle::full();
+        sim.set_tracer(tracer.clone());
+        sim.run(3);
+        let total: u64 = tracer.with(|c| c.total_nanos());
+        assert!(total > 0, "sweeps must attribute time");
+        let spans = tracer.with(|c| c.spans().to_vec());
+        assert!(!spans.is_empty());
+        // Summaries reach an attached recorder as span_summary events.
+        let (handle, reader) = cenn_obs::RecorderHandle::in_memory(true);
+        sim.set_recorder(handle);
+        sim.record_span_summaries();
+        let rec = reader.lock().unwrap();
+        let phases: Vec<String> = rec
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::SpanSummary(s) => Some(s.phase.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(phases.contains(&"template_apply".to_string()), "{phases:?}");
+        for line in rec.to_jsonl().lines() {
+            cenn_obs::validate_jsonl_line(line).unwrap();
+        }
+        drop(rec);
+        sim.clear_tracer();
+        assert!(sim.tracer().is_none());
+        sim.step();
+        let after: u64 = tracer.with(|c| c.phase_count(Phase::Integrate));
+        let spans_before = spans.len();
+        assert_eq!(
+            tracer.with(|c| c.spans().len()),
+            spans_before,
+            "detached tracer must see no new spans (integrate count {after})"
+        );
     }
 
     #[test]

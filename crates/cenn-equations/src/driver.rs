@@ -190,6 +190,24 @@ impl FixedRunner {
     pub fn record_summary(&self) {
         self.sim.record_summary();
     }
+
+    /// Attaches a span tracer to the underlying simulator: sweeps record
+    /// phase-attributed spans (`lut_lookup`, `template_apply`,
+    /// `integrate`, `halo_sync`) into its histograms.
+    pub fn set_tracer(&mut self, tracer: cenn_obs::TraceHandle) {
+        self.sim.set_tracer(tracer);
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&cenn_obs::TraceHandle> {
+        self.sim.tracer()
+    }
+
+    /// Emits one `span_summary` event per active phase (no-op without
+    /// both a tracer and an enabled recorder).
+    pub fn record_span_summaries(&self) {
+        self.sim.record_span_summaries();
+    }
 }
 
 #[cfg(test)]

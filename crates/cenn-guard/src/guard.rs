@@ -2,9 +2,10 @@
 //! with policy-driven recovery.
 
 use std::fmt;
+use std::time::Instant;
 
 use cenn_core::{CennSim, FuncEval, ModelError};
-use cenn_obs::{Event, GuardEvent, RecorderHandle};
+use cenn_obs::{Event, GuardEvent, Phase, RecorderHandle, TraceHandle};
 
 use crate::checkpoint::{Checkpoint, CheckpointStore};
 use crate::config::{GuardConfig, RecoveryPolicy};
@@ -110,8 +111,25 @@ pub struct Guard {
     store: CheckpointStore,
     monitor: HealthMonitor,
     recorder: Option<RecorderHandle>,
+    tracer: Option<TraceHandle>,
     report: GuardReport,
     last_checkpoint_step: Option<u64>,
+}
+
+/// Runs `f` inside a span of `phase` on track 0 when a tracer is
+/// attached; calls it directly otherwise. Guard phases run on the driving
+/// thread, so spans go straight to the collector — no ring needed.
+fn traced<T>(tracer: &Option<TraceHandle>, phase: Phase, f: impl FnOnce() -> T) -> T {
+    match tracer {
+        Some(tr) => {
+            let t0 = Instant::now();
+            let start = t0.saturating_duration_since(tr.epoch()).as_nanos() as u64;
+            let v = f();
+            tr.record(phase, 0, start, t0.elapsed().as_nanos() as u64);
+            v
+        }
+        None => f(),
+    }
 }
 
 impl Guard {
@@ -137,6 +155,20 @@ impl Guard {
     pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
         self.recorder = Some(recorder);
         self
+    }
+
+    /// Attaches a span tracer (builder style): scrub passes are recorded
+    /// as `scrub` spans, checkpoint captures and rollback restores as
+    /// `checkpoint` spans. Share the handle with the sim so guard phases
+    /// land in the same histograms as the sweep phases.
+    pub fn with_tracer(mut self, tracer: TraceHandle) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&TraceHandle> {
+        self.tracer.as_ref()
     }
 
     /// The configuration.
@@ -213,7 +245,7 @@ impl Guard {
             let now = sim.steps();
             if self.at_boundary(start, now) && self.last_checkpoint_step != Some(now) {
                 self.report.scrubs += 1;
-                let scrub = sim.scrub_luts();
+                let scrub = traced(&self.tracer, Phase::Scrub, || sim.scrub_luts());
                 if scrub.repaired > 0 {
                     self.report.scrub_repairs += scrub.repaired;
                     self.emit(
@@ -236,7 +268,8 @@ impl Guard {
                     )?;
                     continue;
                 }
-                self.store.push(Checkpoint::capture(sim));
+                let ckpt = traced(&self.tracer, Phase::Checkpoint, || Checkpoint::capture(sim));
+                self.store.push(ckpt);
                 self.report.checkpoints += 1;
                 self.last_checkpoint_step = Some(now);
                 self.emit(now, "checkpoint", format!("at step {now}"), now, 0.0);
@@ -301,7 +334,7 @@ impl Guard {
                     // mid-interval: repair before replaying, otherwise the
                     // replay re-diverges identically.
                     self.report.scrubs += 1;
-                    let scrub = sim.scrub_luts();
+                    let scrub = traced(&self.tracer, Phase::Scrub, || sim.scrub_luts());
                     if scrub.repaired > 0 {
                         self.report.scrub_repairs += scrub.repaired;
                         self.emit(
@@ -318,7 +351,9 @@ impl Guard {
                 }
                 let ckpt = self.store.latest().ok_or(GuardError::NoCheckpoint)?;
                 let to = ckpt.step();
-                sim.restore(&ckpt.snapshot)?;
+                traced(&self.tracer, Phase::Checkpoint, || {
+                    sim.restore(&ckpt.snapshot)
+                })?;
                 self.monitor.reset();
                 self.report.rollbacks += 1;
                 self.last_checkpoint_step = Some(to);
@@ -450,6 +485,23 @@ mod tests {
             .run_with(&mut sim, 20, |_| {})
             .unwrap_err();
         assert!(matches!(err, GuardError::NoCheckpoint), "got {err}");
+    }
+
+    #[test]
+    fn tracer_records_scrub_and_checkpoint_spans() {
+        let mut sim = logistic_sim();
+        let tracer = TraceHandle::histograms_only();
+        let mut guard = Guard::new(GuardConfig::default())
+            .with_tracer(tracer.clone())
+            .with_plan(lut_fault_at(20, 30));
+        let report = guard.run_with(&mut sim, 40, |_| {}).unwrap();
+        assert!(guard.tracer().is_some());
+        let scrubs = tracer.with(|c| c.phase_count(Phase::Scrub));
+        // Checkpoint spans cover captures and rollback restores.
+        let ckpts = tracer.with(|c| c.phase_count(Phase::Checkpoint));
+        assert_eq!(scrubs, report.scrubs);
+        assert_eq!(ckpts, report.checkpoints + report.rollbacks);
+        assert!(report.rollbacks >= 1, "the fault must force a rollback");
     }
 
     #[test]

@@ -121,7 +121,7 @@ fn escape_into(out: &mut String, s: &str) {
 /// # Errors
 ///
 /// Returns a human-readable description of the first syntax error.
-pub(crate) fn parse(text: &str) -> Result<JsonValue, String> {
+pub fn parse(text: &str) -> Result<JsonValue, String> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,

@@ -12,7 +12,10 @@
 //!   [`InMemoryRecorder`], and streaming [`JsonlSink`] / [`CsvSink`]
 //!   implementations;
 //! * a cloneable [`RecorderHandle`] that simulators embed so attaching a
-//!   recorder never changes their `Clone`/`Debug` surface.
+//!   recorder never changes their `Clone`/`Debug` surface;
+//! * a span-level **tracing layer** ([`trace`]) — per-phase latency
+//!   histograms fed by lock-free per-shard rings, additive
+//!   [`SpanSummary`] events, and Chrome trace-event export.
 //!
 //! # Determinism contract
 //!
@@ -41,11 +44,13 @@ mod json;
 mod recorder;
 mod schema;
 mod sink;
+pub mod trace;
 
-pub use json::{parse_object_keys, JsonValue};
+pub use json::{parse as parse_json, parse_object_keys, JsonValue};
 pub use recorder::{InMemoryRecorder, NullRecorder, Recorder, RecorderHandle};
 pub use schema::{
     known_keys, validate_jsonl_line, Event, GuardEvent, LutLevel, LutLevelMetrics, MemTraffic,
-    RunSummary, SchemaError, StepMetrics, SweepTiming, SCHEMA_VERSION,
+    RunSummary, SchemaError, SpanSummary, StepMetrics, SweepTiming, SCHEMA_VERSION,
 };
 pub use sink::{CsvSink, JsonlSink, CSV_HEADER};
+pub use trace::{LatencyHistogram, Phase, Span, SpanRing, TraceCollector, TraceHandle};

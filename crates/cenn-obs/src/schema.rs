@@ -164,6 +164,36 @@ pub struct GuardEvent {
     pub value: f64,
 }
 
+/// Per-phase span aggregate from the tracing layer (`cenn_obs::trace`):
+/// the count, total, log-bucketed latency quantiles, and raw histogram
+/// buckets of one [`crate::trace::Phase`] over a run.
+///
+/// `phase` and `count` are exact (spans are recorded per shard, so the
+/// count is deterministic for any worker-thread count); everything else
+/// is wall-clock-derived and zeroed by [`Event::canonical`] — including
+/// `buckets`, which bin durations and therefore vary run to run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpanSummary {
+    /// Stable phase name (`lut_lookup`, `template_apply`, `integrate`,
+    /// `halo_sync`, `scrub`, `checkpoint`).
+    pub phase: String,
+    /// Spans recorded — exact, thread-count independent.
+    pub count: u64,
+    /// Sum of span durations in nanos (zeroed by canonical mode).
+    pub total_nanos: u64,
+    /// p50 upper bound in nanos (zeroed by canonical mode).
+    pub p50_nanos: u64,
+    /// p90 upper bound in nanos (zeroed by canonical mode).
+    pub p90_nanos: u64,
+    /// p99 upper bound in nanos (zeroed by canonical mode).
+    pub p99_nanos: u64,
+    /// Exact max span duration in nanos (zeroed by canonical mode).
+    pub max_nanos: u64,
+    /// Log2 bucket counts, trailing zeros trimmed (emptied by canonical
+    /// mode). When present, the counts sum to `count`.
+    pub buckets: Vec<u64>,
+}
+
 /// One recorded event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
@@ -175,6 +205,8 @@ pub enum Event {
     RunSummary(RunSummary),
     /// Fault-tolerance runtime action.
     Guard(GuardEvent),
+    /// Per-phase span aggregate from the tracing layer.
+    SpanSummary(SpanSummary),
 }
 
 impl Event {
@@ -185,6 +217,7 @@ impl Event {
             Self::MemTraffic(_) => "mem_traffic",
             Self::RunSummary(_) => "run_summary",
             Self::Guard(_) => "guard",
+            Self::SpanSummary(_) => "span_summary",
         }
     }
 
@@ -212,6 +245,18 @@ impl Event {
                 Self::RunSummary(r)
             }
             Self::Guard(g) => Self::Guard(g.clone()),
+            Self::SpanSummary(s) => {
+                // Everything wall-clock-derived goes; the span count is
+                // exact and stays.
+                let mut s = s.clone();
+                s.total_nanos = 0;
+                s.p50_nanos = 0;
+                s.p90_nanos = 0;
+                s.p99_nanos = 0;
+                s.max_nanos = 0;
+                s.buckets.clear();
+                Self::SpanSummary(s)
+            }
         }
     }
 
@@ -264,6 +309,16 @@ impl Event {
                 json::field_str(&mut out, "detail", &g.detail);
                 json::field_u64(&mut out, "count", g.count);
                 json::field_f64(&mut out, "value", g.value);
+            }
+            Self::SpanSummary(s) => {
+                json::field_str(&mut out, "phase", &s.phase);
+                json::field_u64(&mut out, "count", s.count);
+                json::field_u64(&mut out, "total_nanos", s.total_nanos);
+                json::field_u64(&mut out, "p50_nanos", s.p50_nanos);
+                json::field_u64(&mut out, "p90_nanos", s.p90_nanos);
+                json::field_u64(&mut out, "p99_nanos", s.p99_nanos);
+                json::field_u64(&mut out, "max_nanos", s.max_nanos);
+                json::field_raw(&mut out, "buckets", &shards_json(&s.buckets));
             }
         }
         // Strip the trailing comma every field helper appends.
@@ -367,6 +422,18 @@ pub fn known_keys(event: &str) -> Option<&'static [&'static str]> {
         "guard" => Some(&[
             "event", "schema", "step", "kind", "detail", "count", "value",
         ]),
+        "span_summary" => Some(&[
+            "event",
+            "schema",
+            "phase",
+            "count",
+            "total_nanos",
+            "p50_nanos",
+            "p90_nanos",
+            "p99_nanos",
+            "max_nanos",
+            "buckets",
+        ]),
         _ => None,
     }
 }
@@ -393,6 +460,15 @@ pub enum SchemaError {
         /// Keys the schema requires, in order.
         expected: Vec<String>,
     },
+    /// The keys are right but a semantic invariant is violated (e.g. a
+    /// `span_summary` with non-monotone quantiles or histogram buckets
+    /// that do not sum to the span count).
+    Constraint {
+        /// Event the line claims to be.
+        event: String,
+        /// Human-readable description of the violated invariant.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for SchemaError {
@@ -415,6 +491,9 @@ impl std::fmt::Display for SchemaError {
                 found.join(", "),
                 expected.join(", ")
             ),
+            Self::Constraint { event, detail } => {
+                write!(f, "event '{event}' violates schema invariant: {detail}")
+            }
         }
     }
 }
@@ -456,6 +535,76 @@ pub fn validate_jsonl_line(line: &str) -> Result<(), SchemaError> {
             expected: expected.iter().map(|s| s.to_string()).collect(),
         });
     }
+    if event == "span_summary" {
+        validate_span_summary(&event, &get)?;
+    }
+    Ok(())
+}
+
+/// Semantic invariants of a `span_summary` line: a known phase name,
+/// monotone quantiles (`p50 ≤ p90 ≤ p99 ≤ max`), and histogram buckets
+/// that sum to the span count when present (canonical mode empties them).
+fn validate_span_summary<'a>(
+    event: &str,
+    get: &impl Fn(&str) -> Option<&'a JsonValue>,
+) -> Result<(), SchemaError> {
+    let constraint = |detail: String| SchemaError::Constraint {
+        event: event.to_string(),
+        detail,
+    };
+    let num = |key: &str| -> Result<u64, SchemaError> {
+        get(key)
+            .and_then(JsonValue::as_f64)
+            .filter(|n| n.fract() == 0.0 && *n >= 0.0)
+            .map(|n| n as u64)
+            .ok_or_else(|| constraint(format!("'{key}' must be a non-negative integer")))
+    };
+    let phase = get("phase")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| constraint("'phase' must be a string".into()))?;
+    if crate::trace::Phase::parse(phase).is_none() {
+        return Err(constraint(format!("unknown phase '{phase}'")));
+    }
+    let (p50, p90, p99, max) = (
+        num("p50_nanos")?,
+        num("p90_nanos")?,
+        num("p99_nanos")?,
+        num("max_nanos")?,
+    );
+    if !(p50 <= p90 && p90 <= p99) {
+        return Err(constraint(format!(
+            "quantiles must be monotone: p50={p50} p90={p90} p99={p99}"
+        )));
+    }
+    // Quantiles are bucket *upper bounds*, so they may exceed the exact
+    // max — but never the bound of the bucket the max falls in.
+    let max_bound = crate::trace::LatencyHistogram::bucket_bound(
+        crate::trace::LatencyHistogram::bucket_of(max),
+    );
+    if p99 > max_bound {
+        return Err(constraint(format!(
+            "p99={p99} exceeds the max bucket bound {max_bound} (max={max})"
+        )));
+    }
+    let count = num("count")?;
+    let buckets = get("buckets")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| constraint("'buckets' must be an array".into()))?;
+    if !buckets.is_empty() {
+        let mut sum = 0u64;
+        for (i, b) in buckets.iter().enumerate() {
+            let n = b
+                .as_f64()
+                .filter(|n| n.fract() == 0.0 && *n >= 0.0)
+                .ok_or_else(|| constraint(format!("bucket {i} must be a non-negative integer")))?;
+            sum += n as u64;
+        }
+        if sum != count {
+            return Err(constraint(format!(
+                "bucket counts sum to {sum} but count is {count}"
+            )));
+        }
+    }
     Ok(())
 }
 
@@ -485,6 +634,19 @@ mod tests {
         })
     }
 
+    fn sample_span_summary() -> Event {
+        Event::SpanSummary(SpanSummary {
+            phase: "template_apply".into(),
+            count: 4,
+            total_nanos: 1000,
+            p50_nanos: 255,
+            p90_nanos: 511,
+            p99_nanos: 511,
+            max_nanos: 400,
+            buckets: vec![0, 0, 0, 0, 0, 0, 0, 1, 2, 1],
+        })
+    }
+
     #[test]
     fn every_event_round_trips_validation() {
         let events = [
@@ -508,6 +670,7 @@ mod tests {
                 count: 1,
                 value: 0.0,
             }),
+            sample_span_summary(),
         ];
         for ev in &events {
             let line = ev.to_jsonl();
@@ -575,6 +738,63 @@ mod tests {
         assert!(matches!(
             validate_jsonl_line(line),
             Err(SchemaError::UnknownEvent(_))
+        ));
+    }
+
+    #[test]
+    fn span_summary_canonical_keeps_exact_counts_only() {
+        let ev = sample_span_summary().canonical();
+        let Event::SpanSummary(s) = &ev else {
+            unreachable!()
+        };
+        assert_eq!(s.phase, "template_apply");
+        assert_eq!(s.count, 4, "span count is exact, kept");
+        assert_eq!(s.total_nanos, 0);
+        assert_eq!(s.p50_nanos, 0);
+        assert_eq!(s.p90_nanos, 0);
+        assert_eq!(s.p99_nanos, 0);
+        assert_eq!(s.max_nanos, 0);
+        assert!(s.buckets.is_empty(), "buckets bin wall clock, cleared");
+        validate_jsonl_line(&ev.to_jsonl()).unwrap();
+    }
+
+    #[test]
+    fn span_summary_unknown_field_is_rejected() {
+        let line = sample_span_summary().to_jsonl();
+        let hacked = line.replacen("\"count\":4", "\"count\":4,\"bogus\":1", 1);
+        assert!(matches!(
+            validate_jsonl_line(&hacked),
+            Err(SchemaError::KeyMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn span_summary_constraints_are_enforced() {
+        let line = sample_span_summary().to_jsonl();
+        validate_jsonl_line(&line).unwrap();
+        // Non-monotone quantiles.
+        let bad = line.replacen("\"p90_nanos\":511", "\"p90_nanos\":100", 1);
+        assert!(matches!(
+            validate_jsonl_line(&bad),
+            Err(SchemaError::Constraint { .. })
+        ));
+        // p99 past the max's bucket bound.
+        let bad = line.replacen("\"p99_nanos\":511", "\"p99_nanos\":9000", 1);
+        assert!(matches!(
+            validate_jsonl_line(&bad),
+            Err(SchemaError::Constraint { .. })
+        ));
+        // Buckets that do not sum to the count.
+        let bad = line.replacen("\"count\":4", "\"count\":5", 1);
+        assert!(matches!(
+            validate_jsonl_line(&bad),
+            Err(SchemaError::Constraint { .. })
+        ));
+        // Unknown phase name.
+        let bad = line.replacen("template_apply", "warp_drive", 1);
+        assert!(matches!(
+            validate_jsonl_line(&bad),
+            Err(SchemaError::Constraint { .. })
         ));
     }
 

@@ -83,7 +83,8 @@ impl<W: Write + Send> Recorder for JsonlSink<W> {
 pub const CSV_HEADER: &str = "event,schema,step,time,label,threads,cells,total_nanos,residual,\
 l1_hits,l1_misses,l2_hits,l2_misses,dram_fetches,dram_points,\
 conv_cycles,stall_cycles,dram_bytes,primary_reads,support_reads,reg_moves,writebacks,energy_j,\
-steps,accesses,mr_l1,mr_l2,mr_combined,kind,detail,count,value";
+steps,accesses,mr_l1,mr_l2,mr_combined,kind,detail,count,value,\
+phase,p50_nanos,p90_nanos,p99_nanos,max_nanos";
 
 /// Streams one CSV row per event under the flat [`CSV_HEADER`] (written
 /// on the first record). Same canonical-mode semantics as [`JsonlSink`].
@@ -205,6 +206,17 @@ impl<W: Write + Send> CsvSink<W> {
                 set("detail", escape_csv(&g.detail));
                 set("count", g.count.to_string());
                 set("value", f(g.value));
+            }
+            Event::SpanSummary(s) => {
+                // The raw buckets are JSONL-only; CSV carries the
+                // aggregate columns.
+                set("phase", escape_csv(&s.phase));
+                set("count", s.count.to_string());
+                set("total_nanos", s.total_nanos.to_string());
+                set("p50_nanos", s.p50_nanos.to_string());
+                set("p90_nanos", s.p90_nanos.to_string());
+                set("p99_nanos", s.p99_nanos.to_string());
+                set("max_nanos", s.max_nanos.to_string());
             }
         }
         cols.join(",")

@@ -93,3 +93,23 @@ pub mod baselines {
 pub mod apps {
     pub use cenn_apps::*;
 }
+
+/// Span-level tracing: phase taxonomy, latency histograms, span rings,
+/// Chrome trace export (`cenn-obs::trace`).
+///
+/// Not to be confused with [`arch_trace`], the *cycle-accurate
+/// architecture* trace model — this module is about **wall-clock
+/// self-profiling** of the simulator itself.
+pub mod trace {
+    pub use cenn_obs::trace::*;
+}
+
+/// The trace-driven cycle-level architecture simulator
+/// (`cenn-arch::trace`).
+///
+/// Formerly reachable only as `cenn::arch::trace`; that path still works.
+/// Prefer this alias in new code so the *architecture cycle trace* is
+/// never confused with [`trace`], the wall-clock span tracing layer.
+pub mod arch_trace {
+    pub use cenn_arch::trace::*;
+}

@@ -9,9 +9,21 @@ BINS=(fig8_dataflow fig11_accuracy fig12_missrate fig13_speedup fig14_hmc \
       validate_cycle_model ablation_lut_spacing ablation_pe_array \
       ablation_dataflow_energy ablation_integrator ablation_grid_scaling \
       ablation_fault_injection)
+# Binaries with observability plumbing also drop their JSONL event
+# stream and a Chrome trace (open in Perfetto / chrome://tracing)
+# alongside the text table.
+OBS_BINS=(fig8_dataflow fig12_missrate fig14_hmc)
 for b in "${BINS[@]}"; do
   echo "== $b =="
-  cargo run --release -q -p cenn-bench --bin "$b" | tee "results/$b.txt"
+  extra=()
+  for ob in "${OBS_BINS[@]}"; do
+    if [[ "$b" == "$ob" ]]; then
+      extra=(--metrics-out "results/${b}_metrics.jsonl" \
+             --trace-out "results/${b}_trace.json")
+    fi
+  done
+  cargo run --release -q -p cenn-bench --bin "$b" -- "${extra[@]}" \
+    | tee "results/$b.txt"
 done
 EXAMPLES=(quickstart turing_patterns spiking_cortex taylor_green \
           pattern_gallery ensemble_sweep image_pipeline maze_solver \

@@ -11,6 +11,10 @@
 //! 3. **Counter stability** — a fixed Gray–Scott run produces exactly
 //!    the committed LUT counters, and per-PE shard counters aggregate to
 //!    the serial totals.
+//! 4. **Span-summary stability** — a traced Gray–Scott run reproduces
+//!    its committed canonical `span_summary` stream byte for byte (span
+//!    counts are exact; wall-clock fields zero out), and the validator
+//!    rejects unknown fields and non-monotone quantiles.
 //!
 //! Regenerate the fixtures after an *intentional* change with:
 //!
@@ -22,7 +26,9 @@
 
 use cenn::arch::MemorySpec;
 use cenn::equations::{DynamicalSystem, FixedRunner, GrayScott, Heat};
-use cenn::obs::{validate_jsonl_line, JsonlSink, RecorderHandle, SchemaError, SCHEMA_VERSION};
+use cenn::obs::{
+    validate_jsonl_line, JsonlSink, RecorderHandle, SchemaError, TraceHandle, SCHEMA_VERSION,
+};
 use cenn::program::SolverSession;
 use std::path::PathBuf;
 
@@ -103,6 +109,61 @@ fn run_summary_fixture_stays_schema_compatible() {
             Err(SchemaError::KeyMismatch { .. })
         ),
         "renamed field must be rejected"
+    );
+}
+
+#[test]
+fn span_summary_fixture_stays_schema_compatible() {
+    // Trace the same deterministic Gray–Scott run the counter goldens
+    // pin, then snapshot the canonical span_summary stream: one line per
+    // phase, exact span counts, wall-clock fields zeroed.
+    let setup = GrayScott::default().build(16, 16).unwrap();
+    let mut runner = FixedRunner::new(setup).unwrap();
+    runner.set_tracer(TraceHandle::histograms_only());
+    runner.run(20);
+    let (handle, reader) = RecorderHandle::in_memory(true);
+    runner.set_recorder(handle);
+    runner.record_span_summaries();
+    let got = {
+        let rec = reader.lock().unwrap();
+        rec.events()
+            .iter()
+            .map(|ev| format!("{}\n", ev.to_jsonl()))
+            .collect::<String>()
+    };
+    for line in got.lines() {
+        validate_jsonl_line(line).unwrap();
+    }
+    assert_matches_fixture(&got, "span_summary.jsonl");
+
+    // The committed fixture validates, and every guarded failure mode is
+    // actually rejected: unknown fields, renamed fields, non-monotone
+    // quantiles, and a bucket total that disagrees with the span count.
+    let fixture = std::fs::read_to_string(fixture_path("span_summary.jsonl")).unwrap();
+    let line = fixture.lines().next().expect("at least one phase line");
+    validate_jsonl_line(line).unwrap();
+    assert!(line.contains("\"event\":\"span_summary\""));
+
+    let unknown = line.replacen("\"count\":", "\"bogus\":1,\"count\":", 1);
+    assert!(
+        matches!(
+            validate_jsonl_line(&unknown),
+            Err(SchemaError::KeyMismatch { .. })
+        ),
+        "unknown field must be rejected"
+    );
+    let non_monotone = line.replacen("\"p50_nanos\":0", "\"p50_nanos\":7", 1);
+    assert!(
+        matches!(
+            validate_jsonl_line(&non_monotone),
+            Err(SchemaError::Constraint { .. })
+        ),
+        "p50 > p90 must be rejected"
+    );
+    let bad_phase = line.replacen("lut_lookup", "warp_drive", 1);
+    assert!(
+        validate_jsonl_line(&bad_phase).is_err(),
+        "unknown phase name must be rejected"
     );
 }
 

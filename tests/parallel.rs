@@ -10,7 +10,7 @@
 use cenn::equations::{
     DynamicalSystem, FixedRunner, HodgkinHuxley, ReactionDiffusion, SystemSetup,
 };
-use cenn::obs::RecorderHandle;
+use cenn::obs::{LatencyHistogram, RecorderHandle};
 use proptest::prelude::*;
 
 fn assert_bit_identical(setup: SystemSetup, steps: u64) {
@@ -123,6 +123,61 @@ proptest! {
         let par = recorded_stream(&setup, threads, steps);
         prop_assert_eq!(serial.len() as u64, steps + 1, "steps + run_summary");
         prop_assert_eq!(serial, par);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Latency histograms are mergeable without information loss: merging
+    /// per-shard histograms is exactly equivalent to recording every
+    /// duration into one histogram (counts, totals, max, and every
+    /// bucket), which is what lets the collector drain rings shard by
+    /// shard and still report global quantiles.
+    #[test]
+    fn histogram_merge_equals_recording_everything(
+        a in prop::collection::vec(0u64..(1u64 << 50), 0..48),
+        b in prop::collection::vec(0u64..(1u64 << 50), 0..48),
+    ) {
+        let mut ha = LatencyHistogram::new();
+        let mut hb = LatencyHistogram::new();
+        let mut hall = LatencyHistogram::new();
+        for &v in &a {
+            ha.record(v);
+            hall.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hall.record(v);
+        }
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        prop_assert_eq!(merged.count(), ha.count() + hb.count());
+        prop_assert_eq!(merged.count(), hall.count());
+        prop_assert_eq!(merged.sum_nanos(), hall.sum_nanos());
+        prop_assert_eq!(merged.max_nanos(), hall.max_nanos());
+        prop_assert_eq!(merged.counts(), hall.counts());
+    }
+
+    /// A mixture's quantile can never escape the envelope of its
+    /// components: for every q, the merged histogram's quantile lies
+    /// between the smaller and larger of the two component quantiles.
+    /// (Quantiles are log-bucket upper bounds, so this holds exactly.)
+    #[test]
+    fn histogram_merge_preserves_quantile_bounds(
+        a in prop::collection::vec(0u64..(1u64 << 50), 1..48),
+        b in prop::collection::vec(0u64..(1u64 << 50), 1..48),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut ha = LatencyHistogram::new();
+        let mut hb = LatencyHistogram::new();
+        for &v in &a { ha.record(v); }
+        for &v in &b { hb.record(v); }
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        let (qa, qb, qm) = (ha.quantile(q), hb.quantile(q), merged.quantile(q));
+        prop_assert!(qm >= qa.min(qb), "q={q}: {qm} < min({qa}, {qb})");
+        prop_assert!(qm <= qa.max(qb), "q={q}: {qm} > max({qa}, {qb})");
     }
 }
 

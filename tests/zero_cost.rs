@@ -1,0 +1,135 @@
+//! Tracing must be zero-cost when disabled: pushing into a disabled
+//! [`SpanRing`] performs no heap allocations, attaching a tracer never
+//! perturbs the fixed-point numerics, and clearing a tracer returns the
+//! solver to its untraced steady-state allocation profile.
+//!
+//! The whole suite lives in its own test binary because it swaps in a
+//! counting global allocator. The counter is thread-local (const-init
+//! `Cell`, no destructor, so incrementing it inside `alloc` cannot
+//! recurse), which keeps the other test in this binary — and any worker
+//! threads the solver spawns — from polluting a measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use cenn::equations::{DynamicalSystem, Fisher, FixedRunner};
+use cenn::obs::{Phase, Span, SpanRing, TraceHandle};
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+// SAFETY: defers all allocation to `System`; the bookkeeping is a
+// const-initialized thread-local `Cell<u64>` with no destructor, so the
+// accounting itself never allocates or recurses.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(|c| c.get())
+}
+
+#[test]
+fn disabled_span_ring_push_is_alloc_free() {
+    let mut ring = SpanRing::disabled();
+    assert!(!ring.is_enabled());
+    let before = thread_allocs();
+    for i in 0..10_000u64 {
+        ring.push(Span {
+            phase: Phase::TemplateApply,
+            track: (i % 7) as u32,
+            start_nanos: i,
+            dur_nanos: i * 3,
+        });
+    }
+    assert_eq!(
+        thread_allocs() - before,
+        0,
+        "pushing into a disabled ring must not touch the heap"
+    );
+    assert!(ring.is_empty(), "disabled ring retains nothing");
+    assert_eq!(ring.drain().count(), 0);
+}
+
+#[test]
+fn tracing_never_perturbs_fixed_point_state() {
+    let setup = Fisher::default().build(16, 16).expect("setup");
+    let mut traced = FixedRunner::new(setup.clone()).expect("runner");
+    let mut plain = FixedRunner::new(setup).expect("runner");
+    traced.set_tracer(TraceHandle::full());
+    traced.run(8);
+    plain.run(8);
+    assert!(
+        traced.sim().states() == plain.sim().states(),
+        "attaching a tracer must leave every state grid bit-identical"
+    );
+    assert!(
+        !traced
+            .sim()
+            .tracer()
+            .expect("tracer")
+            .summaries()
+            .is_empty(),
+        "traced run actually recorded spans"
+    );
+}
+
+#[test]
+fn cleared_tracer_restores_untraced_allocation_profile() {
+    let setup = Fisher::default().build(12, 12).expect("setup");
+    let mut runner = FixedRunner::new(setup).expect("runner");
+
+    // Warm up: first steps allocate scratch buffers that later steps reuse.
+    runner.run(4);
+    let per_step_untraced = steady_state_allocs(&mut runner);
+
+    // A live tracer is allowed to allocate (rings, histogram sink)...
+    runner.set_tracer(TraceHandle::histograms_only());
+    runner.run(2);
+
+    // ...but detaching it must return the step loop to exactly the
+    // untraced per-step allocation count: the span path compiles down to
+    // `SpanRing::disabled()` and counted no-op pushes.
+    runner.sim_mut().clear_tracer();
+    let per_step_cleared = steady_state_allocs(&mut runner);
+    assert_eq!(
+        per_step_untraced, per_step_cleared,
+        "clearing the tracer must restore the zero-cost span path"
+    );
+}
+
+/// Driver-thread allocations for one steady-state step (minimum of a few
+/// samples, so a one-off reallocation elsewhere cannot fail the test).
+fn steady_state_allocs(runner: &mut FixedRunner) -> u64 {
+    (0..3)
+        .map(|_| {
+            let before = thread_allocs();
+            runner.step();
+            thread_allocs() - before
+        })
+        .min()
+        .expect("samples")
+}
