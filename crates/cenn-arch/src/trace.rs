@@ -13,7 +13,7 @@
 //! regression test): they must agree on which memory system wins and on
 //! timing within a small factor.
 
-use cenn_core::{CennModel, Grid, WeightExpr};
+use cenn_core::{CennModel, SoaGrid, WeightExpr};
 use cenn_lut::{L1Lut, L2Lut, SampleIdx, LUT_ENTRY_BYTES};
 use fixedpt::Q16_16;
 
@@ -116,7 +116,7 @@ impl TraceDrivenSim {
 
     /// Walks one full step over `states` (the layer maps at step start) in
     /// hardware order, advancing the internal cycle clock.
-    pub fn simulate_step(&mut self, model: &CennModel, states: &[Grid<Q16_16>]) -> StepCycles {
+    pub fn simulate_step(&mut self, model: &CennModel, states: &SoaGrid<Q16_16>) -> StepCycles {
         let mut acc = StepCycles::default();
         let passes = model.integrator().passes();
         let dram_penalty = self.dram_penalty_cycles();
@@ -170,7 +170,7 @@ impl TraceDrivenSim {
     fn weight_update(
         &mut self,
         model: &CennModel,
-        states: &[Grid<Q16_16>],
+        states: &SoaGrid<Q16_16>,
         w: &WeightExpr,
         sbr: usize,
         sbc: usize,
@@ -196,7 +196,7 @@ impl TraceDrivenSim {
                         continue; // partial edge sub-block: PE idles
                     }
                     let pe_id = pr * self.pe.cols + pc;
-                    let x = states[f.layer.index()].get(r, c);
+                    let x = states.get(f.layer.index(), r, c);
                     let spec = cfg.spec_for(f.func);
                     let idx = SampleIdx(
                         SampleIdx::of(x, spec.log2_inv_spacing)

@@ -3,7 +3,8 @@
 use std::time::Instant;
 
 use cenn_core::{
-    Boundary, CennModel, ExecEngine, Grid, LayerId, LayerKind, ModelError, TemplateKind, WeightExpr,
+    Boundary, CennModel, ExecEngine, Grid, LayerId, LayerKind, LayerView, ModelError, SoaGrid,
+    TemplateKind, WeightExpr,
 };
 use cenn_equations::SystemSetup;
 use cenn_obs::{
@@ -48,14 +49,18 @@ struct PlanLayer {
 /// be ideal, but the model stores Q16.16-quantized constants; both solvers
 /// therefore share identical template words, which is exactly the paper's
 /// setting (the GPU solves the same discretized system).
+///
+/// State is held in the same structure-of-arrays slab layout as the
+/// fixed-point simulator ([`SoaGrid`]): one contiguous `f64` span per
+/// layer, so the two solvers stream memory identically in benchmarks.
 #[derive(Debug, Clone)]
 pub struct FloatSim {
     model: CennModel,
     plan: Vec<PlanLayer>,
-    states: Vec<Grid<f64>>,
-    scratch: Vec<Grid<f64>>,
-    saved: Vec<Grid<f64>>,
-    inputs: Vec<Grid<f64>>,
+    states: SoaGrid<f64>,
+    scratch: SoaGrid<f64>,
+    saved: SoaGrid<f64>,
+    inputs: SoaGrid<f64>,
     precision: Precision,
     engine: ExecEngine,
     time: f64,
@@ -93,14 +98,13 @@ impl FloatSim {
     /// Creates a floating-point simulator for `model`.
     pub fn new(model: CennModel, precision: Precision) -> Self {
         let plan = compile(&model);
-        let blank = Grid::new(model.rows(), model.cols(), 0.0);
-        let n = model.n_layers();
+        let blank = SoaGrid::new(model.n_layers(), model.rows(), model.cols(), 0.0);
         Self {
             plan,
-            states: vec![blank.clone(); n],
-            scratch: vec![blank.clone(); n],
-            saved: vec![blank.clone(); n],
-            inputs: vec![blank; n],
+            states: blank.clone(),
+            scratch: blank.clone(),
+            saved: blank.clone(),
+            inputs: blank,
             precision,
             engine: ExecEngine::serial(),
             time: 0.0,
@@ -219,14 +223,14 @@ impl FloatSim {
         self.steps
     }
 
-    /// A layer's state.
-    pub fn state(&self, layer: LayerId) -> &Grid<f64> {
-        &self.states[layer.index()]
+    /// A layer's state (a zero-copy view into the state slab).
+    pub fn state(&self, layer: LayerId) -> LayerView<'_, f64> {
+        self.states.layer(layer.index())
     }
 
-    /// Mutable access to a layer's state (post-step rules).
-    pub fn state_mut(&mut self, layer: LayerId) -> &mut Grid<f64> {
-        &mut self.states[layer.index()]
+    /// Mutable access to a layer's state span (post-step rules).
+    pub fn state_mut(&mut self, layer: LayerId) -> &mut [f64] {
+        self.states.layer_mut(layer.index())
     }
 
     /// Sets a layer's state.
@@ -236,7 +240,10 @@ impl FloatSim {
     /// Returns [`ModelError::ShapeMismatch`] on shape mismatch.
     pub fn set_state(&mut self, layer: LayerId, grid: Grid<f64>) -> Result<(), ModelError> {
         self.check_shape(&grid)?;
-        self.states[layer.index()] = self.quantize(grid);
+        let grid = self.quantize(grid);
+        self.states
+            .layer_mut(layer.index())
+            .copy_from_slice(grid.as_slice());
         Ok(())
     }
 
@@ -247,7 +254,10 @@ impl FloatSim {
     /// Returns [`ModelError::ShapeMismatch`] on shape mismatch.
     pub fn set_input(&mut self, layer: LayerId, grid: Grid<f64>) -> Result<(), ModelError> {
         self.check_shape(&grid)?;
-        self.inputs[layer.index()] = self.quantize(grid);
+        let grid = self.quantize(grid);
+        self.inputs
+            .layer_mut(layer.index())
+            .copy_from_slice(grid.as_slice());
         Ok(())
     }
 
@@ -296,9 +306,7 @@ impl FloatSim {
                     self.dyn_rhs()
                 });
                 traced(&tracer, Phase::Integrate, || {
-                    for (s, x) in self.saved.iter_mut().zip(&self.states) {
-                        s.copy_from(x);
-                    }
+                    self.saved.copy_from(&self.states);
                     self.apply_update(&k1, dt, None, None);
                 });
                 let k2 = traced(&tracer, Phase::TemplateApply, || {
@@ -309,23 +317,25 @@ impl FloatSim {
                     std::mem::swap(&mut self.states, &mut self.saved);
                     // x <- x0 + dt/2 (k1 + k2)
                     let half = dt / 2.0;
-                    let n = self.plan.len();
-                    for i in 0..n {
+                    let precision = self.precision;
+                    for i in 0..self.plan.len() {
                         if self.plan[i].kind != LayerKind::Dynamic {
                             continue;
                         }
-                        let (rows, cols) = (self.model.rows(), self.model.cols());
-                        for r in 0..rows {
-                            for c in 0..cols {
-                                let x = self.states[i].get(r, c);
-                                let v = self.round(x + half * (k1[i].get(r, c) + k2[i].get(r, c)));
-                                if track {
-                                    // `x` is still the pre-step value here,
-                                    // so this is the exactly-applied |Δx|.
-                                    residual = residual.max((v - x).abs());
-                                }
-                                self.states[i].set(r, c, v);
+                        for ((x, &a), &b) in self
+                            .states
+                            .layer_mut(i)
+                            .iter_mut()
+                            .zip(k1.layer_slice(i))
+                            .zip(k2.layer_slice(i))
+                        {
+                            let v = round_to(precision, *x + half * (a + b));
+                            if track {
+                                // `x` is still the pre-step value here,
+                                // so this is the exactly-applied |Δx|.
+                                residual = residual.max((v - *x).abs());
                             }
+                            *x = v;
                         }
                     }
                 });
@@ -365,67 +375,62 @@ impl FloatSim {
         // only on the pre-pass states, so the result is position-determined
         // and bit-identical for any worker count.
         let mut scratch = std::mem::take(&mut self.scratch);
-        for (i, out) in scratch.iter_mut().enumerate() {
+        for i in 0..self.plan.len() {
             if self.plan[i].kind != LayerKind::Algebraic {
                 continue;
             }
-            let mut bands: Vec<&mut [f64]> = out.as_mut_slice().chunks_mut(cols).collect();
+            let mut bands: Vec<&mut [f64]> = scratch.layer_mut(i).chunks_mut(cols).collect();
             self.engine.for_each_mut(&mut bands, |r, row| {
                 for (c, slot) in row.iter_mut().enumerate() {
                     *slot = self.round(self.eval_cell(i, r, c, false));
                 }
             });
-            std::mem::swap(&mut self.states[i], out);
+            self.states
+                .layer_mut(i)
+                .copy_from_slice(scratch.layer_slice(i));
         }
         self.scratch = scratch;
     }
 
     /// Evaluates the RHS of every dynamic layer against current states,
     /// fanning the rows of each layer out over the engine's workers.
-    fn dyn_rhs(&self) -> Vec<Grid<f64>> {
+    fn dyn_rhs(&self) -> SoaGrid<f64> {
         let (rows, cols) = (self.model.rows(), self.model.cols());
-        self.plan
-            .iter()
-            .enumerate()
-            .map(|(i, p)| {
-                let mut g = Grid::new(rows, cols, 0.0);
-                if p.kind == LayerKind::Dynamic {
-                    let mut bands: Vec<&mut [f64]> = g.as_mut_slice().chunks_mut(cols).collect();
-                    self.engine.for_each_mut(&mut bands, |r, row| {
-                        for (c, slot) in row.iter_mut().enumerate() {
-                            *slot = self.eval_cell(i, r, c, true);
-                        }
-                    });
+        let mut k = SoaGrid::new(self.plan.len(), rows, cols, 0.0);
+        for (i, p) in self.plan.iter().enumerate() {
+            if p.kind != LayerKind::Dynamic {
+                continue;
+            }
+            let mut bands: Vec<&mut [f64]> = k.layer_mut(i).chunks_mut(cols).collect();
+            self.engine.for_each_mut(&mut bands, |r, row| {
+                for (c, slot) in row.iter_mut().enumerate() {
+                    *slot = self.eval_cell(i, r, c, true);
                 }
-                g
-            })
-            .collect()
+            });
+        }
+        k
     }
 
     /// Applies `x <- x + dt·k` to dynamic layers. When `residual` is
     /// supplied it accumulates the max-norm of the applied change.
-    #[allow(clippy::needless_range_loop)] // parallel indexing of plan/states/k
     fn apply_update(
         &mut self,
-        k: &[Grid<f64>],
+        k: &SoaGrid<f64>,
         dt: f64,
         only: Option<usize>,
         mut residual: Option<&mut f64>,
     ) {
-        let (rows, cols) = (self.model.rows(), self.model.cols());
+        let precision = self.precision;
         for i in 0..self.plan.len() {
             if self.plan[i].kind != LayerKind::Dynamic || only.is_some_and(|o| o != i) {
                 continue;
             }
-            for r in 0..rows {
-                for c in 0..cols {
-                    let x = self.states[i].get(r, c);
-                    let v = self.round(x + dt * k[i].get(r, c));
-                    if let Some(res) = residual.as_deref_mut() {
-                        *res = res.max((v - x).abs());
-                    }
-                    self.states[i].set(r, c, v);
+            for (x, &kv) in self.states.layer_mut(i).iter_mut().zip(k.layer_slice(i)) {
+                let v = round_to(precision, *x + dt * kv);
+                if let Some(res) = residual.as_deref_mut() {
+                    *res = res.max((v - *x).abs());
                 }
+                *x = v;
             }
         }
     }
@@ -439,17 +444,14 @@ impl FloatSim {
 
     #[inline]
     fn round(&self, v: f64) -> f64 {
-        match self.precision {
-            Precision::F64 => v,
-            Precision::F32 => v as f32 as f64,
-        }
+        round_to(self.precision, v)
     }
 
     fn eval_cell(&self, layer: usize, r: usize, c: usize, leak: bool) -> f64 {
         let plan = &self.plan[layer];
         let (rows, cols) = (self.model.rows(), self.model.cols());
         let mut acc = if leak {
-            -self.states[layer].get(r, c)
+            -self.states.get(layer, r, c)
         } else {
             0.0
         };
@@ -458,8 +460,8 @@ impl FloatSim {
             let operand = match boundary.resolve(rows, cols, r, c, tap.dr, tap.dc) {
                 Some((nr, nc)) => {
                     let raw = match tap.kind {
-                        TemplateKind::Input => self.inputs[tap.src].get(nr, nc),
-                        _ => self.states[tap.src].get(nr, nc),
+                        TemplateKind::Input => self.inputs.get(tap.src, nr, nc),
+                        _ => self.states.get(tap.src, nr, nc),
                     };
                     match tap.kind {
                         TemplateKind::Output => raw.clamp(-1.0, 1.0),
@@ -488,12 +490,20 @@ impl FloatSim {
             WeightExpr::Dyn { scale, factors } => {
                 let mut acc = scale.to_f64();
                 for f in factors {
-                    let x = self.states[f.layer.index()].get(r, c);
+                    let x = self.states.get(f.layer.index(), r, c);
                     acc = self.round(acc * self.model.library().get(f.func).value(x));
                 }
                 acc
             }
         }
+    }
+}
+
+#[inline]
+fn round_to(precision: Precision, v: f64) -> f64 {
+    match precision {
+        Precision::F64 => v,
+        Precision::F32 => v as f32 as f64,
     }
 }
 
@@ -598,7 +608,16 @@ impl FloatRunner {
         self.sim.step();
         match self.setup.post_step {
             None => 0,
-            Some(rule) => rule.apply_f64(&mut self.sim.states),
+            Some(rule) => {
+                // Post-step rules keep their per-grid signature; convert
+                // around the slab (rules run rarely relative to sweeps).
+                let mut grids = self.sim.states.to_grids();
+                let fired = rule.apply_f64(&mut grids);
+                for (i, g) in grids.iter().enumerate() {
+                    self.sim.states.layer_mut(i).copy_from_slice(g.as_slice());
+                }
+                fired
+            }
         }
     }
 
@@ -612,7 +631,7 @@ impl FloatRunner {
         self.setup
             .observed
             .iter()
-            .map(|(id, name)| (*name, self.sim.state(*id).clone()))
+            .map(|(id, name)| (*name, self.sim.state(*id).to_grid()))
             .collect()
     }
 }
@@ -676,7 +695,7 @@ mod tests {
                 for (i, s) in serial.sim().states.iter().enumerate() {
                     assert_eq!(
                         s.as_slice(),
-                        par.sim().states[i].as_slice(),
+                        par.sim().states.layer_slice(i),
                         "threads={threads} layer={i}"
                     );
                 }

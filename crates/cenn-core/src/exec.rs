@@ -33,6 +33,8 @@ pub struct Tile {
     shard: usize,
     pe_base: usize,
     cells: Vec<(u32, u32)>,
+    flats: Vec<u32>,
+    pes: Vec<u32>,
 }
 
 impl Tile {
@@ -49,6 +51,20 @@ impl Tile {
     /// The tile's `(row, col)` cells, in row-major sweep order.
     pub fn cells(&self) -> &[(u32, u32)] {
         &self.cells
+    }
+
+    /// Flat row-major grid index (`r * cols + c`) of every tile cell, in
+    /// the same sweep order as [`cells`](Self::cells) — the gather/scatter
+    /// index stream of the slab kernels.
+    pub fn flats(&self) -> &[u32] {
+        &self.flats
+    }
+
+    /// Global PE id of every tile cell, parallel to
+    /// [`cells`](Self::cells). Hoists the `pe_of` modulo math out of the
+    /// per-cell LUT loop.
+    pub fn pes(&self) -> &[u32] {
+        &self.pes
     }
 
     /// Number of cells in the tile.
@@ -93,12 +109,17 @@ impl TilePlan {
                 shard: s,
                 pe_base: s * PES_PER_L2,
                 cells: Vec::new(),
+                flats: Vec::new(),
+                pes: Vec::new(),
             })
             .collect();
         for r in 0..rows {
             for c in 0..cols {
                 let pe = (r % pe_rows) * pe_cols + (c % pe_cols);
-                tiles[pe / PES_PER_L2].cells.push((r as u32, c as u32));
+                let tile = &mut tiles[pe / PES_PER_L2];
+                tile.cells.push((r as u32, c as u32));
+                tile.flats.push((r * cols + c) as u32);
+                tile.pes.push(pe as u32);
             }
         }
         Self {
@@ -321,6 +342,19 @@ mod tests {
                     assert!(key > p, "cells must stay row-major within a tile");
                 }
                 prev = Some(key);
+            }
+        }
+    }
+
+    #[test]
+    fn tile_flats_and_pes_mirror_cells() {
+        let plan = TilePlan::new(13, 7, 8, 8);
+        for tile in plan.tiles() {
+            assert_eq!(tile.flats().len(), tile.len());
+            assert_eq!(tile.pes().len(), tile.len());
+            for (j, &(r, c)) in tile.cells().iter().enumerate() {
+                assert_eq!(tile.flats()[j], r * 7 + c);
+                assert_eq!(tile.pes()[j] as usize, plan.pe_of(r as usize, c as usize));
             }
         }
     }

@@ -225,6 +225,328 @@ impl<T: Copy + fmt::Debug> fmt::Debug for Grid<T> {
     }
 }
 
+/// Structure-of-arrays state: every layer's cells in **one contiguous
+/// slab**, layer-major then row-major.
+///
+/// This is the hot-path layout of the solver (ROADMAP item 1): the
+/// template-apply and LUT-lane kernels stream over `layer_slice`s with
+/// unit stride instead of chasing one `Grid` allocation per layer. Layer
+/// `i` occupies `slab[i * rows * cols .. (i + 1) * rows * cols]` in the
+/// same row-major order as [`Grid`], so AoS↔SoA conversion is a pure
+/// reshape and bit-identical both ways.
+///
+/// # Examples
+///
+/// ```
+/// use cenn_core::{Grid, SoaGrid};
+///
+/// let layers = vec![Grid::new(2, 3, 1i32), Grid::new(2, 3, 2i32)];
+/// let soa = SoaGrid::from_grids(&layers);
+/// assert_eq!(soa.layer(1).get(0, 2), 2);
+/// assert_eq!(soa.to_grids(), layers);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct SoaGrid<T> {
+    layers: usize,
+    rows: usize,
+    cols: usize,
+    slab: Vec<T>,
+}
+
+impl<T: Copy> SoaGrid<T> {
+    /// Creates a slab of `layers` layers, each `rows × cols`, filled
+    /// with `fill`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(layers: usize, rows: usize, cols: usize, fill: T) -> Self {
+        assert!(
+            layers > 0 && rows > 0 && cols > 0,
+            "slab dimensions must be non-zero"
+        );
+        Self {
+            layers,
+            rows,
+            cols,
+            slab: vec![fill; layers * rows * cols],
+        }
+    }
+
+    /// Packs per-layer grids into one slab (AoS → SoA). Bit-identical:
+    /// each layer's row-major cells are memcpy'd in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grids` is empty or the shapes differ.
+    pub fn from_grids(grids: &[Grid<T>]) -> Self {
+        assert!(!grids.is_empty(), "slab needs at least one layer");
+        let (rows, cols) = (grids[0].rows(), grids[0].cols());
+        let mut slab = Vec::with_capacity(grids.len() * rows * cols);
+        for g in grids {
+            assert!(
+                g.rows() == rows && g.cols() == cols,
+                "all layers must share one shape"
+            );
+            slab.extend_from_slice(g.as_slice());
+        }
+        Self {
+            layers: grids.len(),
+            rows,
+            cols,
+            slab,
+        }
+    }
+
+    /// Unpacks the slab back into per-layer grids (SoA → AoS).
+    pub fn to_grids(&self) -> Vec<Grid<T>> {
+        (0..self.layers).map(|i| self.layer(i).to_grid()).collect()
+    }
+
+    /// Number of layers.
+    #[inline]
+    pub fn n_layers(&self) -> usize {
+        self.layers
+    }
+
+    /// Rows per layer.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns per layer.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Cells per layer (`rows * cols` — the layer stride in the slab).
+    #[inline]
+    pub fn cells_per_layer(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Borrowed 2-D view of one layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    #[inline]
+    pub fn layer(&self, layer: usize) -> LayerView<'_, T> {
+        LayerView {
+            rows: self.rows,
+            cols: self.cols,
+            cells: self.layer_slice(layer),
+        }
+    }
+
+    /// One layer's row-major cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    #[inline]
+    pub fn layer_slice(&self, layer: usize) -> &[T] {
+        let n = self.rows * self.cols;
+        &self.slab[layer * n..(layer + 1) * n]
+    }
+
+    /// One layer's row-major cells, mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    #[inline]
+    pub fn layer_mut(&mut self, layer: usize) -> &mut [T] {
+        let n = self.rows * self.cols;
+        &mut self.slab[layer * n..(layer + 1) * n]
+    }
+
+    /// Reads the cell at `(layer, row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, layer: usize, row: usize, col: usize) -> T {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.slab[(layer * self.rows + row) * self.cols + col]
+    }
+
+    /// Writes the cell at `(layer, row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, layer: usize, row: usize, col: usize, v: T) {
+        assert!(row < self.rows && col < self.cols, "cell out of bounds");
+        self.slab[(layer * self.rows + row) * self.cols + col] = v;
+    }
+
+    /// The whole slab, layer-major row-major.
+    #[inline]
+    pub fn slab(&self) -> &[T] {
+        &self.slab
+    }
+
+    /// The whole slab, mutably.
+    #[inline]
+    pub fn slab_mut(&mut self) -> &mut [T] {
+        &mut self.slab
+    }
+
+    /// Fills every cell of every layer with `v`.
+    pub fn fill(&mut self, v: T) {
+        self.slab.iter_mut().for_each(|c| *c = v);
+    }
+
+    /// Copies the entire slab from `other` without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn copy_from(&mut self, other: &SoaGrid<T>) {
+        assert!(
+            self.layers == other.layers && self.rows == other.rows && self.cols == other.cols,
+            "shape mismatch in copy_from"
+        );
+        self.slab.copy_from_slice(&other.slab);
+    }
+
+    /// Iterates over per-layer views in layer order.
+    pub fn iter(&self) -> impl Iterator<Item = LayerView<'_, T>> {
+        (0..self.layers).map(move |i| self.layer(i))
+    }
+}
+
+impl<T: Copy> Default for SoaGrid<T>
+where
+    T: Default,
+{
+    /// An empty placeholder slab, used only for `mem::take` in the
+    /// solver's double-buffer swaps. Accessors panic on it.
+    fn default() -> Self {
+        Self {
+            layers: 0,
+            rows: 0,
+            cols: 0,
+            slab: Vec::new(),
+        }
+    }
+}
+
+impl<'a, T: Copy> IntoIterator for &'a SoaGrid<T> {
+    type Item = LayerView<'a, T>;
+    type IntoIter = std::vec::IntoIter<LayerView<'a, T>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter().collect::<Vec<_>>().into_iter()
+    }
+}
+
+impl<T: Copy + fmt::Debug> fmt::Debug for SoaGrid<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SoaGrid<{} layers x {}x{}>",
+            self.layers, self.rows, self.cols
+        )
+    }
+}
+
+/// A borrowed row-major 2-D view of one layer inside a [`SoaGrid`] slab.
+///
+/// `Copy`, so it can be passed around like the `&Grid` references it
+/// replaces; [`as_slice`](Self::as_slice) returns the underlying slice
+/// with the view's full lifetime.
+#[derive(Clone, Copy, PartialEq)]
+pub struct LayerView<'a, T> {
+    rows: usize,
+    cols: usize,
+    cells: &'a [T],
+}
+
+impl<'a, T: Copy> LayerView<'a, T> {
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` only for the degenerate placeholder view.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Reads the cell at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> T {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.cells[row * self.cols + col]
+    }
+
+    /// The flat row-major cell slice, with the full view lifetime.
+    #[inline]
+    pub fn as_slice(&self) -> &'a [T] {
+        self.cells
+    }
+
+    /// Iterates over cells in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = &'a T> {
+        self.cells.iter()
+    }
+
+    /// Copies the view out into an owned [`Grid`].
+    pub fn to_grid(&self) -> Grid<T> {
+        Grid {
+            rows: self.rows,
+            cols: self.cols,
+            cells: self.cells.to_vec(),
+        }
+    }
+
+    /// Builds an owned grid of the same shape by transforming each cell.
+    pub fn map<U: Copy>(&self, mut f: impl FnMut(T) -> U) -> Grid<U> {
+        Grid {
+            rows: self.rows,
+            cols: self.cols,
+            cells: self.cells.iter().map(|&v| f(v)).collect(),
+        }
+    }
+}
+
+impl<'a, T: Copy> IntoIterator for LayerView<'a, T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.cells.iter()
+    }
+}
+
+impl<T: Copy + fmt::Debug> fmt::Debug for LayerView<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LayerView<{}x{}>", self.rows, self.cols)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,5 +636,46 @@ mod tests {
         let s = format!("{g:?}");
         assert!(s.contains("Grid<20x20>"));
         assert!(s.contains("..."));
+    }
+
+    #[test]
+    fn soa_round_trip_is_bit_identical() {
+        let grids = vec![
+            Grid::from_fn(3, 4, |r, c| (r * 100 + c) as i32),
+            Grid::from_fn(3, 4, |r, c| -((r * 7 + c * 3) as i32)),
+        ];
+        let soa = SoaGrid::from_grids(&grids);
+        assert_eq!(soa.n_layers(), 2);
+        assert_eq!(soa.cells_per_layer(), 12);
+        assert_eq!(soa.to_grids(), grids);
+        // The slab is layer-major: layer 1 starts at stride boundary.
+        assert_eq!(&soa.slab()[12..], grids[1].as_slice());
+    }
+
+    #[test]
+    fn soa_layer_views_and_mutation() {
+        let mut soa = SoaGrid::new(2, 2, 3, 0i32);
+        soa.set(1, 0, 2, 42);
+        assert_eq!(soa.get(1, 0, 2), 42);
+        assert_eq!(soa.layer(1).get(0, 2), 42);
+        assert_eq!(soa.layer(0).as_slice(), &[0; 6]);
+        soa.layer_mut(0).copy_from_slice(&[1, 2, 3, 4, 5, 6]);
+        assert_eq!(soa.layer(0).to_grid().get(1, 2), 6);
+        let views: Vec<_> = soa.iter().collect();
+        assert_eq!(views.len(), 2);
+        assert_eq!(views[0].as_slice()[0], 1);
+    }
+
+    #[test]
+    fn soa_mismatched_layer_shapes_panic() {
+        let grids = vec![Grid::new(2, 2, 0i32), Grid::new(2, 3, 0i32)];
+        assert!(std::panic::catch_unwind(|| SoaGrid::from_grids(&grids)).is_err());
+    }
+
+    #[test]
+    fn layer_view_map_preserves_values() {
+        let soa = SoaGrid::from_grids(&[Grid::from_fn(2, 2, |r, c| (r + c) as f64)]);
+        let doubled = soa.layer(0).map(|v| v * 2.0);
+        assert_eq!(doubled.get(1, 1), 4.0);
     }
 }

@@ -59,7 +59,7 @@ mod template;
 pub use boundary::Boundary;
 pub use error::{FaultError, ModelError};
 pub use exec::{ExecEngine, StepStats, Tile, TilePlan};
-pub use grid::Grid;
+pub use grid::{Grid, LayerView, SoaGrid};
 pub use layer::{LayerId, LayerKind, LayerSpec};
 pub use model::{CennModel, CennModelBuilder, Integrator, LutConfig, TemplateKind};
 pub use sim::{CennSim, FuncEval, SimSnapshot, StepReport};

@@ -2,17 +2,19 @@
 
 use std::time::Instant;
 
-use cenn_lut::{FuncId, FuncLibrary, LutHierarchy, LutShard, LutStats, OffChipLut};
+use cenn_lut::{
+    FuncId, FuncLibrary, LutHierarchy, LutShard, LutSpec, LutStats, OffChipLut, RowCtx,
+};
 use cenn_obs::{Event, Phase, RecorderHandle, RunSummary, Span, SpanRing, TraceHandle};
-use fixedpt::{MacAcc, Q16_16};
+use fixedpt::{lanes, MacAcc, Q16_16};
 
 use crate::boundary::Boundary;
 use crate::error::{FaultError, ModelError};
 use crate::exec::{ExecEngine, StepStats, Tile, TilePlan};
-use crate::grid::Grid;
+use crate::grid::{Grid, LayerView, SoaGrid};
 use crate::layer::{LayerId, LayerKind};
 use crate::model::{CennModel, Integrator, TemplateKind};
-use crate::template::WeightExpr;
+use crate::template::{Factor, WeightExpr};
 
 /// How dynamic template weights evaluate their nonlinear factors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -77,6 +79,116 @@ struct LayerPlan {
     offsets: Vec<WeightExpr>,
 }
 
+/// One flattened template tap, lowered for the lane kernels: the source
+/// slab to gather from and a precomputed gather table with the boundary
+/// already resolved per cell.
+///
+/// The gather table stores, for every cell in tile-concatenated order
+/// (shard 0's cells, then shard 1's, …), the flat source index to read —
+/// or [`u32::MAX`] where the stencil falls off the grid and the
+/// boundary's constant applies. Geometry never changes after
+/// construction; *weights* are re-read from the [`LayerPlan`] every
+/// sweep so template-fault injection stays live.
+#[derive(Debug, Clone)]
+struct LaneTap {
+    /// Source layer index (into states or inputs, per `input`).
+    src: usize,
+    /// Gather from the external input slab instead of states.
+    input: bool,
+    /// Clamp gathered operands through the CeNN output function.
+    output: bool,
+    /// Pre-resolved (and, for output taps, pre-clamped) boundary
+    /// constant, raw bits.
+    const_bits: i32,
+    /// Flat source index per cell, tile-concatenated; `u32::MAX` means
+    /// "use `const_bits`".
+    gather: Vec<u32>,
+}
+
+/// One nonlinear factor of a dynamic weight site, with its LUT row
+/// context hoisted at construction.
+#[derive(Debug, Clone)]
+struct LaneFactor {
+    /// Layer whose state feeds the function.
+    layer: usize,
+    func: FuncId,
+    ctx: RowCtx,
+}
+
+/// The factor list of one dynamic weight site (tap or offset).
+#[derive(Debug, Clone)]
+struct SiteGeom {
+    factors: Vec<LaneFactor>,
+}
+
+/// A layer's templates lowered to lane form: flattened taps with gather
+/// tables, plus the dynamic weight sites in flat order (taps first, then
+/// offsets — the same order [`CennSim::inject_template_fault`] uses).
+#[derive(Debug, Clone)]
+struct LayerLanes {
+    taps: Vec<LaneTap>,
+    sites: Vec<SiteGeom>,
+    /// Every site's factor contexts flattened in site order — the batched
+    /// weight pass walks them per cell in exactly this (scalar) order.
+    ctxs: Vec<RowCtx>,
+}
+
+/// A tap or offset weight resolved for one sweep: either a constant's
+/// raw bits or an index into the sweep's dynamic-site weight lanes.
+#[derive(Debug, Clone, Copy)]
+enum LaneWeight {
+    Const(i32),
+    Dyn(usize),
+}
+
+/// One layer's share of a sweep: its lane geometry plus the weights
+/// re-read from the plan (so injected template faults take effect) and
+/// the per-site scales consumed by the weight pass.
+struct SweepLayer<'a> {
+    /// Destination layer index.
+    layer: usize,
+    /// Add the `-x` leak term of eq. (1) (dynamic layers only).
+    leak: bool,
+    lanes: &'a LayerLanes,
+    /// Per-tap weight, parallel to `lanes.taps`.
+    tap_weights: Vec<LaneWeight>,
+    /// Per-offset weight, in plan order.
+    offset_weights: Vec<LaneWeight>,
+    /// Per-site scale, parallel to `lanes.sites`.
+    site_scales: Vec<Q16_16>,
+}
+
+/// Persistent per-shard scratch for the lane sweeps, sized once at
+/// construction so the hot loop never allocates.
+#[derive(Debug, Clone)]
+struct ShardBuf {
+    /// Resolved cell results, one segment per swept layer.
+    out: Vec<i32>,
+    /// Wide accumulator lanes (the PE's 48-bit accumulate, held in i64).
+    accs: Vec<i64>,
+    /// Gathered operand lanes, raw bits.
+    ops: Vec<i32>,
+    /// Evaluated dynamic weight lanes, `[site][cell]` per swept layer.
+    site_w: Vec<i32>,
+    /// Interleaved `[cell][factor]` state lanes for multi-factor sites.
+    fx: Vec<i32>,
+    /// Interleaved `[cell][factor]` function values for multi-factor sites.
+    fv: Vec<i32>,
+}
+
+impl ShardBuf {
+    fn new(cells: usize, max_layers: usize, max_sites: usize, max_factors: usize) -> Self {
+        Self {
+            out: vec![0; max_layers * cells],
+            accs: vec![0; cells],
+            ops: vec![0; cells],
+            site_w: vec![0; max_sites * cells],
+            fx: vec![0; max_factors * cells],
+            fv: vec![0; max_factors * cells],
+        }
+    }
+}
+
 /// Functional simulator: evolves a [`CennModel`] in 32-bit fixed point with
 /// forward Euler, reproducing the compute semantics of the PE array
 /// (saturating MACs, wide accumulate, LUT-based template update) without
@@ -90,29 +202,46 @@ struct LayerPlan {
 /// 2. **dynamic layers** integrate eq. (1) synchronously (all read old
 ///    states): `x ← x + Δt · (−x + ΣÂ·x + ΣA·y + ΣB·u + z)`.
 ///
-/// Sweeps are plan-driven and tile-sharded: a [`TilePlan`] assigns each
-/// cell to the LUT shard its PE belongs to, and the [`ExecEngine`] fans
-/// the shards out over worker threads (see [`set_threads`]). Results —
-/// states *and* per-PE LUT statistics — are bit-identical to the serial
-/// sweep for any thread count (the determinism contract in
-/// [`crate::exec`]).
+/// State is held structure-of-arrays: one contiguous Q16.16 slab per
+/// grid set ([`SoaGrid`]), each layer a contiguous span. Sweeps are
+/// two-pass over each shard's tile: a *weight pass* evaluates every
+/// dynamic weight site through the batched LUT row path
+/// ([`cenn_lut::LutShard::lookup_row`]), then a *template pass* runs
+/// gather + unrolled lane MAC kernels ([`fixedpt::lanes`]) over the
+/// slabs. Both passes replay the scalar per-cell order exactly, so
+/// results — states *and* per-PE LUT statistics — are bit-identical to
+/// the pre-lane serial sweep for any thread count (the determinism
+/// contract in [`crate::exec`]).
+///
+/// A [`TilePlan`] assigns each cell to the LUT shard its PE belongs to,
+/// and the [`ExecEngine`] fans the shards out over worker threads (see
+/// [`set_threads`]).
 ///
 /// [`set_threads`]: Self::set_threads
 #[derive(Debug, Clone)]
 pub struct CennSim {
     model: CennModel,
     plan: Vec<LayerPlan>,
-    states: Vec<Grid<Q16_16>>,
-    scratch: Vec<Grid<Q16_16>>,
-    aux: Vec<Grid<Q16_16>>,
-    aux2: Vec<Grid<Q16_16>>,
+    /// Lane-lowered template geometry, parallel to `plan`.
+    lanes: Vec<LayerLanes>,
+    /// Dynamic layer indices in declaration order.
+    dyn_layers: Vec<usize>,
+    states: SoaGrid<Q16_16>,
+    aux: SoaGrid<Q16_16>,
+    aux2: SoaGrid<Q16_16>,
     /// Persistent pre-step snapshot used by Heun's corrector (reused
     /// across steps instead of cloning the state vector every step).
-    saved: Vec<Grid<Q16_16>>,
-    inputs: Vec<Grid<Q16_16>>,
+    saved: SoaGrid<Q16_16>,
+    inputs: SoaGrid<Q16_16>,
     hierarchy: LutHierarchy,
     engine: ExecEngine,
     tiles: TilePlan,
+    /// Start offset of each tile's span in the gather tables.
+    tile_offsets: Vec<usize>,
+    /// Per-shard sweep scratch, parallel to the tile plan.
+    shard_bufs: Vec<ShardBuf>,
+    /// Per-shard LUT counters at step entry (reused across steps).
+    stats_before: Vec<LutStats>,
     last_step: StepStats,
     eval: FuncEval,
     /// Compute the per-step residual even without an enabled recorder
@@ -164,19 +293,63 @@ impl CennSim {
         )?;
         let plan = compile(&model);
         let tiles = TilePlan::new(model.rows(), model.cols(), cfg.pe_rows, cfg.pe_cols);
-        let blank = Grid::new(model.rows(), model.cols(), Q16_16::ZERO);
+        let spec_of = |f: FuncId| cfg.spec_for(f);
+        let lanes: Vec<LayerLanes> = plan
+            .iter()
+            .map(|p| build_lanes(p, &tiles, model.rows(), model.cols(), &spec_of))
+            .collect();
+        let dyn_layers: Vec<usize> = (0..plan.len())
+            .filter(|&i| plan[i].kind == LayerKind::Dynamic)
+            .collect();
+        let tile_offsets: Vec<usize> = tiles
+            .tiles()
+            .iter()
+            .scan(0usize, |acc, t| {
+                let off = *acc;
+                *acc += t.len();
+                Some(off)
+            })
+            .collect();
+        // Scratch sizing: the dynamic sweep is fused over all dynamic
+        // layers; algebraic sweeps run one layer at a time.
+        let max_layers = dyn_layers.len().max(1);
+        let dyn_sites: usize = dyn_layers.iter().map(|&i| lanes[i].sites.len()).sum();
+        let alg_sites = plan
+            .iter()
+            .zip(&lanes)
+            .filter(|(p, _)| p.kind == LayerKind::Algebraic)
+            .map(|(_, l)| l.sites.len())
+            .max()
+            .unwrap_or(0);
+        let max_sites = dyn_sites.max(alg_sites);
+        // The weight pass batches one layer's flattened factors at a time.
+        let max_factors = lanes
+            .iter()
+            .map(|l| l.sites.iter().map(|s| s.factors.len()).sum::<usize>())
+            .max()
+            .unwrap_or(0);
+        let shard_bufs: Vec<ShardBuf> = tiles
+            .tiles()
+            .iter()
+            .map(|t| ShardBuf::new(t.len(), max_layers, max_sites, max_factors))
+            .collect();
         let n = model.n_layers();
+        let blank = SoaGrid::new(n, model.rows(), model.cols(), Q16_16::ZERO);
         Ok(Self {
             plan,
-            states: vec![blank.clone(); n],
-            scratch: vec![blank.clone(); n],
-            aux: vec![blank.clone(); n],
-            aux2: vec![blank.clone(); n],
-            saved: vec![blank.clone(); n],
-            inputs: vec![blank; n],
+            lanes,
+            dyn_layers,
+            states: blank.clone(),
+            aux: blank.clone(),
+            aux2: blank.clone(),
+            saved: blank.clone(),
+            inputs: blank,
             hierarchy,
             engine: ExecEngine::serial(),
             tiles,
+            tile_offsets,
+            shard_bufs,
+            stats_before: Vec::new(),
             last_step: StepStats::default(),
             eval,
             track_residual: false,
@@ -252,10 +425,13 @@ impl CennSim {
     /// Attaches a span tracer: every subsequent sweep attributes its
     /// wall-clock time to the [`Phase`] taxonomy (`lut_lookup`,
     /// `template_apply`, `integrate`, `halo_sync`) via per-shard span
-    /// rings drained into the shared collector after each barrier. Span
-    /// *counts* are per shard per sweep, so they are identical for any
-    /// worker-thread count; without a tracer the span path costs one
-    /// branch per sweep and performs no allocations.
+    /// rings drained into the shared collector after each barrier. The
+    /// `lut_lookup` phase covers the weight pass and is only emitted for
+    /// sweeps whose layers have dynamic weight sites — LUT-free models
+    /// report no `lut_lookup` spans at all. Span *counts* are per shard
+    /// per sweep, so they are identical for any worker-thread count;
+    /// without a tracer the span path costs one branch per sweep and
+    /// performs no allocations.
     pub fn set_tracer(&mut self, tracer: TraceHandle) {
         self.tracer = Some(tracer);
     }
@@ -355,20 +531,21 @@ impl CennSim {
         self.track_residual = on;
     }
 
-    /// Current state map of a layer.
-    pub fn state(&self, layer: LayerId) -> &Grid<Q16_16> {
-        &self.states[layer.index()]
+    /// Current state map of a layer (a zero-copy view into the state
+    /// slab).
+    pub fn state(&self, layer: LayerId) -> LayerView<'_, Q16_16> {
+        self.states.layer(layer.index())
     }
 
-    /// All layer states in declaration order (the snapshot the cycle-level
+    /// All layer states in declaration order (the slab the cycle-level
     /// trace simulator walks in hardware order).
-    pub fn states(&self) -> &[Grid<Q16_16>] {
+    pub fn states(&self) -> &SoaGrid<Q16_16> {
         &self.states
     }
 
     /// Current state map converted to `f64` (for error statistics).
     pub fn state_f64(&self, layer: LayerId) -> Grid<f64> {
-        self.states[layer.index()].map(|v| v.to_f64())
+        self.states.layer(layer.index()).map(|v| v.to_f64())
     }
 
     /// Overwrites a layer's state map.
@@ -379,7 +556,9 @@ impl CennSim {
     /// the model's.
     pub fn set_state(&mut self, layer: LayerId, grid: Grid<Q16_16>) -> Result<(), ModelError> {
         self.check_shape(grid.rows(), grid.cols())?;
-        self.states[layer.index()] = grid;
+        self.states
+            .layer_mut(layer.index())
+            .copy_from_slice(grid.as_slice());
         Ok(())
     }
 
@@ -390,7 +569,14 @@ impl CennSim {
     /// Returns [`ModelError::ShapeMismatch`] on shape mismatch.
     pub fn set_state_f64(&mut self, layer: LayerId, grid: &Grid<f64>) -> Result<(), ModelError> {
         self.check_shape(grid.rows(), grid.cols())?;
-        self.states[layer.index()] = grid.map(Q16_16::from_f64);
+        for (slot, &v) in self
+            .states
+            .layer_mut(layer.index())
+            .iter_mut()
+            .zip(grid.as_slice())
+        {
+            *slot = Q16_16::from_f64(v);
+        }
         Ok(())
     }
 
@@ -401,7 +587,9 @@ impl CennSim {
     /// Returns [`ModelError::ShapeMismatch`] on shape mismatch.
     pub fn set_input(&mut self, layer: LayerId, grid: Grid<Q16_16>) -> Result<(), ModelError> {
         self.check_shape(grid.rows(), grid.cols())?;
-        self.inputs[layer.index()] = grid;
+        self.inputs
+            .layer_mut(layer.index())
+            .copy_from_slice(grid.as_slice());
         Ok(())
     }
 
@@ -412,7 +600,14 @@ impl CennSim {
     /// Returns [`ModelError::ShapeMismatch`] on shape mismatch.
     pub fn set_input_f64(&mut self, layer: LayerId, grid: &Grid<f64>) -> Result<(), ModelError> {
         self.check_shape(grid.rows(), grid.cols())?;
-        self.inputs[layer.index()] = grid.map(Q16_16::from_f64);
+        for (slot, &v) in self
+            .inputs
+            .layer_mut(layer.index())
+            .iter_mut()
+            .zip(grid.as_slice())
+        {
+            *slot = Q16_16::from_f64(v);
+        }
         Ok(())
     }
 
@@ -476,7 +671,7 @@ impl CennSim {
         c: usize,
         bit: u32,
     ) -> Result<(), ModelError> {
-        if layer >= self.states.len() {
+        if layer >= self.states.n_layers() {
             return Err(FaultError::Layer(layer).into());
         }
         let (rows, cols) = (self.model.rows(), self.model.cols());
@@ -486,8 +681,9 @@ impl CennSim {
         if bit >= 32 {
             return Err(FaultError::Bit(bit).into());
         }
-        let v = self.states[layer].get(r, c);
-        self.states[layer].set(r, c, Q16_16::from_bits(v.to_bits() ^ (1 << bit)));
+        let v = self.states.get(layer, r, c);
+        self.states
+            .set(layer, r, c, Q16_16::from_bits(v.to_bits() ^ (1 << bit)));
         Ok(())
     }
 
@@ -577,14 +773,16 @@ impl CennSim {
     /// count or grid sizes do not match this model.
     pub fn restore(&mut self, snap: &SimSnapshot) -> Result<(), ModelError> {
         let cells = self.model.rows() * self.model.cols();
-        if snap.states.len() != self.states.len() || snap.states.iter().any(|s| s.len() != cells) {
+        if snap.states.len() != self.states.n_layers()
+            || snap.states.iter().any(|s| s.len() != cells)
+        {
             return Err(ModelError::ShapeMismatch {
-                expected: (self.states.len(), cells),
+                expected: (self.states.n_layers(), cells),
                 got: (snap.states.len(), snap.states.first().map_or(0, Vec::len)),
             });
         }
-        for (grid, bits) in self.states.iter_mut().zip(&snap.states) {
-            for (slot, &b) in grid.as_mut_slice().iter_mut().zip(bits) {
+        for (i, bits) in snap.states.iter().enumerate() {
+            for (slot, &b) in self.states.layer_mut(i).iter_mut().zip(bits) {
                 *slot = Q16_16::from_bits(b);
             }
         }
@@ -599,12 +797,9 @@ impl CennSim {
     /// and LUT-traffic deltas land in [`step_stats`](Self::step_stats).
     pub fn step(&mut self) -> StepReport {
         let start = Instant::now();
-        let before: Vec<LutStats> = self
-            .hierarchy
-            .shards()
-            .iter()
-            .map(LutShard::stats)
-            .collect();
+        self.stats_before.clear();
+        self.stats_before
+            .extend(self.hierarchy.shards().iter().map(LutShard::stats));
         let mut stats = StepStats {
             threads: self.engine.threads(),
             ..StepStats::default()
@@ -620,7 +815,7 @@ impl CennSim {
             .hierarchy
             .shards()
             .iter()
-            .zip(&before)
+            .zip(&self.stats_before)
             .map(|(s, b)| s.stats().since(b))
             .collect();
         self.run_cells += stats.cells;
@@ -644,14 +839,12 @@ impl CennSim {
     /// the step just applied. Exact: computed on the raw fixed-point bits.
     fn max_state_delta(&self) -> f64 {
         let mut max_raw: i64 = 0;
-        for i in 0..self.plan.len() {
-            if self.plan[i].kind != LayerKind::Dynamic {
-                continue;
-            }
-            for (a, b) in self.states[i]
-                .as_slice()
+        for &i in &self.dyn_layers {
+            for (a, b) in self
+                .states
+                .layer_slice(i)
                 .iter()
-                .zip(self.saved[i].as_slice())
+                .zip(self.saved.layer_slice(i))
             {
                 let d = (i64::from(a.to_bits()) - i64::from(b.to_bits())).abs();
                 max_raw = max_raw.max(d);
@@ -663,8 +856,9 @@ impl CennSim {
     /// Recomputes algebraic layers in declaration order (reading current
     /// values, so chains resolve sequentially). Each layer is one
     /// barriered tile sweep: within a layer, shards run concurrently;
-    /// between layers, the swap is a synchronization point so later layers
-    /// read earlier layers' fresh values, exactly as the serial loop did.
+    /// between layers, the scatter is a synchronization point so later
+    /// layers read earlier layers' fresh values, exactly as the serial
+    /// loop did.
     fn algebraic_pass(&mut self, stats: &mut StepStats) {
         let ctx = EvalCtx {
             lib: self.model.library(),
@@ -678,33 +872,32 @@ impl CennSim {
             }
             let sweep_start = Instant::now();
             {
+                let sweep = [resolve_layer(&self.plan[i], &self.lanes[i], i, false)];
+                let lut_phase = !sweep[0].lanes.sites.is_empty();
                 let (tables, shards) = self.hierarchy.split();
-                let tile_plan = &self.tiles;
-                let plan = &self.plan[i];
+                let offs = &self.tile_offsets;
                 let states = &self.states;
                 let inputs = &self.inputs;
-                let mut work = make_work(shards, tile_plan.tiles(), 1, epoch.is_some());
-                self.engine.for_each_mut(&mut work, |_, item| {
+                let sweep_ref = &sweep[..];
+                let ctx_ref = &ctx;
+                let mut work = make_work(
+                    shards,
+                    self.tiles.tiles(),
+                    &mut self.shard_bufs,
+                    epoch.is_some(),
+                );
+                self.engine.for_each_mut(&mut work, |w, item| {
                     let (shard, tile, buf, ring) = item;
-                    let t0 = ring.is_enabled().then(Instant::now);
-                    let mut lut = ShardAccess {
-                        tables,
-                        shard,
-                        timed: t0.is_some(),
-                        lut_nanos: 0,
-                    };
-                    for (slot, &(r, c)) in buf.iter_mut().zip(tile.cells()) {
-                        let (r, c) = (r as usize, c as usize);
-                        let pe = tile_plan.pe_of(r, c);
-                        *slot = eval_cell(plan, states, inputs, &mut lut, &ctx, None, r, c, pe);
-                    }
-                    push_sweep_spans(ring, tile, t0, epoch, lut.lut_nanos);
+                    sweep_shard(
+                        shard, tables, tile, offs[w], sweep_ref, states, inputs, ctx_ref, buf,
+                        lut_phase, false, ring, epoch,
+                    );
                 });
-                let scratch = &mut self.scratch[i];
+                let dest = self.states.layer_mut(i);
                 for (_, tile, buf, ring) in &mut work {
                     let t0 = ring.is_enabled().then(Instant::now);
-                    for (&(r, c), &v) in tile.cells().iter().zip(buf.iter()) {
-                        scratch.set(r as usize, c as usize, v);
+                    for (&flat, &v) in tile.flats().iter().zip(&buf.out) {
+                        dest[flat as usize] = Q16_16::from_bits(v);
                     }
                     push_halo_span(ring, tile, t0, epoch);
                 }
@@ -714,7 +907,6 @@ impl CennSim {
                     }
                 }
             }
-            std::mem::swap(&mut self.states[i], &mut self.scratch[i]);
             stats.cells += n_cells;
             stats.sweeps.push((
                 format!("algebraic:{i}"),
@@ -727,11 +919,8 @@ impl CennSim {
     /// sweep: each shard walks all dynamic layers in declaration order
     /// over its own cells (the same per-shard access sequence as the
     /// serial sweep), so shards need no barrier between layers.
-    fn dyn_rhs(&mut self, out: &mut [Grid<Q16_16>], stats: &mut StepStats) {
-        let dyn_layers: Vec<usize> = (0..self.plan.len())
-            .filter(|&i| self.plan[i].kind == LayerKind::Dynamic)
-            .collect();
-        if dyn_layers.is_empty() {
+    fn dyn_rhs(&mut self, out: &mut SoaGrid<Q16_16>, stats: &mut StepStats) {
+        if self.dyn_layers.is_empty() {
             return;
         }
         let sweep_start = Instant::now();
@@ -740,42 +929,39 @@ impl CennSim {
             lib: self.model.library(),
             eval: self.eval,
         };
+        let sweep: Vec<SweepLayer<'_>> = self
+            .dyn_layers
+            .iter()
+            .map(|&i| resolve_layer(&self.plan[i], &self.lanes[i], i, true))
+            .collect();
+        let lut_phase = sweep.iter().any(|sl| !sl.lanes.sites.is_empty());
         let (tables, shards) = self.hierarchy.split();
-        let tile_plan = &self.tiles;
-        let plan = &self.plan;
+        let offs = &self.tile_offsets;
         let states = &self.states;
         let inputs = &self.inputs;
-        let layers = &dyn_layers;
-        let mut work = make_work(shards, tile_plan.tiles(), layers.len(), epoch.is_some());
-        self.engine.for_each_mut(&mut work, |_, item| {
+        let sweep_ref = &sweep[..];
+        let ctx_ref = &ctx;
+        let mut work = make_work(
+            shards,
+            self.tiles.tiles(),
+            &mut self.shard_bufs,
+            epoch.is_some(),
+        );
+        self.engine.for_each_mut(&mut work, |w, item| {
             let (shard, tile, buf, ring) = item;
-            let t0 = ring.is_enabled().then(Instant::now);
-            let mut lut = ShardAccess {
-                tables,
-                shard,
-                timed: t0.is_some(),
-                lut_nanos: 0,
-            };
-            for (li, &i) in layers.iter().enumerate() {
-                let seg = &mut buf[li * tile.len()..(li + 1) * tile.len()];
-                for (slot, &(r, c)) in seg.iter_mut().zip(tile.cells()) {
-                    let (r, c) = (r as usize, c as usize);
-                    let pe = tile_plan.pe_of(r, c);
-                    *slot = eval_cell(&plan[i], states, inputs, &mut lut, &ctx, Some(i), r, c, pe);
-                }
-            }
-            #[cfg(feature = "slow-template-apply")]
-            if std::env::var_os("CENN_SLOW_TEMPLATE_APPLY").is_some() {
-                std::thread::sleep(std::time::Duration::from_micros(500));
-            }
-            push_sweep_spans(ring, tile, t0, epoch, lut.lut_nanos);
+            sweep_shard(
+                shard, tables, tile, offs[w], sweep_ref, states, inputs, ctx_ref, buf, lut_phase,
+                true, ring, epoch,
+            );
         });
         for (_, tile, buf, ring) in &mut work {
             let t0 = ring.is_enabled().then(Instant::now);
-            for (li, &i) in dyn_layers.iter().enumerate() {
-                let seg = &buf[li * tile.len()..(li + 1) * tile.len()];
-                for (&(r, c), &v) in tile.cells().iter().zip(seg.iter()) {
-                    out[i].set(r as usize, c as usize, v);
+            let cells = tile.len();
+            for (li, &i) in self.dyn_layers.iter().enumerate() {
+                let seg = &buf.out[li * cells..(li + 1) * cells];
+                let dest = out.layer_mut(i);
+                for (&flat, &v) in tile.flats().iter().zip(seg) {
+                    dest[flat as usize] = Q16_16::from_bits(v);
                 }
             }
             push_halo_span(ring, tile, t0, epoch);
@@ -785,7 +971,7 @@ impl CennSim {
                 tr.sink_ring(ring);
             }
         }
-        stats.cells += (dyn_layers.len() * self.tiles.n_cells()) as u64;
+        stats.cells += (self.dyn_layers.len() * self.tiles.n_cells()) as u64;
         stats
             .sweeps
             .push(("dynamic".into(), sweep_start.elapsed().as_nanos() as u64));
@@ -793,7 +979,6 @@ impl CennSim {
 
     /// One forward-Euler step: `x ← x + dt·f(x)` with a single wide-MAC
     /// rounding (the PE's second MAC, Fig. 7).
-    #[allow(clippy::needless_range_loop)] // parallel indexing of plan/states/k1
     fn step_euler(&mut self, stats: &mut StepStats) {
         self.algebraic_pass(stats);
         let track = self.recording() || self.track_residual;
@@ -801,20 +986,15 @@ impl CennSim {
         let mut k1 = std::mem::take(&mut self.aux);
         self.dyn_rhs(&mut k1, stats);
         let update_start = Instant::now();
-        for i in 0..self.plan.len() {
-            if self.plan[i].kind != LayerKind::Dynamic {
-                continue;
-            }
+        for &i in &self.dyn_layers {
             if track {
-                // The Heun snapshot grids are idle under Euler; reuse them
+                // The Heun snapshot slab is idle under Euler; reuse it
                 // so the residual is the exactly-applied |Δx|.
-                self.saved[i].copy_from(&self.states[i]);
+                self.saved
+                    .layer_mut(i)
+                    .copy_from_slice(self.states.layer_slice(i));
             }
-            for (x, k) in self.states[i]
-                .as_mut_slice()
-                .iter_mut()
-                .zip(k1[i].as_slice())
-            {
+            for (x, k) in self.states.layer_mut(i).iter_mut().zip(k1.layer_slice(i)) {
                 let mut acc = MacAcc::<16>::with_init(*x);
                 acc.mac(dt, *k);
                 *x = acc.resolve();
@@ -831,30 +1011,19 @@ impl CennSim {
     /// `x ← x + dt/2·(f(x) + f(x*))`. Two full sweeps — the cycle model
     /// charges the doubled convolution/LUT traffic via
     /// [`Integrator::passes`].
-    #[allow(clippy::needless_range_loop)] // parallel indexing of plan/states/k1/k2
     fn step_heun(&mut self, stats: &mut StepStats) {
         self.algebraic_pass(stats);
         let dt = self.model.dt_fx();
         let dt_half = Q16_16::from_f64(self.model.dt() / 2.0);
-        let n = self.plan.len();
 
         let mut k1 = std::mem::take(&mut self.aux);
         self.dyn_rhs(&mut k1, stats);
         // Save x into the persistent snapshot (no per-step allocation) and
         // advance to the predictor state.
         let update_start = Instant::now();
-        for i in 0..n {
-            self.saved[i].copy_from(&self.states[i]);
-        }
-        for i in 0..n {
-            if self.plan[i].kind != LayerKind::Dynamic {
-                continue;
-            }
-            for (x, k) in self.states[i]
-                .as_mut_slice()
-                .iter_mut()
-                .zip(k1[i].as_slice())
-            {
+        self.saved.copy_from(&self.states);
+        for &i in &self.dyn_layers {
+            for (x, k) in self.states.layer_mut(i).iter_mut().zip(k1.layer_slice(i)) {
                 let mut acc = MacAcc::<16>::with_init(*x);
                 acc.mac(dt, *k);
                 *x = acc.resolve();
@@ -867,20 +1036,19 @@ impl CennSim {
         let mut k2 = std::mem::take(&mut self.aux2);
         self.dyn_rhs(&mut k2, stats);
         let update_start = Instant::now();
-        for i in 0..n {
-            if self.plan[i].kind != LayerKind::Dynamic {
-                continue;
-            }
-            for (((x, x0), a), b2) in self.states[i]
-                .as_mut_slice()
+        for &i in &self.dyn_layers {
+            let x0s = self.saved.layer_slice(i);
+            for (((x, &x0), &a), &b2) in self
+                .states
+                .layer_mut(i)
                 .iter_mut()
-                .zip(self.saved[i].as_slice())
-                .zip(k1[i].as_slice())
-                .zip(k2[i].as_slice())
+                .zip(x0s)
+                .zip(k1.layer_slice(i))
+                .zip(k2.layer_slice(i))
             {
-                let mut acc = MacAcc::<16>::with_init(*x0);
-                acc.mac(dt_half, *a);
-                acc.mac(dt_half, *b2);
+                let mut acc = MacAcc::<16>::with_init(x0);
+                acc.mac(dt_half, a);
+                acc.mac(dt_half, b2);
                 *x = acc.resolve();
             }
         }
@@ -930,75 +1098,17 @@ struct EvalCtx<'a> {
     eval: FuncEval,
 }
 
-/// The LUT access a sweep worker needs: one mutable shard plus the shared
-/// read-only off-chip tables. When `timed`, each lookup accumulates its
-/// wall-clock cost into `lut_nanos` so the sweep can split its total into
-/// `lut_lookup` vs `template_apply` spans.
-struct ShardAccess<'a> {
-    tables: &'a [OffChipLut],
-    shard: &'a mut LutShard,
-    timed: bool,
-    lut_nanos: u64,
-}
-
-impl ShardAccess<'_> {
-    #[inline]
-    fn lookup_value(&mut self, pe: usize, func: FuncId, x: Q16_16) -> Q16_16 {
-        if self.timed {
-            let t0 = Instant::now();
-            let v = self.shard.lookup(self.tables, pe, func, x).0;
-            self.lut_nanos += t0.elapsed().as_nanos() as u64;
-            v
-        } else {
-            self.shard.lookup(self.tables, pe, func, x).0
-        }
-    }
-}
-
-/// One sweep's work item: a shard, its tile, a zeroed output buffer
-/// holding `segments` per-cell value segments (one per swept layer), and
-/// a span ring (disabled — zero-capacity, no allocation — unless the sim
-/// has a tracer attached).
-type WorkItem<'a> = (&'a mut LutShard, &'a Tile, Vec<Q16_16>, SpanRing);
+/// One sweep's work item: a shard, its tile, its persistent scratch
+/// buffers, and a span ring (disabled — zero-capacity, no allocation —
+/// unless the sim has a tracer attached).
+type WorkItem<'a> = (&'a mut LutShard, &'a Tile, &'a mut ShardBuf, SpanRing);
 
 /// Spans a shard can emit per sweep: lut_lookup + template_apply from the
 /// worker, halo_sync from the scatter loop.
 const SPANS_PER_SWEEP: usize = 4;
 
-/// Splits a finished shard sweep into its two phases: `lut_lookup` gets
-/// the nanoseconds accumulated around LUT hits, `template_apply` the
-/// remainder of the sweep. No-op when the ring is disabled (`t0` None).
-#[inline]
-fn push_sweep_spans(
-    ring: &mut SpanRing,
-    tile: &Tile,
-    t0: Option<Instant>,
-    epoch: Option<Instant>,
-    lut_nanos: u64,
-) {
-    let (Some(t0), Some(epoch)) = (t0, epoch) else {
-        return;
-    };
-    let total = t0.elapsed().as_nanos() as u64;
-    let start = t0.saturating_duration_since(epoch).as_nanos() as u64;
-    let track = tile.shard() as u32;
-    let lutn = lut_nanos.min(total);
-    ring.push(Span {
-        phase: Phase::LutLookup,
-        track,
-        start_nanos: start,
-        dur_nanos: lutn,
-    });
-    ring.push(Span {
-        phase: Phase::TemplateApply,
-        track,
-        start_nanos: start,
-        dur_nanos: total - lutn,
-    });
-}
-
 /// Records the scatter of one shard's tile buffer back into the global
-/// grid as a `halo_sync` span. No-op when the ring is disabled.
+/// slab as a `halo_sync` span. No-op when the ring is disabled.
 #[inline]
 fn push_halo_span(ring: &mut SpanRing, tile: &Tile, t0: Option<Instant>, epoch: Option<Instant>) {
     let (Some(t0), Some(epoch)) = (t0, epoch) else {
@@ -1012,23 +1122,24 @@ fn push_halo_span(ring: &mut SpanRing, tile: &Tile, t0: Option<Instant>, epoch: 
     });
 }
 
-/// Pairs each shard with its tile, output buffer, and span ring.
+/// Pairs each shard with its tile, scratch buffers, and span ring.
 fn make_work<'a>(
     shards: &'a mut [LutShard],
     tiles: &'a [Tile],
-    segments: usize,
+    bufs: &'a mut [ShardBuf],
     trace: bool,
 ) -> Vec<WorkItem<'a>> {
     shards
         .iter_mut()
         .zip(tiles.iter())
-        .map(|(s, t)| {
+        .zip(bufs.iter_mut())
+        .map(|((s, t), b)| {
             let ring = if trace {
                 SpanRing::new(SPANS_PER_SWEEP)
             } else {
                 SpanRing::disabled()
             };
-            (s, t, vec![Q16_16::ZERO; t.len() * segments], ring)
+            (s, t, b, ring)
         })
         .collect()
 }
@@ -1070,85 +1181,365 @@ fn compile(model: &CennModel) -> Vec<LayerPlan> {
         .collect()
 }
 
-/// Evaluates one cell's RHS. `leak_layer` is `Some(dest)` for dynamic
-/// layers (adds the `-x` term of eq. 1) and `None` for algebraic layers.
-#[allow(clippy::too_many_arguments)]
-fn eval_cell(
+/// Lowers one compiled layer plan to lane form: flattened taps with
+/// per-cell gather tables (boundary resolved once, at construction) and
+/// the dynamic weight sites with their LUT row contexts hoisted.
+fn build_lanes(
     plan: &LayerPlan,
-    states: &[Grid<Q16_16>],
-    inputs: &[Grid<Q16_16>],
-    lut: &mut ShardAccess<'_>,
-    ctx: &EvalCtx<'_>,
-    leak_layer: Option<usize>,
-    r: usize,
-    c: usize,
-    pe: usize,
-) -> Q16_16 {
-    let mut acc = MacAcc::<16>::new();
-    if let Some(dest) = leak_layer {
-        acc.mac(Q16_16::NEG_ONE, states[dest].get(r, c));
-    }
-    let (rows, cols) = (states[0].rows(), states[0].cols());
+    tiles: &TilePlan,
+    rows: usize,
+    cols: usize,
+    spec_of: &impl Fn(FuncId) -> LutSpec,
+) -> LayerLanes {
+    let mut taps = Vec::new();
+    let mut sites = Vec::new();
     for conv in &plan.convs {
         for &(dr, dc, ref w) in &conv.taps {
-            let operand = match conv.boundary.resolve(rows, cols, r, c, dr, dc) {
-                Some((nr, nc)) => {
-                    let raw = match conv.kind {
-                        TemplateKind::Input => inputs[conv.src].get(nr, nc),
-                        _ => states[conv.src].get(nr, nc),
-                    };
-                    match conv.kind {
-                        TemplateKind::Output => raw.cenn_output(),
-                        _ => raw,
-                    }
-                }
-                None => {
-                    let v = Q16_16::from_f64(conv.boundary.constant());
-                    match conv.kind {
-                        TemplateKind::Output => v.cenn_output(),
-                        _ => v,
-                    }
+            let output = conv.kind == TemplateKind::Output;
+            let input = conv.kind == TemplateKind::Input;
+            let const_val = {
+                let v = Q16_16::from_f64(conv.boundary.constant());
+                if output {
+                    v.cenn_output()
+                } else {
+                    v
                 }
             };
-            let weight = eval_weight(w, states, lut, ctx, r, c, pe);
-            acc.mac(weight, operand);
+            let mut gather = Vec::with_capacity(tiles.n_cells());
+            for tile in tiles.tiles() {
+                for &(r, c) in tile.cells() {
+                    let idx = conv
+                        .boundary
+                        .resolve(rows, cols, r as usize, c as usize, dr, dc)
+                        .map(|(nr, nc)| (nr * cols + nc) as u32)
+                        .unwrap_or(u32::MAX);
+                    gather.push(idx);
+                }
+            }
+            taps.push(LaneTap {
+                src: conv.src,
+                input,
+                output,
+                const_bits: const_val.to_bits(),
+                gather,
+            });
+            if let WeightExpr::Dyn { factors, .. } = w {
+                sites.push(site_geom(factors, spec_of));
+            }
         }
     }
     for w in &plan.offsets {
-        let v = eval_weight(w, states, lut, ctx, r, c, pe);
-        acc.add(v);
-    }
-    acc.resolve()
-}
-
-/// Evaluates a template weight at a cell, walking the PE's LUT shard for
-/// each dynamic factor (or computing exactly in [`FuncEval::Exact`]).
-fn eval_weight(
-    w: &WeightExpr,
-    states: &[Grid<Q16_16>],
-    lut: &mut ShardAccess<'_>,
-    ctx: &EvalCtx<'_>,
-    r: usize,
-    c: usize,
-    pe: usize,
-) -> Q16_16 {
-    match w {
-        WeightExpr::Const(v) => *v,
-        WeightExpr::Dyn { scale, factors } => {
-            let mut acc = *scale;
-            for f in factors {
-                let x = states[f.layer.index()].get(r, c);
-                let val = match ctx.eval {
-                    FuncEval::Lut => lut.lookup_value(pe, f.func, x),
-                    FuncEval::Exact => Q16_16::from_f64(ctx.lib.get(f.func).value(x.to_f64())),
-                };
-                acc *= val;
-            }
-            acc
+        if let WeightExpr::Dyn { factors, .. } = w {
+            sites.push(site_geom(factors, spec_of));
         }
     }
+    let ctxs = sites
+        .iter()
+        .flat_map(|s| s.factors.iter().map(|f| f.ctx))
+        .collect();
+    LayerLanes { taps, sites, ctxs }
 }
 
+fn site_geom(factors: &[Factor], spec_of: &impl Fn(FuncId) -> LutSpec) -> SiteGeom {
+    SiteGeom {
+        factors: factors
+            .iter()
+            .map(|f| LaneFactor {
+                layer: f.layer.index(),
+                func: f.func,
+                ctx: RowCtx::from_spec(f.func, spec_of(f.func)),
+            })
+            .collect(),
+    }
+}
+
+/// Re-reads a layer's weights from the plan for one sweep (template
+/// faults mutate the plan, so weights cannot be baked into the lanes).
+fn resolve_layer<'a>(
+    plan: &LayerPlan,
+    lanes: &'a LayerLanes,
+    layer: usize,
+    leak: bool,
+) -> SweepLayer<'a> {
+    let mut site = 0usize;
+    let mut site_scales = Vec::with_capacity(lanes.sites.len());
+    let mut resolve = |w: &WeightExpr, scales: &mut Vec<Q16_16>| match w {
+        WeightExpr::Const(v) => LaneWeight::Const(v.to_bits()),
+        WeightExpr::Dyn { scale, .. } => {
+            scales.push(*scale);
+            let s = site;
+            site += 1;
+            LaneWeight::Dyn(s)
+        }
+    };
+    let tap_weights = plan
+        .convs
+        .iter()
+        .flat_map(|conv| conv.taps.iter().map(|(_, _, w)| w))
+        .map(|w| resolve(w, &mut site_scales))
+        .collect();
+    let offset_weights = plan
+        .offsets
+        .iter()
+        .map(|w| resolve(w, &mut site_scales))
+        .collect();
+    SweepLayer {
+        layer,
+        leak,
+        lanes,
+        tap_weights,
+        offset_weights,
+        site_scales,
+    }
+}
+
+/// Runs one shard's share of a sweep: the weight pass (`lut_phase`
+/// only), the template pass, and the phase spans. `dynamic` marks the
+/// fused dynamic-layer sweep (the bench-regression test hook slows that
+/// sweep down when the `slow-template-apply` feature is on).
+#[allow(clippy::too_many_arguments)]
+fn sweep_shard(
+    shard: &mut LutShard,
+    tables: &[OffChipLut],
+    tile: &Tile,
+    tile_off: usize,
+    sweep: &[SweepLayer<'_>],
+    states: &SoaGrid<Q16_16>,
+    inputs: &SoaGrid<Q16_16>,
+    ctx: &EvalCtx<'_>,
+    buf: &mut ShardBuf,
+    lut_phase: bool,
+    dynamic: bool,
+    ring: &mut SpanRing,
+    epoch: Option<Instant>,
+) {
+    let t0 = ring.is_enabled().then(Instant::now);
+    if lut_phase {
+        weight_pass(shard, tables, tile, sweep, states, ctx, buf);
+    }
+    let t_mid = if lut_phase {
+        t0.map(|_| Instant::now())
+    } else {
+        None
+    };
+    template_pass(tile, tile_off, sweep, states, inputs, buf);
+    if cfg!(feature = "slow-template-apply")
+        && dynamic
+        && std::env::var_os("CENN_SLOW_TEMPLATE_APPLY").is_some()
+    {
+        std::thread::sleep(std::time::Duration::from_micros(500));
+    }
+    let (Some(t0), Some(epoch)) = (t0, epoch) else {
+        return;
+    };
+    let total = t0.elapsed().as_nanos() as u64;
+    let start = t0.saturating_duration_since(epoch).as_nanos() as u64;
+    let track = tile.shard() as u32;
+    if let Some(t_mid) = t_mid {
+        let lutn = (t_mid.saturating_duration_since(t0).as_nanos() as u64).min(total);
+        ring.push(Span {
+            phase: Phase::LutLookup,
+            track,
+            start_nanos: start,
+            dur_nanos: lutn,
+        });
+        ring.push(Span {
+            phase: Phase::TemplateApply,
+            track,
+            start_nanos: start,
+            dur_nanos: total - lutn,
+        });
+    } else {
+        ring.push(Span {
+            phase: Phase::TemplateApply,
+            track,
+            start_nanos: start,
+            dur_nanos: total,
+        });
+    }
+}
+
+/// The weight pass: evaluates every dynamic weight site of every swept
+/// layer for all of the tile's cells, leaving raw weight bits in
+/// `buf.site_w` (`[site][cell]` per layer, layers back to back).
+///
+/// Single-factor layers take the batched [`LutShard::lookup_row`] path;
+/// multi-site/multi-factor layers walk cells in the scalar order so the
+/// per-PE cache sequence — and therefore every counter — matches the
+/// scalar sweep bit for bit.
+fn weight_pass(
+    shard: &mut LutShard,
+    tables: &[OffChipLut],
+    tile: &Tile,
+    sweep: &[SweepLayer<'_>],
+    states: &SoaGrid<Q16_16>,
+    ctx: &EvalCtx<'_>,
+    buf: &mut ShardBuf,
+) {
+    let cells = tile.len();
+    let ShardBuf {
+        ops,
+        site_w,
+        fx,
+        fv,
+        ..
+    } = buf;
+    let mut base = 0usize;
+    for sl in sweep {
+        let n_sites = sl.lanes.sites.len();
+        if n_sites == 0 {
+            continue;
+        }
+        let batched =
+            n_sites == 1 && sl.lanes.sites[0].factors.len() == 1 && ctx.eval == FuncEval::Lut;
+        if batched {
+            let f = &sl.lanes.sites[0].factors[0];
+            let src = states.layer_slice(f.layer);
+            let xs = &mut ops[..cells];
+            for (x, &flat) in xs.iter_mut().zip(tile.flats()) {
+                *x = src[flat as usize].to_bits();
+            }
+            let dst = &mut site_w[base..base + cells];
+            shard.lookup_row(tables, &f.ctx, tile.pes(), xs, dst);
+            let scale = sl.site_scales[0];
+            for w in dst.iter_mut() {
+                *w = (scale * Q16_16::from_bits(*w)).to_bits();
+            }
+        } else if ctx.eval == FuncEval::Lut {
+            // General case: all of the layer's factors batched per cell
+            // through the interleaved walk, then the per-site products.
+            // The lookup order (cells outer, flattened factors inner) is
+            // exactly the scalar nesting, so counters stay bit-identical.
+            let k = sl.lanes.ctxs.len();
+            let xs = &mut fx[..cells * k];
+            let mut pos = 0usize;
+            for site in &sl.lanes.sites {
+                for f in &site.factors {
+                    let src = states.layer_slice(f.layer);
+                    for (j, &flat) in tile.flats().iter().enumerate() {
+                        xs[j * k + pos] = src[flat as usize].to_bits();
+                    }
+                    pos += 1;
+                }
+            }
+            let vals = &mut fv[..cells * k];
+            shard.lookup_cells(tables, &sl.lanes.ctxs, tile.pes(), xs, vals);
+            let mut pos = 0usize;
+            for (si, site) in sl.lanes.sites.iter().enumerate() {
+                let nf = site.factors.len();
+                let scale = sl.site_scales[si];
+                let dst = &mut site_w[base + si * cells..base + (si + 1) * cells];
+                for (j, w) in dst.iter_mut().enumerate() {
+                    let mut acc = scale;
+                    for v in &vals[j * k + pos..j * k + pos + nf] {
+                        acc *= Q16_16::from_bits(*v);
+                    }
+                    *w = acc.to_bits();
+                }
+                pos += nf;
+            }
+        } else {
+            // Exact (f64 library) evaluation stays scalar: it is the
+            // accuracy-validation path, not the hot path.
+            for (j, &flat) in tile.flats().iter().enumerate() {
+                for (si, site) in sl.lanes.sites.iter().enumerate() {
+                    let mut w = sl.site_scales[si];
+                    for f in &site.factors {
+                        let x = states.layer_slice(f.layer)[flat as usize];
+                        w *= Q16_16::from_f64(ctx.lib.get(f.func).value(x.to_f64()));
+                    }
+                    site_w[base + si * cells + j] = w.to_bits();
+                }
+            }
+        }
+        base += n_sites * cells;
+    }
+}
+
+/// The template pass: for each swept layer, initializes the accumulator
+/// lanes (leak term for dynamic layers), streams every tap's operands
+/// through its gather table into the unrolled lane MAC kernels, adds
+/// the offset terms, and resolves to Q16.16 in `buf.out`.
+///
+/// Per cell this performs exactly the scalar `MacAcc` op sequence —
+/// leak, taps in flattened order, offsets in order, one resolve — so
+/// the saturating i64 accumulator state matches the scalar sweep bit
+/// for bit at every step.
+fn template_pass(
+    tile: &Tile,
+    tile_off: usize,
+    sweep: &[SweepLayer<'_>],
+    states: &SoaGrid<Q16_16>,
+    inputs: &SoaGrid<Q16_16>,
+    buf: &mut ShardBuf,
+) {
+    let cells = tile.len();
+    let ShardBuf {
+        out,
+        accs,
+        ops,
+        site_w,
+        ..
+    } = buf;
+    let mut site_base = 0usize;
+    for (li, sl) in sweep.iter().enumerate() {
+        let accs = &mut accs[..cells];
+        if sl.leak {
+            let src = states.layer_slice(sl.layer);
+            let xs = &mut ops[..cells];
+            for (x, &flat) in xs.iter_mut().zip(tile.flats()) {
+                *x = src[flat as usize].to_bits();
+            }
+            lanes::leak_lanes::<16>(accs, xs);
+        } else {
+            accs.fill(0);
+        }
+        for (tap, w) in sl.lanes.taps.iter().zip(&sl.tap_weights) {
+            let src = if tap.input {
+                inputs.layer_slice(tap.src)
+            } else {
+                states.layer_slice(tap.src)
+            };
+            let gather = &tap.gather[tile_off..tile_off + cells];
+            let ops = &mut ops[..cells];
+            if tap.output {
+                for (o, &gi) in ops.iter_mut().zip(gather) {
+                    *o = if gi == u32::MAX {
+                        tap.const_bits
+                    } else {
+                        src[gi as usize].cenn_output().to_bits()
+                    };
+                }
+            } else {
+                for (o, &gi) in ops.iter_mut().zip(gather) {
+                    *o = if gi == u32::MAX {
+                        tap.const_bits
+                    } else {
+                        src[gi as usize].to_bits()
+                    };
+                }
+            }
+            match *w {
+                LaneWeight::Const(bits) => lanes::mac_lanes(accs, bits, ops),
+                LaneWeight::Dyn(s) => {
+                    let ws = &site_w[site_base + s * cells..site_base + (s + 1) * cells];
+                    lanes::mac_lanes_dyn(accs, ws, ops);
+                }
+            }
+        }
+        for w in &sl.offset_weights {
+            match *w {
+                LaneWeight::Const(bits) => lanes::add_lanes::<16>(accs, bits),
+                LaneWeight::Dyn(s) => {
+                    let ws = &site_w[site_base + s * cells..site_base + (s + 1) * cells];
+                    lanes::add_lanes_dyn::<16>(accs, ws);
+                }
+            }
+        }
+        lanes::resolve_lanes::<16>(accs, &mut out[li * cells..(li + 1) * cells]);
+        site_base += sl.lanes.sites.len() * cells;
+    }
+}
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1648,9 +2039,10 @@ mod tests {
             let (sim, _) = heat_sim(12, 10, 1.0, 0.1);
             sim.tile_plan().tiles().len() as u64
         };
-        // Euler heat model: per step one dynamic sweep (2 spans/shard) +
+        // Euler heat model: per step one dynamic sweep (1 span/shard —
+        // heat has no dynamic weight sites, so no lut_lookup spans) +
         // one scatter (1 span/shard) + one update pass (1 span).
-        assert_eq!(serial[Phase::LutLookup.index()], 5 * n_shards);
+        assert_eq!(serial[Phase::LutLookup.index()], 0);
         assert_eq!(serial[Phase::TemplateApply.index()], 5 * n_shards);
         assert_eq!(serial[Phase::HaloSync.index()], 5 * n_shards);
         assert_eq!(serial[Phase::Integrate.index()], 5);

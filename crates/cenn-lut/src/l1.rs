@@ -14,6 +14,13 @@ use crate::func::FuncId;
 /// every nonlinear function the program uses, exactly as one physical L1
 /// serves all templates in the hardware.
 ///
+/// The blocks are stored structure-of-arrays: one dense `u64` tag word per
+/// block (`func << 32 | idx`, with `u64::MAX` as the never-matching empty
+/// sentinel — real tags can't reach it because `FuncId` is 16-bit) beside
+/// a parallel entry array. The tag probe is then a branch-free scan over
+/// one cache line — the software analogue of the hardware's parallel
+/// multi-bit XNOR match — instead of chasing `Option` discriminants.
+///
 /// # Examples
 ///
 /// ```
@@ -27,10 +34,19 @@ use crate::func::FuncId;
 /// ```
 #[derive(Debug, Clone)]
 pub struct L1Lut {
-    blocks: Vec<Option<(FuncId, SampleIdx, LutEntry)>>,
+    tags: Vec<u64>,
+    entries: Vec<LutEntry>,
     write_ptr: usize,
     hits: u64,
     misses: u64,
+}
+
+/// The never-matching tag of an empty block.
+const EMPTY_TAG: u64 = u64::MAX;
+
+#[inline]
+fn tag_of(func: FuncId, idx: SampleIdx) -> u64 {
+    ((func.0 as u64) << 32) | (idx.0 as u32 as u64)
 }
 
 impl L1Lut {
@@ -42,7 +58,8 @@ impl L1Lut {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "L1 LUT needs at least one block");
         Self {
-            blocks: vec![None; capacity],
+            tags: vec![EMPTY_TAG; capacity],
+            entries: vec![LutEntry::default(); capacity],
             write_ptr: 0,
             hits: 0,
             misses: 0,
@@ -51,27 +68,62 @@ impl L1Lut {
 
     /// Capacity in blocks.
     pub fn capacity(&self) -> usize {
-        self.blocks.len()
+        self.tags.len()
     }
 
     /// Looks up `(func, idx)`. Returns the entry on a hit and records the
     /// outcome in the statistics counters.
+    #[inline]
     pub fn lookup(&mut self, func: FuncId, idx: SampleIdx) -> Option<LutEntry> {
-        for block in self.blocks.iter().flatten() {
-            if block.0 == func && block.1 == idx {
+        let tag = tag_of(func, idx);
+        // The default 4-block L1 probes all tags at once — the software
+        // analogue of the hardware's parallel XNOR match — with a single
+        // hit/miss branch instead of an early-exit scan that mispredicts
+        // on the matching position.
+        if let &[t0, t1, t2, t3] = self.tags.as_slice() {
+            let (t0, t1, t2, t3) = (t0 == tag, t1 == tag, t2 == tag, t3 == tag);
+            if t0 | t1 | t2 | t3 {
+                let i = if t0 {
+                    0
+                } else if t1 {
+                    1
+                } else if t2 {
+                    2
+                } else {
+                    3
+                };
                 self.hits += 1;
-                return Some(block.2);
+                return Some(self.entries[i]);
+            }
+            self.misses += 1;
+            return None;
+        }
+        for (i, &t) in self.tags.iter().enumerate() {
+            if t == tag {
+                self.hits += 1;
+                return Some(self.entries[i]);
             }
         }
         self.misses += 1;
         None
     }
 
+    /// Records a hit that was proven without probing (the shard's row
+    /// walk memoizes `(func, idx)` between fills, see
+    /// [`crate::LutShard::lookup_row`]); keeps the counters identical to
+    /// an actual probe.
+    #[inline]
+    pub(crate) fn count_hit(&mut self) {
+        self.hits += 1;
+    }
+
     /// Fills a block through the cyclic write pointer (called on refill from
     /// L2).
+    #[inline]
     pub fn fill(&mut self, func: FuncId, idx: SampleIdx, entry: LutEntry) {
-        self.blocks[self.write_ptr] = Some((func, idx, entry));
-        self.write_ptr = (self.write_ptr + 1) % self.blocks.len();
+        self.tags[self.write_ptr] = tag_of(func, idx);
+        self.entries[self.write_ptr] = entry;
+        self.write_ptr = (self.write_ptr + 1) % self.tags.len();
     }
 
     /// `(hits, misses)` since construction or the last [`reset_stats`].
@@ -100,7 +152,7 @@ impl L1Lut {
 
     /// Invalidates all blocks and resets the write pointer.
     pub fn invalidate(&mut self) {
-        self.blocks.iter_mut().for_each(|b| *b = None);
+        self.tags.iter_mut().for_each(|t| *t = EMPTY_TAG);
         self.write_ptr = 0;
     }
 }

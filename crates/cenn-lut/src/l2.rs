@@ -17,12 +17,26 @@ pub const DRAM_BURST_POINTS: i32 = 8;
 /// index. The modulo by power-of-2 is used as the size of L2 LUT is 2^N."
 /// The same hash places refill data, keeping read and write addressing
 /// synchronized.
+///
+/// Sets are stored structure-of-arrays like the L1: one dense `u64` tag
+/// word per set (`func << 32 | idx`, `u64::MAX` = empty) beside a parallel
+/// entry array, so the probe is one tag compare instead of unpacking an
+/// `Option` tuple — the layout the hot-path walk streams over.
 #[derive(Debug, Clone)]
 pub struct L2Lut {
-    sets: Vec<Option<(FuncId, SampleIdx, LutEntry)>>,
+    tags: Vec<u64>,
+    entries: Vec<LutEntry>,
     mask: usize,
     hits: u64,
     misses: u64,
+}
+
+/// The never-matching tag of an empty set.
+const EMPTY_TAG: u64 = u64::MAX;
+
+#[inline]
+fn tag_of(func: FuncId, idx: SampleIdx) -> u64 {
+    ((func.0 as u64) << 32) | (idx.0 as u32 as u64)
 }
 
 impl L2Lut {
@@ -38,7 +52,8 @@ impl L2Lut {
             "L2 LUT capacity must be a power of two, got {capacity}"
         );
         Self {
-            sets: vec![None; capacity],
+            tags: vec![EMPTY_TAG; capacity],
+            entries: vec![LutEntry::default(); capacity],
             mask: capacity - 1,
             hits: 0,
             misses: 0,
@@ -47,7 +62,7 @@ impl L2Lut {
 
     /// Capacity in entries.
     pub fn capacity(&self) -> usize {
-        self.sets.len()
+        self.tags.len()
     }
 
     #[inline]
@@ -59,13 +74,12 @@ impl L2Lut {
     }
 
     /// Looks up `(func, idx)`, recording hit/miss statistics.
+    #[inline]
     pub fn lookup(&mut self, func: FuncId, idx: SampleIdx) -> Option<LutEntry> {
         let set = self.set_of(func, idx);
-        if let Some((f, i, e)) = self.sets[set] {
-            if f == func && i == idx {
-                self.hits += 1;
-                return Some(e);
-            }
+        if self.tags[set] == tag_of(func, idx) {
+            self.hits += 1;
+            return Some(self.entries[set]);
         }
         self.misses += 1;
         None
@@ -73,9 +87,11 @@ impl L2Lut {
 
     /// Installs one entry via the modulo hash (used for each point of a
     /// DRAM burst).
+    #[inline]
     pub fn fill(&mut self, func: FuncId, idx: SampleIdx, entry: LutEntry) {
         let set = self.set_of(func, idx);
-        self.sets[set] = Some((func, idx, entry));
+        self.tags[set] = tag_of(func, idx);
+        self.entries[set] = entry;
     }
 
     /// The 8-aligned burst window `[base, base + 8)` that a miss on `idx`
@@ -108,7 +124,7 @@ impl L2Lut {
 
     /// Invalidates all sets.
     pub fn invalidate(&mut self) {
-        self.sets.iter_mut().for_each(|s| *s = None);
+        self.tags.iter_mut().for_each(|t| *t = EMPTY_TAG);
     }
 }
 

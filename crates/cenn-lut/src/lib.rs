@@ -56,6 +56,6 @@ pub use hierarchy::{
 };
 pub use l1::L1Lut;
 pub use l2::{L2Lut, DRAM_BURST_POINTS};
-pub use shard::LutShard;
+pub use shard::{LutShard, RowCtx};
 pub use stats::LutStats;
 pub use tum::{AlphaC3, Tum, TumEval};

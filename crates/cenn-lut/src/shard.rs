@@ -1,6 +1,7 @@
 //! One independently-owned slice of the LUT hierarchy: an L2 LUT plus the
 //! L1 LUTs of the PEs attached to it.
 
+use crate::builder::LutSpec;
 use crate::entry::SampleIdx;
 use crate::func::FuncId;
 use crate::hierarchy::{AccessOutcome, Level, OffChipLut};
@@ -10,6 +11,57 @@ use crate::stats::LutStats;
 use crate::tum::Tum;
 use crate::LutEntry;
 use fixedpt::Q16_16;
+
+/// Hoisted per-function lookup context for batched row lookups.
+///
+/// One table probe per *cell* repeats the same work: fetch the table
+/// reference, read its spec, derive the index shift, clamp against the
+/// same bounds. `RowCtx` lifts all of it out of the per-cell loop — the
+/// caller builds one context per `(function)` factor and the shard then
+/// only shifts, clamps and walks the cache per cell. The derived indices
+/// are identical to `OffChipLut::clamp_idx(SampleIdx::of(..))`, so the
+/// batched path is bit-identical to scalar lookups, counters included.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowCtx {
+    /// The nonlinear function the lookups target.
+    pub func: FuncId,
+    /// Index shift: spacing is `2^-log2_inv_spacing`.
+    pub log2_inv_spacing: u32,
+    /// First valid sample index (inclusive).
+    pub min_idx: i32,
+    /// Last valid sample index (inclusive).
+    pub max_idx: i32,
+}
+
+impl RowCtx {
+    /// Builds the context for `func` from the off-chip table set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is not in `tables`.
+    pub fn new(tables: &[OffChipLut], func: FuncId) -> Self {
+        Self::from_spec(func, tables[func.0 as usize].spec())
+    }
+
+    /// Builds the context directly from a sampling spec — for callers
+    /// that know the spec without borrowing the table set.
+    pub fn from_spec(func: FuncId, spec: LutSpec) -> Self {
+        Self {
+            func,
+            log2_inv_spacing: spec.log2_inv_spacing,
+            min_idx: spec.min_idx,
+            max_idx: spec.max_idx,
+        }
+    }
+
+    /// The clamped sample index of `x` — exactly
+    /// `table.clamp_idx(SampleIdx::of(x, spacing))`.
+    #[inline]
+    pub fn idx_of(&self, x: Q16_16) -> SampleIdx {
+        let raw = SampleIdx::of(x, self.log2_inv_spacing).0;
+        SampleIdx(raw.clamp(self.min_idx, self.max_idx))
+    }
+}
 
 /// The mutable cache state owned by one L2 group: the shared L2 LUT, the
 /// L1 LUTs of the (up to [`crate::PES_PER_L2`]) PEs it serves, a TUM op
@@ -95,8 +147,21 @@ impl LutShard {
         let table = &tables[func.0 as usize];
         let spacing = table.spec().log2_inv_spacing;
         let idx = table.clamp_idx(SampleIdx::of(x, spacing));
-        self.stats.accesses += 1;
+        self.walk(table, local, func, idx)
+    }
 
+    /// The L1 → L2 → DRAM walk for an already-derived clamped index.
+    /// Every counter update of the scalar path lives here, so batched and
+    /// scalar lookups share one accounting truth.
+    #[inline]
+    fn walk(
+        &mut self,
+        table: &OffChipLut,
+        local: usize,
+        func: FuncId,
+        idx: SampleIdx,
+    ) -> (LutEntry, Level) {
+        self.stats.accesses += 1;
         if let Some(entry) = self.l1s[local].lookup(func, idx) {
             self.stats.l1_hits += 1;
             return (entry, Level::L1);
@@ -107,19 +172,19 @@ impl LutShard {
             return (entry, Level::L2);
         }
         // DRAM burst: fetch the 8-aligned window and install into L2 via
-        // the same hash used for reads.
+        // the same hash used for reads. Out-of-range window points clamp
+        // onto the table edge, so filling the clamped sub-range once is
+        // exactly the per-point loop's final state (refilling a set with
+        // the same entry is idempotent).
         self.stats.dram_fetches += 1;
         self.stats.dram_points += DRAM_BURST_POINTS as u64;
         let window = L2Lut::burst_window(idx);
-        let mut wanted = table.read(idx);
-        for i in window {
-            let widx = table.clamp_idx(SampleIdx(i));
-            let entry = table.read(widx);
-            self.l2.fill(func, widx, entry);
-            if widx == idx {
-                wanted = entry;
-            }
+        let lo = table.clamp_idx(SampleIdx(window.start)).0;
+        let hi = table.clamp_idx(SampleIdx(window.end - 1)).0;
+        for i in lo..=hi {
+            self.l2.fill(func, SampleIdx(i), table.read(SampleIdx(i)));
         }
+        let wanted = table.read(idx);
         self.l1s[local].fill(func, idx, wanted);
         (wanted, Level::Dram)
     }
@@ -151,6 +216,178 @@ impl LutShard {
                 exact: eval.exact,
             },
         )
+    }
+
+    /// Hoisted-context look-up: like [`lookup`](Self::lookup) but with the
+    /// table spec pre-resolved into `ctx`, so the per-cell work is just
+    /// shift → clamp → cache walk → TUM. Bit-identical to the scalar path
+    /// in both value and statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is not owned by this shard or `ctx.func` is not in
+    /// `tables`.
+    #[inline]
+    pub fn lookup_at(
+        &mut self,
+        tables: &[OffChipLut],
+        ctx: &RowCtx,
+        pe: usize,
+        x: Q16_16,
+    ) -> Q16_16 {
+        let local = self.local_pe(pe);
+        let idx = ctx.idx_of(x);
+        let (entry, _) = self.walk(&tables[ctx.func.0 as usize], local, ctx.func, idx);
+        let eval = self.tum.eval(entry, x, ctx.log2_inv_spacing);
+        if eval.exact {
+            self.stats.exact_hits += 1;
+        }
+        eval.value
+    }
+
+    /// Batched row look-up: evaluates `ctx.func` for a whole lane of raw
+    /// Q16.16 states at once, writing raw result bits to `out`.
+    ///
+    /// `pes[j]` is the global PE issuing lane `j`'s lookup. The lanes are
+    /// processed in slice order with the exact scalar walk, so values,
+    /// cache contents and every counter match a sequence of
+    /// [`lookup`](Self::lookup) calls bit for bit — the win is the hoisted
+    /// index math and table dispatch, not a semantic change. Allocates
+    /// nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ, a PE is not owned by this
+    /// shard, or `ctx.func` is not in `tables`.
+    pub fn lookup_row(
+        &mut self,
+        tables: &[OffChipLut],
+        ctx: &RowCtx,
+        pes: &[u32],
+        xs: &[i32],
+        out: &mut [i32],
+    ) {
+        assert_eq!(pes.len(), xs.len(), "lane length mismatch");
+        assert_eq!(xs.len(), out.len(), "lane length mismatch");
+        let table = &tables[ctx.func.0 as usize];
+        let memoize = self.l1s.len() <= MEMO_PES;
+        let mut memos = [Memo::EMPTY; MEMO_PES];
+        let mut epochs = [0u32; MEMO_PES];
+        for ((&pe, &x_bits), o) in pes.iter().zip(xs).zip(out.iter_mut()) {
+            let x = Q16_16::from_bits(x_bits);
+            let local = self.local_pe(pe as usize);
+            let idx = ctx.idx_of(x);
+            let entry = if memoize {
+                self.walk_memoized(table, local, ctx.func, idx, &mut memos[local], &mut epochs)
+            } else {
+                self.walk(table, local, ctx.func, idx).0
+            };
+            let eval = self.tum.eval(entry, x, ctx.log2_inv_spacing);
+            if eval.exact {
+                self.stats.exact_hits += 1;
+            }
+            *o = eval.value.to_bits();
+        }
+    }
+
+    /// Batched multi-function look-up: evaluates `ctxs.len()` functions
+    /// per cell, cell-major with the functions innermost, writing raw
+    /// result bits to `out` in the same `[cell][function]` interleaved
+    /// layout as `xs`.
+    ///
+    /// This is the batched form of a scalar loop that issues one
+    /// [`lookup_at`](Self::lookup_at) per function inside a per-cell
+    /// loop — e.g. a multi-factor dynamic template weight. The access
+    /// order is exactly that scalar nesting, so cache contents and every
+    /// counter stay bit-identical; the hoisting (one PE translation per
+    /// cell, slice-driven iteration) is the only difference. Allocates
+    /// nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs`/`out` are not `pes.len() * ctxs.len()` long, a PE
+    /// is not owned by this shard, or a `ctx.func` is not in `tables`.
+    pub fn lookup_cells(
+        &mut self,
+        tables: &[OffChipLut],
+        ctxs: &[RowCtx],
+        pes: &[u32],
+        xs: &[i32],
+        out: &mut [i32],
+    ) {
+        let k = ctxs.len();
+        assert_eq!(xs.len(), pes.len() * k, "lane length mismatch");
+        assert_eq!(xs.len(), out.len(), "lane length mismatch");
+        let memoize = k <= MEMO_FACTORS && self.l1s.len() <= MEMO_PES;
+        let mut memos = [[Memo::EMPTY; MEMO_PES]; MEMO_FACTORS];
+        let mut epochs = [0u32; MEMO_PES];
+        for ((&pe, cell_xs), cell_out) in pes
+            .iter()
+            .zip(xs.chunks_exact(k))
+            .zip(out.chunks_exact_mut(k))
+        {
+            let local = self.local_pe(pe as usize);
+            for (kk, ((ctx, &x_bits), o)) in ctxs
+                .iter()
+                .zip(cell_xs)
+                .zip(cell_out.iter_mut())
+                .enumerate()
+            {
+                let x = Q16_16::from_bits(x_bits);
+                let idx = ctx.idx_of(x);
+                let table = &tables[ctx.func.0 as usize];
+                let entry = if memoize {
+                    self.walk_memoized(
+                        table,
+                        local,
+                        ctx.func,
+                        idx,
+                        &mut memos[kk][local],
+                        &mut epochs,
+                    )
+                } else {
+                    self.walk(table, local, ctx.func, idx).0
+                };
+                let eval = self.tum.eval(entry, x, ctx.log2_inv_spacing);
+                if eval.exact {
+                    self.stats.exact_hits += 1;
+                }
+                *o = eval.value.to_bits();
+            }
+        }
+    }
+
+    /// One batched lookup through the per-PE memo: if the lane's index
+    /// matches what this PE provenly had in its L1 at the current fill
+    /// epoch, the L1 hit is replayed (same counters) without re-probing;
+    /// otherwise the full walk runs and any refill advances the epoch,
+    /// invalidating every stale memo for that PE.
+    #[inline]
+    fn walk_memoized(
+        &mut self,
+        table: &OffChipLut,
+        local: usize,
+        func: FuncId,
+        idx: SampleIdx,
+        memo: &mut Memo,
+        epochs: &mut [u32],
+    ) -> LutEntry {
+        if memo.idx == idx.0 && memo.epoch == epochs[local] {
+            self.stats.accesses += 1;
+            self.stats.l1_hits += 1;
+            self.l1s[local].count_hit();
+            return memo.entry;
+        }
+        let (entry, level) = self.walk(table, local, func, idx);
+        if level != Level::L1 {
+            epochs[local] = epochs[local].wrapping_add(1);
+        }
+        *memo = Memo {
+            idx: idx.0,
+            epoch: epochs[local],
+            entry,
+        };
+        entry
     }
 
     /// Statistics accumulated by this shard's PEs.
@@ -193,6 +430,34 @@ impl LutShard {
     }
 }
 
+/// A `(sample index, fill epoch, entry)` triple proving an entry was in a
+/// PE's L1 the last time the batched walk touched it. `epoch == u32::MAX`
+/// can never match a live epoch counter, so it doubles as "empty".
+#[derive(Clone, Copy)]
+struct Memo {
+    idx: i32,
+    epoch: u32,
+    entry: LutEntry,
+}
+
+impl Memo {
+    const EMPTY: Self = Self {
+        idx: 0,
+        epoch: u32::MAX,
+        entry: LutEntry {
+            l_p: Q16_16::ZERO,
+            a1: Q16_16::ZERO,
+            a2: Q16_16::ZERO,
+            a3: Q16_16::ZERO,
+        },
+    };
+}
+
+/// Stack bounds for the batched-walk memo: factors per site sweep and
+/// local PEs per shard. Larger shapes fall back to the unmemoized walk.
+const MEMO_FACTORS: usize = 4;
+const MEMO_PES: usize = 8;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +491,59 @@ mod tests {
         assert_eq!(shard.stats().accesses, 3);
         assert_eq!(shard.pe_stats(5), (1, 1));
         assert_eq!(shard.pe_stats(6), (0, 1));
+    }
+
+    #[test]
+    fn batched_row_lookup_matches_scalar_bit_for_bit() {
+        let (tables, f) = tables();
+        let ctx = RowCtx::new(&tables, f);
+        // Values spanning exact sample points, interpolated points and
+        // out-of-range (clamped) states.
+        let xs: Vec<i32> = [-20.0, -2.5, -1.0, 0.0, 0.25, 1.0, 2.5, 3.75, 17.0, 2.5]
+            .iter()
+            .map(|v| Q16_16::from_f64(*v).to_bits())
+            .collect();
+        let pes: Vec<u32> = (0..xs.len() as u32).map(|j| 4 + (j % 4)).collect();
+
+        let mut scalar = LutShard::new(4, 4, 4, 32);
+        let want: Vec<i32> = pes
+            .iter()
+            .zip(&xs)
+            .map(|(&pe, &x)| {
+                scalar
+                    .lookup(&tables, pe as usize, f, Q16_16::from_bits(x))
+                    .0
+                    .to_bits()
+            })
+            .collect();
+
+        let mut batched = LutShard::new(4, 4, 4, 32);
+        let mut got = vec![0i32; xs.len()];
+        batched.lookup_row(&tables, &ctx, &pes, &xs, &mut got);
+
+        assert_eq!(got, want, "values must match the scalar walk");
+        assert_eq!(batched.stats(), scalar.stats(), "counters must match");
+        for pe in 4..8 {
+            assert_eq!(batched.pe_stats(pe), scalar.pe_stats(pe));
+        }
+        assert_eq!(batched.l2_stats(), scalar.l2_stats());
+        assert_eq!(batched.mac_count(), scalar.mac_count());
+    }
+
+    #[test]
+    fn lookup_at_reuses_hoisted_context() {
+        let (tables, f) = tables();
+        let ctx = RowCtx::new(&tables, f);
+        let mut a = LutShard::new(0, 2, 4, 32);
+        let mut b = LutShard::new(0, 2, 4, 32);
+        for x in [-1.5, 0.5, 0.5, 2.0] {
+            let x = Q16_16::from_f64(x);
+            assert_eq!(
+                a.lookup_at(&tables, &ctx, 1, x),
+                b.lookup(&tables, 1, f, x).0
+            );
+        }
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

@@ -38,6 +38,7 @@ impl Tum {
 
     /// Evaluates the entry at state `x` with sample spacing
     /// `2^-log2_inv_spacing`.
+    #[inline]
     pub fn eval(&mut self, entry: LutEntry, x: Q16_16, log2_inv_spacing: u32) -> TumEval {
         let delta = Self::delta(x, log2_inv_spacing);
         if delta.is_zero() {

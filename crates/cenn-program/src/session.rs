@@ -1,7 +1,7 @@
 //! The execution session: functional simulation feeding the cycle model.
 
 use cenn_arch::{BankTrafficModel, CycleModel, MemorySpec, PeArrayConfig, RunEstimate};
-use cenn_core::{CennModel, CennSim, FuncEval, Grid, LayerId, ModelError};
+use cenn_core::{CennModel, CennSim, FuncEval, LayerId, LayerView, ModelError};
 use cenn_obs::{Event, RecorderHandle};
 use fixedpt::Q16_16;
 
@@ -117,8 +117,8 @@ impl SolverSession {
         guard.run_with(&mut self.sim, n, |_| {})
     }
 
-    /// A layer's state.
-    pub fn state(&self, layer: LayerId) -> &Grid<Q16_16> {
+    /// A layer's state (a zero-copy view into the state slab).
+    pub fn state(&self, layer: LayerId) -> LayerView<'_, Q16_16> {
         self.sim.state(layer)
     }
 

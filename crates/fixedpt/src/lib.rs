@@ -30,11 +30,13 @@
 //! assert_eq!(a.int_part(), 1);
 //! ```
 
-#![forbid(unsafe_code)]
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 mod acc;
 mod fx;
+pub mod lanes;
 
 pub use acc::MacAcc;
 pub use fx::{Fx, ParseFxError};

@@ -1,0 +1,116 @@
+//! Memory-layout contract for the structure-of-arrays state slab.
+//!
+//! The solver stores every layer's Q16.16 words in one contiguous slab
+//! ([`SoaGrid`], see DESIGN.md "Memory layout"). These tests pin the two
+//! guarantees the layout refactor made:
+//!
+//! * converting between the per-layer array-of-grids form and the slab is
+//!   a **bit-identical round trip**, in both directions, for arbitrary
+//!   shapes and contents;
+//! * a full sweep under the slab layout reproduces the **pre-refactor**
+//!   trajectory exactly — checked against the committed `CENNCKPT`
+//!   fixture captured before the layout change, at 1 and at 4 worker
+//!   threads.
+
+use cenn::core::{Grid, SoaGrid};
+use cenn::equations::{DynamicalSystem, Fisher, FixedRunner};
+use cenn::fx::Q16_16;
+use cenn::guard::Checkpoint;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures")
+        .join(name)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// AoS -> SoA -> AoS is the identity on raw bits, and element access
+    /// through the slab agrees with the per-grid form at every site.
+    #[test]
+    fn aos_soa_round_trip_is_bit_identical(
+        n_layers in 1usize..5,
+        rows in 1usize..9,
+        cols in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        // Deterministic pseudo-random Q16.16 bit patterns from the seed;
+        // xorshift keeps the test independent of external RNG crates.
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            Q16_16::from_bits(s as i32)
+        };
+        let grids: Vec<Grid<Q16_16>> = (0..n_layers)
+            .map(|_| Grid::from_fn(rows, cols, |_, _| next()))
+            .collect();
+
+        let soa = SoaGrid::from_grids(&grids);
+        prop_assert_eq!(soa.to_grids(), grids.clone());
+
+        for (i, g) in grids.iter().enumerate() {
+            prop_assert_eq!(soa.layer_slice(i), g.as_slice());
+            for r in 0..rows {
+                for c in 0..cols {
+                    prop_assert_eq!(soa.get(i, r, c), g.get(r, c));
+                }
+            }
+        }
+    }
+
+    /// SoA -> AoS -> SoA is equally lossless: a slab rebuilt from its own
+    /// grid views compares equal (PartialEq covers shape and every word).
+    #[test]
+    fn soa_aos_round_trip_is_bit_identical(
+        n_layers in 1usize..5,
+        rows in 1usize..9,
+        cols in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let mut s = seed | 1;
+        let mut soa = SoaGrid::new(n_layers, rows, cols, Q16_16::ZERO);
+        for word in soa.slab_mut() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            *word = Q16_16::from_bits(s as i32);
+        }
+        let rebuilt = SoaGrid::from_grids(&soa.to_grids());
+        prop_assert_eq!(rebuilt, soa);
+    }
+}
+
+/// A full solver sweep under the slab layout must land on exactly the
+/// state the pre-refactor solver produced: the committed step-10 Fisher
+/// checkpoint predates the SoA layout, so capturing the same step now and
+/// comparing bytes proves the refactor is bit-identical end to end.
+fn assert_matches_prerefactor_fixture(threads: usize) {
+    let setup = Fisher::default().build(16, 16).expect("setup");
+    let mut runner = FixedRunner::new(setup).expect("runner");
+    runner.set_threads(threads);
+    runner.run(10);
+    let ckpt = Checkpoint::capture(runner.sim());
+    let mut bytes = Vec::new();
+    ckpt.write_to(&mut bytes).unwrap();
+    let golden = std::fs::read(fixture_path("fisher_step10.ckpt")).unwrap();
+    assert_eq!(
+        bytes, golden,
+        "threads={threads}: sweep under the SoA layout diverged from the \
+         pre-refactor golden checkpoint"
+    );
+}
+
+#[test]
+fn full_sweep_matches_prerefactor_golden_serial() {
+    assert_matches_prerefactor_fixture(1);
+}
+
+#[test]
+fn full_sweep_matches_prerefactor_golden_threaded() {
+    assert_matches_prerefactor_fixture(4);
+}

@@ -121,6 +121,62 @@ fn cleared_tracer_restores_untraced_allocation_profile() {
     );
 }
 
+#[test]
+fn lookup_row_is_alloc_free_and_counter_identical_to_scalar() {
+    use cenn::fx::Q16_16;
+    use cenn::lut::{funcs, FuncLibrary, LutHierarchy, LutSpec, RowCtx};
+
+    let mut lib = FuncLibrary::new();
+    let tanh = lib.register(funcs::tanh());
+    let spec = LutSpec::unit_spacing(-8, 8);
+    let ctx = RowCtx::from_spec(tanh, spec);
+
+    // A lane of states spread over several sample intervals, issued from
+    // all four PEs, exercising L1 hits, L2 hits and DRAM fills.
+    let n = 64usize;
+    let pes: Vec<u32> = (0..n as u32).map(|i| i % 4).collect();
+    let xs: Vec<i32> = (0..n)
+        .map(|i| Q16_16::from_f64((i as f64 - 32.0) / 9.0).to_bits())
+        .collect();
+
+    // Scalar reference: the same lane walked one lookup at a time, twice.
+    let mut scalar = LutHierarchy::build(&lib, spec, 4, 32, 4).expect("hierarchy");
+    let mut scalar_out = vec![0i32; n];
+    {
+        let (tables, shards) = scalar.split();
+        let shard = &mut shards[0];
+        for _ in 0..2 {
+            for ((o, &pe), &x) in scalar_out.iter_mut().zip(&pes).zip(&xs) {
+                *o = shard
+                    .lookup_at(tables, &ctx, pe as usize, Q16_16::from_bits(x))
+                    .to_bits();
+            }
+        }
+    }
+
+    let mut batched = LutHierarchy::build(&lib, spec, 4, 32, 4).expect("hierarchy");
+    let mut row_out = vec![0i32; n];
+    let (tables, shards) = batched.split();
+    let shard = &mut shards[0];
+    // First sweep services cold misses (DRAM bursts may grow the L2)...
+    shard.lookup_row(tables, &ctx, &pes, &xs, &mut row_out);
+    // ...after which a warm sweep must not touch the heap at all.
+    let before = thread_allocs();
+    shard.lookup_row(tables, &ctx, &pes, &xs, &mut row_out);
+    assert_eq!(
+        thread_allocs() - before,
+        0,
+        "a warm lookup_row sweep must not allocate"
+    );
+
+    assert_eq!(row_out, scalar_out, "batched values match scalar lookups");
+    assert_eq!(
+        shard.stats(),
+        scalar.shards()[0].stats(),
+        "batched sweeps must leave every LUT counter exactly as scalar ones"
+    );
+}
+
 /// Driver-thread allocations for one steady-state step (minimum of a few
 /// samples, so a one-off reallocation elsewhere cannot fail the test).
 fn steady_state_allocs(runner: &mut FixedRunner) -> u64 {
