@@ -50,6 +50,24 @@ USAGE:
       times to the next BENCH_<n>.json in DIR. --compare diffs against
       the previous BENCH file (or --baseline FILE) and exits non-zero on
       any phase slower than --threshold percent (default 25).
+  cenn serve [--listen ADDR] [--workers N] [--quantum N] [--spool DIR]
+             [--session-logs DIR]
+      Run the multi-tenant solver service: a blocking TCP accept loop
+      (default 127.0.0.1:17117) over a fixed pool of N worker threads
+      (default 2) scheduling client sessions in deterministic fair
+      round-robin quanta (default 32 steps). Sessions suspend to
+      CENNCKPT files in --spool and resume bit-exactly; --session-logs
+      streams each session's lifecycle events to
+      DIR/session_<id>.jsonl. Blocks until a client sends Shutdown.
+  cenn fleet [--connect ADDR] [--workers N] [--sessions N] [--steps N]
+             [--chunk N] [--seed N] [--no-suspend] [--shutdown]
+      Drive the seeded synthetic client fleet: N concurrent sessions
+      (default 8) running mixed workloads, one suspending/resuming
+      mid-run. Prints per-session end-state digests plus a combined
+      fleet digest — bit-identical for any worker count and across
+      reruns. Without --connect the fleet self-hosts an in-process
+      server with --workers threads; with --connect it targets a
+      running `cenn serve` (--shutdown stops it afterwards).
   cenn program --system <name> [--grid N] --out FILE
       Compile a system to its solver bitstream.
   cenn inspect FILE
@@ -288,6 +306,8 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         Some("run") => cmd_run(&args[1..]),
         Some("profile") => crate::profile::cmd_profile(&args[1..]),
         Some("bench") => crate::bench::cmd_bench(&args[1..]),
+        Some("serve") => crate::serve::cmd_serve(&args[1..]),
+        Some("fleet") => crate::serve::cmd_fleet(&args[1..]),
         Some("program") => cmd_program(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some(other) => Err(err(format!("unknown command '{other}'"))),

@@ -13,6 +13,7 @@ use std::process::ExitCode;
 mod bench;
 mod cli;
 mod profile;
+mod serve;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

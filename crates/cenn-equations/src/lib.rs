@@ -54,5 +54,7 @@ pub use hodgkin_huxley::HodgkinHuxley;
 pub use izhikevich::Izhikevich;
 pub use navier_stokes::NavierStokes;
 pub use rd::ReactionDiffusion;
-pub use system::{all_benchmarks, extended_benchmarks, DynamicalSystem, PostStepRule, SystemSetup};
+pub use system::{
+    all_benchmarks, extended_benchmarks, system_by_name, DynamicalSystem, PostStepRule, SystemSetup,
+};
 pub use wave::Wave;

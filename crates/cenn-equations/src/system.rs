@@ -154,9 +154,26 @@ pub fn extended_benchmarks() -> Vec<Box<dyn DynamicalSystem>> {
     ]
 }
 
+/// Looks up any benchmark (paper or extended) by its stable name, e.g.
+/// `"fisher"` or `"gray-scott"`. Returns `None` for unknown names; the
+/// full menu is [`all_benchmarks`] + [`extended_benchmarks`].
+pub fn system_by_name(name: &str) -> Option<Box<dyn DynamicalSystem>> {
+    all_benchmarks()
+        .into_iter()
+        .chain(extended_benchmarks())
+        .find(|s| s.name() == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn system_by_name_finds_paper_and_extended_systems() {
+        assert_eq!(system_by_name("heat").unwrap().name(), "heat");
+        assert_eq!(system_by_name("gray-scott").unwrap().name(), "gray-scott");
+        assert!(system_by_name("warp-drive").is_none());
+    }
 
     #[test]
     fn spike_reset_fires_and_resets() {

@@ -50,7 +50,7 @@ pub use json::{parse as parse_json, parse_object_keys, JsonValue};
 pub use recorder::{InMemoryRecorder, NullRecorder, Recorder, RecorderHandle};
 pub use schema::{
     known_keys, validate_jsonl_line, Event, GuardEvent, LutLevel, LutLevelMetrics, MemTraffic,
-    RunSummary, SchemaError, SpanSummary, StepMetrics, SweepTiming, SCHEMA_VERSION,
+    RunSummary, SchemaError, SessionEvent, SpanSummary, StepMetrics, SweepTiming, SCHEMA_VERSION,
 };
 pub use sink::{CsvSink, JsonlSink, CSV_HEADER};
 pub use trace::{LatencyHistogram, Phase, Span, SpanRing, TraceCollector, TraceHandle};

@@ -164,6 +164,33 @@ pub struct GuardEvent {
     pub value: f64,
 }
 
+/// One lifecycle action of a hosted solver session (`cenn-serve`): a
+/// submit, a completed step batch, a suspend-to-disk, a resume, a digest,
+/// or a close.
+///
+/// Session events carry no wall-clock or thread fields, so they are
+/// canonical as-is — per-session streams are byte-reproducible for any
+/// server worker count (each session is stepped by one worker at a time
+/// and its lifecycle is serialized by its connection).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SessionEvent {
+    /// Server-assigned session id.
+    pub session: u64,
+    /// The session's step counter when the action completed.
+    pub step: u64,
+    /// Stable action discriminator (`"submitted"`, `"stepped"`,
+    /// `"suspended"`, `"resumed"`, `"digest"`, `"closed"`).
+    pub kind: String,
+    /// The dynamical system the session runs (e.g. `"fisher"`).
+    pub system: String,
+    /// Human-readable detail (grid shape, checkpoint file name, digest
+    /// hex, …). Must stay environment-independent in canonical streams.
+    pub detail: String,
+    /// Action-specific count (steps executed in a batch, spikes fired,
+    /// the end-state digest value, …).
+    pub count: u64,
+}
+
 /// Per-phase span aggregate from the tracing layer (`cenn_obs::trace`):
 /// the count, total, log-bucketed latency quantiles, and raw histogram
 /// buckets of one [`crate::trace::Phase`] over a run.
@@ -207,6 +234,8 @@ pub enum Event {
     Guard(GuardEvent),
     /// Per-phase span aggregate from the tracing layer.
     SpanSummary(SpanSummary),
+    /// Solver-service session lifecycle action.
+    Session(SessionEvent),
 }
 
 impl Event {
@@ -218,6 +247,7 @@ impl Event {
             Self::RunSummary(_) => "run_summary",
             Self::Guard(_) => "guard",
             Self::SpanSummary(_) => "span_summary",
+            Self::Session(_) => "session",
         }
     }
 
@@ -257,6 +287,9 @@ impl Event {
                 s.buckets.clear();
                 Self::SpanSummary(s)
             }
+            // Like guard events, session events carry only exact,
+            // environment-independent fields.
+            Self::Session(s) => Self::Session(s.clone()),
         }
     }
 
@@ -319,6 +352,14 @@ impl Event {
                 json::field_u64(&mut out, "p99_nanos", s.p99_nanos);
                 json::field_u64(&mut out, "max_nanos", s.max_nanos);
                 json::field_raw(&mut out, "buckets", &shards_json(&s.buckets));
+            }
+            Self::Session(s) => {
+                json::field_u64(&mut out, "session", s.session);
+                json::field_u64(&mut out, "step", s.step);
+                json::field_str(&mut out, "kind", &s.kind);
+                json::field_str(&mut out, "system", &s.system);
+                json::field_str(&mut out, "detail", &s.detail);
+                json::field_u64(&mut out, "count", s.count);
             }
         }
         // Strip the trailing comma every field helper appends.
@@ -421,6 +462,9 @@ pub fn known_keys(event: &str) -> Option<&'static [&'static str]> {
         ]),
         "guard" => Some(&[
             "event", "schema", "step", "kind", "detail", "count", "value",
+        ]),
+        "session" => Some(&[
+            "event", "schema", "session", "step", "kind", "system", "detail", "count",
         ]),
         "span_summary" => Some(&[
             "event",
@@ -671,6 +715,14 @@ mod tests {
                 value: 0.0,
             }),
             sample_span_summary(),
+            Event::Session(SessionEvent {
+                session: 3,
+                step: 20,
+                kind: "stepped".into(),
+                system: "fisher".into(),
+                detail: "16x16".into(),
+                count: 10,
+            }),
         ];
         for ev in &events {
             let line = ev.to_jsonl();
@@ -700,6 +752,29 @@ mod tests {
         });
         assert_eq!(ev.canonical(), ev, "no environment fields to zero");
         assert_eq!(ev.canonical().to_jsonl(), ev.to_jsonl());
+    }
+
+    #[test]
+    fn session_events_are_already_canonical() {
+        let ev = Event::Session(SessionEvent {
+            session: 1,
+            step: 12,
+            kind: "suspended".into(),
+            system: "wave".into(),
+            detail: "session_1.ckpt".into(),
+            count: 0,
+        });
+        assert_eq!(ev.canonical(), ev, "no environment fields to zero");
+        assert_eq!(ev.canonical().to_jsonl(), ev.to_jsonl());
+        validate_jsonl_line(&ev.to_jsonl()).unwrap();
+        // Unknown fields on a session line are rejected like any other.
+        let hacked = ev
+            .to_jsonl()
+            .replacen("\"session\":1", "\"session\":1,\"bogus\":7", 1);
+        assert!(matches!(
+            validate_jsonl_line(&hacked),
+            Err(SchemaError::KeyMismatch { .. })
+        ));
     }
 
     #[test]

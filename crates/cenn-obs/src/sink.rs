@@ -84,7 +84,7 @@ pub const CSV_HEADER: &str = "event,schema,step,time,label,threads,cells,total_n
 l1_hits,l1_misses,l2_hits,l2_misses,dram_fetches,dram_points,\
 conv_cycles,stall_cycles,dram_bytes,primary_reads,support_reads,reg_moves,writebacks,energy_j,\
 steps,accesses,mr_l1,mr_l2,mr_combined,kind,detail,count,value,\
-phase,p50_nanos,p90_nanos,p99_nanos,max_nanos";
+phase,p50_nanos,p90_nanos,p99_nanos,max_nanos,session,system";
 
 /// Streams one CSV row per event under the flat [`CSV_HEADER`] (written
 /// on the first record). Same canonical-mode semantics as [`JsonlSink`].
@@ -217,6 +217,14 @@ impl<W: Write + Send> CsvSink<W> {
                 set("p90_nanos", s.p90_nanos.to_string());
                 set("p99_nanos", s.p99_nanos.to_string());
                 set("max_nanos", s.max_nanos.to_string());
+            }
+            Event::Session(s) => {
+                set("session", s.session.to_string());
+                set("step", s.step.to_string());
+                set("kind", escape_csv(&s.kind));
+                set("system", escape_csv(&s.system));
+                set("detail", escape_csv(&s.detail));
+                set("count", s.count.to_string());
             }
         }
         cols.join(",")

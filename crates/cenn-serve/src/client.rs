@@ -1,0 +1,223 @@
+//! A typed client over any `Read + Write` transport.
+
+use std::io::{Read, Write};
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::proto::{ErrorCode, Request, Response};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or codec failure.
+    Frame(FrameError),
+    /// The server closed the connection where a response was due.
+    Disconnected,
+    /// The server answered with a typed error.
+    Server {
+        /// Machine-readable discriminator.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server answered with a well-formed but wrong-typed response.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Frame(e) => write!(f, "transport: {e}"),
+            Self::Disconnected => write!(f, "server closed the connection"),
+            Self::Server { code, message } => write!(f, "server error ({code}): {message}"),
+            Self::Unexpected(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        Self::Frame(e)
+    }
+}
+
+/// A session-service client: one request in flight at a time, typed
+/// accessors per operation.
+pub struct Client<S: Read + Write> {
+    stream: S,
+}
+
+impl Client<std::net::TcpStream> {
+    /// Connects over TCP (with `TCP_NODELAY`, since the protocol is
+    /// strictly request/response).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect_tcp(addr: impl std::net::ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = std::net::TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self::new(stream))
+    }
+}
+
+impl<S: Read + Write> Client<S> {
+    /// Wraps an already-connected stream.
+    pub fn new(stream: S) -> Self {
+        Self { stream }
+    }
+
+    /// Sends one request and reads its response.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Frame`] on transport/codec failure,
+    /// [`ClientError::Disconnected`] if the stream ends first. A typed
+    /// server `Error` response is returned as `Ok(Response::Error { .. })`
+    /// here; the typed accessors convert it to [`ClientError::Server`].
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let payload = read_frame(&mut self.stream)?.ok_or(ClientError::Disconnected)?;
+        Ok(Response::decode(&payload)?)
+    }
+
+    fn expect<T>(
+        &mut self,
+        req: &Request,
+        pick: impl FnOnce(Response) -> Result<T, Response>,
+    ) -> Result<T, ClientError> {
+        match self.call(req)? {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            resp => pick(resp).map_err(|r| ClientError::Unexpected(format!("{r:?}"))),
+        }
+    }
+
+    /// Creates a session; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] as in [`call`](Self::call).
+    pub fn submit(&mut self, system: &str, rows: u32, cols: u32) -> Result<u64, ClientError> {
+        self.expect(
+            &Request::SubmitSystem {
+                system: system.into(),
+                rows,
+                cols,
+            },
+            |r| match r {
+                Response::Submitted { session } => Ok(session),
+                other => Err(other),
+            },
+        )
+    }
+
+    /// Runs `n` steps; returns `(total steps, fired this batch)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] as in [`call`](Self::call).
+    pub fn step(&mut self, session: u64, n: u64) -> Result<(u64, u64), ClientError> {
+        self.expect(&Request::Step { session, n }, |r| match r {
+            Response::Stepped { steps, fired, .. } => Ok((steps, fired)),
+            other => Err(other),
+        })
+    }
+
+    /// Streams one layer's raw Q16.16 state; returns `(rows, cols, bits)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] as in [`call`](Self::call).
+    pub fn stream_state(
+        &mut self,
+        session: u64,
+        layer: u32,
+    ) -> Result<(u32, u32, Vec<i32>), ClientError> {
+        self.expect(&Request::StreamState { session, layer }, |r| match r {
+            Response::State {
+                rows, cols, bits, ..
+            } => Ok((rows, cols, bits)),
+            other => Err(other),
+        })
+    }
+
+    /// Suspends the session to the server's spool; returns its step count.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] as in [`call`](Self::call).
+    pub fn suspend(&mut self, session: u64) -> Result<u64, ClientError> {
+        self.expect(&Request::Suspend { session }, |r| match r {
+            Response::Suspended { steps, .. } => Ok(steps),
+            other => Err(other),
+        })
+    }
+
+    /// Resumes a suspended session; returns its restored step count.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] as in [`call`](Self::call).
+    pub fn resume(&mut self, session: u64) -> Result<u64, ClientError> {
+        self.expect(&Request::Resume { session }, |r| match r {
+            Response::Resumed { steps, .. } => Ok(steps),
+            other => Err(other),
+        })
+    }
+
+    /// Closes the session.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] as in [`call`](Self::call).
+    pub fn close(&mut self, session: u64) -> Result<(), ClientError> {
+        self.expect(&Request::Close { session }, |r| match r {
+            Response::Closed { .. } => Ok(()),
+            other => Err(other),
+        })
+    }
+
+    /// The session's deterministic digest; returns `(steps, digest)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] as in [`call`](Self::call).
+    pub fn digest(&mut self, session: u64) -> Result<(u64, u64), ClientError> {
+        self.expect(&Request::Digest { session }, |r| match r {
+            Response::Digest { steps, digest, .. } => Ok((steps, digest)),
+            other => Err(other),
+        })
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] as in [`call`](Self::call).
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.expect(&Request::Ping, |r| match r {
+            Response::Pong => Ok(()),
+            other => Err(other),
+        })
+    }
+
+    /// Asks the server to shut down (drain and stop accepting).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] as in [`call`](Self::call).
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.expect(&Request::Shutdown, |r| match r {
+            Response::ShuttingDown => Ok(()),
+            other => Err(other),
+        })
+    }
+}

@@ -1,0 +1,72 @@
+//! Deterministic end-state digests.
+//!
+//! A digest folds a session's *state trajectory* — step counter,
+//! simulated-time bits, cumulative cell evaluations, and every layer's
+//! raw Q16.16 words — through FNV-1a 64. It deliberately excludes LUT
+//! cache statistics: caches come up cold after a checkpoint resume, so
+//! hit counters legally differ between an interrupted and an
+//! uninterrupted run even though every state bit is identical. The
+//! digest is the fleet harness's green/red signal, so it must cover
+//! exactly the bits the determinism contract freezes and nothing else.
+
+use cenn_core::CennSim;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 over a byte slice, continuing from `hash`.
+pub fn fnv1a64(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Starts a fresh FNV-1a 64 accumulator.
+pub fn fnv1a64_init() -> u64 {
+    FNV_OFFSET
+}
+
+/// Digest of the sim's complete deterministic state.
+pub fn state_digest(sim: &CennSim) -> u64 {
+    let snap = sim.snapshot();
+    let mut h = fnv1a64_init();
+    h = fnv1a64(h, &snap.steps.to_le_bytes());
+    h = fnv1a64(h, &snap.time.to_bits().to_le_bytes());
+    h = fnv1a64(h, &snap.run_cells.to_le_bytes());
+    h = fnv1a64(h, &(snap.states.len() as u64).to_le_bytes());
+    for layer in &snap.states {
+        h = fnv1a64(h, &(layer.len() as u64).to_le_bytes());
+        for bits in layer {
+            h = fnv1a64(h, &bits.to_le_bytes());
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cenn_equations::{DynamicalSystem, Fisher, FixedRunner};
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(fnv1a64_init(), b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(fnv1a64_init(), b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(fnv1a64_init(), b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn digest_is_stable_and_state_sensitive() {
+        let mk = || FixedRunner::new(Fisher::default().build(8, 8).unwrap()).unwrap();
+        let mut a = mk();
+        let mut b = mk();
+        a.run(25);
+        b.run(25);
+        assert_eq!(state_digest(a.sim()), state_digest(b.sim()));
+        b.run(1);
+        assert_ne!(state_digest(a.sim()), state_digest(b.sim()));
+    }
+}

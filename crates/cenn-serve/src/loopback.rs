@@ -1,0 +1,157 @@
+//! In-memory duplex byte streams for transport-free testing.
+//!
+//! [`pair`] yields two connected endpoints; bytes written to one are
+//! read from the other, exactly like a socket but without touching the
+//! network stack. Each direction is a mutex-guarded byte queue with a
+//! condvar: reads block until data arrives or the writing side drops,
+//! after which reads drain the residue and then return 0 (EOF) — the
+//! same close semantics the frame codec expects from a real peer.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::sync::{Arc, Condvar, Mutex};
+
+#[derive(Default)]
+struct Channel {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+struct Pipe {
+    chan: Mutex<Channel>,
+    ready: Condvar,
+}
+
+impl Pipe {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            chan: Mutex::new(Channel::default()),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn close(&self) {
+        self.chan.lock().expect("loopback poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// One endpoint of an in-memory duplex connection.
+pub struct Loopback {
+    rx: Arc<Pipe>,
+    tx: Arc<Pipe>,
+}
+
+/// Creates a connected pair of endpoints. Dropping either endpoint
+/// closes both directions it participates in, so the peer sees EOF.
+pub fn pair() -> (Loopback, Loopback) {
+    let a_to_b = Pipe::new();
+    let b_to_a = Pipe::new();
+    (
+        Loopback {
+            rx: b_to_a.clone(),
+            tx: a_to_b.clone(),
+        },
+        Loopback {
+            rx: a_to_b,
+            tx: b_to_a,
+        },
+    )
+}
+
+impl Read for Loopback {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        let mut chan = self.rx.chan.lock().expect("loopback poisoned");
+        loop {
+            if !chan.buf.is_empty() {
+                let n = out.len().min(chan.buf.len());
+                for slot in out.iter_mut().take(n) {
+                    *slot = chan.buf.pop_front().expect("len checked");
+                }
+                return Ok(n);
+            }
+            if chan.closed {
+                return Ok(0);
+            }
+            chan = self.rx.ready.wait(chan).expect("loopback poisoned");
+        }
+    }
+}
+
+impl Write for Loopback {
+    fn write(&mut self, bytes: &[u8]) -> std::io::Result<usize> {
+        let mut chan = self.tx.chan.lock().expect("loopback poisoned");
+        if chan.closed {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "loopback peer closed",
+            ));
+        }
+        chan.buf.extend(bytes.iter().copied());
+        self.tx.ready.notify_all();
+        Ok(bytes.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for Loopback {
+    fn drop(&mut self) {
+        self.tx.close();
+        self.rx.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_cross_between_endpoints() {
+        let (mut a, mut b) = pair();
+        a.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        b.write_all(b"pong").unwrap();
+        a.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pong");
+    }
+
+    #[test]
+    fn drop_unblocks_reader_with_eof_after_drain() {
+        let (mut a, mut b) = pair();
+        a.write_all(b"last words").unwrap();
+        drop(a);
+        let mut buf = Vec::new();
+        b.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf, b"last words");
+        assert_eq!(b.read(&mut [0u8; 8]).unwrap(), 0, "stays EOF");
+    }
+
+    #[test]
+    fn blocking_read_wakes_on_cross_thread_write() {
+        let (mut a, mut b) = pair();
+        let t = std::thread::spawn(move || {
+            let mut buf = [0u8; 5];
+            b.read_exact(&mut buf).unwrap();
+            buf
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        a.write_all(b"hello").unwrap();
+        assert_eq!(&t.join().unwrap(), b"hello");
+    }
+
+    #[test]
+    fn write_after_peer_close_is_broken_pipe() {
+        let (mut a, b) = pair();
+        drop(b);
+        let err = a.write_all(b"x").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+    }
+}

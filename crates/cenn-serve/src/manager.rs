@@ -1,0 +1,763 @@
+//! Multi-tenant session management over the tile-sharded engine.
+//!
+//! A [`SessionManager`] multiplexes many independent solver sessions onto
+//! a fixed pool of worker threads. Scheduling is deterministic fair
+//! round-robin: a worker scans session ids from a rotating cursor, picks
+//! the first session with pending steps, and runs at most one *quantum*
+//! of steps before putting the session back and moving the cursor past
+//! it. Each session owns its own single-threaded `CennSim`, so a
+//! session's state trajectory depends only on its own step count — never
+//! on worker count, scheduling order, or what other tenants are doing.
+//! That is what makes the fleet digests bit-identical across `--workers
+//! 1` and `--workers 4`.
+//!
+//! Idle sessions can be *suspended*: their full fixed-point state is
+//! spooled to a `CENNCKPT` file (the same format `cenn-guard` uses for
+//! crash recovery) and the in-memory solver is dropped. *Resume* rebuilds
+//! the model from the registry and restores the snapshot bit-exactly;
+//! only LUT cache counters start cold, which is why digests cover state
+//! bits and not cache accounting.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use cenn_equations::{system_by_name, FixedRunner};
+use cenn_guard::Checkpoint;
+use cenn_obs::{Event, JsonlSink, RecorderHandle, SessionEvent};
+
+use crate::digest::state_digest;
+use crate::proto::ErrorCode;
+
+/// A service-level failure: a machine-readable [`ErrorCode`] plus detail.
+/// Maps one-to-one onto [`crate::proto::Response::Error`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeError {
+    /// Machine-readable discriminator.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ServeError {
+    /// Builds an error.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+        }
+    }
+
+    fn no_such_session(id: u64) -> Self {
+        Self::new(
+            ErrorCode::NoSuchSession,
+            format!("session {id} does not exist"),
+        )
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Session-manager knobs.
+#[derive(Clone)]
+pub struct ManagerConfig {
+    /// Maximum steps a worker runs for one session before re-queueing it
+    /// (the round-robin time slice). Clamped to at least 1.
+    pub quantum: u64,
+    /// Directory for suspended-session `CENNCKPT` files (created on
+    /// construction).
+    pub spool: PathBuf,
+    /// When set, each session also streams its lifecycle events to
+    /// `<dir>/session_<id>.jsonl`.
+    pub session_log_dir: Option<PathBuf>,
+    /// Canonicalize per-session logs (the deterministic byte-comparable
+    /// mode).
+    pub canonical_logs: bool,
+    /// Global event stream receiving every session's lifecycle events.
+    pub recorder: Option<RecorderHandle>,
+}
+
+impl ManagerConfig {
+    /// A config with the given spool directory and no log streams.
+    pub fn new(spool: impl Into<PathBuf>) -> Self {
+        Self {
+            quantum: 32,
+            spool: spool.into(),
+            session_log_dir: None,
+            canonical_logs: true,
+            recorder: None,
+        }
+    }
+}
+
+/// What a session is running (enough to rebuild it on resume).
+#[derive(Debug, Clone)]
+struct SessionSpec {
+    system: String,
+    rows: u32,
+    cols: u32,
+}
+
+enum Slot {
+    /// Live in-memory solver. `runner` is `None` exactly while a worker
+    /// has the session checked out for a quantum.
+    Active {
+        runner: Option<Box<FixedRunner>>,
+        pending: u64,
+        fired: u64,
+    },
+    /// Spooled to disk; no in-memory solver.
+    Suspended { path: PathBuf },
+}
+
+struct Session {
+    spec: SessionSpec,
+    slot: Slot,
+    /// Last step count observed by any completed operation (used for the
+    /// `closed` event, where the runner may already be gone).
+    steps: u64,
+    log: Option<RecorderHandle>,
+}
+
+#[derive(Default)]
+struct Inner {
+    sessions: BTreeMap<u64, Session>,
+    next_id: u64,
+    cursor: u64,
+    shutdown: bool,
+}
+
+/// The multi-tenant scheduler. See the module docs for the model.
+pub struct SessionManager {
+    inner: Mutex<Inner>,
+    /// Wakes workers when steps are queued (or shutdown begins).
+    work: Condvar,
+    /// Wakes request threads when a quantum completes or a session
+    /// changes shape.
+    done: Condvar,
+    cfg: ManagerConfig,
+}
+
+impl SessionManager {
+    /// Creates a manager, making the spool directory.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::Internal`] if the spool directory cannot be created.
+    pub fn new(cfg: ManagerConfig) -> Result<Self, ServeError> {
+        std::fs::create_dir_all(&cfg.spool)
+            .map_err(|e| ServeError::new(ErrorCode::Internal, format!("spool dir: {e}")))?;
+        if let Some(dir) = &cfg.session_log_dir {
+            std::fs::create_dir_all(dir).map_err(|e| {
+                ServeError::new(ErrorCode::Internal, format!("session log dir: {e}"))
+            })?;
+        }
+        Ok(Self {
+            inner: Mutex::new(Inner {
+                next_id: 1,
+                ..Inner::default()
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            cfg,
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().expect("session manager poisoned")
+    }
+
+    fn record(&self, log: Option<&RecorderHandle>, ev: SessionEvent) {
+        let ev = Event::Session(ev);
+        if let Some(r) = &self.cfg.recorder {
+            r.record(&ev);
+        }
+        if let Some(r) = log {
+            r.record(&ev);
+        }
+    }
+
+    /// The id of the first runnable session at or after the cursor,
+    /// wrapping — the deterministic round-robin pick.
+    fn next_runnable(inner: &Inner) -> Option<u64> {
+        let runnable = |s: &Session| {
+            matches!(
+                s.slot,
+                Slot::Active {
+                    runner: Some(_),
+                    pending: 1..,
+                    ..
+                }
+            )
+        };
+        inner
+            .sessions
+            .range(inner.cursor..)
+            .chain(inner.sessions.range(..inner.cursor))
+            .find(|(_, s)| runnable(s))
+            .map(|(id, _)| *id)
+    }
+
+    /// One worker thread's main loop. Drains all queued steps before
+    /// honoring shutdown, so `shutdown` has graceful-drain semantics.
+    pub fn worker_loop(&self) {
+        let mut inner = self.lock();
+        loop {
+            let Some(id) = Self::next_runnable(&inner) else {
+                if inner.shutdown {
+                    return;
+                }
+                inner = self.work.wait(inner).expect("session manager poisoned");
+                continue;
+            };
+            inner.cursor = id.wrapping_add(1);
+            let quantum_cap = self.cfg.quantum.max(1);
+            let session = inner.sessions.get_mut(&id).expect("picked id exists");
+            let Slot::Active {
+                runner, pending, ..
+            } = &mut session.slot
+            else {
+                unreachable!("next_runnable only picks active sessions");
+            };
+            let quantum = (*pending).min(quantum_cap);
+            let mut checked_out = runner.take().expect("picked runner present");
+            // Step outside the lock: other workers keep scheduling other
+            // sessions while this quantum runs.
+            drop(inner);
+            let fired = checked_out.run(quantum) as u64;
+            let steps_now = checked_out.steps();
+            inner = self.lock();
+            if let Some(session) = inner.sessions.get_mut(&id) {
+                session.steps = steps_now;
+                if let Slot::Active {
+                    runner,
+                    pending,
+                    fired: total,
+                } = &mut session.slot
+                {
+                    *runner = Some(checked_out);
+                    *pending -= quantum;
+                    *total += fired;
+                }
+            }
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until the session exists, is active, idle (no pending
+    /// steps), and its runner is checked in.
+    fn wait_active_idle(&self, id: u64) -> Result<MutexGuard<'_, Inner>, ServeError> {
+        let mut inner = self.lock();
+        loop {
+            match inner.sessions.get(&id) {
+                None => return Err(ServeError::no_such_session(id)),
+                Some(s) => match &s.slot {
+                    Slot::Suspended { .. } => {
+                        return Err(ServeError::new(
+                            ErrorCode::SessionSuspended,
+                            format!("session {id} is suspended"),
+                        ))
+                    }
+                    Slot::Active {
+                        runner: Some(_),
+                        pending: 0,
+                        ..
+                    } => return Ok(inner),
+                    Slot::Active { .. } => {}
+                },
+            }
+            inner = self.done.wait(inner).expect("session manager poisoned");
+        }
+    }
+
+    /// Creates a session for the named system on a `rows × cols` grid.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::UnknownSystem`] for names outside the registry,
+    /// [`ErrorCode::BadRequest`] for a zero-sized grid,
+    /// [`ErrorCode::ShuttingDown`] once shutdown has begun, and
+    /// [`ErrorCode::Internal`] for model-build failures.
+    pub fn submit(&self, system: &str, rows: u32, cols: u32) -> Result<u64, ServeError> {
+        if rows == 0 || cols == 0 {
+            return Err(ServeError::new(
+                ErrorCode::BadRequest,
+                format!("grid {rows}x{cols} has no cells"),
+            ));
+        }
+        let sys = system_by_name(system).ok_or_else(|| {
+            ServeError::new(
+                ErrorCode::UnknownSystem,
+                format!("no system named {system:?} in the benchmark registry"),
+            )
+        })?;
+        let setup = sys
+            .build(rows as usize, cols as usize)
+            .map_err(|e| ServeError::new(ErrorCode::Internal, format!("building {system}: {e}")))?;
+        let mut runner = FixedRunner::new(setup)
+            .map_err(|e| ServeError::new(ErrorCode::Internal, format!("starting {system}: {e}")))?;
+        // One sim thread per session: the worker pool is the concurrency
+        // layer, and a single-threaded sweep keeps the per-session cost
+        // model flat no matter how tenants are packed.
+        runner.set_threads(1);
+
+        let mut inner = self.lock();
+        if inner.shutdown {
+            return Err(ServeError::new(
+                ErrorCode::ShuttingDown,
+                "server is shutting down",
+            ));
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let log = match &self.cfg.session_log_dir {
+            None => None,
+            Some(dir) => {
+                let sink = JsonlSink::create(
+                    dir.join(format!("session_{id}.jsonl")),
+                    self.cfg.canonical_logs,
+                )
+                .map_err(|e| ServeError::new(ErrorCode::Internal, format!("session log: {e}")))?;
+                Some(RecorderHandle::new(sink))
+            }
+        };
+        self.record(
+            log.as_ref(),
+            SessionEvent {
+                session: id,
+                step: 0,
+                kind: "submitted".into(),
+                system: system.into(),
+                detail: format!("{rows}x{cols}"),
+                count: 0,
+            },
+        );
+        inner.sessions.insert(
+            id,
+            Session {
+                spec: SessionSpec {
+                    system: system.into(),
+                    rows,
+                    cols,
+                },
+                slot: Slot::Active {
+                    runner: Some(Box::new(runner)),
+                    pending: 0,
+                    fired: 0,
+                },
+                steps: 0,
+                log,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Queues `n` steps and blocks until the worker pool has executed
+    /// them. Returns `(total steps, cells fired in this batch)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::NoSuchSession`], [`ErrorCode::SessionSuspended`], or
+    /// [`ErrorCode::NoSuchSession`] if the session is closed while the
+    /// batch is in flight.
+    pub fn step(&self, id: u64, n: u64) -> Result<(u64, u64), ServeError> {
+        let mut inner = self.lock();
+        let fired_before = match inner.sessions.get_mut(&id) {
+            None => return Err(ServeError::no_such_session(id)),
+            Some(s) => match &mut s.slot {
+                Slot::Suspended { .. } => {
+                    return Err(ServeError::new(
+                        ErrorCode::SessionSuspended,
+                        format!("session {id} is suspended; resume it to step"),
+                    ))
+                }
+                Slot::Active { pending, fired, .. } => {
+                    *pending += n;
+                    *fired
+                }
+            },
+        };
+        self.work.notify_all();
+        loop {
+            match inner.sessions.get(&id) {
+                None => return Err(ServeError::no_such_session(id)),
+                Some(s) => {
+                    if let Slot::Active {
+                        runner: Some(_),
+                        pending: 0,
+                        fired,
+                    } = &s.slot
+                    {
+                        let steps = s.steps;
+                        let batch_fired = fired - fired_before;
+                        let system = s.spec.system.clone();
+                        let log = s.log.clone();
+                        self.record(
+                            log.as_ref(),
+                            SessionEvent {
+                                session: id,
+                                step: steps,
+                                kind: "stepped".into(),
+                                system,
+                                detail: String::new(),
+                                count: n,
+                            },
+                        );
+                        return Ok((steps, batch_fired));
+                    }
+                }
+            }
+            inner = self.done.wait(inner).expect("session manager poisoned");
+        }
+    }
+
+    /// One layer's current state as raw Q16.16 bits (blocks until the
+    /// session is idle). Returns `(rows, cols, bits)`.
+    ///
+    /// # Errors
+    ///
+    /// Session-shape errors as in [`step`](Self::step), plus
+    /// [`ErrorCode::BadRequest`] for a layer index out of range.
+    pub fn stream_state(&self, id: u64, layer: u32) -> Result<(u32, u32, Vec<i32>), ServeError> {
+        let inner = self.wait_active_idle(id)?;
+        let s = inner.sessions.get(&id).expect("held across wait");
+        let Slot::Active {
+            runner: Some(runner),
+            ..
+        } = &s.slot
+        else {
+            unreachable!("wait_active_idle guarantees a checked-in runner");
+        };
+        let snap = runner.sim().snapshot();
+        let Some(bits) = snap.states.get(layer as usize) else {
+            return Err(ServeError::new(
+                ErrorCode::BadRequest,
+                format!("layer {layer} out of range ({} layers)", snap.states.len()),
+            ));
+        };
+        Ok((s.spec.rows, s.spec.cols, bits.clone()))
+    }
+
+    /// Suspends an idle session to the spool and drops its solver.
+    /// Returns the step count at suspension.
+    ///
+    /// # Errors
+    ///
+    /// Session-shape errors as in [`step`](Self::step);
+    /// [`ErrorCode::Internal`] if the checkpoint cannot be written.
+    pub fn suspend(&self, id: u64) -> Result<u64, ServeError> {
+        let mut inner = self.wait_active_idle(id)?;
+        let s = inner.sessions.get_mut(&id).expect("held across wait");
+        let Slot::Active {
+            runner: Some(runner),
+            ..
+        } = &s.slot
+        else {
+            unreachable!("wait_active_idle guarantees a checked-in runner");
+        };
+        let ckpt = Checkpoint::capture(runner.sim());
+        let steps = ckpt.step();
+        let path = self.cfg.spool.join(format!("session_{id}.ckpt"));
+        ckpt.save(&path).map_err(|e| {
+            ServeError::new(ErrorCode::Internal, format!("spooling session {id}: {e}"))
+        })?;
+        s.slot = Slot::Suspended { path };
+        s.steps = steps;
+        let system = s.spec.system.clone();
+        let log = s.log.clone();
+        self.record(
+            log.as_ref(),
+            SessionEvent {
+                session: id,
+                step: steps,
+                kind: "suspended".into(),
+                system,
+                detail: String::new(),
+                count: 0,
+            },
+        );
+        self.done.notify_all();
+        Ok(steps)
+    }
+
+    /// Rebuilds a suspended session from its `CENNCKPT` file,
+    /// bit-exactly. Returns the restored step count.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::NoSuchSession`]; [`ErrorCode::SessionBusy`] if the
+    /// session is not suspended; [`ErrorCode::Internal`] if the
+    /// checkpoint cannot be read or the model rebuilt.
+    pub fn resume(&self, id: u64) -> Result<u64, ServeError> {
+        let internal = |m: String| ServeError::new(ErrorCode::Internal, m);
+        // Snapshot the spec and path under the lock, rebuild outside it
+        // (model construction is the expensive part).
+        let (spec, path) = {
+            let inner = self.lock();
+            match inner.sessions.get(&id) {
+                None => return Err(ServeError::no_such_session(id)),
+                Some(s) => match &s.slot {
+                    Slot::Suspended { path } => (s.spec.clone(), path.clone()),
+                    Slot::Active { .. } => {
+                        return Err(ServeError::new(
+                            ErrorCode::SessionBusy,
+                            format!("session {id} is already active"),
+                        ))
+                    }
+                },
+            }
+        };
+        let ckpt = Checkpoint::load(&path)
+            .map_err(|e| internal(format!("loading session {id} checkpoint: {e}")))?;
+        let sys = system_by_name(&spec.system)
+            .ok_or_else(|| internal(format!("system {:?} vanished from registry", spec.system)))?;
+        let setup = sys
+            .build(spec.rows as usize, spec.cols as usize)
+            .map_err(|e| internal(format!("rebuilding {}: {e}", spec.system)))?;
+        let mut runner = FixedRunner::new(setup)
+            .map_err(|e| internal(format!("restarting {}: {e}", spec.system)))?;
+        runner.set_threads(1);
+        runner
+            .sim_mut()
+            .restore(&ckpt.snapshot)
+            .map_err(|e| internal(format!("restoring session {id}: {e}")))?;
+        let steps = ckpt.step();
+
+        let mut inner = self.lock();
+        let s = match inner.sessions.get_mut(&id) {
+            None => return Err(ServeError::no_such_session(id)),
+            Some(s) => s,
+        };
+        if !matches!(s.slot, Slot::Suspended { .. }) {
+            return Err(ServeError::new(
+                ErrorCode::SessionBusy,
+                format!("session {id} was resumed concurrently"),
+            ));
+        }
+        s.slot = Slot::Active {
+            runner: Some(Box::new(runner)),
+            pending: 0,
+            fired: 0,
+        };
+        s.steps = steps;
+        // The live session supersedes the spooled copy; best-effort cleanup.
+        let _ = std::fs::remove_file(&path);
+        let system = s.spec.system.clone();
+        let log = s.log.clone();
+        self.record(
+            log.as_ref(),
+            SessionEvent {
+                session: id,
+                step: steps,
+                kind: "resumed".into(),
+                system,
+                detail: String::new(),
+                count: 0,
+            },
+        );
+        self.done.notify_all();
+        Ok(steps)
+    }
+
+    /// The session's deterministic end-state digest (blocks until idle).
+    /// Returns `(steps, digest)`.
+    ///
+    /// # Errors
+    ///
+    /// Session-shape errors as in [`step`](Self::step).
+    pub fn digest(&self, id: u64) -> Result<(u64, u64), ServeError> {
+        let inner = self.wait_active_idle(id)?;
+        let s = inner.sessions.get(&id).expect("held across wait");
+        let Slot::Active {
+            runner: Some(runner),
+            ..
+        } = &s.slot
+        else {
+            unreachable!("wait_active_idle guarantees a checked-in runner");
+        };
+        let digest = state_digest(runner.sim());
+        let steps = s.steps;
+        let system = s.spec.system.clone();
+        let log = s.log.clone();
+        self.record(
+            log.as_ref(),
+            SessionEvent {
+                session: id,
+                step: steps,
+                kind: "digest".into(),
+                system,
+                detail: format!("{digest:016x}"),
+                count: digest,
+            },
+        );
+        Ok((steps, digest))
+    }
+
+    /// Closes a session (active or suspended), deleting any spooled
+    /// checkpoint. Waits for an in-flight quantum to finish first.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::NoSuchSession`].
+    pub fn close(&self, id: u64) -> Result<(), ServeError> {
+        let mut inner = self.lock();
+        // Wait until the runner is checked in (a worker may be mid-quantum);
+        // suspended sessions are closable directly.
+        loop {
+            match inner.sessions.get(&id) {
+                None => return Err(ServeError::no_such_session(id)),
+                Some(s) => match &s.slot {
+                    Slot::Suspended { .. }
+                    | Slot::Active {
+                        runner: Some(_), ..
+                    } => break,
+                    Slot::Active { runner: None, .. } => {}
+                },
+            }
+            inner = self.done.wait(inner).expect("session manager poisoned");
+        }
+        let s = inner.sessions.remove(&id).expect("checked above");
+        if let Slot::Suspended { path } = &s.slot {
+            // Best-effort: a leftover spool file is harmless.
+            let _ = std::fs::remove_file(path);
+        }
+        self.record(
+            s.log.as_ref(),
+            SessionEvent {
+                session: id,
+                step: s.steps,
+                kind: "closed".into(),
+                system: s.spec.system.clone(),
+                detail: String::new(),
+                count: 0,
+            },
+        );
+        if let Some(log) = &s.log {
+            let _ = log.flush();
+        }
+        self.done.notify_all();
+        Ok(())
+    }
+
+    /// Begins shutdown: no new sessions; workers drain queued steps and
+    /// exit. Idempotent.
+    pub fn shutdown(&self) {
+        self.lock().shutdown = true;
+        self.work.notify_all();
+        self.done.notify_all();
+    }
+
+    /// `true` once [`shutdown`](Self::shutdown) has been called.
+    pub fn is_shutdown(&self) -> bool {
+        self.lock().shutdown
+    }
+
+    /// Ids of all live sessions (active and suspended), ascending.
+    pub fn session_ids(&self) -> Vec<u64> {
+        self.lock().sessions.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn spool(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cenn-serve-mgr-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn with_workers(cfg: ManagerConfig, n: usize, body: impl FnOnce(&SessionManager)) {
+        let mgr = Arc::new(SessionManager::new(cfg).unwrap());
+        let workers: Vec<_> = (0..n)
+            .map(|_| {
+                let m = mgr.clone();
+                std::thread::spawn(move || m.worker_loop())
+            })
+            .collect();
+        body(&mgr);
+        mgr.shutdown();
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn lifecycle_and_worker_count_invariance() {
+        let mut digests = Vec::new();
+        for workers in [1usize, 3] {
+            let cfg = ManagerConfig::new(spool(&format!("lc{workers}")));
+            with_workers(cfg, workers, |mgr| {
+                let a = mgr.submit("fisher", 8, 8).unwrap();
+                let b = mgr.submit("heat", 8, 8).unwrap();
+                let (steps, _) = mgr.step(a, 70).unwrap();
+                assert_eq!(steps, 70);
+                mgr.step(b, 35).unwrap();
+                let (_, _, bits) = mgr.stream_state(a, 0).unwrap();
+                assert_eq!(bits.len(), 64);
+                digests.push((mgr.digest(a).unwrap(), mgr.digest(b).unwrap()));
+                mgr.close(a).unwrap();
+                mgr.close(b).unwrap();
+                assert!(mgr.session_ids().is_empty());
+            });
+        }
+        assert_eq!(digests[0], digests[1], "digests invariant to worker count");
+    }
+
+    #[test]
+    fn suspend_resume_is_bit_exact() {
+        let cfg = ManagerConfig::new(spool("sr"));
+        with_workers(cfg, 2, |mgr| {
+            // Uninterrupted control run.
+            let control = mgr.submit("gray-scott", 8, 8).unwrap();
+            mgr.step(control, 60).unwrap();
+            let (_, want) = mgr.digest(control).unwrap();
+
+            // Suspended run: same total steps, spooled to disk halfway.
+            let s = mgr.submit("gray-scott", 8, 8).unwrap();
+            mgr.step(s, 30).unwrap();
+            let at = mgr.suspend(s).unwrap();
+            assert_eq!(at, 30);
+            assert!(matches!(
+                mgr.step(s, 1).unwrap_err().code,
+                ErrorCode::SessionSuspended
+            ));
+            assert_eq!(mgr.resume(s).unwrap(), 30);
+            mgr.step(s, 30).unwrap();
+            let (steps, got) = mgr.digest(s).unwrap();
+            assert_eq!(steps, 60);
+            assert_eq!(got, want, "suspend/resume must not perturb one bit");
+        });
+    }
+
+    #[test]
+    fn errors_are_typed() {
+        let cfg = ManagerConfig::new(spool("err"));
+        with_workers(cfg, 1, |mgr| {
+            assert_eq!(
+                mgr.submit("not-a-system", 4, 4).unwrap_err().code,
+                ErrorCode::UnknownSystem
+            );
+            assert_eq!(
+                mgr.submit("heat", 0, 4).unwrap_err().code,
+                ErrorCode::BadRequest
+            );
+            assert_eq!(mgr.step(99, 1).unwrap_err().code, ErrorCode::NoSuchSession);
+            let id = mgr.submit("heat", 4, 4).unwrap();
+            assert_eq!(
+                mgr.stream_state(id, 7).unwrap_err().code,
+                ErrorCode::BadRequest
+            );
+            assert_eq!(mgr.resume(id).unwrap_err().code, ErrorCode::SessionBusy);
+            mgr.close(id).unwrap();
+        });
+    }
+}

@@ -1,0 +1,269 @@
+//! The connection-facing service: frame loop, request dispatch, and the
+//! blocking TCP accept loop.
+//!
+//! The server is transport-agnostic at its core — [`Server::handle_conn`]
+//! speaks the frame protocol over any `Read + Write` stream, which is
+//! how the integration tests drive a full server over an in-memory
+//! [`crate::loopback`] pipe with zero networking. [`Server::serve_tcp`]
+//! wraps the same handler in a `TcpListener` accept loop with one thread
+//! per connection; a `Shutdown` request (or [`ServerHandle::shutdown`])
+//! sets the stop flag and self-connects to unblock the blocking
+//! `accept`, the portable way to interrupt it without async machinery.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::manager::{ManagerConfig, ServeError, SessionManager};
+use crate::proto::{ErrorCode, Request, Response};
+
+/// Service configuration.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Worker threads stepping sessions.
+    pub workers: usize,
+    /// Session-manager knobs (quantum, spool, log streams).
+    pub manager: ManagerConfig,
+}
+
+impl ServerConfig {
+    /// A config with `workers` threads and the given spool directory.
+    pub fn new(workers: usize, spool: impl Into<std::path::PathBuf>) -> Self {
+        Self {
+            workers: workers.max(1),
+            manager: ManagerConfig::new(spool),
+        }
+    }
+}
+
+/// A running service: a [`SessionManager`] plus its worker pool.
+pub struct Server {
+    manager: Arc<SessionManager>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Starts the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServeError`] from manager construction (spool dir).
+    pub fn start(cfg: ServerConfig) -> Result<Arc<Self>, ServeError> {
+        let manager = Arc::new(SessionManager::new(cfg.manager)?);
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let m = manager.clone();
+                std::thread::spawn(move || m.worker_loop())
+            })
+            .collect();
+        Ok(Arc::new(Self {
+            manager,
+            workers: Mutex::new(workers),
+        }))
+    }
+
+    /// The session manager (for in-process use and tests).
+    pub fn manager(&self) -> &SessionManager {
+        &self.manager
+    }
+
+    /// Signals shutdown and joins the worker pool (draining queued
+    /// steps). Idempotent.
+    pub fn shutdown(&self) {
+        self.manager.shutdown();
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .expect("worker list poisoned")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    fn dispatch(&self, req: Request) -> Response {
+        let as_resp = |r: Result<Response, ServeError>| match r {
+            Ok(resp) => resp,
+            Err(e) => Response::Error {
+                code: e.code,
+                message: e.message,
+            },
+        };
+        match req {
+            Request::SubmitSystem { system, rows, cols } => as_resp(
+                self.manager
+                    .submit(&system, rows, cols)
+                    .map(|session| Response::Submitted { session }),
+            ),
+            Request::Step { session, n } => as_resp(self.manager.step(session, n).map(
+                |(steps, fired)| Response::Stepped {
+                    session,
+                    steps,
+                    fired,
+                },
+            )),
+            Request::StreamState { session, layer } => as_resp(
+                self.manager
+                    .stream_state(session, layer)
+                    .map(|(rows, cols, bits)| Response::State {
+                        session,
+                        layer,
+                        rows,
+                        cols,
+                        bits,
+                    }),
+            ),
+            Request::Suspend { session } => as_resp(
+                self.manager
+                    .suspend(session)
+                    .map(|steps| Response::Suspended { session, steps }),
+            ),
+            Request::Resume { session } => as_resp(
+                self.manager
+                    .resume(session)
+                    .map(|steps| Response::Resumed { session, steps }),
+            ),
+            Request::Close { session } => as_resp(
+                self.manager
+                    .close(session)
+                    .map(|()| Response::Closed { session }),
+            ),
+            Request::Digest { session } => as_resp(self.manager.digest(session).map(
+                |(steps, digest)| Response::Digest {
+                    session,
+                    steps,
+                    digest,
+                },
+            )),
+            Request::Ping => Response::Pong,
+            Request::Shutdown => Response::ShuttingDown,
+        }
+    }
+
+    /// Serves one connection until the peer closes, the transport fails,
+    /// or a `Shutdown` request arrives. Returns `true` when the peer
+    /// requested shutdown.
+    ///
+    /// Malformed payloads get a typed `Error` response and the
+    /// connection is closed — a corrupt frame can never panic or wedge
+    /// the server.
+    pub fn handle_conn<S: Read + Write>(&self, mut stream: S) -> bool {
+        loop {
+            let payload = match read_frame(&mut stream) {
+                Ok(Some(p)) => p,
+                // Clean EOF between frames: the peer is done.
+                Ok(None) => return false,
+                // Mid-frame truncation or I/O failure: nothing sane to
+                // reply to; drop the connection.
+                Err(FrameError::Io(_) | FrameError::Truncated { .. }) => return false,
+                Err(e @ FrameError::Oversized { .. }) => {
+                    let resp = Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: e.to_string(),
+                    };
+                    let _ = write_frame(&mut stream, &resp.encode());
+                    return false;
+                }
+                Err(FrameError::Malformed(m)) => {
+                    let resp = Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: m,
+                    };
+                    let _ = write_frame(&mut stream, &resp.encode());
+                    return false;
+                }
+            };
+            let req = match Request::decode(&payload) {
+                Ok(r) => r,
+                Err(e) => {
+                    let resp = Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: e.to_string(),
+                    };
+                    let _ = write_frame(&mut stream, &resp.encode());
+                    return false;
+                }
+            };
+            let stop = matches!(req, Request::Shutdown);
+            let resp = self.dispatch(req);
+            if write_frame(&mut stream, &resp.encode()).is_err() {
+                return stop;
+            }
+            if stop {
+                return true;
+            }
+        }
+    }
+
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and serves connections, one
+    /// thread each, until shutdown. Returns immediately with a handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn serve_tcp(self: &Arc<Self>, addr: &str) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let server = self.clone();
+        let accept = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if server.manager.is_shutdown() {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let per_conn = server.clone();
+                std::thread::spawn(move || {
+                    if per_conn.handle_conn(stream) {
+                        per_conn.shutdown();
+                        // Unblock the accept loop so it can observe the
+                        // flag and exit.
+                        let _ = TcpStream::connect(local_addr);
+                    }
+                });
+            }
+        });
+        Ok(ServerHandle {
+            server: self.clone(),
+            local_addr,
+            accept: Mutex::new(Some(accept)),
+        })
+    }
+}
+
+/// A live TCP service.
+pub struct ServerHandle {
+    server: Arc<Server>,
+    local_addr: SocketAddr,
+    accept: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The underlying server.
+    pub fn server(&self) -> &Arc<Server> {
+        &self.server
+    }
+
+    /// Stops the service from the hosting process: drains workers, then
+    /// unblocks and joins the accept loop.
+    pub fn shutdown(&self) {
+        self.server.shutdown();
+        let _ = TcpStream::connect(self.local_addr);
+        self.join();
+    }
+
+    /// Waits for the accept loop to exit (after a client-driven
+    /// `Shutdown` or [`shutdown`](Self::shutdown)).
+    pub fn join(&self) {
+        let handle = self.accept.lock().expect("accept handle poisoned").take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+}

@@ -20,6 +20,7 @@
 //! | [`program`] | `cenn-program` | bitstream + solver session |
 //! | [`equations`] | `cenn-equations` | the six §6.1 benchmarks |
 //! | [`baselines`] | `cenn-baselines` | float reference + CPU/GPU rooflines |
+//! | [`serve`] | `cenn-serve` | multi-tenant solver service + deterministic fleet harness |
 //!
 //! # Quickstart
 //!
@@ -92,6 +93,12 @@ pub mod baselines {
 /// Computing-with-dynamical-systems applications (`cenn-apps`).
 pub mod apps {
     pub use cenn_apps::*;
+}
+
+/// The multi-tenant solver service: frame protocol, session manager,
+/// server/client, deterministic fleet harness (`cenn-serve`).
+pub mod serve {
+    pub use cenn_serve::*;
 }
 
 /// Span-level tracing: phase taxonomy, latency histograms, span rings,

@@ -120,3 +120,84 @@ fn error_breakdown_ordering_matches_sec61() {
         hh_v.total_mean
     );
 }
+
+#[test]
+fn wave_error_budget_splits_cleanly() {
+    // Damped wave equation: both layers (displacement w and velocity chi)
+    // use purely linear templates, so the entire error budget must come
+    // from Q16.16 quantization — the LUT share is identically zero.
+    let setup = cenn::equations::Wave::default().build(24, 24).unwrap();
+    let r = compare(&setup, 150).unwrap();
+    assert_eq!(r.layers.len(), 2, "wave observes w and chi");
+    for l in &r.layers {
+        // Measured: w ~4.3e-3, chi ~2.0e-4 against an O(1) amplitude.
+        assert!(
+            l.total_mean < 2e-2,
+            "{}: mean abs error {} too large",
+            l.layer,
+            l.total_mean
+        );
+        assert_eq!(
+            l.lut_mean, 0.0,
+            "{}: linear templates never touch the LUT",
+            l.layer
+        );
+        // Quantization error accounts for (essentially) all of the total.
+        assert!(
+            l.fixed_point_mean > 0.0 && l.fixed_point_mean <= l.total_mean * 1.01,
+            "{}: fixed-point share {} vs total {}",
+            l.layer,
+            l.fixed_point_mean,
+            l.total_mean
+        );
+    }
+}
+
+#[test]
+fn burgers_shock_amplitude_matches_reference() {
+    // Viscous Burgers uses dynamic advection weights built from an
+    // identity-function LUT, whose entries are exact up to quantization:
+    // the error budget stays tiny and the nonlinear steepening reaches
+    // the same amplitude as the float reference.
+    let setup = cenn::equations::Burgers::default().build(24, 24).unwrap();
+    let r = compare(&setup, 150).unwrap();
+    let l = &r.layers[0];
+    // Measured: ~4.1e-5 mean abs error over 150 steps.
+    assert!(l.total_mean < 5e-4, "burgers total error {}", l.total_mean);
+
+    let setup = cenn::equations::Burgers::default().build(24, 24).unwrap();
+    let mut fixed = FixedRunner::new(setup.clone()).unwrap();
+    let mut float = FloatRunner::new(setup, Precision::F64).unwrap();
+    fixed.run(150);
+    float.run(150);
+    let af = fixed.observed_states()[0].1.max_abs();
+    let ag = float.observed_states()[0].1.max_abs();
+    assert!(
+        (af - ag).abs() < 1e-2 * ag.max(1e-9),
+        "shock amplitude diverged: fixed {af} vs float {ag}"
+    );
+}
+
+#[test]
+fn navier_stokes_error_budget_per_layer() {
+    // Complements the decay-rate check above with the §6.1 error split:
+    // pointwise vorticity error against the float reference stays far
+    // below the initial O(1) Taylor–Green amplitude.
+    let setup = NavierStokes::default().build(32, 32).unwrap();
+    let r = compare(&setup, 120).unwrap();
+    for l in &r.layers {
+        // Measured: omega ~5.1e-5 mean abs error over 120 steps.
+        assert!(
+            l.total_mean < 1e-3,
+            "{}: mean abs error {} too large",
+            l.layer,
+            l.total_mean
+        );
+        assert!(
+            l.fixed_point_mean > 0.0,
+            "{}: quantization error must be present, got {}",
+            l.layer,
+            l.fixed_point_mean
+        );
+    }
+}

@@ -1,0 +1,340 @@
+//! Integration tests for the multi-tenant solver service (`cenn-serve`).
+//!
+//! Everything here drives a real [`Server`] through the binary frame
+//! protocol — over in-memory loopback transports, so the full stack
+//! (framing, typed messages, session manager, worker pool, checkpoint
+//! spool) is exercised without sockets. The contracts pinned:
+//!
+//! 1. **Lifecycle** — submit → step → stream → suspend → resume → close,
+//!    with the suspended session living as a `CENNCKPT` file in the
+//!    spool and every error typed.
+//! 2. **Load-level determinism** — an 8-session client fleet (one
+//!    session suspending/resuming mid-run) produces byte-identical
+//!    per-session digests across worker counts and independent reruns.
+//! 3. **Suspend/resume transparency** — an interrupted run converges
+//!    bit-identically to an uninterrupted one, layer bits included.
+//! 4. **Codec robustness** — property tests: frames round-trip arbitrary
+//!    payloads; truncation, oversized prefixes, and bit flips yield
+//!    typed errors, never panics.
+//! 5. **Session event stream** — the canonical `session` JSONL stream
+//!    for a scripted run matches its golden fixture
+//!    (`tests/fixtures/session_events.jsonl`; re-bless with
+//!    `CENN_BLESS=1 cargo test --test serve`).
+
+use std::path::PathBuf;
+
+use cenn::equations::{DynamicalSystem, Fisher, FixedRunner, GrayScott};
+use cenn::obs::{validate_jsonl_line, RecorderHandle};
+use cenn::serve::{
+    loopback, read_frame, run_fleet, write_frame, Client, ClientError, ErrorCode, FleetConfig,
+    FrameError, Request, Server, ServerConfig, MAX_FRAME_LEN,
+};
+use proptest::prelude::*;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures")
+        .join(name)
+}
+
+/// Compares `got` against the committed fixture, or rewrites the fixture
+/// when `CENN_BLESS=1` is set.
+fn assert_matches_fixture(got: &str, name: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("CENN_BLESS").is_some() {
+        std::fs::write(&path, got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {}: {e}; run with CENN_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "{name} deviates from the golden fixture; if the change is \
+         intentional, re-bless with CENN_BLESS=1"
+    );
+}
+
+/// A scratch directory unique to this test run.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cenn-serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Opens a loopback connection to `server`, serving it on a background
+/// thread (which exits when the client drops).
+fn connect(server: &std::sync::Arc<Server>) -> Client<loopback::Loopback> {
+    let (ours, theirs) = loopback::pair();
+    let srv = server.clone();
+    std::thread::spawn(move || {
+        srv.handle_conn(theirs);
+    });
+    Client::new(ours)
+}
+
+#[test]
+fn full_session_lifecycle_over_loopback() {
+    let spool = scratch("lifecycle");
+    let server = Server::start(ServerConfig::new(2, &spool)).unwrap();
+    let mut client = connect(&server);
+
+    client.ping().unwrap();
+    let session = client.submit("fisher", 8, 8).unwrap();
+    let (steps, _) = client.step(session, 25).unwrap();
+    assert_eq!(steps, 25);
+
+    // The served trajectory is bit-identical to a direct in-process run.
+    let (rows, cols, bits) = client.stream_state(session, 0).unwrap();
+    assert_eq!((rows, cols), (8, 8));
+    let mut reference = FixedRunner::new(Fisher::default().build(8, 8).unwrap()).unwrap();
+    reference.run(25);
+    assert_eq!(bits, reference.sim().snapshot().states[0]);
+
+    // Suspend spools a real CENNCKPT file and frees the session.
+    assert_eq!(client.suspend(session).unwrap(), 25);
+    let ckpt = spool.join(format!("session_{session}.ckpt"));
+    let header = std::fs::read(&ckpt).unwrap();
+    assert_eq!(&header[..8], b"CENNCKPT", "spool file is a checkpoint");
+    match client.step(session, 1).unwrap_err() {
+        ClientError::Server { code, .. } => assert_eq!(code, ErrorCode::SessionSuspended),
+        other => panic!("expected typed server error, got {other}"),
+    }
+
+    // Resume restores the exact step counter, reclaims the spool file,
+    // and the run continues.
+    assert_eq!(client.resume(session).unwrap(), 25);
+    assert!(!ckpt.exists(), "resume cleans up the spooled checkpoint");
+    let (steps, _) = client.step(session, 25).unwrap();
+    assert_eq!(steps, 50);
+    let (_, digest) = client.digest(session).unwrap();
+    assert_ne!(digest, 0);
+
+    client.close(session).unwrap();
+    match client.digest(session).unwrap_err() {
+        ClientError::Server { code, .. } => assert_eq!(code, ErrorCode::NoSuchSession),
+        other => panic!("expected typed server error, got {other}"),
+    }
+
+    // Typed errors for bad submissions.
+    match client.submit("not-a-system", 4, 4).unwrap_err() {
+        ClientError::Server { code, .. } => assert_eq!(code, ErrorCode::UnknownSystem),
+        other => panic!("expected typed server error, got {other}"),
+    }
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+#[test]
+fn fleet_digests_are_invariant_to_workers_and_reruns() {
+    let cfg = FleetConfig {
+        sessions: 8,
+        base_steps: 60,
+        chunk: 20,
+        seed: 7,
+        suspend_mid_run: true,
+    };
+    let run_with = |workers: usize, tag: &str| {
+        let spool = scratch(tag);
+        let server = Server::start(ServerConfig::new(workers, &spool)).unwrap();
+        let report = run_fleet(&cfg, |_| {
+            let (ours, theirs) = loopback::pair();
+            let srv = server.clone();
+            std::thread::spawn(move || {
+                srv.handle_conn(theirs);
+            });
+            Ok(ours)
+        })
+        .unwrap();
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&spool);
+        report
+    };
+
+    let one = run_with(1, "fleet-w1");
+    let four = run_with(4, "fleet-w4");
+    let again = run_with(4, "fleet-w4-rerun");
+
+    assert_eq!(one.entries.len(), 8);
+    assert_eq!(
+        one.entries.iter().filter(|e| e.suspended).count(),
+        1,
+        "exactly one session takes the suspend/resume detour"
+    );
+    assert_eq!(
+        one.text(),
+        four.text(),
+        "fleet report must be byte-identical across worker counts"
+    );
+    assert_eq!(
+        four.text(),
+        again.text(),
+        "fleet report must be byte-identical across independent runs"
+    );
+    assert_eq!(one.combined_digest(), four.combined_digest());
+}
+
+#[test]
+fn mid_run_suspend_resume_converges_byte_identically() {
+    let spool = scratch("converge");
+    let server = Server::start(ServerConfig::new(2, &spool)).unwrap();
+    let mut client = connect(&server);
+
+    let control = client.submit("gray-scott", 10, 10).unwrap();
+    client.step(control, 60).unwrap();
+
+    let interrupted = client.submit("gray-scott", 10, 10).unwrap();
+    client.step(interrupted, 30).unwrap();
+    client.suspend(interrupted).unwrap();
+    client.resume(interrupted).unwrap();
+    client.step(interrupted, 30).unwrap();
+
+    let (_, want) = client.digest(control).unwrap();
+    let (_, got) = client.digest(interrupted).unwrap();
+    assert_eq!(got, want, "digest must not see the interruption");
+
+    // Belt and braces: every layer's raw bits agree, not just the hash.
+    let n_layers = GrayScott::default().build(4, 4).unwrap().model.n_layers();
+    for layer in 0..n_layers as u32 {
+        let (_, _, a) = client.stream_state(control, layer).unwrap();
+        let (_, _, b) = client.stream_state(interrupted, layer).unwrap();
+        assert_eq!(a, b, "layer {layer} bits diverged");
+    }
+
+    client.close(control).unwrap();
+    client.close(interrupted).unwrap();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+#[test]
+fn session_event_stream_matches_golden_fixture() {
+    let spool = scratch("events");
+    let logs = scratch("events-logs");
+    let (handle, reader) = RecorderHandle::in_memory(true);
+    let mut cfg = ServerConfig::new(1, &spool);
+    cfg.manager.recorder = Some(handle);
+    cfg.manager.session_log_dir = Some(logs.clone());
+    cfg.manager.canonical_logs = true;
+    let server = Server::start(cfg).unwrap();
+    let mut client = connect(&server);
+
+    // A fixed scripted session: the canonical event stream for this
+    // sequence is a stable, committed artifact.
+    let session = client.submit("fisher", 8, 8).unwrap();
+    client.step(session, 20).unwrap();
+    client.suspend(session).unwrap();
+    client.resume(session).unwrap();
+    client.step(session, 12).unwrap();
+    client.digest(session).unwrap();
+    client.close(session).unwrap();
+    server.shutdown();
+
+    let stream = reader.lock().unwrap().to_jsonl();
+    for line in stream.lines() {
+        validate_jsonl_line(line).unwrap();
+    }
+    let kinds: Vec<&str> = stream
+        .lines()
+        .map(|l| {
+            let key = "\"kind\":\"";
+            let start = l.find(key).unwrap() + key.len();
+            &l[start..start + l[start..].find('"').unwrap()]
+        })
+        .collect();
+    assert_eq!(
+        kinds,
+        [
+            "submitted",
+            "stepped",
+            "suspended",
+            "resumed",
+            "stepped",
+            "digest",
+            "closed"
+        ]
+    );
+    assert_matches_fixture(&stream, "session_events.jsonl");
+
+    // The per-session JSONL file carries the same canonical stream.
+    let per_session =
+        std::fs::read_to_string(logs.join(format!("session_{session}.jsonl"))).unwrap();
+    assert_eq!(per_session, stream);
+
+    let _ = std::fs::remove_dir_all(&spool);
+    let _ = std::fs::remove_dir_all(&logs);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any payload survives a frame round trip, including empty ones.
+    #[test]
+    fn frames_round_trip_arbitrary_payloads(
+        payload in prop::collection::vec(any::<u8>(), 0..2048usize),
+    ) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut cursor = &buf[..];
+        prop_assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), payload);
+        prop_assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF after");
+    }
+
+    /// Cutting a frame anywhere yields a typed result — clean EOF at a
+    /// frame boundary, `Truncated` mid-frame — never a panic or a hang.
+    #[test]
+    fn truncated_frames_are_typed(
+        payload in prop::collection::vec(any::<u8>(), 0..256usize),
+        cut_seed in any::<u64>(),
+    ) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let cut = (cut_seed as usize) % buf.len();
+        let mut cursor = &buf[..cut];
+        match read_frame(&mut cursor) {
+            Ok(None) => prop_assert_eq!(cut, 0, "EOF only at the frame boundary"),
+            Err(FrameError::Truncated { .. }) => prop_assert!(cut > 0),
+            _ => prop_assert!(false, "cut at {} gave an untyped result", cut),
+        }
+    }
+
+    /// A corrupted length prefix is rejected before allocation when it
+    /// exceeds the cap, and decoding bit-flipped request payloads never
+    /// panics — every outcome is `Ok` or a typed `Malformed`.
+    #[test]
+    fn bit_flips_never_panic(
+        session in any::<u64>(),
+        n in any::<u64>(),
+        flip_byte in any::<u64>(),
+        flip_bit in 0u8..8,
+    ) {
+        // Flip one bit somewhere in a valid encoded request.
+        let mut payload = Request::Step { session, n }.encode();
+        let idx = (flip_byte as usize) % payload.len();
+        payload[idx] ^= 1 << flip_bit;
+        match Request::decode(&payload) {
+            Ok(_) | Err(FrameError::Malformed(_)) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {}", other),
+        }
+
+        // A bare length prefix with no payload: every outcome is typed.
+        let len = session as u32;
+        let framed = len.to_le_bytes();
+        let mut cursor = &framed[..];
+        match read_frame(&mut cursor) {
+            Ok(Some(p)) => prop_assert_eq!((len as usize, p.len()), (0, 0)),
+            Ok(None) => prop_assert!(false, "header was complete, not EOF"),
+            Err(FrameError::Oversized { .. }) => {
+                prop_assert!(len as usize > MAX_FRAME_LEN)
+            }
+            Err(FrameError::Truncated { .. }) => {
+                prop_assert!(len > 0 && len as usize <= MAX_FRAME_LEN)
+            }
+            Err(e) => prop_assert!(false, "unexpected error class: {}", e),
+        }
+    }
+}
