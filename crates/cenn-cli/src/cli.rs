@@ -51,16 +51,24 @@ USAGE:
       the previous BENCH file (or --baseline FILE) and exits non-zero on
       any phase slower than --threshold percent (default 25).
   cenn serve [--listen ADDR] [--workers N] [--quantum N] [--spool DIR]
-             [--session-logs DIR]
+             [--session-logs DIR] [--max-sessions N] [--max-pending N]
+             [--idle-timeout MS]
       Run the multi-tenant solver service: a blocking TCP accept loop
       (default 127.0.0.1:17117) over a fixed pool of N worker threads
       (default 2) scheduling client sessions in deterministic fair
       round-robin quanta (default 32 steps). Sessions suspend to
       CENNCKPT files in --spool and resume bit-exactly; --session-logs
       streams each session's lifecycle events to
-      DIR/session_<id>.jsonl. Blocks until a client sends Shutdown.
+      DIR/session_<id>.jsonl. If --spool holds a MANIFEST from a prior
+      run, valid sessions are recovered as suspended and damaged files
+      are quarantined before the server accepts connections.
+      --max-sessions / --max-pending shed load with a retryable
+      `overloaded` error past those ceilings; --idle-timeout closes
+      connections silent for MS milliseconds, suspending their
+      sessions first. Blocks until a client sends Shutdown.
   cenn fleet [--connect ADDR] [--workers N] [--sessions N] [--steps N]
              [--chunk N] [--seed N] [--no-suspend] [--shutdown]
+             [--durable] [--chaos SPEC]
       Drive the seeded synthetic client fleet: N concurrent sessions
       (default 8) running mixed workloads, one suspending/resuming
       mid-run. Prints per-session end-state digests plus a combined
@@ -68,6 +76,15 @@ USAGE:
       reruns. Without --connect the fleet self-hosts an in-process
       server with --workers threads; with --connect it targets a
       running `cenn serve` (--shutdown stops it afterwards).
+      --durable drives each session through a retrying client with a
+      per-chunk checkpoint cadence, so the fleet rides out server
+      restarts. --chaos SPEC (implies --durable, self-hosted only)
+      injects scheduled service faults — conn-drop@OP:session=N[,when=
+      send|recv], frame-corrupt@OP:session=N[,byte=B,bit=B],
+      worker-stall@QUANTUM:ms=M, crash-restart@OP:session=N — where OP
+      is the target session's outbound-frame index. Fault accounting
+      goes to stderr; stdout stays byte-comparable with an undisturbed
+      run.
   cenn program --system <name> [--grid N] --out FILE
       Compile a system to its solver bitstream.
   cenn inspect FILE

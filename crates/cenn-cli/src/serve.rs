@@ -2,8 +2,12 @@
 //! deterministic client-fleet load harness).
 
 use std::io::Write as _;
+use std::time::Duration;
 
-use cenn::serve::{loopback, run_fleet, Client, FleetConfig, Server, ServerConfig};
+use cenn::serve::{
+    loopback, run_chaos_fleet, run_fleet, run_resilient_fleet, ChaosPlan, Client, FleetConfig,
+    Manifest, RetryPolicy, Server, ServerConfig,
+};
 
 use crate::cli::CliError;
 
@@ -21,6 +25,9 @@ struct ServeOpts {
     quantum: u64,
     spool: Option<String>,
     session_logs: Option<String>,
+    max_sessions: Option<usize>,
+    max_pending: Option<u64>,
+    idle_timeout_ms: Option<u64>,
 }
 
 fn parse_serve(args: &[String]) -> Result<ServeOpts, CliError> {
@@ -30,6 +37,9 @@ fn parse_serve(args: &[String]) -> Result<ServeOpts, CliError> {
         quantum: 32,
         spool: None,
         session_logs: None,
+        max_sessions: None,
+        max_pending: None,
+        idle_timeout_ms: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -56,6 +66,33 @@ fn parse_serve(args: &[String]) -> Result<ServeOpts, CliError> {
             }
             "--spool" => opts.spool = Some(value("--spool")?),
             "--session-logs" => opts.session_logs = Some(value("--session-logs")?),
+            "--max-sessions" => {
+                opts.max_sessions = Some(
+                    value("--max-sessions")?
+                        .parse()
+                        .ok()
+                        .filter(|n| *n > 0)
+                        .ok_or_else(|| err("--max-sessions needs a positive integer"))?,
+                )
+            }
+            "--max-pending" => {
+                opts.max_pending = Some(
+                    value("--max-pending")?
+                        .parse()
+                        .ok()
+                        .filter(|n| *n > 0)
+                        .ok_or_else(|| err("--max-pending needs a positive integer"))?,
+                )
+            }
+            "--idle-timeout" => {
+                opts.idle_timeout_ms = Some(
+                    value("--idle-timeout")?
+                        .parse()
+                        .ok()
+                        .filter(|n| *n > 0)
+                        .ok_or_else(|| err("--idle-timeout needs a positive millisecond count"))?,
+                )
+            }
             other => return Err(err(format!("unknown option '{other}'"))),
         }
     }
@@ -67,6 +104,9 @@ fn scratch_dir(tag: &str) -> std::path::PathBuf {
 }
 
 /// `cenn serve`: bind, accept, and block until a client sends `Shutdown`.
+/// If the spool already holds a recovery `MANIFEST` (a previous server
+/// died there), the service restarts from it: digest-valid checkpoints
+/// come back as suspended sessions, damaged ones are quarantined.
 pub fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     let opts = parse_serve(args)?;
     let spool = opts
@@ -76,7 +116,30 @@ pub fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     let mut cfg = ServerConfig::new(opts.workers, &spool);
     cfg.manager.quantum = opts.quantum;
     cfg.manager.session_log_dir = opts.session_logs.clone().map(Into::into);
-    let server = Server::start(cfg).map_err(|e| err(format!("starting service: {e}")))?;
+    if let Some(n) = opts.max_sessions {
+        cfg.manager.max_sessions = n;
+    }
+    if let Some(n) = opts.max_pending {
+        cfg.manager.max_pending = n;
+    }
+    if let Some(ms) = opts.idle_timeout_ms {
+        cfg = cfg.with_idle_timeout(Duration::from_millis(ms));
+    }
+    let server = if Manifest::path_in(&spool).exists() {
+        let (server, report) =
+            Server::recover(cfg).map_err(|e| err(format!("recovering service: {e}")))?;
+        println!(
+            "cenn serve: recovered {} session(s) from spool, quarantined {}",
+            report.recovered.len(),
+            report.quarantined.len()
+        );
+        for (id, reason) in &report.quarantined {
+            println!("cenn serve: quarantined session {id}: {reason}");
+        }
+        server
+    } else {
+        Server::start(cfg).map_err(|e| err(format!("starting service: {e}")))?
+    };
     let handle = server
         .serve_tcp(&opts.listen)
         .map_err(|e| err(format!("binding {}: {e}", opts.listen)))?;
@@ -102,6 +165,8 @@ struct FleetOpts {
     connect: Option<String>,
     workers: usize,
     shutdown: bool,
+    durable: bool,
+    chaos: Option<String>,
 }
 
 fn parse_fleet(args: &[String]) -> Result<FleetOpts, CliError> {
@@ -110,6 +175,8 @@ fn parse_fleet(args: &[String]) -> Result<FleetOpts, CliError> {
         connect: None,
         workers: 2,
         shutdown: false,
+        durable: false,
+        chaos: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -155,6 +222,8 @@ fn parse_fleet(args: &[String]) -> Result<FleetOpts, CliError> {
             }
             "--no-suspend" => opts.cfg.suspend_mid_run = false,
             "--shutdown" => opts.shutdown = true,
+            "--durable" => opts.durable = true,
+            "--chaos" => opts.chaos = Some(value("--chaos")?),
             other => return Err(err(format!("unknown option '{other}'"))),
         }
     }
@@ -163,7 +232,23 @@ fn parse_fleet(args: &[String]) -> Result<FleetOpts, CliError> {
             "--workers applies to the self-hosted fleet; with --connect the server chooses",
         ));
     }
+    if opts.chaos.is_some() && opts.connect.is_some() {
+        return Err(err(
+            "--chaos self-hosts its server (it must be able to kill and restart it); \
+             drop --connect",
+        ));
+    }
     Ok(opts)
+}
+
+/// The retry posture durable/chaos fleets run with: enough attempts to
+/// ride out a server kill and restart, ~10 s I/O deadline so a wedged
+/// server cannot hang the harness.
+fn durable_policy(seed: u64) -> (RetryPolicy, Option<Duration>) {
+    (
+        RetryPolicy::crash_tolerant(seed),
+        Some(Duration::from_secs(10)),
+    )
 }
 
 /// `cenn fleet`: drive the seeded synthetic fleet, either against a
@@ -172,15 +257,56 @@ fn parse_fleet(args: &[String]) -> Result<FleetOpts, CliError> {
 /// The output is exactly the fleet report — per-session digests plus the
 /// combined digest, nothing environment-dependent — so two invocations
 /// are byte-comparable: same seed, same digests, for any worker count.
+/// `--durable` drives the fleet through retrying clients with a
+/// per-chunk checkpoint cadence (survives server restarts); `--chaos`
+/// additionally injects a scheduled fault plan into a self-hosted
+/// server, printing the fault accounting to stderr so stdout stays
+/// byte-comparable.
 pub fn cmd_fleet(args: &[String]) -> Result<String, CliError> {
     let opts = parse_fleet(args)?;
+    if let Some(spec) = &opts.chaos {
+        let plan = ChaosPlan::parse(spec).map_err(|e| err(format!("--chaos: {e}")))?;
+        let spool = scratch_dir("chaos-spool");
+        let mut cfg = ServerConfig::new(opts.workers, &spool);
+        cfg.manager.quantum = 32;
+        let (policy, deadline) = durable_policy(opts.cfg.seed);
+        let result = run_chaos_fleet(&opts.cfg, cfg, &plan, policy, deadline);
+        let _ = std::fs::remove_dir_all(&spool);
+        let (report, stats) = result.map_err(|e| err(e.to_string()))?;
+        eprintln!(
+            "cenn fleet: chaos injected {} fault(s), {} crash(es), \
+             {} session(s) recovered, {} quarantined{}",
+            stats.injected.len(),
+            stats.crashes,
+            stats.recovered_sessions,
+            stats.quarantined_sessions,
+            if stats.remaining.is_empty() {
+                String::new()
+            } else {
+                format!("; NEVER FIRED: {}", stats.remaining.join(", "))
+            }
+        );
+        for f in &stats.injected {
+            eprintln!("cenn fleet: chaos fired {f}");
+        }
+        return Ok(report.text().trim_end().to_string());
+    }
     let report = match &opts.connect {
         Some(addr) => {
-            let report = run_fleet(&opts.cfg, |_| {
-                let s = std::net::TcpStream::connect(addr)?;
-                s.set_nodelay(true)?;
-                Ok(s)
-            })
+            let report = if opts.durable {
+                let (policy, deadline) = durable_policy(opts.cfg.seed);
+                run_resilient_fleet(&opts.cfg, policy, deadline, |_| {
+                    let s = std::net::TcpStream::connect(addr)?;
+                    s.set_nodelay(true)?;
+                    Ok(s)
+                })
+            } else {
+                run_fleet(&opts.cfg, |_| {
+                    let s = std::net::TcpStream::connect(addr)?;
+                    s.set_nodelay(true)?;
+                    Ok(s)
+                })
+            }
             .map_err(|e| err(e.to_string()))?;
             if opts.shutdown {
                 let mut client = Client::connect_tcp(addr)
@@ -196,14 +322,20 @@ pub fn cmd_fleet(args: &[String]) -> Result<String, CliError> {
             let mut cfg = ServerConfig::new(opts.workers, &spool);
             cfg.manager.quantum = 32;
             let server = Server::start(cfg).map_err(|e| err(format!("starting service: {e}")))?;
-            let result = run_fleet(&opts.cfg, |_| {
+            let connect = |_| {
                 let (ours, theirs) = loopback::pair();
                 let srv = server.clone();
                 std::thread::spawn(move || {
                     srv.handle_conn(theirs);
                 });
                 Ok(ours)
-            });
+            };
+            let result = if opts.durable {
+                let (policy, deadline) = durable_policy(opts.cfg.seed);
+                run_resilient_fleet(&opts.cfg, policy, deadline, connect)
+            } else {
+                run_fleet(&opts.cfg, connect)
+            };
             server.shutdown();
             let _ = std::fs::remove_dir_all(&spool);
             result.map_err(|e| err(e.to_string()))?

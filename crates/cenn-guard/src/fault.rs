@@ -119,6 +119,114 @@ impl fmt::Display for PlanParseError {
 
 impl std::error::Error for PlanParseError {}
 
+/// One parsed `kind@step:key=value,...` spec entry — the shared grammar
+/// behind solver fault plans and the service-layer chaos plans built on
+/// the same spelling. Parsing the schedule shape is separated from
+/// interpreting the kinds so other crates can add their own fault
+/// vocabularies without reinventing the syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecEntry {
+    /// The raw entry text (for error reporting).
+    pub text: String,
+    /// The fault kind before the `@`.
+    pub kind: String,
+    /// The scheduling point after the `@` (a step for solver faults, an
+    /// operation index for service faults).
+    pub step: u64,
+    /// The `key=value` fields, in spec order.
+    pub fields: Vec<(String, String)>,
+}
+
+impl SpecEntry {
+    /// A [`PlanParseError`] blaming this entry.
+    pub fn err(&self, reason: impl Into<String>) -> PlanParseError {
+        PlanParseError {
+            entry: self.text.clone(),
+            reason: reason.into(),
+        }
+    }
+
+    /// The raw value of `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The numeric value of a required field.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanParseError`] if the field is absent or not a number.
+    pub fn num(&self, key: &str) -> Result<i64, PlanParseError> {
+        let value = self
+            .get(key)
+            .ok_or_else(|| self.err(format!("missing field '{key}'")))?;
+        value
+            .parse()
+            .map_err(|_| self.err(format!("field '{key}' is not a number")))
+    }
+
+    /// The numeric value of an optional field, or `default`.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanParseError`] if the field is present but not a number.
+    pub fn num_or(&self, key: &str, default: i64) -> Result<i64, PlanParseError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(_) => self.num(key),
+        }
+    }
+}
+
+/// Splits a `;`-separated spec into [`SpecEntry`]s, validating only the
+/// schedule shape (`kind@step:key=value,...`); kinds and fields are the
+/// caller's vocabulary. Empty entries are skipped, so trailing `;` is
+/// fine.
+///
+/// # Errors
+///
+/// A [`PlanParseError`] naming the first offending entry.
+pub fn parse_spec(spec: &str) -> Result<Vec<SpecEntry>, PlanParseError> {
+    fn err(entry: &str, reason: String) -> PlanParseError {
+        PlanParseError {
+            entry: entry.to_string(),
+            reason,
+        }
+    }
+    let mut entries = Vec::new();
+    for entry in spec.split(';').filter(|e| !e.trim().is_empty()) {
+        let entry = entry.trim();
+        let (head, fields) = entry
+            .split_once(':')
+            .ok_or_else(|| err(entry, "missing ':' between schedule and fields".into()))?;
+        let (kind, step) = head
+            .split_once('@')
+            .ok_or_else(|| err(entry, "missing '@step' in schedule".into()))?;
+        let step: u64 = step
+            .parse()
+            .map_err(|_| err(entry, "step is not a number".into()))?;
+        let fields = fields
+            .split(',')
+            .filter(|kv| !kv.trim().is_empty())
+            .map(|kv| {
+                kv.split_once('=')
+                    .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+                    .ok_or_else(|| err(entry, format!("field '{kv}' is not key=value")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        entries.push(SpecEntry {
+            text: entry.to_string(),
+            kind: kind.to_string(),
+            step,
+            fields,
+        });
+    }
+    Ok(entries)
+}
+
 /// A deterministic schedule of bit flips, sorted by step, consumed once.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
@@ -183,61 +291,33 @@ impl FaultPlan {
     ///
     /// Returns a [`PlanParseError`] naming the offending entry.
     pub fn parse(spec: &str) -> Result<Self, PlanParseError> {
-        fn err(entry: &str, reason: String) -> PlanParseError {
-            PlanParseError {
-                entry: entry.to_string(),
-                reason,
-            }
-        }
-        fn field(entry: &str, fields: &str, key: &str) -> Result<i64, PlanParseError> {
-            let value = fields
-                .split(',')
-                .filter_map(|kv| kv.split_once('='))
-                .find(|(k, _)| *k == key)
-                .map(|(_, v)| v)
-                .ok_or_else(|| err(entry, format!("missing field '{key}'")))?;
-            value
-                .parse()
-                .map_err(|_| err(entry, format!("field '{key}' is not a number")))
-        }
         let mut plan = Self::new();
-        for entry in spec.split(';').filter(|e| !e.trim().is_empty()) {
-            let entry = entry.trim();
-            let (head, fields) = entry
-                .split_once(':')
-                .ok_or_else(|| err(entry, "missing ':' between schedule and fields".into()))?;
-            let (kind, step) = head
-                .split_once('@')
-                .ok_or_else(|| err(entry, "missing '@step' in schedule".into()))?;
-            let step: u64 = step
-                .parse()
-                .map_err(|_| err(entry, "step is not a number".into()))?;
-            let target = match kind {
+        for e in parse_spec(spec)? {
+            let target = match e.kind.as_str() {
                 "lut" => FaultTarget::Lut {
-                    func: field(entry, fields, "func")? as u16,
-                    idx: field(entry, fields, "idx")? as i32,
-                    word: field(entry, fields, "word")? as usize,
-                    bit: field(entry, fields, "bit")? as u32,
+                    func: e.num("func")? as u16,
+                    idx: e.num("idx")? as i32,
+                    word: e.num("word")? as usize,
+                    bit: e.num("bit")? as u32,
                 },
                 "state" => FaultTarget::State {
-                    layer: field(entry, fields, "layer")? as usize,
-                    r: field(entry, fields, "r")? as usize,
-                    c: field(entry, fields, "c")? as usize,
-                    bit: field(entry, fields, "bit")? as u32,
+                    layer: e.num("layer")? as usize,
+                    r: e.num("r")? as usize,
+                    c: e.num("c")? as usize,
+                    bit: e.num("bit")? as u32,
                 },
                 "template" => FaultTarget::Template {
-                    layer: field(entry, fields, "layer")? as usize,
-                    tap: field(entry, fields, "tap")? as usize,
-                    bit: field(entry, fields, "bit")? as u32,
+                    layer: e.num("layer")? as usize,
+                    tap: e.num("tap")? as usize,
+                    bit: e.num("bit")? as u32,
                 },
                 other => {
-                    return Err(err(
-                        entry,
-                        format!("unknown fault kind '{other}' (expected lut, state, or template)"),
-                    ))
+                    return Err(e.err(format!(
+                        "unknown fault kind '{other}' (expected lut, state, or template)"
+                    )))
                 }
             };
-            plan.push(step, target);
+            plan.push(e.step, target);
         }
         Ok(plan)
     }
@@ -319,6 +399,20 @@ mod tests {
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "accepted: {bad}");
         }
+    }
+
+    #[test]
+    fn shared_grammar_exposes_kinds_and_fields() {
+        let entries = parse_spec("conn-drop@3:session=2,when=send; worker-stall@5:ms=40").unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].kind, "conn-drop");
+        assert_eq!(entries[0].step, 3);
+        assert_eq!(entries[0].num("session").unwrap(), 2);
+        assert_eq!(entries[0].get("when"), Some("send"));
+        assert_eq!(entries[0].num_or("bit", 7).unwrap(), 7);
+        assert_eq!(entries[1].num("ms").unwrap(), 40);
+        assert!(entries[0].num("absent").is_err());
+        assert!(parse_spec("x@1:not-key-value").is_err());
     }
 
     #[test]

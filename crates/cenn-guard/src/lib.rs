@@ -33,6 +33,6 @@ pub mod health;
 
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointStore};
 pub use config::{GuardConfig, RecoveryPolicy};
-pub use fault::{FaultPlan, FaultTarget, PlanParseError, ScheduledFault};
+pub use fault::{parse_spec, FaultPlan, FaultTarget, PlanParseError, ScheduledFault, SpecEntry};
 pub use guard::{Guard, GuardError, GuardReport};
 pub use health::{saturation_fraction, HealthIssue, HealthMonitor};

@@ -178,8 +178,13 @@ pub struct SessionEvent {
     pub session: u64,
     /// The session's step counter when the action completed.
     pub step: u64,
-    /// Stable action discriminator (`"submitted"`, `"stepped"`,
-    /// `"suspended"`, `"resumed"`, `"digest"`, `"closed"`).
+    /// Stable action discriminator. Lifecycle kinds: `"submitted"`,
+    /// `"stepped"`, `"suspended"`, `"resumed"`, `"digest"`, `"closed"`.
+    /// Crash-safety kinds (same schema, new values — canonical streams
+    /// stay byte-reproducible): `"recovered"` (session rehydrated from
+    /// the spool manifest after a restart), `"quarantined"` (its
+    /// checkpoint failed validation and was moved aside), `"shed"` /
+    /// `"shed-recovered"` (the server entered / left load-shedding).
     pub kind: String,
     /// The dynamical system the session runs (e.g. `"fisher"`).
     pub system: String,

@@ -29,6 +29,22 @@ impl JsonlSink<BufWriter<std::fs::File>> {
             canonical,
         ))
     }
+
+    /// Opens (creating if absent, appending if present) a JSONL file
+    /// sink at `path` — the restart-recovery spelling: a rehydrated
+    /// session keeps extending its pre-crash event log instead of
+    /// erasing it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-open errors.
+    pub fn append(path: impl AsRef<Path>, canonical: bool) -> std::io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Self::new(BufWriter::new(file), canonical))
+    }
 }
 
 impl<W: Write + Send> JsonlSink<W> {

@@ -187,7 +187,17 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("fleet session thread panicked"))
+            .enumerate()
+            // A panicking session thread becomes that session's typed
+            // failure instead of tearing down the whole fleet harness.
+            .map(|(index, h)| {
+                h.join().unwrap_or_else(|_| {
+                    Err(FleetError {
+                        index,
+                        message: "session thread panicked".into(),
+                    })
+                })
+            })
             .collect()
     });
     let mut entries = Vec::with_capacity(n);

@@ -37,6 +37,19 @@ pub enum FrameError {
     },
     /// The payload bytes do not decode as a protocol message.
     Malformed(String),
+    /// A read deadline expired *between* frames (no header byte had
+    /// arrived). Distinguished from [`FrameError::Io`] so servers can
+    /// treat it as "peer went quiet" (suspend and close) and clients as
+    /// "request timed out" (retry), rather than as transport damage.
+    IdleTimeout,
+}
+
+/// `true` for the error kinds OS read deadlines surface as.
+pub(crate) fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
 }
 
 impl fmt::Display for FrameError {
@@ -50,6 +63,7 @@ impl fmt::Display for FrameError {
                 write!(f, "oversized frame: {len} bytes exceeds {MAX_FRAME_LEN}")
             }
             Self::Malformed(m) => write!(f, "malformed frame payload: {m}"),
+            Self::IdleTimeout => write!(f, "no frame arrived within the read deadline"),
         }
     }
 }
@@ -91,8 +105,11 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError>
 /// # Errors
 ///
 /// [`FrameError::Truncated`] when the stream ends mid-frame,
-/// [`FrameError::Oversized`] for a length prefix past the cap, and
-/// [`FrameError::Io`] for transport failures.
+/// [`FrameError::Oversized`] for a length prefix past the cap,
+/// [`FrameError::IdleTimeout`] when a read deadline expires before the
+/// first header byte (mid-frame deadline expiry stays [`FrameError::Io`]
+/// — the stream is desynchronized and unusable), and [`FrameError::Io`]
+/// for transport failures.
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
     let mut header = [0u8; 4];
     let mut filled = 0;
@@ -107,6 +124,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
             }
             Ok(n) => filled += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if filled == 0 && is_timeout(&e) => return Err(FrameError::IdleTimeout),
             Err(e) => return Err(e.into()),
         }
     }
@@ -171,6 +189,43 @@ mod tests {
                 "cut at {cut}"
             );
         }
+    }
+
+    #[test]
+    fn timeout_before_header_is_idle_but_mid_frame_is_io() {
+        /// Yields its bytes, then times out like a socket with a
+        /// read deadline.
+        struct TimesOut(std::collections::VecDeque<u8>);
+        impl Read for TimesOut {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                if self.0.is_empty() {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WouldBlock,
+                        "deadline",
+                    ));
+                }
+                let n = out.len().min(self.0.len());
+                for slot in out.iter_mut().take(n) {
+                    *slot = self.0.pop_front().unwrap();
+                }
+                Ok(n)
+            }
+        }
+        let mut idle = TimesOut([].into());
+        assert!(matches!(
+            read_frame(&mut idle),
+            Err(FrameError::IdleTimeout)
+        ));
+        let mut mid_header = TimesOut([7u8, 0].into());
+        assert!(matches!(
+            read_frame(&mut mid_header),
+            Err(FrameError::Io(_))
+        ));
+        let mut mid_payload = TimesOut([2u8, 0, 0, 0, b'x'].into());
+        assert!(matches!(
+            read_frame(&mut mid_payload),
+            Err(FrameError::Io(_))
+        ));
     }
 
     #[test]

@@ -21,6 +21,13 @@
 //!   reruns; the service's load-level determinism proof.
 //! - **[`loopback`]** — in-memory duplex streams so every layer above
 //!   the transport is testable without sockets.
+//! - **[`spool`]** — the durable session spool: atomic checkpoint
+//!   writes, a versioned `MANIFEST` journal, and quarantine of damaged
+//!   files, driving [`SessionManager::recover`] restart recovery.
+//! - **[`chaos`]** — a deterministic service-layer fault harness
+//!   (connection drops, frame corruption, worker stalls, crash+restart)
+//!   that proves fleet digests survive every fault the retry layer
+//!   claims to absorb.
 //!
 //! # Example
 //!
@@ -50,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod digest;
 pub mod fleet;
@@ -58,11 +66,17 @@ pub mod loopback;
 pub mod manager;
 pub mod proto;
 pub mod server;
+pub mod spool;
 
-pub use client::{Client, ClientError};
+pub use chaos::{
+    run_chaos_fleet, run_resilient_fleet, ChaosDirector, ChaosFault, ChaosPlan, ChaosStats,
+    ChaosTransport, DropWhen,
+};
+pub use client::{Client, ClientError, Deadlines, RetryClient, RetryPolicy};
 pub use digest::state_digest;
 pub use fleet::{run_fleet, FleetConfig, FleetEntry, FleetError, FleetReport};
 pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
-pub use manager::{ManagerConfig, ServeError, SessionManager};
+pub use manager::{ManagerConfig, RecoveryReport, ServeError, SessionManager};
 pub use proto::{ErrorCode, Request, Response, PROTO_VERSION};
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use spool::{Manifest, ManifestEntry, QuarantineReason, SpoolError};

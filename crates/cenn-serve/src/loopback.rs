@@ -40,6 +40,7 @@ impl Pipe {
 pub struct Loopback {
     rx: Arc<Pipe>,
     tx: Arc<Pipe>,
+    read_timeout: Option<std::time::Duration>,
 }
 
 /// Creates a connected pair of endpoints. Dropping either endpoint
@@ -51,12 +52,24 @@ pub fn pair() -> (Loopback, Loopback) {
         Loopback {
             rx: b_to_a.clone(),
             tx: a_to_b.clone(),
+            read_timeout: None,
         },
         Loopback {
             rx: a_to_b,
             tx: b_to_a,
+            read_timeout: None,
         },
     )
+}
+
+impl Loopback {
+    /// Sets (or clears) a read deadline, mirroring
+    /// `TcpStream::set_read_timeout`: a blocked read returns a
+    /// `WouldBlock` error once the deadline passes. Writes never block
+    /// on a loopback, so there is no write counterpart.
+    pub fn set_read_timeout(&mut self, timeout: Option<std::time::Duration>) {
+        self.read_timeout = timeout;
+    }
 }
 
 impl Read for Loopback {
@@ -64,6 +77,7 @@ impl Read for Loopback {
         if out.is_empty() {
             return Ok(0);
         }
+        let deadline = self.read_timeout.map(|t| std::time::Instant::now() + t);
         let mut chan = self.rx.chan.lock().expect("loopback poisoned");
         loop {
             if !chan.buf.is_empty() {
@@ -76,7 +90,24 @@ impl Read for Loopback {
             if chan.closed {
                 return Ok(0);
             }
-            chan = self.rx.ready.wait(chan).expect("loopback poisoned");
+            match deadline {
+                None => chan = self.rx.ready.wait(chan).expect("loopback poisoned"),
+                Some(d) => {
+                    let now = std::time::Instant::now();
+                    if now >= d {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::WouldBlock,
+                            "loopback read deadline expired",
+                        ));
+                    }
+                    chan = self
+                        .rx
+                        .ready
+                        .wait_timeout(chan, d - now)
+                        .expect("loopback poisoned")
+                        .0;
+                }
+            }
         }
     }
 }
@@ -145,6 +176,19 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         a.write_all(b"hello").unwrap();
         assert_eq!(&t.join().unwrap(), b"hello");
+    }
+
+    #[test]
+    fn read_deadline_expires_as_would_block_without_eating_data() {
+        let (mut a, mut b) = pair();
+        b.set_read_timeout(Some(std::time::Duration::from_millis(10)));
+        let err = b.read(&mut [0u8; 4]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+        // Data that arrives later is still readable on the same endpoint.
+        a.write_all(b"late").unwrap();
+        let mut buf = [0u8; 4];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"late");
     }
 
     #[test]

@@ -17,8 +17,20 @@
 //! the model from the registry and restores the snapshot bit-exactly;
 //! only LUT cache counters start cold, which is why digests cover state
 //! bits and not cache accounting.
+//!
+//! Suspension is also the durability point. Checkpoints and the spool
+//! [`crate::spool::Manifest`] are written with temp+fsync+rename (see
+//! the [`crate::spool`] docs), resume *keeps* the spooled file (it is
+//! the session's recovery point until the next suspend or close), and
+//! [`SessionManager::recover`] rebuilds a manager from the manifest
+//! after a crash — admitting digest-valid checkpoints as suspended
+//! sessions under their original ids and quarantining the rest. Paired
+//! with the request-id idempotency cache (retried mutations replay
+//! their recorded outcome instead of re-executing) this makes a fleet
+//! driven by [`crate::RetryClient`] digest-identical across server
+//! kills, connection drops, and frame corruption.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::{Condvar, Mutex, MutexGuard};
 
@@ -27,7 +39,8 @@ use cenn_guard::Checkpoint;
 use cenn_obs::{Event, JsonlSink, RecorderHandle, SessionEvent};
 
 use crate::digest::state_digest;
-use crate::proto::ErrorCode;
+use crate::proto::{ErrorCode, Response};
+use crate::spool::{self, Manifest, ManifestEntry, QuarantineReason};
 
 /// A service-level failure: a machine-readable [`ErrorCode`] plus detail.
 /// Maps one-to-one onto [`crate::proto::Response::Error`].
@@ -53,6 +66,10 @@ impl ServeError {
             ErrorCode::NoSuchSession,
             format!("session {id} does not exist"),
         )
+    }
+
+    fn crashed() -> Self {
+        Self::new(ErrorCode::Internal, "server crashed")
     }
 }
 
@@ -81,10 +98,21 @@ pub struct ManagerConfig {
     pub canonical_logs: bool,
     /// Global event stream receiving every session's lifecycle events.
     pub recorder: Option<RecorderHandle>,
+    /// Load-shedding limit: `submit` answers `overloaded` once this many
+    /// sessions are live.
+    pub max_sessions: usize,
+    /// Load-shedding limit: `step` answers `overloaded` when the total
+    /// queued (unexecuted) steps across all sessions would exceed this.
+    pub max_pending: u64,
+    /// Chaos-harness hook: `(quantum index, millis)` stalls injected
+    /// into the worker loop at the given global quantum numbers. Pure
+    /// timing perturbation — must never change any digest.
+    pub stalls: Vec<(u64, u64)>,
 }
 
 impl ManagerConfig {
-    /// A config with the given spool directory and no log streams.
+    /// A config with the given spool directory, no log streams, and no
+    /// load-shedding limits.
     pub fn new(spool: impl Into<PathBuf>) -> Self {
         Self {
             quantum: 32,
@@ -92,6 +120,9 @@ impl ManagerConfig {
             session_log_dir: None,
             canonical_logs: true,
             recorder: None,
+            max_sessions: usize::MAX,
+            max_pending: u64::MAX,
+            stalls: Vec::new(),
         }
     }
 }
@@ -125,12 +156,65 @@ struct Session {
     log: Option<RecorderHandle>,
 }
 
+/// Remembered outcomes of mutating requests, keyed by request id: the
+/// idempotency cache. Only successful outcomes are stored (a failed
+/// request is safe to re-execute), only nonzero ids participate, and
+/// eviction is FIFO at a fixed capacity. The cache is in-memory by
+/// design — a crash loses it, and crash recovery relies on the
+/// suspend-point resync protocol instead.
+#[derive(Default)]
+struct DedupCache {
+    map: HashMap<u64, Response>,
+    order: VecDeque<u64>,
+}
+
+impl DedupCache {
+    const CAP: usize = 4096;
+
+    fn get(&self, req_id: u64) -> Option<Response> {
+        self.map.get(&req_id).cloned()
+    }
+
+    fn put(&mut self, req_id: u64, resp: &Response) {
+        if req_id == 0 || matches!(resp, Response::Error { .. }) {
+            return;
+        }
+        if self.map.insert(req_id, resp.clone()).is_none() {
+            self.order.push_back(req_id);
+            if self.order.len() > Self::CAP {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+}
+
 #[derive(Default)]
 struct Inner {
     sessions: BTreeMap<u64, Session>,
     next_id: u64,
     cursor: u64,
     shutdown: bool,
+    /// Hard-stop flag: workers abandon queued work, connections close
+    /// without replying. Set only by [`SessionManager::crash`].
+    crashed: bool,
+    /// `true` while the manager is refusing work at a load-shed limit
+    /// (drives the `shed`/`shed-recovered` event transitions).
+    shedding: bool,
+    /// Global quantum counter (drives the chaos stall schedule).
+    quanta: u64,
+    manifest: Manifest,
+    dedup: DedupCache,
+}
+
+/// What [`SessionManager::recover`] found in the spool.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Sessions rehydrated as suspended, by id.
+    pub recovered: Vec<u64>,
+    /// Sessions whose checkpoints were quarantined: `(id, reason)`.
+    pub quarantined: Vec<(u64, String)>,
 }
 
 /// The multi-tenant scheduler. See the module docs for the model.
@@ -169,6 +253,159 @@ impl SessionManager {
         })
     }
 
+    /// Rebuilds a manager from a crashed server's spool.
+    ///
+    /// The spool `MANIFEST` is replayed: every entry whose checkpoint
+    /// file exists and matches its recorded digest (and decodes as a
+    /// `CENNCKPT`) is rehydrated as a *suspended* session under its
+    /// original id; the rest are moved to `spool/quarantine/` and
+    /// reported with a typed reason. `next_id` resumes past the highest
+    /// manifest id so recovered and fresh sessions never collide, and
+    /// the pruned manifest is rewritten atomically.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::Internal`] if the spool directories cannot be made or
+    /// the manifest itself is unreadable/unparseable (a torn manifest
+    /// cannot happen under the atomic-write discipline, so this is a
+    /// genuine server fault, not data damage).
+    pub fn recover(cfg: ManagerConfig) -> Result<(Self, RecoveryReport), ServeError> {
+        let mgr = Self::new(cfg)?;
+        let manifest = Manifest::load(&mgr.cfg.spool)
+            .map_err(|e| ServeError::new(ErrorCode::Internal, format!("recovering spool: {e}")))?;
+        let mut report = RecoveryReport::default();
+        let mut kept = Manifest::default();
+        let mut max_id = 0u64;
+        for (id, entry) in &manifest.entries {
+            max_id = max_id.max(*id);
+            let path = mgr.cfg.spool.join(&entry.file);
+            let verdict: Result<(), QuarantineReason> = match std::fs::read(&path) {
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    Err(QuarantineReason::Missing)
+                }
+                Err(e) => Err(QuarantineReason::Unreadable(e.to_string())),
+                Ok(bytes) => {
+                    let actual = spool::file_digest(&bytes);
+                    if actual != entry.digest {
+                        Err(QuarantineReason::DigestMismatch {
+                            expected: entry.digest,
+                            actual,
+                        })
+                    } else {
+                        match Checkpoint::read_from(&bytes[..]) {
+                            Err(e) => Err(QuarantineReason::Unreadable(e.to_string())),
+                            Ok(ckpt) if ckpt.step() != entry.steps => {
+                                Err(QuarantineReason::Unreadable(format!(
+                                    "checkpoint at step {} but manifest says {}",
+                                    ckpt.step(),
+                                    entry.steps
+                                )))
+                            }
+                            Ok(_) => Ok(()),
+                        }
+                    }
+                }
+            };
+            match verdict {
+                Ok(()) => {
+                    let log = match &mgr.cfg.session_log_dir {
+                        None => None,
+                        Some(dir) => JsonlSink::append(
+                            dir.join(format!("session_{id}.jsonl")),
+                            mgr.cfg.canonical_logs,
+                        )
+                        .ok()
+                        .map(RecorderHandle::new),
+                    };
+                    mgr.record(
+                        log.as_ref(),
+                        SessionEvent {
+                            session: *id,
+                            step: entry.steps,
+                            kind: "recovered".into(),
+                            system: entry.system.clone(),
+                            detail: format!("{}x{}", entry.rows, entry.cols),
+                            count: 0,
+                        },
+                    );
+                    mgr.lock().sessions.insert(
+                        *id,
+                        Session {
+                            spec: SessionSpec {
+                                system: entry.system.clone(),
+                                rows: entry.rows,
+                                cols: entry.cols,
+                            },
+                            slot: Slot::Suspended { path },
+                            steps: entry.steps,
+                            log,
+                        },
+                    );
+                    kept.entries.insert(*id, entry.clone());
+                    report.recovered.push(*id);
+                }
+                Err(reason) => {
+                    if !matches!(reason, QuarantineReason::Missing) {
+                        let _ = spool::quarantine(&mgr.cfg.spool, &entry.file);
+                    }
+                    mgr.record(
+                        None,
+                        SessionEvent {
+                            session: *id,
+                            step: entry.steps,
+                            kind: "quarantined".into(),
+                            system: entry.system.clone(),
+                            detail: reason.to_string(),
+                            count: 0,
+                        },
+                    );
+                    report.quarantined.push((*id, reason.to_string()));
+                }
+            }
+        }
+        kept.save(&mgr.cfg.spool)
+            .map_err(|e| ServeError::new(ErrorCode::Internal, format!("pruning manifest: {e}")))?;
+        {
+            let mut inner = mgr.lock();
+            inner.manifest = kept;
+            inner.next_id = max_id + 1;
+        }
+        Ok((mgr, report))
+    }
+
+    /// Simulates `kill -9` for the chaos harness: workers abandon queued
+    /// work immediately, every blocked request errors out, and no durable
+    /// state is flushed. The manager object stays alive only so threads
+    /// can be joined; all service calls fail afterwards.
+    pub fn crash(&self) {
+        let mut inner = self.lock();
+        inner.crashed = true;
+        inner.shutdown = true;
+        drop(inner);
+        self.work.notify_all();
+        self.done.notify_all();
+    }
+
+    /// `true` once [`crash`](Self::crash) has been called.
+    pub fn is_crashed(&self) -> bool {
+        self.lock().crashed
+    }
+
+    /// Looks up the recorded outcome of an already-executed request id
+    /// (the idempotency cache). `None` for id 0 and unseen ids.
+    pub fn dedup_check(&self, req_id: u64) -> Option<Response> {
+        if req_id == 0 {
+            return None;
+        }
+        self.lock().dedup.get(req_id)
+    }
+
+    /// Records a mutating request's successful outcome under its id so a
+    /// retried duplicate replays the response instead of re-executing.
+    pub fn dedup_store(&self, req_id: u64, resp: &Response) {
+        self.lock().dedup.put(req_id, resp);
+    }
+
     fn lock(&self) -> MutexGuard<'_, Inner> {
         self.inner.lock().expect("session manager poisoned")
     }
@@ -205,10 +442,16 @@ impl SessionManager {
     }
 
     /// One worker thread's main loop. Drains all queued steps before
-    /// honoring shutdown, so `shutdown` has graceful-drain semantics.
+    /// honoring shutdown, so `shutdown` has graceful-drain semantics —
+    /// unless [`crash`](Self::crash) fired, in which case workers
+    /// abandon the queue immediately, like the threads of a killed
+    /// process.
     pub fn worker_loop(&self) {
         let mut inner = self.lock();
         loop {
+            if inner.crashed {
+                return;
+            }
             let Some(id) = Self::next_runnable(&inner) else {
                 if inner.shutdown {
                     return;
@@ -217,6 +460,8 @@ impl SessionManager {
                 continue;
             };
             inner.cursor = id.wrapping_add(1);
+            let quantum_seq = inner.quanta;
+            inner.quanta += 1;
             let quantum_cap = self.cfg.quantum.max(1);
             let session = inner.sessions.get_mut(&id).expect("picked id exists");
             let Slot::Active {
@@ -230,6 +475,11 @@ impl SessionManager {
             // Step outside the lock: other workers keep scheduling other
             // sessions while this quantum runs.
             drop(inner);
+            if let Some(&(_, ms)) = self.cfg.stalls.iter().find(|(at, _)| *at == quantum_seq) {
+                // Chaos worker-stall: pure scheduling delay, no state
+                // effect — digests must not notice.
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
             let fired = checked_out.run(quantum) as u64;
             let steps_now = checked_out.steps();
             inner = self.lock();
@@ -255,6 +505,9 @@ impl SessionManager {
     fn wait_active_idle(&self, id: u64) -> Result<MutexGuard<'_, Inner>, ServeError> {
         let mut inner = self.lock();
         loop {
+            if inner.crashed {
+                return Err(ServeError::crashed());
+            }
             match inner.sessions.get(&id) {
                 None => return Err(ServeError::no_such_session(id)),
                 Some(s) => match &s.slot {
@@ -282,7 +535,9 @@ impl SessionManager {
     ///
     /// [`ErrorCode::UnknownSystem`] for names outside the registry,
     /// [`ErrorCode::BadRequest`] for a zero-sized grid,
-    /// [`ErrorCode::ShuttingDown`] once shutdown has begun, and
+    /// [`ErrorCode::ShuttingDown`] once shutdown has begun,
+    /// [`ErrorCode::Overloaded`] while the live-session count is at
+    /// `max_sessions` (load shedding, retryable), and
     /// [`ErrorCode::Internal`] for model-build failures.
     pub fn submit(&self, system: &str, rows: u32, cols: u32) -> Result<u64, ServeError> {
         if rows == 0 || cols == 0 {
@@ -308,11 +563,52 @@ impl SessionManager {
         runner.set_threads(1);
 
         let mut inner = self.lock();
+        if inner.crashed {
+            return Err(ServeError::crashed());
+        }
         if inner.shutdown {
             return Err(ServeError::new(
                 ErrorCode::ShuttingDown,
                 "server is shutting down",
             ));
+        }
+        if inner.sessions.len() >= self.cfg.max_sessions {
+            if !inner.shedding {
+                inner.shedding = true;
+                self.record(
+                    None,
+                    SessionEvent {
+                        session: 0,
+                        step: 0,
+                        kind: "shed".into(),
+                        system: system.into(),
+                        detail: format!("max-sessions={}", self.cfg.max_sessions),
+                        count: inner.sessions.len() as u64,
+                    },
+                );
+            }
+            return Err(ServeError::new(
+                ErrorCode::Overloaded,
+                format!(
+                    "session limit reached ({} live, max {})",
+                    inner.sessions.len(),
+                    self.cfg.max_sessions
+                ),
+            ));
+        }
+        if inner.shedding {
+            inner.shedding = false;
+            self.record(
+                None,
+                SessionEvent {
+                    session: 0,
+                    step: 0,
+                    kind: "shed-recovered".into(),
+                    system: system.into(),
+                    detail: String::new(),
+                    count: inner.sessions.len() as u64,
+                },
+            );
         }
         let id = inner.next_id;
         inner.next_id += 1;
@@ -363,11 +659,61 @@ impl SessionManager {
     ///
     /// # Errors
     ///
-    /// [`ErrorCode::NoSuchSession`], [`ErrorCode::SessionSuspended`], or
+    /// [`ErrorCode::NoSuchSession`], [`ErrorCode::SessionSuspended`],
     /// [`ErrorCode::NoSuchSession`] if the session is closed while the
-    /// batch is in flight.
+    /// batch is in flight, or [`ErrorCode::Overloaded`] when queueing `n`
+    /// more steps would push the total backlog past `max_pending`
+    /// (load shedding, retryable).
     pub fn step(&self, id: u64, n: u64) -> Result<(u64, u64), ServeError> {
         let mut inner = self.lock();
+        if inner.crashed {
+            return Err(ServeError::crashed());
+        }
+        let backlog: u64 = inner
+            .sessions
+            .values()
+            .map(|s| match &s.slot {
+                Slot::Active { pending, .. } => *pending,
+                Slot::Suspended { .. } => 0,
+            })
+            .sum();
+        if backlog.saturating_add(n) > self.cfg.max_pending {
+            if !inner.shedding {
+                inner.shedding = true;
+                self.record(
+                    None,
+                    SessionEvent {
+                        session: id,
+                        step: 0,
+                        kind: "shed".into(),
+                        system: String::new(),
+                        detail: format!("max-pending={}", self.cfg.max_pending),
+                        count: backlog,
+                    },
+                );
+            }
+            return Err(ServeError::new(
+                ErrorCode::Overloaded,
+                format!(
+                    "step backlog full ({backlog} queued + {n} requested > max {})",
+                    self.cfg.max_pending
+                ),
+            ));
+        }
+        if inner.shedding {
+            inner.shedding = false;
+            self.record(
+                None,
+                SessionEvent {
+                    session: id,
+                    step: 0,
+                    kind: "shed-recovered".into(),
+                    system: String::new(),
+                    detail: String::new(),
+                    count: backlog,
+                },
+            );
+        }
         let fired_before = match inner.sessions.get_mut(&id) {
             None => return Err(ServeError::no_such_session(id)),
             Some(s) => match &mut s.slot {
@@ -385,6 +731,9 @@ impl SessionManager {
         };
         self.work.notify_all();
         loop {
+            if inner.crashed {
+                return Err(ServeError::crashed());
+            }
             match inner.sessions.get(&id) {
                 None => return Err(ServeError::no_such_session(id)),
                 Some(s) => {
@@ -447,10 +796,16 @@ impl SessionManager {
     /// Suspends an idle session to the spool and drops its solver.
     /// Returns the step count at suspension.
     ///
+    /// The checkpoint is written atomically (temp + fsync + rename) and
+    /// journaled in the spool manifest with its byte digest, making this
+    /// the session's durability point: a crash after `suspend` returns
+    /// loses nothing.
+    ///
     /// # Errors
     ///
     /// Session-shape errors as in [`step`](Self::step);
-    /// [`ErrorCode::Internal`] if the checkpoint cannot be written.
+    /// [`ErrorCode::Internal`] if the checkpoint or manifest cannot be
+    /// written.
     pub fn suspend(&self, id: u64) -> Result<u64, ServeError> {
         let mut inner = self.wait_active_idle(id)?;
         let s = inner.sessions.get_mut(&id).expect("held across wait");
@@ -463,14 +818,38 @@ impl SessionManager {
         };
         let ckpt = Checkpoint::capture(runner.sim());
         let steps = ckpt.step();
-        let path = self.cfg.spool.join(format!("session_{id}.ckpt"));
-        ckpt.save(&path).map_err(|e| {
+        let mut bytes = Vec::new();
+        ckpt.write_to(&mut bytes).map_err(|e| {
+            ServeError::new(ErrorCode::Internal, format!("encoding session {id}: {e}"))
+        })?;
+        let file = format!("session_{id}.ckpt");
+        let path = self.cfg.spool.join(&file);
+        spool::write_atomic(&path, &bytes).map_err(|e| {
             ServeError::new(ErrorCode::Internal, format!("spooling session {id}: {e}"))
         })?;
         s.slot = Slot::Suspended { path };
         s.steps = steps;
         let system = s.spec.system.clone();
+        let (rows, cols) = (s.spec.rows, s.spec.cols);
         let log = s.log.clone();
+        inner.manifest.entries.insert(
+            id,
+            ManifestEntry {
+                session: id,
+                system: system.clone(),
+                rows,
+                cols,
+                steps,
+                file,
+                digest: spool::file_digest(&bytes),
+            },
+        );
+        inner.manifest.save(&self.cfg.spool).map_err(|e| {
+            ServeError::new(
+                ErrorCode::Internal,
+                format!("manifest for session {id}: {e}"),
+            )
+        })?;
         self.record(
             log.as_ref(),
             SessionEvent {
@@ -489,21 +868,31 @@ impl SessionManager {
     /// Rebuilds a suspended session from its `CENNCKPT` file,
     /// bit-exactly. Returns the restored step count.
     ///
+    /// The spooled file (and its manifest record) are *kept*: they remain
+    /// the session's crash-recovery point until the next suspend
+    /// overwrites them or `close` deletes them.
+    ///
     /// # Errors
     ///
     /// [`ErrorCode::NoSuchSession`]; [`ErrorCode::SessionBusy`] if the
-    /// session is not suspended; [`ErrorCode::Internal`] if the
-    /// checkpoint cannot be read or the model rebuilt.
+    /// session is not suspended; [`ErrorCode::CorruptCheckpoint`] if the
+    /// spooled file is missing, fails its manifest digest, or does not
+    /// decode; [`ErrorCode::Internal`] if the model cannot be rebuilt.
     pub fn resume(&self, id: u64) -> Result<u64, ServeError> {
         let internal = |m: String| ServeError::new(ErrorCode::Internal, m);
-        // Snapshot the spec and path under the lock, rebuild outside it
-        // (model construction is the expensive part).
-        let (spec, path) = {
+        let corrupt = |m: String| ServeError::new(ErrorCode::CorruptCheckpoint, m);
+        // Snapshot the spec, path, and expected digest under the lock,
+        // rebuild outside it (model construction is the expensive part).
+        let (spec, path, want_digest) = {
             let inner = self.lock();
             match inner.sessions.get(&id) {
                 None => return Err(ServeError::no_such_session(id)),
                 Some(s) => match &s.slot {
-                    Slot::Suspended { path } => (s.spec.clone(), path.clone()),
+                    Slot::Suspended { path } => (
+                        s.spec.clone(),
+                        path.clone(),
+                        inner.manifest.entries.get(&id).map(|e| e.digest),
+                    ),
                     Slot::Active { .. } => {
                         return Err(ServeError::new(
                             ErrorCode::SessionBusy,
@@ -513,8 +902,19 @@ impl SessionManager {
                 },
             }
         };
-        let ckpt = Checkpoint::load(&path)
-            .map_err(|e| internal(format!("loading session {id} checkpoint: {e}")))?;
+        let bytes = std::fs::read(&path)
+            .map_err(|e| corrupt(format!("reading session {id} checkpoint: {e}")))?;
+        if let Some(want) = want_digest {
+            let got = spool::file_digest(&bytes);
+            if got != want {
+                return Err(corrupt(format!(
+                    "session {id} checkpoint failed integrity check \
+                     (manifest digest {want:016x}, on-disk {got:016x})"
+                )));
+            }
+        }
+        let ckpt = Checkpoint::read_from(&bytes[..])
+            .map_err(|e| corrupt(format!("decoding session {id} checkpoint: {e}")))?;
         let sys = system_by_name(&spec.system)
             .ok_or_else(|| internal(format!("system {:?} vanished from registry", spec.system)))?;
         let setup = sys
@@ -546,8 +946,8 @@ impl SessionManager {
             fired: 0,
         };
         s.steps = steps;
-        // The live session supersedes the spooled copy; best-effort cleanup.
-        let _ = std::fs::remove_file(&path);
+        // The spooled copy stays on disk: it is the crash-recovery point
+        // until the next suspend or close.
         let system = s.spec.system.clone();
         let log = s.log.clone();
         self.record(
@@ -610,6 +1010,9 @@ impl SessionManager {
         // Wait until the runner is checked in (a worker may be mid-quantum);
         // suspended sessions are closable directly.
         loop {
+            if inner.crashed {
+                return Err(ServeError::crashed());
+            }
             match inner.sessions.get(&id) {
                 None => return Err(ServeError::no_such_session(id)),
                 Some(s) => match &s.slot {
@@ -623,9 +1026,12 @@ impl SessionManager {
             inner = self.done.wait(inner).expect("session manager poisoned");
         }
         let s = inner.sessions.remove(&id).expect("checked above");
-        if let Slot::Suspended { path } = &s.slot {
-            // Best-effort: a leftover spool file is harmless.
-            let _ = std::fs::remove_file(path);
+        // A closed session keeps no recovery point: drop its checkpoint
+        // and manifest record. Best-effort — leftovers are harmless and
+        // recovery re-validates everything anyway.
+        let _ = std::fs::remove_file(self.cfg.spool.join(format!("session_{id}.ckpt")));
+        if inner.manifest.entries.remove(&id).is_some() {
+            let _ = inner.manifest.save(&self.cfg.spool);
         }
         self.record(
             s.log.as_ref(),

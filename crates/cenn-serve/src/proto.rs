@@ -1,17 +1,25 @@
 //! Typed request/response messages and their binary wire form.
 //!
-//! Every payload starts with the protocol version byte followed by a
-//! message tag, then little-endian fields. Strings are `u16` length +
-//! UTF-8 bytes; state words are `u32` count + raw Q16.16 `i32` bits.
-//! Decoding is strict: unknown versions, unknown tags, bad UTF-8, and
-//! leftover bytes are all typed [`FrameError::Malformed`] errors — a
-//! bit-flipped frame can never panic the server or silently alias
-//! another message.
+//! Every payload starts with the protocol version byte, then a `u64`
+//! request id, then a message tag, then little-endian fields. Strings
+//! are `u16` length + UTF-8 bytes; state words are `u32` count + raw
+//! Q16.16 `i32` bits. Decoding is strict: unknown versions, unknown
+//! tags, bad UTF-8, and leftover bytes are all typed
+//! [`FrameError::Malformed`] errors — a bit-flipped frame can never
+//! panic the server or silently alias another message.
+//!
+//! The request id is the idempotency envelope: the server echoes it in
+//! the response, and remembers the outcome of mutating requests with a
+//! nonzero id, so a client that retries a `Step` after a dropped ACK
+//! gets the original outcome instead of double-stepping the session. Id
+//! `0` means "no dedup" and is what the plain [`crate::Client`] sends;
+//! [`crate::RetryClient`] allocates real ids.
 
 use crate::frame::FrameError;
 
 /// Wire protocol version; bump on any message-layout change.
-pub const PROTO_VERSION: u8 = 1;
+/// Version 2 added the `u64` request-id envelope after the version byte.
+pub const PROTO_VERSION: u8 = 2;
 
 /// A client → server message.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,6 +101,15 @@ pub enum ErrorCode {
     Internal,
     /// The server is shutting down.
     ShuttingDown,
+    /// The server is load-shedding: the `max_sessions` or `max_pending`
+    /// limit is reached. Retry with backoff.
+    Overloaded,
+    /// A spooled checkpoint is missing, truncated, or fails its digest;
+    /// the session cannot resume from it.
+    CorruptCheckpoint,
+    /// The frame or payload arrived damaged on the wire (corruption in
+    /// transit, as opposed to a well-formed but invalid request).
+    MalformedFrame,
 }
 
 impl ErrorCode {
@@ -105,6 +122,9 @@ impl ErrorCode {
             Self::BadRequest => 5,
             Self::Internal => 6,
             Self::ShuttingDown => 7,
+            Self::Overloaded => 8,
+            Self::CorruptCheckpoint => 9,
+            Self::MalformedFrame => 10,
         }
     }
 
@@ -117,6 +137,9 @@ impl ErrorCode {
             5 => Self::BadRequest,
             6 => Self::Internal,
             7 => Self::ShuttingDown,
+            8 => Self::Overloaded,
+            9 => Self::CorruptCheckpoint,
+            10 => Self::MalformedFrame,
             _ => return None,
         })
     }
@@ -132,6 +155,9 @@ impl std::fmt::Display for ErrorCode {
             Self::BadRequest => "bad-request",
             Self::Internal => "internal",
             Self::ShuttingDown => "shutting-down",
+            Self::Overloaded => "overloaded",
+            Self::CorruptCheckpoint => "corrupt-checkpoint",
+            Self::MalformedFrame => "malformed-frame",
         };
         f.write_str(name)
     }
@@ -214,8 +240,11 @@ pub enum Response {
 struct Enc(Vec<u8>);
 
 impl Enc {
-    fn new(tag: u8) -> Self {
-        Self(vec![PROTO_VERSION, tag])
+    fn new(req_id: u64, tag: u8) -> Self {
+        let mut buf = vec![PROTO_VERSION];
+        buf.extend_from_slice(&req_id.to_le_bytes());
+        buf.push(tag);
+        Self(buf)
     }
     fn u16(&mut self, v: u16) {
         self.0.extend_from_slice(&v.to_le_bytes());
@@ -245,7 +274,7 @@ struct Dec<'a> {
 }
 
 impl<'a> Dec<'a> {
-    fn new(buf: &'a [u8]) -> Result<(Self, u8), FrameError> {
+    fn new(buf: &'a [u8]) -> Result<(Self, u64, u8), FrameError> {
         let mut d = Self { buf, pos: 0 };
         let version = d.u8()?;
         if version != PROTO_VERSION {
@@ -253,8 +282,9 @@ impl<'a> Dec<'a> {
                 "protocol version {version} (expected {PROTO_VERSION})"
             )));
         }
+        let req_id = d.u64()?;
         let tag = d.u8()?;
-        Ok((d, tag))
+        Ok((d, req_id, tag))
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
@@ -323,55 +353,70 @@ impl<'a> Dec<'a> {
 }
 
 impl Request {
-    /// Serializes to a frame payload.
+    /// Serializes to a frame payload with request id 0 (no dedup).
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_with_id(0)
+    }
+
+    /// Serializes to a frame payload carrying `req_id` in the
+    /// idempotency envelope.
+    pub fn encode_with_id(&self, req_id: u64) -> Vec<u8> {
         let mut e;
         match self {
             Self::SubmitSystem { system, rows, cols } => {
-                e = Enc::new(1);
+                e = Enc::new(req_id, 1);
                 e.string(system);
                 e.u32(*rows);
                 e.u32(*cols);
             }
             Self::Step { session, n } => {
-                e = Enc::new(2);
+                e = Enc::new(req_id, 2);
                 e.u64(*session);
                 e.u64(*n);
             }
             Self::StreamState { session, layer } => {
-                e = Enc::new(3);
+                e = Enc::new(req_id, 3);
                 e.u64(*session);
                 e.u32(*layer);
             }
             Self::Suspend { session } => {
-                e = Enc::new(4);
+                e = Enc::new(req_id, 4);
                 e.u64(*session);
             }
             Self::Resume { session } => {
-                e = Enc::new(5);
+                e = Enc::new(req_id, 5);
                 e.u64(*session);
             }
             Self::Close { session } => {
-                e = Enc::new(6);
+                e = Enc::new(req_id, 6);
                 e.u64(*session);
             }
             Self::Digest { session } => {
-                e = Enc::new(7);
+                e = Enc::new(req_id, 7);
                 e.u64(*session);
             }
-            Self::Ping => e = Enc::new(8),
-            Self::Shutdown => e = Enc::new(9),
+            Self::Ping => e = Enc::new(req_id, 8),
+            Self::Shutdown => e = Enc::new(req_id, 9),
         }
         e.0
     }
 
-    /// Parses a frame payload.
+    /// Parses a frame payload, discarding the request id.
     ///
     /// # Errors
     ///
     /// [`FrameError::Malformed`] on any deviation from the wire format.
     pub fn decode(payload: &[u8]) -> Result<Self, FrameError> {
-        let (mut d, tag) = Dec::new(payload)?;
+        Self::decode_with_id(payload).map(|(_, req)| req)
+    }
+
+    /// Parses a frame payload, returning the request id alongside.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Malformed`] on any deviation from the wire format.
+    pub fn decode_with_id(payload: &[u8]) -> Result<(u64, Self), FrameError> {
+        let (mut d, req_id, tag) = Dec::new(payload)?;
         let req = match tag {
             1 => Self::SubmitSystem {
                 system: d.string()?,
@@ -395,17 +440,22 @@ impl Request {
             t => return Err(FrameError::Malformed(format!("unknown request tag {t}"))),
         };
         d.finish()?;
-        Ok(req)
+        Ok((req_id, req))
     }
 }
 
 impl Response {
-    /// Serializes to a frame payload.
+    /// Serializes to a frame payload with request id 0.
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_with_id(0)
+    }
+
+    /// Serializes to a frame payload echoing `req_id`.
+    pub fn encode_with_id(&self, req_id: u64) -> Vec<u8> {
         let mut e;
         match self {
             Self::Submitted { session } => {
-                e = Enc::new(1);
+                e = Enc::new(req_id, 1);
                 e.u64(*session);
             }
             Self::Stepped {
@@ -413,7 +463,7 @@ impl Response {
                 steps,
                 fired,
             } => {
-                e = Enc::new(2);
+                e = Enc::new(req_id, 2);
                 e.u64(*session);
                 e.u64(*steps);
                 e.u64(*fired);
@@ -425,7 +475,7 @@ impl Response {
                 cols,
                 bits,
             } => {
-                e = Enc::new(3);
+                e = Enc::new(req_id, 3);
                 e.u64(*session);
                 e.u32(*layer);
                 e.u32(*rows);
@@ -433,17 +483,17 @@ impl Response {
                 e.words(bits);
             }
             Self::Suspended { session, steps } => {
-                e = Enc::new(4);
+                e = Enc::new(req_id, 4);
                 e.u64(*session);
                 e.u64(*steps);
             }
             Self::Resumed { session, steps } => {
-                e = Enc::new(5);
+                e = Enc::new(req_id, 5);
                 e.u64(*session);
                 e.u64(*steps);
             }
             Self::Closed { session } => {
-                e = Enc::new(6);
+                e = Enc::new(req_id, 6);
                 e.u64(*session);
             }
             Self::Digest {
@@ -451,15 +501,15 @@ impl Response {
                 steps,
                 digest,
             } => {
-                e = Enc::new(7);
+                e = Enc::new(req_id, 7);
                 e.u64(*session);
                 e.u64(*steps);
                 e.u64(*digest);
             }
-            Self::Pong => e = Enc::new(8),
-            Self::ShuttingDown => e = Enc::new(9),
+            Self::Pong => e = Enc::new(req_id, 8),
+            Self::ShuttingDown => e = Enc::new(req_id, 9),
             Self::Error { code, message } => {
-                e = Enc::new(10);
+                e = Enc::new(req_id, 10);
                 e.u16(code.to_u16());
                 e.string(message);
             }
@@ -467,13 +517,22 @@ impl Response {
         e.0
     }
 
-    /// Parses a frame payload.
+    /// Parses a frame payload, discarding the request id.
     ///
     /// # Errors
     ///
     /// [`FrameError::Malformed`] on any deviation from the wire format.
     pub fn decode(payload: &[u8]) -> Result<Self, FrameError> {
-        let (mut d, tag) = Dec::new(payload)?;
+        Self::decode_with_id(payload).map(|(_, resp)| resp)
+    }
+
+    /// Parses a frame payload, returning the echoed request id alongside.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Malformed`] on any deviation from the wire format.
+    pub fn decode_with_id(payload: &[u8]) -> Result<(u64, Self), FrameError> {
+        let (mut d, req_id, tag) = Dec::new(payload)?;
         let resp = match tag {
             1 => Self::Submitted { session: d.u64()? },
             2 => Self::Stepped {
@@ -516,7 +575,7 @@ impl Response {
             t => return Err(FrameError::Malformed(format!("unknown response tag {t}"))),
         };
         d.finish()?;
-        Ok(resp)
+        Ok((req_id, resp))
     }
 }
 
@@ -594,6 +653,38 @@ mod tests {
     }
 
     #[test]
+    fn request_ids_ride_the_envelope() {
+        for (i, req) in requests().into_iter().enumerate() {
+            let id = (i as u64 + 1) << 32 | 0xBEEF;
+            let (echo, back) = Request::decode_with_id(&req.encode_with_id(id)).unwrap();
+            assert_eq!((echo, back), (id, req));
+        }
+        for resp in responses() {
+            let (echo, back) = Response::decode_with_id(&resp.encode_with_id(42)).unwrap();
+            assert_eq!((echo, back), (42, resp));
+        }
+        // Id 0 is the "no dedup" spelling the plain encode uses.
+        let (echo, _) = Request::decode_with_id(&Request::Ping.encode()).unwrap();
+        assert_eq!(echo, 0);
+    }
+
+    #[test]
+    fn new_error_codes_round_trip() {
+        for (code, name) in [
+            (ErrorCode::Overloaded, "overloaded"),
+            (ErrorCode::CorruptCheckpoint, "corrupt-checkpoint"),
+            (ErrorCode::MalformedFrame, "malformed-frame"),
+        ] {
+            let resp = Response::Error {
+                code,
+                message: "x".into(),
+            };
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+            assert_eq!(code.to_string(), name);
+        }
+    }
+
+    #[test]
     fn wrong_version_unknown_tag_and_trailing_bytes_are_malformed() {
         let mut bytes = Request::Ping.encode();
         bytes[0] = 99;
@@ -601,7 +692,9 @@ mod tests {
             Request::decode(&bytes),
             Err(FrameError::Malformed(_))
         ));
-        let bytes = vec![PROTO_VERSION, 200];
+        let mut bytes = vec![PROTO_VERSION];
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.push(200);
         assert!(matches!(
             Request::decode(&bytes),
             Err(FrameError::Malformed(_))
@@ -625,9 +718,10 @@ mod tests {
             bits: vec![42],
         };
         let mut bytes = resp.encode();
-        // The word count sits after version(1)+tag(1)+session(8)+layer(4)
-        // +rows(4)+cols(4); blow it up to a value the payload cannot hold.
-        let off = 1 + 1 + 8 + 4 + 4 + 4;
+        // The word count sits after version(1)+req_id(8)+tag(1)+session(8)
+        // +layer(4)+rows(4)+cols(4); blow it up to a value the payload
+        // cannot hold.
+        let off = 1 + 8 + 1 + 8 + 4 + 4 + 4;
         bytes[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
             Response::decode(&bytes),

@@ -13,9 +13,10 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use crate::frame::{read_frame, write_frame, FrameError};
-use crate::manager::{ManagerConfig, ServeError, SessionManager};
+use crate::manager::{ManagerConfig, RecoveryReport, ServeError, SessionManager};
 use crate::proto::{ErrorCode, Request, Response};
 
 /// Service configuration.
@@ -23,8 +24,12 @@ use crate::proto::{ErrorCode, Request, Response};
 pub struct ServerConfig {
     /// Worker threads stepping sessions.
     pub workers: usize,
-    /// Session-manager knobs (quantum, spool, log streams).
+    /// Session-manager knobs (quantum, spool, log streams, shed limits).
     pub manager: ManagerConfig,
+    /// When set, a connection that sends no frame for this long is
+    /// closed; any sessions it submitted are suspended to the spool
+    /// first, so a silent client costs a slot, not its progress.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl ServerConfig {
@@ -33,7 +38,25 @@ impl ServerConfig {
         Self {
             workers: workers.max(1),
             manager: ManagerConfig::new(spool),
+            idle_timeout: None,
         }
+    }
+
+    /// Sets the load-shedding limits (`max_sessions` live sessions,
+    /// `max_pending` total queued steps) past which requests answer
+    /// `overloaded`.
+    #[must_use]
+    pub fn with_limits(mut self, max_sessions: usize, max_pending: u64) -> Self {
+        self.manager.max_sessions = max_sessions;
+        self.manager.max_pending = max_pending;
+        self
+    }
+
+    /// Sets the idle read deadline for connections.
+    #[must_use]
+    pub fn with_idle_timeout(mut self, timeout: Duration) -> Self {
+        self.idle_timeout = Some(timeout);
+        self
     }
 }
 
@@ -41,26 +64,53 @@ impl ServerConfig {
 pub struct Server {
     manager: Arc<SessionManager>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    idle_timeout: Option<Duration>,
 }
 
 impl Server {
-    /// Starts the worker pool.
+    fn launch(
+        manager: Arc<SessionManager>,
+        cfg_workers: usize,
+        idle: Option<Duration>,
+    ) -> Arc<Self> {
+        let workers = (0..cfg_workers.max(1))
+            .map(|_| {
+                let m = manager.clone();
+                std::thread::spawn(move || m.worker_loop())
+            })
+            .collect();
+        Arc::new(Self {
+            manager,
+            workers: Mutex::new(workers),
+            idle_timeout: idle,
+        })
+    }
+
+    /// Starts the worker pool over a fresh manager.
     ///
     /// # Errors
     ///
     /// Propagates [`ServeError`] from manager construction (spool dir).
     pub fn start(cfg: ServerConfig) -> Result<Arc<Self>, ServeError> {
         let manager = Arc::new(SessionManager::new(cfg.manager)?);
-        let workers = (0..cfg.workers.max(1))
-            .map(|_| {
-                let m = manager.clone();
-                std::thread::spawn(move || m.worker_loop())
-            })
-            .collect();
-        Ok(Arc::new(Self {
-            manager,
-            workers: Mutex::new(workers),
-        }))
+        Ok(Self::launch(manager, cfg.workers, cfg.idle_timeout))
+    }
+
+    /// Starts the worker pool over a manager rebuilt from the spool
+    /// manifest — the restart-after-crash entry point. Digest-valid
+    /// checkpoints come back as suspended sessions under their original
+    /// ids; damaged ones are quarantined (see
+    /// [`SessionManager::recover`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServeError`] from recovery.
+    pub fn recover(cfg: ServerConfig) -> Result<(Arc<Self>, RecoveryReport), ServeError> {
+        let (manager, report) = SessionManager::recover(cfg.manager)?;
+        Ok((
+            Self::launch(Arc::new(manager), cfg.workers, cfg.idle_timeout),
+            report,
+        ))
     }
 
     /// The session manager (for in-process use and tests).
@@ -72,6 +122,19 @@ impl Server {
     /// steps). Idempotent.
     pub fn shutdown(&self) {
         self.manager.shutdown();
+        self.join_workers();
+    }
+
+    /// Chaos-harness hard kill: the manager crashes (workers abandon
+    /// queued work, blocked requests error, open connections hang up
+    /// without replying, nothing is flushed) and the worker pool is
+    /// joined. Recovery is [`Server::recover`] over the same spool.
+    pub fn crash(&self) {
+        self.manager.crash();
+        self.join_workers();
+    }
+
+    fn join_workers(&self) {
         let handles: Vec<_> = self
             .workers
             .lock()
@@ -83,7 +146,31 @@ impl Server {
         }
     }
 
-    fn dispatch(&self, req: Request) -> Response {
+    fn dispatch(&self, req_id: u64, req: Request) -> Response {
+        // Idempotency: a retried mutation (same nonzero request id)
+        // replays its recorded outcome instead of re-executing, so a
+        // Step whose ACK was lost cannot double-step the session.
+        let mutating = matches!(
+            req,
+            Request::SubmitSystem { .. }
+                | Request::Step { .. }
+                | Request::Suspend { .. }
+                | Request::Resume { .. }
+                | Request::Close { .. }
+        );
+        if mutating {
+            if let Some(prior) = self.manager.dedup_check(req_id) {
+                return prior;
+            }
+        }
+        let resp = self.dispatch_fresh(req);
+        if mutating {
+            self.manager.dedup_store(req_id, &resp);
+        }
+        resp
+    }
+
+    fn dispatch_fresh(&self, req: Request) -> Response {
         let as_resp = |r: Result<Response, ServeError>| match r {
             Ok(resp) => resp,
             Err(e) => Response::Error {
@@ -143,58 +230,76 @@ impl Server {
     }
 
     /// Serves one connection until the peer closes, the transport fails,
-    /// or a `Shutdown` request arrives. Returns `true` when the peer
-    /// requested shutdown.
+    /// the idle deadline expires, or a `Shutdown` request arrives.
+    /// Returns `true` when the peer requested shutdown.
     ///
-    /// Malformed payloads get a typed `Error` response and the
-    /// connection is closed — a corrupt frame can never panic or wedge
-    /// the server.
+    /// Malformed payloads get a typed `malformed-frame` error response
+    /// and the connection is closed — a corrupt frame can never panic or
+    /// wedge the server. An idle timeout (the stream's read deadline
+    /// expiring between frames) suspends every session this connection
+    /// submitted before hanging up, so a silent client's progress lands
+    /// in the durable spool. After a [`crash`](Self::crash) the
+    /// connection closes without replying, exactly like a killed
+    /// process.
     pub fn handle_conn<S: Read + Write>(&self, mut stream: S) -> bool {
+        let mut owned: Vec<u64> = Vec::new();
         loop {
             let payload = match read_frame(&mut stream) {
                 Ok(Some(p)) => p,
                 // Clean EOF between frames: the peer is done.
                 Ok(None) => return false,
+                // Silent connection: park its sessions durably, hang up.
+                Err(FrameError::IdleTimeout) => {
+                    for id in owned.drain(..) {
+                        let _ = self.manager.suspend(id);
+                    }
+                    return false;
+                }
                 // Mid-frame truncation or I/O failure: nothing sane to
                 // reply to; drop the connection.
                 Err(FrameError::Io(_) | FrameError::Truncated { .. }) => return false,
                 Err(e @ FrameError::Oversized { .. }) => {
-                    let resp = Response::Error {
-                        code: ErrorCode::BadRequest,
-                        message: e.to_string(),
-                    };
-                    let _ = write_frame(&mut stream, &resp.encode());
-                    return false;
+                    return self.refuse_frame(&mut stream, e.to_string());
                 }
                 Err(FrameError::Malformed(m)) => {
-                    let resp = Response::Error {
-                        code: ErrorCode::BadRequest,
-                        message: m,
-                    };
-                    let _ = write_frame(&mut stream, &resp.encode());
-                    return false;
+                    return self.refuse_frame(&mut stream, m);
                 }
             };
-            let req = match Request::decode(&payload) {
+            let (req_id, req) = match Request::decode_with_id(&payload) {
                 Ok(r) => r,
                 Err(e) => {
-                    let resp = Response::Error {
-                        code: ErrorCode::BadRequest,
-                        message: e.to_string(),
-                    };
-                    let _ = write_frame(&mut stream, &resp.encode());
-                    return false;
+                    return self.refuse_frame(&mut stream, e.to_string());
                 }
             };
             let stop = matches!(req, Request::Shutdown);
-            let resp = self.dispatch(req);
-            if write_frame(&mut stream, &resp.encode()).is_err() {
+            let resp = self.dispatch(req_id, req);
+            if self.manager.is_crashed() {
+                // A killed process sends nothing back.
+                return false;
+            }
+            if let Response::Submitted { session } = &resp {
+                owned.push(*session);
+            }
+            if write_frame(&mut stream, &resp.encode_with_id(req_id)).is_err() {
                 return stop;
             }
             if stop {
                 return true;
             }
         }
+    }
+
+    /// Replies `malformed-frame` (best-effort) and signals connection
+    /// close. Wire corruption is retryable from the client's side — it
+    /// reconnects and re-sends — which is exactly how
+    /// [`crate::RetryClient`] treats this code.
+    fn refuse_frame<S: Read + Write>(&self, stream: &mut S, message: String) -> bool {
+        let resp = Response::Error {
+            code: ErrorCode::MalformedFrame,
+            message,
+        };
+        let _ = write_frame(stream, &resp.encode());
+        false
     }
 
     /// Binds `addr` (e.g. `127.0.0.1:0`) and serves connections, one
@@ -213,6 +318,9 @@ impl Server {
                     break;
                 }
                 let Ok(stream) = conn else { continue };
+                if let Some(idle) = server.idle_timeout {
+                    let _ = stream.set_read_timeout(Some(idle));
+                }
                 let per_conn = server.clone();
                 std::thread::spawn(move || {
                     if per_conn.handle_conn(stream) {

@@ -22,12 +22,15 @@
 //!    `CENN_BLESS=1 cargo test --test serve`).
 
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
 
 use cenn::equations::{DynamicalSystem, Fisher, FixedRunner, GrayScott};
 use cenn::obs::{validate_jsonl_line, RecorderHandle};
 use cenn::serve::{
-    loopback, read_frame, run_fleet, write_frame, Client, ClientError, ErrorCode, FleetConfig,
-    FrameError, Request, Server, ServerConfig, MAX_FRAME_LEN,
+    loopback, read_frame, run_chaos_fleet, run_fleet, write_frame, ChaosDirector, ChaosPlan,
+    ChaosTransport, Client, ClientError, ErrorCode, FleetConfig, FrameError, Request, RetryClient,
+    RetryPolicy, Server, ServerConfig, MAX_FRAME_LEN,
 };
 use proptest::prelude::*;
 
@@ -104,16 +107,18 @@ fn full_session_lifecycle_over_loopback() {
         other => panic!("expected typed server error, got {other}"),
     }
 
-    // Resume restores the exact step counter, reclaims the spool file,
-    // and the run continues.
+    // Resume restores the exact step counter and the run continues. The
+    // spooled checkpoint stays on disk as the crash-recovery point until
+    // the session's next suspend or close.
     assert_eq!(client.resume(session).unwrap(), 25);
-    assert!(!ckpt.exists(), "resume cleans up the spooled checkpoint");
+    assert!(ckpt.exists(), "checkpoint persists as the recovery point");
     let (steps, _) = client.step(session, 25).unwrap();
     assert_eq!(steps, 50);
     let (_, digest) = client.digest(session).unwrap();
     assert_ne!(digest, 0);
 
     client.close(session).unwrap();
+    assert!(!ckpt.exists(), "close reclaims the spooled checkpoint");
     match client.digest(session).unwrap_err() {
         ClientError::Server { code, .. } => assert_eq!(code, ErrorCode::NoSuchSession),
         other => panic!("expected typed server error, got {other}"),
@@ -269,8 +274,344 @@ fn session_event_stream_matches_golden_fixture() {
     let _ = std::fs::remove_dir_all(&logs);
 }
 
+/// The headline crash test: an 8-session fleet disturbed by connection
+/// drops (both halves), a corrupted frame, a worker stall, and one hard
+/// server kill mid-run recovers — through the retry layer and spool
+/// restart recovery alone — to per-session digests bit-identical to a
+/// completely undisturbed fleet.
+#[test]
+fn chaos_fleet_survives_kill_restart_with_identical_digests() {
+    let cfg = FleetConfig {
+        sessions: 8,
+        base_steps: 60,
+        chunk: 20,
+        seed: 7,
+        suspend_mid_run: true,
+    };
+
+    // The undisturbed control, single worker, plain clients.
+    let control_spool = scratch("chaos-control");
+    let control_server = Server::start(ServerConfig::new(1, &control_spool)).unwrap();
+    let control = run_fleet(&cfg, |_| {
+        let (ours, theirs) = loopback::pair();
+        let srv = control_server.clone();
+        std::thread::spawn(move || {
+            srv.handle_conn(theirs);
+        });
+        Ok(ours)
+    })
+    .unwrap();
+    control_server.shutdown();
+    let _ = std::fs::remove_dir_all(&control_spool);
+
+    // The disturbed run: every service-fault kind in one plan. `op` is a
+    // session's outbound-frame index; the durable driver's sequence is
+    // submit(0), suspend(1), resume(2), then step/suspend/resume per
+    // chunk, so ops up to ~9 exist for every workload in the fleet.
+    let plan = ChaosPlan::parse(
+        "conn-drop@3:session=1; conn-drop@5:session=4,when=recv; \
+         frame-corrupt@2:session=2,byte=0; worker-stall@6:ms=20; \
+         crash-restart@4:session=0",
+    )
+    .unwrap();
+    let chaos_spool = scratch("chaos-run");
+    let (report, stats) = run_chaos_fleet(
+        &cfg,
+        ServerConfig::new(2, &chaos_spool),
+        &plan,
+        RetryPolicy::crash_tolerant(cfg.seed),
+        Some(Duration::from_secs(10)),
+    )
+    .unwrap();
+    let _ = std::fs::remove_dir_all(&chaos_spool);
+
+    assert_eq!(stats.crashes, 1, "the crash-restart fault fired once");
+    assert!(
+        stats.remaining.is_empty(),
+        "every planned fault fired: {:?} never did",
+        stats.remaining
+    );
+    assert!(
+        stats.recovered_sessions > 0,
+        "the restarted server rehydrated sessions from the spool"
+    );
+
+    assert_eq!(report.entries.len(), control.entries.len());
+    for (got, want) in report.entries.iter().zip(&control.entries) {
+        assert_eq!(
+            (got.index, got.system, got.steps, got.digest),
+            (want.index, want.system, want.steps, want.digest),
+            "session {} digest must not see the chaos",
+            want.index
+        );
+    }
+    assert_eq!(report.combined_digest(), control.combined_digest());
+}
+
+/// Restart recovery: a suspended session survives a full server
+/// teardown bit-exactly, while a truncated checkpoint is quarantined
+/// with a typed reason instead of poisoning the restart.
+#[test]
+fn recover_quarantines_truncated_checkpoint_and_restores_the_rest() {
+    let spool = scratch("recover");
+    let cfg = ServerConfig::new(1, &spool);
+    let server = Server::start(cfg.clone()).unwrap();
+    let mut client = connect(&server);
+
+    // The control runs to completion uninterrupted for the target digest.
+    let control = client.submit("fisher", 8, 8).unwrap();
+    client.step(control, 40).unwrap();
+    let (_, want_digest) = client.digest(control).unwrap();
+
+    let survivor = client.submit("fisher", 8, 8).unwrap();
+    client.step(survivor, 25).unwrap();
+    assert_eq!(client.suspend(survivor).unwrap(), 25);
+
+    let victim = client.submit("gray-scott", 6, 6).unwrap();
+    client.step(victim, 10).unwrap();
+    assert_eq!(client.suspend(victim).unwrap(), 10);
+    server.shutdown();
+
+    // Truncate the victim's checkpoint: half the file, digest now wrong.
+    let victim_ckpt = spool.join(format!("session_{victim}.ckpt"));
+    let bytes = std::fs::read(&victim_ckpt).unwrap();
+    std::fs::write(&victim_ckpt, &bytes[..bytes.len() / 2]).unwrap();
+
+    let (server, report) = Server::recover(cfg).unwrap();
+    assert_eq!(report.recovered, vec![survivor]);
+    assert_eq!(report.quarantined.len(), 1);
+    let (id, reason) = &report.quarantined[0];
+    assert_eq!(*id, victim);
+    assert!(
+        reason.starts_with("digest-mismatch"),
+        "typed quarantine reason, got: {reason}"
+    );
+    assert!(
+        !victim_ckpt.exists(),
+        "damaged checkpoint left the live spool"
+    );
+    assert!(
+        spool
+            .join("quarantine")
+            .join(format!("session_{victim}.ckpt"))
+            .exists(),
+        "damaged checkpoint moved into spool/quarantine/"
+    );
+
+    // The survivor resumes exactly where it suspended and converges to
+    // the uninterrupted digest; the victim is typed away.
+    let mut client = connect(&server);
+    assert_eq!(client.resume(survivor).unwrap(), 25);
+    let (steps, _) = client.step(survivor, 15).unwrap();
+    assert_eq!(steps, 40);
+    let (_, got_digest) = client.digest(survivor).unwrap();
+    assert_eq!(got_digest, want_digest, "recovery must be bit-exact");
+    match client.resume(victim).unwrap_err() {
+        ClientError::Server { code, .. } => assert_eq!(code, ErrorCode::NoSuchSession),
+        other => panic!("expected typed server error, got {other}"),
+    }
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+/// Every spool-damage and lifecycle misuse path answers with a typed
+/// error: missing checkpoint file, bit-flipped checkpoint, double close,
+/// step after close, and load shedding past the configured ceilings.
+#[test]
+fn spool_damage_and_misuse_answer_typed_errors() {
+    let spool = scratch("typed-errors");
+    let server = Server::start(ServerConfig::new(1, &spool)).unwrap();
+    let mut client = connect(&server);
+    let typed = |e: ClientError| match e {
+        ClientError::Server { code, .. } => code,
+        other => panic!("expected typed server error, got {other}"),
+    };
+
+    // Resume with the spool file deleted out from under the manager.
+    let gone = client.submit("fisher", 8, 8).unwrap();
+    client.step(gone, 5).unwrap();
+    client.suspend(gone).unwrap();
+    std::fs::remove_file(spool.join(format!("session_{gone}.ckpt"))).unwrap();
+    assert_eq!(
+        typed(client.resume(gone).unwrap_err()),
+        ErrorCode::CorruptCheckpoint
+    );
+
+    // Resume after a single flipped bit: the manifest digest catches it.
+    let flipped = client.submit("fisher", 8, 8).unwrap();
+    client.step(flipped, 5).unwrap();
+    client.suspend(flipped).unwrap();
+    let path = spool.join(format!("session_{flipped}.ckpt"));
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+    assert_eq!(
+        typed(client.resume(flipped).unwrap_err()),
+        ErrorCode::CorruptCheckpoint
+    );
+
+    // Double close and step-after-close.
+    let closed = client.submit("fisher", 8, 8).unwrap();
+    client.close(closed).unwrap();
+    assert_eq!(
+        typed(client.close(closed).unwrap_err()),
+        ErrorCode::NoSuchSession
+    );
+    assert_eq!(
+        typed(client.step(closed, 1).unwrap_err()),
+        ErrorCode::NoSuchSession
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+
+    // Load shedding: past max_sessions the server answers `overloaded`
+    // (retryable) instead of accepting, and recovers once a slot frees.
+    let spool = scratch("shed");
+    let server = Server::start(ServerConfig::new(1, &spool).with_limits(1, 1_000_000)).unwrap();
+    let mut client = connect(&server);
+    let only = client.submit("fisher", 8, 8).unwrap();
+    assert_eq!(
+        typed(client.submit("fisher", 8, 8).unwrap_err()),
+        ErrorCode::Overloaded
+    );
+    client.close(only).unwrap();
+    let next = client.submit("fisher", 8, 8).unwrap();
+    client.close(next).unwrap();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+/// A connection that goes silent past the idle deadline is closed by the
+/// server, but its sessions are suspended first — a later connection
+/// resumes them with nothing lost.
+#[test]
+fn idle_timeout_suspends_sessions_before_closing_the_connection() {
+    let spool = scratch("idle");
+    let server =
+        Server::start(ServerConfig::new(1, &spool).with_idle_timeout(Duration::from_millis(40)))
+            .unwrap();
+
+    // serve_tcp arms the deadline on accept; over loopback we arm the
+    // server's half by hand.
+    let (ours, mut theirs) = loopback::pair();
+    theirs.set_read_timeout(Some(Duration::from_millis(40)));
+    let srv = server.clone();
+    let conn = std::thread::spawn(move || srv.handle_conn(theirs));
+    let mut client = Client::new(ours);
+
+    let session = client.submit("fisher", 8, 8).unwrap();
+    let (steps, _) = client.step(session, 12).unwrap();
+    assert_eq!(steps, 12);
+
+    // Go silent. The server times out the read, suspends our session,
+    // and hangs up (handle_conn returns false: not a shutdown).
+    std::thread::sleep(Duration::from_millis(250));
+    assert!(!conn.join().unwrap());
+    match client.ping().unwrap_err() {
+        ClientError::Disconnected | ClientError::Frame(_) => {}
+        other => panic!("expected a dead connection, got {other}"),
+    }
+    assert!(
+        spool.join(format!("session_{session}.ckpt")).exists(),
+        "idle shutdown spooled the session"
+    );
+
+    let mut client = connect(&server);
+    assert_eq!(client.resume(session).unwrap(), 12);
+    let (steps, _) = client.step(session, 12).unwrap();
+    assert_eq!(steps, 24);
+    client.close(session).unwrap();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+/// Idempotency: when the ACK of a `Step` is lost (response dropped, not
+/// the request), the retry carries the same request id and the server
+/// answers from its dedup cache instead of stepping the solver twice.
+#[test]
+fn retried_step_after_dropped_ack_does_not_double_step() {
+    let spool = scratch("dedup");
+    let server = Server::start(ServerConfig::new(1, &spool)).unwrap();
+
+    // Control: the same workload straight through, no faults.
+    let mut plain = connect(&server);
+    let control = plain.submit("fisher", 8, 8).unwrap();
+    plain.step(control, 10).unwrap();
+    let (_, want_digest) = plain.digest(control).unwrap();
+
+    // Fault plan: drop the *response* to this client's third outbound
+    // frame — submit(0), step(1), step(2) — so the second step's ACK
+    // vanishes after the server has executed it.
+    let plan = ChaosPlan::parse("conn-drop@2:session=0,when=recv").unwrap();
+    let director = Arc::new(ChaosDirector::new(&plan));
+    let dir = director.clone();
+    let srv = server.clone();
+    let mut client = RetryClient::new(
+        move || {
+            let (ours, theirs) = loopback::pair();
+            let s = srv.clone();
+            std::thread::spawn(move || {
+                s.handle_conn(theirs);
+            });
+            Ok(ChaosTransport::new(ours, 0, dir.clone()))
+        },
+        RetryPolicy::default(),
+        7,
+    )
+    .with_deadline(Duration::from_secs(5));
+
+    let session = client.submit("fisher", 8, 8).unwrap();
+    let (steps, _) = client.step(session, 5).unwrap();
+    assert_eq!(steps, 5);
+    // This step's ACK is dropped; the retry must be answered from the
+    // dedup cache. A double-step would report 15 here.
+    let (steps, _) = client.step(session, 5).unwrap();
+    assert_eq!(steps, 10, "retried step must not execute twice");
+    let (steps, got_digest) = client.digest(session).unwrap();
+    assert_eq!(steps, 10);
+    assert_eq!(got_digest, want_digest, "state identical to control");
+
+    let stats = director.stats();
+    assert_eq!(stats.injected.len(), 1, "the drop actually fired");
+    client.close(session).unwrap();
+    plain.close(control).unwrap();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The retry backoff schedule is a pure function of the policy: same
+    /// fields, same schedule (no clock, no RNG state), every delay
+    /// within the documented exponential envelope and capped.
+    #[test]
+    fn retry_backoff_is_deterministic_and_bounded(
+        attempts in 1u32..16,
+        base_ms in 1u64..500,
+        cap_ms in 1u64..5000,
+        seed in any::<u64>(),
+    ) {
+        let policy = RetryPolicy { attempts, base_ms, cap_ms, seed };
+        let schedule = policy.schedule();
+        prop_assert_eq!(&schedule, &policy.schedule(), "schedule is a constant");
+        prop_assert_eq!(schedule.len(), attempts.max(1) as usize - 1);
+        for (i, &delay) in schedule.iter().enumerate() {
+            let retry = i as u32 + 1;
+            let exp = base_ms
+                .saturating_mul(1u64 << (retry - 1).min(20))
+                .min(cap_ms.max(base_ms));
+            prop_assert!(
+                delay >= exp / 2 && delay <= exp,
+                "retry {} delay {} outside [{}, {}]",
+                retry, delay, exp / 2, exp
+            );
+            prop_assert_eq!(delay, policy.backoff_ms(retry), "per-retry hash is stable");
+        }
+        prop_assert_eq!(policy.backoff_ms(0), 0, "first attempt is immediate");
+    }
 
     /// Any payload survives a frame round trip, including empty ones.
     #[test]
