@@ -33,6 +33,13 @@ pub struct StepTiming {
     pub prefetch_s: f64,
     /// DRAM bytes moved per step (prefetch + writeback + LUT bursts).
     pub dram_bytes: f64,
+    /// Of `dram_bytes`, the state bytes fetched more than once because
+    /// adjacent sub-blocks re-read each other's halo rows/columns (the
+    /// k×k stencil reaches `(k-1)/2` cells past every sub-block edge).
+    pub halo_bytes: f64,
+    /// Estimated on-chip resident working set in bytes: two
+    /// double-buffered sub-block windows (block + halo) per layer.
+    pub resident_bytes: f64,
 }
 
 impl StepTiming {
@@ -122,11 +129,16 @@ impl RunEstimate {
             conv_cycles: self.timing.conv_cycles,
             stall_cycles: self.timing.stall_cycles,
             dram_bytes: self.timing.dram_bytes,
+            halo_bytes: self.timing.halo_bytes,
             primary_reads: b.primary_reads,
             support_reads: b.support_reads,
             reg_moves: b.reg_moves,
             writebacks: b.writebacks,
             energy_j: self.energy_per_step_j(),
+            resident_bytes: self.timing.resident_bytes as u64,
+            // The cycle model estimates a fully DRAM-backed accelerator;
+            // nothing is spilled to disk.
+            spill_bytes: 0,
         }
     }
 }
@@ -234,7 +246,26 @@ impl CycleModel {
         let cells = model.cells() as f64;
         let n_layers = model.n_layers() as f64;
         let word = 4.0;
-        let state_bytes = cells * n_layers * word; // reads
+        // Each sub-block prefetches its block *plus* the stencil halo, so
+        // cells within `h` of a block edge are fetched by every block that
+        // touches them. The block grid is a row×column product, so the
+        // total fetched cell count is the product of the per-dimension
+        // sums of clamped read widths.
+        let h = (model.kernel_size() - 1) / 2;
+        let read_extent = |n: usize, block: usize| -> f64 {
+            let mut total = 0usize;
+            let mut lo = 0usize;
+            while lo < n {
+                let hi = (lo + block).min(n);
+                total += (hi + h).min(n) - lo.saturating_sub(h);
+                lo = hi;
+            }
+            total as f64
+        };
+        let read_rows = read_extent(model.rows(), self.pe.rows);
+        let read_cols = read_extent(model.cols(), self.pe.cols);
+        let halo_bytes = (read_rows * read_cols - cells) * n_layers * word;
+        let state_bytes = cells * n_layers * word + halo_bytes; // reads incl. halo re-fetch
         let write_bytes = cells * n_layers * word; // writebacks
         let input_bytes = cells
             * model
@@ -251,6 +282,11 @@ impl CycleModel {
 
         let compute_s = (conv_cycles + stall_cycles) / pe_clock;
         let prefetch_s = self.mem.stream_time(dram_bytes);
+        // On-chip working set: two double-buffered (block + halo) windows
+        // per layer (Fig. 9 bank groups).
+        let window_rows = (self.pe.rows + 2 * h).min(model.rows()) as f64;
+        let window_cols = (self.pe.cols + 2 * h).min(model.cols()) as f64;
+        let resident_bytes = 2.0 * window_rows * window_cols * n_layers * word;
         StepTiming {
             conv_cycles,
             stall_cycles,
@@ -258,6 +294,8 @@ impl CycleModel {
             compute_s,
             prefetch_s,
             dram_bytes,
+            halo_bytes,
+            resident_bytes,
         }
     }
 
@@ -370,6 +408,32 @@ mod tests {
         assert!(est.energy_per_step_j() > 0.0);
         assert!(est.gops_per_watt() > 0.0);
         assert!((est.total_time_s(10) - 10.0 * est.time_per_step_s()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn halo_re_reads_are_counted() {
+        // 64x64 grid, 8x8 PE array, 3x3 stencil (h = 1): 8 blocks per
+        // dimension, edge blocks read 9 rows/cols and interior blocks 10,
+        // so each dimension fetches 2*9 + 6*10 = 78 extents and the step
+        // reads 78^2 = 6084 cells for 4096 resident — 1988 halo cells.
+        let m = CycleModel::new(MemorySpec::ddr3(), PeArrayConfig::default());
+        let t = m.step_timing(&heat_model(64), (0.0, 0.0));
+        assert_eq!(t.halo_bytes, 1988.0 * 4.0);
+        // Halo bytes are part of the streamed traffic, not extra.
+        assert!(t.dram_bytes > t.halo_bytes);
+        // A grid no bigger than one sub-block has no block boundaries and
+        // therefore no re-reads.
+        let t8 = m.step_timing(&heat_model(8), (0.0, 0.0));
+        assert_eq!(t8.halo_bytes, 0.0);
+        // The multi-shard plan moves strictly more traffic per cell.
+        assert!(
+            t.dram_bytes / heat_model(64).cells() as f64
+                > t8.dram_bytes / heat_model(8).cells() as f64
+        );
+        // The on-chip working set stays block-sized, not grid-sized: two
+        // 10x10 (block + halo) windows of one 4-byte layer.
+        assert_eq!(t.resident_bytes, 2.0 * 10.0 * 10.0 * 4.0);
+        assert_eq!(t8.resident_bytes, 2.0 * 8.0 * 8.0 * 4.0);
     }
 
     #[test]

@@ -184,6 +184,12 @@ impl FloatSim {
             mr_combined: 0.0,
             residual: self.last_residual,
             lut: Self::zero_lut(),
+            // Four fully resident f64 slabs (states/scratch/saved/inputs),
+            // never spilled.
+            peak_resident_bytes: 4
+                * (self.model.n_layers() * self.model.rows() * self.model.cols()) as u64
+                * std::mem::size_of::<f64>() as u64,
+            spill_bytes: 0,
         }));
     }
 

@@ -19,33 +19,52 @@ fn err(msg: impl Into<String>) -> CliError {
     CliError(msg.into())
 }
 
-/// One benchmark workload: a named system at a grid size and step count.
+/// One benchmark workload: a named system at a grid size and step count,
+/// optionally streamed out-of-core under a memory budget.
 #[derive(Debug, Clone)]
 struct Workload {
     system: &'static str,
     grid: usize,
     steps: u64,
+    /// Streamed-mode resident budget in bytes (`None` = in-core).
+    budget: Option<u64>,
 }
 
 impl Workload {
     fn name(&self) -> String {
-        format!("{}@{}", self.system, self.grid)
+        match self.budget {
+            Some(_) => format!("{}@{}-streamed", self.system, self.grid),
+            None => format!("{}@{}", self.system, self.grid),
+        }
     }
 }
 
 /// The full suite: the two reaction–diffusion paper benchmarks plus the
-/// quickstart heat system, each at two grid sizes.
+/// quickstart heat system, each at two grid sizes, and a streamed
+/// out-of-core fisher run whose window engine is held to the same
+/// regression gate as the in-core sweeps.
 fn workloads(quick: bool) -> Vec<Workload> {
     let w = |system, grid, steps| Workload {
         system,
         grid,
         steps,
+        budget: None,
+    };
+    let streamed = |system, grid, steps, budget| Workload {
+        system,
+        grid,
+        steps,
+        budget: Some(budget),
     };
     if quick {
         vec![
             w("fisher", 16, 10),
             w("gray-scott", 16, 10),
             w("heat", 16, 10),
+            // Large-grid streamed workload in the quick gate: 256x256
+            // under a budget ~5x below its in-core working set, so spill
+            // and halo-exchange throughput cannot silently regress.
+            streamed("fisher", 256, 10, 256 << 10),
         ]
     } else {
         vec![
@@ -55,6 +74,9 @@ fn workloads(quick: bool) -> Vec<Workload> {
             w("gray-scott", 48, 40),
             w("heat", 32, 40),
             w("heat", 64, 40),
+            // 256x256 under a budget ~5x below its in-core working set:
+            // exercises chunk spill/fill and windowed halo exchange.
+            streamed("fisher", 256, 10, 256 << 10),
         ]
     }
 }
@@ -141,6 +163,9 @@ pub struct WorkloadResult {
     pub system: String,
     pub grid: u64,
     pub steps: u64,
+    /// Streamed-mode memory budget in bytes (absent for in-core runs and
+    /// in baselines written before streamed workloads existed).
+    pub budget: Option<u64>,
     pub median_wall_nanos: u64,
     /// `(phase, count, median_total_nanos)` for every phase with spans.
     pub phases: Vec<(String, u64, u64)>,
@@ -173,10 +198,29 @@ pub fn run_suite(opts: &BenchOpts) -> Result<BenchResults, CliError> {
             let mut runner =
                 FixedRunner::new(setup).map_err(|e| err(format!("simulator setup: {e}")))?;
             runner.set_threads(opts.threads);
+            let spool = w.budget.map(|budget| {
+                let dir = std::env::temp_dir().join(format!(
+                    "cenn_bench_spool_{}_{}",
+                    std::process::id(),
+                    w.name().replace('@', "_")
+                ));
+                (budget, dir)
+            });
+            if let Some((budget, dir)) = &spool {
+                runner
+                    .set_memory_budget(*budget, dir)
+                    .map_err(|e| err(format!("{}: --memory-budget: {e}", w.name())))?;
+            }
             let tracer = TraceHandle::histograms_only();
             runner.set_tracer(tracer.clone());
             runner.run(w.steps);
-            walls.push(runner.sim().run_nanos());
+            walls.push(match runner.stream() {
+                Some(s) => s.run_nanos(),
+                None => runner.sim().run_nanos(),
+            });
+            if let Some((_, dir)) = &spool {
+                let _ = std::fs::remove_dir_all(dir);
+            }
             let rep_counts: Vec<(Phase, u64)> = Phase::ALL
                 .iter()
                 .map(|&p| (p, tracer.with(|c| c.phase_count(p))))
@@ -210,6 +254,7 @@ pub fn run_suite(opts: &BenchOpts) -> Result<BenchResults, CliError> {
             system: w.system.to_string(),
             grid: w.grid as u64,
             steps: w.steps,
+            budget: w.budget,
             median_wall_nanos: median(&mut walls),
             phases,
         });
@@ -232,8 +277,12 @@ pub fn to_json(r: &BenchResults) -> String {
         if i > 0 {
             out.push(',');
         }
+        let budget = match w.budget {
+            Some(b) => format!("\"budget\":{b},"),
+            None => String::new(),
+        };
         out.push_str(&format!(
-            "{{\"name\":\"{}\",\"system\":\"{}\",\"grid\":{},\"steps\":{},\
+            "{{\"name\":\"{}\",\"system\":\"{}\",\"grid\":{},\"steps\":{},{budget}\
              \"median_wall_nanos\":{},\"phases\":[",
             w.name, w.system, w.grid, w.steps, w.median_wall_nanos
         ));
@@ -300,6 +349,11 @@ pub fn from_json(text: &str) -> Result<BenchResults, CliError> {
             system: get_str(w, "system", &name)?,
             grid: get_u64(w, "grid", &name)?,
             steps: get_u64(w, "steps", &name)?,
+            // Optional: absent from pre-streaming baselines.
+            budget: w
+                .get("budget")
+                .map(|_| get_u64(w, "budget", &name))
+                .transpose()?,
             median_wall_nanos: get_u64(w, "median_wall_nanos", &name)?,
             phases,
             name,
@@ -503,6 +557,7 @@ mod tests {
                 system: "fisher".into(),
                 grid: 16,
                 steps: 10,
+                budget: None,
                 median_wall_nanos: template_nanos + 500_000,
                 phases: vec![
                     ("lut_lookup".into(), 40, 400_000),
@@ -539,6 +594,14 @@ mod tests {
         let r = sample(3_000_000, 20);
         let parsed = from_json(&to_json(&r)).unwrap();
         assert_eq!(parsed, r);
+        // Streamed workloads carry their budget through the file; old
+        // baselines without the key still parse (budget = None above).
+        let mut streamed = sample(3_000_000, 20);
+        streamed.workloads[0].budget = Some(64 << 10);
+        streamed.workloads[0].name = "fisher@16-streamed".into();
+        let text = to_json(&streamed);
+        assert!(text.contains("\"budget\":65536"), "{text}");
+        assert_eq!(from_json(&text).unwrap(), streamed);
         assert!(from_json("{}").is_err());
         assert!(from_json("{\"bench_schema\":99,\"repeat\":1,\"workloads\":[]}").is_err());
     }
@@ -580,13 +643,23 @@ mod tests {
         assert!(out.contains("fisher@16"), "{out}");
         let text = std::fs::read_to_string(dir.join("BENCH_0.json")).unwrap();
         let parsed = from_json(&text).unwrap();
-        assert_eq!(parsed.workloads.len(), 3);
+        assert_eq!(parsed.workloads.len(), 4);
         for w in &parsed.workloads {
             assert!(
                 w.phases.iter().any(|(p, _, _)| p == "template_apply"),
                 "{w:?}"
             );
         }
+        let streamed = parsed
+            .workloads
+            .iter()
+            .find(|w| w.name == "fisher@256-streamed")
+            .expect("quick suite gates the streamed engine");
+        assert_eq!(streamed.budget, Some(256 << 10));
+        assert!(
+            streamed.phases.iter().any(|(p, _, _)| p == "halo_sync"),
+            "streamed chunk fills are traced: {streamed:?}"
+        );
         // A second run compared against the first: timing jitter is
         // tolerated by a generous threshold, counts must match exactly.
         let out = cmd_bench(&s(&[

@@ -22,12 +22,20 @@ USAGE:
            [--report] [--metrics-out FILE] [--metrics-format jsonl|csv]
            [--metrics-canonical] [--guard] [--checkpoint-every N]
            [--fault-plan SPEC] [--on-divergence abort|rollback|bypass-lut]
+           [--memory-budget SIZE] [--spool DIR]
       Run a system on the fixed-point solver simulator. --threads N sweeps
       the grid on N worker threads (bit-identical to serial; defaults to
       the CENN_THREADS environment variable, else 1). --metrics-out streams
       per-step metrics and a run summary to FILE (jsonl by default);
       --metrics-canonical zeroes wall-clock fields so the stream is
       byte-for-byte reproducible.
+      --memory-budget SIZE (accepts K/M/G suffixes) runs the grid
+      streamed out-of-core: only a bounded window of tile rows stays
+      resident, with halo exchange against CENNCKPT state chunks spilled
+      to --spool (default: a temp directory, removed after the run).
+      States stay bit-identical to in-core execution — the printed state
+      digest is the proof. Incompatible with --guard (the spool journal
+      is the streamed recovery path).
       --guard runs under the fault-tolerant runtime: LUT integrity scrubs
       plus a bit-exact checkpoint every --checkpoint-every steps (default
       16), health watchdogs, and --on-divergence recovery (default
@@ -39,9 +47,12 @@ USAGE:
       phase spans (open in chrome://tracing or https://ui.perfetto.dev).
   cenn profile <system> [--grid N] [--steps N] [--threads N]
                [--format table|json] [--canonical] [--trace-out FILE]
+               [--memory-budget SIZE]
       Run a system under the span tracer and print a phase-attribution
       breakdown (lut_lookup, template_apply, integrate, halo_sync, ...)
-      with per-phase latency quantiles. --canonical zeroes wall-clock
+      with per-phase latency quantiles plus a memory line (peak resident
+      bytes; spill bytes and window geometry when --memory-budget
+      streams the run out-of-core). --canonical zeroes wall-clock
       fields so the output is byte-identical for any thread count.
   cenn bench [--quick] [--repeat N] [--threads N] [--dir DIR] [--out FILE]
              [--compare] [--baseline FILE] [--threshold PCT]
@@ -154,6 +165,8 @@ pub struct RunOpts {
     pub checkpoint_every: Option<u64>,
     pub fault_plan: Option<String>,
     pub on_divergence: cenn::guard::RecoveryPolicy,
+    pub memory_budget: Option<u64>,
+    pub spool: Option<String>,
 }
 
 impl Default for RunOpts {
@@ -177,8 +190,23 @@ impl Default for RunOpts {
             checkpoint_every: None,
             fault_plan: None,
             on_divergence: cenn::guard::RecoveryPolicy::Rollback,
+            memory_budget: None,
+            spool: None,
         }
     }
+}
+
+/// Parses a byte size with an optional K/M/G suffix (binary multiples).
+pub fn parse_size(text: &str) -> Option<u64> {
+    let t = text.trim();
+    let (digits, mult) = match t.chars().last()? {
+        'k' | 'K' => (&t[..t.len() - 1], 1u64 << 10),
+        'm' | 'M' => (&t[..t.len() - 1], 1u64 << 20),
+        'g' | 'G' => (&t[..t.len() - 1], 1u64 << 30),
+        _ => (t, 1),
+    };
+    let n: u64 = digits.parse().ok()?;
+    n.checked_mul(mult).filter(|&v| v > 0)
 }
 
 /// Parses `--flag value` style options.
@@ -246,6 +274,13 @@ pub fn parse_opts(args: &[String]) -> Result<RunOpts, CliError> {
                 opts.on_divergence = cenn::guard::RecoveryPolicy::parse(&value("--on-divergence")?)
                     .map_err(|e| err(format!("--on-divergence: {e}")))?
             }
+            "--memory-budget" => {
+                opts.memory_budget =
+                    Some(parse_size(&value("--memory-budget")?).ok_or_else(|| {
+                        err("--memory-budget needs a positive size (K/M/G suffixes allowed)")
+                    })?)
+            }
+            "--spool" => opts.spool = Some(value("--spool")?),
             other => return Err(err(format!("unknown option '{other}'"))),
         }
     }
@@ -263,6 +298,12 @@ pub fn parse_opts(args: &[String]) -> Result<RunOpts, CliError> {
     }
     if opts.threads == Some(0) {
         return Err(err("--threads must be positive"));
+    }
+    if opts.memory_budget.is_some() && opts.guard {
+        return Err(err(
+            "--memory-budget cannot combine with --guard: streamed runs \
+             recover from their spool journal instead",
+        ));
     }
     Ok(opts)
 }
@@ -353,6 +394,23 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
         FixedRunner::new(setup.clone()).map_err(|e| err(format!("simulator setup: {e}")))?;
     let threads = resolve_threads(&opts);
     runner.set_threads(threads);
+    // Streamed out-of-core mode: spool the seeded state, then every step
+    // sweeps in bounded windows. Must happen before the run starts.
+    let default_spool = opts.memory_budget.is_some() && opts.spool.is_none();
+    let spool_dir = match (&opts.spool, opts.memory_budget) {
+        (Some(dir), _) => Some(std::path::PathBuf::from(dir)),
+        (None, Some(_)) => Some(std::env::temp_dir().join(format!(
+            "cenn_spool_{}_{}",
+            std::process::id(),
+            opts.system
+        ))),
+        (None, None) => None,
+    };
+    if let (Some(budget), Some(dir)) = (opts.memory_budget, &spool_dir) {
+        runner
+            .set_memory_budget(budget, dir)
+            .map_err(|e| err(format!("--memory-budget: {e}")))?;
+    }
     let metrics = match &opts.metrics_out {
         None => None,
         Some(path) => {
@@ -415,6 +473,20 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
             .map_err(|e| err(format!("writing {path}: {e}")))?;
     }
 
+    let digest = match runner.stream() {
+        Some(s) => {
+            let snap = s
+                .snapshot()
+                .map_err(|e| err(format!("reading spool: {e}")))?;
+            cenn::serve::snapshot_digest(&snap)
+        }
+        None => cenn::serve::state_digest(runner.sim()),
+    };
+    let time = match runner.stream() {
+        Some(s) => s.time(),
+        None => runner.sim().time(),
+    };
+
     let mut out = String::new();
     writeln!(
         out,
@@ -424,11 +496,23 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
         opts.grid,
         setup.model.n_layers(),
         steps,
-        runner.sim().time()
+        time
     )
     .unwrap();
     if threads > 1 {
         writeln!(out, "worker threads: {threads}").unwrap();
+    }
+    if let (Some(budget), Some(s)) = (opts.memory_budget, runner.stream()) {
+        writeln!(
+            out,
+            "memory budget: {budget} bytes -> {} chunk rows, {} windows; \
+             peak resident {} bytes, spilled {} bytes",
+            s.chunk_rows(),
+            s.n_windows(),
+            s.peak_resident_bytes(),
+            s.spill_bytes()
+        )
+        .unwrap();
     }
     if let Some(fired) = fired {
         if setup.post_step.is_some() {
@@ -449,6 +533,7 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
     }
     let (mr1, mr2) = runner.miss_rates();
     writeln!(out, "LUT miss rates: mr_L1 = {mr1:.3}, mr_L2 = {mr2:.3}").unwrap();
+    writeln!(out, "state digest: {digest:016x}").unwrap();
     for (name, grid) in runner.observed_states() {
         writeln!(
             out,
@@ -499,6 +584,11 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
         writeln!(out, "  throughput:   {:.1} GOPS", est.achieved_gops()).unwrap();
         writeln!(out, "  system power: {:.2} W", est.system_power_w()).unwrap();
         writeln!(out, "  efficiency:   {:.1} GOPS/W", est.gops_per_watt()).unwrap();
+    }
+    if default_spool {
+        if let Some(dir) = &spool_dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
     }
     Ok(out.trim_end().to_string())
 }
@@ -860,6 +950,56 @@ mod tests {
                 .to_string()
         };
         assert_eq!(range(&out), range(&clean));
+    }
+
+    #[test]
+    fn parse_size_handles_suffixes() {
+        assert_eq!(parse_size("4096"), Some(4096));
+        assert_eq!(parse_size("64K"), Some(64 << 10));
+        assert_eq!(parse_size("2m"), Some(2 << 20));
+        assert_eq!(parse_size("1G"), Some(1 << 30));
+        assert_eq!(parse_size("0"), None);
+        assert_eq!(parse_size("12Q"), None);
+        assert_eq!(parse_size(""), None);
+    }
+
+    #[test]
+    fn parse_memory_budget_flags() {
+        let o = parse_opts(&s(&["--system", "fisher", "--memory-budget", "64K"])).unwrap();
+        assert_eq!(o.memory_budget, Some(64 << 10));
+        assert!(parse_opts(&s(&["--system", "fisher", "--memory-budget", "x"])).is_err());
+        assert!(
+            parse_opts(&s(&[
+                "--system",
+                "fisher",
+                "--memory-budget",
+                "64K",
+                "--guard"
+            ]))
+            .is_err(),
+            "streamed + guard rejected"
+        );
+    }
+
+    #[test]
+    fn memory_budget_run_matches_in_core_digest() {
+        let base = s(&["run", "--system", "fisher", "--grid", "24", "--steps", "12"]);
+        let in_core = dispatch(&base).unwrap();
+        let mut streamed = base.clone();
+        streamed.extend(s(&["--memory-budget", "16K"]));
+        let out = dispatch(&streamed).unwrap();
+        assert!(out.contains("memory budget: 16384 bytes"), "{out}");
+        let digest = |t: &str| {
+            t.lines()
+                .find(|l| l.starts_with("state digest: "))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(digest(&in_core), digest(&out), "streamed == in-core");
+        // And thread count doesn't change the streamed digest either.
+        let mut threaded = streamed.clone();
+        threaded.extend(s(&["--threads", "4"]));
+        assert_eq!(digest(&dispatch(&threaded).unwrap()), digest(&out));
     }
 
     #[test]

@@ -156,6 +156,52 @@ impl TilePlan {
     pub fn pe_of(&self, r: usize, c: usize) -> usize {
         (r % self.pe_rows) * self.pe_cols + (c % self.pe_cols)
     }
+
+    /// Decomposes one *window* of grid rows `[row0, row1)` into per-shard
+    /// tiles — the windowed sweep schedule of the streamed out-of-core
+    /// engine ([`crate::stream`]).
+    ///
+    /// Cells and PE ids stay **global**, so each shard's LUT cache walks
+    /// exactly the subsequence of the full-grid sweep that falls in the
+    /// window (per-PE counters and values stay bit-identical when the
+    /// windows are processed in ascending row order). The *flat* indices,
+    /// however, address a caller-provided resident buffer:
+    /// `local_row_of(r)` maps a global row to its row inside the resident
+    /// window, and flats become `local_row_of(r) * cols + c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row range is empty or reaches past the grid.
+    pub fn window(
+        &self,
+        row0: usize,
+        row1: usize,
+        mut local_row_of: impl FnMut(usize) -> usize,
+    ) -> Vec<Tile> {
+        assert!(row0 < row1 && row1 <= self.rows, "window out of range");
+        let n_pes = self.pe_rows * self.pe_cols;
+        let n_shards = n_pes.div_ceil(PES_PER_L2);
+        let mut tiles: Vec<Tile> = (0..n_shards)
+            .map(|s| Tile {
+                shard: s,
+                pe_base: s * PES_PER_L2,
+                cells: Vec::new(),
+                flats: Vec::new(),
+                pes: Vec::new(),
+            })
+            .collect();
+        for r in row0..row1 {
+            let local = local_row_of(r);
+            for c in 0..self.cols {
+                let pe = (r % self.pe_rows) * self.pe_cols + (c % self.pe_cols);
+                let tile = &mut tiles[pe / PES_PER_L2];
+                tile.cells.push((r as u32, c as u32));
+                tile.flats.push((local * self.cols + c) as u32);
+                tile.pes.push(pe as u32);
+            }
+        }
+        tiles
+    }
 }
 
 /// Sweeps work items across a fixed number of worker threads.
@@ -371,6 +417,36 @@ mod tests {
             .collect();
         assert_eq!(used, vec![0, 2]);
         assert_eq!(plan.n_cells(), 4);
+    }
+
+    #[test]
+    fn window_tiles_partition_the_full_plan() {
+        // Concatenating per-shard window tiles in ascending row order must
+        // reproduce each full-plan tile's cell and PE sequences exactly —
+        // the windowed sweep's determinism precondition.
+        let plan = TilePlan::new(13, 7, 8, 8);
+        for window_rows in [1, 3, 13, 20] {
+            let mut cells: Vec<Vec<(u32, u32)>> = vec![Vec::new(); plan.tiles().len()];
+            let mut pes: Vec<Vec<u32>> = vec![Vec::new(); plan.tiles().len()];
+            let mut lo = 0usize;
+            while lo < 13 {
+                let hi = (lo + window_rows).min(13);
+                for t in plan.window(lo, hi, |r| r - lo) {
+                    cells[t.shard()].extend_from_slice(t.cells());
+                    pes[t.shard()].extend_from_slice(t.pes());
+                    // Flats are resident-local: row offsets within the
+                    // window, never past it.
+                    for &f in t.flats() {
+                        assert!((f as usize) < (hi - lo) * 7);
+                    }
+                }
+                lo = hi;
+            }
+            for (tile, (c, p)) in plan.tiles().iter().zip(cells.iter().zip(&pes)) {
+                assert_eq!(tile.cells(), &c[..], "window_rows = {window_rows}");
+                assert_eq!(tile.pes(), &p[..]);
+            }
+        }
     }
 
     #[test]

@@ -54,6 +54,7 @@ mod layer;
 pub mod mapping;
 mod model;
 mod sim;
+pub mod stream;
 mod template;
 
 pub use boundary::Boundary;
@@ -63,4 +64,5 @@ pub use grid::{Grid, LayerView, SoaGrid};
 pub use layer::{LayerId, LayerKind, LayerSpec};
 pub use model::{CennModel, CennModelBuilder, Integrator, LutConfig, TemplateKind};
 pub use sim::{CennSim, FuncEval, SimSnapshot, StepReport};
+pub use stream::{StreamConfig, StreamError, StreamSim};
 pub use template::{Factor, Stencil, Template, WeightExpr};

@@ -73,8 +73,8 @@ struct CompiledConv {
 
 /// Per-destination-layer execution plan.
 #[derive(Debug, Clone)]
-struct LayerPlan {
-    kind: LayerKind,
+pub(crate) struct LayerPlan {
+    pub(crate) kind: LayerKind,
     convs: Vec<CompiledConv>,
     offsets: Vec<WeightExpr>,
 }
@@ -90,25 +90,26 @@ struct LayerPlan {
 /// construction; *weights* are re-read from the [`LayerPlan`] every
 /// sweep so template-fault injection stays live.
 #[derive(Debug, Clone)]
-struct LaneTap {
+pub(crate) struct LaneTap {
     /// Source layer index (into states or inputs, per `input`).
     src: usize,
     /// Gather from the external input slab instead of states.
-    input: bool,
+    pub(crate) input: bool,
     /// Clamp gathered operands through the CeNN output function.
     output: bool,
     /// Pre-resolved (and, for output taps, pre-clamped) boundary
     /// constant, raw bits.
     const_bits: i32,
     /// Flat source index per cell, tile-concatenated; `u32::MAX` means
-    /// "use `const_bits`".
-    gather: Vec<u32>,
+    /// "use `const_bits`". The streamed engine rewrites these from global
+    /// to resident-window indices after building a window's lanes.
+    pub(crate) gather: Vec<u32>,
 }
 
 /// One nonlinear factor of a dynamic weight site, with its LUT row
 /// context hoisted at construction.
 #[derive(Debug, Clone)]
-struct LaneFactor {
+pub(crate) struct LaneFactor {
     /// Layer whose state feeds the function.
     layer: usize,
     func: FuncId,
@@ -117,20 +118,20 @@ struct LaneFactor {
 
 /// The factor list of one dynamic weight site (tap or offset).
 #[derive(Debug, Clone)]
-struct SiteGeom {
-    factors: Vec<LaneFactor>,
+pub(crate) struct SiteGeom {
+    pub(crate) factors: Vec<LaneFactor>,
 }
 
 /// A layer's templates lowered to lane form: flattened taps with gather
 /// tables, plus the dynamic weight sites in flat order (taps first, then
 /// offsets — the same order [`CennSim::inject_template_fault`] uses).
 #[derive(Debug, Clone)]
-struct LayerLanes {
-    taps: Vec<LaneTap>,
-    sites: Vec<SiteGeom>,
+pub(crate) struct LayerLanes {
+    pub(crate) taps: Vec<LaneTap>,
+    pub(crate) sites: Vec<SiteGeom>,
     /// Every site's factor contexts flattened in site order — the batched
     /// weight pass walks them per cell in exactly this (scalar) order.
-    ctxs: Vec<RowCtx>,
+    pub(crate) ctxs: Vec<RowCtx>,
 }
 
 /// A tap or offset weight resolved for one sweep: either a constant's
@@ -144,12 +145,12 @@ enum LaneWeight {
 /// One layer's share of a sweep: its lane geometry plus the weights
 /// re-read from the plan (so injected template faults take effect) and
 /// the per-site scales consumed by the weight pass.
-struct SweepLayer<'a> {
+pub(crate) struct SweepLayer<'a> {
     /// Destination layer index.
     layer: usize,
     /// Add the `-x` leak term of eq. (1) (dynamic layers only).
     leak: bool,
-    lanes: &'a LayerLanes,
+    pub(crate) lanes: &'a LayerLanes,
     /// Per-tap weight, parallel to `lanes.taps`.
     tap_weights: Vec<LaneWeight>,
     /// Per-offset weight, in plan order.
@@ -161,9 +162,9 @@ struct SweepLayer<'a> {
 /// Persistent per-shard scratch for the lane sweeps, sized once at
 /// construction so the hot loop never allocates.
 #[derive(Debug, Clone)]
-struct ShardBuf {
+pub(crate) struct ShardBuf {
     /// Resolved cell results, one segment per swept layer.
-    out: Vec<i32>,
+    pub(crate) out: Vec<i32>,
     /// Wide accumulator lanes (the PE's 48-bit accumulate, held in i64).
     accs: Vec<i64>,
     /// Gathered operand lanes, raw bits.
@@ -177,7 +178,12 @@ struct ShardBuf {
 }
 
 impl ShardBuf {
-    fn new(cells: usize, max_layers: usize, max_sites: usize, max_factors: usize) -> Self {
+    pub(crate) fn new(
+        cells: usize,
+        max_layers: usize,
+        max_sites: usize,
+        max_factors: usize,
+    ) -> Self {
         Self {
             out: vec![0; max_layers * cells],
             accs: vec![0; cells],
@@ -186,6 +192,39 @@ impl ShardBuf {
             fx: vec![0; max_factors * cells],
             fv: vec![0; max_factors * cells],
         }
+    }
+
+    /// Grows the scratch to hold at least `cells` cells (grow-only — the
+    /// streamed engine's tile sizes vary per window, and the kernels slice
+    /// exactly `cells` elements off the front of each lane).
+    pub(crate) fn ensure(
+        &mut self,
+        cells: usize,
+        max_layers: usize,
+        max_sites: usize,
+        max_factors: usize,
+    ) {
+        let grow = |v: &mut Vec<i32>, n: usize| {
+            if v.len() < n {
+                v.resize(n, 0);
+            }
+        };
+        grow(&mut self.out, max_layers * cells);
+        if self.accs.len() < cells {
+            self.accs.resize(cells, 0);
+        }
+        grow(&mut self.ops, cells);
+        grow(&mut self.site_w, max_sites * cells);
+        grow(&mut self.fx, max_factors * cells);
+        grow(&mut self.fv, max_factors * cells);
+    }
+
+    /// Bytes of scratch currently allocated (for resident-footprint
+    /// accounting).
+    pub(crate) fn bytes(&self) -> u64 {
+        let i32s =
+            self.out.len() + self.ops.len() + self.site_w.len() + self.fx.len() + self.fv.len();
+        (i32s * std::mem::size_of::<i32>() + self.accs.len() * std::mem::size_of::<i64>()) as u64
     }
 }
 
@@ -296,7 +335,7 @@ impl CennSim {
         let spec_of = |f: FuncId| cfg.spec_for(f);
         let lanes: Vec<LayerLanes> = plan
             .iter()
-            .map(|p| build_lanes(p, &tiles, model.rows(), model.cols(), &spec_of))
+            .map(|p| build_lanes(p, tiles.tiles(), model.rows(), model.cols(), &spec_of))
             .collect();
         let dyn_layers: Vec<usize> = (0..plan.len())
             .filter(|&i| plan[i].kind == LayerKind::Dynamic)
@@ -477,7 +516,27 @@ impl CennSim {
             mr_combined: lut.combined_miss_rate(),
             residual: self.last_step.residual,
             lut: lut.level_metrics(),
+            peak_resident_bytes: self.resident_state_bytes(),
+            spill_bytes: 0,
         }));
+    }
+
+    /// Bytes of simulation state this fully resident engine keeps in
+    /// memory: the five `Q16.16` SoA slabs (states, two RHS buffers, the
+    /// Heun/rollback save, and inputs). Geometry-derived, so the value is
+    /// deterministic and identical for any thread count.
+    pub fn resident_state_bytes(&self) -> u64 {
+        let slabs = [
+            &self.states,
+            &self.aux,
+            &self.aux2,
+            &self.saved,
+            &self.inputs,
+        ];
+        slabs
+            .iter()
+            .map(|g| std::mem::size_of_val(g.slab()) as u64)
+            .sum()
     }
 
     /// `(hits, misses)` of one PE's private L1 LUT (per-PE accounting
@@ -541,6 +600,13 @@ impl CennSim {
     /// trace simulator walks in hardware order).
     pub fn states(&self) -> &SoaGrid<Q16_16> {
         &self.states
+    }
+
+    /// The external-input slab (one layer span per model layer; zeros for
+    /// layers without inputs). The streamed engine reads this to seed its
+    /// input chunk spool.
+    pub fn inputs(&self) -> &SoaGrid<Q16_16> {
+        &self.inputs
     }
 
     /// Current state map converted to `f64` (for error statistics).
@@ -1093,15 +1159,15 @@ impl CennSim {
 
 /// Immutable context for weight evaluation (borrows the model's function
 /// library — hot sweeps never clone it).
-struct EvalCtx<'a> {
-    lib: &'a FuncLibrary,
-    eval: FuncEval,
+pub(crate) struct EvalCtx<'a> {
+    pub(crate) lib: &'a FuncLibrary,
+    pub(crate) eval: FuncEval,
 }
 
 /// One sweep's work item: a shard, its tile, its persistent scratch
 /// buffers, and a span ring (disabled — zero-capacity, no allocation —
 /// unless the sim has a tracer attached).
-type WorkItem<'a> = (&'a mut LutShard, &'a Tile, &'a mut ShardBuf, SpanRing);
+pub(crate) type WorkItem<'a> = (&'a mut LutShard, &'a Tile, &'a mut ShardBuf, SpanRing);
 
 /// Spans a shard can emit per sweep: lut_lookup + template_apply from the
 /// worker, halo_sync from the scatter loop.
@@ -1110,7 +1176,12 @@ const SPANS_PER_SWEEP: usize = 4;
 /// Records the scatter of one shard's tile buffer back into the global
 /// slab as a `halo_sync` span. No-op when the ring is disabled.
 #[inline]
-fn push_halo_span(ring: &mut SpanRing, tile: &Tile, t0: Option<Instant>, epoch: Option<Instant>) {
+pub(crate) fn push_halo_span(
+    ring: &mut SpanRing,
+    tile: &Tile,
+    t0: Option<Instant>,
+    epoch: Option<Instant>,
+) {
     let (Some(t0), Some(epoch)) = (t0, epoch) else {
         return;
     };
@@ -1123,7 +1194,7 @@ fn push_halo_span(ring: &mut SpanRing, tile: &Tile, t0: Option<Instant>, epoch: 
 }
 
 /// Pairs each shard with its tile, scratch buffers, and span ring.
-fn make_work<'a>(
+pub(crate) fn make_work<'a>(
     shards: &'a mut [LutShard],
     tiles: &'a [Tile],
     bufs: &'a mut [ShardBuf],
@@ -1146,7 +1217,7 @@ fn make_work<'a>(
 
 /// Compiles the model's templates into per-layer tap lists with zero
 /// entries stripped.
-fn compile(model: &CennModel) -> Vec<LayerPlan> {
+pub(crate) fn compile(model: &CennModel) -> Vec<LayerPlan> {
     model
         .layer_ids()
         .map(|dest| {
@@ -1182,15 +1253,22 @@ fn compile(model: &CennModel) -> Vec<LayerPlan> {
 }
 
 /// Lowers one compiled layer plan to lane form: flattened taps with
-/// per-cell gather tables (boundary resolved once, at construction) and
-/// the dynamic weight sites with their LUT row contexts hoisted.
-fn build_lanes(
+/// per-cell gather tables (boundary resolved once per geometry) and the
+/// dynamic weight sites with their LUT row contexts hoisted.
+///
+/// `tiles` is the tile set the gather tables are concatenated over — the
+/// full [`TilePlan::tiles`] for the in-core simulator, or one window's
+/// [`TilePlan::window`] tiles for the streamed engine (gather indices are
+/// always global grid flats; the streamed engine remaps them to its
+/// resident window afterwards).
+pub(crate) fn build_lanes(
     plan: &LayerPlan,
-    tiles: &TilePlan,
+    tiles: &[Tile],
     rows: usize,
     cols: usize,
     spec_of: &impl Fn(FuncId) -> LutSpec,
 ) -> LayerLanes {
+    let n_cells: usize = tiles.iter().map(Tile::len).sum();
     let mut taps = Vec::new();
     let mut sites = Vec::new();
     for conv in &plan.convs {
@@ -1205,8 +1283,8 @@ fn build_lanes(
                     v
                 }
             };
-            let mut gather = Vec::with_capacity(tiles.n_cells());
-            for tile in tiles.tiles() {
+            let mut gather = Vec::with_capacity(n_cells);
+            for tile in tiles {
                 for &(r, c) in tile.cells() {
                     let idx = conv
                         .boundary
@@ -1255,7 +1333,7 @@ fn site_geom(factors: &[Factor], spec_of: &impl Fn(FuncId) -> LutSpec) -> SiteGe
 
 /// Re-reads a layer's weights from the plan for one sweep (template
 /// faults mutate the plan, so weights cannot be baked into the lanes).
-fn resolve_layer<'a>(
+pub(crate) fn resolve_layer<'a>(
     plan: &LayerPlan,
     lanes: &'a LayerLanes,
     layer: usize,
@@ -1298,7 +1376,7 @@ fn resolve_layer<'a>(
 /// fused dynamic-layer sweep (the bench-regression test hook slows that
 /// sweep down when the `slow-template-apply` feature is on).
 #[allow(clippy::too_many_arguments)]
-fn sweep_shard(
+pub(crate) fn sweep_shard(
     shard: &mut LutShard,
     tables: &[OffChipLut],
     tile: &Tile,

@@ -1,0 +1,1665 @@
+//! Streamed out-of-core execution: windowed sweeps with halo exchange over
+//! state chunks spilled to disk.
+//!
+//! [`StreamSim`] evolves the same [`CennModel`] semantics as [`CennSim`],
+//! but never materializes the full state slab. The grid's rows are split
+//! into fixed-height **chunks**; each integrator pass sweeps the chunks in
+//! ascending row order as **windows**, where a window keeps resident only
+//! its chunk rows plus the halo rows its templates read (boundary-resolved,
+//! so periodic wrap rows are included). State chunks are filled from and
+//! spilled to an on-disk **spool** whose chunk files reuse the `CENNCKPT`
+//! v1 framing of `cenn-guard` checkpoints, and a text **journal** records
+//! every completed window so a partially swept step is restartable via
+//! [`StreamSim::recover`].
+//!
+//! # Determinism
+//!
+//! Per window the engine runs the untouched in-core kernels — the same
+//! lane lowering ([`crate::sim`]'s `build_lanes`), the same batched LUT
+//! weight pass, the same unrolled MAC template pass — over tiles produced
+//! by [`TilePlan::window`], whose cells and PE ids stay global. Windows in
+//! ascending row order therefore concatenate to exactly the serial
+//! row-major per-shard cell sequence of the in-core sweep, so **states are
+//! bit-identical to [`CennSim`] at every thread count and every window
+//! size**. LUT hit/miss counters are additionally bit-identical whenever a
+//! single layer carries dynamic weight sites (the per-shard lookup
+//! sequence is then the in-core sequence split at window boundaries, and
+//! the batched row path only memoizes provable L1 hits per call); with
+//! several LUT-bearing layers the windowed interleaving differs, and only
+//! access *totals* are preserved.
+//!
+//! # Restart semantics
+//!
+//! Chunk writes are atomic (temp file + rename) and journaled after the
+//! rename, so a killed process loses at most the window it was executing.
+//! [`StreamSim::recover`] replays the journal, resumes at the first
+//! unjournaled window, and reconstructs the in-flight step's cell and
+//! residual accounting from the spooled chunks. As with
+//! [`SimSnapshot`](crate::SimSnapshot) restore, LUT cache *statistics* are
+//! not restored — replayed look-ups are real look-ups — so counters after
+//! a restart differ from an uninterrupted run while states do not.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use cenn_lut::{LutHierarchy, LutShard, LutStats};
+use cenn_obs::{Event, Phase, RecorderHandle, RunSummary, TraceHandle};
+use fixedpt::{MacAcc, Q16_16};
+
+use crate::boundary::Boundary;
+use crate::error::ModelError;
+use crate::exec::{ExecEngine, StepStats, TilePlan};
+use crate::grid::{Grid, SoaGrid};
+use crate::layer::{LayerId, LayerKind};
+use crate::model::{CennModel, Integrator};
+use crate::sim::{
+    build_lanes, compile, make_work, push_halo_span, resolve_layer, sweep_shard, CennSim, EvalCtx,
+    LayerLanes, LayerPlan, ShardBuf, SimSnapshot, StepReport,
+};
+
+/// Chunk-file magic — byte-compatible with `cenn-guard`'s `CENNCKPT`
+/// checkpoint format, so spooled chunks parse as ordinary checkpoints.
+const MAGIC: &[u8; 8] = b"CENNCKPT";
+/// Chunk-file format version (`CENNCKPT` v1).
+const VERSION: u32 = 1;
+/// Journal header tag and version.
+const JOURNAL_MAGIC: &str = "CENNJRNL 1";
+
+/// Configuration for the streamed engine: where to spool, and how much
+/// memory the resident window may use.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Directory holding the chunk spool and journal (created if absent).
+    pub spool_dir: PathBuf,
+    /// Byte budget for the resident working set. The engine solves for the
+    /// largest chunk height whose window (chunk + halo + scratch + gather
+    /// tables + I/O staging) fits the budget; a budget smaller than a
+    /// single-row window degrades to one-row chunks (best effort).
+    pub memory_budget: Option<u64>,
+    /// Explicit chunk height in rows (overrides `memory_budget`; clamped
+    /// to `[1, rows]`). Mostly for tests that pin window geometry.
+    pub chunk_rows: Option<usize>,
+}
+
+impl StreamConfig {
+    /// A config spooling to `dir` with no memory budget (one window spans
+    /// the whole grid until a budget or chunk height is set).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            spool_dir: dir.into(),
+            memory_budget: None,
+            chunk_rows: None,
+        }
+    }
+
+    /// Sets the resident-memory budget in bytes.
+    #[must_use]
+    pub fn with_memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Pins the chunk height in rows.
+    #[must_use]
+    pub fn with_chunk_rows(mut self, rows: usize) -> Self {
+        self.chunk_rows = Some(rows);
+        self
+    }
+}
+
+/// Why the streamed engine could not be constructed or advanced.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The model uses a feature the streamed engine does not support
+    /// (e.g. algebraic layers, which need whole-grid sequencing).
+    Unsupported(String),
+    /// Model construction failed (LUT generation, shape checks).
+    Model(ModelError),
+    /// Spool or journal I/O failed.
+    Io(std::io::Error),
+    /// A spooled chunk or the journal is malformed or inconsistent with
+    /// the model.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Unsupported(m) => write!(f, "streamed execution unsupported: {m}"),
+            Self::Model(e) => write!(f, "streamed engine model error: {e}"),
+            Self::Io(e) => write!(f, "spool I/O failed: {e}"),
+            Self::Corrupt(m) => write!(f, "spool corrupt: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Model(e) => Some(e),
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StreamError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<ModelError> for StreamError {
+    fn from(e: ModelError) -> Self {
+        Self::Model(e)
+    }
+}
+
+/// The on-disk chunk spool: one `CENNCKPT`-framed file per (stream, chunk)
+/// pair, written atomically via temp file + rename.
+#[derive(Debug, Clone)]
+struct Spool {
+    dir: PathBuf,
+}
+
+impl Spool {
+    fn chunk_path(&self, stream: &str, idx: usize) -> PathBuf {
+        self.dir.join(format!("{stream}_{idx:05}.ckpt"))
+    }
+
+    /// Serializes and atomically writes one chunk; returns bytes written.
+    #[allow(clippy::too_many_arguments)]
+    fn write_chunk(
+        &self,
+        stream: &str,
+        idx: usize,
+        steps: u64,
+        time: f64,
+        cells: usize,
+        layers: &[ChunkSrc<'_>],
+        stage: &mut Vec<u8>,
+    ) -> Result<u64, StreamError> {
+        stage.clear();
+        stage.extend_from_slice(MAGIC);
+        stage.extend_from_slice(&VERSION.to_le_bytes());
+        stage.extend_from_slice(&steps.to_le_bytes());
+        stage.extend_from_slice(&time.to_bits().to_le_bytes());
+        stage.extend_from_slice(&0u64.to_le_bytes()); // run_cells (unused)
+        for _ in 0..6 {
+            stage.extend_from_slice(&0u64.to_le_bytes()); // LutStats (unused)
+        }
+        stage.extend_from_slice(&(layers.len() as u32).to_le_bytes());
+        for src in layers {
+            stage.extend_from_slice(&(cells as u32).to_le_bytes());
+            match src {
+                ChunkSrc::Bits(bits) => {
+                    debug_assert_eq!(bits.len(), cells);
+                    for b in *bits {
+                        stage.extend_from_slice(&b.to_le_bytes());
+                    }
+                }
+                ChunkSrc::Fx(vals) => {
+                    debug_assert_eq!(vals.len(), cells);
+                    for v in *vals {
+                        stage.extend_from_slice(&v.to_bits().to_le_bytes());
+                    }
+                }
+            }
+        }
+        let path = self.chunk_path(stream, idx);
+        let tmp = path.with_extension("ckpt.tmp");
+        fs::write(&tmp, &stage)?;
+        fs::rename(&tmp, &path)?;
+        Ok(stage.len() as u64)
+    }
+
+    /// Reads one chunk into `stage` and returns the byte offset of each
+    /// layer's payload (`cells × 4` bytes of little-endian `i32`).
+    fn read_chunk(
+        &self,
+        stream: &str,
+        idx: usize,
+        n_layers: usize,
+        cells: usize,
+        stage: &mut Vec<u8>,
+    ) -> Result<Vec<usize>, StreamError> {
+        let path = self.chunk_path(stream, idx);
+        *stage = fs::read(&path)?;
+        let err = |m: &str| StreamError::Corrupt(format!("{}: {m}", path.display()));
+        let header = 8 + 4 + 8 + 8 + 8 + 6 * 8 + 4;
+        if stage.len() < header {
+            return Err(err("truncated header"));
+        }
+        if &stage[..8] != MAGIC {
+            return Err(err("bad magic"));
+        }
+        if u32::from_le_bytes(stage[8..12].try_into().unwrap()) != VERSION {
+            return Err(err("unsupported version"));
+        }
+        let got_layers = u32::from_le_bytes(stage[header - 4..header].try_into().unwrap()) as usize;
+        if got_layers != n_layers {
+            return Err(err("layer count mismatch"));
+        }
+        let mut offsets = Vec::with_capacity(n_layers);
+        let mut pos = header;
+        for _ in 0..n_layers {
+            if pos + 4 > stage.len() {
+                return Err(err("truncated layer header"));
+            }
+            let len = u32::from_le_bytes(stage[pos..pos + 4].try_into().unwrap()) as usize;
+            if len != cells {
+                return Err(err("cell count mismatch"));
+            }
+            pos += 4;
+            if pos + cells * 4 > stage.len() {
+                return Err(err("truncated layer payload"));
+            }
+            offsets.push(pos);
+            pos += cells * 4;
+        }
+        if pos != stage.len() {
+            return Err(err("trailing bytes"));
+        }
+        Ok(offsets)
+    }
+}
+
+/// A layer payload source for [`Spool::write_chunk`].
+enum ChunkSrc<'a> {
+    /// Raw Q16.16 bits (seed path from a [`SimSnapshot`]).
+    Bits(&'a [i32]),
+    /// Fixed-point values (hot path from the window buffers).
+    Fx(&'a [Q16_16]),
+}
+
+/// Reads a little-endian `i32` at `off` from a chunk payload.
+#[inline]
+fn read_i32(stage: &[u8], off: usize) -> i32 {
+    i32::from_le_bytes(stage[off..off + 4].try_into().unwrap())
+}
+
+/// Append-only recovery journal (one line per completed window / step).
+#[derive(Debug, Clone)]
+struct Journal {
+    path: PathBuf,
+}
+
+impl Journal {
+    fn append(&self, line: &str) -> Result<(), StreamError> {
+        let mut f = fs::OpenOptions::new().append(true).open(&self.path)?;
+        writeln!(f, "{line}")?;
+        f.flush()?;
+        Ok(())
+    }
+}
+
+fn integrator_tag(i: Integrator) -> &'static str {
+    match i {
+        Integrator::Euler => "euler",
+        Integrator::Heun => "heun",
+    }
+}
+
+/// Rows a window keeps resident, and its chunk bounds.
+struct WindowGeom {
+    r0: usize,
+    r1: usize,
+    /// Sorted global rows resident for this window (chunk + halo).
+    resident: Vec<usize>,
+}
+
+/// The streamed out-of-core simulator. See the module docs for the
+/// execution model and determinism contract; construction is via
+/// [`from_sim`](Self::from_sim) (spooling an in-core sim's state) or
+/// [`recover`](Self::recover) (resuming an existing spool).
+///
+/// Scope: every layer must be [`LayerKind::Dynamic`] — algebraic layers
+/// form declaration-order chains that need whole-grid barriers between
+/// layers, which defeats windowed residency. Both integrators are
+/// supported (Heun spills its predictor and `k₁` streams).
+#[derive(Debug)]
+pub struct StreamSim {
+    model: CennModel,
+    plan: Vec<LayerPlan>,
+    hierarchy: LutHierarchy,
+    engine: ExecEngine,
+    tiles: TilePlan,
+    shard_bufs: Vec<ShardBuf>,
+    stats_before: Vec<LutStats>,
+    eval: crate::sim::FuncEval,
+    /// Distinct source-layer boundaries (for halo row resolution).
+    boundaries: Vec<Boundary>,
+    /// Template halo radius in rows.
+    halo: usize,
+    /// Any lane tap gathers from the external-input slab.
+    uses_inputs: bool,
+    /// Scratch-sizing maxima (same derivation as the in-core sim).
+    max_sites: usize,
+    max_factors: usize,
+    chunk_rows: usize,
+    n_windows: usize,
+    spool: Spool,
+    journal: Journal,
+    /// Resident state window (chunk + halo rows), local row-major.
+    resident: SoaGrid<Q16_16>,
+    /// Resident input window (1 row when no layer gathers inputs).
+    resident_in: SoaGrid<Q16_16>,
+    /// RHS / update output for the chunk rows of the current window.
+    out_buf: SoaGrid<Q16_16>,
+    /// Heun-only chunk-row scratch: predictor out, then x₀ / k₁ re-reads.
+    heun_buf: Option<(SoaGrid<Q16_16>, SoaGrid<Q16_16>)>,
+    /// Global row → resident-local row (`u32::MAX` when not resident).
+    row_map: Vec<u32>,
+    /// Read staging (chunk fills).
+    stage: Vec<u8>,
+    /// Write staging (chunk spills).
+    wstage: Vec<u8>,
+    // --- mid-step cursor ----------------------------------------------
+    pass: usize,
+    window: usize,
+    pending: StepStats,
+    stats_captured: bool,
+    step_track: bool,
+    pass_rhs_nanos: u64,
+    pass_update_nanos: u64,
+    step_wall_nanos: u64,
+    residual_raw: i64,
+    // --- counters ------------------------------------------------------
+    time: f64,
+    steps: u64,
+    run_cells: u64,
+    run_nanos: u64,
+    last_step: StepStats,
+    track_residual: bool,
+    recorder: Option<RecorderHandle>,
+    tracer: Option<TraceHandle>,
+    peak_resident: u64,
+    spill_bytes: u64,
+}
+
+impl StreamSim {
+    /// Spools an in-core sim's current state (and inputs) to a fresh
+    /// chunk spool and returns a streamed engine positioned at the same
+    /// step/time counters. The spool directory is created if absent; an
+    /// existing journal there is truncated (use [`recover`](Self::recover)
+    /// to resume instead).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Unsupported`] if the model has non-dynamic layers,
+    /// [`StreamError::Io`] on spool I/O failure.
+    pub fn from_sim(sim: &CennSim, cfg: StreamConfig) -> Result<Self, StreamError> {
+        let model = sim.model().clone();
+        let snap = sim.snapshot();
+        let mut s = Self::build(model, cfg, None, sim.eval_mode())?;
+        s.steps = snap.steps;
+        s.time = snap.time;
+        s.run_cells = snap.run_cells;
+        // Seed the spool: state chunks on the current parity, inputs once.
+        let cols = s.model.cols();
+        let inputs = sim.inputs();
+        for w in 0..s.n_windows {
+            let (r0, r1) = s.window_bounds(w);
+            let cells = (r1 - r0) * cols;
+            let state_layers: Vec<ChunkSrc<'_>> = snap
+                .states
+                .iter()
+                .map(|l| ChunkSrc::Bits(&l[r0 * cols..r1 * cols]))
+                .collect();
+            s.spill_bytes += s.spool.write_chunk(
+                parity_stream(s.steps),
+                w,
+                s.steps,
+                s.time,
+                cells,
+                &state_layers,
+                &mut s.wstage,
+            )?;
+            let input_layers: Vec<ChunkSrc<'_>> = (0..s.model.n_layers())
+                .map(|l| ChunkSrc::Fx(&inputs.layer_slice(l)[r0 * cols..r1 * cols]))
+                .collect();
+            s.spill_bytes += s.spool.write_chunk(
+                "in",
+                w,
+                s.steps,
+                s.time,
+                cells,
+                &input_layers,
+                &mut s.wstage,
+            )?;
+        }
+        s.journal.append(&format!(
+            "step {} {:016x} {}",
+            s.steps,
+            s.time.to_bits(),
+            s.run_cells
+        ))?;
+        Ok(s)
+    }
+
+    /// Resumes a spool left by a previous (possibly killed) run: replays
+    /// the journal, restores the step/time counters, and positions the
+    /// cursor at the first window the journal does not record as complete.
+    /// Cell and residual accounting for the in-flight step is rebuilt from
+    /// the spooled chunks; LUT statistics start from zero (see the module
+    /// docs on restart semantics).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Corrupt`] if the journal is missing, malformed, or
+    /// disagrees with `model`.
+    pub fn recover(model: CennModel, cfg: StreamConfig) -> Result<Self, StreamError> {
+        let journal_path = cfg.spool_dir.join("journal.txt");
+        let text = fs::read_to_string(&journal_path)
+            .map_err(|e| StreamError::Corrupt(format!("journal unreadable: {e}")))?;
+        let mut lines = text.lines().enumerate().peekable();
+        let corrupt = |n: usize, m: &str| StreamError::Corrupt(format!("journal line {n}: {m}"));
+        let (_, first) = lines.next().ok_or_else(|| corrupt(1, "empty journal"))?;
+        if first.trim() != JOURNAL_MAGIC {
+            return Err(corrupt(1, "bad journal header"));
+        }
+        let (_, grid_line) = lines
+            .next()
+            .ok_or_else(|| corrupt(2, "missing grid line"))?;
+        let parts: Vec<&str> = grid_line.split_whitespace().collect();
+        if parts.len() != 7 || parts[0] != "grid" {
+            return Err(corrupt(2, "bad grid line"));
+        }
+        let parse = |s: &str| {
+            s.parse::<usize>()
+                .map_err(|_| corrupt(2, "bad grid number"))
+        };
+        let (rows, cols, layers, chunk_rows) = (
+            parse(parts[1])?,
+            parse(parts[2])?,
+            parse(parts[3])?,
+            parse(parts[4])?,
+        );
+        if rows != model.rows()
+            || cols != model.cols()
+            || layers != model.n_layers()
+            || parts[5] != integrator_tag(model.integrator())
+            || parts[6] != format!("{:016x}", model.dt().to_bits())
+        {
+            return Err(corrupt(2, "journal does not match the model"));
+        }
+        // Fold the completion records. A torn final line (killed mid-append)
+        // is tolerated; malformed interior lines are not.
+        let mut baseline: Option<(u64, f64, u64)> = None;
+        let mut wins: Vec<(usize, usize)> = Vec::new();
+        while let Some((n, line)) = lines.next() {
+            let last = lines.peek().is_none();
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let parsed = match fields.as_slice() {
+                ["step", s, t, c] => match (
+                    s.parse::<u64>(),
+                    u64::from_str_radix(t, 16),
+                    c.parse::<u64>(),
+                ) {
+                    (Ok(s), Ok(t), Ok(c)) => {
+                        baseline = Some((s, f64::from_bits(t), c));
+                        wins.clear();
+                        true
+                    }
+                    _ => false,
+                },
+                ["win", p, w] => match (p.parse::<usize>(), w.parse::<usize>()) {
+                    (Ok(p), Ok(w)) => {
+                        wins.push((p, w));
+                        true
+                    }
+                    _ => false,
+                },
+                _ => false,
+            };
+            if !parsed {
+                if last {
+                    break; // torn tail from a mid-append kill
+                }
+                return Err(corrupt(n + 1, "unrecognized record"));
+            }
+        }
+        let (steps, time, run_cells) =
+            baseline.ok_or_else(|| StreamError::Corrupt("journal has no step baseline".into()))?;
+
+        let mut s = Self::build(
+            model,
+            StreamConfig {
+                chunk_rows: Some(chunk_rows),
+                ..cfg
+            },
+            Some(()),
+            crate::sim::FuncEval::Lut,
+        )?;
+        s.steps = steps;
+        s.time = time;
+        s.run_cells = run_cells;
+        // Validate the window sequence and rebuild the in-flight cursor.
+        for (k, &(p, w)) in wins.iter().enumerate() {
+            if (p, w) != (k / s.n_windows, k % s.n_windows) {
+                return Err(StreamError::Corrupt(format!(
+                    "journal window sequence broken at ({p}, {w})"
+                )));
+            }
+        }
+        let passes = s.passes();
+        if wins.len() >= passes * s.n_windows {
+            return Err(StreamError::Corrupt(
+                "journal records more windows than a step has".into(),
+            ));
+        }
+        s.pass = wins.len() / s.n_windows;
+        s.window = wins.len() % s.n_windows;
+        if !wins.is_empty() {
+            s.begin_step();
+            let n_layers = s.model.n_layers() as u64;
+            for &(p, w) in &wins {
+                let (r0, r1) = s.window_bounds(w);
+                s.pending.cells += n_layers * ((r1 - r0) * s.model.cols()) as u64;
+                if p + 1 == passes {
+                    s.fold_recovered_residual(w)?;
+                }
+            }
+            for _ in 0..s.pass {
+                s.pending.sweeps.push(("dynamic".into(), 0));
+                s.pending.sweeps.push(("update".into(), 0));
+            }
+        }
+        Ok(s)
+    }
+
+    /// Shared construction: model checks, LUT hierarchy, window geometry,
+    /// resident buffers. `recovering` skips journal creation.
+    fn build(
+        model: CennModel,
+        cfg: StreamConfig,
+        recovering: Option<()>,
+        eval: crate::sim::FuncEval,
+    ) -> Result<Self, StreamError> {
+        for id in model.layer_ids() {
+            if model.layer(id).kind() != LayerKind::Dynamic {
+                return Err(StreamError::Unsupported(format!(
+                    "layer {} is not dynamic (algebraic layers need whole-grid sequencing)",
+                    id.index()
+                )));
+            }
+        }
+        let lut_cfg = model.lut_config();
+        let specs: Vec<_> = model
+            .library()
+            .iter()
+            .map(|(id, _)| lut_cfg.spec_for(id))
+            .collect();
+        let hierarchy = LutHierarchy::build_with_specs(
+            model.library(),
+            &specs,
+            lut_cfg.l1_blocks,
+            lut_cfg.l2_capacity,
+            lut_cfg.n_pes(),
+        )
+        .map_err(|e| StreamError::Model(e.into()))?;
+        let plan = compile(&model);
+        let tiles = TilePlan::new(model.rows(), model.cols(), lut_cfg.pe_rows, lut_cfg.pe_cols);
+        // Geometry-only lanes (no tiles) expose tap/site/factor counts for
+        // scratch sizing and the budget solver without building gathers.
+        let spec_of = |f| model.lut_config().spec_for(f);
+        let geom: Vec<LayerLanes> = plan
+            .iter()
+            .map(|p| build_lanes(p, &[], model.rows(), model.cols(), &spec_of))
+            .collect();
+        let uses_inputs = geom.iter().any(|l| l.taps.iter().any(|t| t.input));
+        let n_taps: usize = geom.iter().map(|l| l.taps.len()).sum();
+        let max_sites: usize = geom.iter().map(|l| l.sites.len()).sum();
+        let max_factors = geom
+            .iter()
+            .map(|l| l.sites.iter().map(|s| s.factors.len()).sum::<usize>())
+            .max()
+            .unwrap_or(0);
+        let mut boundaries: Vec<Boundary> = Vec::new();
+        for id in model.layer_ids() {
+            let b = model.layer(id).boundary();
+            if !boundaries.contains(&b) {
+                boundaries.push(b);
+            }
+        }
+        let halo = (model.kernel_size() - 1) / 2;
+        let heun = model.integrator() == Integrator::Heun;
+        let rows = model.rows();
+        let chunk_rows = match (cfg.chunk_rows, cfg.memory_budget) {
+            (Some(g), _) => g.clamp(1, rows),
+            (None, Some(b)) => {
+                solve_chunk_rows(&model, halo, n_taps, max_sites, max_factors, heun, b)
+            }
+            (None, None) => rows,
+        };
+        let n_windows = rows.div_ceil(chunk_rows);
+        let n = model.n_layers();
+        let cols = model.cols();
+        let r_max = rows.min(chunk_rows + 2 * halo);
+        let resident = SoaGrid::new(n, r_max, cols, Q16_16::ZERO);
+        let resident_in = SoaGrid::new(n, if uses_inputs { r_max } else { 1 }, cols, Q16_16::ZERO);
+        let out_buf = SoaGrid::new(n, chunk_rows, cols, Q16_16::ZERO);
+        let heun_buf = heun.then(|| {
+            (
+                SoaGrid::new(n, chunk_rows, cols, Q16_16::ZERO),
+                SoaGrid::new(n, chunk_rows, cols, Q16_16::ZERO),
+            )
+        });
+        let shard_bufs = tiles
+            .tiles()
+            .iter()
+            .map(|_| ShardBuf::new(0, n.max(1), max_sites, max_factors))
+            .collect();
+        let spool = Spool {
+            dir: cfg.spool_dir.clone(),
+        };
+        fs::create_dir_all(&spool.dir)?;
+        let journal = Journal {
+            path: spool.dir.join("journal.txt"),
+        };
+        if recovering.is_none() {
+            fs::write(&journal.path, String::new())?;
+            journal.append(JOURNAL_MAGIC)?;
+            journal.append(&format!(
+                "grid {} {} {} {} {} {:016x}",
+                rows,
+                cols,
+                n,
+                chunk_rows,
+                integrator_tag(model.integrator()),
+                model.dt().to_bits()
+            ))?;
+        }
+        Ok(Self {
+            plan,
+            hierarchy,
+            engine: ExecEngine::serial(),
+            tiles,
+            shard_bufs,
+            stats_before: Vec::new(),
+            eval,
+            boundaries,
+            halo,
+            uses_inputs,
+            max_sites,
+            max_factors,
+            chunk_rows,
+            n_windows,
+            spool,
+            journal,
+            resident,
+            resident_in,
+            out_buf,
+            heun_buf,
+            row_map: vec![u32::MAX; rows],
+            stage: Vec::new(),
+            wstage: Vec::new(),
+            pass: 0,
+            window: 0,
+            pending: StepStats::default(),
+            stats_captured: false,
+            step_track: false,
+            pass_rhs_nanos: 0,
+            pass_update_nanos: 0,
+            step_wall_nanos: 0,
+            residual_raw: 0,
+            time: 0.0,
+            steps: 0,
+            run_cells: 0,
+            run_nanos: 0,
+            last_step: StepStats::default(),
+            track_residual: false,
+            recorder: None,
+            tracer: None,
+            peak_resident: 0,
+            spill_bytes: 0,
+            model,
+        })
+    }
+
+    // --- accessors (mirroring `CennSim`) -------------------------------
+
+    /// The model being simulated.
+    pub fn model(&self) -> &CennModel {
+        &self.model
+    }
+
+    /// Simulated time `t`.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Number of completed steps.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Cumulative wall-clock nanoseconds spent advancing windows.
+    pub fn run_nanos(&self) -> u64 {
+        self.run_nanos
+    }
+
+    /// Chunk height in rows.
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
+    }
+
+    /// Windows per integrator pass (`ceil(rows / chunk_rows)`).
+    pub fn n_windows(&self) -> usize {
+        self.n_windows
+    }
+
+    /// The spool directory.
+    pub fn spool_dir(&self) -> &Path {
+        &self.spool.dir
+    }
+
+    /// Cumulative bytes spilled to the chunk spool (seed + per-window
+    /// writes). Deterministic for a given model/geometry.
+    pub fn spill_bytes(&self) -> u64 {
+        self.spill_bytes
+    }
+
+    /// Largest resident working set observed so far: window buffers,
+    /// per-shard scratch, gather tables, tile bookkeeping and I/O staging.
+    /// Geometry-derived, so identical at every thread count.
+    pub fn peak_resident_bytes(&self) -> u64 {
+        self.peak_resident
+    }
+
+    /// Sets the worker-thread count (zero clamps to one). As with the
+    /// in-core engine, thread count never changes results.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.engine = ExecEngine::new(threads);
+    }
+
+    /// Worker threads currently configured.
+    pub fn threads(&self) -> usize {
+        self.engine.threads()
+    }
+
+    /// Cumulative LUT statistics.
+    pub fn lut_stats(&self) -> LutStats {
+        self.hierarchy.stats()
+    }
+
+    /// Measured `(mr_L1, mr_L2)` miss rates.
+    pub fn miss_rates(&self) -> (f64, f64) {
+        self.hierarchy.miss_rates()
+    }
+
+    /// Timing and LUT-traffic observability for the most recent completed
+    /// step; default-empty before the first.
+    pub fn step_stats(&self) -> &StepStats {
+        &self.last_step
+    }
+
+    /// Attaches a metric recorder (same event stream as the in-core sim).
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = Some(recorder);
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&RecorderHandle> {
+        self.recorder.as_ref()
+    }
+
+    /// Attaches a span tracer. Halo-exchange I/O (chunk fills and spills)
+    /// is attributed to `halo_sync`; sweep phases match the in-core sim.
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&TraceHandle> {
+        self.tracer.as_ref()
+    }
+
+    /// Forces the per-step residual scan on even without a recorder.
+    pub fn set_residual_tracking(&mut self, on: bool) {
+        self.track_residual = on;
+    }
+
+    /// Emits one `span_summary` event per active phase (no-op without
+    /// both a tracer and an enabled recorder).
+    pub fn record_span_summaries(&self) {
+        if let (Some(tracer), Some(rec)) = (&self.tracer, &self.recorder) {
+            tracer.record_summaries(rec);
+        }
+    }
+
+    /// Emits the end-of-run [`RunSummary`] with this engine's measured
+    /// `peak_resident_bytes` and `spill_bytes`. No-op without an enabled
+    /// recorder.
+    pub fn record_summary(&self) {
+        let Some(rec) = &self.recorder else { return };
+        if !rec.enabled() {
+            return;
+        }
+        let lut = self.lut_stats();
+        let (mr_l1, mr_l2) = self.miss_rates();
+        rec.record(&Event::RunSummary(RunSummary {
+            steps: self.steps,
+            time: self.time,
+            threads: self.engine.threads() as u64,
+            cells: self.run_cells,
+            total_nanos: self.run_nanos,
+            accesses: lut.accesses,
+            mr_l1,
+            mr_l2,
+            mr_combined: lut.combined_miss_rate(),
+            residual: self.last_step.residual,
+            lut: lut.level_metrics(),
+            peak_resident_bytes: self.peak_resident,
+            spill_bytes: self.spill_bytes,
+        }));
+    }
+
+    /// Assembles a bit-exact [`SimSnapshot`] from the current-parity
+    /// chunks. Always consistent: mid-step, the current parity still holds
+    /// the last completed step's state (updates write the other parity).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Io`] / [`StreamError::Corrupt`] on spool problems.
+    pub fn snapshot(&self) -> Result<SimSnapshot, StreamError> {
+        let (n, cols) = (self.model.n_layers(), self.model.cols());
+        let cells = self.model.rows() * cols;
+        let mut states = vec![vec![0i32; cells]; n];
+        let mut stage = Vec::new();
+        for w in 0..self.n_windows {
+            let (r0, r1) = self.window_bounds(w);
+            let chunk_cells = (r1 - r0) * cols;
+            let offs =
+                self.spool
+                    .read_chunk(parity_stream(self.steps), w, n, chunk_cells, &mut stage)?;
+            for (l, &off) in offs.iter().enumerate() {
+                for j in 0..chunk_cells {
+                    states[l][r0 * cols + j] = read_i32(&stage, off + j * 4);
+                }
+            }
+        }
+        Ok(SimSnapshot {
+            steps: self.steps,
+            time: self.time,
+            run_cells: self.run_cells,
+            states,
+        })
+    }
+
+    /// One layer's current state as `f64` (assembled from the spool).
+    ///
+    /// # Errors
+    ///
+    /// Propagates spool read failures.
+    pub fn state_f64(&self, layer: LayerId) -> Result<Grid<f64>, StreamError> {
+        let snap = self.snapshot()?;
+        let (rows, cols) = (self.model.rows(), self.model.cols());
+        let bits = &snap.states[layer.index()];
+        Ok(Grid::from_fn(rows, cols, |r, c| {
+            Q16_16::from_bits(bits[r * cols + c]).to_f64()
+        }))
+    }
+
+    // --- stepping -------------------------------------------------------
+
+    /// Integrator passes per step.
+    fn passes(&self) -> usize {
+        match self.model.integrator() {
+            Integrator::Euler => 1,
+            Integrator::Heun => 2,
+        }
+    }
+
+    /// Chunk row bounds of window `w`.
+    fn window_bounds(&self, w: usize) -> (usize, usize) {
+        let r0 = w * self.chunk_rows;
+        (r0, (r0 + self.chunk_rows).min(self.model.rows()))
+    }
+
+    /// Advances one full time step (all windows of all passes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates spool I/O failures; the journal then still reflects the
+    /// last completed window, so [`recover`](Self::recover) can resume.
+    pub fn step(&mut self) -> Result<StepReport, StreamError> {
+        while !self.advance_window()? {}
+        Ok(StepReport {
+            time: self.time,
+            steps: self.steps,
+            lut: self.hierarchy.stats(),
+        })
+    }
+
+    /// Runs `n` full steps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spool I/O failures.
+    pub fn run(&mut self, n: u64) -> Result<StepReport, StreamError> {
+        let mut report = StepReport {
+            time: self.time,
+            steps: self.steps,
+            lut: self.hierarchy.stats(),
+        };
+        for _ in 0..n {
+            report = self.step()?;
+        }
+        Ok(report)
+    }
+
+    /// Advances exactly `n` window executions — the restartability hook:
+    /// tests kill a sweep mid-step by advancing a few windows, dropping
+    /// the engine, and [`recover`](Self::recover)ing from the spool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spool I/O failures.
+    pub fn step_windows(&mut self, n: usize) -> Result<(), StreamError> {
+        for _ in 0..n {
+            self.advance_window()?;
+        }
+        Ok(())
+    }
+
+    /// Initializes the per-step accounting at the first window of a step.
+    fn begin_step(&mut self) {
+        self.stats_before.clear();
+        self.stats_before
+            .extend(self.hierarchy.shards().iter().map(LutShard::stats));
+        self.pending = StepStats {
+            threads: self.engine.threads(),
+            ..StepStats::default()
+        };
+        self.step_track = self.recording() || self.track_residual;
+        self.pass_rhs_nanos = 0;
+        self.pass_update_nanos = 0;
+        self.step_wall_nanos = 0;
+        self.residual_raw = 0;
+        self.stats_captured = true;
+    }
+
+    fn recording(&self) -> bool {
+        self.recorder.as_ref().is_some_and(RecorderHandle::enabled)
+    }
+
+    /// Executes the cursor's window; returns `true` when it completed a
+    /// full step.
+    fn advance_window(&mut self) -> Result<bool, StreamError> {
+        if !self.stats_captured {
+            self.begin_step();
+        }
+        let t0 = Instant::now();
+        let w = self.window;
+        match (self.model.integrator(), self.pass) {
+            (Integrator::Euler, 0) => self.euler_window(w)?,
+            (Integrator::Heun, 0) => self.heun_predictor_window(w)?,
+            (Integrator::Heun, 1) => self.heun_corrector_window(w)?,
+            _ => unreachable!("cursor pass out of range"),
+        }
+        self.step_wall_nanos += t0.elapsed().as_nanos() as u64;
+        self.journal
+            .append(&format!("win {} {}", self.pass, self.window))?;
+        self.window += 1;
+        if self.window < self.n_windows {
+            return Ok(false);
+        }
+        self.window = 0;
+        self.pending
+            .sweeps
+            .push(("dynamic".into(), self.pass_rhs_nanos));
+        self.pending
+            .sweeps
+            .push(("update".into(), self.pass_update_nanos));
+        self.pass_rhs_nanos = 0;
+        self.pass_update_nanos = 0;
+        self.pass += 1;
+        if self.pass < self.passes() {
+            return Ok(false);
+        }
+        self.pass = 0;
+        self.finish_step()?;
+        Ok(true)
+    }
+
+    /// Closes out a completed step: counters, stats, journal, Step event.
+    fn finish_step(&mut self) -> Result<(), StreamError> {
+        self.steps += 1;
+        self.time += self.model.dt();
+        self.pending.total_nanos = self.step_wall_nanos;
+        if self.step_track {
+            self.pending.residual = self.residual_raw as f64 / f64::from(1u32 << 16);
+        }
+        self.pending.shard_lut = self
+            .hierarchy
+            .shards()
+            .iter()
+            .zip(&self.stats_before)
+            .map(|(s, b)| s.stats().since(b))
+            .collect();
+        self.run_cells += self.pending.cells;
+        self.run_nanos += self.pending.total_nanos;
+        self.last_step = std::mem::take(&mut self.pending);
+        self.stats_captured = false;
+        self.journal.append(&format!(
+            "step {} {:016x} {}",
+            self.steps,
+            self.time.to_bits(),
+            self.run_cells
+        ))?;
+        if self.recording() {
+            if let Some(rec) = &self.recorder {
+                rec.record(&Event::Step(
+                    self.last_step.to_metrics(self.steps, self.time),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Resident rows for the window `[r0, r1)`: the chunk rows plus every
+    /// row any layer's boundary resolves a within-halo neighbour to
+    /// (clamped rows for zero-flux, wrapped rows for periodic) — a
+    /// superset of all rows the window's gather tables reference.
+    fn resident_rows(&self, r0: usize, r1: usize) -> Vec<usize> {
+        let (rows, cols) = (self.model.rows(), self.model.cols());
+        let mut mark = vec![false; rows];
+        for r in r0..r1 {
+            mark[r] = true;
+            for b in &self.boundaries {
+                for d in 1..=self.halo as i32 {
+                    for dr in [-d, d] {
+                        if let Some((nr, _)) = b.resolve(rows, cols, r, 0, dr, 0) {
+                            mark[nr] = true;
+                        }
+                    }
+                }
+            }
+        }
+        (0..rows).filter(|&r| mark[r]).collect()
+    }
+
+    /// Fills a resident buffer from a chunk stream for the given rows;
+    /// returns bytes read.
+    #[allow(clippy::too_many_arguments)]
+    fn fill_resident(
+        spool: &Spool,
+        stream: &str,
+        chunk_rows: usize,
+        cols: usize,
+        resident: &[usize],
+        row_map: &[u32],
+        grid: &mut SoaGrid<Q16_16>,
+        stage: &mut Vec<u8>,
+    ) -> Result<u64, StreamError> {
+        let n = grid.n_layers();
+        let mut bytes = 0u64;
+        let mut i = 0;
+        while i < resident.len() {
+            let chunk = resident[i] / chunk_rows;
+            let c0 = chunk * chunk_rows;
+            let c1 = (c0 + chunk_rows).min(row_map.len());
+            let cells = (c1 - c0) * cols;
+            let offs = spool.read_chunk(stream, chunk, n, cells, stage)?;
+            while i < resident.len() && resident[i] / chunk_rows == chunk {
+                let r = resident[i];
+                let local = row_map[r] as usize;
+                for (l, &off) in offs.iter().enumerate() {
+                    let src = off + (r - c0) * cols * 4;
+                    let dst = &mut grid.layer_mut(l)[local * cols..(local + 1) * cols];
+                    for (j, slot) in dst.iter_mut().enumerate() {
+                        *slot = Q16_16::from_bits(read_i32(stage, src + j * 4));
+                    }
+                }
+                i += 1;
+            }
+            bytes += stage.len() as u64;
+        }
+        Ok(bytes)
+    }
+
+    /// Runs the RHS sweep of one window with the resident states filled
+    /// from `src_stream`, leaving the per-layer RHS in `out_buf` (chunk
+    /// rows, chunk-local row-major). Returns the window geometry (the
+    /// caller clears `row_map` after its update phase).
+    fn rhs_window(&mut self, w: usize, src_stream: &str) -> Result<WindowGeom, StreamError> {
+        let (r0, r1) = self.window_bounds(w);
+        let resident = self.resident_rows(r0, r1);
+        debug_assert!(resident.len() <= self.resident.rows());
+        let epoch = self.tracer.as_ref().map(TraceHandle::epoch);
+        // Halo fill: map resident rows and read them from the spool.
+        let t_fill = Instant::now();
+        for (local, &r) in resident.iter().enumerate() {
+            self.row_map[r] = local as u32;
+        }
+        let cols = self.model.cols();
+        Self::fill_resident(
+            &self.spool,
+            src_stream,
+            self.chunk_rows,
+            cols,
+            &resident,
+            &self.row_map,
+            &mut self.resident,
+            &mut self.stage,
+        )?;
+        if self.uses_inputs {
+            Self::fill_resident(
+                &self.spool,
+                "in",
+                self.chunk_rows,
+                cols,
+                &resident,
+                &self.row_map,
+                &mut self.resident_in,
+                &mut self.stage,
+            )?;
+        }
+        if let (Some(tr), Some(epoch)) = (&self.tracer, epoch) {
+            tr.record(
+                Phase::HaloSync,
+                0,
+                t_fill.saturating_duration_since(epoch).as_nanos() as u64,
+                t_fill.elapsed().as_nanos() as u64,
+            );
+        }
+        // Window tiles + lanes: global cells/PEs, resident-local flats and
+        // gathers (build_lanes emits global flats; remap through row_map).
+        let t_rhs = Instant::now();
+        let row_map = &self.row_map;
+        let win_tiles = self.tiles.window(r0, r1, |r| row_map[r] as usize);
+        let spec_of = |f| self.model.lut_config().spec_for(f);
+        let mut win_lanes: Vec<LayerLanes> = self
+            .plan
+            .iter()
+            .map(|p| build_lanes(p, &win_tiles, self.model.rows(), cols, &spec_of))
+            .collect();
+        for lanes in &mut win_lanes {
+            for tap in &mut lanes.taps {
+                for g in &mut tap.gather {
+                    if *g != u32::MAX {
+                        let local = row_map[*g as usize / cols];
+                        debug_assert_ne!(local, u32::MAX, "gather row not resident");
+                        *g = local * cols as u32 + *g % cols as u32;
+                    }
+                }
+            }
+        }
+        let tile_offsets: Vec<usize> = win_tiles
+            .iter()
+            .scan(0usize, |acc, t| {
+                let off = *acc;
+                *acc += t.len();
+                Some(off)
+            })
+            .collect();
+        let n_layers = self.model.n_layers();
+        for (buf, tile) in self.shard_bufs.iter_mut().zip(&win_tiles) {
+            buf.ensure(
+                tile.len(),
+                n_layers.max(1),
+                self.max_sites,
+                self.max_factors,
+            );
+        }
+        // The fused dynamic sweep, exactly as the in-core engine runs it.
+        let ctx = EvalCtx {
+            lib: self.model.library(),
+            eval: self.eval,
+        };
+        let sweep: Vec<_> = (0..n_layers)
+            .map(|i| resolve_layer(&self.plan[i], &win_lanes[i], i, true))
+            .collect();
+        let lut_phase = sweep.iter().any(|sl| !sl.lanes.sites.is_empty());
+        let (tables, shards) = self.hierarchy.split();
+        let states = &self.resident;
+        let inputs = &self.resident_in;
+        let sweep_ref = &sweep[..];
+        let ctx_ref = &ctx;
+        let offs = &tile_offsets;
+        let mut work = make_work(shards, &win_tiles, &mut self.shard_bufs, epoch.is_some());
+        self.engine.for_each_mut(&mut work, |i, item| {
+            let (shard, tile, buf, ring) = item;
+            sweep_shard(
+                shard, tables, tile, offs[i], sweep_ref, states, inputs, ctx_ref, buf, lut_phase,
+                true, ring, epoch,
+            );
+        });
+        for (_, tile, buf, ring) in &mut work {
+            let t0 = ring.is_enabled().then(Instant::now);
+            let cells = tile.len();
+            for li in 0..n_layers {
+                let seg = &buf.out[li * cells..(li + 1) * cells];
+                let dest = self.out_buf.layer_mut(li);
+                for (&(r, c), &v) in tile.cells().iter().zip(seg) {
+                    dest[(r as usize - r0) * cols + c as usize] = Q16_16::from_bits(v);
+                }
+            }
+            push_halo_span(ring, tile, t0, epoch);
+        }
+        if let Some(tr) = &self.tracer {
+            for (_, _, _, ring) in &mut work {
+                tr.sink_ring(ring);
+            }
+        }
+        drop(work);
+        self.pending.cells += (n_layers * (r1 - r0) * cols) as u64;
+        self.pass_rhs_nanos += t_rhs.elapsed().as_nanos() as u64;
+        // Resident-footprint watermark (geometry-derived, deterministic).
+        let lanes_bytes: u64 = win_lanes
+            .iter()
+            .map(|l| l.taps.iter().map(|t| t.gather.len() * 4).sum::<usize>() as u64)
+            .sum();
+        let tiles_bytes: u64 = win_tiles.iter().map(|t| t.len() as u64 * 16).sum();
+        let buf_bytes: u64 = self.shard_bufs.iter().map(ShardBuf::bytes).sum();
+        let word = std::mem::size_of::<Q16_16>() as u64;
+        let mut fixed = (self.resident.slab().len()
+            + self.resident_in.slab().len()
+            + self.out_buf.slab().len()) as u64
+            * word;
+        if let Some((a, b)) = &self.heun_buf {
+            fixed += (a.slab().len() + b.slab().len()) as u64 * word;
+        }
+        fixed += (self.stage.capacity() + self.wstage.capacity()) as u64;
+        self.peak_resident = self
+            .peak_resident
+            .max(fixed + lanes_bytes + tiles_bytes + buf_bytes);
+        Ok(WindowGeom { r0, r1, resident })
+    }
+
+    /// Clears the rows a window mapped into `row_map`.
+    fn clear_window(&mut self, geom: &WindowGeom) {
+        for &r in &geom.resident {
+            self.row_map[r] = u32::MAX;
+        }
+    }
+
+    /// Records one `integrate` span on track 0 (matching the in-core
+    /// convention that the update pass runs on the driving thread).
+    fn push_integrate_span(&self, t0: Instant, nanos: u64) {
+        if let Some(tr) = &self.tracer {
+            let start = t0.saturating_duration_since(tr.epoch()).as_nanos() as u64;
+            tr.record(Phase::Integrate, 0, start, nanos);
+        }
+    }
+
+    /// Euler: fused RHS + pointwise update per window, spilled to the
+    /// next-parity state stream (no intermediate `k` spill).
+    fn euler_window(&mut self, w: usize) -> Result<(), StreamError> {
+        let geom = self.rhs_window(w, parity_stream(self.steps))?;
+        let t0 = Instant::now();
+        let (r0, r1) = (geom.r0, geom.r1);
+        let cols = self.model.cols();
+        let dt = self.model.dt_fx();
+        let track = self.step_track;
+        let mut max_raw = 0i64;
+        for l in 0..self.model.n_layers() {
+            let xs = self.resident.layer_slice(l);
+            let out = self.out_buf.layer_mut(l);
+            for r in r0..r1 {
+                let local = self.row_map[r] as usize;
+                for c in 0..cols {
+                    let x = xs[local * cols + c];
+                    let slot = &mut out[(r - r0) * cols + c];
+                    let mut acc = MacAcc::<16>::with_init(x);
+                    acc.mac(dt, *slot);
+                    let xn = acc.resolve();
+                    if track {
+                        let d = (i64::from(xn.to_bits()) - i64::from(x.to_bits())).abs();
+                        max_raw = max_raw.max(d);
+                    }
+                    *slot = xn;
+                }
+            }
+        }
+        self.residual_raw = self.residual_raw.max(max_raw);
+        self.spill_window_state(w, r0, r1)?;
+        let nanos = t0.elapsed().as_nanos() as u64;
+        self.pass_update_nanos += nanos;
+        self.push_integrate_span(t0, nanos);
+        self.clear_window(&geom);
+        Ok(())
+    }
+
+    /// Heun pass 1: RHS on the current state, then the predictor
+    /// `x* = x + dt·k₁`; spills both the `k1` and `pred` streams.
+    fn heun_predictor_window(&mut self, w: usize) -> Result<(), StreamError> {
+        let geom = self.rhs_window(w, parity_stream(self.steps))?;
+        let t0 = Instant::now();
+        let (r0, r1) = (geom.r0, geom.r1);
+        let cols = self.model.cols();
+        let cells = (r1 - r0) * cols;
+        let dt = self.model.dt_fx();
+        let n = self.model.n_layers();
+        let (pred_buf, _) = self.heun_buf.as_mut().expect("heun buffers allocated");
+        for l in 0..n {
+            let xs = self.resident.layer_slice(l);
+            let k1 = self.out_buf.layer_slice(l);
+            let pred = pred_buf.layer_mut(l);
+            for r in r0..r1 {
+                let local = self.row_map[r] as usize;
+                for c in 0..cols {
+                    let j = (r - r0) * cols + c;
+                    let mut acc = MacAcc::<16>::with_init(xs[local * cols + c]);
+                    acc.mac(dt, k1[j]);
+                    pred[j] = acc.resolve();
+                }
+            }
+        }
+        let k1_layers: Vec<ChunkSrc<'_>> = (0..n)
+            .map(|l| ChunkSrc::Fx(&self.out_buf.layer_slice(l)[..cells]))
+            .collect();
+        self.spill_bytes += self.spool.write_chunk(
+            "k1",
+            w,
+            self.steps,
+            self.time,
+            cells,
+            &k1_layers,
+            &mut self.wstage,
+        )?;
+        let (pred_buf, _) = self.heun_buf.as_ref().expect("heun buffers allocated");
+        let pred_layers: Vec<ChunkSrc<'_>> = (0..n)
+            .map(|l| ChunkSrc::Fx(&pred_buf.layer_slice(l)[..cells]))
+            .collect();
+        self.spill_bytes += self.spool.write_chunk(
+            "pred",
+            w,
+            self.steps,
+            self.time,
+            cells,
+            &pred_layers,
+            &mut self.wstage,
+        )?;
+        let nanos = t0.elapsed().as_nanos() as u64;
+        self.pass_update_nanos += nanos;
+        self.push_integrate_span(t0, nanos);
+        self.clear_window(&geom);
+        Ok(())
+    }
+
+    /// Heun pass 2: RHS on the spilled predictor, then the corrector
+    /// `x ← x₀ + dt/2·(k₁ + k₂)` against the re-read `x₀`/`k₁` chunks,
+    /// spilled to the next-parity state stream.
+    fn heun_corrector_window(&mut self, w: usize) -> Result<(), StreamError> {
+        let geom = self.rhs_window(w, "pred")?;
+        let t0 = Instant::now();
+        let (r0, r1) = (geom.r0, geom.r1);
+        let cols = self.model.cols();
+        let cells = (r1 - r0) * cols;
+        let dt_half = Q16_16::from_f64(self.model.dt() / 2.0);
+        let n = self.model.n_layers();
+        let track = self.step_track;
+        // Re-read the pre-step state and k₁ for exactly the chunk rows.
+        let (x0_buf, k1_buf) = self.heun_buf.as_mut().expect("heun buffers allocated");
+        let x0_offs =
+            self.spool
+                .read_chunk(parity_stream(self.steps), w, n, cells, &mut self.stage)?;
+        for (l, &off) in x0_offs.iter().enumerate() {
+            for (j, slot) in x0_buf.layer_mut(l)[..cells].iter_mut().enumerate() {
+                *slot = Q16_16::from_bits(read_i32(&self.stage, off + j * 4));
+            }
+        }
+        let k1_offs = self.spool.read_chunk("k1", w, n, cells, &mut self.stage)?;
+        for (l, &off) in k1_offs.iter().enumerate() {
+            for (j, slot) in k1_buf.layer_mut(l)[..cells].iter_mut().enumerate() {
+                *slot = Q16_16::from_bits(read_i32(&self.stage, off + j * 4));
+            }
+        }
+        let mut max_raw = 0i64;
+        for l in 0..n {
+            let x0s = x0_buf.layer_slice(l);
+            let k1s = k1_buf.layer_slice(l);
+            let out = self.out_buf.layer_mut(l);
+            for j in 0..cells {
+                let x0 = x0s[j];
+                let mut acc = MacAcc::<16>::with_init(x0);
+                acc.mac(dt_half, k1s[j]);
+                acc.mac(dt_half, out[j]);
+                let xn = acc.resolve();
+                if track {
+                    let d = (i64::from(xn.to_bits()) - i64::from(x0.to_bits())).abs();
+                    max_raw = max_raw.max(d);
+                }
+                out[j] = xn;
+            }
+        }
+        self.residual_raw = self.residual_raw.max(max_raw);
+        self.spill_window_state(w, r0, r1)?;
+        let nanos = t0.elapsed().as_nanos() as u64;
+        self.pass_update_nanos += nanos;
+        self.push_integrate_span(t0, nanos);
+        self.clear_window(&geom);
+        Ok(())
+    }
+
+    /// Spills `out_buf` (the window's updated state) to the next-parity
+    /// stream.
+    fn spill_window_state(&mut self, w: usize, r0: usize, r1: usize) -> Result<(), StreamError> {
+        let cols = self.model.cols();
+        let cells = (r1 - r0) * cols;
+        let layers: Vec<ChunkSrc<'_>> = (0..self.model.n_layers())
+            .map(|l| ChunkSrc::Fx(&self.out_buf.layer_slice(l)[..cells]))
+            .collect();
+        self.spill_bytes += self.spool.write_chunk(
+            parity_stream(self.steps + 1),
+            w,
+            self.steps + 1,
+            self.time + self.model.dt(),
+            cells,
+            &layers,
+            &mut self.wstage,
+        )?;
+        Ok(())
+    }
+
+    /// Recovery helper: folds `max |Δx|` between the old- and new-parity
+    /// chunks of a final-pass window completed before a kill, so the
+    /// resumed step's residual matches an uninterrupted run.
+    fn fold_recovered_residual(&mut self, w: usize) -> Result<(), StreamError> {
+        let (r0, r1) = self.window_bounds(w);
+        let cols = self.model.cols();
+        let cells = (r1 - r0) * cols;
+        let n = self.model.n_layers();
+        let old = self
+            .spool
+            .read_chunk(parity_stream(self.steps), w, n, cells, &mut self.stage)?
+            .iter()
+            .map(|&off| {
+                (0..cells)
+                    .map(|j| read_i32(&self.stage, off + j * 4))
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>();
+        let new_offs =
+            self.spool
+                .read_chunk(parity_stream(self.steps + 1), w, n, cells, &mut self.stage)?;
+        let mut max_raw = self.residual_raw;
+        for (l, &off) in new_offs.iter().enumerate() {
+            for (j, &o) in old[l].iter().enumerate() {
+                let nv = read_i32(&self.stage, off + j * 4);
+                max_raw = max_raw.max((i64::from(nv) - i64::from(o)).abs());
+            }
+        }
+        self.residual_raw = max_raw;
+        Ok(())
+    }
+}
+
+/// The state stream for a given step parity: step `s` reads `x{s%2}` and
+/// writes `x{(s+1)%2}` — two alternating on-disk state generations.
+fn parity_stream(steps: u64) -> &'static str {
+    if steps.is_multiple_of(2) {
+        "x0"
+    } else {
+        "x1"
+    }
+}
+
+/// Solves for the largest chunk height whose resident window fits
+/// `budget` bytes. The linear model charges, per chunk row: the resident
+/// state and input rows, the RHS/update buffers, the gather tables, the
+/// per-shard lane scratch, tile bookkeeping, and chunk I/O staging; plus
+/// a fixed charge for the `2·halo` halo rows. Degrades to one-row chunks
+/// when the budget is smaller than a single-row window.
+fn solve_chunk_rows(
+    model: &CennModel,
+    halo: usize,
+    n_taps: usize,
+    max_sites: usize,
+    max_factors: usize,
+    heun: bool,
+    budget: u64,
+) -> usize {
+    let word = std::mem::size_of::<Q16_16>() as u64;
+    let cols = model.cols() as u64;
+    let n = model.n_layers() as u64;
+    let resident_row = 2 * n * cols * word; // states + inputs
+    let scratch_cell = n * 4 + 8 + 4 + max_sites as u64 * 4 + max_factors as u64 * 8;
+    let mut chunk_row = n * cols * word // out_buf
+        + n_taps as u64 * cols * 4 // gather tables
+        + cols * scratch_cell // shard lane scratch
+        + cols * 16 // tile cells/flats/pes
+        + 2 * n * cols * word; // read + write staging
+    if heun {
+        chunk_row += 2 * n * cols * word; // pred / x0+k1 chunk buffers
+    }
+    let base = 2 * halo as u64 * resident_row + 256;
+    let per_row = resident_row + chunk_row;
+    let g = budget.saturating_sub(base) / per_row.max(1);
+    (g as usize).clamp(1, model.rows())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+    use crate::mapping;
+    use crate::model::CennModelBuilder;
+
+    fn fisher_sim(rows: usize, cols: usize) -> CennSim {
+        let mut b = CennModelBuilder::new(rows, cols);
+        let u = b.dynamic_layer("u", Boundary::ZeroFlux);
+        let sq = b.register_func(cenn_lut::funcs::square());
+        let mut stencil = mapping::laplacian(0.25, 1.0);
+        stencil.set(0, 0, stencil.get(0, 0) + 1.0);
+        b.state_template(u, u, stencil.into_state_template());
+        b.offset_expr(
+            u,
+            crate::template::WeightExpr::product(
+                -1.0,
+                vec![crate::template::Factor { func: sq, layer: u }],
+            ),
+        );
+        let mut sim = CennSim::new(b.build(0.05).unwrap()).unwrap();
+        sim.set_state_f64(
+            crate::layer::LayerId(0),
+            &Grid::from_fn(rows, cols, |r, c| {
+                0.05 + 0.9 * f64::from(u32::from(r == rows / 2 && c == cols / 2))
+            }),
+        )
+        .unwrap();
+        sim
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("cenn_stream_unit_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn streamed_matches_in_core_states_and_counters() {
+        let mut in_core = fisher_sim(12, 9);
+        let mut streamed = StreamSim::from_sim(
+            &in_core,
+            StreamConfig::new(tmp_dir("euler")).with_chunk_rows(5),
+        )
+        .unwrap();
+        assert_eq!(streamed.n_windows(), 3);
+        in_core.run(7);
+        streamed.run(7).unwrap();
+        let snap = streamed.snapshot().unwrap();
+        assert_eq!(snap.states, in_core.snapshot().states);
+        assert_eq!(snap.steps, 7);
+        assert_eq!(streamed.lut_stats(), in_core.lut_stats());
+        assert!(streamed.spill_bytes() > 0);
+        assert!(streamed.peak_resident_bytes() > 0);
+        let _ = fs::remove_dir_all(streamed.spool_dir());
+    }
+
+    #[test]
+    fn kill_and_recover_resumes_bit_identically() {
+        let mut reference = fisher_sim(10, 6);
+        let dir = tmp_dir("recover");
+        let cfg = StreamConfig::new(&dir).with_chunk_rows(3);
+        let mut streamed = StreamSim::from_sim(&reference, cfg.clone()).unwrap();
+        reference.run(4);
+        streamed.run(2).unwrap();
+        // Kill mid-step: 2 of 4 windows into step 3.
+        streamed.step_windows(2).unwrap();
+        let model = reference.model().clone();
+        drop(streamed);
+        let mut recovered = StreamSim::recover(model, cfg).unwrap();
+        assert_eq!(recovered.steps(), 2);
+        recovered.run(2).unwrap();
+        assert_eq!(
+            recovered.snapshot().unwrap().states,
+            reference.snapshot().states
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn algebraic_layers_are_rejected() {
+        let mut b = CennModelBuilder::new(4, 4);
+        let u = b.dynamic_layer("u", Boundary::Zero);
+        let w = b.algebraic_layer("w", Boundary::Zero);
+        b.state_template(w, u, mapping::center(2.0).into_template());
+        let sim = CennSim::new(b.build(0.1).unwrap()).unwrap();
+        assert!(matches!(
+            StreamSim::from_sim(&sim, StreamConfig::new(tmp_dir("alg"))),
+            Err(StreamError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn budget_solver_is_monotone_and_clamped() {
+        let mut b = CennModelBuilder::new(64, 64);
+        let u = b.dynamic_layer("u", Boundary::ZeroFlux);
+        b.state_template(u, u, mapping::laplacian(0.1, 1.0).into_state_template());
+        let model = b.build(0.1).unwrap();
+        let g_small = solve_chunk_rows(&model, 1, 9, 0, 0, false, 1);
+        let g_mid = solve_chunk_rows(&model, 1, 9, 0, 0, false, 64 * 1024);
+        let g_big = solve_chunk_rows(&model, 1, 9, 0, 0, false, u64::MAX);
+        assert_eq!(g_small, 1, "tiny budget degrades to one-row chunks");
+        assert!(g_small <= g_mid && g_mid <= g_big, "monotone in budget");
+        assert_eq!(g_big, 64, "huge budget clamps to the grid");
+        assert!((1..64).contains(&g_mid), "mid budget lands between");
+    }
+
+    #[test]
+    fn chunk_files_round_trip_and_keep_ckpt_framing() {
+        let dir = tmp_dir("ckpt");
+        fs::create_dir_all(&dir).unwrap();
+        let spool = Spool { dir: dir.clone() };
+        let vals: Vec<Q16_16> = (0..12).map(|i| Q16_16::from_f64(i as f64 * 0.5)).collect();
+        let mut stage = Vec::new();
+        spool
+            .write_chunk("x0", 3, 7, 0.35, 12, &[ChunkSrc::Fx(&vals)], &mut stage)
+            .unwrap();
+        let bytes = fs::read(spool.chunk_path("x0", 3)).unwrap();
+        assert_eq!(&bytes[..8], b"CENNCKPT", "guard-compatible magic");
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 1);
+        let offs = spool.read_chunk("x0", 3, 1, 12, &mut stage).unwrap();
+        for (j, v) in vals.iter().enumerate() {
+            assert_eq!(read_i32(&stage, offs[0] + j * 4), v.to_bits());
+        }
+        assert!(spool.read_chunk("x0", 3, 2, 12, &mut stage).is_err());
+        assert!(spool.read_chunk("x0", 3, 1, 11, &mut stage).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

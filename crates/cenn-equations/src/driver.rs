@@ -1,6 +1,8 @@
 //! Executes a benchmark setup on the fixed-point functional simulator.
 
-use cenn_core::{CennSim, FuncEval, Grid, LayerId, ModelError};
+use cenn_core::{
+    CennSim, FuncEval, Grid, LayerId, ModelError, StreamConfig, StreamError, StreamSim,
+};
 use cenn_lut::LutStats;
 
 use crate::system::SystemSetup;
@@ -19,10 +21,14 @@ use crate::system::SystemSetup;
 /// runner.run(20);
 /// assert_eq!(runner.steps(), 20);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct FixedRunner {
     sim: CennSim,
     setup: SystemSetup,
+    /// Streamed out-of-core engine, active once a memory budget is set.
+    /// When present, it owns the live state; `sim` keeps the seeding
+    /// state it was spooled from.
+    stream: Option<StreamSim>,
 }
 
 impl FixedRunner {
@@ -52,7 +58,52 @@ impl FixedRunner {
         for (layer, grid) in &setup.inputs {
             sim.set_input_f64(*layer, grid)?;
         }
-        Ok(Self { sim, setup })
+        Ok(Self {
+            sim,
+            setup,
+            stream: None,
+        })
+    }
+
+    /// Switches the runner to streamed out-of-core execution under a
+    /// resident-memory budget: the current state is spooled to
+    /// `spool_dir` and every subsequent step sweeps the grid in bounded
+    /// windows with halo exchange through the spool (see
+    /// [`StreamSim`]). Results stay bit-identical to in-core execution
+    /// at every thread count. The attached recorder/tracer and thread
+    /// count carry over.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Unsupported`] for systems with a post-step rule
+    /// (spike resets need whole-grid scans each step) or non-dynamic
+    /// layers; [`StreamError::Io`] on spool failures.
+    pub fn set_memory_budget(
+        &mut self,
+        bytes: u64,
+        spool_dir: impl Into<std::path::PathBuf>,
+    ) -> Result<(), StreamError> {
+        if self.setup.post_step.is_some() {
+            return Err(StreamError::Unsupported(
+                "post-step rules (spike resets) need in-core execution".into(),
+            ));
+        }
+        let cfg = StreamConfig::new(spool_dir).with_memory_budget(bytes);
+        let mut stream = StreamSim::from_sim(&self.sim, cfg)?;
+        stream.set_threads(self.sim.threads());
+        if let Some(rec) = self.sim.recorder() {
+            stream.set_recorder(rec.clone());
+        }
+        if let Some(tr) = self.sim.tracer() {
+            stream.set_tracer(tr.clone());
+        }
+        self.stream = Some(stream);
+        Ok(())
+    }
+
+    /// The streamed engine, when a memory budget is active.
+    pub fn stream(&self) -> Option<&StreamSim> {
+        self.stream.as_ref()
     }
 
     /// The underlying simulator.
@@ -75,16 +126,31 @@ impl FixedRunner {
     /// Results are bit-identical for any count.
     pub fn set_threads(&mut self, threads: usize) {
         self.sim.set_threads(threads);
+        if let Some(stream) = &mut self.stream {
+            stream.set_threads(threads);
+        }
     }
 
     /// Steps executed so far.
     pub fn steps(&self) -> u64 {
-        self.sim.steps()
+        match &self.stream {
+            Some(s) => s.steps(),
+            None => self.sim.steps(),
+        }
     }
 
     /// Advances one step and applies the post-step rule; returns the number
     /// of cells the rule fired on (spikes), or 0 when there is no rule.
+    ///
+    /// # Panics
+    ///
+    /// In streamed mode, on spool I/O failure (the journal still reflects
+    /// the last completed window, so the spool remains recoverable).
     pub fn step(&mut self) -> usize {
+        if let Some(stream) = &mut self.stream {
+            stream.step().expect("streamed step: spool I/O failed");
+            return 0; // post-step rules are rejected in streamed mode
+        }
         self.sim.step();
         match self.setup.post_step {
             None => 0,
@@ -128,7 +194,12 @@ impl FixedRunner {
         guard: &mut cenn_guard::Guard,
         n: u64,
     ) -> Result<cenn_guard::GuardReport, cenn_guard::GuardError> {
-        let Self { sim, setup } = self;
+        assert!(
+            self.stream.is_none(),
+            "guarded execution is in-core only; streamed mode has its own \
+             journal/spool recovery path"
+        );
+        let Self { sim, setup, .. } = self;
         guard.run_with(sim, n, |sim| {
             let Some(rule) = setup.post_step else { return };
             let n_layers = sim.model().n_layers();
@@ -145,8 +216,15 @@ impl FixedRunner {
     }
 
     /// A layer's state as `f64`.
+    ///
+    /// # Panics
+    ///
+    /// In streamed mode, on spool read failure.
     pub fn state_f64(&self, layer: LayerId) -> Grid<f64> {
-        self.sim.state_f64(layer)
+        match &self.stream {
+            Some(s) => s.state_f64(layer).expect("streamed state: spool read"),
+            None => self.sim.state_f64(layer),
+        }
     }
 
     /// The observed layers' states with their display names (the maps the
@@ -155,18 +233,24 @@ impl FixedRunner {
         self.setup
             .observed
             .iter()
-            .map(|(id, name)| (*name, self.sim.state_f64(*id)))
+            .map(|(id, name)| (*name, self.state_f64(*id)))
             .collect()
     }
 
     /// Cumulative LUT statistics.
     pub fn lut_stats(&self) -> LutStats {
-        self.sim.lut_stats()
+        match &self.stream {
+            Some(s) => s.lut_stats(),
+            None => self.sim.lut_stats(),
+        }
     }
 
     /// Measured `(mr_L1, mr_L2)`.
     pub fn miss_rates(&self) -> (f64, f64) {
-        self.sim.miss_rates()
+        match &self.stream {
+            Some(s) => s.miss_rates(),
+            None => self.sim.miss_rates(),
+        }
     }
 
     /// Resets LUT statistics (after warm-up).
@@ -177,6 +261,9 @@ impl FixedRunner {
     /// Attaches a metric recorder to the underlying simulator: every step
     /// emits a [`cenn_obs::StepMetrics`] event through it.
     pub fn set_recorder(&mut self, recorder: cenn_obs::RecorderHandle) {
+        if let Some(stream) = &mut self.stream {
+            stream.set_recorder(recorder.clone());
+        }
         self.sim.set_recorder(recorder);
     }
 
@@ -186,15 +273,23 @@ impl FixedRunner {
     }
 
     /// Emits the end-of-run [`cenn_obs::RunSummary`] event (no-op without
-    /// an enabled recorder).
+    /// an enabled recorder). In streamed mode the summary carries the
+    /// measured `peak_resident_bytes` / `spill_bytes` of the window
+    /// engine.
     pub fn record_summary(&self) {
-        self.sim.record_summary();
+        match &self.stream {
+            Some(s) => s.record_summary(),
+            None => self.sim.record_summary(),
+        }
     }
 
     /// Attaches a span tracer to the underlying simulator: sweeps record
     /// phase-attributed spans (`lut_lookup`, `template_apply`,
     /// `integrate`, `halo_sync`) into its histograms.
     pub fn set_tracer(&mut self, tracer: cenn_obs::TraceHandle) {
+        if let Some(stream) = &mut self.stream {
+            stream.set_tracer(tracer.clone());
+        }
         self.sim.set_tracer(tracer);
     }
 
@@ -206,7 +301,10 @@ impl FixedRunner {
     /// Emits one `span_summary` event per active phase (no-op without
     /// both a tracer and an enabled recorder).
     pub fn record_span_summaries(&self) {
-        self.sim.record_span_summaries();
+        match &self.stream {
+            Some(s) => s.record_span_summaries(),
+            None => self.sim.record_span_summaries(),
+        }
     }
 }
 
@@ -236,6 +334,41 @@ mod tests {
         let mut runner = FixedRunner::new(setup).unwrap();
         let fired = runner.run(1200);
         assert!(fired > 0, "izhikevich grid fired {fired} spikes");
+    }
+
+    #[test]
+    fn memory_budget_mode_matches_in_core_states() {
+        use crate::Fisher;
+        let sys = Fisher::default();
+        let mut in_core = FixedRunner::new(sys.build(24, 16).unwrap()).unwrap();
+        let mut streamed = FixedRunner::new(sys.build(24, 16).unwrap()).unwrap();
+        let spool = std::env::temp_dir().join(format!("cenn_runner_stream_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&spool);
+        // Budget far below the full state slab forces several windows.
+        streamed.set_memory_budget(8 * 1024, &spool).unwrap();
+        let s = streamed.stream().unwrap();
+        assert!(s.n_windows() > 1, "budget forces windowing");
+        in_core.run(10);
+        streamed.run(10);
+        assert_eq!(streamed.steps(), 10);
+        let a = in_core.state_f64(LayerId::from_index(0));
+        let b = streamed.state_f64(LayerId::from_index(0));
+        for r in 0..24 {
+            for c in 0..16 {
+                assert_eq!(a.get(r, c).to_bits(), b.get(r, c).to_bits());
+            }
+        }
+        assert_eq!(in_core.lut_stats(), streamed.lut_stats());
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+
+    #[test]
+    fn memory_budget_rejects_post_step_systems() {
+        let setup = Izhikevich::default().build(4, 4).unwrap();
+        let mut runner = FixedRunner::new(setup).unwrap();
+        let spool = std::env::temp_dir().join("cenn_runner_reject");
+        assert!(runner.set_memory_budget(1 << 20, &spool).is_err());
+        assert!(runner.stream().is_none());
     }
 
     #[test]

@@ -7,9 +7,11 @@
 
 use crate::json::{self, JsonValue};
 
-/// Version stamped into every serialized event. Bump when any event's
-/// field set changes; [`known_keys`] must keep describing the current
-/// version exactly.
+/// Version stamped into every serialized event. Bump when an event's
+/// field set changes incompatibly (a removed, renamed, or reordered
+/// field); purely additive deterministic fields may extend a version's
+/// frozen key list, updated in lockstep with [`known_keys`]. Either way
+/// [`known_keys`] must keep describing the current version exactly.
 pub const SCHEMA_VERSION: u32 = 1;
 
 /// Wall-clock nanos of one named sweep inside a step (e.g. `dynamic`,
@@ -100,6 +102,9 @@ pub struct MemTraffic {
     pub stall_cycles: f64,
     /// DRAM bytes moved per step (prefetch + writeback + LUT bursts).
     pub dram_bytes: f64,
+    /// Of `dram_bytes`, the state bytes re-read because sub-block halos
+    /// overlap: cells fetched by more than one resident tile window.
+    pub halo_bytes: f64,
     /// Global-buffer primary-bank reads per step.
     pub primary_reads: u64,
     /// Global-buffer support-bank reads per step.
@@ -110,6 +115,13 @@ pub struct MemTraffic {
     pub writebacks: u64,
     /// Energy per step in joules.
     pub energy_j: f64,
+    /// Peak bytes of simulation state resident in memory at once. For the
+    /// cycle model this is the estimated on-chip working set; for the
+    /// streamed out-of-core engine it is the measured window footprint.
+    pub resident_bytes: u64,
+    /// Cumulative bytes spilled to disk by out-of-core execution (0 for
+    /// fully resident runs and for pure cycle-model estimates).
+    pub spill_bytes: u64,
 }
 
 /// End-of-run aggregate: totals plus the derived miss rates the paper
@@ -139,6 +151,14 @@ pub struct RunSummary {
     pub residual: f64,
     /// Cumulative per-hierarchy-level LUT accounting (L1, L2, DRAM).
     pub lut: Vec<LutLevelMetrics>,
+    /// Peak bytes of simulation state resident in memory at once —
+    /// geometry-derived and deterministic, so canonical mode keeps it.
+    /// In-core runs report their full state-slab footprint; streamed
+    /// runs report the largest resident window.
+    pub peak_resident_bytes: u64,
+    /// Cumulative bytes spilled to the chunk spool across the run (0 for
+    /// in-core runs) — deterministic, kept by canonical mode.
+    pub spill_bytes: u64,
 }
 
 /// One fault-tolerance action taken by the guard runtime (`cenn-guard`):
@@ -322,11 +342,14 @@ impl Event {
                 json::field_f64(&mut out, "conv_cycles", m.conv_cycles);
                 json::field_f64(&mut out, "stall_cycles", m.stall_cycles);
                 json::field_f64(&mut out, "dram_bytes", m.dram_bytes);
+                json::field_f64(&mut out, "halo_bytes", m.halo_bytes);
                 json::field_u64(&mut out, "primary_reads", m.primary_reads);
                 json::field_u64(&mut out, "support_reads", m.support_reads);
                 json::field_u64(&mut out, "reg_moves", m.reg_moves);
                 json::field_u64(&mut out, "writebacks", m.writebacks);
                 json::field_f64(&mut out, "energy_j", m.energy_j);
+                json::field_u64(&mut out, "resident_bytes", m.resident_bytes);
+                json::field_u64(&mut out, "spill_bytes", m.spill_bytes);
             }
             Self::RunSummary(r) => {
                 json::field_u64(&mut out, "steps", r.steps);
@@ -340,6 +363,8 @@ impl Event {
                 json::field_f64(&mut out, "mr_combined", r.mr_combined);
                 json::field_f64(&mut out, "residual", r.residual);
                 json::field_raw(&mut out, "lut", &lut_json(&r.lut));
+                json::field_u64(&mut out, "peak_resident_bytes", r.peak_resident_bytes);
+                json::field_u64(&mut out, "spill_bytes", r.spill_bytes);
             }
             Self::Guard(g) => {
                 json::field_u64(&mut out, "step", g.step);
@@ -444,11 +469,14 @@ pub fn known_keys(event: &str) -> Option<&'static [&'static str]> {
             "conv_cycles",
             "stall_cycles",
             "dram_bytes",
+            "halo_bytes",
             "primary_reads",
             "support_reads",
             "reg_moves",
             "writebacks",
             "energy_j",
+            "resident_bytes",
+            "spill_bytes",
         ]),
         "run_summary" => Some(&[
             "event",
@@ -464,6 +492,8 @@ pub fn known_keys(event: &str) -> Option<&'static [&'static str]> {
             "mr_combined",
             "residual",
             "lut",
+            "peak_resident_bytes",
+            "spill_bytes",
         ]),
         "guard" => Some(&[
             "event", "schema", "step", "kind", "detail", "count", "value",
@@ -705,11 +735,14 @@ mod tests {
                 conv_cycles: 100.0,
                 stall_cycles: 5.5,
                 dram_bytes: 4096.0,
+                halo_bytes: 128.0,
                 primary_reads: 7,
                 support_reads: 3,
                 reg_moves: 56,
                 writebacks: 64,
                 energy_j: 1e-6,
+                resident_bytes: 2048,
+                spill_bytes: 0,
             }),
             Event::RunSummary(RunSummary::default()),
             Event::Guard(GuardEvent {

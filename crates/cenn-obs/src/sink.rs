@@ -98,8 +98,9 @@ impl<W: Write + Send> Recorder for JsonlSink<W> {
 /// Fields an event type does not carry are left empty.
 pub const CSV_HEADER: &str = "event,schema,step,time,label,threads,cells,total_nanos,residual,\
 l1_hits,l1_misses,l2_hits,l2_misses,dram_fetches,dram_points,\
-conv_cycles,stall_cycles,dram_bytes,primary_reads,support_reads,reg_moves,writebacks,energy_j,\
-steps,accesses,mr_l1,mr_l2,mr_combined,kind,detail,count,value,\
+conv_cycles,stall_cycles,dram_bytes,halo_bytes,primary_reads,support_reads,reg_moves,writebacks,\
+energy_j,resident_bytes,spill_bytes,\
+steps,accesses,mr_l1,mr_l2,mr_combined,peak_resident_bytes,kind,detail,count,value,\
 phase,p50_nanos,p90_nanos,p99_nanos,max_nanos,session,system";
 
 /// Streams one CSV row per event under the flat [`CSV_HEADER`] (written
@@ -197,11 +198,14 @@ impl<W: Write + Send> CsvSink<W> {
                 set("conv_cycles", f(m.conv_cycles));
                 set("stall_cycles", f(m.stall_cycles));
                 set("dram_bytes", f(m.dram_bytes));
+                set("halo_bytes", f(m.halo_bytes));
                 set("primary_reads", m.primary_reads.to_string());
                 set("support_reads", m.support_reads.to_string());
                 set("reg_moves", m.reg_moves.to_string());
                 set("writebacks", m.writebacks.to_string());
                 set("energy_j", f(m.energy_j));
+                set("resident_bytes", m.resident_bytes.to_string());
+                set("spill_bytes", m.spill_bytes.to_string());
             }
             Event::RunSummary(r) => {
                 set("steps", r.steps.to_string());
@@ -214,6 +218,8 @@ impl<W: Write + Send> CsvSink<W> {
                 set("mr_l1", f(r.mr_l1));
                 set("mr_l2", f(r.mr_l2));
                 set("mr_combined", f(r.mr_combined));
+                set("peak_resident_bytes", r.peak_resident_bytes.to_string());
+                set("spill_bytes", r.spill_bytes.to_string());
                 set_lut(&r.lut, &mut set);
             }
             Event::Guard(g) => {

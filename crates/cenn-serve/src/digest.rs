@@ -9,7 +9,7 @@
 //! digest is the fleet harness's green/red signal, so it must cover
 //! exactly the bits the determinism contract freezes and nothing else.
 
-use cenn_core::CennSim;
+use cenn_core::{CennSim, SimSnapshot};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -30,7 +30,14 @@ pub fn fnv1a64_init() -> u64 {
 
 /// Digest of the sim's complete deterministic state.
 pub fn state_digest(sim: &CennSim) -> u64 {
-    let snap = sim.snapshot();
+    snapshot_digest(&sim.snapshot())
+}
+
+/// Digest of an already-taken snapshot — the same bytes and fold as
+/// [`state_digest`], so in-core sims and streamed engines (whose
+/// snapshots are assembled from the chunk spool) can be compared
+/// digest-for-digest.
+pub fn snapshot_digest(snap: &SimSnapshot) -> u64 {
     let mut h = fnv1a64_init();
     h = fnv1a64(h, &snap.steps.to_le_bytes());
     h = fnv1a64(h, &snap.time.to_bits().to_le_bytes());

@@ -73,7 +73,7 @@ pub use chaos::{
     ChaosTransport, DropWhen,
 };
 pub use client::{Client, ClientError, Deadlines, RetryClient, RetryPolicy};
-pub use digest::state_digest;
+pub use digest::{snapshot_digest, state_digest};
 pub use fleet::{run_fleet, FleetConfig, FleetEntry, FleetError, FleetReport};
 pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
 pub use manager::{ManagerConfig, RecoveryReport, ServeError, SessionManager};
