@@ -190,6 +190,7 @@ impl FloatSim {
                 * (self.model.n_layers() * self.model.rows() * self.model.cols()) as u64
                 * std::mem::size_of::<f64>() as u64,
             spill_bytes: 0,
+            lut_counters: "exact".into(),
         }));
     }
 

@@ -92,6 +92,9 @@ pub struct BenchOpts {
     pub compare: bool,
     pub baseline: Option<String>,
     pub threshold_pct: f64,
+    /// Print the trend table across all committed `BENCH_<n>.json` files
+    /// instead of running the suite.
+    pub history: bool,
 }
 
 impl Default for BenchOpts {
@@ -105,6 +108,7 @@ impl Default for BenchOpts {
             compare: false,
             baseline: None,
             threshold_pct: 25.0,
+            history: false,
         }
     }
 }
@@ -138,6 +142,7 @@ pub fn parse_bench_opts(args: &[String]) -> Result<BenchOpts, CliError> {
             "--out" => opts.out = Some(value("--out")?),
             "--dir" => opts.dir = value("--dir")?,
             "--compare" => opts.compare = true,
+            "--history" => opts.history = true,
             "--baseline" => {
                 opts.compare = true;
                 opts.baseline = Some(value("--baseline")?)
@@ -429,24 +434,85 @@ pub fn compare(
     out
 }
 
-/// Largest existing `BENCH_<n>.json` path in `dir`, if any.
-fn latest_bench_file(dir: &Path) -> Option<(u64, PathBuf)> {
-    let mut best: Option<(u64, PathBuf)> = None;
-    for entry in std::fs::read_dir(dir).ok()?.flatten() {
+/// Every `BENCH_<n>.json` in `dir`, ascending by `n`.
+fn all_bench_files(dir: &Path) -> Vec<(u64, PathBuf)> {
+    let mut found = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return found;
+    };
+    for entry in entries.flatten() {
         let name = entry.file_name();
         let name = name.to_string_lossy();
-        let Some(n) = name
+        if let Some(n) = name
             .strip_prefix("BENCH_")
             .and_then(|r| r.strip_suffix(".json"))
             .and_then(|r| r.parse::<u64>().ok())
-        else {
-            continue;
-        };
-        if best.as_ref().is_none_or(|(b, _)| n > *b) {
-            best = Some((n, entry.path()));
+        {
+            found.push((n, entry.path()));
         }
     }
-    best
+    found.sort_by_key(|(n, _)| *n);
+    found
+}
+
+/// Largest existing `BENCH_<n>.json` path in `dir`, if any.
+fn latest_bench_file(dir: &Path) -> Option<(u64, PathBuf)> {
+    all_bench_files(dir).pop()
+}
+
+/// `bench --history`: a per-workload trend table of median wall times
+/// across every committed baseline, oldest to newest — the quick answer
+/// to "has this workload been drifting?".
+fn cmd_history(dir: &Path) -> Result<String, CliError> {
+    let files = all_bench_files(dir);
+    if files.is_empty() {
+        return Err(err(format!(
+            "--history: no BENCH_<n>.json files found in {}",
+            dir.display()
+        )));
+    }
+    let mut columns = Vec::new();
+    let mut order: Vec<String> = Vec::new();
+    for (n, path) in &files {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| err(format!("reading {}: {e}", path.display())))?;
+        let results = from_json(&text)?;
+        for w in &results.workloads {
+            if !order.contains(&w.name) {
+                order.push(w.name.clone());
+            }
+        }
+        columns.push((*n, results));
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "bench history: {} baseline(s) in {}",
+        files.len(),
+        dir.display()
+    )
+    .unwrap();
+    let mut header = format!("  {:<22}", "workload");
+    for (n, _) in &columns {
+        write!(header, " {:>12}", format!("BENCH_{n}")).unwrap();
+    }
+    writeln!(out, "{header}").unwrap();
+    for name in &order {
+        let mut row = format!("  {name:<22}");
+        for (_, results) in &columns {
+            let cell = results
+                .workloads
+                .iter()
+                .find(|w| &w.name == name)
+                .map_or_else(
+                    || "-".to_string(),
+                    |w| format!("{:.2}ms", w.median_wall_nanos as f64 / 1e6),
+                );
+            write!(row, " {cell:>12}").unwrap();
+        }
+        writeln!(out, "{row}").unwrap();
+    }
+    Ok(out.trim_end().to_string())
 }
 
 /// Runs the suite, writes `BENCH_<n>.json` (or `--out FILE`), and — with
@@ -459,6 +525,9 @@ fn latest_bench_file(dir: &Path) -> Option<(u64, PathBuf)> {
 pub fn cmd_bench(args: &[String]) -> Result<String, CliError> {
     let opts = parse_bench_opts(args)?;
     let dir = PathBuf::from(&opts.dir);
+    if opts.history {
+        return cmd_history(&dir);
+    }
     let results = run_suite(&opts)?;
     let mut out = String::new();
     writeln!(
@@ -630,6 +699,28 @@ mod tests {
         let mut small_cand = sample(3_000_000, 20);
         small_cand.workloads[0].phases[0].2 = 80_000;
         assert!(compare(&small_base, &small_cand, 25.0).is_empty());
+    }
+
+    #[test]
+    fn history_builds_a_trend_table_from_committed_baselines() {
+        let dir = std::env::temp_dir().join("cenn_bench_history_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let dir_str = dir.to_str().unwrap().to_string();
+        assert!(
+            cmd_bench(&s(&["--history", "--dir", &dir_str])).is_err(),
+            "empty dir has no baselines"
+        );
+        std::fs::write(dir.join("BENCH_0.json"), to_json(&sample(3_000_000, 20))).unwrap();
+        std::fs::write(dir.join("BENCH_2.json"), to_json(&sample(4_000_000, 20))).unwrap();
+        let out = cmd_bench(&s(&["--history", "--dir", &dir_str])).unwrap();
+        assert!(out.contains("2 baseline(s)"), "{out}");
+        assert!(out.contains("BENCH_0"), "{out}");
+        assert!(out.contains("BENCH_2"), "{out}");
+        assert!(out.contains("fisher@16"), "{out}");
+        assert!(out.contains("3.50ms"), "{out}");
+        assert!(out.contains("4.50ms"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -55,15 +55,17 @@ USAGE:
       streams the run out-of-core). --canonical zeroes wall-clock
       fields so the output is byte-identical for any thread count.
   cenn bench [--quick] [--repeat N] [--threads N] [--dir DIR] [--out FILE]
-             [--compare] [--baseline FILE] [--threshold PCT]
+             [--compare] [--baseline FILE] [--threshold PCT] [--history]
       Run the fixed benchmark suite (fisher, gray-scott, heat at two grid
       sizes; --quick shrinks it to 16x16) and write per-phase median
       times to the next BENCH_<n>.json in DIR. --compare diffs against
       the previous BENCH file (or --baseline FILE) and exits non-zero on
-      any phase slower than --threshold percent (default 25).
-  cenn serve [--listen ADDR] [--workers N] [--quantum N] [--spool DIR]
-             [--session-logs DIR] [--max-sessions N] [--max-pending N]
-             [--idle-timeout MS]
+      any phase slower than --threshold percent (default 25). --history
+      skips the run and prints a per-workload trend table of median wall
+      times across every BENCH_<n>.json in DIR, oldest to newest.
+  cenn serve [--listen ADDR] [--stats-listen ADDR] [--workers N]
+             [--quantum N] [--spool DIR] [--session-logs DIR]
+             [--max-sessions N] [--max-pending N] [--idle-timeout MS]
       Run the multi-tenant solver service: a blocking TCP accept loop
       (default 127.0.0.1:17117) over a fixed pool of N worker threads
       (default 2) scheduling client sessions in deterministic fair
@@ -76,7 +78,10 @@ USAGE:
       --max-sessions / --max-pending shed load with a retryable
       `overloaded` error past those ceilings; --idle-timeout closes
       connections silent for MS milliseconds, suspending their
-      sessions first. Blocks until a client sends Shutdown.
+      sessions first. --stats-listen serves the live metrics registry
+      in Prometheus text format on http://ADDR/metrics (the same
+      numbers the Stats frame returns). Blocks until a client sends
+      Shutdown.
   cenn fleet [--connect ADDR] [--workers N] [--sessions N] [--steps N]
              [--chunk N] [--seed N] [--no-suspend] [--shutdown]
              [--durable] [--chaos SPEC]
@@ -96,6 +101,12 @@ USAGE:
       is the target session's outbound-frame index. Fault accounting
       goes to stderr; stdout stays byte-comparable with an undisturbed
       run.
+  cenn top [--connect ADDR] [--interval MS] [--once]
+      Poll a running `cenn serve` over the versioned Stats frame and
+      redraw a terminal dashboard every MS milliseconds (default 1000):
+      session/queue/shed/spool pressure, per-phase latency quantiles,
+      and per-session step rates. --once prints a single frame and
+      exits (scriptable; what CI asserts against).
   cenn program --system <name> [--grid N] --out FILE
       Compile a system to its solver bitstream.
   cenn inspect FILE
@@ -366,6 +377,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         Some("bench") => crate::bench::cmd_bench(&args[1..]),
         Some("serve") => crate::serve::cmd_serve(&args[1..]),
         Some("fleet") => crate::serve::cmd_fleet(&args[1..]),
+        Some("top") => crate::top::cmd_top(&args[1..]),
         Some("program") => cmd_program(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some(other) => Err(err(format!("unknown command '{other}'"))),

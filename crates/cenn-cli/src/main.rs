@@ -14,6 +14,7 @@ mod bench;
 mod cli;
 mod profile;
 mod serve;
+mod top;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

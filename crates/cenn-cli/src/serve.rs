@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use cenn::serve::{
     loopback, run_chaos_fleet, run_fleet, run_resilient_fleet, ChaosPlan, Client, FleetConfig,
-    Manifest, RetryPolicy, Server, ServerConfig,
+    Manifest, RetryPolicy, Server, ServerConfig, StatsHttpServer,
 };
 
 use crate::cli::CliError;
@@ -21,6 +21,7 @@ pub const DEFAULT_LISTEN: &str = "127.0.0.1:17117";
 
 struct ServeOpts {
     listen: String,
+    stats_listen: Option<String>,
     workers: usize,
     quantum: u64,
     spool: Option<String>,
@@ -33,6 +34,7 @@ struct ServeOpts {
 fn parse_serve(args: &[String]) -> Result<ServeOpts, CliError> {
     let mut opts = ServeOpts {
         listen: DEFAULT_LISTEN.into(),
+        stats_listen: None,
         workers: 2,
         quantum: 32,
         spool: None,
@@ -50,6 +52,7 @@ fn parse_serve(args: &[String]) -> Result<ServeOpts, CliError> {
         };
         match arg.as_str() {
             "--listen" => opts.listen = value("--listen")?,
+            "--stats-listen" => opts.stats_listen = Some(value("--stats-listen")?),
             "--workers" => {
                 opts.workers = value("--workers")?
                     .parse()
@@ -140,11 +143,25 @@ pub fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     } else {
         Server::start(cfg).map_err(|e| err(format!("starting service: {e}")))?
     };
+    let stats_http = match &opts.stats_listen {
+        Some(addr) => {
+            let srv = server.clone();
+            let http = StatsHttpServer::start(addr, move || {
+                srv.stats_snapshot().metrics.prometheus_text()
+            })
+            .map_err(|e| err(format!("binding stats endpoint {addr}: {e}")))?;
+            Some(http)
+        }
+        None => None,
+    };
     let handle = server
         .serve_tcp(&opts.listen)
         .map_err(|e| err(format!("binding {}: {e}", opts.listen)))?;
     // Announce readiness before blocking so scripts can connect.
     println!("cenn serve: listening on {}", handle.local_addr());
+    if let Some(http) = &stats_http {
+        println!("cenn serve: stats on http://{}/metrics", http.addr());
+    }
     println!(
         "cenn serve: {} workers, quantum {}, spool {}",
         opts.workers,
@@ -153,6 +170,9 @@ pub fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     );
     let _ = std::io::stdout().flush();
     handle.join();
+    if let Some(http) = stats_http {
+        http.shutdown();
+    }
     server.shutdown();
     if opts.spool.is_none() {
         let _ = std::fs::remove_dir_all(&spool);

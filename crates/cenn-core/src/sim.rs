@@ -518,6 +518,7 @@ impl CennSim {
             lut: lut.level_metrics(),
             peak_resident_bytes: self.resident_state_bytes(),
             spill_bytes: 0,
+            lut_counters: "exact".into(),
         }));
     }
 

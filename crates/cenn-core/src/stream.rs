@@ -45,7 +45,9 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use cenn_lut::{LutHierarchy, LutShard, LutStats};
-use cenn_obs::{Event, Phase, RecorderHandle, RunSummary, TraceHandle};
+use cenn_obs::{
+    CounterId, Event, GaugeId, MetricsHub, Phase, RecorderHandle, RunSummary, TraceHandle,
+};
 use fixedpt::{MacAcc, Q16_16};
 
 use crate::boundary::Boundary;
@@ -377,6 +379,21 @@ pub struct StreamSim {
     tracer: Option<TraceHandle>,
     peak_resident: u64,
     spill_bytes: u64,
+    fill_bytes: u64,
+    /// LUT-bearing layer count — decides `lut_counters` fidelity (module
+    /// docs: >1 and windowed interleaving preserves only access totals).
+    lut_layers: usize,
+    metrics: Option<StreamMetrics>,
+}
+
+/// Registered instrument ids for [`StreamSim::set_metrics`].
+#[derive(Debug)]
+struct StreamMetrics {
+    hub: MetricsHub,
+    windows: CounterId,
+    spill: GaugeId,
+    fill: GaugeId,
+    peak: GaugeId,
 }
 
 impl StreamSim {
@@ -610,6 +627,13 @@ impl StreamSim {
             .map(|p| build_lanes(p, &[], model.rows(), model.cols(), &spec_of))
             .collect();
         let uses_inputs = geom.iter().any(|l| l.taps.iter().any(|t| t.input));
+        let lut_layers = geom.iter().filter(|l| !l.sites.is_empty()).count();
+        if lut_layers > 1 {
+            eprintln!(
+                "cenn: streamed run has {lut_layers} LUT-bearing layers; per-PE LUT \
+                 counters are totals-only under windowed interleaving (states stay exact)"
+            );
+        }
         let n_taps: usize = geom.iter().map(|l| l.taps.len()).sum();
         let max_sites: usize = geom.iter().map(|l| l.sites.len()).sum();
         let max_factors = geom
@@ -715,6 +739,9 @@ impl StreamSim {
             tracer: None,
             peak_resident: 0,
             spill_bytes: 0,
+            fill_bytes: 0,
+            lut_layers,
+            metrics: None,
             model,
         })
     }
@@ -767,6 +794,50 @@ impl StreamSim {
     /// Geometry-derived, so identical at every thread count.
     pub fn peak_resident_bytes(&self) -> u64 {
         self.peak_resident
+    }
+
+    /// Cumulative bytes filled (read back) from the chunk spool: halo
+    /// fills plus the Heun corrector's `x₀`/`k₁` re-reads.
+    pub fn fill_bytes(&self) -> u64 {
+        self.fill_bytes
+    }
+
+    /// `"exact"` when LUT hit/miss counters are bit-identical to the
+    /// in-core engine (at most one LUT-bearing layer), `"totals-only"`
+    /// when windowed interleaving preserves only access totals.
+    pub fn lut_counters_mode(&self) -> &'static str {
+        if self.lut_layers > 1 {
+            "totals-only"
+        } else {
+            "exact"
+        }
+    }
+
+    /// Routes streaming instruments into `hub`: counter
+    /// `stream.windows_swept_total`, gauges `stream.spill_bytes`,
+    /// `stream.fill_bytes` and `stream.peak_resident_bytes`. Updated once
+    /// per swept window and on [`record_summary`](Self::record_summary) —
+    /// never inside kernel loops.
+    pub fn set_metrics(&mut self, hub: MetricsHub) {
+        self.metrics = Some(StreamMetrics {
+            windows: hub.counter("stream.windows_swept_total"),
+            spill: hub.gauge("stream.spill_bytes"),
+            fill: hub.gauge("stream.fill_bytes"),
+            peak: hub.gauge("stream.peak_resident_bytes"),
+            hub,
+        });
+    }
+
+    /// Pushes the cumulative I/O gauges (and `swept` freshly completed
+    /// windows) into the attached hub; no-op without one.
+    fn publish_metrics(&self, swept: u64) {
+        let Some(m) = &self.metrics else { return };
+        if swept > 0 {
+            m.hub.inc(m.windows, swept);
+        }
+        m.hub.gauge_set(m.spill, self.spill_bytes as i64);
+        m.hub.gauge_set(m.fill, self.fill_bytes as i64);
+        m.hub.gauge_max(m.peak, self.peak_resident as i64);
     }
 
     /// Sets the worker-thread count (zero clamps to one). As with the
@@ -854,7 +925,9 @@ impl StreamSim {
             lut: lut.level_metrics(),
             peak_resident_bytes: self.peak_resident,
             spill_bytes: self.spill_bytes,
+            lut_counters: self.lut_counters_mode().into(),
         }));
+        self.publish_metrics(0);
     }
 
     /// Assembles a bit-exact [`SimSnapshot`] from the current-parity
@@ -1136,7 +1209,7 @@ impl StreamSim {
             self.row_map[r] = local as u32;
         }
         let cols = self.model.cols();
-        Self::fill_resident(
+        self.fill_bytes += Self::fill_resident(
             &self.spool,
             src_stream,
             self.chunk_rows,
@@ -1147,7 +1220,7 @@ impl StreamSim {
             &mut self.stage,
         )?;
         if self.uses_inputs {
-            Self::fill_resident(
+            self.fill_bytes += Self::fill_resident(
                 &self.spool,
                 "in",
                 self.chunk_rows,
@@ -1267,6 +1340,7 @@ impl StreamSim {
         self.peak_resident = self
             .peak_resident
             .max(fixed + lanes_bytes + tiles_bytes + buf_bytes);
+        self.publish_metrics(1);
         Ok(WindowGeom { r0, r1, resident })
     }
 
@@ -1398,12 +1472,14 @@ impl StreamSim {
         let x0_offs =
             self.spool
                 .read_chunk(parity_stream(self.steps), w, n, cells, &mut self.stage)?;
+        self.fill_bytes += self.stage.len() as u64;
         for (l, &off) in x0_offs.iter().enumerate() {
             for (j, slot) in x0_buf.layer_mut(l)[..cells].iter_mut().enumerate() {
                 *slot = Q16_16::from_bits(read_i32(&self.stage, off + j * 4));
             }
         }
         let k1_offs = self.spool.read_chunk("k1", w, n, cells, &mut self.stage)?;
+        self.fill_bytes += self.stage.len() as u64;
         for (l, &off) in k1_offs.iter().enumerate() {
             for (j, slot) in k1_buf.layer_mut(l)[..cells].iter_mut().enumerate() {
                 *slot = Q16_16::from_bits(read_i32(&self.stage, off + j * 4));

@@ -5,7 +5,7 @@ use std::fmt;
 use std::time::Instant;
 
 use cenn_core::{CennSim, FuncEval, ModelError};
-use cenn_obs::{Event, GuardEvent, Phase, RecorderHandle, TraceHandle};
+use cenn_obs::{CounterId, Event, GuardEvent, MetricsHub, Phase, RecorderHandle, TraceHandle};
 
 use crate::checkpoint::{Checkpoint, CheckpointStore};
 use crate::config::{GuardConfig, RecoveryPolicy};
@@ -112,8 +112,20 @@ pub struct Guard {
     monitor: HealthMonitor,
     recorder: Option<RecorderHandle>,
     tracer: Option<TraceHandle>,
+    metrics: Option<GuardMetrics>,
     report: GuardReport,
     last_checkpoint_step: Option<u64>,
+}
+
+/// Registered `guard.*` counter ids for [`Guard::with_metrics`].
+#[derive(Debug, Clone)]
+struct GuardMetrics {
+    hub: MetricsHub,
+    scrubs: CounterId,
+    repairs: CounterId,
+    checkpoints: CounterId,
+    rollbacks: CounterId,
+    faults: CounterId,
 }
 
 /// Runs `f` inside a span of `phase` on track 0 when a tracer is
@@ -169,6 +181,31 @@ impl Guard {
     /// The attached tracer, if any.
     pub fn tracer(&self) -> Option<&TraceHandle> {
         self.tracer.as_ref()
+    }
+
+    /// Routes guard counters into `hub` (builder style):
+    /// `guard.scrubs_total`, `guard.scrub_repairs_total`,
+    /// `guard.checkpoints_total`, `guard.rollbacks_total`, and
+    /// `guard.faults_injected_total` — the live-telemetry mirror of
+    /// [`GuardReport`].
+    #[must_use]
+    pub fn with_metrics(mut self, hub: MetricsHub) -> Self {
+        self.metrics = Some(GuardMetrics {
+            scrubs: hub.counter("guard.scrubs_total"),
+            repairs: hub.counter("guard.scrub_repairs_total"),
+            checkpoints: hub.counter("guard.checkpoints_total"),
+            rollbacks: hub.counter("guard.rollbacks_total"),
+            faults: hub.counter("guard.faults_injected_total"),
+            hub,
+        });
+        self
+    }
+
+    /// Adds `n` to the counter `pick` selects; no-op without a hub.
+    fn minc(&self, pick: fn(&GuardMetrics) -> CounterId, n: u64) {
+        if let Some(m) = &self.metrics {
+            m.hub.inc(pick(m), n);
+        }
     }
 
     /// The configuration.
@@ -245,9 +282,11 @@ impl Guard {
             let now = sim.steps();
             if self.at_boundary(start, now) && self.last_checkpoint_step != Some(now) {
                 self.report.scrubs += 1;
+                self.minc(|m| m.scrubs, 1);
                 let scrub = traced(&self.tracer, Phase::Scrub, || sim.scrub_luts());
                 if scrub.repaired > 0 {
                     self.report.scrub_repairs += scrub.repaired;
+                    self.minc(|m| m.repairs, scrub.repaired);
                     self.emit(
                         now,
                         "scrub_repair",
@@ -271,6 +310,7 @@ impl Guard {
                 let ckpt = traced(&self.tracer, Phase::Checkpoint, || Checkpoint::capture(sim));
                 self.store.push(ckpt);
                 self.report.checkpoints += 1;
+                self.minc(|m| m.checkpoints, 1);
                 self.last_checkpoint_step = Some(now);
                 self.emit(now, "checkpoint", format!("at step {now}"), now, 0.0);
             }
@@ -280,6 +320,7 @@ impl Guard {
             for fault in self.plan.take_due(now) {
                 fault.target.apply(sim)?;
                 self.report.faults_injected += 1;
+                self.minc(|m| m.faults, 1);
                 self.emit(now, "fault_injected", fault.target.describe(), 1, 0.0);
             }
             sim.step();
@@ -334,9 +375,11 @@ impl Guard {
                     // mid-interval: repair before replaying, otherwise the
                     // replay re-diverges identically.
                     self.report.scrubs += 1;
+                    self.minc(|m| m.scrubs, 1);
                     let scrub = traced(&self.tracer, Phase::Scrub, || sim.scrub_luts());
                     if scrub.repaired > 0 {
                         self.report.scrub_repairs += scrub.repaired;
+                        self.minc(|m| m.repairs, scrub.repaired);
                         self.emit(
                             step,
                             "scrub_repair",
@@ -356,6 +399,7 @@ impl Guard {
                 })?;
                 self.monitor.reset();
                 self.report.rollbacks += 1;
+                self.minc(|m| m.rollbacks, 1);
                 self.last_checkpoint_step = Some(to);
                 self.emit(sim.steps(), "rollback", reason, to, 0.0);
                 Ok(())
@@ -501,6 +545,32 @@ mod tests {
         let ckpts = tracer.with(|c| c.phase_count(Phase::Checkpoint));
         assert_eq!(scrubs, report.scrubs);
         assert_eq!(ckpts, report.checkpoints + report.rollbacks);
+        assert!(report.rollbacks >= 1, "the fault must force a rollback");
+    }
+
+    #[test]
+    fn metrics_hub_mirrors_the_guard_report() {
+        let hub = MetricsHub::new();
+        let mut sim = logistic_sim();
+        let mut guard = Guard::new(GuardConfig::default())
+            .with_metrics(hub.clone())
+            .with_plan(lut_fault_at(20, 30));
+        let report = guard.run_with(&mut sim, 40, |_| {}).unwrap();
+        let snap = hub.snapshot();
+        assert_eq!(snap.counter("guard.scrubs_total"), Some(report.scrubs));
+        assert_eq!(
+            snap.counter("guard.scrub_repairs_total"),
+            Some(report.scrub_repairs)
+        );
+        assert_eq!(
+            snap.counter("guard.checkpoints_total"),
+            Some(report.checkpoints)
+        );
+        assert_eq!(snap.counter("guard.rollbacks_total"), Some(report.rollbacks));
+        assert_eq!(
+            snap.counter("guard.faults_injected_total"),
+            Some(report.faults_injected)
+        );
         assert!(report.rollbacks >= 1, "the fault must force a rollback");
     }
 

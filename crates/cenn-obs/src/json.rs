@@ -76,6 +76,15 @@ pub(crate) fn field_u64(out: &mut String, key: &str, value: u64) {
     out.push(',');
 }
 
+/// Appends `"key":-123,` to `out`.
+pub(crate) fn field_i64(out: &mut String, key: &str, value: i64) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&value.to_string());
+    out.push(',');
+}
+
 /// Appends `"key":1.25,` to `out`. Uses Rust's shortest-round-trip `f64`
 /// display, which is deterministic across platforms; non-finite values
 /// (never produced by the metrics) serialize as 0.

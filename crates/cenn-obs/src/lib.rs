@@ -41,16 +41,22 @@
 #![warn(missing_docs)]
 
 mod json;
+pub mod metrics;
 mod recorder;
 mod schema;
 mod sink;
 pub mod trace;
 
 pub use json::{parse as parse_json, parse_object_keys, JsonValue};
+pub use metrics::{
+    CounterId, GaugeId, HistogramId, HistogramSnapshot, LocalCounters, MetricsHub,
+    MetricsSnapshot, STATS_VERSION,
+};
 pub use recorder::{InMemoryRecorder, NullRecorder, Recorder, RecorderHandle};
 pub use schema::{
     known_keys, validate_jsonl_line, Event, GuardEvent, LutLevel, LutLevelMetrics, MemTraffic,
-    RunSummary, SchemaError, SessionEvent, SpanSummary, StepMetrics, SweepTiming, SCHEMA_VERSION,
+    MetricSample, RunSummary, SchemaError, SessionEvent, SpanSummary, StepMetrics, SweepTiming,
+    SCHEMA_VERSION,
 };
 pub use sink::{CsvSink, JsonlSink, CSV_HEADER};
-pub use trace::{LatencyHistogram, Phase, Span, SpanRing, TraceCollector, TraceHandle};
+pub use trace::{CorrMark, LatencyHistogram, Phase, Span, SpanRing, TraceCollector, TraceHandle};

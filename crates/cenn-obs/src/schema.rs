@@ -126,7 +126,7 @@ pub struct MemTraffic {
 
 /// End-of-run aggregate: totals plus the derived miss rates the paper
 /// feeds into its cycle model.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunSummary {
     /// Steps executed.
     pub steps: u64,
@@ -159,6 +159,33 @@ pub struct RunSummary {
     /// Cumulative bytes spilled to the chunk spool across the run (0 for
     /// in-core runs) — deterministic, kept by canonical mode.
     pub spill_bytes: u64,
+    /// Fidelity of the per-level LUT hit/miss counters above:
+    /// `"exact"` (bit-identical to the serial in-core sweep) or
+    /// `"totals-only"` (streamed runs with several LUT-bearing layers
+    /// preserve access totals but not the hit/miss split — the windowed
+    /// interleaving differs; see `cenn_core::stream`).
+    pub lut_counters: String,
+}
+
+impl Default for RunSummary {
+    fn default() -> Self {
+        Self {
+            steps: 0,
+            time: 0.0,
+            threads: 0,
+            cells: 0,
+            total_nanos: 0,
+            accesses: 0,
+            mr_l1: 0.0,
+            mr_l2: 0.0,
+            mr_combined: 0.0,
+            residual: 0.0,
+            lut: Vec::new(),
+            peak_resident_bytes: 0,
+            spill_bytes: 0,
+            lut_counters: "exact".into(),
+        }
+    }
 }
 
 /// One fault-tolerance action taken by the guard runtime (`cenn-guard`):
@@ -214,6 +241,12 @@ pub struct SessionEvent {
     /// Action-specific count (steps executed in a batch, spikes fired,
     /// the end-state digest value, …).
     pub count: u64,
+    /// Request-scoped correlation id: the client-generated proto-v2
+    /// request id of the frame that triggered this action (0 for
+    /// server-initiated actions such as restart recovery). Client ids
+    /// are deterministic per connection, so canonical streams keep it —
+    /// the key that joins a `session` line to its spans and retries.
+    pub corr: u64,
 }
 
 /// Per-phase span aggregate from the tracing layer (`cenn_obs::trace`):
@@ -246,6 +279,31 @@ pub struct SpanSummary {
     pub buckets: Vec<u64>,
 }
 
+/// One live-telemetry instrument sample (`cenn_obs::metrics`): a named
+/// counter, gauge, or latency-histogram summary from a registry
+/// snapshot.
+///
+/// `name`, `kind`, and the exact observation `count` are deterministic;
+/// for histograms the `value` (the nanosecond sum) and the quantile
+/// fields are wall-clock-derived and zeroed by [`Event::canonical`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricSample {
+    /// Dotted instrument name (`"serve.frames_in_total"`).
+    pub name: String,
+    /// Instrument kind: `"counter"`, `"gauge"`, or `"histogram"`.
+    pub kind: String,
+    /// Counter/gauge value; for histograms the nanosecond sum (zeroed by
+    /// canonical mode — it is wall-clock-derived).
+    pub value: i64,
+    /// Histogram observation count — exact, kept by canonical mode (0
+    /// for counters and gauges).
+    pub count: u64,
+    /// Histogram p50 upper bound in nanos (zeroed by canonical mode).
+    pub p50_nanos: u64,
+    /// Histogram p99 upper bound in nanos (zeroed by canonical mode).
+    pub p99_nanos: u64,
+}
+
 /// One recorded event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
@@ -261,6 +319,9 @@ pub enum Event {
     SpanSummary(SpanSummary),
     /// Solver-service session lifecycle action.
     Session(SessionEvent),
+    /// Live-telemetry instrument sample from a metrics-registry
+    /// snapshot.
+    Metric(MetricSample),
 }
 
 impl Event {
@@ -273,6 +334,7 @@ impl Event {
             Self::Guard(_) => "guard",
             Self::SpanSummary(_) => "span_summary",
             Self::Session(_) => "session",
+            Self::Metric(_) => "metric",
         }
     }
 
@@ -315,6 +377,17 @@ impl Event {
             // Like guard events, session events carry only exact,
             // environment-independent fields.
             Self::Session(s) => Self::Session(s.clone()),
+            Self::Metric(m) => {
+                // Counters and gauges are exact; histogram quantiles and
+                // the nanosecond sum are wall clock.
+                let mut m = m.clone();
+                m.p50_nanos = 0;
+                m.p99_nanos = 0;
+                if m.kind == "histogram" {
+                    m.value = 0;
+                }
+                Self::Metric(m)
+            }
         }
     }
 
@@ -365,6 +438,7 @@ impl Event {
                 json::field_raw(&mut out, "lut", &lut_json(&r.lut));
                 json::field_u64(&mut out, "peak_resident_bytes", r.peak_resident_bytes);
                 json::field_u64(&mut out, "spill_bytes", r.spill_bytes);
+                json::field_str(&mut out, "lut_counters", &r.lut_counters);
             }
             Self::Guard(g) => {
                 json::field_u64(&mut out, "step", g.step);
@@ -390,6 +464,15 @@ impl Event {
                 json::field_str(&mut out, "system", &s.system);
                 json::field_str(&mut out, "detail", &s.detail);
                 json::field_u64(&mut out, "count", s.count);
+                json::field_u64(&mut out, "corr", s.corr);
+            }
+            Self::Metric(m) => {
+                json::field_str(&mut out, "name", &m.name);
+                json::field_str(&mut out, "kind", &m.kind);
+                json::field_i64(&mut out, "value", m.value);
+                json::field_u64(&mut out, "count", m.count);
+                json::field_u64(&mut out, "p50_nanos", m.p50_nanos);
+                json::field_u64(&mut out, "p99_nanos", m.p99_nanos);
             }
         }
         // Strip the trailing comma every field helper appends.
@@ -494,12 +577,23 @@ pub fn known_keys(event: &str) -> Option<&'static [&'static str]> {
             "lut",
             "peak_resident_bytes",
             "spill_bytes",
+            "lut_counters",
         ]),
         "guard" => Some(&[
             "event", "schema", "step", "kind", "detail", "count", "value",
         ]),
         "session" => Some(&[
-            "event", "schema", "session", "step", "kind", "system", "detail", "count",
+            "event", "schema", "session", "step", "kind", "system", "detail", "count", "corr",
+        ]),
+        "metric" => Some(&[
+            "event",
+            "schema",
+            "name",
+            "kind",
+            "value",
+            "count",
+            "p50_nanos",
+            "p99_nanos",
         ]),
         "span_summary" => Some(&[
             "event",
@@ -616,6 +710,60 @@ pub fn validate_jsonl_line(line: &str) -> Result<(), SchemaError> {
     }
     if event == "span_summary" {
         validate_span_summary(&event, &get)?;
+    }
+    if event == "metric" {
+        validate_metric(&event, &get)?;
+    }
+    if event == "run_summary" {
+        match get("lut_counters").and_then(JsonValue::as_str) {
+            Some("exact") | Some("totals-only") => {}
+            other => {
+                return Err(SchemaError::Constraint {
+                    event,
+                    detail: format!(
+                        "'lut_counters' must be \"exact\" or \"totals-only\", got {other:?}"
+                    ),
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Semantic invariants of a `metric` line: a known instrument kind,
+/// monotone quantiles, and histogram-only fields zero on counters and
+/// gauges.
+fn validate_metric<'a>(
+    event: &str,
+    get: &impl Fn(&str) -> Option<&'a JsonValue>,
+) -> Result<(), SchemaError> {
+    let constraint = |detail: String| SchemaError::Constraint {
+        event: event.to_string(),
+        detail,
+    };
+    let num = |key: &str| -> Result<u64, SchemaError> {
+        get(key)
+            .and_then(JsonValue::as_f64)
+            .filter(|n| n.fract() == 0.0 && *n >= 0.0)
+            .map(|n| n as u64)
+            .ok_or_else(|| constraint(format!("'{key}' must be a non-negative integer")))
+    };
+    let kind = get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| constraint("'kind' must be a string".into()))?;
+    if !matches!(kind, "counter" | "gauge" | "histogram") {
+        return Err(constraint(format!("unknown instrument kind '{kind}'")));
+    }
+    let (count, p50, p99) = (num("count")?, num("p50_nanos")?, num("p99_nanos")?);
+    if p50 > p99 {
+        return Err(constraint(format!(
+            "quantiles must be monotone: p50={p50} p99={p99}"
+        )));
+    }
+    if kind != "histogram" && (count != 0 || p50 != 0 || p99 != 0) {
+        return Err(constraint(format!(
+            "histogram-only fields must be zero on a {kind}"
+        )));
     }
     Ok(())
 }
@@ -760,6 +908,15 @@ mod tests {
                 system: "fisher".into(),
                 detail: "16x16".into(),
                 count: 10,
+                corr: 4,
+            }),
+            Event::Metric(MetricSample {
+                name: "serve.frames_in_total".into(),
+                kind: "counter".into(),
+                value: 42,
+                count: 0,
+                p50_nanos: 0,
+                p99_nanos: 0,
             }),
         ];
         for ev in &events {
@@ -801,6 +958,7 @@ mod tests {
             system: "wave".into(),
             detail: "session_1.ckpt".into(),
             count: 0,
+            corr: 9,
         });
         assert_eq!(ev.canonical(), ev, "no environment fields to zero");
         assert_eq!(ev.canonical().to_jsonl(), ev.to_jsonl());
@@ -905,6 +1063,65 @@ mod tests {
         ));
         // Unknown phase name.
         let bad = line.replacen("template_apply", "warp_drive", 1);
+        assert!(matches!(
+            validate_jsonl_line(&bad),
+            Err(SchemaError::Constraint { .. })
+        ));
+    }
+
+    #[test]
+    fn metric_canonical_and_constraints() {
+        let hist = Event::Metric(MetricSample {
+            name: "serve.quantum_nanos".into(),
+            kind: "histogram".into(),
+            value: 5000,
+            count: 3,
+            p50_nanos: 1023,
+            p99_nanos: 2047,
+        });
+        validate_jsonl_line(&hist.to_jsonl()).unwrap();
+        let Event::Metric(c) = hist.canonical() else {
+            unreachable!()
+        };
+        assert_eq!(c.count, 3, "observation count is exact, kept");
+        assert_eq!((c.value, c.p50_nanos, c.p99_nanos), (0, 0, 0));
+        validate_jsonl_line(&hist.canonical().to_jsonl()).unwrap();
+
+        let line = hist.to_jsonl();
+        let unknown_kind = line.replacen("histogram", "thermometer", 1);
+        assert!(matches!(
+            validate_jsonl_line(&unknown_kind),
+            Err(SchemaError::Constraint { .. })
+        ));
+        let non_monotone = line.replacen("\"p50_nanos\":1023", "\"p50_nanos\":4000", 1);
+        assert!(matches!(
+            validate_jsonl_line(&non_monotone),
+            Err(SchemaError::Constraint { .. })
+        ));
+        // A counter must not carry histogram fields.
+        let counter = line
+            .replacen("histogram", "counter", 1)
+            .replacen("\"count\":3", "\"count\":3", 1);
+        assert!(matches!(
+            validate_jsonl_line(&counter),
+            Err(SchemaError::Constraint { .. })
+        ));
+        // Unknown fields are rejected like any other event.
+        let hacked = line.replacen("\"value\":5000", "\"value\":5000,\"bogus\":1", 1);
+        assert!(matches!(
+            validate_jsonl_line(&hacked),
+            Err(SchemaError::KeyMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn run_summary_lut_counters_is_constrained() {
+        let line = Event::RunSummary(RunSummary::default()).to_jsonl();
+        assert!(line.ends_with("\"lut_counters\":\"exact\"}"), "{line}");
+        validate_jsonl_line(&line).unwrap();
+        let streamed = line.replacen("\"exact\"", "\"totals-only\"", 1);
+        validate_jsonl_line(&streamed).unwrap();
+        let bad = line.replacen("\"exact\"", "\"approximate\"", 1);
         assert!(matches!(
             validate_jsonl_line(&bad),
             Err(SchemaError::Constraint { .. })

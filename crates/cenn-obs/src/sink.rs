@@ -248,6 +248,16 @@ impl<W: Write + Send> CsvSink<W> {
                 set("detail", escape_csv(&s.detail));
                 set("count", s.count.to_string());
             }
+            Event::Metric(m) => {
+                // The metric name rides the generic `label` column; the
+                // histogram aggregates reuse the span-summary columns.
+                set("label", escape_csv(&m.name));
+                set("kind", escape_csv(&m.kind));
+                set("value", m.value.to_string());
+                set("count", m.count.to_string());
+                set("p50_nanos", m.p50_nanos.to_string());
+                set("p99_nanos", m.p99_nanos.to_string());
+            }
         }
         cols.join(",")
     }

@@ -331,6 +331,22 @@ impl LatencyHistogram {
     }
 }
 
+/// One correlation mark: the span of servicing one client request,
+/// tagged with the request's correlation id so a Chrome trace joins the
+/// request to the sweep-phase spans it scheduled. Marks are recorded by
+/// the service layer (one per executed quantum), not by the hot loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorrMark {
+    /// Client-generated correlation id (the proto-v2 request id).
+    pub corr: u64,
+    /// Track the work ran on (worker index, or session id).
+    pub track: u32,
+    /// Start, nanos since the collector epoch.
+    pub start_nanos: u64,
+    /// Duration in nanos.
+    pub dur_nanos: u64,
+}
+
 /// The shared aggregation point spans drain into: per-phase histograms,
 /// counts, and (optionally) retained spans for Chrome trace export.
 #[derive(Debug, Clone)]
@@ -338,6 +354,7 @@ pub struct TraceCollector {
     epoch: Instant,
     hists: [LatencyHistogram; N_PHASES],
     spans: Vec<Span>,
+    marks: Vec<CorrMark>,
     keep_spans: bool,
     max_spans: usize,
     spans_dropped: u64,
@@ -373,6 +390,7 @@ impl TraceCollector {
             epoch: Instant::now(),
             hists: std::array::from_fn(|_| LatencyHistogram::new()),
             spans: Vec::new(),
+            marks: Vec::new(),
             keep_spans: max_spans > 0,
             max_spans,
             spans_dropped: 0,
@@ -448,6 +466,22 @@ impl TraceCollector {
         &self.spans
     }
 
+    /// Records one correlation mark (kept even in histogram-only mode —
+    /// marks arrive at request cadence, not from the hot loops, and are
+    /// bounded by the same retention cap when one is set).
+    pub fn sink_mark(&mut self, mark: CorrMark) {
+        if self.max_spans == 0 || self.marks.len() < self.max_spans {
+            self.marks.push(mark);
+        } else {
+            self.spans_dropped += 1;
+        }
+    }
+
+    /// The retained correlation marks.
+    pub fn marks(&self) -> &[CorrMark] {
+        &self.marks
+    }
+
     /// One [`SpanSummary`] per phase that recorded at least one span, in
     /// [`Phase::ALL`] order — the payloads of the `span_summary` events.
     pub fn summaries(&self) -> Vec<SpanSummary> {
@@ -474,12 +508,14 @@ impl TraceCollector {
     /// (`"X"` complete events; `tid` is the track/shard). Load the
     /// result in `chrome://tracing` or <https://ui.perfetto.dev>.
     pub fn chrome_trace_json(&self) -> String {
-        let mut out = String::with_capacity(64 + self.spans.len() * 96);
+        let mut out = String::with_capacity(64 + (self.spans.len() + self.marks.len()) * 96);
         out.push_str("{\"traceEvents\":[");
-        for (i, s) in self.spans.iter().enumerate() {
-            if i > 0 {
+        let mut first = true;
+        for s in &self.spans {
+            if !first {
                 out.push(',');
             }
+            first = false;
             out.push_str(&format!(
                 "{{\"name\":\"{}\",\"cat\":\"cenn\",\"ph\":\"X\",\"pid\":0,\
                  \"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
@@ -487,6 +523,20 @@ impl TraceCollector {
                 s.track,
                 s.start_nanos as f64 / 1e3,
                 s.dur_nanos as f64 / 1e3,
+            ));
+        }
+        for m in &self.marks {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"request\",\"cat\":\"cenn-corr\",\"ph\":\"X\",\"pid\":0,\
+                 \"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"corr\":{}}}}}",
+                m.track,
+                m.start_nanos as f64 / 1e3,
+                m.dur_nanos as f64 / 1e3,
+                m.corr,
             ));
         }
         out.push_str("],\"displayTimeUnit\":\"ms\"}");
@@ -557,6 +607,19 @@ impl TraceHandle {
             .expect("trace collector poisoned")
             .sink_span(Span {
                 phase,
+                track,
+                start_nanos,
+                dur_nanos,
+            });
+    }
+
+    /// Records one correlation mark (see [`TraceCollector::sink_mark`]).
+    pub fn mark(&self, corr: u64, track: u32, start_nanos: u64, dur_nanos: u64) {
+        self.inner
+            .lock()
+            .expect("trace collector poisoned")
+            .sink_mark(CorrMark {
+                corr,
                 track,
                 start_nanos,
                 dur_nanos,
@@ -806,6 +869,35 @@ mod tests {
             events[1].get("tid").and_then(crate::JsonValue::as_f64),
             Some(0.0)
         );
+    }
+
+    #[test]
+    fn correlation_marks_export_with_corr_args() {
+        let mut c = TraceCollector::histograms_only();
+        c.sink_mark(CorrMark {
+            corr: (7u64 << 32) | 3,
+            track: 1,
+            start_nanos: 2000,
+            dur_nanos: 500,
+        });
+        assert_eq!(c.marks().len(), 1);
+        let json = c.chrome_trace_json();
+        let doc = crate::json::parse(&json).expect("valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(crate::JsonValue::as_array)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].get("name").and_then(crate::JsonValue::as_str),
+            Some("request")
+        );
+        let corr = events[0]
+            .get("args")
+            .and_then(|a| a.get("corr"))
+            .and_then(crate::JsonValue::as_f64)
+            .expect("corr arg");
+        assert_eq!(corr as u64, (7u64 << 32) | 3);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use cenn_guard::{parse_spec, PlanParseError};
+use cenn_obs::MetricsHub;
 
 use crate::client::{ClientError, Deadlines, RetryClient, RetryPolicy};
 use crate::fleet::{workload, FleetConfig, FleetEntry, FleetError, FleetReport};
@@ -114,6 +115,20 @@ impl std::fmt::Display for ChaosFault {
                 write!(f, "crash-restart@{op}:session={session}")
             }
             Self::WorkerStall { quantum, ms } => write!(f, "worker-stall@{quantum}:ms={ms}"),
+        }
+    }
+}
+
+impl ChaosFault {
+    /// The metrics-registry counter this fault kind increments when it
+    /// is injected (the source of truth for fault accounting — the
+    /// stderr log and [`ChaosStats::injected`] are human-facing copies).
+    pub fn metric_name(&self) -> &'static str {
+        match self {
+            Self::ConnDrop { .. } => "chaos.conn_drop_total",
+            Self::FrameCorrupt { .. } => "chaos.frame_corrupt_total",
+            Self::CrashRestart { .. } => "chaos.crash_restart_total",
+            Self::WorkerStall { .. } => "chaos.worker_stall_total",
         }
     }
 }
@@ -236,6 +251,7 @@ type CrashHook = Box<dyn Fn() -> RecoveryReport + Send + Sync>;
 pub struct ChaosDirector {
     state: Mutex<DirectorState>,
     crash_hook: Mutex<Option<CrashHook>>,
+    metrics: Mutex<Option<MetricsHub>>,
 }
 
 impl ChaosDirector {
@@ -256,12 +272,26 @@ impl ChaosDirector {
                 stats: ChaosStats::default(),
             }),
             crash_hook: Mutex::new(None),
+            metrics: Mutex::new(None),
         }
     }
 
     /// Installs the kill-and-restart hook `crash-restart` faults fire.
     pub fn set_crash_hook(&self, hook: CrashHook) {
         *self.crash_hook.lock().expect("chaos director poisoned") = Some(hook);
+    }
+
+    /// Routes per-kind `chaos.*_total` injection counters into `hub` —
+    /// normally the server's own registry, so one snapshot carries both
+    /// the faults injected and the service's reaction to them.
+    pub fn set_metrics(&self, hub: MetricsHub) {
+        *self.metrics.lock().expect("chaos director poisoned") = Some(hub);
+    }
+
+    fn count_fault(&self, fault: &ChaosFault) {
+        if let Some(hub) = self.metrics.lock().expect("chaos director poisoned").as_ref() {
+            hub.inc_name(fault.metric_name(), 1);
+        }
     }
 
     /// Assigns the next outbound-frame index for `session` and takes
@@ -293,6 +323,10 @@ impl ChaosDirector {
         for f in &due {
             st.stats.injected.push(f.to_string());
         }
+        drop(st);
+        for f in &due {
+            self.count_fault(f);
+        }
         due
     }
 
@@ -317,13 +351,18 @@ impl ChaosDirector {
     fn note_stalls(&self, stalls: &[(u64, u64)]) {
         let mut st = self.state.lock().expect("chaos director poisoned");
         for (q, ms) in stalls {
-            st.stats.injected.push(
-                ChaosFault::WorkerStall {
-                    quantum: *q,
-                    ms: *ms,
-                }
-                .to_string(),
-            );
+            let f = ChaosFault::WorkerStall {
+                quantum: *q,
+                ms: *ms,
+            };
+            st.stats.injected.push(f.to_string());
+        }
+        drop(st);
+        for (q, ms) in stalls {
+            self.count_fault(&ChaosFault::WorkerStall {
+                quantum: *q,
+                ms: *ms,
+            });
         }
     }
 
@@ -648,6 +687,9 @@ pub fn run_chaos_fleet(
     };
     server_cfg.manager.stalls = plan.stalls();
     let director = Arc::new(ChaosDirector::new(plan));
+    // Fault accounting lands in the same registry the server reports
+    // from, so one Stats snapshot shows injection and reaction together.
+    director.set_metrics(server_cfg.manager.metrics.clone());
     director.note_stalls(&server_cfg.manager.stalls);
 
     let first =

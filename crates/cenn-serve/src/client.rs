@@ -16,8 +16,10 @@
 use std::io::{Read, Write};
 use std::time::Duration;
 
+use cenn_obs::MetricsHub;
+
 use crate::frame::{read_frame, write_frame, FrameError};
-use crate::proto::{ErrorCode, Request, Response};
+use crate::proto::{ErrorCode, Request, Response, StatsSnapshot};
 
 /// Transports that support per-request I/O deadlines. Implemented for
 /// `TcpStream` (OS socket timeouts) and [`crate::loopback::Loopback`]
@@ -298,6 +300,18 @@ impl<S: Read + Write> Client<S> {
             other => Err(other),
         })
     }
+
+    /// Fetches the server's live telemetry snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] as in [`call`](Self::call).
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        self.expect(&Request::Stats, |r| match r {
+            Response::Stats { stats } => Ok(stats),
+            other => Err(other),
+        })
+    }
 }
 
 // --- retry layer --------------------------------------------------------
@@ -414,6 +428,7 @@ where
     nonce: u32,
     counter: u32,
     conn: Option<Client<S>>,
+    metrics: Option<MetricsHub>,
 }
 
 impl<S, F> RetryClient<S, F>
@@ -431,6 +446,7 @@ where
             nonce,
             counter: 0,
             conn: None,
+            metrics: None,
         }
     }
 
@@ -438,6 +454,14 @@ where
     #[must_use]
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Accounts retries and reconnects into `hub`
+    /// (`client.retries_total`, `client.reconnects_total`).
+    #[must_use]
+    pub fn with_metrics(mut self, hub: MetricsHub) -> Self {
+        self.metrics = Some(hub);
         self
     }
 
@@ -463,6 +487,9 @@ where
         let mut stream = (self.connect)()?;
         stream.set_deadlines(self.deadline, self.deadline)?;
         self.conn = Some(Client::new(stream));
+        if let Some(hub) = &self.metrics {
+            hub.inc_name("client.reconnects_total", 1);
+        }
         Ok(())
     }
 
@@ -488,6 +515,9 @@ where
         let mut last = None;
         for attempt in 0..self.policy.attempts.max(1) {
             if attempt > 0 {
+                if let Some(hub) = &self.metrics {
+                    hub.inc_name("client.retries_total", 1);
+                }
                 std::thread::sleep(Duration::from_millis(self.policy.backoff_ms(attempt)));
             }
             let client = match self.ensure_conn() {
@@ -605,6 +635,19 @@ where
     pub fn digest(&mut self, session: u64) -> Result<(u64, u64), ClientError> {
         self.expect(&Request::Digest { session }, |r| match r {
             Response::Digest { steps, digest, .. } => Ok((steps, digest)),
+            other => Err(other),
+        })
+    }
+
+    /// Fetches the server's live telemetry snapshot (retrying transient
+    /// failures like any other request).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] as in [`call`](Self::call).
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        self.expect(&Request::Stats, |r| match r {
+            Response::Stats { stats } => Ok(stats),
             other => Err(other),
         })
     }

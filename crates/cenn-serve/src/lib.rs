@@ -28,6 +28,9 @@
 //!   (connection drops, frame corruption, worker stalls, crash+restart)
 //!   that proves fleet digests survive every fault the retry layer
 //!   claims to absorb.
+//! - **[`stats_http`]** — a minimal std-only HTTP/1.1 responder that
+//!   serves the live metrics registry in Prometheus text exposition
+//!   format (`cenn serve --stats-listen ADDR`).
 //!
 //! # Example
 //!
@@ -67,6 +70,7 @@ pub mod manager;
 pub mod proto;
 pub mod server;
 pub mod spool;
+pub mod stats_http;
 
 pub use chaos::{
     run_chaos_fleet, run_resilient_fleet, ChaosDirector, ChaosFault, ChaosPlan, ChaosStats,
@@ -77,6 +81,7 @@ pub use digest::{snapshot_digest, state_digest};
 pub use fleet::{run_fleet, FleetConfig, FleetEntry, FleetError, FleetReport};
 pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
 pub use manager::{ManagerConfig, RecoveryReport, ServeError, SessionManager};
-pub use proto::{ErrorCode, Request, Response, PROTO_VERSION};
+pub use proto::{ErrorCode, Request, Response, SessionStat, StatsSnapshot, PROTO_VERSION};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use spool::{Manifest, ManifestEntry, QuarantineReason, SpoolError};
+pub use stats_http::StatsHttpServer;

@@ -36,7 +36,10 @@ use std::sync::{Condvar, Mutex, MutexGuard};
 
 use cenn_equations::{system_by_name, FixedRunner};
 use cenn_guard::Checkpoint;
-use cenn_obs::{Event, JsonlSink, RecorderHandle, SessionEvent};
+use cenn_obs::{
+    CounterId, Event, GaugeId, HistogramId, JsonlSink, MetricsHub, RecorderHandle, SessionEvent,
+    TraceHandle,
+};
 
 use crate::digest::state_digest;
 use crate::proto::{ErrorCode, Response};
@@ -108,6 +111,16 @@ pub struct ManagerConfig {
     /// into the worker loop at the given global quantum numbers. Pure
     /// timing perturbation — must never change any digest.
     pub stalls: Vec<(u64, u64)>,
+    /// Live metrics registry the manager accounts into (session
+    /// lifecycle counters, queue-depth/spool gauges, the quantum latency
+    /// histogram). Defaults to a private hub; the serve binary passes
+    /// the process hub so the `Stats` frame and the Prometheus endpoint
+    /// see the same numbers.
+    pub metrics: MetricsHub,
+    /// When set, the worker loop records one correlation mark per
+    /// executed quantum (the request id that queued the steps), so a
+    /// client request traces through scheduling in the Chrome export.
+    pub tracer: Option<TraceHandle>,
 }
 
 impl ManagerConfig {
@@ -123,6 +136,52 @@ impl ManagerConfig {
             max_sessions: usize::MAX,
             max_pending: u64::MAX,
             stalls: Vec::new(),
+            metrics: MetricsHub::new(),
+            tracer: None,
+        }
+    }
+}
+
+/// Instrument ids pre-registered at manager construction, so recording
+/// sites index straight into the hub instead of interning names.
+struct ServeMetrics {
+    sessions_active: GaugeId,
+    sessions_suspended: GaugeId,
+    queue_depth: GaugeId,
+    spool_bytes: GaugeId,
+    submitted: CounterId,
+    closed: CounterId,
+    suspended: CounterId,
+    resumed: CounterId,
+    recovered: CounterId,
+    quarantined: CounterId,
+    shed: CounterId,
+    steps: CounterId,
+    quanta: CounterId,
+    dedup_hits: CounterId,
+    manifest_ops: CounterId,
+    quantum_nanos: HistogramId,
+}
+
+impl ServeMetrics {
+    fn register(hub: &MetricsHub) -> Self {
+        Self {
+            sessions_active: hub.gauge("serve.sessions_active"),
+            sessions_suspended: hub.gauge("serve.sessions_suspended"),
+            queue_depth: hub.gauge("serve.queue_depth"),
+            spool_bytes: hub.gauge("serve.spool_bytes"),
+            submitted: hub.counter("serve.sessions_submitted_total"),
+            closed: hub.counter("serve.sessions_closed_total"),
+            suspended: hub.counter("serve.sessions_suspended_total"),
+            resumed: hub.counter("serve.sessions_resumed_total"),
+            recovered: hub.counter("serve.sessions_recovered_total"),
+            quarantined: hub.counter("serve.sessions_quarantined_total"),
+            shed: hub.counter("serve.requests_shed_total"),
+            steps: hub.counter("serve.steps_total"),
+            quanta: hub.counter("serve.quanta_total"),
+            dedup_hits: hub.counter("serve.dedup_hits_total"),
+            manifest_ops: hub.counter("serve.manifest_ops_total"),
+            quantum_nanos: hub.histogram("serve.quantum_nanos"),
         }
     }
 }
@@ -153,6 +212,11 @@ struct Session {
     /// Last step count observed by any completed operation (used for the
     /// `closed` event, where the runner may already be gone).
     steps: u64,
+    /// Correlation id of the request currently driving this session
+    /// (the last mutating request id; 0 when uncorrelated). Workers
+    /// stamp it onto quantum marks so a client request traces through
+    /// scheduling.
+    corr: u64,
     log: Option<RecorderHandle>,
 }
 
@@ -226,6 +290,8 @@ pub struct SessionManager {
     /// changes shape.
     done: Condvar,
     cfg: ManagerConfig,
+    /// Pre-registered instrument ids into `cfg.metrics`.
+    m: ServeMetrics,
 }
 
 impl SessionManager {
@@ -242,6 +308,7 @@ impl SessionManager {
                 ServeError::new(ErrorCode::Internal, format!("session log dir: {e}"))
             })?;
         }
+        let m = ServeMetrics::register(&cfg.metrics);
         Ok(Self {
             inner: Mutex::new(Inner {
                 next_id: 1,
@@ -250,6 +317,7 @@ impl SessionManager {
             work: Condvar::new(),
             done: Condvar::new(),
             cfg,
+            m,
         })
     }
 
@@ -326,8 +394,10 @@ impl SessionManager {
                             system: entry.system.clone(),
                             detail: format!("{}x{}", entry.rows, entry.cols),
                             count: 0,
+                            corr: 0,
                         },
                     );
+                    mgr.cfg.metrics.inc(mgr.m.recovered, 1);
                     mgr.lock().sessions.insert(
                         *id,
                         Session {
@@ -338,6 +408,7 @@ impl SessionManager {
                             },
                             slot: Slot::Suspended { path },
                             steps: entry.steps,
+                            corr: 0,
                             log,
                         },
                     );
@@ -357,8 +428,10 @@ impl SessionManager {
                             system: entry.system.clone(),
                             detail: reason.to_string(),
                             count: 0,
+                            corr: 0,
                         },
                     );
+                    mgr.cfg.metrics.inc(mgr.m.quarantined, 1);
                     report.quarantined.push((*id, reason.to_string()));
                 }
             }
@@ -369,8 +442,33 @@ impl SessionManager {
             let mut inner = mgr.lock();
             inner.manifest = kept;
             inner.next_id = max_id + 1;
+            mgr.refresh_gauges(&inner);
         }
         Ok((mgr, report))
+    }
+
+    /// Recomputes the session-shape and spool gauges from the current
+    /// state (called at lifecycle transitions — cheap, and exact at any
+    /// quiescent point).
+    fn refresh_gauges(&self, inner: &Inner) {
+        let (mut active, mut suspended) = (0i64, 0i64);
+        for s in inner.sessions.values() {
+            match s.slot {
+                Slot::Active { .. } => active += 1,
+                Slot::Suspended { .. } => suspended += 1,
+            }
+        }
+        self.cfg.metrics.gauge_set(self.m.sessions_active, active);
+        self.cfg
+            .metrics
+            .gauge_set(self.m.sessions_suspended, suspended);
+        let mut bytes = 0i64;
+        for e in inner.manifest.entries.values() {
+            if let Ok(md) = std::fs::metadata(self.cfg.spool.join(&e.file)) {
+                bytes += md.len() as i64;
+            }
+        }
+        self.cfg.metrics.gauge_set(self.m.spool_bytes, bytes);
     }
 
     /// Simulates `kill -9` for the chaos harness: workers abandon queued
@@ -397,7 +495,11 @@ impl SessionManager {
         if req_id == 0 {
             return None;
         }
-        self.lock().dedup.get(req_id)
+        let hit = self.lock().dedup.get(req_id);
+        if hit.is_some() {
+            self.cfg.metrics.inc(self.m.dedup_hits, 1);
+        }
+        hit
     }
 
     /// Records a mutating request's successful outcome under its id so a
@@ -471,6 +573,7 @@ impl SessionManager {
                 unreachable!("next_runnable only picks active sessions");
             };
             let quantum = (*pending).min(quantum_cap);
+            let corr = session.corr;
             let mut checked_out = runner.take().expect("picked runner present");
             // Step outside the lock: other workers keep scheduling other
             // sessions while this quantum runs.
@@ -480,8 +583,24 @@ impl SessionManager {
                 // effect — digests must not notice.
                 std::thread::sleep(std::time::Duration::from_millis(ms));
             }
+            let t0 = std::time::Instant::now();
             let fired = checked_out.run(quantum) as u64;
+            let dur_nanos = t0.elapsed().as_nanos() as u64;
             let steps_now = checked_out.steps();
+            // Account the quantum outside the manager lock (the hub has
+            // its own). Counts are worker-count-invariant — a step batch
+            // of n always splits into ceil(n/quantum) quanta — so the
+            // canonical snapshot keeps them.
+            self.cfg.metrics.observe(self.m.quantum_nanos, dur_nanos);
+            self.cfg.metrics.inc(self.m.quanta, 1);
+            self.cfg.metrics.inc(self.m.steps, quantum);
+            self.cfg.metrics.gauge_add(self.m.queue_depth, -(quantum as i64));
+            if corr != 0 {
+                if let Some(tracer) = &self.cfg.tracer {
+                    let end = tracer.now_nanos();
+                    tracer.mark(corr, id as u32, end.saturating_sub(dur_nanos), dur_nanos);
+                }
+            }
             inner = self.lock();
             if let Some(session) = inner.sessions.get_mut(&id) {
                 session.steps = steps_now;
@@ -540,6 +659,22 @@ impl SessionManager {
     /// `max_sessions` (load shedding, retryable), and
     /// [`ErrorCode::Internal`] for model-build failures.
     pub fn submit(&self, system: &str, rows: u32, cols: u32) -> Result<u64, ServeError> {
+        self.submit_corr(system, rows, cols, 0)
+    }
+
+    /// [`submit`](Self::submit) carrying the client's request id as the
+    /// correlation id stamped onto the `submitted` event.
+    ///
+    /// # Errors
+    ///
+    /// As in [`submit`](Self::submit).
+    pub fn submit_corr(
+        &self,
+        system: &str,
+        rows: u32,
+        cols: u32,
+        corr: u64,
+    ) -> Result<u64, ServeError> {
         if rows == 0 || cols == 0 {
             return Err(ServeError::new(
                 ErrorCode::BadRequest,
@@ -573,6 +708,7 @@ impl SessionManager {
             ));
         }
         if inner.sessions.len() >= self.cfg.max_sessions {
+            self.cfg.metrics.inc(self.m.shed, 1);
             if !inner.shedding {
                 inner.shedding = true;
                 self.record(
@@ -584,6 +720,7 @@ impl SessionManager {
                         system: system.into(),
                         detail: format!("max-sessions={}", self.cfg.max_sessions),
                         count: inner.sessions.len() as u64,
+                        corr: 0,
                     },
                 );
             }
@@ -607,6 +744,7 @@ impl SessionManager {
                     system: system.into(),
                     detail: String::new(),
                     count: inner.sessions.len() as u64,
+                    corr: 0,
                 },
             );
         }
@@ -632,6 +770,7 @@ impl SessionManager {
                 system: system.into(),
                 detail: format!("{rows}x{cols}"),
                 count: 0,
+                corr,
             },
         );
         inner.sessions.insert(
@@ -648,9 +787,12 @@ impl SessionManager {
                     fired: 0,
                 },
                 steps: 0,
+                corr,
                 log,
             },
         );
+        self.cfg.metrics.inc(self.m.submitted, 1);
+        self.refresh_gauges(&inner);
         Ok(id)
     }
 
@@ -665,6 +807,17 @@ impl SessionManager {
     /// more steps would push the total backlog past `max_pending`
     /// (load shedding, retryable).
     pub fn step(&self, id: u64, n: u64) -> Result<(u64, u64), ServeError> {
+        self.step_corr(id, n, 0)
+    }
+
+    /// [`step`](Self::step) carrying the client's request id as the
+    /// correlation id: stamped onto the `stepped` event and onto the
+    /// quantum marks the workers record while this batch runs.
+    ///
+    /// # Errors
+    ///
+    /// As in [`step`](Self::step).
+    pub fn step_corr(&self, id: u64, n: u64, corr: u64) -> Result<(u64, u64), ServeError> {
         let mut inner = self.lock();
         if inner.crashed {
             return Err(ServeError::crashed());
@@ -678,6 +831,7 @@ impl SessionManager {
             })
             .sum();
         if backlog.saturating_add(n) > self.cfg.max_pending {
+            self.cfg.metrics.inc(self.m.shed, 1);
             if !inner.shedding {
                 inner.shedding = true;
                 self.record(
@@ -689,6 +843,7 @@ impl SessionManager {
                         system: String::new(),
                         detail: format!("max-pending={}", self.cfg.max_pending),
                         count: backlog,
+                        corr: 0,
                     },
                 );
             }
@@ -711,6 +866,7 @@ impl SessionManager {
                     system: String::new(),
                     detail: String::new(),
                     count: backlog,
+                    corr: 0,
                 },
             );
         }
@@ -725,10 +881,12 @@ impl SessionManager {
                 }
                 Slot::Active { pending, fired, .. } => {
                     *pending += n;
+                    s.corr = corr;
                     *fired
                 }
             },
         };
+        self.cfg.metrics.gauge_add(self.m.queue_depth, n as i64);
         self.work.notify_all();
         loop {
             if inner.crashed {
@@ -756,6 +914,7 @@ impl SessionManager {
                                 system,
                                 detail: String::new(),
                                 count: n,
+                                corr,
                             },
                         );
                         return Ok((steps, batch_fired));
@@ -807,6 +966,16 @@ impl SessionManager {
     /// [`ErrorCode::Internal`] if the checkpoint or manifest cannot be
     /// written.
     pub fn suspend(&self, id: u64) -> Result<u64, ServeError> {
+        self.suspend_corr(id, 0)
+    }
+
+    /// [`suspend`](Self::suspend) carrying the client's request id as
+    /// the correlation id stamped onto the `suspended` event.
+    ///
+    /// # Errors
+    ///
+    /// As in [`suspend`](Self::suspend).
+    pub fn suspend_corr(&self, id: u64, corr: u64) -> Result<u64, ServeError> {
         let mut inner = self.wait_active_idle(id)?;
         let s = inner.sessions.get_mut(&id).expect("held across wait");
         let Slot::Active {
@@ -859,8 +1028,12 @@ impl SessionManager {
                 system,
                 detail: String::new(),
                 count: 0,
+                corr,
             },
         );
+        self.cfg.metrics.inc(self.m.suspended, 1);
+        self.cfg.metrics.inc(self.m.manifest_ops, 1);
+        self.refresh_gauges(&inner);
         self.done.notify_all();
         Ok(steps)
     }
@@ -879,6 +1052,16 @@ impl SessionManager {
     /// spooled file is missing, fails its manifest digest, or does not
     /// decode; [`ErrorCode::Internal`] if the model cannot be rebuilt.
     pub fn resume(&self, id: u64) -> Result<u64, ServeError> {
+        self.resume_corr(id, 0)
+    }
+
+    /// [`resume`](Self::resume) carrying the client's request id as the
+    /// correlation id stamped onto the `resumed` event.
+    ///
+    /// # Errors
+    ///
+    /// As in [`resume`](Self::resume).
+    pub fn resume_corr(&self, id: u64, corr: u64) -> Result<u64, ServeError> {
         let internal = |m: String| ServeError::new(ErrorCode::Internal, m);
         let corrupt = |m: String| ServeError::new(ErrorCode::CorruptCheckpoint, m);
         // Snapshot the spec, path, and expected digest under the lock,
@@ -946,6 +1129,7 @@ impl SessionManager {
             fired: 0,
         };
         s.steps = steps;
+        s.corr = corr;
         // The spooled copy stays on disk: it is the crash-recovery point
         // until the next suspend or close.
         let system = s.spec.system.clone();
@@ -959,8 +1143,11 @@ impl SessionManager {
                 system,
                 detail: String::new(),
                 count: 0,
+                corr,
             },
         );
+        self.cfg.metrics.inc(self.m.resumed, 1);
+        self.refresh_gauges(&inner);
         self.done.notify_all();
         Ok(steps)
     }
@@ -972,6 +1159,16 @@ impl SessionManager {
     ///
     /// Session-shape errors as in [`step`](Self::step).
     pub fn digest(&self, id: u64) -> Result<(u64, u64), ServeError> {
+        self.digest_corr(id, 0)
+    }
+
+    /// [`digest`](Self::digest) carrying the client's request id as the
+    /// correlation id stamped onto the `digest` event.
+    ///
+    /// # Errors
+    ///
+    /// As in [`digest`](Self::digest).
+    pub fn digest_corr(&self, id: u64, corr: u64) -> Result<(u64, u64), ServeError> {
         let inner = self.wait_active_idle(id)?;
         let s = inner.sessions.get(&id).expect("held across wait");
         let Slot::Active {
@@ -994,6 +1191,7 @@ impl SessionManager {
                 system,
                 detail: format!("{digest:016x}"),
                 count: digest,
+                corr,
             },
         );
         Ok((steps, digest))
@@ -1006,6 +1204,16 @@ impl SessionManager {
     ///
     /// [`ErrorCode::NoSuchSession`].
     pub fn close(&self, id: u64) -> Result<(), ServeError> {
+        self.close_corr(id, 0)
+    }
+
+    /// [`close`](Self::close) carrying the client's request id as the
+    /// correlation id stamped onto the `closed` event.
+    ///
+    /// # Errors
+    ///
+    /// As in [`close`](Self::close).
+    pub fn close_corr(&self, id: u64, corr: u64) -> Result<(), ServeError> {
         let mut inner = self.lock();
         // Wait until the runner is checked in (a worker may be mid-quantum);
         // suspended sessions are closable directly.
@@ -1032,6 +1240,7 @@ impl SessionManager {
         let _ = std::fs::remove_file(self.cfg.spool.join(format!("session_{id}.ckpt")));
         if inner.manifest.entries.remove(&id).is_some() {
             let _ = inner.manifest.save(&self.cfg.spool);
+            self.cfg.metrics.inc(self.m.manifest_ops, 1);
         }
         self.record(
             s.log.as_ref(),
@@ -1042,11 +1251,14 @@ impl SessionManager {
                 system: s.spec.system.clone(),
                 detail: String::new(),
                 count: 0,
+                corr,
             },
         );
         if let Some(log) = &s.log {
             let _ = log.flush();
         }
+        self.cfg.metrics.inc(self.m.closed, 1);
+        self.refresh_gauges(&inner);
         self.done.notify_all();
         Ok(())
     }
@@ -1067,6 +1279,33 @@ impl SessionManager {
     /// Ids of all live sessions (active and suspended), ascending.
     pub fn session_ids(&self) -> Vec<u64> {
         self.lock().sessions.keys().copied().collect()
+    }
+
+    /// The metrics hub this manager accounts into.
+    pub fn metrics(&self) -> &MetricsHub {
+        &self.cfg.metrics
+    }
+
+    /// One row per live session for the `Stats` frame, ascending by id.
+    pub fn stats_sessions(&self) -> Vec<crate::proto::SessionStat> {
+        let inner = self.lock();
+        inner
+            .sessions
+            .iter()
+            .map(|(id, s)| {
+                let (state, pending) = match &s.slot {
+                    Slot::Active { pending, .. } => ("active", *pending),
+                    Slot::Suspended { .. } => ("suspended", 0),
+                };
+                crate::proto::SessionStat {
+                    session: *id,
+                    system: s.spec.system.clone(),
+                    state: state.into(),
+                    steps: s.steps,
+                    pending,
+                }
+            })
+            .collect()
     }
 }
 

@@ -15,11 +15,44 @@
 //! `0` means "no dedup" and is what the plain [`crate::Client`] sends;
 //! [`crate::RetryClient`] allocates real ids.
 
+use cenn_obs::{HistogramSnapshot, MetricsSnapshot, STATS_VERSION};
+
 use crate::frame::FrameError;
 
 /// Wire protocol version; bump on any message-layout change.
 /// Version 2 added the `u64` request-id envelope after the version byte.
+/// The `Stats` request/response pair is an additive tag within version 2;
+/// its payload layout is versioned separately by
+/// [`cenn_obs::STATS_VERSION`].
 pub const PROTO_VERSION: u8 = 2;
+
+/// One live session's row in a [`Response::Stats`] snapshot — what
+/// `cenn top` renders per session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionStat {
+    /// Session id.
+    pub session: u64,
+    /// System name the session is running.
+    pub system: String,
+    /// `"active"` or `"suspended"`.
+    pub state: String,
+    /// Cumulative executed steps.
+    pub steps: u64,
+    /// Queued (unexecuted) steps.
+    pub pending: u64,
+}
+
+/// The typed payload of [`Response::Stats`]: a point-in-time metrics
+/// snapshot plus the live session table.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsSnapshot {
+    /// Snapshot layout version ([`cenn_obs::STATS_VERSION`]).
+    pub version: u16,
+    /// Counters, gauges, and histogram summaries, names sorted.
+    pub metrics: MetricsSnapshot,
+    /// One row per live session, ascending by id.
+    pub sessions: Vec<SessionStat>,
+}
 
 /// A client → server message.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,6 +114,9 @@ pub enum Request {
     /// Asks the server to stop accepting connections and drain. Replies
     /// [`Response::ShuttingDown`].
     Shutdown,
+    /// Requests a live telemetry snapshot (metrics registry + session
+    /// table). Replies [`Response::Stats`]. Read-only: never deduped.
+    Stats,
 }
 
 /// Stable error discriminators carried by [`Response::Error`].
@@ -226,6 +262,11 @@ pub enum Response {
     Pong,
     /// Shutdown acknowledged; the connection closes after this frame.
     ShuttingDown,
+    /// The live telemetry snapshot.
+    Stats {
+        /// Snapshot payload (versioned by its `version` field).
+        stats: StatsSnapshot,
+    },
     /// The request failed.
     Error {
         /// Machine-readable discriminator.
@@ -253,6 +294,9 @@ impl Enc {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
     fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
     fn string(&mut self, s: &str) {
@@ -316,6 +360,9 @@ impl<'a> Dec<'a> {
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
         ]))
     }
+    fn i64(&mut self) -> Result<i64, FrameError> {
+        self.u64().map(|v| v as i64)
+    }
     fn string(&mut self) -> Result<String, FrameError> {
         let len = self.u16()? as usize;
         let bytes = self.take(len)?;
@@ -350,6 +397,90 @@ impl<'a> Dec<'a> {
         }
         Ok(())
     }
+}
+
+// --- stats snapshot layout (STATS_VERSION 1) ----------------------------
+
+fn enc_stats(e: &mut Enc, s: &StatsSnapshot) {
+    e.u16(s.version);
+    e.u32(s.metrics.counters.len() as u32);
+    for (name, v) in &s.metrics.counters {
+        e.string(name);
+        e.u64(*v);
+    }
+    e.u32(s.metrics.gauges.len() as u32);
+    for (name, v) in &s.metrics.gauges {
+        e.string(name);
+        e.i64(*v);
+    }
+    e.u32(s.metrics.hists.len() as u32);
+    for (name, h) in &s.metrics.hists {
+        e.string(name);
+        e.u64(h.count);
+        e.u64(h.sum_nanos);
+        e.u64(h.p50_nanos);
+        e.u64(h.p90_nanos);
+        e.u64(h.p99_nanos);
+        e.u64(h.max_nanos);
+    }
+    e.u32(s.sessions.len() as u32);
+    for row in &s.sessions {
+        e.u64(row.session);
+        e.string(&row.system);
+        e.string(&row.state);
+        e.u64(row.steps);
+        e.u64(row.pending);
+    }
+}
+
+fn dec_stats(d: &mut Dec<'_>) -> Result<StatsSnapshot, FrameError> {
+    let version = d.u16()?;
+    if version != STATS_VERSION {
+        return Err(FrameError::Malformed(format!(
+            "stats snapshot version {version} (expected {STATS_VERSION})"
+        )));
+    }
+    let mut metrics = MetricsSnapshot::default();
+    // Element counts are bounds-checked as elements decode (each element
+    // consumes bytes, so a corrupt count fails fast) — no pre-allocation
+    // from an untrusted length.
+    for _ in 0..d.u32()? {
+        let name = d.string()?;
+        metrics.counters.push((name, d.u64()?));
+    }
+    for _ in 0..d.u32()? {
+        let name = d.string()?;
+        metrics.gauges.push((name, d.i64()?));
+    }
+    for _ in 0..d.u32()? {
+        let name = d.string()?;
+        metrics.hists.push((
+            name,
+            HistogramSnapshot {
+                count: d.u64()?,
+                sum_nanos: d.u64()?,
+                p50_nanos: d.u64()?,
+                p90_nanos: d.u64()?,
+                p99_nanos: d.u64()?,
+                max_nanos: d.u64()?,
+            },
+        ));
+    }
+    let mut sessions = Vec::new();
+    for _ in 0..d.u32()? {
+        sessions.push(SessionStat {
+            session: d.u64()?,
+            system: d.string()?,
+            state: d.string()?,
+            steps: d.u64()?,
+            pending: d.u64()?,
+        });
+    }
+    Ok(StatsSnapshot {
+        version,
+        metrics,
+        sessions,
+    })
 }
 
 impl Request {
@@ -397,6 +528,7 @@ impl Request {
             }
             Self::Ping => e = Enc::new(req_id, 8),
             Self::Shutdown => e = Enc::new(req_id, 9),
+            Self::Stats => e = Enc::new(req_id, 10),
         }
         e.0
     }
@@ -437,6 +569,7 @@ impl Request {
             7 => Self::Digest { session: d.u64()? },
             8 => Self::Ping,
             9 => Self::Shutdown,
+            10 => Self::Stats,
             t => return Err(FrameError::Malformed(format!("unknown request tag {t}"))),
         };
         d.finish()?;
@@ -513,6 +646,10 @@ impl Response {
                 e.u16(code.to_u16());
                 e.string(message);
             }
+            Self::Stats { stats } => {
+                e = Enc::new(req_id, 11);
+                enc_stats(&mut e, stats);
+            }
         }
         e.0
     }
@@ -572,6 +709,9 @@ impl Response {
                     message: d.string()?,
                 }
             }
+            11 => Self::Stats {
+                stats: dec_stats(&mut d)?,
+            },
             t => return Err(FrameError::Malformed(format!("unknown response tag {t}"))),
         };
         d.finish()?;
@@ -601,7 +741,36 @@ mod tests {
             Request::Digest { session: 7 },
             Request::Ping,
             Request::Shutdown,
+            Request::Stats,
         ]
+    }
+
+    fn sample_stats() -> StatsSnapshot {
+        StatsSnapshot {
+            version: STATS_VERSION,
+            metrics: MetricsSnapshot {
+                counters: vec![("serve.frames_in_total".into(), 42)],
+                gauges: vec![("serve.queue_depth".into(), -3)],
+                hists: vec![(
+                    "serve.quantum_nanos".into(),
+                    HistogramSnapshot {
+                        count: 9,
+                        sum_nanos: 9000,
+                        p50_nanos: 1024,
+                        p90_nanos: 2048,
+                        p99_nanos: 2048,
+                        max_nanos: 1999,
+                    },
+                )],
+            },
+            sessions: vec![SessionStat {
+                session: 3,
+                system: "gray-scott".into(),
+                state: "active".into(),
+                steps: 120,
+                pending: 8,
+            }],
+        }
     }
 
     fn responses() -> Vec<Response> {
@@ -638,6 +807,15 @@ mod tests {
             Response::Error {
                 code: ErrorCode::NoSuchSession,
                 message: "session 9 does not exist".into(),
+            },
+            Response::Stats {
+                stats: sample_stats(),
+            },
+            Response::Stats {
+                stats: StatsSnapshot {
+                    version: STATS_VERSION,
+                    ..StatsSnapshot::default()
+                },
             },
         ]
     }
@@ -706,6 +884,22 @@ mod tests {
             Err(FrameError::Malformed(_))
         ));
         assert!(Request::decode(&[]).is_err(), "empty payload");
+    }
+
+    #[test]
+    fn stats_snapshot_rejects_unknown_versions() {
+        let resp = Response::Stats {
+            stats: sample_stats(),
+        };
+        let mut bytes = resp.encode();
+        // The u16 snapshot version sits right after version(1)+req_id(8)
+        // +tag(1).
+        let off = 1 + 8 + 1;
+        bytes[off..off + 2].copy_from_slice(&99u16.to_le_bytes());
+        assert!(matches!(
+            Response::decode(&bytes),
+            Err(FrameError::Malformed(m)) if m.contains("stats snapshot version")
+        ));
     }
 
     #[test]

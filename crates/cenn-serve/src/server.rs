@@ -15,9 +15,11 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use cenn_obs::STATS_VERSION;
+
 use crate::frame::{read_frame, write_frame, FrameError};
 use crate::manager::{ManagerConfig, RecoveryReport, ServeError, SessionManager};
-use crate::proto::{ErrorCode, Request, Response};
+use crate::proto::{ErrorCode, Request, Response, StatsSnapshot};
 
 /// Service configuration.
 #[derive(Clone)]
@@ -163,14 +165,25 @@ impl Server {
                 return prior;
             }
         }
-        let resp = self.dispatch_fresh(req);
+        let resp = self.dispatch_fresh(req_id, req);
         if mutating {
             self.manager.dedup_store(req_id, &resp);
         }
         resp
     }
 
-    fn dispatch_fresh(&self, req: Request) -> Response {
+    /// A live telemetry snapshot: the manager's metrics registry plus
+    /// the session table. This is the payload of both the `Stats` frame
+    /// and the Prometheus endpoint, so the two views always agree.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            version: STATS_VERSION,
+            metrics: self.manager.metrics().snapshot(),
+            sessions: self.manager.stats_sessions(),
+        }
+    }
+
+    fn dispatch_fresh(&self, req_id: u64, req: Request) -> Response {
         let as_resp = |r: Result<Response, ServeError>| match r {
             Ok(resp) => resp,
             Err(e) => Response::Error {
@@ -181,16 +194,18 @@ impl Server {
         match req {
             Request::SubmitSystem { system, rows, cols } => as_resp(
                 self.manager
-                    .submit(&system, rows, cols)
+                    .submit_corr(&system, rows, cols, req_id)
                     .map(|session| Response::Submitted { session }),
             ),
-            Request::Step { session, n } => as_resp(self.manager.step(session, n).map(
-                |(steps, fired)| Response::Stepped {
-                    session,
-                    steps,
-                    fired,
-                },
-            )),
+            Request::Step { session, n } => as_resp(
+                self.manager
+                    .step_corr(session, n, req_id)
+                    .map(|(steps, fired)| Response::Stepped {
+                        session,
+                        steps,
+                        fired,
+                    }),
+            ),
             Request::StreamState { session, layer } => as_resp(
                 self.manager
                     .stream_state(session, layer)
@@ -204,20 +219,20 @@ impl Server {
             ),
             Request::Suspend { session } => as_resp(
                 self.manager
-                    .suspend(session)
+                    .suspend_corr(session, req_id)
                     .map(|steps| Response::Suspended { session, steps }),
             ),
             Request::Resume { session } => as_resp(
                 self.manager
-                    .resume(session)
+                    .resume_corr(session, req_id)
                     .map(|steps| Response::Resumed { session, steps }),
             ),
             Request::Close { session } => as_resp(
                 self.manager
-                    .close(session)
+                    .close_corr(session, req_id)
                     .map(|()| Response::Closed { session }),
             ),
-            Request::Digest { session } => as_resp(self.manager.digest(session).map(
+            Request::Digest { session } => as_resp(self.manager.digest_corr(session, req_id).map(
                 |(steps, digest)| Response::Digest {
                     session,
                     steps,
@@ -226,6 +241,9 @@ impl Server {
             )),
             Request::Ping => Response::Pong,
             Request::Shutdown => Response::ShuttingDown,
+            Request::Stats => Response::Stats {
+                stats: self.stats_snapshot(),
+            },
         }
     }
 
@@ -265,6 +283,7 @@ impl Server {
                     return self.refuse_frame(&mut stream, m);
                 }
             };
+            self.manager.metrics().inc_name("serve.frames_in_total", 1);
             let (req_id, req) = match Request::decode_with_id(&payload) {
                 Ok(r) => r,
                 Err(e) => {
@@ -283,6 +302,9 @@ impl Server {
             if write_frame(&mut stream, &resp.encode_with_id(req_id)).is_err() {
                 return stop;
             }
+            self.manager
+                .metrics()
+                .inc_name("serve.frames_out_total", 1);
             if stop {
                 return true;
             }

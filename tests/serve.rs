@@ -26,7 +26,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cenn::equations::{DynamicalSystem, Fisher, FixedRunner, GrayScott};
-use cenn::obs::{validate_jsonl_line, RecorderHandle};
+use cenn::obs::{validate_jsonl_line, MetricsHub, RecorderHandle};
 use cenn::serve::{
     loopback, read_frame, run_chaos_fleet, run_fleet, write_frame, ChaosDirector, ChaosPlan,
     ChaosTransport, Client, ClientError, ErrorCode, FleetConfig, FrameError, Request, RetryClient,
@@ -315,9 +315,12 @@ fn chaos_fleet_survives_kill_restart_with_identical_digests() {
     )
     .unwrap();
     let chaos_spool = scratch("chaos-run");
+    let hub = MetricsHub::default();
+    let mut chaos_cfg = ServerConfig::new(2, &chaos_spool);
+    chaos_cfg.manager.metrics = hub.clone();
     let (report, stats) = run_chaos_fleet(
         &cfg,
-        ServerConfig::new(2, &chaos_spool),
+        chaos_cfg,
         &plan,
         RetryPolicy::crash_tolerant(cfg.seed),
         Some(Duration::from_secs(10)),
@@ -326,6 +329,24 @@ fn chaos_fleet_survives_kill_restart_with_identical_digests() {
     let _ = std::fs::remove_dir_all(&chaos_spool);
 
     assert_eq!(stats.crashes, 1, "the crash-restart fault fired once");
+
+    // The director mirrors every injected fault into the server's own
+    // metrics registry, so one Stats snapshot shows the fault injection
+    // and the service's reaction side by side. The plan above carries
+    // two conn-drops and one of each other kind.
+    let snap = hub.snapshot();
+    for (metric, want) in [
+        ("chaos.conn_drop_total", 2),
+        ("chaos.frame_corrupt_total", 1),
+        ("chaos.worker_stall_total", 1),
+        ("chaos.crash_restart_total", 1),
+    ] {
+        assert_eq!(
+            snap.counter(metric),
+            Some(want),
+            "{metric} must count the plan's injected faults"
+        );
+    }
     assert!(
         stats.remaining.is_empty(),
         "every planned fault fired: {:?} never did",
